@@ -1,0 +1,173 @@
+//! Court-time bounds (Section 4.4): false positives, residual
+//! watermark alteration after error correction, and minimum-`e`
+//! sizing.
+
+use crate::prob::normal_quantile;
+
+/// Probability that a random data set exhibits a given `|wm|`-bit
+/// watermark exactly: `(1/2)^|wm|`.
+///
+/// With multiple embeddings using all `N/e` available bits this
+/// becomes `(1/2)^{N/e}` — pass the full bandwidth as `bits` for the
+/// paper's 7.8·10⁻³¹ example.
+#[must_use]
+pub fn false_positive_exact_match(bits: u32) -> f64 {
+    0.5f64.powi(bits as i32)
+}
+
+/// Expected residual alteration of the *final* watermark after error
+/// correction (the closed form the paper evaluates to 1.0%):
+///
+/// ```text
+/// (r / (N/e) − t_ecc) · |wm| / |wm_data|
+/// ```
+///
+/// where `r` is the number of altered `wm_data` bits, `t_ecc` the
+/// fraction of `wm_data` alterations the ECC absorbs, and the
+/// `|wm| / |wm_data|` factor models stable, uniform propagation of
+/// surviving damage. Clamped to `[0, 1]`.
+#[must_use]
+pub fn residual_alteration(
+    r: u64,
+    bandwidth: u64,
+    t_ecc: f64,
+    wm_len: u64,
+    wm_data_len: u64,
+) -> f64 {
+    if bandwidth == 0 || wm_data_len == 0 {
+        return 0.0;
+    }
+    let damaged_fraction = (r as f64) / (bandwidth as f64) - t_ecc;
+    (damaged_fraction * (wm_len as f64) / (wm_data_len as f64)).clamp(0.0, 1.0)
+}
+
+/// Minimum `e` (i.e. the *maximum* number of embedding alterations
+/// `N/e` we can avoid) that still caps the random-alteration attack's
+/// success probability at `delta`, per the paper's inversion of
+/// equation (2):
+///
+/// ```text
+/// (r − (a/e)·p) / sqrt((a/e)·p·(1−p)) ≥ z_delta
+/// ```
+///
+/// Solved in closed form for `m = a/e` (quadratic in √m) and scanned
+/// to the smallest integer `e` satisfying the bound.
+///
+/// For the paper's inputs (r = 15, a = 600, p = 0.7, δ = 10%) the
+/// formula as printed yields e ≈ 34 (~2.9% of tuples altered); the
+/// paper reports e ≈ 23 (~4.3%). Both support the identical
+/// conclusion — a few percent of alterations guarantee the bound —
+/// and EXPERIMENTS.md discusses the gap.
+///
+/// Returns `None` when no `e ≥ 1` satisfies the bound (e.g. `r = 0`).
+#[must_use]
+pub fn min_e_for_vulnerability(r: u64, a: u64, p: f64, delta: f64) -> Option<u64> {
+    if r == 0 || a == 0 || !(0.0..1.0).contains(&delta) || delta <= 0.0 {
+        return None;
+    }
+    if p <= 0.0 {
+        // Attack never flips bits; any e works.
+        return Some(1);
+    }
+    let z = normal_quantile(1.0 - delta);
+    // Solve p·m + z·sqrt(p(1−p))·sqrt(m) − r = 0 for sqrt(m).
+    let q = z * (p * (1.0 - p)).sqrt();
+    let disc = q * q + 4.0 * p * (r as f64);
+    let sqrt_m = (-q + disc.sqrt()) / (2.0 * p);
+    let m_max = sqrt_m * sqrt_m;
+    if m_max <= 0.0 {
+        return None;
+    }
+    let e = ((a as f64) / m_max).ceil() as u64;
+    Some(e.max(1))
+}
+
+/// The embedding alteration fraction implied by a modulus: `1 / e`.
+#[must_use]
+pub fn alteration_fraction_for_e(e: u64) -> f64 {
+    if e == 0 {
+        0.0
+    } else {
+        1.0 / (e as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vulnerability::attack_success_clt;
+
+    #[test]
+    fn exact_match_false_positive() {
+        assert!((false_positive_exact_match(10) - 2f64.powi(-10)).abs() < 1e-18);
+        // The paper's full-bandwidth example: N = 6000, e = 60 →
+        // (1/2)^100 ≈ 7.9·10⁻³¹.
+        let p = false_positive_exact_match(100);
+        assert!((p / 7.888e-31 - 1.0).abs() < 0.01, "p={p:e}");
+    }
+
+    #[test]
+    fn residual_alteration_paper_example() {
+        // r = 15, N/e = 100, t_ecc = 5%, |wm| = 10, |wm_data| = 100:
+        // (0.15 − 0.05) · 10/100 = 1.0%.
+        let v = residual_alteration(15, 100, 0.05, 10, 100);
+        assert!((v - 0.01).abs() < 1e-12, "v={v}");
+    }
+
+    #[test]
+    fn residual_alteration_clamps() {
+        // ECC absorbs everything.
+        assert_eq!(residual_alteration(3, 100, 0.05, 10, 100), 0.0);
+        // Degenerate inputs.
+        assert_eq!(residual_alteration(10, 0, 0.05, 10, 100), 0.0);
+        // Catastrophic damage cannot exceed 100%.
+        assert!(residual_alteration(1_000_000, 100, 0.0, 1_000_000, 1) <= 1.0);
+    }
+
+    #[test]
+    fn min_e_bound_is_actually_sufficient() {
+        // Whatever e the bound returns, the CLT vulnerability at that
+        // e must respect delta (and e−1 must violate it, minimality).
+        let (r, a, p, delta) = (15u64, 600u64, 0.7, 0.10);
+        let e = min_e_for_vulnerability(r, a, p, delta).unwrap();
+        assert!(
+            attack_success_clt(r, a, e, p) <= delta + 1e-9,
+            "e={e} does not satisfy the bound"
+        );
+        if e > 1 {
+            assert!(
+                attack_success_clt(r, a, e - 1, p) > delta - 1e-9,
+                "e={e} is not minimal"
+            );
+        }
+        // The paper's scenario lands in the same "few percent" regime
+        // it reports (1/e in low single digits).
+        let frac = alteration_fraction_for_e(e);
+        assert!((0.01..0.06).contains(&frac), "e={e}, fraction={frac}");
+    }
+
+    #[test]
+    fn min_e_monotone_in_delta() {
+        // Under eq. (2), vulnerability P(r, a) falls as e grows (the
+        // attacker reaches fewer marked tuples). A tighter tolerance
+        // therefore demands a larger minimum e.
+        let tight = min_e_for_vulnerability(15, 600, 0.7, 0.01).unwrap();
+        let loose = min_e_for_vulnerability(15, 600, 0.7, 0.20).unwrap();
+        assert!(tight >= loose, "tight={tight} loose={loose}");
+    }
+
+    #[test]
+    fn min_e_edge_cases() {
+        assert_eq!(min_e_for_vulnerability(0, 600, 0.7, 0.1), None);
+        assert_eq!(min_e_for_vulnerability(15, 0, 0.7, 0.1), None);
+        assert_eq!(min_e_for_vulnerability(15, 600, 0.7, 0.0), None);
+        assert_eq!(min_e_for_vulnerability(15, 600, 0.0, 0.1), Some(1));
+    }
+
+    #[test]
+    fn alteration_fraction_inverts_e() {
+        assert_eq!(alteration_fraction_for_e(0), 0.0);
+        assert!((alteration_fraction_for_e(23) - 0.0435).abs() < 1e-3);
+        assert!((alteration_fraction_for_e(60) - 1.0 / 60.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,216 @@
+//! Analytic model of collusion against buyer fingerprints.
+//!
+//! Companion theory for `catmark_attacks::collusion` (empirically
+//! swept by the `collusion_curve` bench binary), in the style of the
+//! paper's §4.4 analysis: closed-form estimates for how a coalition of
+//! `c` buyers merging their fingerprinted copies degrades traitor
+//! tracing.
+//!
+//! The model, per marked cell of one colluder (mark rate `q = 1/e` per
+//! copy, marks under different buyer keys land on ≈ independent cells
+//! and pick ≈ distinct values):
+//!
+//! * **Majority merge** — the colluder's value (1 vote) beats the
+//!   other `c−1` copies only when at most one of them still holds the
+//!   original value, and then only by winning a random tie among the
+//!   tied distinct values.
+//! * **Mix-and-match / row-share** — the colluder's cell survives iff
+//!   their copy is the one sampled: probability `1/c`.
+//!
+//! A surviving mark votes its true bit; a lost mark's position decodes
+//! the *original* value whose index-lsb is an unbiased coin. Majority
+//! voting over `R` carriers per watermark bit then recovers the bit
+//! with probability ≈ Φ(s·R / √(R − s·R)) for survival rate `s`, and
+//! tracing succeeds when enough of the `|wm|` bits survive to clear
+//! the significance threshold.
+
+use crate::prob::{binom_pmf, binom_tail, normal_cdf};
+
+/// The three collusion strategies of `catmark-attacks`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// Per-cell majority vote with random tie-breaking.
+    MajorityMerge,
+    /// Per-row random colluder selection.
+    MixAndMatch,
+    /// Disjoint row blocks, one per colluder.
+    RowShare,
+}
+
+/// Probability that one colluder's marked cell survives a `c`-way
+/// merge, at per-copy mark rate `q = 1/e`.
+///
+/// # Panics
+///
+/// Panics when `c == 0` or `q` is outside `[0, 1]`.
+#[must_use]
+pub fn mark_survival(strategy: Strategy, c: u64, q: f64) -> f64 {
+    assert!(c >= 1, "coalition needs at least one member");
+    assert!((0.0..=1.0).contains(&q), "q is a probability");
+    if c == 1 {
+        return 1.0; // a lone "coalition" publishes its copy verbatim
+    }
+    match strategy {
+        Strategy::MixAndMatch | Strategy::RowShare => 1.0 / c as f64,
+        Strategy::MajorityMerge => {
+            // k = number of the other c−1 copies still holding the
+            // original value at this cell (each is marked with
+            // probability q, and a marked copy holds a ≈ distinct
+            // pseudorandom value).
+            let others = c - 1;
+            let mut p = 0.0;
+            for k in 0..=others {
+                let pk = binom_pmf(others, k, 1.0 - q);
+                if k >= 2 {
+                    continue; // original value outvotes the mark
+                }
+                // Tied distinct values: the colluder's mark, the
+                // original (when k == 1), and the other marked copies
+                // (assumed distinct).
+                let tied = 1 + k + (others - k);
+                p += pk / tied as f64;
+            }
+            p
+        }
+    }
+}
+
+/// Probability that one watermark bit decodes correctly for a
+/// colluder, given `carriers` redundant copies per bit of which a
+/// `survival` fraction still carry the mark (the rest vote an unbiased
+/// coin).
+///
+/// Uses the normal approximation to the majority vote; exact at the
+/// extremes (`survival` 0 → 0.5, 1 → 1.0).
+#[must_use]
+pub fn bit_recovery(carriers: u64, survival: f64) -> f64 {
+    if carriers == 0 {
+        return 0.5;
+    }
+    let r = carriers as f64;
+    let m = survival * r; // surviving biased votes
+    let noise = r - m; // coin-flip votes
+    if noise <= 0.0 {
+        return 1.0;
+    }
+    // Correct votes ≈ m + Binomial(noise, ½); the bit wins when they
+    // exceed r/2, i.e. when the noise exceeds (r/2 − m) … centering:
+    normal_cdf(m / noise.sqrt())
+}
+
+/// Probability that a colluder is traced: enough watermark bits decode
+/// that the detection clears significance level `alpha`.
+///
+/// `wm_len` is the watermark length, `carriers` the per-bit redundancy
+/// (≈ N/(e·|wm|)), `survival` the per-cell mark survival rate.
+#[must_use]
+pub fn traced_probability(wm_len: u32, carriers: u64, survival: f64, alpha: f64) -> f64 {
+    let p_bit = bit_recovery(carriers, survival);
+    // Smallest matched-bit count whose chance-match tail is ≤ alpha.
+    let n = u64::from(wm_len);
+    let threshold = (0..=n).find(|&k| binom_tail(n, k, 0.5) <= alpha);
+    match threshold {
+        Some(k) => binom_tail(n, k, p_bit),
+        None => 0.0, // no achievable count is significant
+    }
+}
+
+/// Full analytic curve point: traced probability for one colluder in a
+/// `c`-way coalition.
+#[must_use]
+pub fn traced_in_coalition(
+    strategy: Strategy,
+    c: u64,
+    e: u64,
+    tuples: u64,
+    wm_len: u32,
+    alpha: f64,
+) -> f64 {
+    let q = 1.0 / e as f64;
+    let survival = mark_survival(strategy, c, q);
+    let carriers = tuples / (e * u64::from(wm_len).max(1));
+    traced_probability(wm_len, carriers.max(1), survival, alpha)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lone_coalition_survives_fully() {
+        for s in [Strategy::MajorityMerge, Strategy::MixAndMatch, Strategy::RowShare] {
+            assert_eq!(mark_survival(s, 1, 0.1), 1.0);
+        }
+    }
+
+    #[test]
+    fn sampling_strategies_survive_at_one_over_c() {
+        for c in 2..=6 {
+            let s = mark_survival(Strategy::MixAndMatch, c, 0.1);
+            assert!((s - 1.0 / c as f64).abs() < 1e-12);
+            assert_eq!(s, mark_survival(Strategy::RowShare, c, 0.1));
+        }
+    }
+
+    #[test]
+    fn two_way_majority_is_every_cell_a_coin_toss() {
+        // c = 2: the other copy holds the original w.p. 1−q (tie of 2)
+        // or its own mark w.p. q (tie of 2): survival = 1/2 exactly.
+        let s = mark_survival(Strategy::MajorityMerge, 2, 0.1);
+        assert!((s - 0.5).abs() < 1e-12, "s = {s}");
+    }
+
+    #[test]
+    fn majority_survival_collapses_with_coalition_size() {
+        let q = 0.1;
+        let s3 = mark_survival(Strategy::MajorityMerge, 3, q);
+        // k=1: 2q(1−q) / 3 + k=0: q² / 3.
+        let expected = 2.0 * q * (1.0 - q) / 3.0 + q * q / 3.0;
+        assert!((s3 - expected).abs() < 1e-12, "s3 = {s3}");
+        let s4 = mark_survival(Strategy::MajorityMerge, 4, q);
+        assert!(s4 < s3 && s3 < 0.5);
+    }
+
+    #[test]
+    fn bit_recovery_limits() {
+        assert_eq!(bit_recovery(0, 1.0), 0.5);
+        assert_eq!(bit_recovery(100, 1.0), 1.0);
+        assert!((bit_recovery(100, 0.0) - 0.5).abs() < 1e-9);
+        // Monotone in survival.
+        let probs: Vec<f64> = (0..=10).map(|i| bit_recovery(90, i as f64 / 10.0)).collect();
+        assert!(probs.windows(2).all(|w| w[0] <= w[1] + 1e-12));
+    }
+
+    #[test]
+    fn traced_probability_matches_empirical_regimes() {
+        // The collusion_curve measurement (N=9000, e=10, |wm|=10,
+        // alpha=1e-2): carriers per bit = 90.
+        // Majority, c=3: survival ≈ 6.3% → ~5.7 biased votes of 90 —
+        // borderline; the model must predict under 80% tracing.
+        let majority3 =
+            traced_in_coalition(Strategy::MajorityMerge, 3, 10, 9_000, 10, 1e-2);
+        assert!(majority3 < 0.8, "majority c=3: {majority3}");
+        // Mix-and-match, c=3: survival 1/3 → 30 biased votes: certain.
+        let mix3 = traced_in_coalition(Strategy::MixAndMatch, 3, 10, 9_000, 10, 1e-2);
+        assert!(mix3 > 0.99, "mix c=3: {mix3}");
+        // Mix-and-match degrades by c=8 at this redundancy but stays
+        // well above majority merging.
+        let mix8 = traced_in_coalition(Strategy::MixAndMatch, 8, 10, 9_000, 10, 1e-2);
+        let majority8 =
+            traced_in_coalition(Strategy::MajorityMerge, 8, 10, 9_000, 10, 1e-2);
+        assert!(majority8 < mix8);
+    }
+
+    #[test]
+    fn impossible_alpha_traces_nothing() {
+        // alpha below 2^-|wm|: even a perfect match is not significant.
+        let p = traced_probability(10, 90, 1.0, 1e-6);
+        assert_eq!(p, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one member")]
+    fn zero_coalition_panics() {
+        let _ = mark_survival(Strategy::MajorityMerge, 0, 0.1);
+    }
+}

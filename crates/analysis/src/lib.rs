@@ -1,0 +1,35 @@
+//! `catmark-analysis` — the theoretical vulnerability analysis of
+//! Section 4.4.
+//!
+//! Pure math, no data: binomial and normal machinery ([`prob`]), the
+//! random-alteration attack success probability `P(r, a)` with its
+//! central-limit estimate ([`vulnerability`]), and the court-time
+//! bounds — false-positive odds, residual watermark alteration,
+//! minimum-`e` sizing ([`bounds`]). [`surface`] evaluates the
+//! analytical counterpart of the paper's Figure 6 surface, and
+//! [`collusion`] models coalition attacks on buyer fingerprints (the
+//! analytic companion of the `collusion_curve` measurement).
+//!
+//! The in-text numbers this crate reproduces (all unit-tested):
+//!
+//! * false positive of a 10-bit mark: `(1/2)^10`; full-bandwidth
+//!   variant for N = 6000, e = 60: `(1/2)^100 ≈ 7.9·10⁻³¹`;
+//! * `P(15, 1200) ≈ 31.6%` for p = 0.7, e = 60 (CLT estimate);
+//! * residual watermark alteration ≈ 1.0% for r = 15, N/e = 100,
+//!   t_ecc = 5%, |wm| = 10;
+//! * the minimum-`e` bound for δ = 10%, a = 600 (the paper reports
+//!   e ≈ 23 / ~4.3% alterations; the formula as printed yields e ≈ 34
+//!   / ~2.9% — same conclusion, "a few percent of alterations
+//!   suffice"; see EXPERIMENTS.md for the discrepancy discussion).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bounds;
+pub mod collusion;
+pub mod prob;
+pub mod surface;
+pub mod vulnerability;
+
+pub use bounds::{false_positive_exact_match, min_e_for_vulnerability, residual_alteration};
+pub use vulnerability::{attack_success_clt, attack_success_exact};

@@ -1,0 +1,229 @@
+//! Probability primitives: log-factorials, binomial distribution,
+//! normal CDF/quantile.
+//!
+//! Everything is plain `f64`; the regimes used by the paper (n up to a
+//! few thousand, probabilities down to ~10⁻³¹ handled in log space)
+//! are well within double precision.
+
+/// `ln(n!)` computed exactly by summation (cached would be overkill
+/// for the call volumes here).
+#[must_use]
+pub fn ln_factorial(n: u64) -> f64 {
+    (2..=n).map(|i| (i as f64).ln()).sum()
+}
+
+/// `ln C(n, k)`.
+///
+/// # Panics
+///
+/// Panics when `k > n`.
+#[must_use]
+pub fn ln_choose(n: u64, k: u64) -> f64 {
+    assert!(k <= n, "k={k} > n={n}");
+    ln_factorial(n) - ln_factorial(k) - ln_factorial(n - k)
+}
+
+/// Binomial probability mass `P[Bin(n, p) = k]`.
+#[must_use]
+pub fn binom_pmf(n: u64, k: u64, p: f64) -> f64 {
+    if k > n {
+        return 0.0;
+    }
+    if p <= 0.0 {
+        return if k == 0 { 1.0 } else { 0.0 };
+    }
+    if p >= 1.0 {
+        return if k == n { 1.0 } else { 0.0 };
+    }
+    (ln_choose(n, k) + k as f64 * p.ln() + (n - k) as f64 * (1.0 - p).ln()).exp()
+}
+
+/// Upper tail `P[Bin(n, p) >= k]`.
+#[must_use]
+pub fn binom_tail(n: u64, k: u64, p: f64) -> f64 {
+    if k == 0 {
+        return 1.0;
+    }
+    if k > n {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    for i in k..=n {
+        total += binom_pmf(n, i, p);
+    }
+    total.min(1.0)
+}
+
+/// Standard normal CDF Φ(x), via the Abramowitz–Stegun 7.1.26 erf
+/// approximation (|ε| < 1.5·10⁻⁷ — ample for table-lookup fidelity).
+#[must_use]
+pub fn normal_cdf(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+
+/// Error function approximation (Abramowitz–Stegun 7.1.26).
+#[must_use]
+pub fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let poly = t
+        * (0.254_829_592
+            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+    sign * (1.0 - poly * (-x * x).exp())
+}
+
+/// Standard normal quantile Φ⁻¹(q) by bisection on [`normal_cdf`]
+/// (robust and plenty fast for the handful of calls per experiment).
+///
+/// # Panics
+///
+/// Panics when `q` is outside `(0, 1)`.
+#[must_use]
+pub fn normal_quantile(q: f64) -> f64 {
+    assert!(q > 0.0 && q < 1.0, "quantile argument must be in (0,1)");
+    let (mut lo, mut hi) = (-10.0f64, 10.0f64);
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if normal_cdf(mid) < q {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// Wilson score interval for a binomial proportion at confidence
+/// `1 - alpha`: the interval for the true success probability given
+/// `successes` out of `trials`.
+///
+/// Used by the experiment harness to report error bars on the
+/// key-averaged mark-alteration estimates (the paper reports bare
+/// means; error bars make shape comparisons honest).
+///
+/// Returns `(low, high)`; `(0, 1)` when `trials == 0`.
+#[must_use]
+pub fn wilson_interval(successes: u64, trials: u64, alpha: f64) -> (f64, f64) {
+    if trials == 0 {
+        return (0.0, 1.0);
+    }
+    let z = normal_quantile(1.0 - alpha / 2.0);
+    let n = trials as f64;
+    let p = successes as f64 / n;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let center = (p + z2 / (2.0 * n)) / denom;
+    let half = (z / denom) * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt();
+    ((center - half).max(0.0), (center + half).min(1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factorials_and_choose() {
+        assert_eq!(ln_factorial(0), 0.0);
+        assert_eq!(ln_factorial(1), 0.0);
+        assert!((ln_factorial(5) - 120f64.ln()).abs() < 1e-12);
+        assert!((ln_choose(5, 2) - 10f64.ln()).abs() < 1e-12);
+        assert!((ln_choose(52, 5) - 2_598_960f64.ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        for &(n, p) in &[(10u64, 0.3), (50, 0.7), (100, 0.5)] {
+            let total: f64 = (0..=n).map(|k| binom_pmf(n, k, p)).sum();
+            assert!((total - 1.0).abs() < 1e-10, "n={n} p={p}: {total}");
+        }
+    }
+
+    #[test]
+    fn pmf_degenerate_probabilities() {
+        assert_eq!(binom_pmf(10, 0, 0.0), 1.0);
+        assert_eq!(binom_pmf(10, 3, 0.0), 0.0);
+        assert_eq!(binom_pmf(10, 10, 1.0), 1.0);
+        assert_eq!(binom_pmf(10, 9, 1.0), 0.0);
+    }
+
+    #[test]
+    fn tail_matches_manual_sums() {
+        // P[Bin(3, 1/2) >= 2] = (3 + 1)/8 = 1/2.
+        assert!((binom_tail(3, 2, 0.5) - 0.5).abs() < 1e-12);
+        assert_eq!(binom_tail(5, 0, 0.3), 1.0);
+        assert_eq!(binom_tail(5, 6, 0.3), 0.0);
+    }
+
+    #[test]
+    fn normal_cdf_reference_points() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!((normal_cdf(1.0) - 0.841_344_7).abs() < 1e-5);
+        assert!((normal_cdf(-1.0) - 0.158_655_3).abs() < 1e-5);
+        assert!((normal_cdf(1.96) - 0.975).abs() < 1e-4);
+        assert!((normal_cdf(3.0) - 0.998_65).abs() < 1e-4);
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        for &q in &[0.01, 0.1, 0.25, 0.5, 0.9, 0.975, 0.999] {
+            let x = normal_quantile(q);
+            assert!((normal_cdf(x) - q).abs() < 1e-7, "q={q}");
+        }
+        // The paper's z for δ = 10%: 1.28.
+        assert!((normal_quantile(0.9) - 1.2816).abs() < 1e-3);
+    }
+
+    #[test]
+    fn erf_is_odd_and_bounded() {
+        for &x in &[0.1, 0.5, 1.0, 2.0] {
+            assert!((erf(x) + erf(-x)).abs() < 1e-12);
+            assert!(erf(x) > 0.0 && erf(x) < 1.0);
+        }
+        // The A&S polynomial is an approximation: erf(0) is ~1e-9,
+        // not exactly zero.
+        assert!(erf(0.0).abs() < 1e-7);
+    }
+
+    #[test]
+    #[should_panic(expected = "in (0,1)")]
+    fn quantile_rejects_bad_input() {
+        let _ = normal_quantile(1.0);
+    }
+
+    #[test]
+    fn wilson_interval_contains_the_point_estimate() {
+        for &(s, n) in &[(0u64, 10u64), (5, 10), (10, 10), (73, 150)] {
+            let (lo, hi) = wilson_interval(s, n, 0.05);
+            let p = s as f64 / n as f64;
+            assert!(lo <= p + 1e-12 && p <= hi + 1e-12, "s={s} n={n}: [{lo},{hi}] vs {p}");
+            assert!((0.0..=1.0).contains(&lo) && (0.0..=1.0).contains(&hi));
+        }
+    }
+
+    #[test]
+    fn wilson_interval_shrinks_with_more_trials() {
+        let (lo_s, hi_s) = wilson_interval(5, 10, 0.05);
+        let (lo_l, hi_l) = wilson_interval(500, 1000, 0.05);
+        assert!(hi_l - lo_l < hi_s - lo_s);
+    }
+
+    #[test]
+    fn wilson_interval_handles_degenerate_inputs() {
+        assert_eq!(wilson_interval(0, 0, 0.05), (0.0, 1.0));
+        // At the boundaries the center and half-width cancel up to
+        // floating-point round-off.
+        let (lo, _) = wilson_interval(0, 100, 0.05);
+        assert!(lo < 1e-12, "lo={lo}");
+        let (_, hi) = wilson_interval(100, 100, 0.05);
+        assert!(hi > 1.0 - 1e-12, "hi={hi}");
+    }
+
+    #[test]
+    fn wilson_matches_reference_value() {
+        // Classic reference: 8/10 at 95% → approximately (0.490, 0.943).
+        let (lo, hi) = wilson_interval(8, 10, 0.05);
+        assert!((lo - 0.490).abs() < 0.01, "lo={lo}");
+        assert!((hi - 0.943).abs() < 0.01, "hi={hi}");
+    }
+}

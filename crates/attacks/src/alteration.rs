@@ -1,0 +1,176 @@
+//! A3 — subset alteration.
+//!
+//! "Altering a subset of the items in the original data set such that
+//! there is still value associated with the resulting set." The paper
+//! stresses that in the categorical world alteration is *expensive* —
+//! every change is significant — and that without the keys Mallory's
+//! only option is a *random* attack (Section 4.4); Figures 4–6 sweep
+//! exactly the attack implemented here.
+
+use catmark_relation::ops::SplitMix64;
+use catmark_relation::{CategoricalDomain, Relation, RelationError, Value};
+
+/// Replace the `attr` value of `fraction · N` uniformly chosen tuples
+/// with a uniformly chosen *different* value observed in the column
+/// (Mallory knows the data, not the domain's secret indexing).
+///
+/// # Errors
+///
+/// Unknown attribute, or a column with fewer than two distinct values
+/// (nothing to alter to).
+///
+/// # Panics
+///
+/// Panics when `fraction` is outside `[0, 1]`.
+pub fn random_alteration(
+    rel: &Relation,
+    attr: &str,
+    fraction: f64,
+    seed: u64,
+) -> Result<Relation, RelationError> {
+    assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0,1]");
+    let attr_idx = rel.schema().index_of(attr)?;
+    let observed = CategoricalDomain::from_column(rel, attr_idx)?;
+    let mut out = rel.clone();
+    let mut rng = SplitMix64::new(seed);
+    let targets = pick_rows(rel.len(), fraction, &mut rng);
+    for row in targets {
+        let current = out.tuple(row).expect("row in range").get(attr_idx).clone();
+        let replacement = random_other_value(&observed, &current, &mut rng);
+        out.update_value(row, attr_idx, replacement)?;
+    }
+    Ok(out)
+}
+
+/// Replace values of chosen tuples with uniform draws from an
+/// *attacker-supplied* domain (e.g. a domain Mallory thinks is
+/// plausible) — lets experiments model better-informed adversaries.
+///
+/// # Errors
+///
+/// Unknown attribute.
+///
+/// # Panics
+///
+/// Panics when `fraction` is outside `[0, 1]`.
+pub fn domain_alteration(
+    rel: &Relation,
+    attr: &str,
+    domain: &CategoricalDomain,
+    fraction: f64,
+    seed: u64,
+) -> Result<Relation, RelationError> {
+    assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0,1]");
+    let attr_idx = rel.schema().index_of(attr)?;
+    let mut out = rel.clone();
+    let mut rng = SplitMix64::new(seed);
+    let targets = pick_rows(rel.len(), fraction, &mut rng);
+    for row in targets {
+        let replacement = domain.value_at(rng.below(domain.len() as u64) as usize).clone();
+        out.update_value(row, attr_idx, replacement)?;
+    }
+    Ok(out)
+}
+
+/// Uniformly choose ⌈fraction · n⌉ distinct rows.
+fn pick_rows(n: usize, fraction: f64, rng: &mut SplitMix64) -> Vec<usize> {
+    let count = ((n as f64) * fraction).round() as usize;
+    let count = count.min(n);
+    let mut rows: Vec<usize> = (0..n).collect();
+    for i in 0..count {
+        let j = i + rng.below((n - i) as u64) as usize;
+        rows.swap(i, j);
+    }
+    rows.truncate(count);
+    rows
+}
+
+fn random_other_value(domain: &CategoricalDomain, current: &Value, rng: &mut SplitMix64) -> Value {
+    debug_assert!(domain.len() >= 2);
+    loop {
+        let candidate = domain.value_at(rng.below(domain.len() as u64) as usize);
+        if candidate != current {
+            return candidate.clone();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use catmark_datagen::{domains, ItemScanConfig, SalesGenerator};
+
+    fn rel() -> Relation {
+        SalesGenerator::new(ItemScanConfig { tuples: 4_000, ..Default::default() }).generate()
+    }
+
+    #[test]
+    fn alters_requested_fraction() {
+        let r = rel();
+        let attacked = random_alteration(&r, "item_nbr", 0.3, 7).unwrap();
+        let changed = r
+            .iter()
+            .zip(attacked.iter())
+            .filter(|(a, b)| a.get(1) != b.get(1))
+            .count();
+        let frac = changed as f64 / r.len() as f64;
+        // Every targeted tuple is guaranteed to change (different
+        // value enforced), so the fraction is exact.
+        assert!((frac - 0.3).abs() < 1e-9, "frac={frac}");
+    }
+
+    #[test]
+    fn keys_and_other_attributes_untouched() {
+        let r = rel();
+        let attacked = random_alteration(&r, "item_nbr", 0.5, 8).unwrap();
+        assert_eq!(r.column(0), attacked.column(0));
+    }
+
+    #[test]
+    fn fraction_zero_and_one_edge_cases() {
+        let r = rel();
+        let same = random_alteration(&r, "item_nbr", 0.0, 1).unwrap();
+        assert!(r.iter().zip(same.iter()).all(|(a, b)| a == b));
+        let all = random_alteration(&r, "item_nbr", 1.0, 1).unwrap();
+        let changed = r.iter().zip(all.iter()).filter(|(a, b)| a != b).count();
+        assert_eq!(changed, r.len());
+    }
+
+    #[test]
+    fn replacements_come_from_observed_values() {
+        let r = rel();
+        let observed = CategoricalDomain::from_column(&r, 1).unwrap();
+        let attacked = random_alteration(&r, "item_nbr", 0.4, 9).unwrap();
+        for v in attacked.column_iter(1) {
+            assert!(observed.index_of(v).is_ok());
+        }
+    }
+
+    #[test]
+    fn domain_alteration_uses_supplied_domain() {
+        let r = rel();
+        let foreign = domains::product_codes(10, 777_000);
+        let attacked = domain_alteration(&r, "item_nbr", &foreign, 0.2, 5).unwrap();
+        let foreign_count = attacked
+            .column_iter(1)
+            .filter(|v| foreign.index_of(v).is_ok())
+            .count();
+        let frac = foreign_count as f64 / r.len() as f64;
+        assert!((frac - 0.2).abs() < 0.02, "frac={frac}");
+    }
+
+    #[test]
+    fn is_deterministic_per_seed() {
+        let r = rel();
+        let a = random_alteration(&r, "item_nbr", 0.25, 42).unwrap();
+        let b = random_alteration(&r, "item_nbr", 0.25, 42).unwrap();
+        assert!(a.iter().zip(b.iter()).all(|(x, y)| x == y));
+        let c = random_alteration(&r, "item_nbr", 0.25, 43).unwrap();
+        assert!(a.iter().zip(c.iter()).any(|(x, y)| x != y));
+    }
+
+    #[test]
+    fn unknown_attribute_errors() {
+        assert!(random_alteration(&rel(), "ghost", 0.1, 1).is_err());
+    }
+}

@@ -1,0 +1,82 @@
+//! Attack pipelines: realistic adversaries combine attacks (shuffle,
+//! then cut, then alter a little). [`pipeline`] chains declarative
+//! [`crate::Attack`] steps.
+
+use catmark_relation::{Relation, RelationError};
+
+use crate::Attack;
+
+/// Apply `steps` in order, feeding each attack the previous output.
+///
+/// # Errors
+///
+/// The first failing step's error.
+pub fn pipeline(rel: &Relation, steps: &[Attack]) -> Result<Relation, RelationError> {
+    let mut current = rel.clone();
+    for step in steps {
+        current = step.apply(&current)?;
+    }
+    Ok(current)
+}
+
+/// A ready-made "determined adversary" pipeline: shuffle, keep 70%,
+/// alter 10% of the target attribute, and add 15% mimicking tuples —
+/// a plausible maximal attack that still leaves the data sellable.
+#[must_use]
+pub fn determined_adversary(attr: &str, seed: u64) -> Vec<Attack> {
+    vec![
+        Attack::Shuffle { seed },
+        Attack::HorizontalLoss { keep: 0.7, seed: seed.wrapping_add(1) },
+        Attack::RandomAlteration {
+            attr: attr.to_owned(),
+            fraction: 0.1,
+            seed: seed.wrapping_add(2),
+        },
+        Attack::SubsetAddition { fraction: 0.15, seed: seed.wrapping_add(3) },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use catmark_datagen::{ItemScanConfig, SalesGenerator};
+
+    #[test]
+    fn pipeline_applies_in_order() {
+        let rel = SalesGenerator::new(ItemScanConfig { tuples: 2_000, ..Default::default() })
+            .generate();
+        let steps = [
+            Attack::HorizontalLoss { keep: 0.5, seed: 1 },
+            Attack::SubsetAddition { fraction: 0.2, seed: 2 },
+        ];
+        let out = pipeline(&rel, &steps).unwrap();
+        // ~1000 kept, then +20% → ~1200.
+        assert!((1050..1350).contains(&out.len()), "len={}", out.len());
+    }
+
+    #[test]
+    fn empty_pipeline_is_identity() {
+        let rel = SalesGenerator::new(ItemScanConfig { tuples: 100, ..Default::default() })
+            .generate();
+        let out = pipeline(&rel, &[]).unwrap();
+        assert_eq!(out.len(), rel.len());
+    }
+
+    #[test]
+    fn determined_adversary_composes() {
+        let rel = SalesGenerator::new(ItemScanConfig { tuples: 3_000, ..Default::default() })
+            .generate();
+        let steps = determined_adversary("item_nbr", 9);
+        let out = pipeline(&rel, &steps).unwrap();
+        assert!(!out.is_empty());
+        assert!(out.len() < rel.len(), "net effect of 30% loss + 15% addition shrinks");
+    }
+
+    #[test]
+    fn pipeline_propagates_errors() {
+        let rel = SalesGenerator::new(ItemScanConfig { tuples: 100, ..Default::default() })
+            .generate();
+        let steps = [Attack::RandomAlteration { attr: "ghost".into(), fraction: 0.1, seed: 1 }];
+        assert!(pipeline(&rel, &steps).is_err());
+    }
+}

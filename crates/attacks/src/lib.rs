@@ -1,0 +1,186 @@
+//! `catmark-attacks` — the adversary model of Section 2.3.
+//!
+//! "There is a set of attacks that can be performed by evil Mallory
+//! with the purpose of defeating the watermark while preserving the
+//! value in the data. Moreover these perceived attacks may be the
+//! result of normal use of the data by the intended user."
+//!
+//! | Paper attack | Module |
+//! |---|---|
+//! | A1 horizontal data partitioning | [`horizontal`] |
+//! | A2 subset addition | [`addition`] |
+//! | A3 subset alteration | [`alteration`] |
+//! | A4 subset re-sorting | [`resort`] |
+//! | A5 vertical data partitioning | [`vertical`] |
+//! | A6 attribute remapping (bijective case, §4.5) | [`remap`] |
+//! | collusion of fingerprinted buyers (§6 additive-attack family) | [`collusion`] |
+//!
+//! Every attack is a pure function `&Relation → Relation` with an
+//! explicit seed, and [`Attack`] packages them as data so experiment
+//! harnesses can sweep attack kinds and intensities declaratively
+//! ([`composite::pipeline`] chains several).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod addition;
+pub mod alteration;
+pub mod collusion;
+pub mod composite;
+pub mod horizontal;
+pub mod remap;
+pub mod resort;
+pub mod vertical;
+
+use catmark_relation::{Relation, RelationError};
+
+/// A declarative attack description, applicable to any relation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Attack {
+    /// A1: keep each tuple independently with probability `keep`.
+    HorizontalLoss {
+        /// Fraction of tuples retained (0..=1).
+        keep: f64,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// A2: append `fraction · N` synthetic tuples mimicking the data's
+    /// per-attribute marginals.
+    SubsetAddition {
+        /// Added tuples as a fraction of the current size.
+        fraction: f64,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// A3: replace the attribute value of `fraction · N` random tuples
+    /// with a random *different* observed value.
+    RandomAlteration {
+        /// Attribute under attack.
+        attr: String,
+        /// Fraction of tuples altered (0..=1).
+        fraction: f64,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// A4: uniformly permute tuple order.
+    Shuffle {
+        /// RNG seed.
+        seed: u64,
+    },
+    /// A4 variant: sort by an attribute.
+    SortBy {
+        /// Sort attribute.
+        attr: String,
+        /// Ascending when true.
+        ascending: bool,
+    },
+    /// A5: project onto `keep`, with `keep[0]` as the new key.
+    VerticalPartition {
+        /// Attribute names retained, in order; the first becomes the
+        /// projected primary key.
+        keep: Vec<String>,
+    },
+    /// A6 (bijective): remap every value of `attr` through a random
+    /// value-preserving bijection into a fresh integer domain.
+    BijectiveRemap {
+        /// Attribute under attack.
+        attr: String,
+        /// RNG seed.
+        seed: u64,
+    },
+}
+
+impl Attack {
+    /// Apply the attack, producing the suspect relation.
+    ///
+    /// # Errors
+    ///
+    /// Attribute-resolution failures and invalid projections.
+    pub fn apply(&self, rel: &Relation) -> Result<Relation, RelationError> {
+        match self {
+            Attack::HorizontalLoss { keep, seed } => {
+                Ok(horizontal::subset_selection(rel, *keep, *seed))
+            }
+            Attack::SubsetAddition { fraction, seed } => {
+                addition::add_mimicking_tuples(rel, *fraction, *seed)
+            }
+            Attack::RandomAlteration { attr, fraction, seed } => {
+                alteration::random_alteration(rel, attr, *fraction, *seed)
+            }
+            Attack::Shuffle { seed } => Ok(resort::shuffle(rel, *seed)),
+            Attack::SortBy { attr, ascending } => resort::sort_by(rel, attr, *ascending),
+            Attack::VerticalPartition { keep } => {
+                let names: Vec<&str> = keep.iter().map(String::as_str).collect();
+                vertical::keep_attributes(rel, &names)
+            }
+            Attack::BijectiveRemap { attr, seed } => {
+                Ok(remap::bijective_remap(rel, attr, *seed)?.0)
+            }
+        }
+    }
+
+    /// Short human-readable label for reports.
+    #[must_use]
+    pub fn label(&self) -> String {
+        match self {
+            Attack::HorizontalLoss { keep, .. } => {
+                format!("A1 loss {:.0}%", (1.0 - keep) * 100.0)
+            }
+            Attack::SubsetAddition { fraction, .. } => {
+                format!("A2 add {:.0}%", fraction * 100.0)
+            }
+            Attack::RandomAlteration { attr, fraction, .. } => {
+                format!("A3 alter {attr} {:.0}%", fraction * 100.0)
+            }
+            Attack::Shuffle { .. } => "A4 shuffle".to_owned(),
+            Attack::SortBy { attr, .. } => format!("A4 sort {attr}"),
+            Attack::VerticalPartition { keep } => format!("A5 keep {}", keep.join("+")),
+            Attack::BijectiveRemap { attr, .. } => format!("A6 remap {attr}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use catmark_datagen::{ItemScanConfig, SalesGenerator};
+
+    fn rel() -> Relation {
+        SalesGenerator::new(ItemScanConfig { tuples: 2_000, ..Default::default() }).generate()
+    }
+
+    #[test]
+    fn every_attack_kind_applies() {
+        let rel = rel();
+        let attacks = [
+            Attack::HorizontalLoss { keep: 0.5, seed: 1 },
+            Attack::SubsetAddition { fraction: 0.2, seed: 2 },
+            Attack::RandomAlteration { attr: "item_nbr".into(), fraction: 0.3, seed: 3 },
+            Attack::Shuffle { seed: 4 },
+            Attack::SortBy { attr: "item_nbr".into(), ascending: true },
+            Attack::VerticalPartition { keep: vec!["item_nbr".into()] },
+            Attack::BijectiveRemap { attr: "item_nbr".into(), seed: 5 },
+        ];
+        for attack in attacks {
+            let suspect = attack.apply(&rel).unwrap_or_else(|e| panic!("{}: {e}", attack.label()));
+            assert!(!suspect.is_empty(), "{}", attack.label());
+        }
+    }
+
+    #[test]
+    fn labels_are_descriptive() {
+        assert_eq!(Attack::HorizontalLoss { keep: 0.2, seed: 0 }.label(), "A1 loss 80%");
+        assert_eq!(Attack::Shuffle { seed: 0 }.label(), "A4 shuffle");
+        assert!(Attack::VerticalPartition { keep: vec!["a".into(), "b".into()] }
+            .label()
+            .contains("a+b"));
+    }
+
+    #[test]
+    fn unknown_attribute_propagates() {
+        let rel = rel();
+        let err = Attack::RandomAlteration { attr: "ghost".into(), fraction: 0.1, seed: 0 }
+            .apply(&rel);
+        assert!(err.is_err());
+    }
+}

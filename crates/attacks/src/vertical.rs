@@ -1,0 +1,90 @@
+//! A5 — vertical data partitioning.
+//!
+//! "A valuable subset of the attributes are selected (by vertical
+//! partitioning) by Mallory. The mark has to be able to survive this
+//! partitioning." The projected relation is re-keyed on its first
+//! retained attribute; duplicate projected keys are retained
+//! (first-occurrence indexed), matching the paper's observation about
+//! partitions whose remaining attribute "can act as a primary key".
+
+use catmark_relation::{ops, Relation, RelationError};
+
+/// Keep only the named attributes, in order; the first becomes the
+/// projected relation's primary key. Rows are never dropped (duplicate
+/// projected keys are tolerated).
+///
+/// # Errors
+///
+/// Unknown attributes or an empty keep-list.
+pub fn keep_attributes(rel: &Relation, keep: &[&str]) -> Result<Relation, RelationError> {
+    let indices: Vec<usize> = keep
+        .iter()
+        .map(|name| rel.schema().index_of(name))
+        .collect::<Result<_, _>>()?;
+    ops::project(rel, &indices, 0, false)
+}
+
+/// As [`keep_attributes`], but also deduplicate rows whose projected
+/// key repeats — the lossy variant of the attack.
+///
+/// # Errors
+///
+/// Unknown attributes or an empty keep-list.
+pub fn keep_attributes_dedup(rel: &Relation, keep: &[&str]) -> Result<Relation, RelationError> {
+    let indices: Vec<usize> = keep
+        .iter()
+        .map(|name| rel.schema().index_of(name))
+        .collect::<Result<_, _>>()?;
+    ops::project(rel, &indices, 0, true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use catmark_datagen::{ItemScanConfig, SalesGenerator};
+
+    fn rel() -> Relation {
+        SalesGenerator::new(ItemScanConfig {
+            tuples: 3_000,
+            with_city: true,
+            ..Default::default()
+        })
+        .generate()
+    }
+
+    #[test]
+    fn keeps_only_named_attributes() {
+        let r = rel();
+        let cut = keep_attributes(&r, &["item_nbr", "store_city"]).unwrap();
+        assert_eq!(cut.schema().arity(), 2);
+        assert_eq!(cut.schema().key_attr().name, "item_nbr");
+        assert_eq!(cut.len(), r.len());
+    }
+
+    #[test]
+    fn single_attribute_partition() {
+        // The extreme scenario of Section 4.2.
+        let r = rel();
+        let alone = keep_attributes(&r, &["item_nbr"]).unwrap();
+        assert_eq!(alone.schema().arity(), 1);
+        assert_eq!(alone.len(), r.len());
+    }
+
+    #[test]
+    fn dedup_variant_loses_duplicate_keys() {
+        let r = rel();
+        let deduped = keep_attributes_dedup(&r, &["item_nbr"]).unwrap();
+        assert!(deduped.len() < r.len());
+        assert_eq!(deduped.len(), deduped.distinct_keys());
+    }
+
+    #[test]
+    fn empty_keep_list_errors() {
+        assert!(keep_attributes(&rel(), &[]).is_err());
+    }
+
+    #[test]
+    fn unknown_attribute_errors() {
+        assert!(keep_attributes(&rel(), &["ghost"]).is_err());
+    }
+}

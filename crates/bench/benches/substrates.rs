@@ -1,0 +1,113 @@
+//! PERF benches for the substrate extensions: relational operators
+//! (join / grouping), Apriori mining, and collusion merging. Like
+//! `throughput.rs`, these are release-quality characterization, not
+//! paper artifacts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use catmark_attacks::collusion;
+use catmark_core::fingerprint::FingerprintRegistry;
+use catmark_core::WatermarkSpec;
+use catmark_datagen::{ItemScanConfig, SalesGenerator};
+use catmark_mining::apriori::{mine, AprioriConfig};
+use catmark_mining::item::Transactions;
+use catmark_relation::{join, AttrType, Relation, Schema, Value};
+
+fn sales(n: usize) -> Relation {
+    SalesGenerator::new(ItemScanConfig { tuples: n, ..Default::default() }).generate()
+}
+
+fn catalog(items: i64) -> Relation {
+    let schema = Schema::builder()
+        .key_attr("item_nbr", AttrType::Integer)
+        .categorical_attr("dept", AttrType::Integer)
+        .build()
+        .unwrap();
+    let mut rel = Relation::new(schema);
+    for i in 0..items {
+        rel.push(vec![Value::Int(1_000 + i), Value::Int(i % 40)]).unwrap();
+    }
+    rel
+}
+
+fn bench_hash_join(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hash_join");
+    for &n in &[5_000usize, 20_000] {
+        let left = sales(n);
+        let right = catalog(2_000);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &(left, right), |b, (l, r)| {
+            b.iter(|| join::hash_join(l, r, "item_nbr", "item_nbr").unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_group_count(c: &mut Criterion) {
+    let mut group = c.benchmark_group("group_count");
+    for &n in &[5_000usize, 50_000] {
+        let rel = sales(n);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &rel, |b, rel| {
+            b.iter(|| join::group_count(rel, "item_nbr").unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_apriori(c: &mut Criterion) {
+    let mut group = c.benchmark_group("apriori");
+    // Two categorical attributes with a planted association.
+    let schema = Schema::builder()
+        .key_attr("k", AttrType::Integer)
+        .categorical_attr("dept", AttrType::Integer)
+        .categorical_attr("aisle", AttrType::Integer)
+        .build()
+        .unwrap();
+    for &n in &[5_000i64, 20_000] {
+        let mut rel = Relation::with_capacity(schema.clone(), n as usize);
+        for i in 0..n {
+            let dept = (i * 7_919) % 16;
+            rel.push(vec![Value::Int(i), Value::Int(dept), Value::Int(100 + dept)]).unwrap();
+        }
+        let tx = Transactions::from_relation(&rel, &["dept", "aisle"]).unwrap();
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &tx, |b, tx| {
+            b.iter(|| mine(tx, &AprioriConfig { min_support: 0.01, max_len: 2 }));
+        });
+    }
+    group.finish();
+}
+
+fn bench_majority_merge(c: &mut Criterion) {
+    let mut group = c.benchmark_group("majority_merge");
+    let gen = SalesGenerator::new(ItemScanConfig { tuples: 6_000, ..Default::default() });
+    let rel = gen.generate();
+    let base = WatermarkSpec::builder(gen.item_domain())
+        .master_key("bench")
+        .e(10)
+        .wm_len(10)
+        .expected_tuples(rel.len())
+        .build()
+        .unwrap();
+    let mut reg = FingerprintRegistry::new(base);
+    let copies: Vec<Relation> = ["a", "b", "c"]
+        .iter()
+        .map(|b| reg.mark_copy(&rel, b, "visit_nbr", "item_nbr").unwrap().0)
+        .collect();
+    let refs: Vec<&Relation> = copies.iter().collect();
+    group.throughput(Throughput::Elements(rel.len() as u64));
+    group.bench_function("3way_6000", |b| {
+        b.iter(|| collusion::majority_merge(&refs, 7).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_hash_join,
+    bench_group_count,
+    bench_apriori,
+    bench_majority_merge
+);
+criterion_main!(benches);

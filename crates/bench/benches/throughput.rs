@@ -1,0 +1,195 @@
+//! PERF benches: throughput characterization of the pipeline stages
+//! (not a paper artifact — the paper reports no timing — but required
+//! for a production-quality release).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use catmark_attacks::Attack;
+use catmark_core::{Decoder, Embedder, Watermark, WatermarkSpec};
+use catmark_crypto::{HashAlgorithm, KeyedHash};
+use catmark_datagen::{ItemScanConfig, SalesGenerator};
+
+fn bench_keyed_hash(c: &mut Criterion) {
+    let mut group = c.benchmark_group("keyed_hash");
+    let payload = 123_456_789u64.to_be_bytes();
+    for algo in HashAlgorithm::ALL {
+        let h = KeyedHash::new(algo, "bench-key");
+        group.throughput(Throughput::Elements(1));
+        group.bench_with_input(BenchmarkId::from_parameter(algo), &h, |b, h| {
+            b.iter(|| h.hash_u64(&[std::hint::black_box(&payload)]));
+        });
+    }
+    group.finish();
+}
+
+fn bench_embed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("embed");
+    for &n in &[1_000usize, 6_000, 20_000] {
+        let gen = SalesGenerator::new(ItemScanConfig { tuples: n, ..Default::default() });
+        let rel = gen.generate();
+        let spec = WatermarkSpec::builder(gen.item_domain())
+            .master_key("bench")
+            .e(60)
+            .wm_len(10)
+            .expected_tuples(n)
+            .build()
+            .unwrap();
+        let wm = Watermark::from_u64(0x2A5, 10);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &rel, |b, rel| {
+            b.iter_batched(
+                || rel.clone(),
+                |mut data| {
+                    Embedder::new(&spec).embed(&mut data, "visit_nbr", "item_nbr", &wm).unwrap()
+                },
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decode");
+    for &n in &[1_000usize, 6_000, 20_000] {
+        let gen = SalesGenerator::new(ItemScanConfig { tuples: n, ..Default::default() });
+        let mut rel = gen.generate();
+        let spec = WatermarkSpec::builder(gen.item_domain())
+            .master_key("bench")
+            .e(60)
+            .wm_len(10)
+            .expected_tuples(n)
+            .build()
+            .unwrap();
+        let wm = Watermark::from_u64(0x2A5, 10);
+        Embedder::new(&spec).embed(&mut rel, "visit_nbr", "item_nbr", &wm).unwrap();
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &rel, |b, rel| {
+            b.iter(|| Decoder::new(&spec).decode(rel, "visit_nbr", "item_nbr").unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_attacks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("attacks");
+    let gen = SalesGenerator::new(ItemScanConfig { tuples: 6_000, ..Default::default() });
+    let rel = gen.generate();
+    let attacks = [
+        Attack::HorizontalLoss { keep: 0.5, seed: 1 },
+        Attack::RandomAlteration { attr: "item_nbr".into(), fraction: 0.3, seed: 2 },
+        Attack::Shuffle { seed: 3 },
+        Attack::SubsetAddition { fraction: 0.2, seed: 4 },
+    ];
+    for attack in attacks {
+        group.throughput(Throughput::Elements(rel.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(attack.label()), &attack, |b, a| {
+            b.iter(|| a.apply(&rel).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_freq_codec(c: &mut Criterion) {
+    use catmark_core::freq::FreqCodec;
+    let gen = SalesGenerator::new(ItemScanConfig { tuples: 6_000, items: 200, ..Default::default() });
+    let rel = gen.generate();
+    let domain = gen.item_domain();
+    let codec =
+        FreqCodec::new(HashAlgorithm::Sha256, catmark_crypto::SecretKey::from_u64(9), 40, 8)
+            .unwrap();
+    let wm = Watermark::from_u64(0b1011_0010, 8);
+    let mut group = c.benchmark_group("freq_codec");
+    group.throughput(Throughput::Elements(rel.len() as u64));
+    group.bench_function("embed", |b| {
+        b.iter_batched(
+            || rel.clone(),
+            |mut data| codec.embed(&mut data, "item_nbr", &domain, &wm).unwrap(),
+            criterion::BatchSize::LargeInput,
+        );
+    });
+    let mut marked = rel.clone();
+    codec.embed(&mut marked, "item_nbr", &domain, &wm).unwrap();
+    group.bench_function("decode", |b| {
+        b.iter(|| codec.decode(&marked, "item_nbr", &domain).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_stream_ingest(c: &mut Criterion) {
+    use catmark_core::stream::StreamMarker;
+    let gen = SalesGenerator::new(ItemScanConfig { tuples: 6_000, ..Default::default() });
+    let source = gen.generate();
+    let spec = WatermarkSpec::builder(gen.item_domain())
+        .master_key("bench-stream")
+        .e(60)
+        .wm_len(10)
+        .expected_tuples(source.len())
+        .build()
+        .unwrap();
+    let wm = Watermark::from_u64(0x2A5, 10);
+    let marker = StreamMarker::new(spec, &source, "visit_nbr", "item_nbr", &wm).unwrap();
+    let mut group = c.benchmark_group("stream_ingest");
+    group.throughput(Throughput::Elements(source.len() as u64));
+    group.bench_function("6000_tuples", |b| {
+        b.iter(|| {
+            let mut rel = catmark_relation::Relation::new(source.schema().clone());
+            for tuple in source.iter() {
+                marker.ingest(&mut rel, tuple.values().to_vec()).unwrap();
+            }
+            rel.len()
+        });
+    });
+    group.finish();
+}
+
+fn bench_remap_recovery(c: &mut Criterion) {
+    use catmark_core::remap::{apply_inverse, recover_mapping_confident};
+    let gen = SalesGenerator::new(ItemScanConfig {
+        tuples: 20_000,
+        items: 100,
+        zipf_exponent: 1.2,
+        ..Default::default()
+    });
+    let rel = gen.generate();
+    let domain = gen.item_domain();
+    let reference =
+        catmark_relation::FrequencyHistogram::from_relation(&rel, 1, &domain).unwrap();
+    let (suspect, _) =
+        catmark_attacks::remap::bijective_remap(&rel, "item_nbr", 5).unwrap();
+    let mut group = c.benchmark_group("remap_recovery");
+    group.throughput(Throughput::Elements(rel.len() as u64));
+    group.bench_function("recover_confident", |b| {
+        b.iter(|| recover_mapping_confident(&reference, &suspect, "item_nbr").unwrap());
+    });
+    let recovery = recover_mapping_confident(&reference, &suspect, "item_nbr").unwrap();
+    group.bench_function("apply_inverse", |b| {
+        b.iter(|| apply_inverse(&suspect, "item_nbr", &recovery).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_keyfile(c: &mut Criterion) {
+    use catmark_core::keyfile::{from_key_file, to_key_file};
+    let gen = SalesGenerator::new(ItemScanConfig { tuples: 100, ..Default::default() });
+    let spec = WatermarkSpec::builder(gen.item_domain())
+        .master_key("bench-keyfile")
+        .e(60)
+        .wm_len(10)
+        .wm_data_len(100)
+        .build()
+        .unwrap();
+    let text = to_key_file(&spec);
+    let mut group = c.benchmark_group("keyfile");
+    group.bench_function("serialize", |b| b.iter(|| to_key_file(&spec)));
+    group.bench_function("parse", |b| b.iter(|| from_key_file(&text).unwrap()));
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_keyed_hash, bench_embed, bench_decode, bench_attacks, bench_freq_codec,
+        bench_stream_ingest, bench_remap_recovery, bench_keyfile
+}
+criterion_main!(benches);

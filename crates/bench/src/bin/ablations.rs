@@ -1,0 +1,226 @@
+//! Ablation studies for the design choices DESIGN.md calls out:
+//!
+//! 1. **Erasure policy** — Abstain vs RandomFill vs ZeroFill on the
+//!    Figure 7 data-loss sweep (deviation 3).
+//! 2. **ECC layout** — interleaved majority voting vs contiguous
+//!    blocks under contiguous-position erasure.
+//! 3. **Position selection** — `k2`-hash variant vs the embedding-map
+//!    variant (Fig. 1(b)/2(b)) under data loss.
+//!
+//! Usage: `ablations [--quick]`
+
+use catmark_attacks::Attack;
+use catmark_bench::experiment::{run, ExperimentConfig};
+use catmark_bench::report::Table;
+use catmark_core::decode::ErasurePolicy;
+use catmark_core::ecc::{BlockRepetitionEcc, ErrorCorrectingCode, MajorityVotingEcc};
+use catmark_core::map_variant::{decode_with_map, embed_with_map};
+use catmark_relation::ops;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (tuples, passes) = if quick { (6_000, 5) } else { (6_000, 15) };
+
+    erasure_policy_ablation(tuples, passes);
+    println!();
+    ecc_layout_ablation();
+    println!();
+    ecc_family_ablation();
+    println!();
+    map_variant_ablation(tuples, passes);
+    println!();
+    wide_channel_ablation(tuples, passes);
+}
+
+/// Ablation 1: the decoder's erasure policy across the Fig. 7 sweep.
+fn erasure_policy_ablation(tuples: usize, passes: usize) {
+    let mut t = Table::new();
+    t.comment("ablation 1: erasure policy on the Figure 7 data-loss sweep (e=65)")
+        .comment("RandomFill reproduces the paper's magnitudes; Abstain is statistically cleanest")
+        .columns(&["loss_pct", "abstain_pct", "randomfill_pct", "zerofill_pct"]);
+    for loss in [10u64, 30, 50, 70, 80] {
+        let mut cells = vec![loss as f64];
+        for policy in [ErasurePolicy::Abstain, ErasurePolicy::RandomFill, ErasurePolicy::ZeroFill] {
+            let config = ExperimentConfig { tuples, passes, erasure: policy, ..Default::default() };
+            let attack = move |pass: usize| {
+                vec![Attack::HorizontalLoss {
+                    keep: 1.0 - loss as f64 / 100.0,
+                    seed: 31_000 + 100 * loss + pass as u64,
+                }]
+            };
+            cells.push(run(&config, 65, &attack).mean_alteration * 100.0);
+        }
+        t.row_f64(&cells, 2);
+    }
+    print!("{}", t.render());
+}
+
+/// Ablation 2: interleaved vs block repetition under prefix erasure
+/// (pure ECC property, no relation needed).
+fn ecc_layout_ablation() {
+    use catmark_core::Watermark;
+    let wm = Watermark::from_u64(0b11_0101_1001, 10);
+    let out_len = 100;
+    let mut t = Table::new();
+    t.comment("ablation 2: ECC layout under contiguous erasure of wm_data positions")
+        .comment("interleaving spreads each bit's copies; block coding loses whole bits")
+        .columns(&["erased_prefix_pct", "interleaved_bits_lost", "block_bits_lost"]);
+    for erased_pct in [10usize, 30, 50, 70] {
+        let erased = out_len * erased_pct / 100;
+        let survivors = |data: Vec<bool>| -> Vec<Option<bool>> {
+            data.into_iter()
+                .enumerate()
+                .map(|(i, b)| if i < erased { None } else { Some(b) })
+                .collect()
+        };
+        let inter = MajorityVotingEcc;
+        let block = BlockRepetitionEcc;
+        let mut coin = |_: usize| false;
+        let inter_lost = wm
+            .hamming_distance(&inter.decode(&survivors(inter.encode(&wm, out_len)), 10, &mut coin));
+        let mut coin = |_: usize| false;
+        let block_lost = wm
+            .hamming_distance(&block.decode(&survivors(block.encode(&wm, out_len)), 10, &mut coin));
+        t.row_f64(&[erased_pct as f64, inter_lost as f64, block_lost as f64], 0);
+    }
+    print!("{}", t.render());
+}
+
+/// Ablation 2b: ECC *family* — repetition-majority vs Hamming(7,4)
+/// repetition under adversarial position wipe-out (all copies of `w`
+/// positions destroyed) and under random copy corruption. Pure ECC
+/// property, averaged over watermarks.
+fn ecc_family_ablation() {
+    use catmark_core::ecc::HammingMajorityEcc;
+    use catmark_core::Watermark;
+    let out_len = 210; // 21 copies of a 10-bit repetition, 10 of a 21-bit codeword
+    let wm_len = 10usize;
+    let mut t = Table::new();
+    t.comment("ablation 2b: ECC family under total wipe-out of w positions (|wm|=10, |wm_data|=210)")
+        .comment("repetition has no parity: each wiped position is a lost bit; Hamming corrects 1/block")
+        .columns(&["wiped_positions", "majority_bits_lost", "hamming_bits_lost"]);
+    // Wipe all copies of the position classes in `classes` (class =
+    // index mod the code's layout stride).
+    let wipe = |data: Vec<bool>, stride: usize, classes: &[usize]| -> Vec<Option<bool>> {
+        data.into_iter()
+            .enumerate()
+            .map(|(i, b)| if classes.contains(&(i % stride)) { Some(!b) } else { Some(b) })
+            .collect()
+    };
+    for wiped in [0usize, 1, 2, 3, 4] {
+        let (mut maj_lost, mut ham_lost) = (0u32, 0u32);
+        let trials = 20u32;
+        // The adversary spreads damage maximally: for repetition every
+        // position class is its own watermark bit, so any w classes
+        // cost w bits; for Hamming the spread puts one wipe per 7-bit
+        // block until blocks run out (3 blocks for |wm| = 10).
+        let maj_classes: Vec<usize> = (0..wiped).collect();
+        let ham_classes: Vec<usize> =
+            (0..wiped).map(|c| if c < 3 { c * 7 + 3 } else { (c - 3) * 7 + 4 }).collect();
+        for trial in 0..trials {
+            let wm = Watermark::from_u64(
+                (0x155 ^ (u64::from(trial) * 0x9E37)) & 0x3FF,
+                wm_len,
+            );
+            let maj = MajorityVotingEcc;
+            let ham = HammingMajorityEcc;
+            let mut coin = |_: usize| false;
+            let maj_decoded = maj.decode(
+                &wipe(maj.encode(&wm, out_len), wm_len, &maj_classes),
+                wm_len,
+                &mut coin,
+            );
+            maj_lost += wm.hamming_distance(&maj_decoded) as u32;
+            let mut coin = |_: usize| false;
+            let ham_decoded = ham.decode(
+                &wipe(ham.encode(&wm, out_len), 21, &ham_classes),
+                wm_len,
+                &mut coin,
+            );
+            ham_lost += wm.hamming_distance(&ham_decoded) as u32;
+        }
+        t.row_f64(
+            &[
+                wiped as f64,
+                f64::from(maj_lost) / f64::from(trials),
+                f64::from(ham_lost) / f64::from(trials),
+            ],
+            2,
+        );
+    }
+    print!("{}", t.render());
+}
+
+/// Ablation 4: the §3.1 direct-domain augmentation — bits per tuple
+/// vs resilience under random alteration (same wm_data length, so
+/// wider channels trade per-position redundancy for coverage).
+fn wide_channel_ablation(tuples: usize, passes: usize) {
+    use catmark_core::wide::WideCodec;
+    let config = ExperimentConfig { tuples, passes, erasure: ErasurePolicy::Abstain, ..Default::default() };
+    let (base, domain) = config.base_relation();
+    let mut t = Table::new();
+    t.comment("ablation 4: direct-domain width (bits per fit tuple), e=60, |wm_data|=400")
+        .comment("wider channels cover more positions per tuple but concentrate attack damage")
+        .columns(&["attack_pct", "width1_pct", "width2_pct", "width4_pct"]);
+    for attack_pct in [0u64, 20, 40, 60] {
+        let mut cells = vec![attack_pct as f64];
+        for width in [1u32, 2, 4] {
+            let mut total = 0.0;
+            for pass in 0..config.passes {
+                let mut spec = config.spec_for_pass(domain.clone(), 60, pass);
+                spec.wm_data_len = 400;
+                let wm = config.watermark_for_pass(pass);
+                let codec = WideCodec::new(&spec, width).expect("valid width");
+                let mut marked = base.clone();
+                codec.embed(&mut marked, "visit_nbr", "item_nbr", &wm).expect("embed");
+                let suspect = Attack::RandomAlteration {
+                    attr: "item_nbr".into(),
+                    fraction: attack_pct as f64 / 100.0,
+                    seed: 91_000 + 100 * attack_pct + pass as u64,
+                }
+                .apply(&marked)
+                .expect("attack");
+                let decoded = codec.decode(&suspect, "visit_nbr", "item_nbr").expect("decode");
+                total += wm.alteration_fraction(&decoded);
+            }
+            cells.push(total / config.passes as f64 * 100.0);
+        }
+        t.row_f64(&cells, 2);
+    }
+    print!("{}", t.render());
+}
+
+/// Ablation 3: k2-hash position selection vs the embedding map.
+fn map_variant_ablation(tuples: usize, passes: usize) {
+    let config = ExperimentConfig { tuples, passes, ..Default::default() };
+    let (base, domain) = config.base_relation();
+    let mut t = Table::new();
+    t.comment("ablation 3: k2-hash positions vs embedding-map (Fig 1b/2b) under data loss, e=65")
+        .comment("the map gives every position exactly one carrier: better low-loss accuracy,")
+        .comment("at the cost of O(N/e) detector-side state")
+        .columns(&["loss_pct", "k2_variant_pct", "map_variant_pct"]);
+    for loss in [0u64, 20, 40, 60, 80] {
+        let keep = 1.0 - loss as f64 / 100.0;
+        // k2 variant through the standard runner.
+        let attack = move |pass: usize| {
+            vec![Attack::HorizontalLoss { keep, seed: 77_700 + 100 * loss + pass as u64 }]
+        };
+        let k2_result = run(&config, 65, &attack);
+        // Map variant, averaged over the same passes.
+        let mut map_total = 0.0;
+        for pass in 0..config.passes {
+            let spec = config.spec_for_pass(domain.clone(), 65, pass);
+            let wm = config.watermark_for_pass(pass);
+            let mut marked = base.clone();
+            let map = embed_with_map(&spec, &mut marked, "visit_nbr", "item_nbr", &wm)
+                .expect("embedding succeeds");
+            let suspect = ops::sample_bernoulli(&marked, keep, 77_700 + 100 * loss + pass as u64);
+            let decoded = decode_with_map(&spec, &suspect, "visit_nbr", "item_nbr", &map)
+                .expect("map decode succeeds");
+            map_total += wm.alteration_fraction(&decoded);
+        }
+        let map_pct = map_total / config.passes as f64 * 100.0;
+        t.row_f64(&[loss as f64, k2_result.mean_alteration * 100.0, map_pct], 2);
+    }
+    print!("{}", t.render());
+}

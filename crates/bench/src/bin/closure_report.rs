@@ -1,0 +1,134 @@
+//! Pair-closure quality report (Section 3.3's closure construction).
+//!
+//! Builds the closure over a 4-categorical-attribute schema, prints
+//! the oriented pairs with their bandwidth/interference diagnostics,
+//! then drives every "keep two attributes" vertical partition (A5) and
+//! reports how many witnesses survive each — the property the closure
+//! exists to guarantee.
+//!
+//! Usage: `closure_report [--quick]`
+
+use std::collections::HashMap;
+
+use catmark_bench::report::Table;
+use catmark_core::closure::{build_closure, plan_from_closure};
+use catmark_core::decode::ErasurePolicy;
+use catmark_core::multiattr::{aggregate_verdict, decode_multiattr, embed_multiattr};
+use catmark_core::{Watermark, WatermarkSpec};
+use catmark_datagen::domains::product_codes;
+use catmark_relation::{ops, AttrType, CategoricalDomain, Relation, Schema, Value};
+
+fn wide_relation(n: i64) -> Relation {
+    let schema = Schema::builder()
+        .key_attr("visit", AttrType::Integer)
+        .categorical_attr("item", AttrType::Integer)
+        .categorical_attr("supplier", AttrType::Integer)
+        .categorical_attr("store", AttrType::Integer)
+        .categorical_attr("channel", AttrType::Integer)
+        .build()
+        .expect("static schema is valid");
+    let mut rel = Relation::with_capacity(schema, n as usize);
+    for i in 0..n {
+        rel.push(vec![
+            Value::Int(i),
+            Value::Int(10_000 + (i * 7_919) % 500),
+            Value::Int(500 + (i * 104_729) % 200),
+            Value::Int((i * 31) % 40),
+            Value::Int((i * 13) % 4),
+        ])
+        .expect("generated tuples satisfy the schema");
+    }
+    rel
+}
+
+fn domains() -> HashMap<String, CategoricalDomain> {
+    HashMap::from([
+        ("item".to_owned(), product_codes(500, 10_000)),
+        ("supplier".to_owned(), product_codes(200, 500)),
+        ("store".to_owned(), product_codes(40, 0)),
+        ("channel".to_owned(), product_codes(4, 0)),
+    ])
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let n: i64 = if quick { 4_000 } else { 12_000 };
+
+    let mut rel = wide_relation(n);
+    let closure = build_closure(&rel).expect("schema has categorical attributes");
+
+    let mut t = Table::new();
+    t.comment("pair closure over (visit, item, supplier, store, channel)")
+        .comment(format!(
+            "pairs={} dropped={} max_target_load={} categorical_pseudo_keys={}",
+            closure.len(),
+            closure.dropped.len(),
+            closure.max_load(),
+            closure.categorical_pseudo_keys
+        ))
+        .columns(&["pseudo_key", "target", "target_load"]);
+    for p in &closure.pairs {
+        t.row(&[
+            p.pseudo_key.clone(),
+            p.target.clone(),
+            closure.load[&p.target].to_string(),
+        ]);
+    }
+    print!("{}", t.render());
+    println!();
+
+    let base = WatermarkSpec::builder(product_codes(500, 10_000))
+        .master_key("closure-report")
+        .e(5)
+        .wm_len(10)
+        .expected_tuples(rel.len())
+        .erasure(ErasurePolicy::Abstain)
+        .build()
+        .expect("static spec is valid");
+    let plan =
+        plan_from_closure(&rel, &base, &domains(), &closure).expect("domains cover all targets");
+    let wm = Watermark::from_u64(0b1001101011, 10);
+    let outcomes = embed_multiattr(&plan, &mut rel, &wm).expect("embedding succeeds");
+    let altered: usize = outcomes.iter().map(|o| o.report.altered).sum();
+
+    let mut t = Table::new();
+    t.comment(format!(
+        "A5 sweep: every 2-attribute vertical partition; total alterations spent = {altered}"
+    ))
+    .columns(&["partition", "witnesses", "significant", "best_fp"]);
+    let attrs = ["item", "supplier", "store", "channel"];
+    for (i, a) in attrs.iter().enumerate() {
+        for b in &attrs[i + 1..] {
+            let ia = rel.schema().index_of(a).expect("known attr");
+            let ib = rel.schema().index_of(b).expect("known attr");
+            let partitioned =
+                ops::project(&rel, &[ia, ib], 0, false).expect("projection is valid");
+            let witnesses =
+                decode_multiattr(&plan, &partitioned, &wm).expect("decode is infallible here");
+            let v = aggregate_verdict(&witnesses, 1e-2);
+            t.row(&[
+                format!("{a}+{b}"),
+                v.witnesses.to_string(),
+                v.significant_witnesses.to_string(),
+                format!("{:.2e}", v.best_false_positive),
+            ]);
+        }
+    }
+    // The no-partition baseline.
+    let witnesses = decode_multiattr(&plan, &rel, &wm).expect("decode succeeds");
+    let v = aggregate_verdict(&witnesses, 1e-2);
+    t.row(&[
+        "(intact)".to_owned(),
+        v.witnesses.to_string(),
+        v.significant_witnesses.to_string(),
+        format!("{:.2e}", v.best_false_positive),
+    ]);
+    print!("{}", t.render());
+    println!("#");
+    println!("# reading: every 2-attribute partition retains exactly one oriented pair,");
+    println!("# so a witness always survives an A5 projection. Witness *strength* tracks");
+    println!("# the pseudo-key's cardinality: item/supplier-keyed pairs testify at");
+    println!("# fp<1e-3, while store/channel-keyed pairs (40/4 distinct values) lack the");
+    println!("# bandwidth — the quantified form of the paper's open question about");
+    println!("# categorical attributes as primary-key place-holders.");
+}

@@ -1,0 +1,34 @@
+//! EXP-F5 — Figure 5: "More available bandwidth (decreasing e) results
+//! in a higher attack resilience" (mark alteration % vs. e, for attack
+//! sizes 55% and 20%).
+//!
+//! Usage: `fig5 [--quick]`
+
+use catmark_bench::figures::fig5;
+use catmark_bench::report::Table;
+use catmark_bench::ExperimentConfig;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let config = if quick {
+        ExperimentConfig { tuples: 6_000, passes: 5, ..Default::default() }
+    } else {
+        ExperimentConfig::default()
+    };
+    let e_values: Vec<u64> = (10..=200).step_by(10).collect();
+    let rows = fig5(&config, &e_values);
+
+    let mut table = Table::new();
+    table
+        .comment("Figure 5 reproduction: mark alteration (%) vs e")
+        .comment(format!(
+            "N={} |wm|={} passes={}; attack sizes 55% and 20%",
+            config.tuples, config.wm_len, config.passes
+        ))
+        .comment("expected shape: alteration grows with e; 55% series above 20%")
+        .columns(&["e", "mark_alteration_attack55_pct", "mark_alteration_attack20_pct"]);
+    for r in &rows {
+        table.row_f64(&[r.x, r.y1, r.y2], 2);
+    }
+    print!("{}", table.render());
+}

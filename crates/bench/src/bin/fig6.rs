@@ -1,0 +1,52 @@
+//! EXP-F6 — Figure 6: "The watermark alteration surface with varying e
+//! and attack size a. Note the lower-left to upper-right tilt."
+//!
+//! Prints the empirical surface (splot-ready triplets) followed by the
+//! analytical model surface from `catmark-analysis` for comparison.
+//!
+//! Usage: `fig6 [--quick]`
+
+use catmark_analysis::surface::analytic_surface;
+use catmark_bench::figures::fig6;
+use catmark_bench::report::Table;
+use catmark_bench::ExperimentConfig;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let config = if quick {
+        ExperimentConfig { tuples: 6_000, passes: 3, ..Default::default() }
+    } else {
+        ExperimentConfig { passes: 7, ..Default::default() }
+    };
+    let attack_sizes: Vec<u64> = (0..=80).step_by(10).collect();
+    let e_values: Vec<u64> = if quick {
+        vec![20, 60, 100, 140, 180]
+    } else {
+        (10..=200).step_by(10).collect()
+    };
+    let rows = fig6(&config, &attack_sizes, &e_values);
+
+    let mut table = Table::new();
+    table
+        .comment("Figure 6 reproduction: mark loss (%) surface over (attack %, e)")
+        .comment(format!("N={} |wm|={} passes={}", config.tuples, config.wm_len, config.passes))
+        .columns(&["attack_pct", "e", "mark_loss_pct"]);
+    for r in &rows {
+        table.row_f64(&[r.attack_pct, r.e as f64, r.mark_loss_pct], 2);
+    }
+    print!("{}", table.render());
+
+    // The analytic counterpart (flip probability 1/2: a random
+    // replacement value carries a random LSB).
+    let attack_grid: Vec<f64> = attack_sizes.iter().map(|&a| a as f64 / 100.0).collect();
+    let cells = analytic_surface(config.tuples as u64, config.wm_len as u64, 0.5, &attack_grid, &e_values);
+    let mut model = Table::new();
+    model
+        .comment("analytic model surface (catmark-analysis::surface)")
+        .columns(&["attack_pct", "e", "predicted_mark_loss_pct"]);
+    for c in &cells {
+        model.row_f64(&[c.attack_fraction * 100.0, c.e as f64, c.mark_alteration * 100.0], 2);
+    }
+    println!();
+    print!("{}", model.render());
+}

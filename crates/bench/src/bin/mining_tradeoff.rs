@@ -1,0 +1,139 @@
+//! Semantic-consistency trade-off (Section 6 future work, implemented).
+//!
+//! Plants strong dept ⇒ aisle association rules in a sales-style
+//! relation, mines them, then embeds the same watermark twice per `e`:
+//! once unconstrained, once under an [`AssociationRulePreserved`] +
+//! [`ClassifierAccuracyPreserved`] guard. Reports, for each, the rule
+//! survival rate, the frozen classifier's accuracy, and whether the
+//! mark still detects — quantifying the paper's claim that semantic
+//! awareness costs little resilience while preserving downstream
+//! value.
+//!
+//! Usage: `mining_tradeoff [--quick]`
+
+use catmark_bench::report::Table;
+use catmark_core::detect;
+use catmark_core::quality::QualityGuard;
+use catmark_core::{Decoder, Embedder, Watermark, WatermarkSpec};
+use catmark_datagen::{BasketConfig, BasketGenerator};
+use catmark_mining::apriori::{mine, AprioriConfig};
+use catmark_mining::classify::{accuracy, NaiveBayes, OneR};
+use catmark_mining::constraints::{AssociationRulePreserved, ClassifierAccuracyPreserved};
+use catmark_mining::item::Transactions;
+use catmark_mining::rules::RuleSet;
+use catmark_relation::Relation;
+
+struct Outcome {
+    altered: usize,
+    vetoes: usize,
+    rule_survival: f64,
+    clf_accuracy: f64,
+    mark_fp: f64,
+}
+
+fn embed_and_measure(
+    original: &Relation,
+    rules: &RuleSet,
+    spec: &WatermarkSpec,
+    wm: &Watermark,
+    constrained: bool,
+) -> Outcome {
+    let mut rel = original.clone();
+    let mut constraints: Vec<Box<dyn catmark_core::quality::QualityConstraint>> = Vec::new();
+    if constrained {
+        let clf: NaiveBayes =
+            NaiveBayes::train(original, "aisle", &["dept"]).expect("training data valid");
+        let baseline_acc = accuracy(&clf, original);
+        constraints.push(Box::new(AssociationRulePreserved::new(original, rules, 0.08)));
+        constraints.push(Box::new(ClassifierAccuracyPreserved::new(
+            original,
+            Box::new(clf),
+            baseline_acc - 0.04,
+        )));
+    }
+    let mut guard = QualityGuard::new(constraints);
+    let report = Embedder::new(spec)
+        .embed_guarded(&mut rel, "sku", "aisle", wm, &mut guard)
+        .expect("embedding succeeds");
+
+    let tx = Transactions::from_relation(&rel, &["dept", "aisle"]).expect("attrs exist");
+    let drift = rules.drift_against(&tx);
+    // Accuracy of a *freshly trained* model on the original, evaluated
+    // on the watermarked copy — the buyer's view.
+    let frozen = OneR::train(original, "aisle", &["dept"]).expect("training data valid");
+    let acc = accuracy(&frozen, &rel);
+    let decoded = Decoder::new(spec).decode(&rel, "sku", "aisle").expect("decode succeeds");
+    let det = detect(&decoded.watermark, wm);
+    Outcome {
+        altered: report.altered,
+        vetoes: guard.vetoes(),
+        rule_survival: drift.survival_rate(),
+        clf_accuracy: acc,
+        mark_fp: det.false_positive_probability,
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let n: usize = if quick { 4_000 } else { 12_000 };
+
+    let gen = BasketGenerator::new(BasketConfig {
+        tuples: n,
+        depts: 16,
+        noise_rate: 0.05,
+        seed: 0xB00C,
+    });
+    let original = gen.generate();
+    let tx = Transactions::from_relation(&original, &["dept", "aisle"]).expect("attrs exist");
+    let freq = mine(&tx, &AprioriConfig { min_support: 0.01, max_len: 2 });
+    let rules = RuleSet::derive(&freq, 0.85);
+    println!("# mined {} rules at min_support=1% min_confidence=85%", rules.len());
+
+    let wm = Watermark::from_u64(0b1010110010, 10);
+    let mut t = Table::new();
+    t.comment("semantic-consistency trade-off: unconstrained vs rule+classifier guarded")
+        .comment(format!("N={n}, 95% dept=>aisle association, |wm|=10"))
+        .columns(&[
+            "e",
+            "altered_u",
+            "rules_u_pct",
+            "acc_u_pct",
+            "fp_u",
+            "altered_g",
+            "vetoes_g",
+            "rules_g_pct",
+            "acc_g_pct",
+            "fp_g",
+        ]);
+    for e in [10u64, 20, 40, 80] {
+        let spec = WatermarkSpec::builder(gen.aisle_domain())
+            .master_key("mining-tradeoff")
+            .e(e)
+            .wm_len(10)
+            .expected_tuples(original.len())
+            .build()
+            .expect("static spec is valid");
+        let u = embed_and_measure(&original, &rules, &spec, &wm, false);
+        let g = embed_and_measure(&original, &rules, &spec, &wm, true);
+        t.row(&[
+            e.to_string(),
+            u.altered.to_string(),
+            format!("{:.1}", u.rule_survival * 100.0),
+            format!("{:.1}", u.clf_accuracy * 100.0),
+            format!("{:.1e}", u.mark_fp),
+            g.altered.to_string(),
+            g.vetoes.to_string(),
+            format!("{:.1}", g.rule_survival * 100.0),
+            format!("{:.1}", g.clf_accuracy * 100.0),
+            format!("{:.1e}", g.mark_fp),
+        ]);
+    }
+    print!("{}", t.render());
+    println!("#");
+    println!("# reading: the guard (columns *_g) caps classifier-accuracy damage at 4");
+    println!("# points and rule-confidence drops at 8 points, at the cost of vetoed");
+    println!("# alterations. At large e the guard is nearly free (few alterations are");
+    println!("# requested); at small e it trades detection confidence (higher fp_g) for");
+    println!("# semantics — the quantified form of the paper's Section 6 conjecture that");
+    println!("# semantic awareness buys bandwidth only when constraints have slack.");
+}

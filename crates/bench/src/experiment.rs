@@ -1,0 +1,263 @@
+//! The key-averaged experiment runner.
+//!
+//! One *pass* = embed with a fresh key → attack → blind decode →
+//! measure the fraction of watermark bits altered. The paper averages
+//! 15 such passes per data point; passes are independent, so the
+//! runner fans them out over scoped threads.
+
+use catmark_attacks::Attack;
+use catmark_core::decode::ErasurePolicy;
+use catmark_core::{Decoder, Embedder, Watermark, WatermarkSpec};
+use catmark_datagen::{ItemScanConfig, SalesGenerator};
+use catmark_relation::Relation;
+use parking_lot::Mutex;
+
+/// Shared experiment parameters (the paper's setup by default).
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// Relation size N (paper figures operate around N = 6000).
+    pub tuples: usize,
+    /// Distinct item count nA.
+    pub items: usize,
+    /// Zipf exponent of the item popularity.
+    pub zipf: f64,
+    /// Watermark length (10 in every paper experiment).
+    pub wm_len: usize,
+    /// Averaging passes (15 in the paper).
+    pub passes: usize,
+    /// Data-generation seed.
+    pub data_seed: u64,
+    /// Master secret; per-pass keys derive from it.
+    pub master: String,
+    /// Decoder erasure policy.
+    pub erasure: ErasurePolicy,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig {
+            tuples: 6_000,
+            items: 1_000,
+            zipf: 1.0,
+            wm_len: 10,
+            passes: 15,
+            data_seed: 0xCAFE,
+            master: "catmark-experiments".to_owned(),
+            erasure: ErasurePolicy::RandomFill,
+        }
+    }
+}
+
+impl ExperimentConfig {
+    /// Generate the base (unwatermarked) relation.
+    #[must_use]
+    pub fn base_relation(&self) -> (Relation, catmark_relation::CategoricalDomain) {
+        let gen = SalesGenerator::new(ItemScanConfig {
+            tuples: self.tuples,
+            items: self.items,
+            zipf_exponent: self.zipf,
+            with_city: false,
+            seed: self.data_seed,
+        });
+        (gen.generate(), gen.item_domain())
+    }
+
+    /// The spec for pass `pass` at modulus `e`.
+    #[must_use]
+    pub fn spec_for_pass(
+        &self,
+        domain: catmark_relation::CategoricalDomain,
+        e: u64,
+        pass: usize,
+    ) -> WatermarkSpec {
+        WatermarkSpec::builder(domain)
+            .master_key(format!("{}::pass-{pass}", self.master).as_str())
+            .e(e)
+            .wm_len(self.wm_len)
+            .expected_tuples(self.tuples)
+            .erasure(self.erasure)
+            .build()
+            .expect("experiment parameters are valid")
+    }
+
+    /// The watermark embedded in pass `pass` (key-derived, as an owner
+    /// identity mark would be).
+    #[must_use]
+    pub fn watermark_for_pass(&self, pass: usize) -> Watermark {
+        let key = catmark_crypto::SecretKey::from_bytes(self.master.as_bytes().to_vec());
+        Watermark::from_identity(&format!("pass-{pass}"), &key, self.wm_len)
+    }
+}
+
+/// Result of a key-averaged experiment at one parameter point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentResult {
+    /// Mean mark alteration fraction over passes (the paper's y-axis).
+    pub mean_alteration: f64,
+    /// Per-pass alteration fractions.
+    pub per_pass: Vec<f64>,
+    /// Mean fraction of tuples altered by *embedding* (data
+    /// distortion cost).
+    pub mean_embed_rate: f64,
+}
+
+impl ExperimentResult {
+    /// 95% Wilson confidence interval on the alteration fraction,
+    /// treating every decoded watermark bit across all passes as one
+    /// Bernoulli trial (`wm_len` bits per pass).
+    #[must_use]
+    pub fn ci95(&self, wm_len: usize) -> (f64, f64) {
+        let trials = (self.per_pass.len() * wm_len) as u64;
+        let successes: u64 = self
+            .per_pass
+            .iter()
+            .map(|f| (f * wm_len as f64).round() as u64)
+            .sum();
+        catmark_analysis::prob::wilson_interval(successes, trials, 0.05)
+    }
+
+    /// Sample standard deviation across passes.
+    #[must_use]
+    pub fn std_dev(&self) -> f64 {
+        let n = self.per_pass.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let mean = self.mean_alteration;
+        let var = self.per_pass.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64;
+        var.sqrt()
+    }
+}
+
+/// Run the full embed → attack → decode pipeline for every pass and
+/// average the watermark alteration. `attack(pass)` builds that pass's
+/// attack (seeds should derive from `pass` for reproducibility); pass
+/// `None`-equivalent no-op by returning a `Shuffle` with the data
+/// unchanged semantics is unnecessary — use [`Attack::Shuffle`] or
+/// run with `keep = 1.0`.
+///
+/// # Panics
+///
+/// Panics when embedding fails (experiment parameters are validated
+/// up front, so a failure indicates a bug, not bad user input).
+#[must_use]
+pub fn run(
+    config: &ExperimentConfig,
+    e: u64,
+    attack: &(dyn Fn(usize) -> Vec<Attack> + Sync),
+) -> ExperimentResult {
+    let (base, domain) = config.base_relation();
+    let results = Mutex::new(vec![(0.0f64, 0.0f64); config.passes]);
+    crossbeam::thread::scope(|scope| {
+        for pass in 0..config.passes {
+            let base = &base;
+            let domain = &domain;
+            let results = &results;
+            scope.spawn(move |_| {
+                let spec = config.spec_for_pass(domain.clone(), e, pass);
+                let wm = config.watermark_for_pass(pass);
+                let mut marked = base.clone();
+                let report = Embedder::new(&spec)
+                    .embed(&mut marked, "visit_nbr", "item_nbr", &wm)
+                    .expect("embedding validated parameters");
+                let mut suspect = marked;
+                for step in attack(pass) {
+                    suspect = step.apply(&suspect).expect("attack applies to marked data");
+                }
+                let decoded = Decoder::new(&spec)
+                    .decode(&suspect, "visit_nbr", "item_nbr")
+                    .expect("decoding never fails on suspect data");
+                let alteration = wm.alteration_fraction(&decoded.watermark);
+                results.lock()[pass] = (alteration, report.alteration_rate());
+            });
+        }
+    })
+    .expect("experiment threads do not panic");
+    let results = results.into_inner();
+    let per_pass: Vec<f64> = results.iter().map(|r| r.0).collect();
+    let mean_alteration = per_pass.iter().sum::<f64>() / per_pass.len().max(1) as f64;
+    let mean_embed_rate =
+        results.iter().map(|r| r.1).sum::<f64>() / results.len().max(1) as f64;
+    ExperimentResult { mean_alteration, per_pass, mean_embed_rate }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> ExperimentConfig {
+        ExperimentConfig { tuples: 2_000, passes: 4, ..Default::default() }
+    }
+
+    #[test]
+    fn no_attack_decodes_cleanly_with_modest_e() {
+        let cfg = ExperimentConfig { erasure: ErasurePolicy::Abstain, ..small() };
+        let result = run(&cfg, 10, &|_| vec![]);
+        assert!(
+            result.mean_alteration < 0.03,
+            "clean decode should be near-perfect, got {}",
+            result.mean_alteration
+        );
+        assert!((result.mean_embed_rate - 0.1).abs() < 0.05);
+    }
+
+    #[test]
+    fn heavier_attacks_hurt_more() {
+        let cfg = small();
+        let light = run(&cfg, 30, &|pass| {
+            vec![Attack::RandomAlteration {
+                attr: "item_nbr".into(),
+                fraction: 0.1,
+                seed: pass as u64,
+            }]
+        });
+        let heavy = run(&cfg, 30, &|pass| {
+            vec![Attack::RandomAlteration {
+                attr: "item_nbr".into(),
+                fraction: 0.8,
+                seed: pass as u64,
+            }]
+        });
+        assert!(
+            heavy.mean_alteration >= light.mean_alteration,
+            "heavy {} < light {}",
+            heavy.mean_alteration,
+            light.mean_alteration
+        );
+    }
+
+    #[test]
+    fn results_are_reproducible() {
+        let cfg = small();
+        let attack = |pass: usize| {
+            vec![Attack::HorizontalLoss { keep: 0.5, seed: pass as u64 }]
+        };
+        let a = run(&cfg, 30, &attack);
+        let b = run(&cfg, 30, &attack);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn per_pass_statistics() {
+        let cfg = small();
+        let result = run(&cfg, 30, &|pass| {
+            vec![Attack::RandomAlteration {
+                attr: "item_nbr".into(),
+                fraction: 0.5,
+                seed: pass as u64,
+            }]
+        });
+        assert_eq!(result.per_pass.len(), cfg.passes);
+        assert!(result.std_dev() >= 0.0);
+    }
+
+    #[test]
+    fn distinct_passes_use_distinct_keys_and_marks() {
+        let cfg = small();
+        assert_ne!(cfg.watermark_for_pass(0), cfg.watermark_for_pass(1));
+        let (_, domain) = cfg.base_relation();
+        let s0 = cfg.spec_for_pass(domain.clone(), 60, 0);
+        let s1 = cfg.spec_for_pass(domain, 60, 1);
+        assert_ne!(s0.k1, s1.k1);
+    }
+}

@@ -1,0 +1,205 @@
+//! Series builders for each figure of the paper's evaluation.
+
+use catmark_attacks::Attack;
+
+use crate::experiment::{run, ExperimentConfig};
+
+/// One row of a two-series plot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TwoSeriesRow {
+    /// The x-axis value.
+    pub x: f64,
+    /// First series y-value (percent).
+    pub y1: f64,
+    /// Second series y-value (percent).
+    pub y2: f64,
+}
+
+/// Figure 4: mark alteration (%) vs. random-alteration attack size
+/// (%), for e = 65 and e = 35. "The watermark degrades gracefully with
+/// increasing attack size"; the smaller e (more bandwidth) dominates.
+#[must_use]
+pub fn fig4(config: &ExperimentConfig, attack_sizes_pct: &[u64]) -> Vec<TwoSeriesRow> {
+    attack_sizes_pct
+        .iter()
+        .map(|&pct| {
+            let attack = move |pass: usize| {
+                vec![Attack::RandomAlteration {
+                    attr: "item_nbr".into(),
+                    fraction: pct as f64 / 100.0,
+                    seed: 1_000 * pct + pass as u64,
+                }]
+            };
+            let e65 = run(config, 65, &attack);
+            let e35 = run(config, 35, &attack);
+            TwoSeriesRow {
+                x: pct as f64,
+                y1: e65.mean_alteration * 100.0,
+                y2: e35.mean_alteration * 100.0,
+            }
+        })
+        .collect()
+}
+
+/// Figure 5: mark alteration (%) vs. e, for attack sizes 55% and 20%.
+/// "More available bandwidth (decreasing e) results in a higher attack
+/// resilience."
+#[must_use]
+pub fn fig5(config: &ExperimentConfig, e_values: &[u64]) -> Vec<TwoSeriesRow> {
+    e_values
+        .iter()
+        .map(|&e| {
+            let mk = |fraction: f64| {
+                move |pass: usize| {
+                    vec![Attack::RandomAlteration {
+                        attr: "item_nbr".into(),
+                        fraction,
+                        seed: 77_000 + 100 * e + pass as u64,
+                    }]
+                }
+            };
+            let heavy = run(config, e, &mk(0.55));
+            let light = run(config, e, &mk(0.20));
+            TwoSeriesRow {
+                x: e as f64,
+                y1: heavy.mean_alteration * 100.0,
+                y2: light.mean_alteration * 100.0,
+            }
+        })
+        .collect()
+}
+
+/// One cell of the empirical Figure 6 surface.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SurfaceRow {
+    /// Attack size (%).
+    pub attack_pct: f64,
+    /// Fitness modulus.
+    pub e: u64,
+    /// Mark loss (%).
+    pub mark_loss_pct: f64,
+}
+
+/// Figure 6: the composite surface — mark loss (%) over
+/// (attack size, e). "Note the lower-left to upper-right tilt."
+#[must_use]
+pub fn fig6(
+    config: &ExperimentConfig,
+    attack_sizes_pct: &[u64],
+    e_values: &[u64],
+) -> Vec<SurfaceRow> {
+    let mut rows = Vec::with_capacity(attack_sizes_pct.len() * e_values.len());
+    for &pct in attack_sizes_pct {
+        for &e in e_values {
+            let attack = move |pass: usize| {
+                vec![Attack::RandomAlteration {
+                    attr: "item_nbr".into(),
+                    fraction: pct as f64 / 100.0,
+                    seed: 5_000_000 + 1_000 * pct + 10 * e + pass as u64,
+                }]
+            };
+            let result = run(config, e, &attack);
+            rows.push(SurfaceRow {
+                attack_pct: pct as f64,
+                e,
+                mark_loss_pct: result.mean_alteration * 100.0,
+            });
+        }
+    }
+    rows
+}
+
+/// One row of the Figure 7 data-loss sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LossRow {
+    /// Data loss (%).
+    pub loss_pct: f64,
+    /// Mark alteration (%).
+    pub alteration_pct: f64,
+    /// 95% Wilson confidence interval on the alteration (%), over all
+    /// decoded bits across passes.
+    pub ci95_pct: (f64, f64),
+}
+
+/// Figure 7: mark alteration (%) vs. data loss (%) at e = 65. "The
+/// watermark degrades almost linearly with increasing data loss",
+/// tolerating 80% loss at ~25% alteration (the headline claim).
+#[must_use]
+pub fn fig7(config: &ExperimentConfig, loss_pcts: &[u64], e: u64) -> Vec<LossRow> {
+    loss_pcts
+        .iter()
+        .map(|&pct| {
+            let attack = move |pass: usize| {
+                vec![Attack::HorizontalLoss {
+                    keep: 1.0 - pct as f64 / 100.0,
+                    seed: 9_000_000 + 1_000 * pct + pass as u64,
+                }]
+            };
+            let result = run(config, e, &attack);
+            let (lo, hi) = result.ci95(config.wm_len);
+            LossRow {
+                loss_pct: pct as f64,
+                alteration_pct: result.mean_alteration * 100.0,
+                ci95_pct: (lo * 100.0, hi * 100.0),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A fast config for shape smoke-tests (full-size sweeps run in
+    /// the release binaries). N stays at the paper's 6000 — shrinking
+    /// it shrinks `wm_data` (= N/e) and with it the redundancy the
+    /// shapes depend on; only the pass count is reduced.
+    fn quick() -> ExperimentConfig {
+        ExperimentConfig { tuples: 6_000, passes: 4, ..Default::default() }
+    }
+
+    #[test]
+    fn fig4_shape_monotone_and_e35_dominates() {
+        let rows = fig4(&quick(), &[20, 50, 80]);
+        assert_eq!(rows.len(), 3);
+        // Degradation grows with attack size for both series.
+        assert!(rows[2].y1 > rows[0].y1, "80% attack must hurt more than 20%: {rows:?}");
+        assert!(rows[2].y2 > rows[0].y2, "80% attack must hurt more than 20%: {rows:?}");
+        // Higher bandwidth (e = 35) resists better where the signal is
+        // statistically separable (low/mid attack sizes; at 80% both
+        // sit near the majority-vote noise ceiling — see the erasure
+        // ablation for the decomposition).
+        assert!(rows[0].y2 <= rows[0].y1, "e=35 must win at 20%: {rows:?}");
+        assert!(rows[1].y2 <= rows[1].y1, "e=35 must win at 50%: {rows:?}");
+    }
+
+    #[test]
+    fn fig7_shape_grows_with_loss() {
+        let rows = fig7(&quick(), &[10, 50, 80], 65);
+        assert_eq!(rows.len(), 3);
+        assert!(rows[0].alteration_pct <= rows[2].alteration_pct, "{rows:?}");
+        // Headline sanity: 80% loss keeps alteration ≤ ~35%.
+        assert!(rows[2].alteration_pct < 36.0, "{rows:?}");
+    }
+
+    #[test]
+    fn fig5_more_bandwidth_more_resilience() {
+        let rows = fig5(&quick(), &[20, 150]);
+        // Heavy attack at e = 150 must be worse than at e = 20.
+        assert!(rows[1].y1 >= rows[0].y1, "{rows:?}");
+    }
+
+    #[test]
+    fn fig6_tilt() {
+        let rows = fig6(&quick(), &[10, 70], &[20, 150]);
+        let get = |a: f64, e: u64| {
+            rows.iter()
+                .find(|r| (r.attack_pct - a).abs() < 1e-9 && r.e == e)
+                .unwrap()
+                .mark_loss_pct
+        };
+        // Lower-left (small attack, small e) below upper-right (big
+        // attack, big e).
+        assert!(get(10.0, 20) <= get(70.0, 150), "{rows:?}");
+    }
+}

@@ -1,0 +1,30 @@
+//! `catmark-bench` — the evaluation harness.
+//!
+//! Regenerates every figure and in-text numeric result of the paper's
+//! Section 5 / Section 4.4 on synthetic `ItemScan` data (see the
+//! substitution table in DESIGN.md):
+//!
+//! | Binary | Paper artifact |
+//! |---|---|
+//! | `fig4` | Figure 4 — mark alteration vs. attack size, e ∈ {35, 65} |
+//! | `fig5` | Figure 5 — mark alteration vs. e, attack ∈ {20%, 55%} |
+//! | `fig6` | Figure 6 — surface over (attack, e), plus the analytic model |
+//! | `fig7` | Figure 7 — mark alteration vs. data loss |
+//! | `headline` | Abstract claim: 80% loss ⇒ ~25% alteration |
+//! | `analysis_tables` | §4.4 in-text numbers (false positives, P(r,a), min-e, residual) |
+//! | `ablations` | Design-choice studies: erasure policy, ECC layout, map variant |
+//!
+//! All experiments follow the paper's protocol: a 10-bit watermark and
+//! "an averaging process with 15 passes (each seeded with a different
+//! key), aimed at smoothing out data-dependent biases and
+//! singularities". Output is whitespace-separated columns suitable for
+//! gnuplot, with `#` comment headers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiment;
+pub mod figures;
+pub mod report;
+
+pub use experiment::{ExperimentConfig, ExperimentResult};

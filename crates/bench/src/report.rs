@@ -1,0 +1,112 @@
+//! Plain-text report formatting: gnuplot-consumable columns with `#`
+//! headers, matching how the paper's plots would be regenerated.
+
+use std::fmt::Write as _;
+
+/// A column-aligned data table with comment headers.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    comments: Vec<String>,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Empty table.
+    #[must_use]
+    pub fn new() -> Self {
+        Table::default()
+    }
+
+    /// Add a `#`-prefixed comment line above the data.
+    pub fn comment(&mut self, text: impl Into<String>) -> &mut Self {
+        self.comments.push(text.into());
+        self
+    }
+
+    /// Set the column names (rendered as a `#` comment row).
+    pub fn columns(&mut self, names: &[&str]) -> &mut Self {
+        self.header = names.iter().map(|s| (*s).to_owned()).collect();
+        self
+    }
+
+    /// Append a data row of already-formatted cells.
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Append a row of f64 cells rendered with `decimals` places.
+    pub fn row_f64(&mut self, values: &[f64], decimals: usize) -> &mut Self {
+        self.rows
+            .push(values.iter().map(|v| format!("{v:.decimals$}")).collect());
+        self
+    }
+
+    /// Render with aligned columns.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for c in &self.comments {
+            let _ = writeln!(out, "# {c}");
+        }
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                if i >= widths.len() {
+                    widths.push(0);
+                }
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        if !self.header.is_empty() {
+            let _ = write!(out, "#");
+            for (i, name) in self.header.iter().enumerate() {
+                let _ = write!(out, " {name:>width$}", width = widths[i]);
+            }
+            let _ = writeln!(out);
+        }
+        for row in &self.rows {
+            let _ = write!(out, " ");
+            for (i, cell) in row.iter().enumerate() {
+                let _ = write!(out, " {cell:>width$}", width = widths[i]);
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_comments_header_and_rows() {
+        let mut t = Table::new();
+        t.comment("Figure 4 reproduction")
+            .columns(&["attack", "e65", "e35"])
+            .row_f64(&[20.0, 1.5, 0.5], 1)
+            .row_f64(&[80.0, 30.0, 22.5], 1);
+        let s = t.render();
+        assert!(s.starts_with("# Figure 4 reproduction\n"));
+        assert!(s.contains("attack"));
+        assert!(s.contains("30.0"));
+        assert_eq!(s.lines().count(), 4);
+    }
+
+    #[test]
+    fn columns_align() {
+        let mut t = Table::new();
+        t.columns(&["x", "value"]).row_f64(&[1.0, 100.123], 2).row_f64(&[22.0, 3.5], 2);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        // All rows have equal rendered width.
+        assert_eq!(lines[1].len(), lines[2].len());
+    }
+
+    #[test]
+    fn empty_table_renders_empty() {
+        assert_eq!(Table::new().render(), "");
+    }
+}

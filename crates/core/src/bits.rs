@@ -1,0 +1,143 @@
+//! The paper's bit-manipulation notation (Section 2.1).
+//!
+//! * `b(X)` — the number of bits required to represent `X`;
+//! * `msb(X, b)` — the most significant `b` bits of `X` (left-padded
+//!   with zeroes when `X` is shorter);
+//! * `set_bit(d, a, v)` — `d` with bit position `a` forced to `v`.
+//!
+//! These operate on the `u64` view of keyed hashes (see
+//! `catmark_crypto::KeyedHash::hash_u64`).
+
+/// `b(x)`: bits required to represent `x` (with `b(0) = 1`).
+#[must_use]
+pub fn bit_length(x: u64) -> u32 {
+    if x == 0 {
+        1
+    } else {
+        u64::BITS - x.leading_zeros()
+    }
+}
+
+/// `msb(x, b)`: the most significant `b` bits of the 64-bit value `x`.
+///
+/// For `b = 0` the result is 0; for `b >= 64` the result is `x`.
+#[must_use]
+pub fn msb(x: u64, b: u32) -> u64 {
+    if b == 0 {
+        0
+    } else if b >= u64::BITS {
+        x
+    } else {
+        x >> (u64::BITS - b)
+    }
+}
+
+/// `set_bit(d, a, v)`: `d` with bit `a` (0 = least significant) set to
+/// `v`.
+///
+/// # Panics
+///
+/// Panics when `a >= 64`.
+#[must_use]
+pub fn set_bit(d: u64, a: u32, v: bool) -> u64 {
+    assert!(a < u64::BITS, "bit position {a} out of range");
+    if v {
+        d | (1u64 << a)
+    } else {
+        d & !(1u64 << a)
+    }
+}
+
+/// Force the least-significant bit of a domain index while keeping the
+/// result inside `[0, n)`.
+///
+/// This is the deviation from the paper's raw
+/// `set_bit(msb(H, b(nA)), 0, bit)` documented in DESIGN.md: the
+/// paper's expression can produce `t >= nA`. Here, when forcing the
+/// LSB pushes the index to exactly `n` (possible only when `n` is odd
+/// and `base = n - 1`), we step down by 2, which stays in range *and*
+/// preserves the forced bit.
+///
+/// # Panics
+///
+/// Panics when `n < 2` or `base >= n`.
+#[must_use]
+pub fn force_lsb_in_domain(base: u64, bit: bool, n: u64) -> u64 {
+    assert!(n >= 2, "domain must have at least 2 values");
+    assert!(base < n, "base index {base} outside domain of {n}");
+    let t = set_bit(base, 0, bit);
+    let t = if t >= n { t - 2 } else { t };
+    debug_assert!(t < n);
+    debug_assert_eq!(t & 1 == 1, bit);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_length_matches_definition() {
+        assert_eq!(bit_length(0), 1);
+        assert_eq!(bit_length(1), 1);
+        assert_eq!(bit_length(2), 2);
+        assert_eq!(bit_length(255), 8);
+        assert_eq!(bit_length(256), 9);
+        assert_eq!(bit_length(u64::MAX), 64);
+        // The paper's example: nA = 16000 yields only 14 bits.
+        assert_eq!(bit_length(16_000 - 1), 14);
+    }
+
+    #[test]
+    fn msb_extracts_top_bits() {
+        let x = 0xABCD_0000_0000_0000u64;
+        assert_eq!(msb(x, 4), 0xA);
+        assert_eq!(msb(x, 8), 0xAB);
+        assert_eq!(msb(x, 16), 0xABCD);
+        assert_eq!(msb(x, 0), 0);
+        assert_eq!(msb(x, 64), x);
+        assert_eq!(msb(x, 100), x);
+    }
+
+    #[test]
+    fn set_bit_sets_and_clears() {
+        assert_eq!(set_bit(0b100, 0, true), 0b101);
+        assert_eq!(set_bit(0b101, 0, false), 0b100);
+        assert_eq!(set_bit(0, 63, true), 1u64 << 63);
+        // Idempotent.
+        assert_eq!(set_bit(set_bit(7, 1, false), 1, false), 0b101);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn set_bit_panics_past_64() {
+        let _ = set_bit(0, 64, true);
+    }
+
+    #[test]
+    fn force_lsb_exhaustive_small_domains() {
+        // For every domain size 2..=17, base and bit: result in range
+        // with the requested LSB.
+        for n in 2u64..=17 {
+            for base in 0..n {
+                for bit in [false, true] {
+                    let t = force_lsb_in_domain(base, bit, n);
+                    assert!(t < n, "n={n} base={base} bit={bit} t={t}");
+                    assert_eq!(t & 1 == 1, bit, "n={n} base={base} bit={bit} t={t}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn force_lsb_keeps_base_when_already_correct() {
+        assert_eq!(force_lsb_in_domain(6, false, 10), 6);
+        assert_eq!(force_lsb_in_domain(7, true, 10), 7);
+    }
+
+    #[test]
+    fn force_lsb_odd_domain_edge() {
+        // n = 5, base = 4, bit = 1 → raw t = 5 (out of range) → 3.
+        assert_eq!(force_lsb_in_domain(4, true, 5), 3);
+    }
+}

@@ -1,0 +1,485 @@
+//! Pair-closure construction over the schema (Section 3.3).
+//!
+//! The paper proposes "watermarking each and every attribute pair by
+//! first building a closure for the set of attribute pairs over the
+//! entire schema that minimizes the number of encoding interferences
+//! while maximizing the number of pairs watermarked", and leaves open
+//! "if a pair-closure can be constructed over the schema such that no
+//! categorical attributes are going to be used as primary key
+//! place-holders".
+//!
+//! This module is that construction, phrased as a graph-orientation
+//! problem. Attributes are vertices; every unordered attribute pair is
+//! an edge that must be *oriented* — the head is the pass's **target**
+//! (the attribute altered), the tail its **pseudo-key** (the attribute
+//! hashed for fitness and bit selection). Two passes interfere exactly
+//! when they target the same attribute, so the number of interferences
+//! is driven by target **load** (in-degree):
+//!
+//! 1. `(K, A_i)` edges are forced: the primary key is never altered,
+//!    so every such edge targets `A_i`.
+//! 2. Categorical–categorical edges are oriented greedily toward the
+//!    currently lighter target (ties prefer the lower-cardinality
+//!    side, keeping the higher-cardinality attribute as the
+//!    pseudo-key, which maximizes that pair's bandwidth).
+//! 3. A local-search pass flips any edge whose target carries at least
+//!    two more passes than its tail would; each flip strictly reduces
+//!    the sum of squared loads, so the search terminates at a locally
+//!    balanced orientation.
+//! 4. Pairs whose pseudo-key cannot select fit tuples (fewer than two
+//!    distinct values — the paper's "extreme case, A can have just one
+//!    possible value which would upset the fit tuple selection
+//!    algorithm") are dropped and reported, answering the open
+//!    question *constructively* when possible and diagnosing it when
+//!    not.
+
+use std::collections::{HashMap, HashSet};
+
+use catmark_relation::{CategoricalDomain, Relation};
+
+use crate::error::CoreError;
+use crate::multiattr::{MultiAttrPlan, PairConfig};
+use crate::spec::WatermarkSpec;
+
+/// One oriented attribute pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OrientedPair {
+    /// Attribute hashed for fitness/bit selection (never altered).
+    pub pseudo_key: String,
+    /// Attribute altered by the pass.
+    pub target: String,
+}
+
+/// The closure: oriented pairs plus diagnostics.
+#[derive(Debug, Clone)]
+pub struct Closure {
+    /// Oriented pairs, in embedding order: `(K, ·)` passes first, then
+    /// categorical pairs by descending pseudo-key cardinality.
+    pub pairs: Vec<OrientedPair>,
+    /// Pairs dropped because no orientation gave the pseudo-key at
+    /// least two distinct values.
+    pub dropped: Vec<(String, String)>,
+    /// Per-attribute target load (number of passes altering it).
+    pub load: HashMap<String, usize>,
+    /// Number of pairs whose pseudo-key is a categorical attribute
+    /// (zero answers the paper's open question affirmatively for this
+    /// schema — only possible when there are fewer than two
+    /// categorical attributes).
+    pub categorical_pseudo_keys: usize,
+}
+
+impl Closure {
+    /// The maximum target load — the interference bottleneck. Lower is
+    /// better; `(K, ·)`-only schemas achieve 1.
+    #[must_use]
+    pub fn max_load(&self) -> usize {
+        self.load.values().copied().max().unwrap_or(0)
+    }
+
+    /// Number of watermarked pairs.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether no pair survived.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+}
+
+/// Build the closure for `rel`'s schema.
+///
+/// # Errors
+///
+/// [`CoreError::InvalidSpec`] when the schema has no categorical
+/// attributes.
+pub fn build_closure(rel: &Relation) -> Result<Closure, CoreError> {
+    let schema = rel.schema();
+    let key = schema.key_attr().name.clone();
+    let cats: Vec<String> = schema
+        .categorical_indices()
+        .into_iter()
+        .map(|i| schema.attr(i).name.clone())
+        .collect();
+    if cats.is_empty() {
+        return Err(CoreError::InvalidSpec(
+            "schema has no categorical attributes to watermark".into(),
+        ));
+    }
+
+    let mut distinct: HashMap<String, usize> = HashMap::new();
+    distinct.insert(key.clone(), distinct_count(rel, schema.key_index()));
+    for name in &cats {
+        let idx = schema.index_of(name).expect("name from schema");
+        distinct.insert(name.clone(), distinct_count(rel, idx));
+    }
+
+    // Forced (K, A_i) edges.
+    let mut load: HashMap<String, usize> = HashMap::new();
+    let mut forced = Vec::with_capacity(cats.len());
+    for name in &cats {
+        forced.push(OrientedPair { pseudo_key: key.clone(), target: name.clone() });
+        *load.entry(name.clone()).or_insert(0) += 1;
+    }
+
+    // Greedy orientation of categorical-categorical edges.
+    let mut free: Vec<OrientedPair> = Vec::new();
+    let mut dropped = Vec::new();
+    for (i, a) in cats.iter().enumerate() {
+        for b in &cats[i + 1..] {
+            let a_ok = distinct[a] >= 2;
+            let b_ok = distinct[b] >= 2;
+            let target = match (a_ok, b_ok) {
+                (false, false) => {
+                    dropped.push((a.clone(), b.clone()));
+                    continue;
+                }
+                // Only one side can pseudo-key: the other is targeted.
+                (true, false) => b.clone(),
+                (false, true) => a.clone(),
+                (true, true) => {
+                    let (la, lb) = (load.get(a).copied().unwrap_or(0),
+                                    load.get(b).copied().unwrap_or(0));
+                    match la.cmp(&lb) {
+                        std::cmp::Ordering::Less => a.clone(),
+                        std::cmp::Ordering::Greater => b.clone(),
+                        // Tie: target the lower-cardinality side so the
+                        // higher-cardinality attribute pseudo-keys.
+                        std::cmp::Ordering::Equal => {
+                            if distinct[a] <= distinct[b] {
+                                a.clone()
+                            } else {
+                                b.clone()
+                            }
+                        }
+                    }
+                }
+            };
+            let pseudo_key = if target == *a { b.clone() } else { a.clone() };
+            *load.entry(target.clone()).or_insert(0) += 1;
+            free.push(OrientedPair { pseudo_key, target });
+        }
+    }
+
+    rebalance(&mut free, &mut load, &distinct);
+
+    // Order: forced passes first, then free pairs by descending
+    // pseudo-key cardinality (strong witnesses embed first so later
+    // interference skips land on the weak ones).
+    free.sort_by(|x, y| {
+        distinct[&y.pseudo_key]
+            .cmp(&distinct[&x.pseudo_key])
+            .then_with(|| x.pseudo_key.cmp(&y.pseudo_key))
+            .then_with(|| x.target.cmp(&y.target))
+    });
+    let categorical_pseudo_keys = free.len();
+    let mut pairs = forced;
+    pairs.extend(free);
+    Ok(Closure { pairs, dropped, load, categorical_pseudo_keys })
+}
+
+/// Flip edges whose target is at least two passes heavier than their
+/// tail. Each flip reduces `Σ load²` by at least 2, so the loop
+/// terminates; the result has no single-edge improvement left.
+fn rebalance(
+    edges: &mut [OrientedPair],
+    load: &mut HashMap<String, usize>,
+    distinct: &HashMap<String, usize>,
+) {
+    loop {
+        let mut flipped = false;
+        for edge in edges.iter_mut() {
+            // Never flip onto a pseudo-key-incapable attribute.
+            if distinct.get(&edge.target).copied().unwrap_or(0) < 2 {
+                continue;
+            }
+            let lt = load.get(&edge.target).copied().unwrap_or(0);
+            let lp = load.get(&edge.pseudo_key).copied().unwrap_or(0);
+            if lt > lp + 1 {
+                *load.entry(edge.target.clone()).or_insert(0) -= 1;
+                *load.entry(edge.pseudo_key.clone()).or_insert(0) += 1;
+                std::mem::swap(&mut edge.pseudo_key, &mut edge.target);
+                flipped = true;
+            }
+        }
+        if !flipped {
+            break;
+        }
+    }
+}
+
+/// Derive a [`MultiAttrPlan`] from a closure: per-pair subkeys from the
+/// pair label, per-pair `wm_data` sized from the pseudo-key's usable
+/// bandwidth (row count for the primary key, distinct values
+/// otherwise).
+///
+/// # Errors
+///
+/// [`CoreError::InvalidSpec`] when a categorical attribute in the
+/// closure is missing from `domains`.
+pub fn plan_from_closure(
+    rel: &Relation,
+    base: &WatermarkSpec,
+    domains: &HashMap<String, CategoricalDomain>,
+    closure: &Closure,
+) -> Result<MultiAttrPlan, CoreError> {
+    let schema = rel.schema();
+    let key_name = &schema.key_attr().name;
+    let mut pairs = Vec::with_capacity(closure.pairs.len());
+    for op in &closure.pairs {
+        let mut spec = base.derived(&format!("pair:{}:{}", op.pseudo_key, op.target));
+        spec.domain = domains
+            .get(&op.target)
+            .cloned()
+            .ok_or_else(|| {
+                CoreError::InvalidSpec(format!("no domain provided for {:?}", op.target))
+            })?;
+        let bandwidth = if op.pseudo_key == *key_name {
+            rel.len()
+        } else {
+            let idx = schema.index_of(&op.pseudo_key)?;
+            distinct_count(rel, idx)
+        };
+        spec.wm_data_len = ((bandwidth as u64 / spec.e) as usize).max(spec.wm_len);
+        pairs.push(PairConfig {
+            pseudo_key: op.pseudo_key.clone(),
+            target: op.target.clone(),
+            spec,
+        });
+    }
+    Ok(MultiAttrPlan::from_pairs(pairs))
+}
+
+fn distinct_count(rel: &Relation, attr_idx: usize) -> usize {
+    rel.column_iter(attr_idx).collect::<HashSet<_>>().len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decode::ErasurePolicy;
+    use crate::multiattr::{aggregate_verdict, decode_multiattr, embed_multiattr};
+    use crate::spec::Watermark;
+    use catmark_datagen::domains::product_codes;
+    use catmark_relation::{AttrType, Schema, Value};
+
+    /// (k, item, supplier, store) with cardinalities 400 / 300 / 20.
+    fn wide_fixture(n: i64) -> Relation {
+        let schema = Schema::builder()
+            .key_attr("k", AttrType::Integer)
+            .categorical_attr("item", AttrType::Integer)
+            .categorical_attr("supplier", AttrType::Integer)
+            .categorical_attr("store", AttrType::Integer)
+            .build()
+            .unwrap();
+        let mut rel = Relation::with_capacity(schema, n as usize);
+        for i in 0..n {
+            rel.push(vec![
+                Value::Int(i),
+                Value::Int(10_000 + (i * 7_919) % 400),
+                Value::Int(500 + (i * 104_729) % 300),
+                Value::Int((i * 31) % 20),
+            ])
+            .unwrap();
+        }
+        rel
+    }
+
+    #[test]
+    fn closure_covers_every_pair() {
+        let rel = wide_fixture(6_000);
+        let c = build_closure(&rel).unwrap();
+        // 3 (K, ·) + C(3, 2) = 6 pairs, none dropped.
+        assert_eq!(c.len(), 6);
+        assert!(c.dropped.is_empty());
+        assert_eq!(c.categorical_pseudo_keys, 3);
+        // Every unordered pair appears exactly once.
+        let mut seen: Vec<(String, String)> = c
+            .pairs
+            .iter()
+            .map(|p| {
+                let mut v = [p.pseudo_key.clone(), p.target.clone()];
+                v.sort();
+                (v[0].clone(), v[1].clone())
+            })
+            .collect();
+        seen.sort();
+        seen.dedup();
+        assert_eq!(seen.len(), 6);
+    }
+
+    #[test]
+    fn closure_balances_target_load() {
+        let rel = wide_fixture(6_000);
+        let c = build_closure(&rel).unwrap();
+        // 6 passes over 3 targetable attributes: perfectly balanced
+        // load is 2 per attribute.
+        assert_eq!(c.max_load(), 2, "load map: {:?}", c.load);
+        assert!(c.load.values().all(|&l| l == 2));
+    }
+
+    #[test]
+    fn key_is_never_a_target() {
+        let rel = wide_fixture(1_000);
+        let c = build_closure(&rel).unwrap();
+        assert!(c.pairs.iter().all(|p| p.target != "k"));
+        assert!(!c.load.contains_key("k"));
+    }
+
+    #[test]
+    fn ties_prefer_high_cardinality_pseudo_keys() {
+        let rel = wide_fixture(6_000);
+        let c = build_closure(&rel).unwrap();
+        // The (item, store) pair: store has 20 values, item 400 — item
+        // must pseudo-key unless load forbids it; with balanced loads
+        // the tie rule keeps the big attribute as pseudo-key at least
+        // once.
+        let cat_pairs: Vec<&OrientedPair> =
+            c.pairs.iter().filter(|p| p.pseudo_key != "k").collect();
+        assert!(
+            cat_pairs.iter().any(|p| p.pseudo_key == "item"),
+            "item never pseudo-keys: {cat_pairs:?}"
+        );
+    }
+
+    #[test]
+    fn single_valued_attribute_never_pseudo_keys() {
+        let schema = Schema::builder()
+            .key_attr("k", AttrType::Integer)
+            .categorical_attr("a", AttrType::Integer)
+            .categorical_attr("constant", AttrType::Integer)
+            .build()
+            .unwrap();
+        let mut rel = Relation::new(schema);
+        for i in 0..100i64 {
+            rel.push(vec![Value::Int(i), Value::Int(i % 10), Value::Int(7)]).unwrap();
+        }
+        let c = build_closure(&rel).unwrap();
+        assert!(c.pairs.iter().all(|p| p.pseudo_key != "constant"));
+        // The (a, constant) pair is still watermarked — oriented so
+        // `a` pseudo-keys and `constant` absorbs the alterations.
+        assert!(c
+            .pairs
+            .iter()
+            .any(|p| p.pseudo_key == "a" && p.target == "constant"));
+    }
+
+    #[test]
+    fn two_single_valued_attributes_drop_their_pair() {
+        let schema = Schema::builder()
+            .key_attr("k", AttrType::Integer)
+            .categorical_attr("c1", AttrType::Integer)
+            .categorical_attr("c2", AttrType::Integer)
+            .build()
+            .unwrap();
+        let mut rel = Relation::new(schema);
+        for i in 0..50i64 {
+            rel.push(vec![Value::Int(i), Value::Int(1), Value::Int(2)]).unwrap();
+        }
+        let c = build_closure(&rel).unwrap();
+        assert_eq!(c.dropped, vec![("c1".to_owned(), "c2".to_owned())]);
+        // The forced (K, ·) passes survive.
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn no_categorical_attributes_errors() {
+        let schema = Schema::builder()
+            .key_attr("k", AttrType::Integer)
+            .attr("free", AttrType::Integer)
+            .build()
+            .unwrap();
+        let rel = Relation::new(schema);
+        assert!(matches!(build_closure(&rel), Err(CoreError::InvalidSpec(_))));
+    }
+
+    #[test]
+    fn rebalance_flips_overloaded_targets() {
+        // Hand-built pathological orientation: everything targets `a`.
+        let mut edges = vec![
+            OrientedPair { pseudo_key: "b".into(), target: "a".into() },
+            OrientedPair { pseudo_key: "c".into(), target: "a".into() },
+            OrientedPair { pseudo_key: "d".into(), target: "a".into() },
+        ];
+        let mut load: HashMap<String, usize> = HashMap::from([
+            ("a".to_owned(), 3),
+            ("b".to_owned(), 0),
+            ("c".to_owned(), 0),
+            ("d".to_owned(), 0),
+        ]);
+        let distinct: HashMap<String, usize> = ["a", "b", "c", "d"]
+            .into_iter()
+            .map(|s| (s.to_owned(), 100))
+            .collect();
+        rebalance(&mut edges, &mut load, &distinct);
+        let max = load.values().copied().max().unwrap();
+        assert!(max <= 1, "load after rebalance: {load:?}");
+    }
+
+    #[test]
+    fn rebalance_respects_incapable_attributes() {
+        let mut edges = vec![
+            OrientedPair { pseudo_key: "big".into(), target: "tiny".into() },
+            OrientedPair { pseudo_key: "big2".into(), target: "tiny".into() },
+            OrientedPair { pseudo_key: "big3".into(), target: "tiny".into() },
+        ];
+        let mut load: HashMap<String, usize> =
+            HashMap::from([("tiny".to_owned(), 3)]);
+        let distinct: HashMap<String, usize> = HashMap::from([
+            ("tiny".to_owned(), 1),
+            ("big".to_owned(), 100),
+            ("big2".to_owned(), 100),
+            ("big3".to_owned(), 100),
+        ]);
+        rebalance(&mut edges, &mut load, &distinct);
+        // tiny cannot pseudo-key: orientation must not change.
+        assert!(edges.iter().all(|e| e.target == "tiny"));
+    }
+
+    #[test]
+    fn closure_plan_embeds_and_witnesses() {
+        let mut rel = wide_fixture(8_000);
+        let c = build_closure(&rel).unwrap();
+        let item_domain = product_codes(400, 10_000);
+        let supplier_domain = product_codes(300, 500);
+        let store_domain = product_codes(20, 0);
+        let base = WatermarkSpec::builder(item_domain.clone())
+            .master_key("closure-tests")
+            .e(5)
+            .wm_len(10)
+            .expected_tuples(rel.len())
+            .erasure(ErasurePolicy::Abstain)
+            .build()
+            .unwrap();
+        let domains = HashMap::from([
+            ("item".to_owned(), item_domain),
+            ("supplier".to_owned(), supplier_domain),
+            ("store".to_owned(), store_domain),
+        ]);
+        let plan = plan_from_closure(&rel, &base, &domains, &c).unwrap();
+        assert_eq!(plan.pairs().len(), 6);
+        let wm = Watermark::from_u64(0b1010011001, 10);
+        let outcomes = embed_multiattr(&plan, &mut rel, &wm).unwrap();
+        assert_eq!(outcomes.len(), 6);
+        let witnesses = decode_multiattr(&plan, &rel, &wm).unwrap();
+        let verdict = aggregate_verdict(&witnesses, 1e-2);
+        // The three (K, ·) witnesses are high-bandwidth and must all
+        // testify; categorical pairs may be weaker.
+        assert!(verdict.significant_witnesses >= 3, "verdict: {verdict:?}");
+    }
+
+    #[test]
+    fn plan_requires_domains() {
+        let rel = wide_fixture(100);
+        let c = build_closure(&rel).unwrap();
+        let base = WatermarkSpec::builder(product_codes(400, 10_000))
+            .master_key("x")
+            .expected_tuples(100)
+            .build()
+            .unwrap();
+        let err = plan_from_closure(&rel, &base, &HashMap::new(), &c);
+        assert!(matches!(err, Err(CoreError::InvalidSpec(_))));
+    }
+}

@@ -1,0 +1,175 @@
+//! Court-time detection verdicts (Section 4.4's false-positive
+//! analysis applied to a concrete decode).
+//!
+//! "In order to fight false-positive claims in court we ask: what is
+//! the probability of a given watermark of length |wm| to be detected
+//! in a random data set?" — `(1/2)^|wm|` for an exact match. This
+//! module generalizes to partial matches: given a decoded mark and the
+//! claimed mark, it computes the probability that a *random* decode
+//! would match at least as well, i.e. the p-value of the ownership
+//! claim.
+
+use crate::spec::Watermark;
+
+/// Result of comparing a decoded watermark against a claimed one.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Detection {
+    /// Bits that agree.
+    pub matched_bits: usize,
+    /// Total bits compared (`|wm|`).
+    pub total_bits: usize,
+    /// `matched_bits / total_bits`.
+    pub match_fraction: f64,
+    /// Probability that ≥ `matched_bits` of `total_bits` match by
+    /// pure chance (binomial tail at p = 1/2) — the court-time
+    /// false-positive odds.
+    pub false_positive_probability: f64,
+}
+
+impl Detection {
+    /// Whether the claim clears significance level `alpha` (e.g.
+    /// `1e-6`): the chance-match probability is below it.
+    #[must_use]
+    pub fn is_significant(&self, alpha: f64) -> bool {
+        self.false_positive_probability < alpha
+    }
+
+    /// The paper's "mark alteration" metric for this comparison:
+    /// fraction of differing bits.
+    #[must_use]
+    pub fn alteration_fraction(&self) -> f64 {
+        1.0 - self.match_fraction
+    }
+}
+
+/// Compare a decoded watermark against the claimed one.
+///
+/// # Panics
+///
+/// Panics when lengths differ (decode always produces `spec.wm_len`
+/// bits; compare against a mark built with the same spec).
+#[must_use]
+pub fn detect(decoded: &Watermark, claimed: &Watermark) -> Detection {
+    assert_eq!(
+        decoded.len(),
+        claimed.len(),
+        "decoded and claimed watermark lengths differ"
+    );
+    let total_bits = claimed.len();
+    let matched_bits = total_bits - decoded.hamming_distance(claimed);
+    Detection {
+        matched_bits,
+        total_bits,
+        match_fraction: matched_bits as f64 / total_bits as f64,
+        false_positive_probability: binomial_tail_half(total_bits, matched_bits),
+    }
+}
+
+/// `P[Bin(n, 1/2) >= k]`, computed exactly in f64 via a running
+/// binomial coefficient. Exact enough for the n ≤ 64 watermark lengths
+/// this library supports.
+#[must_use]
+pub fn binomial_tail_half(n: usize, k: usize) -> f64 {
+    if k == 0 {
+        return 1.0;
+    }
+    if k > n {
+        return 0.0;
+    }
+    // Sum C(n, i) for i in k..=n, then scale by 2^-n. Use logarithms
+    // to stay finite for larger n.
+    let ln2 = std::f64::consts::LN_2;
+    let mut total = 0.0f64;
+    // ln C(n, i) built incrementally from ln C(n, k).
+    let mut ln_c = ln_choose(n, k);
+    for i in k..=n {
+        total += (ln_c - (n as f64) * ln2).exp();
+        if i < n {
+            // C(n, i+1) = C(n, i) * (n - i) / (i + 1)
+            ln_c += ((n - i) as f64).ln() - ((i + 1) as f64).ln();
+        }
+    }
+    total.min(1.0)
+}
+
+fn ln_choose(n: usize, k: usize) -> f64 {
+    ln_factorial(n) - ln_factorial(k) - ln_factorial(n - k)
+}
+
+fn ln_factorial(n: usize) -> f64 {
+    (2..=n).map(|i| (i as f64).ln()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_match_probability_is_two_to_minus_wm() {
+        // The paper: "it is easy to prove that this probability is
+        // (1/2)^|wm|".
+        let wm = Watermark::from_u64(0x2A5, 10);
+        let d = detect(&wm, &wm);
+        assert_eq!(d.matched_bits, 10);
+        assert!((d.false_positive_probability - 2f64.powi(-10)).abs() < 1e-15);
+        assert!(d.is_significant(1e-2));
+    }
+
+    #[test]
+    fn paper_full_bandwidth_example() {
+        // N = 6000, e = 60 ⇒ N/e = 100 positions all used:
+        // (1/2)^100 ≈ 7.8·10⁻³¹.
+        let p = binomial_tail_half(100, 100);
+        assert!((p / 7.888e-31 - 1.0).abs() < 0.01, "p={p:e}");
+    }
+
+    #[test]
+    fn half_match_is_not_significant() {
+        let a = Watermark::from_u64(0b1111100000, 10);
+        let b = Watermark::from_u64(0b1111111111, 10);
+        let d = detect(&a, &b);
+        assert_eq!(d.matched_bits, 5);
+        // P[Bin(10, 1/2) >= 5] ≈ 0.623.
+        assert!((d.false_positive_probability - 0.623).abs() < 0.01);
+        assert!(!d.is_significant(0.05));
+    }
+
+    #[test]
+    fn binomial_tail_basics() {
+        assert_eq!(binomial_tail_half(10, 0), 1.0);
+        assert_eq!(binomial_tail_half(10, 11), 0.0);
+        // P[Bin(1,1/2) >= 1] = 1/2.
+        assert!((binomial_tail_half(1, 1) - 0.5).abs() < 1e-12);
+        // P[Bin(2,1/2) >= 1] = 3/4.
+        assert!((binomial_tail_half(2, 1) - 0.75).abs() < 1e-12);
+        // Symmetric midpoint: P[Bin(2k, 1/2) >= k] > 1/2.
+        assert!(binomial_tail_half(20, 10) > 0.5);
+    }
+
+    #[test]
+    fn tail_is_monotone_in_k() {
+        for n in [5usize, 16, 33] {
+            let mut prev = 1.0;
+            for k in 0..=n {
+                let p = binomial_tail_half(n, k);
+                assert!(p <= prev + 1e-12, "n={n} k={k}");
+                prev = p;
+            }
+        }
+    }
+
+    #[test]
+    fn alteration_fraction_complements_match() {
+        let a = Watermark::from_u64(0b1010, 4);
+        let b = Watermark::from_u64(0b1001, 4);
+        let d = detect(&a, &b);
+        assert!((d.match_fraction - 0.5).abs() < 1e-12);
+        assert!((d.alteration_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "lengths differ")]
+    fn mismatched_lengths_panic() {
+        let _ = detect(&Watermark::from_u64(0, 4), &Watermark::from_u64(0, 5));
+    }
+}

@@ -1,0 +1,486 @@
+//! Error-correcting expansion of the watermark (Section 3.2.1).
+//!
+//! "Because often the available embedding bandwidth N/e is greater
+//! than the watermark bit-size |wm|, we can afford the deployment of
+//! an error correcting code" — the paper deploys majority voting
+//! codes; [`MajorityVotingEcc`] is that code with its copies
+//! *interleaved* across `wm_data` (position `i` carries watermark bit
+//! `i mod |wm|`). [`BlockRepetitionEcc`] is the contiguous-block
+//! alternative, kept for the ablation benches: interleaving spreads
+//! each bit's copies uniformly over positions, which matters when an
+//! attack erases contiguous position ranges.
+
+use crate::spec::Watermark;
+
+/// A redundant encoding `wm → wm_data` with majority-style decoding.
+pub trait ErrorCorrectingCode {
+    /// Expand `wm` into `out_len` bits.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic when `out_len < wm.len()` (callers
+    /// validate bandwidth when building the spec).
+    fn encode(&self, wm: &Watermark, out_len: usize) -> Vec<bool>;
+
+    /// Recover the most likely watermark from (possibly erased)
+    /// `wm_data` position values. `None` marks an erased position
+    /// (no votes observed and the erasure policy chose to abstain).
+    ///
+    /// `tie_break(j)` supplies the bit for watermark position `j`
+    /// when the observed copies are balanced or entirely erased; the
+    /// decoder passes a keyed-PRF coin so results stay deterministic.
+    fn decode(
+        &self,
+        positions: &[Option<bool>],
+        wm_len: usize,
+        tie_break: &mut dyn FnMut(usize) -> bool,
+    ) -> Watermark;
+
+    /// Which watermark bit the `wm_data` position `i` carries.
+    fn bit_for_position(&self, i: usize, wm_len: usize, out_len: usize) -> usize;
+}
+
+/// Interleaved repetition code with majority-vote decoding — the
+/// paper's choice, as implemented here the default.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MajorityVotingEcc;
+
+impl ErrorCorrectingCode for MajorityVotingEcc {
+    fn encode(&self, wm: &Watermark, out_len: usize) -> Vec<bool> {
+        assert!(out_len >= wm.len(), "wm_data must be at least |wm| bits");
+        (0..out_len).map(|i| wm.bit(i % wm.len())).collect()
+    }
+
+    fn decode(
+        &self,
+        positions: &[Option<bool>],
+        wm_len: usize,
+        tie_break: &mut dyn FnMut(usize) -> bool,
+    ) -> Watermark {
+        let mut ones = vec![0u32; wm_len];
+        let mut zeros = vec![0u32; wm_len];
+        for (i, pos) in positions.iter().enumerate() {
+            match pos {
+                Some(true) => ones[i % wm_len] += 1,
+                Some(false) => zeros[i % wm_len] += 1,
+                None => {}
+            }
+        }
+        let bits = (0..wm_len)
+            .map(|j| match ones[j].cmp(&zeros[j]) {
+                std::cmp::Ordering::Greater => true,
+                std::cmp::Ordering::Less => false,
+                std::cmp::Ordering::Equal => tie_break(j),
+            })
+            .collect();
+        Watermark::from_bits(bits)
+    }
+
+    fn bit_for_position(&self, i: usize, wm_len: usize, _out_len: usize) -> usize {
+        i % wm_len
+    }
+}
+
+/// Contiguous-block repetition code (ablation alternative).
+///
+/// `wm_data` is split into `|wm|` nearly equal runs; run `j` carries
+/// watermark bit `j`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BlockRepetitionEcc;
+
+impl ErrorCorrectingCode for BlockRepetitionEcc {
+    fn encode(&self, wm: &Watermark, out_len: usize) -> Vec<bool> {
+        assert!(out_len >= wm.len(), "wm_data must be at least |wm| bits");
+        (0..out_len)
+            .map(|i| wm.bit(self.bit_for_position(i, wm.len(), out_len)))
+            .collect()
+    }
+
+    fn decode(
+        &self,
+        positions: &[Option<bool>],
+        wm_len: usize,
+        tie_break: &mut dyn FnMut(usize) -> bool,
+    ) -> Watermark {
+        let mut ones = vec![0u32; wm_len];
+        let mut zeros = vec![0u32; wm_len];
+        for (i, pos) in positions.iter().enumerate() {
+            let j = self.bit_for_position(i, wm_len, positions.len());
+            match pos {
+                Some(true) => ones[j] += 1,
+                Some(false) => zeros[j] += 1,
+                None => {}
+            }
+        }
+        let bits = (0..wm_len)
+            .map(|j| match ones[j].cmp(&zeros[j]) {
+                std::cmp::Ordering::Greater => true,
+                std::cmp::Ordering::Less => false,
+                std::cmp::Ordering::Equal => tie_break(j),
+            })
+            .collect();
+        Watermark::from_bits(bits)
+    }
+
+    fn bit_for_position(&self, i: usize, wm_len: usize, out_len: usize) -> usize {
+        // Position i falls in block j when i * wm_len / out_len == j;
+        // blocks differ in size by at most one.
+        (i * wm_len / out_len.max(1)).min(wm_len - 1)
+    }
+}
+
+/// Interleaved repetition of a Hamming(7,4) codeword — a true
+/// forward-error-correcting alternative to plain repetition.
+///
+/// The watermark is split into 4-bit nibbles (zero-padded), each
+/// encoded as a 7-bit Hamming codeword; the concatenated codeword is
+/// then repeated interleaved across `wm_data` exactly like
+/// [`MajorityVotingEcc`] repeats the raw watermark. Decoding first
+/// majority-votes each *codeword* bit, then runs syndrome correction
+/// per block.
+///
+/// The difference matters when an adversary (or an unlucky erasure
+/// pattern) destroys **every copy of one position**: repetition loses
+/// that watermark bit outright, while Hamming recovers it from the
+/// block's surviving parity structure — at the price of 7/4× lower
+/// per-bit redundancy at a fixed `wm_data` size. Codeword-bit ties
+/// resolve to `false` deterministically (the per-watermark-bit
+/// `tie_break` oracle does not map onto parity bits); the subsequent
+/// syndrome correction absorbs the occasional resulting error, which
+/// is exactly the code's job.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HammingMajorityEcc;
+
+impl HammingMajorityEcc {
+    /// Codeword length for a `wm_len`-bit watermark.
+    #[must_use]
+    pub fn codeword_len(wm_len: usize) -> usize {
+        wm_len.div_ceil(4) * 7
+    }
+
+    /// Encode one nibble into its 7-bit codeword
+    /// `[p1, p2, d1, p3, d2, d3, d4]`.
+    fn encode_block(d: [bool; 4]) -> [bool; 7] {
+        let p1 = d[0] ^ d[1] ^ d[3];
+        let p2 = d[0] ^ d[2] ^ d[3];
+        let p3 = d[1] ^ d[2] ^ d[3];
+        [p1, p2, d[0], p3, d[1], d[2], d[3]]
+    }
+
+    /// Syndrome-correct a 7-bit block in place, then extract the
+    /// nibble.
+    fn decode_block(c: &mut [bool; 7]) -> [bool; 4] {
+        // Parity checks over 1-indexed positions with bit k set.
+        let s1 = c[0] ^ c[2] ^ c[4] ^ c[6];
+        let s2 = c[1] ^ c[2] ^ c[5] ^ c[6];
+        let s3 = c[3] ^ c[4] ^ c[5] ^ c[6];
+        let syndrome = usize::from(s1) | (usize::from(s2) << 1) | (usize::from(s3) << 2);
+        if syndrome != 0 {
+            c[syndrome - 1] = !c[syndrome - 1];
+        }
+        [c[2], c[4], c[5], c[6]]
+    }
+}
+
+impl ErrorCorrectingCode for HammingMajorityEcc {
+    fn encode(&self, wm: &Watermark, out_len: usize) -> Vec<bool> {
+        let l = Self::codeword_len(wm.len());
+        assert!(
+            out_len >= l,
+            "wm_data must be at least the {l}-bit Hamming codeword"
+        );
+        let mut codeword = Vec::with_capacity(l);
+        for chunk_start in (0..wm.len()).step_by(4) {
+            let mut d = [false; 4];
+            for (k, slot) in d.iter_mut().enumerate() {
+                if chunk_start + k < wm.len() {
+                    *slot = wm.bit(chunk_start + k);
+                }
+            }
+            codeword.extend_from_slice(&Self::encode_block(d));
+        }
+        (0..out_len).map(|i| codeword[i % l]).collect()
+    }
+
+    fn decode(
+        &self,
+        positions: &[Option<bool>],
+        wm_len: usize,
+        _tie_break: &mut dyn FnMut(usize) -> bool,
+    ) -> Watermark {
+        let l = Self::codeword_len(wm_len);
+        let mut ones = vec![0u32; l];
+        let mut zeros = vec![0u32; l];
+        for (i, pos) in positions.iter().enumerate() {
+            match pos {
+                Some(true) => ones[i % l] += 1,
+                Some(false) => zeros[i % l] += 1,
+                None => {}
+            }
+        }
+        // Majority per codeword bit; ties and erasures resolve to
+        // false and are left for the syndrome to repair.
+        let codeword: Vec<bool> = (0..l).map(|j| ones[j] > zeros[j]).collect();
+        let mut bits = Vec::with_capacity(wm_len);
+        for block in codeword.chunks_exact(7) {
+            let mut c: [bool; 7] = block.try_into().expect("chunks_exact(7)");
+            let nibble = Self::decode_block(&mut c);
+            bits.extend_from_slice(&nibble);
+        }
+        bits.truncate(wm_len);
+        Watermark::from_bits(bits)
+    }
+
+    fn bit_for_position(&self, i: usize, wm_len: usize, _out_len: usize) -> usize {
+        // Position i carries codeword bit i % L; the watermark bit it
+        // *protects* is the block's first data bit (parity positions
+        // report the block too — every position in a block serves the
+        // same 4 watermark bits).
+        let l = Self::codeword_len(wm_len);
+        ((i % l) / 7 * 4).min(wm_len.saturating_sub(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn no_ties(_: usize) -> bool {
+        panic!("tie break should not be consulted in this test");
+    }
+
+    #[test]
+    fn majority_round_trips_clean_data() {
+        let ecc = MajorityVotingEcc;
+        let wm = Watermark::from_u64(0b1011001110, 10);
+        let data = ecc.encode(&wm, 100);
+        assert_eq!(data.len(), 100);
+        let positions: Vec<Option<bool>> = data.into_iter().map(Some).collect();
+        let decoded = ecc.decode(&positions, 10, &mut no_ties);
+        assert_eq!(decoded, wm);
+    }
+
+    #[test]
+    fn majority_interleaves() {
+        let ecc = MajorityVotingEcc;
+        let wm = Watermark::from_u64(0b10, 2);
+        let data = ecc.encode(&wm, 6);
+        assert_eq!(data, vec![true, false, true, false, true, false]);
+    }
+
+    #[test]
+    fn majority_survives_minority_corruption() {
+        let ecc = MajorityVotingEcc;
+        let wm = Watermark::from_u64(0x2AB, 10);
+        let mut data = ecc.encode(&wm, 100);
+        // Flip 4 of the 10 copies of bit 3 — still a minority.
+        for k in 0..4 {
+            let idx = 3 + 10 * k;
+            data[idx] = !data[idx];
+        }
+        let positions: Vec<Option<bool>> = data.into_iter().map(Some).collect();
+        assert_eq!(ecc.decode(&positions, 10, &mut no_ties), wm);
+    }
+
+    #[test]
+    fn majority_fails_beyond_half_as_expected() {
+        let ecc = MajorityVotingEcc;
+        let wm = Watermark::from_u64(0, 10);
+        let mut data = ecc.encode(&wm, 100);
+        // Flip 6 of 10 copies of bit 0 — majority now wrong.
+        for k in 0..6 {
+            data[10 * k] = !data[10 * k];
+        }
+        let positions: Vec<Option<bool>> = data.into_iter().map(Some).collect();
+        let decoded = ecc.decode(&positions, 10, &mut no_ties);
+        assert!(decoded.bit(0));
+        assert_eq!(wm.hamming_distance(&decoded), 1);
+    }
+
+    #[test]
+    fn erased_positions_abstain() {
+        let ecc = MajorityVotingEcc;
+        let wm = Watermark::from_u64(0b11, 2);
+        let data = ecc.encode(&wm, 10);
+        // Erase all but one copy of each bit: survivors decide alone.
+        let positions: Vec<Option<bool>> = data
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| if i < 2 { Some(b) } else { None })
+            .collect();
+        assert_eq!(ecc.decode(&positions, 2, &mut no_ties), wm);
+    }
+
+    #[test]
+    fn full_erasure_consults_tie_break() {
+        let ecc = MajorityVotingEcc;
+        let positions = vec![None; 20];
+        let mut consulted = Vec::new();
+        let decoded = ecc.decode(&positions, 4, &mut |j| {
+            consulted.push(j);
+            j % 2 == 0
+        });
+        assert_eq!(consulted, vec![0, 1, 2, 3]);
+        assert_eq!(decoded.bits(), &[true, false, true, false]);
+    }
+
+    #[test]
+    fn exact_tie_consults_tie_break() {
+        let ecc = MajorityVotingEcc;
+        // Two copies of one bit, one vote each way.
+        let positions = vec![Some(true), Some(false)];
+        let decoded = ecc.decode(&positions, 1, &mut |_| true);
+        assert!(decoded.bit(0));
+    }
+
+    #[test]
+    fn block_code_round_trips() {
+        let ecc = BlockRepetitionEcc;
+        let wm = Watermark::from_u64(0b1100110011, 10);
+        let data = ecc.encode(&wm, 103); // non-divisible length
+        let positions: Vec<Option<bool>> = data.into_iter().map(Some).collect();
+        assert_eq!(ecc.decode(&positions, 10, &mut no_ties), wm);
+    }
+
+    #[test]
+    fn block_code_positions_are_contiguous() {
+        let ecc = BlockRepetitionEcc;
+        let assignments: Vec<usize> = (0..20).map(|i| ecc.bit_for_position(i, 4, 20)).collect();
+        // Non-decreasing runs, all bits covered.
+        assert!(assignments.windows(2).all(|w| w[0] <= w[1]));
+        for j in 0..4 {
+            assert!(assignments.contains(&j));
+        }
+    }
+
+    #[test]
+    fn block_vs_interleaved_under_prefix_erasure() {
+        // Erase the first half of wm_data. Interleaving keeps ~half of
+        // every bit's copies; block coding loses entire bits.
+        let wm = Watermark::from_u64(0b1111100000, 10);
+        let out_len = 100;
+        let inter = MajorityVotingEcc;
+        let block = BlockRepetitionEcc;
+        let make_positions = |data: Vec<bool>| -> Vec<Option<bool>> {
+            data.into_iter()
+                .enumerate()
+                .map(|(i, b)| if i < out_len / 2 { None } else { Some(b) })
+                .collect()
+        };
+        let inter_decoded =
+            inter.decode(&make_positions(inter.encode(&wm, out_len)), 10, &mut |_| false);
+        assert_eq!(inter_decoded, wm, "interleaving survives prefix erasure");
+        let block_decoded =
+            block.decode(&make_positions(block.encode(&wm, out_len)), 10, &mut |_| false);
+        // Bits 0..5 lived entirely in the erased prefix → tie-broken
+        // to false. Bits 0..5 of the watermark are 1 → all lost.
+        assert_eq!(wm.hamming_distance(&block_decoded), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least")]
+    fn encode_rejects_short_output() {
+        let _ = MajorityVotingEcc.encode(&Watermark::from_u64(0, 10), 5);
+    }
+
+    #[test]
+    fn hamming_round_trips_clean_data() {
+        let ecc = HammingMajorityEcc;
+        for wm_len in [4usize, 7, 10, 16] {
+            let wm = Watermark::from_u64(0xDEAD & ((1 << wm_len) - 1), wm_len);
+            let data = ecc.encode(&wm, 200);
+            let positions: Vec<Option<bool>> = data.into_iter().map(Some).collect();
+            assert_eq!(ecc.decode(&positions, wm_len, &mut no_ties), wm, "wm_len={wm_len}");
+        }
+    }
+
+    #[test]
+    fn hamming_codeword_len_is_seven_per_nibble() {
+        assert_eq!(HammingMajorityEcc::codeword_len(4), 7);
+        assert_eq!(HammingMajorityEcc::codeword_len(10), 21);
+        assert_eq!(HammingMajorityEcc::codeword_len(16), 28);
+    }
+
+    #[test]
+    fn hamming_survives_total_position_wipeout_where_repetition_fails() {
+        // Destroy EVERY copy of one codeword/watermark position.
+        // Repetition has no parity to fall back on; Hamming corrects
+        // the block.
+        let wm = Watermark::from_u64(0b1111_1111, 8);
+        let out_len = 140; // 10 copies of the 14-bit Hamming codeword
+        let hamming = HammingMajorityEcc;
+        let data = hamming.encode(&wm, out_len);
+        let l = HammingMajorityEcc::codeword_len(8);
+        // Flip all copies of codeword position 2 (a data bit: d1).
+        let flipped: Vec<Option<bool>> = data
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| Some(if i % l == 2 { !b } else { b }))
+            .collect();
+        assert_eq!(hamming.decode(&flipped, 8, &mut no_ties), wm);
+
+        // The repetition code under the same adversary loses the bit.
+        let majority = MajorityVotingEcc;
+        let rep = majority.encode(&wm, out_len);
+        let rep_flipped: Vec<Option<bool>> = rep
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| Some(if i % 8 == 2 { !b } else { b }))
+            .collect();
+        let decoded = majority.decode(&rep_flipped, 8, &mut no_ties);
+        assert_eq!(wm.hamming_distance(&decoded), 1, "repetition must lose exactly bit 2");
+    }
+
+    #[test]
+    fn hamming_corrects_one_wipeout_per_block_not_two() {
+        let wm = Watermark::from_u64(0b1010, 4); // single block
+        let hamming = HammingMajorityEcc;
+        let data = hamming.encode(&wm, 70);
+        // Two positions of the same block wiped: miscorrection allowed,
+        // but the decode must still be a valid 4-bit watermark.
+        let flipped: Vec<Option<bool>> = data
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| Some(if i % 7 <= 1 { !b } else { b }))
+            .collect();
+        let decoded = hamming.decode(&flipped, 4, &mut no_ties);
+        assert_eq!(decoded.len(), 4);
+        assert!(wm.hamming_distance(&decoded) >= 1, "double wipeout is beyond Hamming(7,4)");
+    }
+
+    #[test]
+    fn hamming_tolerates_minority_random_corruption() {
+        let ecc = HammingMajorityEcc;
+        let wm = Watermark::from_u64(0x2AB, 10);
+        let mut data = ecc.encode(&wm, 210); // 10 copies per codeword bit
+        // Flip 3 of 10 copies of several scattered positions.
+        for (pos, k) in [(0, 0), (5, 1), (13, 2)] {
+            for copy in 0..3 {
+                let idx = pos + 21 * (copy + k);
+                data[idx] = !data[idx];
+            }
+        }
+        let positions: Vec<Option<bool>> = data.into_iter().map(Some).collect();
+        assert_eq!(ecc.decode(&positions, 10, &mut no_ties), wm);
+    }
+
+    #[test]
+    fn hamming_handles_erasures() {
+        let ecc = HammingMajorityEcc;
+        let wm = Watermark::from_u64(0b1100, 4);
+        let data = ecc.encode(&wm, 70);
+        // Erase 80% of positions uniformly: survivors still decide.
+        let positions: Vec<Option<bool>> = data
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| if i % 5 == 0 { Some(b) } else { None })
+            .collect();
+        assert_eq!(ecc.decode(&positions, 4, &mut no_ties), wm);
+    }
+
+    #[test]
+    #[should_panic(expected = "Hamming codeword")]
+    fn hamming_rejects_sub_codeword_output() {
+        let _ = HammingMajorityEcc.encode(&Watermark::from_u64(0, 10), 15);
+    }
+}

@@ -1,0 +1,337 @@
+//! Mark encoding (Section 3.2.1, Figure 1(a)).
+//!
+//! ```text
+//! wm_embed(K, A, wm, k1, k2, e, ECC)
+//!   wm_data ← ECC.encode(wm, N/e)
+//!   for j ← 1 .. N
+//!     if H(T_j(K), k1) mod e == 0 then
+//!       t ← set_bit(H(T_j(K), k1), 0, wm_data[H(T_j(K), k2)])
+//!       T_j(A) ← a_t
+//! ```
+//!
+//! The encoder walks the relation once; for every fit tuple it derives
+//! the carried `wm_data` position from `H(·, k2)`, a pseudorandom base
+//! index from the top bits of `H(·, k1)`, forces the base's LSB to the
+//! watermark bit and writes the corresponding domain value back.
+//! Optionally every alteration is gated by a [`QualityGuard`]
+//! (Section 4.1).
+
+use catmark_relation::Relation;
+
+use crate::ecc::{ErrorCorrectingCode, MajorityVotingEcc};
+use crate::error::CoreError;
+use crate::fitness::FitnessSelector;
+use crate::quality::{Alteration, QualityGuard};
+use crate::spec::{Watermark, WatermarkSpec};
+
+/// Outcome of an embedding pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EmbedReport {
+    /// Total tuples examined (`N`).
+    pub total_tuples: usize,
+    /// Tuples satisfying the fitness criterion (≈ N/e).
+    pub fit_tuples: usize,
+    /// Tuples whose attribute value actually changed.
+    pub altered: usize,
+    /// Fit tuples whose value already carried the right bit pattern.
+    pub unchanged: usize,
+    /// Alterations vetoed by quality constraints.
+    pub vetoed: usize,
+    /// Distinct `wm_data` positions that received at least one
+    /// embedding (the paper: "a large majority of the bits in wm_data
+    /// are going to be embedded at least once").
+    pub positions_covered: usize,
+    /// Rows whose attribute value was actually altered. Fit tuples
+    /// whose value already matched are *not* listed: they need no
+    /// protection from later passes (their vote already agrees).
+    pub touched_rows: Vec<usize>,
+}
+
+impl EmbedReport {
+    /// Fraction of the relation altered — the data-distortion cost the
+    /// paper trades against resilience (Figure 5's x-axis is driven by
+    /// this through `e`).
+    #[must_use]
+    pub fn alteration_rate(&self) -> f64 {
+        if self.total_tuples == 0 {
+            0.0
+        } else {
+            self.altered as f64 / self.total_tuples as f64
+        }
+    }
+}
+
+/// Watermark encoder for one `(key, categorical attribute)` pair.
+#[derive(Debug, Clone)]
+pub struct Embedder<'a> {
+    spec: &'a WatermarkSpec,
+}
+
+impl<'a> Embedder<'a> {
+    /// Encoder over `spec`.
+    #[must_use]
+    pub fn new(spec: &'a WatermarkSpec) -> Self {
+        Embedder { spec }
+    }
+
+    /// Embed `wm` into the association between `key_attr` and
+    /// `target_attr` of `rel`, with the default majority-voting ECC
+    /// and no quality constraints.
+    ///
+    /// # Errors
+    ///
+    /// Unknown attributes, watermark length mismatch, or a target
+    /// column containing values outside the spec's domain.
+    pub fn embed(
+        &self,
+        rel: &mut Relation,
+        key_attr: &str,
+        target_attr: &str,
+        wm: &Watermark,
+    ) -> Result<EmbedReport, CoreError> {
+        let key_idx = rel.schema().index_of(key_attr)?;
+        let attr_idx = rel.schema().index_of(target_attr)?;
+        self.embed_by_idx(rel, key_idx, attr_idx, wm, &MajorityVotingEcc, None)
+    }
+
+    /// Embed with quality constraints: vetoed alterations leave the
+    /// tuple unmodified (that redundant copy of the watermark bit is
+    /// simply not planted).
+    ///
+    /// # Errors
+    ///
+    /// As [`Embedder::embed`].
+    pub fn embed_guarded(
+        &self,
+        rel: &mut Relation,
+        key_attr: &str,
+        target_attr: &str,
+        wm: &Watermark,
+        guard: &mut QualityGuard,
+    ) -> Result<EmbedReport, CoreError> {
+        let key_idx = rel.schema().index_of(key_attr)?;
+        let attr_idx = rel.schema().index_of(target_attr)?;
+        self.embed_by_idx(rel, key_idx, attr_idx, wm, &MajorityVotingEcc, Some(guard))
+    }
+
+    /// Fully general embedding: explicit attribute indices, pluggable
+    /// ECC, optional guard.
+    ///
+    /// # Errors
+    ///
+    /// As [`Embedder::embed`].
+    pub fn embed_by_idx(
+        &self,
+        rel: &mut Relation,
+        key_idx: usize,
+        attr_idx: usize,
+        wm: &Watermark,
+        ecc: &dyn ErrorCorrectingCode,
+        mut guard: Option<&mut QualityGuard>,
+    ) -> Result<EmbedReport, CoreError> {
+        if wm.len() != self.spec.wm_len {
+            return Err(CoreError::InvalidSpec(format!(
+                "watermark has {} bits but the spec declares {}",
+                wm.len(),
+                self.spec.wm_len
+            )));
+        }
+        let wm_data = ecc.encode(wm, self.spec.wm_data_len);
+        let sel = FitnessSelector::new(self.spec);
+        let n = self.spec.domain.len() as u64;
+        let mut report = EmbedReport {
+            total_tuples: rel.len(),
+            fit_tuples: 0,
+            altered: 0,
+            unchanged: 0,
+            vetoed: 0,
+            positions_covered: 0,
+            touched_rows: Vec::new(),
+        };
+        let mut covered = vec![false; self.spec.wm_data_len];
+        for row in 0..rel.len() {
+            let key = rel.tuple(row).expect("row in range").get(key_idx).clone();
+            if !sel.is_fit(&key) {
+                continue;
+            }
+            report.fit_tuples += 1;
+            let idx = sel.position(&key);
+            let bit = wm_data[idx];
+            let base = sel.value_base(&key, n);
+            let t = crate::bits::force_lsb_in_domain(base, bit, n) as usize;
+            let new_value = self.spec.domain.value_at(t).clone();
+            let old_value = rel.tuple(row).expect("row in range").get(attr_idx).clone();
+            if old_value == new_value {
+                report.unchanged += 1;
+                covered[idx] = true;
+                continue;
+            }
+            if let Some(g) = guard.as_deref_mut() {
+                let change = Alteration {
+                    row,
+                    attr: attr_idx,
+                    old: old_value,
+                    new: new_value.clone(),
+                };
+                if !g.propose(change) {
+                    report.vetoed += 1;
+                    continue;
+                }
+            }
+            rel.update_value(row, attr_idx, new_value)?;
+            report.altered += 1;
+            covered[idx] = true;
+            report.touched_rows.push(row);
+        }
+        report.positions_covered = covered.iter().filter(|&&c| c).count();
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quality::AlterationBudget;
+    use catmark_datagen::{ItemScanConfig, SalesGenerator};
+    use catmark_relation::Value;
+
+    fn setup(tuples: usize, e: u64) -> (Relation, WatermarkSpec, Watermark) {
+        let gen = SalesGenerator::new(ItemScanConfig { tuples, ..Default::default() });
+        let rel = gen.generate();
+        let spec = WatermarkSpec::builder(gen.item_domain())
+            .master_key("embed-tests")
+            .e(e)
+            .wm_len(10)
+            .expected_tuples(tuples)
+            .build()
+            .unwrap();
+        let wm = Watermark::from_u64(0b1011001110, 10);
+        (rel, spec, wm)
+    }
+
+    #[test]
+    fn embeds_expected_tuple_fraction() {
+        let (mut rel, spec, wm) = setup(12_000, 60);
+        let report = Embedder::new(&spec).embed(&mut rel, "visit_nbr", "item_nbr", &wm).unwrap();
+        assert_eq!(report.total_tuples, 12_000);
+        let expected = 200.0;
+        assert!(
+            (report.fit_tuples as f64 - expected).abs() < expected * 0.35,
+            "fit={}",
+            report.fit_tuples
+        );
+        // Nearly all fit tuples require an actual value change (the
+        // prior value matching by chance has probability ~1/nA… ×2).
+        assert!(report.altered + report.unchanged == report.fit_tuples);
+        assert!(report.altered as f64 > 0.9 * report.fit_tuples as f64);
+        assert_eq!(report.vetoed, 0);
+    }
+
+    #[test]
+    fn embedded_values_stay_in_domain_with_correct_lsb() {
+        let (mut rel, spec, wm) = setup(3_000, 20);
+        let report = Embedder::new(&spec).embed(&mut rel, "visit_nbr", "item_nbr", &wm).unwrap();
+        let ecc = MajorityVotingEcc;
+        let wm_data = ecc.encode(&wm, spec.wm_data_len);
+        let sel = FitnessSelector::new(&spec);
+        for &row in &report.touched_rows {
+            let tuple = rel.tuple(row).unwrap();
+            let t = spec.domain.index_of(tuple.get(1)).expect("value in domain");
+            let idx = sel.position(tuple.get(0));
+            assert_eq!(t & 1 == 1, wm_data[idx], "row {row} carries the wrong bit");
+        }
+    }
+
+    #[test]
+    fn embedding_is_deterministic() {
+        let (rel, spec, wm) = setup(2_000, 30);
+        let mut a = rel.clone();
+        let mut b = rel;
+        Embedder::new(&spec).embed(&mut a, "visit_nbr", "item_nbr", &wm).unwrap();
+        Embedder::new(&spec).embed(&mut b, "visit_nbr", "item_nbr", &wm).unwrap();
+        assert!(a.iter().zip(b.iter()).all(|(x, y)| x == y));
+    }
+
+    #[test]
+    fn embedding_is_idempotent() {
+        // Re-embedding the same watermark changes nothing: every fit
+        // tuple already carries its assigned value.
+        let (mut rel, spec, wm) = setup(2_000, 30);
+        let emb = Embedder::new(&spec);
+        let first = emb.embed(&mut rel, "visit_nbr", "item_nbr", &wm).unwrap();
+        let second = emb.embed(&mut rel, "visit_nbr", "item_nbr", &wm).unwrap();
+        assert!(first.altered > 0);
+        assert_eq!(second.altered, 0);
+        assert_eq!(second.unchanged, second.fit_tuples);
+    }
+
+    #[test]
+    fn rejects_wrong_watermark_length() {
+        let (mut rel, spec, _) = setup(1_000, 30);
+        let wm = Watermark::from_u64(1, 5);
+        let err = Embedder::new(&spec).embed(&mut rel, "visit_nbr", "item_nbr", &wm);
+        assert!(matches!(err, Err(CoreError::InvalidSpec(_))));
+    }
+
+    #[test]
+    fn rejects_unknown_attributes() {
+        let (mut rel, spec, wm) = setup(100, 30);
+        assert!(Embedder::new(&spec).embed(&mut rel, "nope", "item_nbr", &wm).is_err());
+        assert!(Embedder::new(&spec).embed(&mut rel, "visit_nbr", "nope", &wm).is_err());
+    }
+
+    #[test]
+    fn guard_vetoes_are_counted_and_skip_alterations() {
+        let (mut rel, spec, wm) = setup(6_000, 30);
+        let mut guard = QualityGuard::new(vec![Box::new(AlterationBudget::new(10))]);
+        let report = Embedder::new(&spec)
+            .embed_guarded(&mut rel, "visit_nbr", "item_nbr", &wm, &mut guard)
+            .unwrap();
+        assert_eq!(report.altered, 10);
+        assert!(report.vetoed > 0);
+        assert_eq!(guard.log().len(), 10);
+    }
+
+    #[test]
+    fn guard_undo_restores_original_relation() {
+        let (rel, spec, wm) = setup(2_000, 30);
+        let original = rel.clone();
+        let mut marked = rel;
+        let mut guard = QualityGuard::new(vec![]);
+        Embedder::new(&spec)
+            .embed_guarded(&mut marked, "visit_nbr", "item_nbr", &wm, &mut guard)
+            .unwrap();
+        assert!(original.iter().zip(marked.iter()).any(|(a, b)| a != b));
+        guard.undo_all(&mut marked).unwrap();
+        assert!(original.iter().zip(marked.iter()).all(|(a, b)| a == b));
+    }
+
+    #[test]
+    fn alteration_rate_matches_one_over_e_scaling() {
+        let (mut rel, spec, wm) = setup(12_000, 60);
+        let report = Embedder::new(&spec).embed(&mut rel, "visit_nbr", "item_nbr", &wm).unwrap();
+        let rate = report.alteration_rate();
+        // ~1/e of tuples altered (minus the few unchanged-by-chance).
+        assert!((rate - 1.0 / 60.0).abs() < 0.01, "rate={rate}");
+    }
+
+    #[test]
+    fn covers_most_positions() {
+        let (mut rel, spec, wm) = setup(6_000, 60);
+        let report = Embedder::new(&spec).embed(&mut rel, "visit_nbr", "item_nbr", &wm).unwrap();
+        // With ~100 fit tuples into 100 positions, coverage follows
+        // the coupon-collector/Poisson curve: ≈ 1 - 1/e ≈ 63%.
+        let coverage = report.positions_covered as f64 / spec.wm_data_len as f64;
+        assert!(coverage > 0.45, "coverage={coverage}");
+    }
+
+    #[test]
+    fn key_attribute_is_never_modified() {
+        let (rel, spec, wm) = setup(3_000, 20);
+        let mut marked = rel.clone();
+        Embedder::new(&spec).embed(&mut marked, "visit_nbr", "item_nbr", &wm).unwrap();
+        let before: Vec<Value> = rel.column(0);
+        let after: Vec<Value> = marked.column(0);
+        assert_eq!(before, after);
+    }
+}

@@ -1,0 +1,80 @@
+//! Error type for the watermarking pipeline.
+
+use catmark_relation::RelationError;
+
+/// Errors produced by watermark embedding, decoding and the
+/// extensions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// A substrate (relational) operation failed.
+    Relation(RelationError),
+    /// Invalid watermarking parameters.
+    InvalidSpec(String),
+    /// The data offers too little bandwidth for the requested
+    /// watermark (the `|wm| < N/e` requirement of Section 4.4).
+    InsufficientBandwidth {
+        /// Watermark length requested.
+        wm_len: usize,
+        /// `wm_data` capacity available.
+        capacity: usize,
+    },
+    /// The embedding-map variant was asked to decode without a map
+    /// entry for any fit tuple.
+    EmptyEmbedding,
+    /// Quality constraints vetoed every candidate alteration.
+    AllAlterationsVetoed,
+}
+
+impl std::fmt::Display for CoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoreError::Relation(e) => write!(f, "relation error: {e}"),
+            CoreError::InvalidSpec(msg) => write!(f, "invalid watermark spec: {msg}"),
+            CoreError::InsufficientBandwidth { wm_len, capacity } => write!(
+                f,
+                "watermark of {wm_len} bits exceeds embedding capacity of {capacity} positions"
+            ),
+            CoreError::EmptyEmbedding => {
+                f.write_str("no fit tuples found; nothing was embedded or decoded")
+            }
+            CoreError::AllAlterationsVetoed => {
+                f.write_str("quality constraints vetoed every candidate alteration")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Relation(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<RelationError> for CoreError {
+    fn from(e: RelationError) -> Self {
+        CoreError::Relation(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_carry_detail() {
+        let e = CoreError::InsufficientBandwidth { wm_len: 100, capacity: 10 };
+        assert!(e.to_string().contains("100"));
+        assert!(e.to_string().contains("10"));
+    }
+
+    #[test]
+    fn relation_errors_convert_and_chain() {
+        let inner = RelationError::UnknownAttr("a".into());
+        let e: CoreError = inner.clone().into();
+        assert_eq!(e, CoreError::Relation(inner));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,190 @@
+//! Fit-tuple selection (Section 3.2.1).
+//!
+//! A tuple `T_i` is "fit" for encoding iff `H(T_i(K), k1) mod e == 0`.
+//! The secret criterion simultaneously (i) hides *which* tuples carry
+//! mark bits, (ii) modulates the encoding to the actual key–attribute
+//! association, and (iii) — through the hash's one-wayness — defeats
+//! court-time claims that the keys were fished for after the fact.
+
+use catmark_crypto::KeyedHash;
+use catmark_relation::{Relation, Value};
+
+use crate::spec::WatermarkSpec;
+
+/// Selects and hashes fit tuples for one (key attribute, spec) pair.
+#[derive(Debug, Clone)]
+pub struct FitnessSelector {
+    keyed1: KeyedHash,
+    keyed2: KeyedHash,
+    e: u64,
+    wm_data_len: u64,
+}
+
+impl FitnessSelector {
+    /// Selector from a spec.
+    #[must_use]
+    pub fn new(spec: &WatermarkSpec) -> Self {
+        FitnessSelector {
+            keyed1: spec.keyed1(),
+            keyed2: spec.keyed2(),
+            e: spec.e,
+            wm_data_len: spec.wm_data_len as u64,
+        }
+    }
+
+    /// `H(key, k1)` — the fitness/value-selection hash.
+    #[must_use]
+    pub fn hash1(&self, key: &Value) -> u64 {
+        self.keyed1.hash_u64(&[&key.canonical_bytes()])
+    }
+
+    /// Whether the tuple with primary key `key` is fit.
+    #[must_use]
+    pub fn is_fit(&self, key: &Value) -> bool {
+        self.hash1(key).is_multiple_of(self.e)
+    }
+
+    /// The `wm_data` position carried by the fit tuple with key `key`:
+    /// `H(key, k2) mod |wm_data|`.
+    ///
+    /// The paper writes `msb(H(T_j(K), k2), b(N/e))`; reducing modulo
+    /// the (power-of-two-or-not) length avoids the out-of-range
+    /// positions the raw `msb` form can produce while keeping the
+    /// position a pure function of the tuple key — the property that
+    /// makes the scheme survive subset selection and addition.
+    #[must_use]
+    pub fn position(&self, key: &Value) -> usize {
+        (self.keyed2.hash_u64(&[&key.canonical_bytes()]) % self.wm_data_len) as usize
+    }
+
+    /// The pseudorandom base index into the value domain for a fit
+    /// tuple, before LSB forcing: the most significant 32 bits of
+    /// `H(key, k1)` reduced modulo `n`.
+    ///
+    /// Using the *top* bits matters: the fitness test already
+    /// constrains `H mod e`, and for composite `gcd(e, n) > 1` a naive
+    /// `H mod n` of fit tuples would be biased (e.g. `e = 60`,
+    /// `n = 1000` would only ever select indices divisible by 20,
+    /// pinning the embedded LSB). The top 32 bits remain uniform
+    /// conditioned on the fitness residue.
+    #[must_use]
+    pub fn value_base(&self, key: &Value, n: u64) -> u64 {
+        (self.hash1(key) >> 32) % n
+    }
+
+    /// Row indices of all fit tuples of `rel`, keyed by attribute
+    /// `key_idx`.
+    #[must_use]
+    pub fn fit_rows(&self, rel: &Relation, key_idx: usize) -> Vec<usize> {
+        rel.iter()
+            .enumerate()
+            .filter(|(_, t)| self.is_fit(t.get(key_idx)))
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use catmark_datagen::{ItemScanConfig, SalesGenerator};
+    use catmark_relation::CategoricalDomain;
+
+    fn spec(e: u64) -> WatermarkSpec {
+        let domain = CategoricalDomain::new((0..100).map(Value::Int).collect()).unwrap();
+        WatermarkSpec::builder(domain)
+            .master_key("fitness-tests")
+            .e(e)
+            .expected_tuples(6000)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn fit_density_approximates_one_over_e() {
+        let gen = SalesGenerator::new(ItemScanConfig { tuples: 12_000, ..Default::default() });
+        let rel = gen.generate();
+        for e in [10u64, 30, 60] {
+            let sel = FitnessSelector::new(&spec(e));
+            let fit = sel.fit_rows(&rel, 0).len() as f64;
+            let expected = rel.len() as f64 / e as f64;
+            assert!(
+                (fit - expected).abs() < expected * 0.35,
+                "e={e}: fit={fit}, expected≈{expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn fitness_is_deterministic_and_key_local() {
+        let sel = FitnessSelector::new(&spec(60));
+        let v = Value::Int(123_456);
+        assert_eq!(sel.is_fit(&v), sel.is_fit(&v));
+        assert_eq!(sel.position(&v), sel.position(&v));
+    }
+
+    #[test]
+    fn different_master_keys_select_different_tuples() {
+        let gen = SalesGenerator::new(ItemScanConfig { tuples: 6000, ..Default::default() });
+        let rel = gen.generate();
+        let domain = CategoricalDomain::new((0..100).map(Value::Int).collect()).unwrap();
+        let mk = |key: &str| {
+            let spec = WatermarkSpec::builder(domain.clone())
+                .master_key(key)
+                .e(20)
+                .expected_tuples(6000)
+                .build()
+                .unwrap();
+            FitnessSelector::new(&spec).fit_rows(&rel, 0)
+        };
+        let a = mk("key-a");
+        let b = mk("key-b");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn positions_cover_wm_data_range() {
+        let s = spec(60);
+        let sel = FitnessSelector::new(&s);
+        let mut seen = vec![false; s.wm_data_len];
+        for i in 0..50_000i64 {
+            seen[sel.position(&Value::Int(i))] = true;
+        }
+        let covered = seen.iter().filter(|&&x| x).count();
+        assert_eq!(covered, s.wm_data_len, "all positions should be reachable");
+    }
+
+    #[test]
+    fn value_base_is_unbiased_for_fit_tuples() {
+        // Regression guard for the gcd(e, n) bias discussed in the
+        // method docs: over fit tuples only, even and odd bases should
+        // both occur in quantity for n sharing factors with e.
+        let s = spec(60);
+        let sel = FitnessSelector::new(&s);
+        let n = 1000u64;
+        let mut even = 0u32;
+        let mut odd = 0u32;
+        for i in 0..200_000i64 {
+            let v = Value::Int(i);
+            if sel.is_fit(&v) {
+                if sel.value_base(&v, n).is_multiple_of(2) {
+                    even += 1;
+                } else {
+                    odd += 1;
+                }
+            }
+        }
+        let total = even + odd;
+        assert!(total > 2000, "need enough fit tuples, got {total}");
+        let ratio = f64::from(even) / f64::from(total);
+        assert!((0.45..0.55).contains(&ratio), "even ratio {ratio}");
+    }
+
+    #[test]
+    fn value_base_stays_in_domain() {
+        let sel = FitnessSelector::new(&spec(60));
+        for i in 0..1000i64 {
+            assert!(sel.value_base(&Value::Int(i), 7) < 7);
+        }
+    }
+}

@@ -1,0 +1,260 @@
+//! Persisting detection key material.
+//!
+//! Blind detection (Section 3.2.2) needs exactly the
+//! [`WatermarkSpec`] — keys, parameters and the attribute's value
+//! domain — possibly years after embedding ("it is unrealistic to
+//! assume the original data available after a longer time elapses").
+//! This module serializes a spec to a self-describing, line-oriented
+//! text format suitable for escrow (print it, vault it, hand it to a
+//! notary):
+//!
+//! ```text
+//! catmark-key-file v1
+//! algo sha256
+//! k1 <hex>
+//! k2 <hex>
+//! e 60
+//! wm_len 10
+//! wm_data_len 100
+//! erasure random-fill
+//! domain-int 10000 10001 10002 …
+//! ```
+//!
+//! Text domains use one `domain-text <hex-of-utf8>` entry per value so
+//! arbitrary content round-trips. The format is versioned and refuses
+//! unknown versions.
+
+use catmark_crypto::hex::{from_hex, to_hex};
+use catmark_crypto::SecretKey;
+use catmark_relation::{CategoricalDomain, Value};
+
+use crate::decode::ErasurePolicy;
+use crate::error::CoreError;
+use crate::spec::WatermarkSpec;
+
+const MAGIC: &str = "catmark-key-file v1";
+
+/// Serialize `spec` to the key-file text format.
+#[must_use]
+pub fn to_key_file(spec: &WatermarkSpec) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "{MAGIC}");
+    let _ = writeln!(out, "algo {}", spec.algo);
+    let _ = writeln!(out, "k1 {}", to_hex(spec.k1.as_bytes()));
+    let _ = writeln!(out, "k2 {}", to_hex(spec.k2.as_bytes()));
+    let _ = writeln!(out, "e {}", spec.e);
+    let _ = writeln!(out, "wm_len {}", spec.wm_len);
+    let _ = writeln!(out, "wm_data_len {}", spec.wm_data_len);
+    let erasure = match spec.erasure {
+        ErasurePolicy::Abstain => "abstain",
+        ErasurePolicy::RandomFill => "random-fill",
+        ErasurePolicy::ZeroFill => "zero-fill",
+    };
+    let _ = writeln!(out, "erasure {erasure}");
+    // Integer-only domains pack onto one line; mixed/text domains get
+    // one line per value.
+    if spec.domain.values().iter().all(|v| matches!(v, Value::Int(_))) {
+        let ints: Vec<String> = spec
+            .domain
+            .values()
+            .iter()
+            .map(|v| v.as_int().expect("checked integer").to_string())
+            .collect();
+        let _ = writeln!(out, "domain-int {}", ints.join(" "));
+    } else {
+        for v in spec.domain.values() {
+            match v {
+                Value::Int(i) => {
+                    let _ = writeln!(out, "domain-int {i}");
+                }
+                Value::Text(s) => {
+                    let _ = writeln!(out, "domain-text {}", to_hex(s.as_bytes()));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Parse a key file back into a [`WatermarkSpec`].
+///
+/// # Errors
+///
+/// [`CoreError::InvalidSpec`] on version mismatch, missing or
+/// malformed fields.
+pub fn from_key_file(text: &str) -> Result<WatermarkSpec, CoreError> {
+    let bad = |msg: String| CoreError::InvalidSpec(format!("key file: {msg}"));
+    let mut lines = text.lines();
+    let magic = lines.next().ok_or_else(|| bad("empty input".into()))?;
+    if magic.trim() != MAGIC {
+        return Err(bad(format!("unsupported header {magic:?}")));
+    }
+    let mut algo = None;
+    let mut k1 = None;
+    let mut k2 = None;
+    let mut e = None;
+    let mut wm_len = None;
+    let mut wm_data_len = None;
+    let mut erasure = ErasurePolicy::default();
+    let mut domain_values: Vec<Value> = Vec::new();
+    for (idx, raw) in lines.enumerate() {
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (field, rest) = line
+            .split_once(' ')
+            .ok_or_else(|| bad(format!("line {}: missing value", idx + 2)))?;
+        match field {
+            "algo" => {
+                algo = Some(rest.parse().map_err(|e| bad(format!("algo: {e}")))?);
+            }
+            "k1" => k1 = Some(SecretKey::from_bytes(from_hex(rest).map_err(|e| bad(e.to_string()))?)),
+            "k2" => k2 = Some(SecretKey::from_bytes(from_hex(rest).map_err(|e| bad(e.to_string()))?)),
+            "e" => e = Some(rest.parse::<u64>().map_err(|e| bad(format!("e: {e}")))?),
+            "wm_len" => {
+                wm_len = Some(rest.parse::<usize>().map_err(|e| bad(format!("wm_len: {e}")))?);
+            }
+            "wm_data_len" => {
+                wm_data_len =
+                    Some(rest.parse::<usize>().map_err(|e| bad(format!("wm_data_len: {e}")))?);
+            }
+            "erasure" => {
+                erasure = match rest {
+                    "abstain" => ErasurePolicy::Abstain,
+                    "random-fill" => ErasurePolicy::RandomFill,
+                    "zero-fill" => ErasurePolicy::ZeroFill,
+                    other => return Err(bad(format!("unknown erasure policy {other:?}"))),
+                };
+            }
+            "domain-int" => {
+                for part in rest.split_whitespace() {
+                    domain_values.push(Value::Int(
+                        part.parse().map_err(|e| bad(format!("domain-int: {e}")))?,
+                    ));
+                }
+            }
+            "domain-text" => {
+                let bytes = from_hex(rest).map_err(|e| bad(e.to_string()))?;
+                let s = String::from_utf8(bytes).map_err(|e| bad(format!("domain-text: {e}")))?;
+                domain_values.push(Value::Text(s));
+            }
+            other => return Err(bad(format!("unknown field {other:?}"))),
+        }
+    }
+    let domain = CategoricalDomain::new(domain_values)
+        .map_err(|e| bad(format!("domain: {e}")))?;
+    let spec = WatermarkSpec::builder(domain)
+        .algorithm(algo.ok_or_else(|| bad("missing algo".into()))?)
+        .keys(
+            k1.ok_or_else(|| bad("missing k1".into()))?,
+            k2.ok_or_else(|| bad("missing k2".into()))?,
+        )
+        .e(e.ok_or_else(|| bad("missing e".into()))?)
+        .wm_len(wm_len.ok_or_else(|| bad("missing wm_len".into()))?)
+        .wm_data_len(wm_data_len.ok_or_else(|| bad("missing wm_data_len".into()))?)
+        .erasure(erasure)
+        .build()?;
+    Ok(spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decode::Decoder;
+    use crate::embed::Embedder;
+    use crate::spec::Watermark;
+    use catmark_datagen::{domains, ItemScanConfig, SalesGenerator};
+    use catmark_crypto::HashAlgorithm;
+
+    fn spec() -> WatermarkSpec {
+        WatermarkSpec::builder(domains::product_codes(50, 1000))
+            .master_key("keyfile-tests")
+            .e(25)
+            .wm_len(12)
+            .wm_data_len(96)
+            .erasure(ErasurePolicy::Abstain)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let original = spec();
+        let restored = from_key_file(&to_key_file(&original)).unwrap();
+        assert_eq!(restored.algo, original.algo);
+        assert_eq!(restored.k1, original.k1);
+        assert_eq!(restored.k2, original.k2);
+        assert_eq!(restored.e, original.e);
+        assert_eq!(restored.wm_len, original.wm_len);
+        assert_eq!(restored.wm_data_len, original.wm_data_len);
+        assert_eq!(restored.erasure, original.erasure);
+        assert_eq!(restored.domain, original.domain);
+    }
+
+    #[test]
+    fn text_domains_round_trip() {
+        let mut original = spec();
+        original.domain = domains::cities();
+        let restored = from_key_file(&to_key_file(&original)).unwrap();
+        assert_eq!(restored.domain, domains::cities());
+    }
+
+    #[test]
+    fn restored_spec_decodes_marked_data() {
+        let gen = SalesGenerator::new(ItemScanConfig { tuples: 4_000, ..Default::default() });
+        let mut rel = gen.generate();
+        let original = WatermarkSpec::builder(gen.item_domain())
+            .master_key("escrow")
+            .e(15)
+            .wm_len(10)
+            .expected_tuples(rel.len())
+            .erasure(ErasurePolicy::Abstain)
+            .build()
+            .unwrap();
+        let wm = Watermark::from_u64(0b10_0110_1101 & 0x3FF, 10);
+        Embedder::new(&original).embed(&mut rel, "visit_nbr", "item_nbr", &wm).unwrap();
+        // Years later: only the key file survives.
+        let restored = from_key_file(&to_key_file(&original)).unwrap();
+        let decoded = Decoder::new(&restored).decode(&rel, "visit_nbr", "item_nbr").unwrap();
+        assert_eq!(decoded.watermark, wm);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(from_key_file("").is_err());
+        assert!(from_key_file("not-a-key-file v9\n").is_err());
+        let mut missing_k1 = to_key_file(&spec());
+        missing_k1 = missing_k1.lines().filter(|l| !l.starts_with("k1")).collect::<Vec<_>>().join("\n");
+        assert!(from_key_file(&missing_k1).is_err());
+        let truncated_domain = format!("{MAGIC}\nalgo sha256\nk1 aa\nk2 bb\ne 5\nwm_len 4\nwm_data_len 8\n");
+        assert!(from_key_file(&truncated_domain).is_err(), "empty domain must fail");
+        let unknown_field = format!("{}\nbogus 1\n", to_key_file(&spec()).trim());
+        assert!(from_key_file(&unknown_field).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_erasure_and_algo() {
+        let base = to_key_file(&spec());
+        let bad_erasure = base.replace("erasure abstain", "erasure maybe");
+        assert!(from_key_file(&bad_erasure).is_err());
+        let bad_algo = base.replace("algo sha256", "algo rot13");
+        assert!(from_key_file(&bad_algo).is_err());
+    }
+
+    #[test]
+    fn file_does_not_contain_plaintext_master() {
+        // Keys in the file are the *derived* k1/k2, never a master
+        // passphrase (derivation is one-way).
+        let s = WatermarkSpec::builder(domains::product_codes(10, 0))
+            .algorithm(HashAlgorithm::Sha256)
+            .master_key("hunter2-master-passphrase")
+            .e(5)
+            .wm_len(4)
+            .wm_data_len(8)
+            .build()
+            .unwrap();
+        assert!(!to_key_file(&s).contains("hunter2"));
+    }
+}

@@ -1,0 +1,109 @@
+//! `catmark-core` — watermarking categorical relational data.
+//!
+//! This crate implements the primary contribution of *Proving Ownership
+//! over Categorical Data* (Radu Sion, ICDE 2004 / CERIAS TR 2003-19):
+//! blind, resilient watermark embedding in the association between a
+//! relation's primary key and its categorical attributes, plus every
+//! extension the paper describes.
+//!
+//! # The scheme in one paragraph
+//!
+//! A keyed one-way hash of each tuple's primary key selects a sparse,
+//! secret subset of "fit" tuples (`H(T(K), k1) mod e == 0`, Section
+//! 3.2.1). The watermark `wm` is redundantly expanded by an
+//! error-correcting code into `wm_data` (≈ N/e bits). For every fit
+//! tuple, a second keyed hash picks which `wm_data` bit that tuple
+//! carries, and the tuple's categorical value is replaced by a
+//! pseudorandom domain value whose least-significant index bit equals
+//! that watermark bit. Detection is *blind*: it re-derives the fit set
+//! and positions from the keys alone, majority-votes the redundant
+//! copies, and measures how improbable the match would be by chance.
+//!
+//! # Module map
+//!
+//! | Paper section | Module |
+//! |---|---|
+//! | §2.1 notation (`b(·)`, `msb`, `set_bit`) | [`bits`] |
+//! | §3.2.1 fit-tuple selection | [`fitness`] |
+//! | §3.2.1 error correction (majority voting) | [`ecc`] |
+//! | §3.2.1 mark encoding | [`embed`] |
+//! | §3.2.2 mark decoding | [`decode`] |
+//! | Fig. 1(b)/2(b) embedding-map alternative | [`map_variant`] |
+//! | §3.3 multiple attribute embeddings | [`multiattr`] |
+//! | §3.3 pair-closure construction | [`closure`] |
+//! | §4.1 on-the-fly quality assessment | [`quality`] |
+//! | [5]'s query preservation, made enforceable | [`query_preserve`] |
+//! | §4.2 frequency-domain encoding | [`freq`] |
+//! | §4.3 incremental updates | [`stream`] |
+//! | §4.4 court-time detection odds | [`mod@detect`] |
+//! | §4.5 bijective attribute re-mapping | [`remap`] |
+//! | §4.6 data addition | [`addition`] |
+//! | §6 additive attacks (future work, implemented) | [`contest`] |
+//! | §6 constraint language (future work, implemented) | [`constraint_lang`] |
+//! | §3.1 direct-domain augmentation (sketched, implemented) | [`wide`] |
+//! | intro's buyer scenario: traitor tracing | [`fingerprint`] |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use catmark_core::{Embedder, Decoder, Watermark, WatermarkSpec};
+//! use catmark_crypto::HashAlgorithm;
+//! use catmark_datagen::{ItemScanConfig, SalesGenerator};
+//! use catmark_relation::CategoricalDomain;
+//!
+//! // A sales relation: (visit_nbr PRIMARY KEY, item_nbr CATEGORICAL).
+//! let gen = SalesGenerator::new(ItemScanConfig { tuples: 2000, ..Default::default() });
+//! let mut rel = gen.generate();
+//!
+//! // Key material: two secret keys, the fitness modulus e, and the
+//! // attribute's value domain.
+//! let spec = WatermarkSpec::builder(gen.item_domain())
+//!     .master_key("my-secret")
+//!     .e(30)
+//!     .wm_len(10)
+//!     .expected_tuples(rel.len())
+//!     .build()
+//!     .unwrap();
+//!
+//! let wm = Watermark::from_u64(0b10_0111_0101, 10);
+//! let report = Embedder::new(&spec).embed(&mut rel, "visit_nbr", "item_nbr", &wm).unwrap();
+//! assert!(report.fit_tuples > 0);
+//!
+//! // Blind detection: only the spec (keys + parameters) is needed.
+//! let decoded = Decoder::new(&spec).decode(&rel, "visit_nbr", "item_nbr").unwrap();
+//! assert_eq!(decoded.watermark, wm);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod addition;
+pub mod bits;
+pub mod closure;
+pub mod constraint_lang;
+pub mod contest;
+pub mod decode;
+pub mod detect;
+pub mod ecc;
+pub mod embed;
+pub mod error;
+pub mod fingerprint;
+pub mod fitness;
+pub mod freq;
+pub mod keyfile;
+pub mod map_variant;
+pub mod multiattr;
+pub mod power;
+pub mod quality;
+pub mod query_preserve;
+pub mod remap;
+pub mod spec;
+pub mod stream;
+pub mod wide;
+
+pub use decode::{DecodeReport, Decoder, ErasurePolicy};
+pub use detect::{detect, Detection};
+pub use embed::{EmbedReport, Embedder};
+pub use error::CoreError;
+pub use fitness::FitnessSelector;
+pub use spec::{Watermark, WatermarkSpec, WatermarkSpecBuilder};

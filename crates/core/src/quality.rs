@@ -1,0 +1,464 @@
+//! On-the-fly data quality assessment (Section 4.1, Figure 3).
+//!
+//! "Each property of the database that needs to be preserved is
+//! written as a constraint on the allowable change to the dataset. The
+//! watermarking algorithm is then applied with these constraints as
+//! input and re-evaluates them continuously for each alteration. A
+//! rollback log is kept to allow undo operations in case certain
+//! constraints are violated by the current watermarking step."
+//!
+//! [`QualityGuard`] is that mechanism: a stack of pluggable
+//! [`QualityConstraint`]s consulted before every candidate alteration,
+//! plus a [`RollbackLog`] that can undo any prefix of the embedding.
+//! Constraints are stateful (they track the cumulative effect of
+//! committed changes), mirroring the paper's "usability metric
+//! plugins".
+
+use std::collections::HashSet;
+
+use catmark_relation::{CategoricalDomain, FrequencyHistogram, Relation, Value};
+
+use crate::error::CoreError;
+
+/// One candidate (or committed) attribute alteration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Alteration {
+    /// Row index in the relation being watermarked.
+    pub row: usize,
+    /// Attribute index being altered.
+    pub attr: usize,
+    /// Value before the alteration.
+    pub old: Value,
+    /// Value after the alteration.
+    pub new: Value,
+}
+
+/// A pluggable usability metric (Figure 3's "usability metric plugin").
+pub trait QualityConstraint {
+    /// Human-readable name for veto reporting.
+    fn name(&self) -> &str;
+
+    /// Whether the constraint admits `change` given everything
+    /// committed so far.
+    fn admits(&self, change: &Alteration) -> bool;
+
+    /// Record that `change` was applied.
+    fn commit(&mut self, change: &Alteration);
+
+    /// Record that a previously committed `change` was undone.
+    fn rollback(&mut self, change: &Alteration);
+}
+
+/// Caps the *number* of altered tuples — the paper's "practical
+/// approach would be to begin by specifying an upper bound on the
+/// percentage of allowable data alterations".
+#[derive(Debug)]
+pub struct AlterationBudget {
+    budget: usize,
+    used: usize,
+}
+
+impl AlterationBudget {
+    /// Budget of `budget` alterations.
+    #[must_use]
+    pub fn new(budget: usize) -> Self {
+        AlterationBudget { budget, used: 0 }
+    }
+
+    /// Budget as a fraction of a relation of `n` tuples.
+    #[must_use]
+    pub fn fraction_of(n: usize, fraction: f64) -> Self {
+        Self::new((n as f64 * fraction).floor() as usize)
+    }
+
+    /// Alterations consumed so far.
+    #[must_use]
+    pub fn used(&self) -> usize {
+        self.used
+    }
+}
+
+impl QualityConstraint for AlterationBudget {
+    fn name(&self) -> &str {
+        "alteration-budget"
+    }
+
+    fn admits(&self, _change: &Alteration) -> bool {
+        self.used < self.budget
+    }
+
+    fn commit(&mut self, _change: &Alteration) {
+        self.used += 1;
+    }
+
+    fn rollback(&mut self, _change: &Alteration) {
+        self.used = self.used.saturating_sub(1);
+    }
+}
+
+/// Bounds the L1 drift of the attribute's occurrence-frequency
+/// histogram, protecting the Section 4.2 channel and any consumer that
+/// mines the value distribution.
+#[derive(Debug)]
+pub struct FrequencyDriftLimit {
+    domain: CategoricalDomain,
+    baseline: Vec<u64>,
+    current: Vec<u64>,
+    total: u64,
+    max_l1: f64,
+}
+
+impl FrequencyDriftLimit {
+    /// Limit the drift of attribute `attr_idx` of `rel` (measured
+    /// against its *current* histogram) to `max_l1`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates histogram errors (foreign values in the column).
+    pub fn new(
+        rel: &Relation,
+        attr_idx: usize,
+        domain: &CategoricalDomain,
+        max_l1: f64,
+    ) -> Result<Self, CoreError> {
+        let hist = FrequencyHistogram::from_relation(rel, attr_idx, domain)?;
+        Ok(FrequencyDriftLimit {
+            domain: domain.clone(),
+            baseline: hist.counts().to_vec(),
+            current: hist.counts().to_vec(),
+            total: hist.total(),
+            max_l1,
+        })
+    }
+
+    fn l1_after(&self, change: &Alteration) -> Option<f64> {
+        let old_idx = self.domain.index_of(&change.old).ok()?;
+        let new_idx = self.domain.index_of(&change.new).ok()?;
+        let total = self.total as f64;
+        if total == 0.0 {
+            return Some(0.0);
+        }
+        let mut l1 = 0.0;
+        for i in 0..self.baseline.len() {
+            let mut c = self.current[i];
+            if i == old_idx {
+                c = c.saturating_sub(1);
+            }
+            if i == new_idx {
+                c += 1;
+            }
+            l1 += (c as f64 / total - self.baseline[i] as f64 / total).abs();
+        }
+        Some(l1)
+    }
+}
+
+impl QualityConstraint for FrequencyDriftLimit {
+    fn name(&self) -> &str {
+        "frequency-drift"
+    }
+
+    fn admits(&self, change: &Alteration) -> bool {
+        // Values outside the domain are not this constraint's concern.
+        self.l1_after(change).is_none_or(|l1| l1 <= self.max_l1)
+    }
+
+    fn commit(&mut self, change: &Alteration) {
+        if let (Ok(old_idx), Ok(new_idx)) = (
+            self.domain.index_of(&change.old),
+            self.domain.index_of(&change.new),
+        ) {
+            self.current[old_idx] = self.current[old_idx].saturating_sub(1);
+            self.current[new_idx] += 1;
+        }
+    }
+
+    fn rollback(&mut self, change: &Alteration) {
+        if let (Ok(old_idx), Ok(new_idx)) = (
+            self.domain.index_of(&change.old),
+            self.domain.index_of(&change.new),
+        ) {
+            self.current[new_idx] = self.current[new_idx].saturating_sub(1);
+            self.current[old_idx] += 1;
+        }
+    }
+}
+
+/// Declares a set of rows untouchable (semantic consistency: e.g.
+/// tuples referenced by external systems).
+#[derive(Debug)]
+pub struct ImmutableRows {
+    rows: HashSet<usize>,
+}
+
+impl ImmutableRows {
+    /// Protect exactly `rows`.
+    #[must_use]
+    pub fn new(rows: impl IntoIterator<Item = usize>) -> Self {
+        ImmutableRows { rows: rows.into_iter().collect() }
+    }
+}
+
+impl QualityConstraint for ImmutableRows {
+    fn name(&self) -> &str {
+        "immutable-rows"
+    }
+
+    fn admits(&self, change: &Alteration) -> bool {
+        !self.rows.contains(&change.row)
+    }
+
+    fn commit(&mut self, _change: &Alteration) {}
+
+    fn rollback(&mut self, _change: &Alteration) {}
+}
+
+/// Restricts replacement values to an allowed subset of the domain
+/// (e.g. semantic groups: a beverage item may only become another
+/// beverage).
+#[derive(Debug)]
+pub struct AllowedReplacements {
+    allowed: HashSet<Value>,
+}
+
+impl AllowedReplacements {
+    /// Admit only alterations whose *new* value is in `allowed`.
+    #[must_use]
+    pub fn new(allowed: impl IntoIterator<Item = Value>) -> Self {
+        AllowedReplacements { allowed: allowed.into_iter().collect() }
+    }
+}
+
+impl QualityConstraint for AllowedReplacements {
+    fn name(&self) -> &str {
+        "allowed-replacements"
+    }
+
+    fn admits(&self, change: &Alteration) -> bool {
+        self.allowed.contains(&change.new)
+    }
+
+    fn commit(&mut self, _change: &Alteration) {}
+
+    fn rollback(&mut self, _change: &Alteration) {}
+}
+
+/// The alteration rollback log of Figure 3.
+#[derive(Debug, Default)]
+pub struct RollbackLog {
+    entries: Vec<Alteration>,
+}
+
+impl RollbackLog {
+    /// Empty log.
+    #[must_use]
+    pub fn new() -> Self {
+        RollbackLog::default()
+    }
+
+    /// Committed alterations, oldest first.
+    #[must_use]
+    pub fn entries(&self) -> &[Alteration] {
+        &self.entries
+    }
+
+    /// Number of committed alterations.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing has been committed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    fn record(&mut self, change: Alteration) {
+        self.entries.push(change);
+    }
+}
+
+/// Orchestrates constraints and the rollback log around an embedding
+/// pass.
+pub struct QualityGuard {
+    constraints: Vec<Box<dyn QualityConstraint>>,
+    log: RollbackLog,
+    vetoes: usize,
+}
+
+impl std::fmt::Debug for QualityGuard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QualityGuard")
+            .field("constraints", &self.constraints.iter().map(|c| c.name()).collect::<Vec<_>>())
+            .field("committed", &self.log.len())
+            .field("vetoes", &self.vetoes)
+            .finish()
+    }
+}
+
+impl QualityGuard {
+    /// Guard over the given constraint stack (may be empty: then every
+    /// change is admitted but still logged for undo).
+    #[must_use]
+    pub fn new(constraints: Vec<Box<dyn QualityConstraint>>) -> Self {
+        QualityGuard { constraints, log: RollbackLog::new(), vetoes: 0 }
+    }
+
+    /// Propose `change`: if every constraint admits it, commit it to
+    /// the constraint states and the rollback log and return `true`;
+    /// otherwise count a veto and return `false`.
+    ///
+    /// The caller applies the change to the relation only on `true`.
+    pub fn propose(&mut self, change: Alteration) -> bool {
+        if self.constraints.iter().all(|c| c.admits(&change)) {
+            for c in &mut self.constraints {
+                c.commit(&change);
+            }
+            self.log.record(change);
+            true
+        } else {
+            self.vetoes += 1;
+            false
+        }
+    }
+
+    /// Number of vetoed proposals.
+    #[must_use]
+    pub fn vetoes(&self) -> usize {
+        self.vetoes
+    }
+
+    /// The rollback log.
+    #[must_use]
+    pub fn log(&self) -> &RollbackLog {
+        &self.log
+    }
+
+    /// Undo every committed alteration (newest first), restoring the
+    /// relation and the constraint states. Returns the number of
+    /// undone alterations.
+    ///
+    /// # Errors
+    ///
+    /// Propagates relation errors (which would indicate the relation
+    /// was modified outside this guard since embedding).
+    pub fn undo_all(&mut self, rel: &mut Relation) -> Result<usize, CoreError> {
+        let mut undone = 0;
+        while let Some(change) = self.log.entries.pop() {
+            rel.update_value(change.row, change.attr, change.old.clone())?;
+            for c in &mut self.constraints {
+                c.rollback(&change);
+            }
+            undone += 1;
+        }
+        Ok(undone)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use catmark_relation::{AttrType, Schema};
+
+    fn fixture() -> (Relation, CategoricalDomain) {
+        let schema = Schema::builder()
+            .key_attr("k", AttrType::Integer)
+            .categorical_attr("a", AttrType::Integer)
+            .build()
+            .unwrap();
+        let mut rel = Relation::new(schema);
+        for i in 0..10 {
+            rel.push(vec![Value::Int(i), Value::Int(i % 3)]).unwrap();
+        }
+        let domain = CategoricalDomain::new(vec![Value::Int(0), Value::Int(1), Value::Int(2)])
+            .unwrap();
+        (rel, domain)
+    }
+
+    fn change(row: usize, old: i64, new: i64) -> Alteration {
+        Alteration { row, attr: 1, old: Value::Int(old), new: Value::Int(new) }
+    }
+
+    #[test]
+    fn budget_vetoes_after_exhaustion() {
+        let mut guard = QualityGuard::new(vec![Box::new(AlterationBudget::new(2))]);
+        assert!(guard.propose(change(0, 0, 1)));
+        assert!(guard.propose(change(1, 1, 2)));
+        assert!(!guard.propose(change(2, 2, 0)));
+        assert_eq!(guard.vetoes(), 1);
+        assert_eq!(guard.log().len(), 2);
+    }
+
+    #[test]
+    fn budget_fraction_constructor() {
+        let b = AlterationBudget::fraction_of(1000, 0.05);
+        assert_eq!(b.budget, 50);
+    }
+
+    #[test]
+    fn immutable_rows_veto_their_rows_only() {
+        let mut guard = QualityGuard::new(vec![Box::new(ImmutableRows::new([3, 5]))]);
+        assert!(guard.propose(change(0, 0, 1)));
+        assert!(!guard.propose(change(3, 0, 1)));
+        assert!(!guard.propose(change(5, 0, 1)));
+        assert!(guard.propose(change(4, 0, 1)));
+    }
+
+    #[test]
+    fn allowed_replacements_gate_new_values() {
+        let mut guard =
+            QualityGuard::new(vec![Box::new(AllowedReplacements::new([Value::Int(1)]))]);
+        assert!(guard.propose(change(0, 0, 1)));
+        assert!(!guard.propose(change(1, 0, 2)));
+    }
+
+    #[test]
+    fn frequency_drift_vetoes_large_shifts() {
+        let (rel, domain) = fixture();
+        // Baseline counts: value 0 ×4, 1 ×3, 2 ×3 (rows 0..10, i%3).
+        let limit = FrequencyDriftLimit::new(&rel, 1, &domain, 0.25).unwrap();
+        let mut guard = QualityGuard::new(vec![Box::new(limit)]);
+        // Each move of one tuple shifts L1 by 2/10 = 0.2 ≤ 0.25: fine.
+        assert!(guard.propose(change(0, 0, 1)));
+        // A second move in the same direction would reach 0.4: veto.
+        assert!(!guard.propose(change(3, 0, 1)));
+        // A move that partially reverts drift is admitted.
+        assert!(guard.propose(change(1, 1, 0)));
+    }
+
+    #[test]
+    fn guard_commits_changes_and_undoes_them() {
+        let (mut rel, _) = fixture();
+        let mut guard = QualityGuard::new(vec![Box::new(AlterationBudget::new(10))]);
+        let c = change(0, 0, 2);
+        assert!(guard.propose(c.clone()));
+        rel.update_value(c.row, c.attr, c.new.clone()).unwrap();
+        assert_eq!(rel.tuple(0).unwrap().get(1), &Value::Int(2));
+        let undone = guard.undo_all(&mut rel).unwrap();
+        assert_eq!(undone, 1);
+        assert_eq!(rel.tuple(0).unwrap().get(1), &Value::Int(0));
+        assert!(guard.log().is_empty());
+    }
+
+    #[test]
+    fn undo_restores_constraint_state() {
+        let (mut rel, _) = fixture();
+        let mut guard = QualityGuard::new(vec![Box::new(AlterationBudget::new(1))]);
+        let c = change(0, 0, 1);
+        assert!(guard.propose(c.clone()));
+        rel.update_value(c.row, c.attr, c.new.clone()).unwrap();
+        assert!(!guard.propose(change(1, 1, 2)), "budget exhausted");
+        guard.undo_all(&mut rel).unwrap();
+        // Budget freed again after rollback.
+        assert!(guard.propose(change(1, 1, 2)));
+    }
+
+    #[test]
+    fn empty_guard_admits_everything_but_logs() {
+        let mut guard = QualityGuard::new(vec![]);
+        assert!(guard.propose(change(0, 0, 1)));
+        assert_eq!(guard.log().len(), 1);
+        assert_eq!(guard.vetoes(), 0);
+    }
+}

@@ -1,0 +1,343 @@
+//! Count-query preservation constraints.
+//!
+//! The paper cites Gross-Amblard's result "linking query preservation
+//! to allowable data alteration bounds" as the theoretical companion
+//! of its Section 4.1 quality framework: a watermark is harmless to a
+//! consumer exactly when the queries that consumer runs still return
+//! (approximately) the same answers. This module makes that contract
+//! enforceable at embedding time: the rights holder declares the
+//! selection/count queries the buyers depend on, each with a
+//! tolerance, and the constraint vetoes any alteration that would move
+//! an answer outside its tolerance.
+//!
+//! Counts are tracked incrementally: an `admits` check is O(queries),
+//! not a rescan of the relation.
+
+use std::collections::HashSet;
+
+use catmark_relation::Value;
+
+use crate::quality::{Alteration, QualityConstraint};
+
+/// A value-level selection predicate over the constrained attribute.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValueSet {
+    /// Exactly this value.
+    Eq(Value),
+    /// Any of these values.
+    In(HashSet<Value>),
+    /// Inclusive range under the total [`Value`] order.
+    Range(Value, Value),
+}
+
+impl ValueSet {
+    /// Whether `v` satisfies the predicate.
+    #[must_use]
+    pub fn contains(&self, v: &Value) -> bool {
+        match self {
+            ValueSet::Eq(x) => v == x,
+            ValueSet::In(set) => set.contains(v),
+            ValueSet::Range(lo, hi) => lo <= v && v <= hi,
+        }
+    }
+}
+
+/// How far a query answer may drift from its baseline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Tolerance {
+    /// At most this many rows, absolutely.
+    Absolute(u64),
+    /// At most this fraction of the baseline count (a zero baseline
+    /// admits no drift).
+    Relative(f64),
+}
+
+impl Tolerance {
+    fn allowed(self, baseline: u64) -> u64 {
+        match self {
+            Tolerance::Absolute(n) => n,
+            Tolerance::Relative(f) => (baseline as f64 * f).floor() as u64,
+        }
+    }
+}
+
+/// One declared count query: `SELECT COUNT(*) WHERE attr ∈ values`.
+#[derive(Debug, Clone)]
+pub struct CountQuery {
+    /// Human-readable name for veto diagnostics.
+    pub name: String,
+    /// Attribute index the query selects on.
+    pub attr: usize,
+    /// The selection predicate.
+    pub values: ValueSet,
+    /// Allowed answer drift.
+    pub tolerance: Tolerance,
+}
+
+impl CountQuery {
+    /// Convenience constructor.
+    #[must_use]
+    pub fn new(name: &str, attr: usize, values: ValueSet, tolerance: Tolerance) -> Self {
+        CountQuery { name: name.to_owned(), attr, values, tolerance }
+    }
+}
+
+struct Tracked {
+    query: CountQuery,
+    baseline: u64,
+    current: u64,
+}
+
+impl Tracked {
+    fn delta(&self, change: &Alteration) -> i64 {
+        if change.attr != self.query.attr {
+            return 0;
+        }
+        i64::from(self.query.values.contains(&change.new))
+            - i64::from(self.query.values.contains(&change.old))
+    }
+
+    fn within_tolerance(&self, current: u64) -> bool {
+        let allowed = self.query.tolerance.allowed(self.baseline);
+        current.abs_diff(self.baseline) <= allowed
+    }
+}
+
+/// Vetoes alterations that would push any declared count query's
+/// answer outside its tolerance.
+pub struct CountQueryPreservation {
+    queries: Vec<Tracked>,
+}
+
+impl CountQueryPreservation {
+    /// Track `queries` with baselines counted from `column_values`,
+    /// given per-attribute column iterators of the relation being
+    /// watermarked.
+    ///
+    /// The constructor takes the relation indirectly (as a closure
+    /// yielding a column's values) so callers can count from a
+    /// relation, a sample, or recorded statistics alike.
+    #[must_use]
+    pub fn new<'a, F, I>(queries: Vec<CountQuery>, mut column_values: F) -> Self
+    where
+        F: FnMut(usize) -> I,
+        I: Iterator<Item = &'a Value>,
+    {
+        let tracked = queries
+            .into_iter()
+            .map(|q| {
+                let baseline =
+                    column_values(q.attr).filter(|v| q.values.contains(v)).count() as u64;
+                Tracked { query: q, baseline, current: baseline }
+            })
+            .collect();
+        CountQueryPreservation { queries: tracked }
+    }
+
+    /// Track `queries` against a relation directly.
+    #[must_use]
+    pub fn from_relation(rel: &catmark_relation::Relation, queries: Vec<CountQuery>) -> Self {
+        Self::new(queries, |attr| rel.column_iter(attr))
+    }
+
+    /// Baseline answer of query `i`.
+    #[must_use]
+    pub fn baseline(&self, i: usize) -> u64 {
+        self.queries[i].baseline
+    }
+
+    /// Current answer of query `i`.
+    #[must_use]
+    pub fn current(&self, i: usize) -> u64 {
+        self.queries[i].current
+    }
+
+    /// Names of queries currently at the edge of their tolerance (the
+    /// next adverse alteration would be vetoed).
+    #[must_use]
+    pub fn saturated(&self) -> Vec<&str> {
+        self.queries
+            .iter()
+            .filter(|t| {
+                let allowed = t.query.tolerance.allowed(t.baseline);
+                t.current.abs_diff(t.baseline) == allowed
+            })
+            .map(|t| t.query.name.as_str())
+            .collect()
+    }
+}
+
+impl QualityConstraint for CountQueryPreservation {
+    fn name(&self) -> &str {
+        "count-queries"
+    }
+
+    fn admits(&self, change: &Alteration) -> bool {
+        self.queries.iter().all(|t| {
+            let d = t.delta(change);
+            if d == 0 {
+                return true;
+            }
+            t.within_tolerance(t.current.saturating_add_signed(d))
+        })
+    }
+
+    fn commit(&mut self, change: &Alteration) {
+        for t in &mut self.queries {
+            let d = t.delta(change);
+            t.current = t.current.saturating_add_signed(d);
+        }
+    }
+
+    fn rollback(&mut self, change: &Alteration) {
+        for t in &mut self.queries {
+            let d = t.delta(change);
+            t.current = t.current.saturating_add_signed(-d);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quality::QualityGuard;
+    use catmark_relation::{AttrType, Relation, Schema};
+
+    fn fixture() -> Relation {
+        let schema = Schema::builder()
+            .key_attr("k", AttrType::Integer)
+            .categorical_attr("item", AttrType::Integer)
+            .build()
+            .unwrap();
+        let mut rel = Relation::new(schema);
+        for i in 0..100i64 {
+            rel.push(vec![Value::Int(i), Value::Int(i % 10)]).unwrap();
+        }
+        rel
+    }
+
+    fn change(row: usize, old: i64, new: i64) -> Alteration {
+        Alteration { row, attr: 1, old: Value::Int(old), new: Value::Int(new) }
+    }
+
+    #[test]
+    fn absolute_tolerance_vetoes_at_the_boundary() {
+        let rel = fixture();
+        // item == 3 occurs 10 times; allow drift of 2.
+        let q = CountQuery::new("item3", 1, ValueSet::Eq(Value::Int(3)), Tolerance::Absolute(2));
+        let mut c = CountQueryPreservation::from_relation(&rel, vec![q]);
+        assert_eq!(c.baseline(0), 10);
+        let a1 = change(3, 3, 4);
+        let a2 = change(13, 3, 4);
+        assert!(c.admits(&a1));
+        c.commit(&a1);
+        assert!(c.admits(&a2));
+        c.commit(&a2);
+        assert_eq!(c.current(0), 8);
+        assert_eq!(c.saturated(), vec!["item3"]);
+        let a3 = change(23, 3, 4);
+        assert!(!c.admits(&a3), "third removal exceeds tolerance 2");
+        // Drift in the other direction also counts.
+        let towards = change(4, 4, 3);
+        assert!(c.admits(&towards), "moving back toward baseline is fine");
+    }
+
+    #[test]
+    fn relative_tolerance_scales_with_baseline() {
+        let rel = fixture();
+        // 20 rows in {3, 7}; 10% relative tolerance → 2 rows.
+        let q = CountQuery::new(
+            "pair",
+            1,
+            ValueSet::In([Value::Int(3), Value::Int(7)].into_iter().collect()),
+            Tolerance::Relative(0.10),
+        );
+        let mut c = CountQueryPreservation::from_relation(&rel, vec![q]);
+        assert_eq!(c.baseline(0), 20);
+        c.commit(&change(3, 3, 4));
+        c.commit(&change(13, 3, 4));
+        assert!(!c.admits(&change(23, 3, 4)));
+    }
+
+    #[test]
+    fn range_queries_work() {
+        let rel = fixture();
+        let q = CountQuery::new(
+            "low",
+            1,
+            ValueSet::Range(Value::Int(0), Value::Int(4)),
+            Tolerance::Absolute(0),
+        );
+        let c = CountQueryPreservation::from_relation(&rel, vec![q]);
+        assert_eq!(c.baseline(0), 50);
+        // Moves within the range are invisible.
+        assert!(c.admits(&change(0, 0, 4)));
+        // Moves across the boundary are vetoed at zero tolerance.
+        assert!(!c.admits(&change(0, 0, 5)));
+        assert!(!c.admits(&change(5, 5, 0)));
+    }
+
+    #[test]
+    fn unrelated_attributes_are_ignored() {
+        let rel = fixture();
+        let q = CountQuery::new("item3", 1, ValueSet::Eq(Value::Int(3)), Tolerance::Absolute(0));
+        let c = CountQueryPreservation::from_relation(&rel, vec![q]);
+        let a = Alteration { row: 0, attr: 0, old: Value::Int(0), new: Value::Int(-5) };
+        assert!(c.admits(&a));
+    }
+
+    #[test]
+    fn rollback_restores_budget() {
+        let rel = fixture();
+        let q = CountQuery::new("item3", 1, ValueSet::Eq(Value::Int(3)), Tolerance::Absolute(1));
+        let mut c = CountQueryPreservation::from_relation(&rel, vec![q]);
+        let a = change(3, 3, 4);
+        c.commit(&a);
+        assert!(!c.admits(&change(13, 3, 4)));
+        c.rollback(&a);
+        assert_eq!(c.current(0), c.baseline(0));
+        assert!(c.admits(&change(13, 3, 4)));
+    }
+
+    #[test]
+    fn zero_baseline_relative_admits_nothing_adverse() {
+        let rel = fixture();
+        let q = CountQuery::new(
+            "ghost",
+            1,
+            ValueSet::Eq(Value::Int(999)),
+            Tolerance::Relative(0.5),
+        );
+        let c = CountQueryPreservation::from_relation(&rel, vec![q]);
+        assert_eq!(c.baseline(0), 0);
+        // Creating a row matching the ghost query drifts 0 → 1: veto.
+        assert!(!c.admits(&change(0, 0, 999)));
+    }
+
+    #[test]
+    fn composes_with_quality_guard() {
+        let rel = fixture();
+        let q = CountQuery::new("item3", 1, ValueSet::Eq(Value::Int(3)), Tolerance::Absolute(1));
+        let mut guard = QualityGuard::new(vec![Box::new(
+            CountQueryPreservation::from_relation(&rel, vec![q]),
+        )]);
+        assert!(guard.propose(change(3, 3, 4)));
+        assert!(!guard.propose(change(13, 3, 4)));
+        assert_eq!(guard.vetoes(), 1);
+    }
+
+    #[test]
+    fn multiple_queries_all_enforced() {
+        let rel = fixture();
+        let qs = vec![
+            CountQuery::new("item3", 1, ValueSet::Eq(Value::Int(3)), Tolerance::Absolute(5)),
+            CountQuery::new("item4", 1, ValueSet::Eq(Value::Int(4)), Tolerance::Absolute(0)),
+        ];
+        let c = CountQueryPreservation::from_relation(&rel, qs);
+        // 3 → 5 is fine for both queries (item4 untouched)…
+        assert!(c.admits(&change(3, 3, 5)));
+        // …but 3 → 4 is vetoed by the strict item4 query even though
+        // item3 has plenty of slack.
+        assert!(!c.admits(&change(3, 3, 4)));
+    }
+}

@@ -1,0 +1,285 @@
+//! Streaming digest abstraction shared by all hash implementations.
+//!
+//! Every hash in this crate is a Merkle–Damgård construction over a
+//! 64-byte block; [`Digest`] captures the streaming interface and
+//! [`DynDigest`] provides runtime algorithm selection without trait
+//! objects (a simple enum keeps the hot path monomorphic and
+//! allocation-free).
+
+/// Streaming one-way hash.
+///
+/// Implementations accumulate input via [`Digest::update`] and produce
+/// the final digest with [`Digest::finalize`]. A hasher may be reused
+/// after [`Digest::reset`].
+pub trait Digest {
+    /// Digest output, a fixed-size byte array.
+    type Output: AsRef<[u8]>;
+
+    /// Absorb `data` into the hash state.
+    fn update(&mut self, data: &[u8]);
+
+    /// Consume the hasher and produce the digest.
+    fn finalize(self) -> Self::Output;
+
+    /// Restore the initial state, discarding any absorbed input.
+    fn reset(&mut self);
+
+    /// Convenience: one-shot digest of `data`.
+    fn digest(data: &[u8]) -> Self::Output
+    where
+        Self: Default + Sized,
+    {
+        let mut h = Self::default();
+        h.update(data);
+        h.finalize()
+    }
+}
+
+/// Runtime-selected digest (enum dispatch over the supported hashes).
+#[derive(Debug, Clone)]
+pub enum DynDigest {
+    /// MD5 state.
+    Md5(crate::md5::Md5),
+    /// SHA-1 state.
+    Sha1(crate::sha1::Sha1),
+    /// SHA-256 state.
+    Sha256(crate::sha256::Sha256),
+}
+
+impl DynDigest {
+    /// Absorb `data` into the hash state.
+    pub fn update(&mut self, data: &[u8]) {
+        match self {
+            DynDigest::Md5(h) => h.update(data),
+            DynDigest::Sha1(h) => h.update(data),
+            DynDigest::Sha256(h) => h.update(data),
+        }
+    }
+
+    /// Consume the hasher, returning the digest as a `Vec`.
+    #[must_use]
+    pub fn finalize_vec(self) -> Vec<u8> {
+        match self {
+            DynDigest::Md5(h) => h.finalize().to_vec(),
+            DynDigest::Sha1(h) => h.finalize().to_vec(),
+            DynDigest::Sha256(h) => h.finalize().to_vec(),
+        }
+    }
+
+    /// Consume the hasher and return the first 8 digest bytes as a
+    /// big-endian `u64`.
+    ///
+    /// This is the integer view of `H(...)` used throughout the
+    /// watermarking algorithms (`mod e` fitness tests, pseudorandom
+    /// value/position selection). Truncating a cryptographic hash
+    /// preserves its pseudorandomness.
+    #[must_use]
+    pub fn finalize_u64(self) -> u64 {
+        let bytes = self.finalize_vec();
+        let mut first = [0u8; 8];
+        first.copy_from_slice(&bytes[..8]);
+        u64::from_be_bytes(first)
+    }
+
+    /// Digest length in bytes for this state's algorithm.
+    #[must_use]
+    pub fn output_len(&self) -> usize {
+        match self {
+            DynDigest::Md5(_) => 16,
+            DynDigest::Sha1(_) => 20,
+            DynDigest::Sha256(_) => 32,
+        }
+    }
+}
+
+/// Shared Merkle–Damgård buffering over 64-byte blocks.
+///
+/// All three hashes differ only in their compression function and the
+/// endianness of the length encoding; this helper centralizes the
+/// bookkeeping (partial-block buffering, bit counting, padding).
+#[derive(Debug, Clone)]
+pub(crate) struct BlockBuffer {
+    block: [u8; 64],
+    /// Bytes currently buffered in `block` (0..64).
+    filled: usize,
+    /// Total message length in bytes (mod 2^64).
+    total_len: u64,
+}
+
+impl BlockBuffer {
+    pub(crate) fn new() -> Self {
+        BlockBuffer { block: [0u8; 64], filled: 0, total_len: 0 }
+    }
+
+    pub(crate) fn reset(&mut self) {
+        self.filled = 0;
+        self.total_len = 0;
+    }
+
+    /// Feed `data`, invoking `compress` on each complete 64-byte block.
+    pub(crate) fn update(&mut self, mut data: &[u8], mut compress: impl FnMut(&[u8; 64])) {
+        self.total_len = self.total_len.wrapping_add(data.len() as u64);
+        if self.filled > 0 {
+            let take = (64 - self.filled).min(data.len());
+            self.block[self.filled..self.filled + take].copy_from_slice(&data[..take]);
+            self.filled += take;
+            data = &data[take..];
+            if self.filled == 64 {
+                let block = self.block;
+                compress(&block);
+                self.filled = 0;
+            } else {
+                // Input exhausted while a partial block remains buffered.
+                debug_assert!(data.is_empty());
+                return;
+            }
+        }
+        let mut chunks = data.chunks_exact(64);
+        for chunk in &mut chunks {
+            let mut block = [0u8; 64];
+            block.copy_from_slice(chunk);
+            compress(&block);
+        }
+        let rest = chunks.remainder();
+        self.block[..rest.len()].copy_from_slice(rest);
+        self.filled = rest.len();
+    }
+
+    /// Apply MD-strengthening padding (0x80, zeros, 8-byte bit length)
+    /// and compress the final block(s). `little_endian_len` selects the
+    /// MD5 length convention; SHA uses big-endian.
+    pub(crate) fn finalize(&mut self, little_endian_len: bool, mut compress: impl FnMut(&[u8; 64])) {
+        let bit_len = self.total_len.wrapping_mul(8);
+        let mut block = self.block;
+        block[self.filled] = 0x80;
+        for byte in &mut block[self.filled + 1..] {
+            *byte = 0;
+        }
+        if self.filled + 1 > 56 {
+            compress(&block);
+            block = [0u8; 64];
+        }
+        let len_bytes = if little_endian_len { bit_len.to_le_bytes() } else { bit_len.to_be_bytes() };
+        block[56..64].copy_from_slice(&len_bytes);
+        compress(&block);
+        self.filled = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A compression function that just records how many blocks it saw
+    /// and the final byte of each block, enough to verify buffering.
+    fn counting<'a>(count: &'a mut usize) -> impl FnMut(&[u8; 64]) + 'a {
+        move |_| *count += 1
+    }
+
+    #[test]
+    fn buffers_partial_blocks() {
+        let mut buf = BlockBuffer::new();
+        let mut blocks = 0;
+        buf.update(&[0u8; 63], counting(&mut blocks));
+        assert_eq!(blocks, 0);
+        buf.update(&[0u8; 1], counting(&mut blocks));
+        assert_eq!(blocks, 1);
+        assert_eq!(buf.filled, 0);
+    }
+
+    #[test]
+    fn handles_multi_block_input() {
+        let mut buf = BlockBuffer::new();
+        let mut blocks = 0;
+        buf.update(&[7u8; 200], counting(&mut blocks));
+        assert_eq!(blocks, 3);
+        assert_eq!(buf.filled, 200 - 192);
+    }
+
+    #[test]
+    fn finalize_spills_when_no_room_for_length() {
+        // 57 buffered bytes leaves no room for the 8-byte length after
+        // the 0x80 marker, so padding takes two blocks.
+        let mut buf = BlockBuffer::new();
+        let mut blocks = 0;
+        buf.update(&[1u8; 57], counting(&mut blocks));
+        assert_eq!(blocks, 0);
+        buf.finalize(false, counting(&mut blocks));
+        assert_eq!(blocks, 2);
+    }
+
+    #[test]
+    fn finalize_single_block_when_room() {
+        let mut buf = BlockBuffer::new();
+        let mut blocks = 0;
+        buf.update(&[1u8; 10], counting(&mut blocks));
+        buf.finalize(false, counting(&mut blocks));
+        assert_eq!(blocks, 1);
+    }
+
+    #[test]
+    fn length_encoding_is_in_bits() {
+        let mut buf = BlockBuffer::new();
+        buf.update(&[0u8; 3], |_| {});
+        let mut seen = Vec::new();
+        buf.finalize(false, |b| seen.push(*b));
+        assert_eq!(seen.len(), 1);
+        // 3 bytes = 24 bits, big-endian in the trailing 8 bytes.
+        assert_eq!(&seen[0][56..], &24u64.to_be_bytes());
+        // 0x80 marker directly after the message.
+        assert_eq!(seen[0][3], 0x80);
+    }
+
+    #[test]
+    fn little_endian_length_for_md5() {
+        let mut buf = BlockBuffer::new();
+        buf.update(&[0u8; 5], |_| {});
+        let mut seen = Vec::new();
+        buf.finalize(true, |b| seen.push(*b));
+        assert_eq!(&seen[0][56..], &40u64.to_le_bytes());
+    }
+
+    #[test]
+    fn reset_clears_counters() {
+        let mut buf = BlockBuffer::new();
+        buf.update(&[0u8; 70], |_| {});
+        buf.reset();
+        assert_eq!(buf.filled, 0);
+        assert_eq!(buf.total_len, 0);
+    }
+
+    #[test]
+    fn dyn_digest_finalize_u64_is_the_big_endian_prefix() {
+        for algo in crate::HashAlgorithm::ALL {
+            let mut a = algo.hasher();
+            a.update(b"prefix-check");
+            let full = {
+                let mut b = algo.hasher();
+                b.update(b"prefix-check");
+                b.finalize_vec()
+            };
+            let mut first = [0u8; 8];
+            first.copy_from_slice(&full[..8]);
+            assert_eq!(a.finalize_u64(), u64::from_be_bytes(first), "{algo}");
+        }
+    }
+
+    #[test]
+    fn dyn_digest_reports_output_len() {
+        for algo in crate::HashAlgorithm::ALL {
+            assert_eq!(algo.hasher().output_len(), algo.output_len());
+        }
+    }
+
+    #[test]
+    fn dyn_digest_multi_chunk_matches_one_shot() {
+        for algo in crate::HashAlgorithm::ALL {
+            let data: Vec<u8> = (0u16..500).map(|i| (i % 256) as u8).collect();
+            let mut h = algo.hasher();
+            for chunk in data.chunks(9) {
+                h.update(chunk);
+            }
+            assert_eq!(h.finalize_vec(), algo.digest(&data), "{algo}");
+        }
+    }
+}

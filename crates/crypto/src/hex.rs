@@ -1,0 +1,98 @@
+//! Hexadecimal encoding/decoding for digests and keys.
+
+/// Encode `bytes` as lowercase hexadecimal.
+#[must_use]
+pub fn to_hex(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        out.push(char::from_digit((b >> 4) as u32, 16).expect("nibble < 16"));
+        out.push(char::from_digit((b & 0xf) as u32, 16).expect("nibble < 16"));
+    }
+    out
+}
+
+/// Decode a hexadecimal string (case-insensitive) into bytes.
+///
+/// # Errors
+///
+/// Returns [`HexError`] when the input has odd length or contains a
+/// non-hexadecimal character.
+pub fn from_hex(s: &str) -> Result<Vec<u8>, HexError> {
+    if !s.len().is_multiple_of(2) {
+        return Err(HexError::OddLength(s.len()));
+    }
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(s.len() / 2);
+    for pair in bytes.chunks_exact(2) {
+        let hi = nibble(pair[0])?;
+        let lo = nibble(pair[1])?;
+        out.push((hi << 4) | lo);
+    }
+    Ok(out)
+}
+
+fn nibble(c: u8) -> Result<u8, HexError> {
+    match c {
+        b'0'..=b'9' => Ok(c - b'0'),
+        b'a'..=b'f' => Ok(c - b'a' + 10),
+        b'A'..=b'F' => Ok(c - b'A' + 10),
+        _ => Err(HexError::InvalidChar(c as char)),
+    }
+}
+
+/// Error decoding hexadecimal input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HexError {
+    /// Input length was not a multiple of two.
+    OddLength(usize),
+    /// Input contained a character outside `[0-9a-fA-F]`.
+    InvalidChar(char),
+}
+
+impl std::fmt::Display for HexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HexError::OddLength(n) => write!(f, "hex string has odd length {n}"),
+            HexError::InvalidChar(c) => write!(f, "invalid hex character {c:?}"),
+        }
+    }
+}
+
+impl std::error::Error for HexError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let data = [0x00, 0x01, 0x7f, 0x80, 0xff];
+        assert_eq!(from_hex(&to_hex(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn encodes_lowercase() {
+        assert_eq!(to_hex(&[0xAB, 0xCD]), "abcd");
+    }
+
+    #[test]
+    fn decodes_uppercase() {
+        assert_eq!(from_hex("ABCD").unwrap(), vec![0xab, 0xcd]);
+    }
+
+    #[test]
+    fn rejects_odd_length() {
+        assert_eq!(from_hex("abc"), Err(HexError::OddLength(3)));
+    }
+
+    #[test]
+    fn rejects_invalid_char() {
+        assert_eq!(from_hex("zz"), Err(HexError::InvalidChar('z')));
+    }
+
+    #[test]
+    fn empty_round_trip() {
+        assert_eq!(to_hex(&[]), "");
+        assert_eq!(from_hex("").unwrap(), Vec::<u8>::new());
+    }
+}

@@ -1,0 +1,137 @@
+//! HMAC (RFC 2104) — a hardened alternative to the paper's keyed
+//! construct.
+//!
+//! The paper keys its hash as `H(V, k) = hash(k ; V ; k)`. With
+//! Merkle–Damgård hashes the *prefix-key* variant `hash(k ; V)` is
+//! length-extension-vulnerable; the sandwich form largely mitigates
+//! that, but HMAC is the standard construction with a security proof,
+//! so `catmark` offers it as a drop-in (`KeyedHash` remains the
+//! default for paper fidelity — both are pure functions of
+//! `(key, message)` and interchangeable at the API level).
+
+use crate::digest::DynDigest;
+use crate::keyed::SecretKey;
+use crate::HashAlgorithm;
+
+const BLOCK_LEN: usize = 64; // all three supported hashes use 64-byte blocks
+
+/// HMAC keyed hash.
+#[derive(Debug, Clone)]
+pub struct Hmac {
+    algo: HashAlgorithm,
+    /// Key padded/hashed to exactly one block.
+    block_key: [u8; BLOCK_LEN],
+}
+
+impl Hmac {
+    /// HMAC over `algo` with `key` (RFC 2104 key normalization: keys
+    /// longer than the block are hashed first, shorter ones are
+    /// zero-padded).
+    pub fn new(algo: HashAlgorithm, key: impl Into<SecretKey>) -> Self {
+        let key = key.into();
+        let mut block_key = [0u8; BLOCK_LEN];
+        let material = key.as_bytes();
+        if material.len() > BLOCK_LEN {
+            let digest = algo.digest(material);
+            block_key[..digest.len()].copy_from_slice(&digest);
+        } else {
+            block_key[..material.len()].copy_from_slice(material);
+        }
+        Hmac { algo, block_key }
+    }
+
+    /// `HMAC(key, message)`.
+    #[must_use]
+    pub fn mac(&self, message: &[u8]) -> Vec<u8> {
+        let mut ipad = [0x36u8; BLOCK_LEN];
+        let mut opad = [0x5cu8; BLOCK_LEN];
+        for i in 0..BLOCK_LEN {
+            ipad[i] ^= self.block_key[i];
+            opad[i] ^= self.block_key[i];
+        }
+        let mut inner: DynDigest = self.algo.hasher();
+        inner.update(&ipad);
+        inner.update(message);
+        let inner_digest = inner.finalize_vec();
+        let mut outer = self.algo.hasher();
+        outer.update(&opad);
+        outer.update(&inner_digest);
+        outer.finalize_vec()
+    }
+
+    /// First 8 MAC bytes as a big-endian integer — the same interface
+    /// shape as `KeyedHash::hash_u64`.
+    #[must_use]
+    pub fn mac_u64(&self, message: &[u8]) -> u64 {
+        let mac = self.mac(message);
+        let mut first = [0u8; 8];
+        first.copy_from_slice(&mac[..8]);
+        u64::from_be_bytes(first)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hex::to_hex;
+
+    /// RFC 2202 (MD5/SHA-1) and RFC 4231 (SHA-256) test vectors.
+    #[test]
+    fn rfc_test_vectors() {
+        // RFC 2202 case 2: key "Jefe", data "what do ya want for nothing?".
+        let h = Hmac::new(HashAlgorithm::Md5, "Jefe");
+        assert_eq!(
+            to_hex(&h.mac(b"what do ya want for nothing?")),
+            "750c783e6ab0b503eaa86e310a5db738"
+        );
+        let h = Hmac::new(HashAlgorithm::Sha1, "Jefe");
+        assert_eq!(
+            to_hex(&h.mac(b"what do ya want for nothing?")),
+            "effcdf6ae5eb2fa2d27416d5f184df9c259a7c79"
+        );
+        // RFC 4231 case 2.
+        let h = Hmac::new(HashAlgorithm::Sha256, "Jefe");
+        assert_eq!(
+            to_hex(&h.mac(b"what do ya want for nothing?")),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_1_binary_key() {
+        let key = vec![0x0bu8; 20];
+        let h = Hmac::new(HashAlgorithm::Sha256, SecretKey::from_bytes(key));
+        assert_eq!(
+            to_hex(&h.mac(b"Hi There")),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    #[test]
+    fn long_keys_are_hashed_first() {
+        // RFC 4231 case 6: 131-byte key of 0xaa.
+        let key = vec![0xaau8; 131];
+        let h = Hmac::new(HashAlgorithm::Sha256, SecretKey::from_bytes(key));
+        assert_eq!(
+            to_hex(&h.mac(b"Test Using Larger Than Block-Size Key - Hash Key First")),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    #[test]
+    fn key_and_message_both_matter() {
+        let a = Hmac::new(HashAlgorithm::Sha256, "k1");
+        let b = Hmac::new(HashAlgorithm::Sha256, "k2");
+        assert_ne!(a.mac(b"m"), b.mac(b"m"));
+        assert_ne!(a.mac(b"m1"), a.mac(b"m2"));
+    }
+
+    #[test]
+    fn mac_u64_is_a_prefix_view() {
+        let h = Hmac::new(HashAlgorithm::Sha256, "key");
+        let full = h.mac(b"message");
+        let mut first = [0u8; 8];
+        first.copy_from_slice(&full[..8]);
+        assert_eq!(h.mac_u64(b"message"), u64::from_be_bytes(first));
+    }
+}

@@ -1,0 +1,193 @@
+//! MD5 message digest (RFC 1321).
+//!
+//! MD5 is one of the two hash candidates the paper names for its keyed
+//! construct. It is cryptographically broken for collision resistance
+//! today; `catmark` defaults to SHA-256 but keeps MD5 for fidelity with
+//! the paper's 2004 setting and for cheap non-adversarial hashing in
+//! tests.
+//!
+//! The sine-derived constant table `T[i] = floor(2^32 * |sin(i+1)|)` is
+//! computed once at first use straight from the RFC's definition, which
+//! eliminates any risk of transcription errors in the 64 constants.
+
+use std::sync::OnceLock;
+
+use crate::digest::{BlockBuffer, Digest};
+
+/// Per-round left-rotate amounts (RFC 1321 section 3.4).
+const S: [u32; 64] = [
+    7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, // round 1
+    5, 9, 14, 20, 5, 9, 14, 20, 5, 9, 14, 20, 5, 9, 14, 20, // round 2
+    4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, // round 3
+    6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21, // round 4
+];
+
+const INIT: [u32; 4] = [0x6745_2301, 0xefcd_ab89, 0x98ba_dcfe, 0x1032_5476];
+
+fn sine_table() -> &'static [u32; 64] {
+    static TABLE: OnceLock<[u32; 64]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0u32; 64];
+        for (i, slot) in t.iter_mut().enumerate() {
+            *slot = (((i as f64 + 1.0).sin().abs()) * 4_294_967_296.0) as u32;
+        }
+        t
+    })
+}
+
+/// Streaming MD5 hasher.
+#[derive(Debug, Clone)]
+pub struct Md5 {
+    state: [u32; 4],
+    buffer: BlockBuffer,
+}
+
+impl Md5 {
+    /// Fresh hasher with the RFC 1321 initial state.
+    #[must_use]
+    pub fn new() -> Self {
+        Md5 { state: INIT, buffer: BlockBuffer::new() }
+    }
+
+    fn compress(state: &mut [u32; 4], block: &[u8; 64]) {
+        let t = sine_table();
+        let mut m = [0u32; 16];
+        for (i, word) in m.iter_mut().enumerate() {
+            *word = u32::from_le_bytes([
+                block[4 * i],
+                block[4 * i + 1],
+                block[4 * i + 2],
+                block[4 * i + 3],
+            ]);
+        }
+        let [mut a, mut b, mut c, mut d] = *state;
+        for i in 0..64 {
+            let (f, g) = match i / 16 {
+                0 => ((b & c) | (!b & d), i),
+                1 => ((d & b) | (!d & c), (5 * i + 1) % 16),
+                2 => (b ^ c ^ d, (3 * i + 5) % 16),
+                _ => (c ^ (b | !d), (7 * i) % 16),
+            };
+            let tmp = d;
+            d = c;
+            c = b;
+            b = b.wrapping_add(
+                a.wrapping_add(f)
+                    .wrapping_add(t[i])
+                    .wrapping_add(m[g])
+                    .rotate_left(S[i]),
+            );
+            a = tmp;
+        }
+        state[0] = state[0].wrapping_add(a);
+        state[1] = state[1].wrapping_add(b);
+        state[2] = state[2].wrapping_add(c);
+        state[3] = state[3].wrapping_add(d);
+    }
+}
+
+impl Default for Md5 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Digest for Md5 {
+    type Output = [u8; 16];
+
+    fn update(&mut self, data: &[u8]) {
+        let state = &mut self.state;
+        self.buffer.update(data, |block| Self::compress(state, block));
+    }
+
+    fn finalize(mut self) -> [u8; 16] {
+        let state = &mut self.state;
+        self.buffer.finalize(true, |block| Self::compress(state, block));
+        let mut out = [0u8; 16];
+        for (i, word) in self.state.iter().enumerate() {
+            out[4 * i..4 * i + 4].copy_from_slice(&word.to_le_bytes());
+        }
+        out
+    }
+
+    fn reset(&mut self) {
+        self.state = INIT;
+        self.buffer.reset();
+    }
+}
+
+/// One-shot MD5 digest.
+#[must_use]
+pub fn md5(data: &[u8]) -> [u8; 16] {
+    Md5::digest(data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hex::to_hex;
+
+    /// The complete RFC 1321 appendix A.5 test suite.
+    #[test]
+    fn rfc1321_test_vectors() {
+        let cases: [(&[u8], &str); 7] = [
+            (b"", "d41d8cd98f00b204e9800998ecf8427e"),
+            (b"a", "0cc175b9c0f1b6a831c399e269772661"),
+            (b"abc", "900150983cd24fb0d6963f7d28e17f72"),
+            (b"message digest", "f96b697d7cb7938d525a2f31aaf161d0"),
+            (b"abcdefghijklmnopqrstuvwxyz", "c3fcd3d76192e4007dfb496cca67e13b"),
+            (
+                b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789",
+                "d174ab98d277d9f5a5611c2c9f419d9f",
+            ),
+            (
+                b"12345678901234567890123456789012345678901234567890123456789012345678901234567890",
+                "57edf4a22be3c955ac49da2e2107b67a",
+            ),
+        ];
+        for (input, expected) in cases {
+            assert_eq!(to_hex(&md5(input)), expected);
+        }
+    }
+
+    #[test]
+    fn streaming_equals_one_shot() {
+        let data = b"The quick brown fox jumps over the lazy dog";
+        let mut h = Md5::new();
+        for chunk in data.chunks(7) {
+            h.update(chunk);
+        }
+        assert_eq!(h.finalize(), md5(data));
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let mut h = Md5::new();
+        h.update(b"garbage");
+        h.reset();
+        h.update(b"abc");
+        assert_eq!(to_hex(&h.finalize()), "900150983cd24fb0d6963f7d28e17f72");
+    }
+
+    #[test]
+    fn boundary_lengths_are_consistent() {
+        // Exercise padding around the 55/56/63/64/65-byte boundaries by
+        // comparing streaming against one-shot hashing.
+        for len in [55usize, 56, 57, 63, 64, 65, 127, 128, 129] {
+            let data: Vec<u8> = (0..len).map(|i| i as u8).collect();
+            let mut h = Md5::new();
+            h.update(&data[..len / 2]);
+            h.update(&data[len / 2..]);
+            assert_eq!(h.finalize(), md5(&data), "len={len}");
+        }
+    }
+
+    #[test]
+    fn sine_table_spot_checks() {
+        // RFC 1321 lists T[1] = 0xd76aa478 and T[64] = 0xeb86d391.
+        let t = sine_table();
+        assert_eq!(t[0], 0xd76a_a478);
+        assert_eq!(t[63], 0xeb86_d391);
+        assert_eq!(t[31], 0x8d2a_4c8a);
+    }
+}

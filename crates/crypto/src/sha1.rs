@@ -1,0 +1,161 @@
+//! SHA-1 (FIPS 180-4).
+//!
+//! The second hash family the paper names ("the MD5 or SHA hash").
+//! Like MD5 it is no longer collision-resistant; `catmark` keeps it as
+//! an option for fidelity and uses SHA-256 by default.
+
+use crate::digest::{BlockBuffer, Digest};
+
+const INIT: [u32; 5] = [
+    0x6745_2301,
+    0xefcd_ab89,
+    0x98ba_dcfe,
+    0x1032_5476,
+    0xc3d2_e1f0,
+];
+
+/// Streaming SHA-1 hasher.
+#[derive(Debug, Clone)]
+pub struct Sha1 {
+    state: [u32; 5],
+    buffer: BlockBuffer,
+}
+
+impl Sha1 {
+    /// Fresh hasher with the FIPS 180-4 initial state.
+    #[must_use]
+    pub fn new() -> Self {
+        Sha1 { state: INIT, buffer: BlockBuffer::new() }
+    }
+
+    fn compress(state: &mut [u32; 5], block: &[u8; 64]) {
+        let mut w = [0u32; 80];
+        for (i, word) in w.iter_mut().take(16).enumerate() {
+            *word = u32::from_be_bytes([
+                block[4 * i],
+                block[4 * i + 1],
+                block[4 * i + 2],
+                block[4 * i + 3],
+            ]);
+        }
+        for i in 16..80 {
+            w[i] = (w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16]).rotate_left(1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e] = *state;
+        for (i, &wi) in w.iter().enumerate() {
+            let (f, k) = match i / 20 {
+                0 => ((b & c) | (!b & d), 0x5a82_7999),
+                1 => (b ^ c ^ d, 0x6ed9_eba1),
+                2 => ((b & c) | (b & d) | (c & d), 0x8f1b_bcdc),
+                _ => (b ^ c ^ d, 0xca62_c1d6),
+            };
+            let tmp = a
+                .rotate_left(5)
+                .wrapping_add(f)
+                .wrapping_add(e)
+                .wrapping_add(k)
+                .wrapping_add(wi);
+            e = d;
+            d = c;
+            c = b.rotate_left(30);
+            b = a;
+            a = tmp;
+        }
+        state[0] = state[0].wrapping_add(a);
+        state[1] = state[1].wrapping_add(b);
+        state[2] = state[2].wrapping_add(c);
+        state[3] = state[3].wrapping_add(d);
+        state[4] = state[4].wrapping_add(e);
+    }
+}
+
+impl Default for Sha1 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Digest for Sha1 {
+    type Output = [u8; 20];
+
+    fn update(&mut self, data: &[u8]) {
+        let state = &mut self.state;
+        self.buffer.update(data, |block| Self::compress(state, block));
+    }
+
+    fn finalize(mut self) -> [u8; 20] {
+        let state = &mut self.state;
+        self.buffer.finalize(false, |block| Self::compress(state, block));
+        let mut out = [0u8; 20];
+        for (i, word) in self.state.iter().enumerate() {
+            out[4 * i..4 * i + 4].copy_from_slice(&word.to_be_bytes());
+        }
+        out
+    }
+
+    fn reset(&mut self) {
+        self.state = INIT;
+        self.buffer.reset();
+    }
+}
+
+/// One-shot SHA-1 digest.
+#[must_use]
+pub fn sha1(data: &[u8]) -> [u8; 20] {
+    Sha1::digest(data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hex::to_hex;
+
+    #[test]
+    fn fips_test_vectors() {
+        let cases: [(&[u8], &str); 4] = [
+            (b"", "da39a3ee5e6b4b0d3255bfef95601890afd80709"),
+            (b"abc", "a9993e364706816aba3e25717850c26c9cd0d89d"),
+            (
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+                "84983e441c3bd26ebaae4aa1f95129e5e54670f1",
+            ),
+            (
+                b"The quick brown fox jumps over the lazy dog",
+                "2fd4e1c67a2d28fced849ee1bb76e7391b93eb12",
+            ),
+        ];
+        for (input, expected) in cases {
+            assert_eq!(to_hex(&sha1(input)), expected);
+        }
+    }
+
+    #[test]
+    fn million_a_vector() {
+        // FIPS 180-4 long test vector: one million repetitions of "a".
+        let mut h = Sha1::new();
+        let chunk = [b'a'; 1000];
+        for _ in 0..1000 {
+            h.update(&chunk);
+        }
+        assert_eq!(to_hex(&h.finalize()), "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+    }
+
+    #[test]
+    fn streaming_equals_one_shot() {
+        let data: Vec<u8> = (0u16..300).map(|i| (i % 251) as u8).collect();
+        let mut h = Sha1::new();
+        for chunk in data.chunks(13) {
+            h.update(chunk);
+        }
+        assert_eq!(h.finalize(), sha1(&data));
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let mut h = Sha1::new();
+        h.update(b"noise");
+        h.reset();
+        h.update(b"abc");
+        assert_eq!(to_hex(&h.finalize()), "a9993e364706816aba3e25717850c26c9cd0d89d");
+    }
+}

@@ -1,0 +1,94 @@
+//! Ready-made categorical domains mirroring the paper's examples.
+//!
+//! The paper motivates categorical attributes with departure cities,
+//! airline names and product codes ("a value of nA = 16000 is going to
+//! yield only 14 bits"). These constructors build such domains for
+//! examples and tests.
+
+use catmark_relation::{CategoricalDomain, Value};
+
+/// US cities, in the spirit of the paper's "change departure city from
+/// Chicago to San Jose" example.
+pub const CITIES: [&str; 40] = [
+    "Albuquerque", "Atlanta", "Austin", "Baltimore", "Boston", "Charlotte", "Chicago",
+    "Cleveland", "Columbus", "Dallas", "Denver", "Detroit", "El Paso", "Fort Worth", "Fresno",
+    "Houston", "Indianapolis", "Jacksonville", "Kansas City", "Las Vegas", "Long Beach",
+    "Los Angeles", "Louisville", "Memphis", "Mesa", "Miami", "Milwaukee", "Minneapolis",
+    "Nashville", "New Orleans", "New York", "Oakland", "Oklahoma City", "Omaha", "Philadelphia",
+    "Phoenix", "Portland", "Sacramento", "San Antonio", "San Jose",
+];
+
+/// Two-letter airline codes for reservation-portal style schemas.
+pub const AIRLINES: [&str; 16] = [
+    "AA", "AC", "AF", "AM", "AS", "B6", "BA", "DL", "EK", "F9", "JL", "LH", "NK", "QF", "UA",
+    "WN",
+];
+
+/// Domain of city names.
+///
+/// # Panics
+///
+/// Never panics: the constant list has ≥ 2 distinct values.
+#[must_use]
+pub fn cities() -> CategoricalDomain {
+    CategoricalDomain::new(CITIES.iter().map(|&c| Value::Text(c.into())).collect())
+        .expect("static city list is a valid domain")
+}
+
+/// Domain of airline codes.
+#[must_use]
+pub fn airlines() -> CategoricalDomain {
+    CategoricalDomain::new(AIRLINES.iter().map(|&c| Value::Text(c.into())).collect())
+        .expect("static airline list is a valid domain")
+}
+
+/// Domain of `n` integer product codes `{base, …, base + n - 1}` — the
+/// shape of the Wal-Mart `Item_Nbr` attribute ("a categorical
+/// attribute, uniquely identifying a finite set of products").
+///
+/// # Panics
+///
+/// Panics when `n < 2` (a valid categorical domain needs two values).
+#[must_use]
+pub fn product_codes(n: usize, base: i64) -> CategoricalDomain {
+    assert!(n >= 2, "need at least two product codes");
+    CategoricalDomain::new((0..n).map(|i| Value::Int(base + i as i64)).collect())
+        .expect("n >= 2 distinct integers form a valid domain")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cities_domain_is_complete_and_sorted() {
+        let d = cities();
+        assert_eq!(d.len(), CITIES.len());
+        for c in CITIES {
+            assert!(d.index_of(&Value::Text(c.into())).is_ok(), "{c} missing");
+        }
+    }
+
+    #[test]
+    fn airlines_domain_is_complete() {
+        assert_eq!(airlines().len(), AIRLINES.len());
+    }
+
+    #[test]
+    fn product_codes_run_from_base() {
+        let d = product_codes(5, 100);
+        assert_eq!(d.values(), &[
+            Value::Int(100),
+            Value::Int(101),
+            Value::Int(102),
+            Value::Int(103),
+            Value::Int(104),
+        ]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn tiny_product_domain_panics() {
+        let _ = product_codes(1, 0);
+    }
+}

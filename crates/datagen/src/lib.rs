@@ -1,0 +1,38 @@
+//! Synthetic workload generators for `catmark`.
+//!
+//! The paper's experiments watermark categorical attributes of the
+//! Wal-Mart Sales Database — specifically subsets (up to 141 000
+//! tuples) of the `ItemScan` relation with schema
+//!
+//! ```sql
+//! Visit_Nbr INTEGER PRIMARY KEY,
+//! Item_Nbr  INTEGER NOT NULL
+//! ```
+//!
+//! That data set is proprietary, so this crate generates the closest
+//! synthetic equivalent: sales relations with sequential-but-shuffled
+//! visit numbers and Zipf-distributed item numbers (retail sales are
+//! heavily skewed — a handful of items dominate scan volume, a long
+//! tail barely sells). The skew matters to two of the paper's
+//! mechanisms: the frequency-transform channel of Section 4.2 and the
+//! frequency-matching remap recovery of Section 4.5, both of which are
+//! explicitly powerless on uniform value distributions.
+//!
+//! The watermark embedding itself only consumes `(primary key,
+//! categorical value)` pairs through a keyed hash, so it is oblivious
+//! to the semantic content of either attribute — a synthetic relation
+//! exercises exactly the same code paths as the Wal-Mart original.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baskets;
+pub mod domains;
+pub mod reservations;
+pub mod sales;
+pub mod zipf;
+
+pub use baskets::{BasketConfig, BasketGenerator};
+pub use reservations::{ReservationsConfig, ReservationsGenerator};
+pub use sales::{ItemScanConfig, SalesGenerator};
+pub use zipf::Zipf;

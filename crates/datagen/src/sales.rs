@@ -1,0 +1,187 @@
+//! Synthetic `ItemScan`-style sales relations.
+//!
+//! [`SalesGenerator`] reproduces the shape of the paper's experimental
+//! relation: a `Visit_Nbr` integer primary key and an `Item_Nbr`
+//! categorical attribute drawn from a finite product-code set with a
+//! Zipf-skewed popularity profile. An optional `Store_City` attribute
+//! provides a second categorical column for the multi-attribute
+//! embedding demos of Section 3.3.
+
+use catmark_relation::{AttrType, CategoricalDomain, Relation, Schema, Value};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+use crate::domains;
+use crate::zipf::Zipf;
+
+/// Configuration for [`SalesGenerator`].
+#[derive(Debug, Clone)]
+pub struct ItemScanConfig {
+    /// Number of tuples `N`. The paper's figures used subsets around
+    /// 6 000 tuples (its analysis examples use N = 6000 explicitly);
+    /// up to 141 000 were drawn from the original database.
+    pub tuples: usize,
+    /// Number of distinct products `nA`.
+    pub items: usize,
+    /// Zipf exponent of item popularity (0 = uniform, ~1 = typical
+    /// retail skew).
+    pub zipf_exponent: f64,
+    /// Include a `store_city` categorical attribute.
+    pub with_city: bool,
+    /// RNG seed for exact reproducibility.
+    pub seed: u64,
+}
+
+impl Default for ItemScanConfig {
+    fn default() -> Self {
+        ItemScanConfig {
+            tuples: 6_000,
+            items: 1_000,
+            zipf_exponent: 1.0,
+            with_city: false,
+            seed: 0xCAFE,
+        }
+    }
+}
+
+/// Generator of synthetic sales relations.
+#[derive(Debug, Clone)]
+pub struct SalesGenerator {
+    config: ItemScanConfig,
+}
+
+impl SalesGenerator {
+    /// Generator for `config`.
+    #[must_use]
+    pub fn new(config: ItemScanConfig) -> Self {
+        SalesGenerator { config }
+    }
+
+    /// The `item_nbr` domain this generator draws from (product codes
+    /// starting at 10 000, matching typical retail numbering).
+    #[must_use]
+    pub fn item_domain(&self) -> CategoricalDomain {
+        domains::product_codes(self.config.items, 10_000)
+    }
+
+    /// The `store_city` domain used when `with_city` is set.
+    #[must_use]
+    pub fn city_domain(&self) -> CategoricalDomain {
+        domains::cities()
+    }
+
+    /// The generated schema: `visit_nbr` key, `item_nbr` categorical,
+    /// optionally `store_city` categorical.
+    #[must_use]
+    pub fn schema(&self) -> Schema {
+        let b = Schema::builder()
+            .key_attr("visit_nbr", AttrType::Integer)
+            .categorical_attr("item_nbr", AttrType::Integer);
+        let b = if self.config.with_city {
+            b.categorical_attr("store_city", AttrType::Text)
+        } else {
+            b
+        };
+        b.build().expect("static schema is valid")
+    }
+
+    /// Generate the relation.
+    ///
+    /// Visit numbers are unique but non-sequential (drawn from a wide
+    /// integer space), mimicking production surrogate keys; item
+    /// numbers follow the configured Zipf profile; cities, when
+    /// present, follow a milder skew.
+    #[must_use]
+    pub fn generate(&self) -> Relation {
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let item_zipf = Zipf::new(self.config.items, self.config.zipf_exponent);
+        let city_domain = self.city_domain();
+        let city_zipf = Zipf::new(city_domain.len(), 0.5);
+        let item_domain = self.item_domain();
+        let mut rel = Relation::with_capacity(self.schema(), self.config.tuples);
+        let mut next_visit: i64 = 1_000_000;
+        for _ in 0..self.config.tuples {
+            // Strictly increasing with random gaps: unique by
+            // construction, non-trivially distributed for hashing.
+            next_visit += 1 + rng.gen_range(0..97);
+            let item = item_domain.value_at(item_zipf.sample(&mut rng)).clone();
+            let mut values = vec![Value::Int(next_visit), item];
+            if self.config.with_city {
+                values.push(city_domain.value_at(city_zipf.sample(&mut rng)).clone());
+            }
+            rel.push(values).expect("generated keys are unique and typed");
+        }
+        rel
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use catmark_relation::FrequencyHistogram;
+
+    #[test]
+    fn generates_requested_size_with_unique_keys() {
+        let gen = SalesGenerator::new(ItemScanConfig { tuples: 500, ..Default::default() });
+        let rel = gen.generate();
+        assert_eq!(rel.len(), 500);
+        assert_eq!(rel.distinct_keys(), 500);
+    }
+
+    #[test]
+    fn is_seed_deterministic() {
+        let cfg = ItemScanConfig { tuples: 200, seed: 7, ..Default::default() };
+        let a = SalesGenerator::new(cfg.clone()).generate();
+        let b = SalesGenerator::new(cfg).generate();
+        assert!(a.iter().zip(b.iter()).all(|(x, y)| x == y));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = SalesGenerator::new(ItemScanConfig { tuples: 200, seed: 1, ..Default::default() })
+            .generate();
+        let b = SalesGenerator::new(ItemScanConfig { tuples: 200, seed: 2, ..Default::default() })
+            .generate();
+        assert!(a.iter().zip(b.iter()).any(|(x, y)| x != y));
+    }
+
+    #[test]
+    fn items_stay_in_domain() {
+        let gen = SalesGenerator::new(ItemScanConfig { tuples: 300, items: 50, ..Default::default() });
+        let rel = gen.generate();
+        let domain = gen.item_domain();
+        for v in rel.column_iter(1) {
+            assert!(domain.index_of(v).is_ok());
+        }
+    }
+
+    #[test]
+    fn zipf_skew_shows_in_frequencies() {
+        let gen = SalesGenerator::new(ItemScanConfig {
+            tuples: 20_000,
+            items: 100,
+            zipf_exponent: 1.0,
+            ..Default::default()
+        });
+        let rel = gen.generate();
+        let hist = FrequencyHistogram::from_relation(&rel, 1, &gen.item_domain()).unwrap();
+        // Rank-1 item should clearly dominate the median item.
+        let ranked = hist.rank_by_frequency();
+        let top = hist.frequency(ranked[0]);
+        let median = hist.frequency(ranked[50]);
+        assert!(top > 5.0 * median, "top={top}, median={median}");
+    }
+
+    #[test]
+    fn city_column_is_optional() {
+        let without = SalesGenerator::new(ItemScanConfig { tuples: 10, ..Default::default() });
+        assert_eq!(without.schema().arity(), 2);
+        let with = SalesGenerator::new(ItemScanConfig {
+            tuples: 10,
+            with_city: true,
+            ..Default::default()
+        });
+        assert_eq!(with.schema().arity(), 3);
+        let rel = with.generate();
+        assert_eq!(rel.tuple(0).unwrap().arity(), 3);
+    }
+}

@@ -1,0 +1,409 @@
+//! Categorical classifiers for semantic-consistency measurement.
+//!
+//! The paper's conclusions propose encoding with "direct awareness of
+//! semantic consistency (e.g. classification and association rules)".
+//! A downstream consumer of a watermarked relation often trains a
+//! classifier on it; a watermark that flips the decision boundary has
+//! destroyed value even if every individual alteration looked benign.
+//! This module provides two classic categorical classifiers — OneR
+//! (Holte's one-rule) and naive Bayes with Laplace smoothing — plus an
+//! accuracy metric, so embeddings can be constrained to preserve the
+//! learned model (see [`constraints`](crate::constraints)).
+
+use std::collections::HashMap;
+
+use catmark_relation::{Relation, RelationError, Value};
+
+/// A trained categorical classifier: predicts a target attribute from
+/// predictor attributes, both by index into the training schema.
+pub trait Classifier {
+    /// Predict the target value for a full tuple (indexed by the
+    /// training schema). `None` when a predictor value was never seen
+    /// in training and the model cannot back off.
+    fn predict(&self, values: &[Value]) -> Option<Value>;
+
+    /// Target attribute index.
+    fn target(&self) -> usize;
+
+    /// Predictor attribute indices consulted by [`Classifier::predict`].
+    fn predictors(&self) -> &[usize];
+}
+
+/// Fraction of rows of `rel` on which `clf` predicts the target
+/// correctly; unseen-predictor rows count as misses.
+#[must_use]
+pub fn accuracy(clf: &dyn Classifier, rel: &Relation) -> f64 {
+    if rel.is_empty() {
+        return 0.0;
+    }
+    let hits = rel
+        .iter()
+        .filter(|t| clf.predict(t.values()).as_ref() == Some(t.get(clf.target())))
+        .count();
+    hits as f64 / rel.len() as f64
+}
+
+/// Holte's OneR: pick the single predictor whose value→majority-class
+/// table misclassifies the fewest training rows.
+#[derive(Debug, Clone)]
+pub struct OneR {
+    predictor: usize,
+    target: usize,
+    predictors: Vec<usize>,
+    table: HashMap<Value, Value>,
+    default: Value,
+    training_error: f64,
+}
+
+impl OneR {
+    /// Train on `rel`, choosing among `candidate_predictors` (names)
+    /// the best single predictor of `target_attr`.
+    ///
+    /// # Errors
+    ///
+    /// [`RelationError::UnknownAttr`] for unknown names, or
+    /// [`RelationError::InvalidSchema`] when there are no candidates,
+    /// the candidate list contains the target, or the relation is
+    /// empty.
+    pub fn train(
+        rel: &Relation,
+        target_attr: &str,
+        candidate_predictors: &[&str],
+    ) -> Result<Self, RelationError> {
+        let target = rel.schema().index_of(target_attr)?;
+        if candidate_predictors.is_empty() {
+            return Err(RelationError::InvalidSchema(
+                "OneR needs at least one candidate predictor".into(),
+            ));
+        }
+        if rel.is_empty() {
+            return Err(RelationError::InvalidSchema(
+                "cannot train OneR on an empty relation".into(),
+            ));
+        }
+        let mut best: Option<(usize, HashMap<Value, Value>, usize)> = None;
+        for name in candidate_predictors {
+            let p = rel.schema().index_of(name)?;
+            if p == target {
+                return Err(RelationError::InvalidSchema(format!(
+                    "predictor {name:?} is the target attribute"
+                )));
+            }
+            // value → class → count
+            let mut counts: HashMap<&Value, HashMap<&Value, usize>> = HashMap::new();
+            for t in rel.iter() {
+                *counts.entry(t.get(p)).or_default().entry(t.get(target)).or_insert(0) += 1;
+            }
+            let mut table = HashMap::new();
+            let mut errors = 0usize;
+            for (v, classes) in counts {
+                // Ties break toward the smallest class label so the
+                // trained table is independent of hash iteration order.
+                let (majority, majority_n) = classes
+                    .iter()
+                    .max_by(|a, b| a.1.cmp(b.1).then_with(|| b.0.cmp(a.0)))
+                    .expect("non-empty class map");
+                let total: usize = classes.values().sum();
+                errors += total - majority_n;
+                table.insert(v.clone(), (*majority).clone());
+            }
+            if best.as_ref().is_none_or(|(_, _, e)| errors < *e) {
+                best = Some((p, table, errors));
+            }
+        }
+        let (predictor, table, errors) = best.expect("candidates checked non-empty");
+        let default = majority_class(rel, target);
+        Ok(OneR {
+            predictor,
+            target,
+            predictors: vec![predictor],
+            table,
+            default,
+            training_error: errors as f64 / rel.len() as f64,
+        })
+    }
+
+    /// The chosen predictor's attribute index.
+    #[must_use]
+    pub fn predictor(&self) -> usize {
+        self.predictor
+    }
+
+    /// Fraction of training rows the rule misclassifies.
+    #[must_use]
+    pub fn training_error(&self) -> f64 {
+        self.training_error
+    }
+}
+
+impl Classifier for OneR {
+    fn predict(&self, values: &[Value]) -> Option<Value> {
+        let v = values.get(self.predictor)?;
+        Some(self.table.get(v).unwrap_or(&self.default).clone())
+    }
+
+    fn target(&self) -> usize {
+        self.target
+    }
+
+    fn predictors(&self) -> &[usize] {
+        &self.predictors
+    }
+}
+
+fn majority_class(rel: &Relation, target: usize) -> Value {
+    let mut counts: HashMap<&Value, usize> = HashMap::new();
+    for t in rel.iter() {
+        *counts.entry(t.get(target)).or_insert(0) += 1;
+    }
+    counts
+        .into_iter()
+        .max_by(|a, b| a.1.cmp(&b.1).then_with(|| b.0.cmp(a.0)))
+        .map(|(v, _)| v.clone())
+        .expect("relation checked non-empty")
+}
+
+/// Categorical naive Bayes with Laplace (add-one) smoothing.
+#[derive(Debug, Clone)]
+pub struct NaiveBayes {
+    target: usize,
+    predictors: Vec<usize>,
+    classes: Vec<Value>,
+    /// Log prior per class.
+    log_prior: Vec<f64>,
+    /// Per predictor: value → per-class log likelihood.
+    likelihood: Vec<HashMap<Value, Vec<f64>>>,
+    /// Per predictor: log likelihood for unseen values (smoothing
+    /// mass), per class.
+    unseen: Vec<Vec<f64>>,
+}
+
+impl NaiveBayes {
+    /// Train on `rel`: predict `target_attr` from `predictor_attrs`.
+    ///
+    /// # Errors
+    ///
+    /// [`RelationError::UnknownAttr`] for unknown names, or
+    /// [`RelationError::InvalidSchema`] for an empty relation, empty
+    /// predictor list, or a predictor equal to the target.
+    pub fn train(
+        rel: &Relation,
+        target_attr: &str,
+        predictor_attrs: &[&str],
+    ) -> Result<Self, RelationError> {
+        let target = rel.schema().index_of(target_attr)?;
+        if predictor_attrs.is_empty() {
+            return Err(RelationError::InvalidSchema(
+                "naive Bayes needs at least one predictor".into(),
+            ));
+        }
+        if rel.is_empty() {
+            return Err(RelationError::InvalidSchema(
+                "cannot train naive Bayes on an empty relation".into(),
+            ));
+        }
+        let mut predictors = Vec::with_capacity(predictor_attrs.len());
+        for name in predictor_attrs {
+            let p = rel.schema().index_of(name)?;
+            if p == target {
+                return Err(RelationError::InvalidSchema(format!(
+                    "predictor {name:?} is the target attribute"
+                )));
+            }
+            predictors.push(p);
+        }
+
+        // Class counts.
+        let mut class_counts: HashMap<&Value, u64> = HashMap::new();
+        for t in rel.iter() {
+            *class_counts.entry(t.get(target)).or_insert(0) += 1;
+        }
+        let mut classes: Vec<Value> = class_counts.keys().map(|v| (*v).clone()).collect();
+        classes.sort();
+        let n = rel.len() as f64;
+        let log_prior: Vec<f64> = classes
+            .iter()
+            .map(|c| (class_counts[c] as f64 / n).ln())
+            .collect();
+
+        // Per-predictor conditional counts.
+        let mut likelihood = Vec::with_capacity(predictors.len());
+        let mut unseen = Vec::with_capacity(predictors.len());
+        for &p in &predictors {
+            let mut counts: HashMap<&Value, Vec<u64>> = HashMap::new();
+            for t in rel.iter() {
+                let class_idx = classes
+                    .binary_search(t.get(target))
+                    .expect("every training class was collected");
+                counts.entry(t.get(p)).or_insert_with(|| vec![0; classes.len()])[class_idx] += 1;
+            }
+            let domain_size = counts.len() as f64;
+            let mut table: HashMap<Value, Vec<f64>> = HashMap::with_capacity(counts.len());
+            for (v, per_class) in counts {
+                let logs = per_class
+                    .iter()
+                    .zip(&classes)
+                    .map(|(&c, class)| {
+                        let class_total = class_counts[class] as f64;
+                        ((c as f64 + 1.0) / (class_total + domain_size + 1.0)).ln()
+                    })
+                    .collect();
+                table.insert(v.clone(), logs);
+            }
+            let unseen_logs = classes
+                .iter()
+                .map(|class| {
+                    let class_total = class_counts[class] as f64;
+                    (1.0 / (class_total + domain_size + 1.0)).ln()
+                })
+                .collect();
+            likelihood.push(table);
+            unseen.push(unseen_logs);
+        }
+        Ok(NaiveBayes { target, predictors, classes, log_prior, likelihood, unseen })
+    }
+
+    /// The class labels seen in training, sorted.
+    #[must_use]
+    pub fn classes(&self) -> &[Value] {
+        &self.classes
+    }
+}
+
+impl Classifier for NaiveBayes {
+    fn predict(&self, values: &[Value]) -> Option<Value> {
+        let mut scores = self.log_prior.clone();
+        for (slot, &p) in self.predictors.iter().enumerate() {
+            let v = values.get(p)?;
+            let logs = self.likelihood[slot].get(v).unwrap_or(&self.unseen[slot]);
+            for (s, l) in scores.iter_mut().zip(logs) {
+                *s += *l;
+            }
+        }
+        let best = scores
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1).then(b.0.cmp(&a.0)))?
+            .0;
+        Some(self.classes[best].clone())
+    }
+
+    fn target(&self) -> usize {
+        self.target
+    }
+
+    fn predictors(&self) -> &[usize] {
+        &self.predictors
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use catmark_relation::{AttrType, Schema};
+
+    /// dept (0..4) determines aisle exactly; region is noise.
+    fn fixture(n: i64) -> Relation {
+        let schema = Schema::builder()
+            .key_attr("k", AttrType::Integer)
+            .categorical_attr("dept", AttrType::Integer)
+            .categorical_attr("region", AttrType::Integer)
+            .categorical_attr("aisle", AttrType::Integer)
+            .build()
+            .unwrap();
+        let mut rel = Relation::new(schema);
+        for i in 0..n {
+            let dept = i % 4;
+            let region = (i * 7) % 5;
+            let aisle = dept + 100;
+            rel.push(vec![
+                Value::Int(i),
+                Value::Int(dept),
+                Value::Int(region),
+                Value::Int(aisle),
+            ])
+            .unwrap();
+        }
+        rel
+    }
+
+    #[test]
+    fn oner_picks_the_informative_predictor() {
+        let rel = fixture(200);
+        let clf = OneR::train(&rel, "aisle", &["region", "dept"]).unwrap();
+        assert_eq!(clf.predictor(), rel.schema().index_of("dept").unwrap());
+        assert_eq!(clf.training_error(), 0.0);
+        assert_eq!(accuracy(&clf, &rel), 1.0);
+    }
+
+    #[test]
+    fn oner_unseen_value_falls_back_to_majority() {
+        let rel = fixture(100);
+        let clf = OneR::train(&rel, "aisle", &["dept"]).unwrap();
+        let pred = clf
+            .predict(&[Value::Int(0), Value::Int(999), Value::Int(0), Value::Int(0)])
+            .unwrap();
+        // Majority aisle (all tie at 25 each → smallest label wins).
+        assert_eq!(pred, Value::Int(100));
+    }
+
+    #[test]
+    fn oner_rejects_degenerate_inputs() {
+        let rel = fixture(10);
+        assert!(OneR::train(&rel, "aisle", &[]).is_err());
+        assert!(OneR::train(&rel, "aisle", &["aisle"]).is_err());
+        assert!(OneR::train(&rel, "nope", &["dept"]).is_err());
+        let empty = Relation::new(rel.schema().clone());
+        assert!(OneR::train(&empty, "aisle", &["dept"]).is_err());
+    }
+
+    #[test]
+    fn naive_bayes_learns_exact_mapping() {
+        let rel = fixture(200);
+        let clf = NaiveBayes::train(&rel, "aisle", &["dept", "region"]).unwrap();
+        assert_eq!(accuracy(&clf, &rel), 1.0);
+        assert_eq!(clf.classes().len(), 4);
+    }
+
+    #[test]
+    fn naive_bayes_handles_unseen_predictor_values() {
+        let rel = fixture(100);
+        let clf = NaiveBayes::train(&rel, "aisle", &["dept"]).unwrap();
+        let pred = clf.predict(&[Value::Int(0), Value::Int(999), Value::Int(0), Value::Int(0)]);
+        assert!(pred.is_some(), "smoothing backs off, never abstains");
+    }
+
+    #[test]
+    fn naive_bayes_beats_chance_under_noise() {
+        // aisle = dept except 20% of rows scrambled.
+        let rel = {
+            let mut rel = fixture(500);
+            let aisle_idx = 3;
+            for row in (0..rel.len()).step_by(5) {
+                rel.update_value(row, aisle_idx, Value::Int(100 + (row as i64 * 3) % 4))
+                    .unwrap();
+            }
+            rel
+        };
+        let clf = NaiveBayes::train(&rel, "aisle", &["dept"]).unwrap();
+        let acc = accuracy(&clf, &rel);
+        assert!(acc > 0.75, "acc={acc}");
+    }
+
+    #[test]
+    fn naive_bayes_rejects_degenerate_inputs() {
+        let rel = fixture(10);
+        assert!(NaiveBayes::train(&rel, "aisle", &[]).is_err());
+        assert!(NaiveBayes::train(&rel, "aisle", &["aisle"]).is_err());
+        let empty = Relation::new(rel.schema().clone());
+        assert!(NaiveBayes::train(&empty, "aisle", &["dept"]).is_err());
+    }
+
+    #[test]
+    fn accuracy_on_empty_relation_is_zero() {
+        let rel = fixture(10);
+        let clf = OneR::train(&rel, "aisle", &["dept"]).unwrap();
+        let empty = Relation::new(rel.schema().clone());
+        assert_eq!(accuracy(&clf, &empty), 0.0);
+    }
+}

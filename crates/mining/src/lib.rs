@@ -1,0 +1,85 @@
+//! `catmark-mining` — semantic-consistency substrate for watermarking.
+//!
+//! *Proving Ownership over Categorical Data* (Sion, ICDE 2004) closes
+//! by proposing "to augment the encoding method with direct awareness
+//! of semantic consistency (e.g. classification and association
+//! rules). This would likely result in an increase in available
+//! encoding bandwidth, thus in a higher encoding resilience." This
+//! crate implements that future-work item end to end:
+//!
+//! * [`item`] — items, itemsets and the transaction view of a
+//!   relation;
+//! * [`apriori`] — exact level-wise frequent-itemset mining;
+//! * [`rules`] — association rule derivation (support / confidence /
+//!   lift) and drift measurement against altered data;
+//! * [`classify`] — OneR and naive-Bayes categorical classifiers with
+//!   an accuracy metric;
+//! * [`constraints`] — [`QualityConstraint`] adapters
+//!   ([`AssociationRulePreserved`], [`ClassifierAccuracyPreserved`])
+//!   that veto embedding alterations damaging the mined semantics,
+//!   composing with the paper's Section 4.1 quality guard.
+//!
+//! # Example: rule-aware embedding
+//!
+//! ```
+//! use catmark_core::quality::{AlterationBudget, QualityGuard};
+//! use catmark_core::{Embedder, Watermark, WatermarkSpec};
+//! use catmark_mining::apriori::{mine, AprioriConfig};
+//! use catmark_mining::constraints::AssociationRulePreserved;
+//! use catmark_mining::item::Transactions;
+//! use catmark_mining::rules::RuleSet;
+//! use catmark_relation::{AttrType, CategoricalDomain, Relation, Schema, Value};
+//!
+//! // dept → aisle is a strong (but imperfect) rule in the data.
+//! let schema = Schema::builder()
+//!     .key_attr("k", AttrType::Integer)
+//!     .categorical_attr("aisle", AttrType::Integer)
+//!     .build()
+//!     .unwrap();
+//! let mut rel = Relation::new(schema);
+//! for i in 0..2000i64 {
+//!     rel.push(vec![Value::Int(i), Value::Int(i % 16)]).unwrap();
+//! }
+//! let domain = CategoricalDomain::new((0..16).map(Value::Int).collect::<Vec<_>>()).unwrap();
+//!
+//! // Mine the original semantics…
+//! let tx = Transactions::from_relation(&rel, &["aisle"]).unwrap();
+//! let freq = mine(&tx, &AprioriConfig { min_support: 0.01, max_len: 1 });
+//! assert!(!freq.is_empty());
+//!
+//! // …then embed under a guard that bounds total distortion.
+//! let spec = WatermarkSpec::builder(domain)
+//!     .master_key("rule-aware")
+//!     .e(20)
+//!     .wm_len(8)
+//!     .expected_tuples(rel.len())
+//!     .build()
+//!     .unwrap();
+//! let mut guard = QualityGuard::new(vec![Box::new(AlterationBudget::new(150))]);
+//! let wm = Watermark::from_u64(0b1011_0010, 8);
+//! let report = Embedder::new(&spec)
+//!     .embed_guarded(&mut rel, "k", "aisle", &wm, &mut guard)
+//!     .unwrap();
+//! assert!(report.fit_tuples > 0);
+//! # let _ = RuleSet::derive(&freq, 0.5);
+//! # let _ = AssociationRulePreserved::new(&rel, &RuleSet::derive(&freq, 0.5), 0.1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod apriori;
+pub mod classify;
+pub mod constraints;
+pub mod item;
+pub mod rules;
+
+pub use apriori::{mine, AprioriConfig, FrequentItemset, FrequentItemsets};
+pub use classify::{accuracy, Classifier, NaiveBayes, OneR};
+pub use constraints::{AssociationRulePreserved, ClassifierAccuracyPreserved};
+pub use item::{Item, Itemset, Transactions};
+pub use rules::{Rule, RuleDrift, RuleSet};
+
+// Re-exported so doc links in the crate root resolve.
+#[doc(no_inline)]
+pub use catmark_core::quality::QualityConstraint;

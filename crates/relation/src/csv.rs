@@ -1,0 +1,206 @@
+//! Minimal CSV import/export for relations.
+//!
+//! Supports the subset of CSV the examples and experiment harness need:
+//! comma separation, double-quote quoting with `""` escapes, a header
+//! row of attribute names, and LF/CRLF line endings. Implemented here
+//! rather than via an external crate to stay within the approved
+//! dependency set.
+
+use std::io::{BufRead, Write};
+
+use crate::{Relation, RelationError, Schema, Value};
+
+/// Write `rel` as CSV with a header row.
+///
+/// # Errors
+///
+/// Propagates I/O errors as [`RelationError::Csv`].
+pub fn write_csv(rel: &Relation, out: &mut impl Write) -> Result<(), RelationError> {
+    let io = |e: std::io::Error| RelationError::Csv(e.to_string());
+    let header: Vec<String> = rel
+        .schema()
+        .attrs()
+        .iter()
+        .map(|a| escape(&a.name))
+        .collect();
+    writeln!(out, "{}", header.join(",")).map_err(io)?;
+    for tuple in rel.iter() {
+        let row: Vec<String> = tuple.values().iter().map(|v| escape(&v.to_string())).collect();
+        writeln!(out, "{}", row.join(",")).map_err(io)?;
+    }
+    Ok(())
+}
+
+/// Read a relation from CSV produced by [`write_csv`] (or compatible),
+/// validating the header against `schema` and parsing each field
+/// according to its attribute type. Duplicate primary keys are
+/// tolerated (suspect data need not satisfy constraints).
+///
+/// # Errors
+///
+/// [`RelationError::Csv`] on malformed input; type errors from value
+/// parsing.
+pub fn read_csv(schema: Schema, input: &mut impl BufRead) -> Result<Relation, RelationError> {
+    let io = |e: std::io::Error| RelationError::Csv(e.to_string());
+    let mut lines = input.lines();
+    let header_line = lines
+        .next()
+        .ok_or_else(|| RelationError::Csv("missing header row".into()))?
+        .map_err(io)?;
+    let header = parse_row(&header_line)?;
+    let expected: Vec<&str> = schema.attrs().iter().map(|a| a.name.as_str()).collect();
+    if header != expected {
+        return Err(RelationError::Csv(format!(
+            "header {header:?} does not match schema attributes {expected:?}"
+        )));
+    }
+    let mut rel = Relation::new(schema);
+    for (line_no, line) in lines.enumerate() {
+        let line = line.map_err(io)?;
+        if line.is_empty() {
+            continue;
+        }
+        let fields = parse_row(&line)?;
+        if fields.len() != rel.schema().arity() {
+            return Err(RelationError::Csv(format!(
+                "row {}: {} fields, expected {}",
+                line_no + 2,
+                fields.len(),
+                rel.schema().arity()
+            )));
+        }
+        let values: Result<Vec<Value>, _> = fields
+            .iter()
+            .enumerate()
+            .map(|(i, f)| Value::parse(rel.schema().attr(i).ty, f))
+            .collect();
+        rel.push_unchecked_key(values?)?;
+    }
+    Ok(rel)
+}
+
+fn escape(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_owned()
+    }
+}
+
+/// Split one CSV record into unescaped fields.
+fn parse_row(line: &str) -> Result<Vec<String>, RelationError> {
+    let line = line.strip_suffix('\r').unwrap_or(line);
+    let mut fields = Vec::new();
+    let mut current = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            match c {
+                '"' if chars.peek() == Some(&'"') => {
+                    chars.next();
+                    current.push('"');
+                }
+                '"' => in_quotes = false,
+                other => current.push(other),
+            }
+        } else {
+            match c {
+                '"' if current.is_empty() => in_quotes = true,
+                '"' => return Err(RelationError::Csv(format!("stray quote in {line:?}"))),
+                ',' => fields.push(std::mem::take(&mut current)),
+                other => current.push(other),
+            }
+        }
+    }
+    if in_quotes {
+        return Err(RelationError::Csv(format!("unterminated quote in {line:?}")));
+    }
+    fields.push(current);
+    Ok(fields)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AttrType;
+    use std::io::BufReader;
+
+    fn schema() -> Schema {
+        Schema::builder()
+            .key_attr("k", AttrType::Integer)
+            .categorical_attr("city", AttrType::Text)
+            .build()
+            .unwrap()
+    }
+
+    fn sample() -> Relation {
+        let mut rel = Relation::new(schema());
+        rel.push(vec![Value::Int(1), Value::Text("chicago".into())]).unwrap();
+        rel.push(vec![Value::Int(2), Value::Text("san, jose".into())]).unwrap();
+        rel.push(vec![Value::Int(3), Value::Text("o\"hare".into())]).unwrap();
+        rel
+    }
+
+    #[test]
+    fn round_trip_with_quoting() {
+        let rel = sample();
+        let mut buf = Vec::new();
+        write_csv(&rel, &mut buf).unwrap();
+        let parsed = read_csv(schema(), &mut BufReader::new(buf.as_slice())).unwrap();
+        assert_eq!(parsed.len(), rel.len());
+        for (a, b) in rel.iter().zip(parsed.iter()) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn rejects_wrong_header() {
+        let data = b"x,y\n1,2\n";
+        let err = read_csv(schema(), &mut BufReader::new(data.as_slice()));
+        assert!(matches!(err, Err(RelationError::Csv(_))));
+    }
+
+    #[test]
+    fn rejects_missing_header() {
+        let data = b"";
+        assert!(read_csv(schema(), &mut BufReader::new(data.as_slice())).is_err());
+    }
+
+    #[test]
+    fn rejects_ragged_rows() {
+        let data = b"k,city\n1\n";
+        assert!(read_csv(schema(), &mut BufReader::new(data.as_slice())).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_types() {
+        let data = b"k,city\nnot-a-number,chicago\n";
+        assert!(read_csv(schema(), &mut BufReader::new(data.as_slice())).is_err());
+    }
+
+    #[test]
+    fn skips_blank_lines_and_handles_crlf() {
+        let data = b"k,city\r\n1,chicago\r\n\r\n2,boston\r\n";
+        let rel = read_csv(schema(), &mut BufReader::new(data.as_slice())).unwrap();
+        assert_eq!(rel.len(), 2);
+    }
+
+    #[test]
+    fn tolerates_duplicate_keys() {
+        let data = b"k,city\n1,chicago\n1,boston\n";
+        let rel = read_csv(schema(), &mut BufReader::new(data.as_slice())).unwrap();
+        assert_eq!(rel.len(), 2);
+        assert_eq!(rel.distinct_keys(), 1);
+    }
+
+    #[test]
+    fn parse_row_unescapes() {
+        assert_eq!(parse_row("a,b,c").unwrap(), vec!["a", "b", "c"]);
+        assert_eq!(parse_row("\"a,b\",c").unwrap(), vec!["a,b", "c"]);
+        assert_eq!(parse_row("\"a\"\"b\"").unwrap(), vec!["a\"b"]);
+        assert_eq!(parse_row("").unwrap(), vec![""]);
+        assert!(parse_row("\"open").is_err());
+        assert!(parse_row("ab\"cd").is_err());
+    }
+}

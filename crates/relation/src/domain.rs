@@ -1,0 +1,199 @@
+//! Categorical value domains — the paper's `{a_1, …, a_nA}` sets.
+//!
+//! A categorical attribute `A` draws values from a finite set of `nA`
+//! possibilities that "are distinct and can be sorted (e.g. by ASCII
+//! value)". The embedding algorithm needs a *stable bijection* between
+//! domain values and indices `t ∈ [0, nA)` — the watermark bit rides on
+//! the least-significant bit of `t`. This module provides that
+//! bijection, kept deterministic by sorting.
+//!
+//! The domain is part of the detector's key material: blind detection
+//! re-derives `t` from an attribute value via [`CategoricalDomain::index_of`]
+//! without consulting the original data.
+
+use std::collections::HashMap;
+
+use crate::{RelationError, Relation, Value};
+
+/// A finite, sorted categorical value domain with O(1) value→index
+/// lookup.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CategoricalDomain {
+    values: Vec<Value>,
+    index: HashMap<Value, usize>,
+}
+
+impl CategoricalDomain {
+    /// Domain over the given values; duplicates are removed and the
+    /// result is sorted into the canonical order.
+    ///
+    /// # Errors
+    ///
+    /// [`RelationError::InvalidSchema`] when fewer than two distinct
+    /// values remain — a single-valued attribute carries no embedding
+    /// bandwidth (the paper: a one-value attribute "would upset the fit
+    /// tuple selection algorithm").
+    pub fn new(mut values: Vec<Value>) -> Result<Self, RelationError> {
+        values.sort();
+        values.dedup();
+        if values.len() < 2 {
+            return Err(RelationError::InvalidSchema(format!(
+                "categorical domain needs at least 2 distinct values, got {}",
+                values.len()
+            )));
+        }
+        let index = values
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (v.clone(), i))
+            .collect();
+        Ok(CategoricalDomain { values, index })
+    }
+
+    /// Domain of all distinct values observed in attribute `attr_idx`
+    /// of `rel`.
+    ///
+    /// Convenient but *attack-sensitive*: deriving the domain from
+    /// suspect data means an attacker who removed all tuples carrying
+    /// some value also shrinks the domain and shifts indices. Rights
+    /// holders should persist the embed-time domain (it is part of
+    /// `WatermarkSpec` in `catmark-core`).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`CategoricalDomain::new`].
+    pub fn from_column(rel: &Relation, attr_idx: usize) -> Result<Self, RelationError> {
+        Self::new(rel.column(attr_idx))
+    }
+
+    /// Number of values `nA`.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the domain is empty (never true for a constructed
+    /// domain; present for API completeness).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Index `t` of `value`, i.e. the position with `a_t == value`.
+    ///
+    /// # Errors
+    ///
+    /// [`RelationError::ValueNotInDomain`] for foreign values (e.g.
+    /// after an A6 remapping attack).
+    pub fn index_of(&self, value: &Value) -> Result<usize, RelationError> {
+        self.index
+            .get(value)
+            .copied()
+            .ok_or_else(|| RelationError::ValueNotInDomain(value.clone()))
+    }
+
+    /// Value `a_t` at index `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `t >= nA`; encoder-produced indices are always in
+    /// range.
+    #[must_use]
+    pub fn value_at(&self, t: usize) -> &Value {
+        &self.values[t]
+    }
+
+    /// All values in canonical (sorted) order.
+    #[must_use]
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Number of bits needed to represent an index, the paper's
+    /// `b(nA)`.
+    #[must_use]
+    pub fn index_bits(&self) -> u32 {
+        usize::BITS - (self.values.len() - 1).leading_zeros()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AttrType, Schema};
+
+    fn domain() -> CategoricalDomain {
+        CategoricalDomain::new(vec![
+            Value::Text("chicago".into()),
+            Value::Text("san jose".into()),
+            Value::Text("austin".into()),
+            Value::Text("boston".into()),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn sorted_and_bijective() {
+        let d = domain();
+        assert_eq!(d.len(), 4);
+        // Sorted order: austin, boston, chicago, san jose.
+        assert_eq!(d.value_at(0), &Value::Text("austin".into()));
+        for t in 0..d.len() {
+            assert_eq!(d.index_of(d.value_at(t)).unwrap(), t);
+        }
+    }
+
+    #[test]
+    fn deduplicates() {
+        let d = CategoricalDomain::new(vec![Value::Int(1), Value::Int(1), Value::Int(2)]).unwrap();
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn rejects_tiny_domains() {
+        assert!(CategoricalDomain::new(vec![]).is_err());
+        assert!(CategoricalDomain::new(vec![Value::Int(1)]).is_err());
+        assert!(CategoricalDomain::new(vec![Value::Int(1), Value::Int(1)]).is_err());
+    }
+
+    #[test]
+    fn foreign_value_errors() {
+        let d = domain();
+        assert!(matches!(
+            d.index_of(&Value::Text("paris".into())),
+            Err(RelationError::ValueNotInDomain(_))
+        ));
+    }
+
+    #[test]
+    fn index_bits_matches_definition() {
+        // b(nA) = bits required to represent indices 0..nA-1.
+        let cases = [(2, 1), (3, 2), (4, 2), (5, 3), (16, 4), (17, 5), (16000, 14)];
+        for (n, bits) in cases {
+            let d = CategoricalDomain::new((0..n).map(|i| Value::Int(i as i64)).collect()).unwrap();
+            assert_eq!(d.index_bits(), bits, "nA={n}");
+        }
+    }
+
+    #[test]
+    fn from_column_collects_distinct_values() {
+        let schema = Schema::builder()
+            .key_attr("k", AttrType::Integer)
+            .categorical_attr("a", AttrType::Integer)
+            .build()
+            .unwrap();
+        let mut rel = Relation::new(schema);
+        for (k, a) in [(1, 10), (2, 20), (3, 10), (4, 30)] {
+            rel.push(vec![Value::Int(k), Value::Int(a)]).unwrap();
+        }
+        let d = CategoricalDomain::from_column(&rel, 1).unwrap();
+        assert_eq!(d.values(), &[Value::Int(10), Value::Int(20), Value::Int(30)]);
+    }
+
+    #[test]
+    fn construction_order_is_irrelevant() {
+        let a = CategoricalDomain::new(vec![Value::Int(3), Value::Int(1), Value::Int(2)]).unwrap();
+        let b = CategoricalDomain::new(vec![Value::Int(1), Value::Int(2), Value::Int(3)]).unwrap();
+        assert_eq!(a, b);
+    }
+}

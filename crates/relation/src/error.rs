@@ -1,0 +1,90 @@
+//! Error type shared by the relational substrate.
+
+use crate::value::Value;
+
+/// Errors produced by relational operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RelationError {
+    /// A tuple's arity did not match the schema.
+    ArityMismatch {
+        /// Attributes declared in the schema.
+        expected: usize,
+        /// Values supplied in the tuple.
+        actual: usize,
+    },
+    /// A value's type did not match its attribute's declared type.
+    TypeMismatch {
+        /// Attribute name.
+        attr: String,
+        /// Declared type name.
+        expected: &'static str,
+        /// Offending value.
+        value: Value,
+    },
+    /// A primary key value occurred more than once.
+    DuplicateKey(Value),
+    /// An attribute name was not found in the schema.
+    UnknownAttr(String),
+    /// A schema was declared without any attributes or without a key.
+    InvalidSchema(String),
+    /// A row index was out of bounds.
+    RowOutOfBounds {
+        /// Requested row.
+        row: usize,
+        /// Relation size.
+        len: usize,
+    },
+    /// A value was not a member of the categorical domain in use.
+    ValueNotInDomain(Value),
+    /// CSV input could not be parsed.
+    Csv(String),
+}
+
+impl std::fmt::Display for RelationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RelationError::ArityMismatch { expected, actual } => {
+                write!(f, "tuple arity {actual} does not match schema arity {expected}")
+            }
+            RelationError::TypeMismatch { attr, expected, value } => {
+                write!(f, "attribute {attr:?} expects {expected}, got {value}")
+            }
+            RelationError::DuplicateKey(v) => write!(f, "duplicate primary key {v}"),
+            RelationError::UnknownAttr(name) => write!(f, "unknown attribute {name:?}"),
+            RelationError::InvalidSchema(msg) => write!(f, "invalid schema: {msg}"),
+            RelationError::RowOutOfBounds { row, len } => {
+                write!(f, "row {row} out of bounds for relation of {len} tuples")
+            }
+            RelationError::ValueNotInDomain(v) => {
+                write!(f, "value {v} is not a member of the categorical domain")
+            }
+            RelationError::Csv(msg) => write!(f, "csv error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RelationError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = RelationError::ArityMismatch { expected: 3, actual: 2 };
+        assert!(e.to_string().contains('3'));
+        assert!(e.to_string().contains('2'));
+
+        let e = RelationError::DuplicateKey(Value::Int(7));
+        assert!(e.to_string().contains('7'));
+
+        let e = RelationError::UnknownAttr("city".into());
+        assert!(e.to_string().contains("city"));
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn assert_error<E: std::error::Error>(_: &E) {}
+        assert_error(&RelationError::InvalidSchema("x".into()));
+    }
+}

@@ -1,0 +1,384 @@
+//! Joins, grouping and multiset operators.
+//!
+//! The base [`ops`](crate::ops) module covers the operators the
+//! adversary model needs (sampling, projection, sorting, union). This
+//! module adds the operators *legitimate consumers* of a watermarked
+//! relation run — equi-joins, group-by counting, duplicate elimination
+//! and key-based difference — so that quality constraints and the
+//! mining substrate can measure whether an embedding perturbs the
+//! answers such consumers see.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::{AttrDef, Relation, RelationError, Schema, Value};
+
+/// Inner equi-join of `left` and `right` on `left.left_attr ==
+/// right.right_attr`, implemented as a classic build/probe hash join
+/// (build side: `right`).
+///
+/// The output schema is `left`'s attributes followed by `right`'s;
+/// a right attribute whose name collides with a left attribute is
+/// renamed with an `_r` suffix. The output key is `left`'s key, which
+/// may legitimately repeat when the join is one-to-many, so the output
+/// key index is *not* unique.
+///
+/// # Errors
+///
+/// [`RelationError::UnknownAttr`] for unknown join attributes, or
+/// [`RelationError::InvalidSchema`] when suffix-renaming cannot make
+/// the right attribute names unique.
+pub fn hash_join(
+    left: &Relation,
+    right: &Relation,
+    left_attr: &str,
+    right_attr: &str,
+) -> Result<Relation, RelationError> {
+    let l_idx = left.schema().index_of(left_attr)?;
+    let r_idx = right.schema().index_of(right_attr)?;
+    let schema = joined_schema(left.schema(), right.schema())?;
+
+    // Build phase: right join value → row indices.
+    let mut build: HashMap<&Value, Vec<usize>> = HashMap::new();
+    for (row, tuple) in right.iter().enumerate() {
+        build.entry(tuple.get(r_idx)).or_default().push(row);
+    }
+
+    // Probe phase.
+    let mut out = Relation::with_capacity(schema, left.len());
+    for l_tuple in left.iter() {
+        let Some(matches) = build.get(l_tuple.get(l_idx)) else {
+            continue;
+        };
+        for &r_row in matches {
+            let r_tuple = right.tuple(r_row)?;
+            let mut values = Vec::with_capacity(l_tuple.values().len() + r_tuple.values().len());
+            values.extend_from_slice(l_tuple.values());
+            values.extend_from_slice(r_tuple.values());
+            out.push_unchecked_key(values)?;
+        }
+    }
+    Ok(out)
+}
+
+fn joined_schema(left: &Schema, right: &Schema) -> Result<Schema, RelationError> {
+    let taken: HashSet<&str> = left.attrs().iter().map(|a| a.name.as_str()).collect();
+    let mut builder = Schema::builder();
+    for (i, attr) in left.attrs().iter().enumerate() {
+        builder = add_attr(builder, attr, &attr.name, i == left.key_index());
+    }
+    for attr in right.attrs() {
+        let name = if taken.contains(attr.name.as_str()) {
+            let renamed = format!("{}_r", attr.name);
+            if taken.contains(renamed.as_str()) {
+                return Err(RelationError::InvalidSchema(format!(
+                    "cannot rename right attribute {:?}: {renamed:?} also exists on the left",
+                    attr.name
+                )));
+            }
+            renamed
+        } else {
+            attr.name.clone()
+        };
+        builder = add_attr(builder, attr, &name, false);
+    }
+    builder.build()
+}
+
+fn add_attr(
+    builder: crate::SchemaBuilder,
+    attr: &AttrDef,
+    name: &str,
+    is_key: bool,
+) -> crate::SchemaBuilder {
+    if is_key {
+        builder.key_attr(name, attr.ty)
+    } else if attr.categorical {
+        builder.categorical_attr(name, attr.ty)
+    } else {
+        builder.attr(name, attr.ty)
+    }
+}
+
+/// One group of a group-by-count: the grouping value and how many rows
+/// carry it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroupCount {
+    /// The grouping attribute's value.
+    pub value: Value,
+    /// Number of rows in the group.
+    pub count: u64,
+}
+
+/// `SELECT attr, COUNT(*) GROUP BY attr`, descending by count with the
+/// grouping value as a deterministic tie-break.
+///
+/// # Errors
+///
+/// [`RelationError::UnknownAttr`] when `attr` does not exist.
+pub fn group_count(rel: &Relation, attr: &str) -> Result<Vec<GroupCount>, RelationError> {
+    let idx = rel.schema().index_of(attr)?;
+    let mut counts: HashMap<&Value, u64> = HashMap::new();
+    for v in rel.column_iter(idx) {
+        *counts.entry(v).or_insert(0) += 1;
+    }
+    let mut groups: Vec<GroupCount> = counts
+        .into_iter()
+        .map(|(value, count)| GroupCount { value: value.clone(), count })
+        .collect();
+    groups.sort_by(|a, b| b.count.cmp(&a.count).then_with(|| a.value.cmp(&b.value)));
+    Ok(groups)
+}
+
+/// `SELECT group_attr, COUNT(DISTINCT distinct_attr) GROUP BY
+/// group_attr`, with the same ordering as [`group_count`].
+///
+/// # Errors
+///
+/// [`RelationError::UnknownAttr`] when either attribute is unknown.
+pub fn group_count_distinct(
+    rel: &Relation,
+    group_attr: &str,
+    distinct_attr: &str,
+) -> Result<Vec<GroupCount>, RelationError> {
+    let g_idx = rel.schema().index_of(group_attr)?;
+    let d_idx = rel.schema().index_of(distinct_attr)?;
+    let mut sets: HashMap<&Value, HashSet<&Value>> = HashMap::new();
+    for tuple in rel.iter() {
+        sets.entry(tuple.get(g_idx)).or_default().insert(tuple.get(d_idx));
+    }
+    let mut groups: Vec<GroupCount> = sets
+        .into_iter()
+        .map(|(value, set)| GroupCount { value: value.clone(), count: set.len() as u64 })
+        .collect();
+    groups.sort_by(|a, b| b.count.cmp(&a.count).then_with(|| a.value.cmp(&b.value)));
+    Ok(groups)
+}
+
+/// Duplicate elimination over entire tuples, keeping first occurrences
+/// in row order.
+#[must_use]
+pub fn distinct(rel: &Relation) -> Relation {
+    let mut seen: HashSet<Vec<Value>> = HashSet::new();
+    let mut out = Relation::with_capacity(rel.schema().clone(), rel.len());
+    for tuple in rel.iter() {
+        if seen.insert(tuple.values().to_vec()) {
+            out.push_unchecked_key(tuple.values().to_vec())
+                .expect("tuple from the same schema is always valid");
+        }
+    }
+    out
+}
+
+/// Rows of `a` whose primary key does not appear in `b` — the
+/// key-level multiset difference `a ∖ b`.
+///
+/// # Errors
+///
+/// [`RelationError::InvalidSchema`] when the key attributes have
+/// different types (the comparison would be vacuous).
+pub fn difference_by_key(a: &Relation, b: &Relation) -> Result<Relation, RelationError> {
+    check_key_types(a, b)?;
+    let b_keys: HashSet<&Value> =
+        b.column_iter(b.schema().key_index()).collect();
+    let key_idx = a.schema().key_index();
+    let mut out = Relation::with_capacity(a.schema().clone(), a.len());
+    for tuple in a.iter() {
+        if !b_keys.contains(tuple.get(key_idx)) {
+            out.push_unchecked_key(tuple.values().to_vec())?;
+        }
+    }
+    Ok(out)
+}
+
+/// Rows of `a` whose primary key *does* appear in `b` — the key-level
+/// intersection.
+///
+/// # Errors
+///
+/// [`RelationError::InvalidSchema`] when the key attributes have
+/// different types.
+pub fn intersect_by_key(a: &Relation, b: &Relation) -> Result<Relation, RelationError> {
+    check_key_types(a, b)?;
+    let b_keys: HashSet<&Value> =
+        b.column_iter(b.schema().key_index()).collect();
+    let key_idx = a.schema().key_index();
+    let mut out = Relation::with_capacity(a.schema().clone(), a.len());
+    for tuple in a.iter() {
+        if b_keys.contains(tuple.get(key_idx)) {
+            out.push_unchecked_key(tuple.values().to_vec())?;
+        }
+    }
+    Ok(out)
+}
+
+fn check_key_types(a: &Relation, b: &Relation) -> Result<(), RelationError> {
+    let a_ty = a.schema().key_attr().ty;
+    let b_ty = b.schema().key_attr().ty;
+    if a_ty == b_ty {
+        Ok(())
+    } else {
+        Err(RelationError::InvalidSchema(format!(
+            "key types differ: {a_ty} vs {b_ty}"
+        )))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AttrType, Schema};
+
+    fn sales(n: i64) -> Relation {
+        let schema = Schema::builder()
+            .key_attr("visit", AttrType::Integer)
+            .categorical_attr("item", AttrType::Integer)
+            .build()
+            .unwrap();
+        let mut rel = Relation::with_capacity(schema, n as usize);
+        for i in 0..n {
+            rel.push(vec![Value::Int(i), Value::Int(100 + i % 5)]).unwrap();
+        }
+        rel
+    }
+
+    fn catalog() -> Relation {
+        let schema = Schema::builder()
+            .key_attr("item", AttrType::Integer)
+            .categorical_attr("dept", AttrType::Text)
+            .build()
+            .unwrap();
+        let mut rel = Relation::new(schema);
+        for (i, dept) in [(100, "dairy"), (101, "dairy"), (102, "bakery"), (103, "deli")] {
+            rel.push(vec![Value::Int(i), Value::Text(dept.to_owned())]).unwrap();
+        }
+        rel
+    }
+
+    #[test]
+    fn join_matches_and_renames() {
+        let s = sales(20);
+        let c = catalog();
+        let joined = hash_join(&s, &c, "item", "item").unwrap();
+        // Item 104 has no catalog row: 4 of 20 sales rows drop out.
+        assert_eq!(joined.len(), 16);
+        let names: Vec<&str> =
+            joined.schema().attrs().iter().map(|a| a.name.as_str()).collect();
+        assert_eq!(names, vec!["visit", "item", "item_r", "dept"]);
+        // Join attribute values agree on every output row.
+        let item = joined.schema().index_of("item").unwrap();
+        let item_r = joined.schema().index_of("item_r").unwrap();
+        assert!(joined.iter().all(|t| t.get(item) == t.get(item_r)));
+    }
+
+    #[test]
+    fn join_key_and_categorical_flags_survive() {
+        let joined = hash_join(&sales(5), &catalog(), "item", "item").unwrap();
+        assert_eq!(joined.schema().key_attr().name, "visit");
+        let dept = joined.schema().index_of("dept").unwrap();
+        assert!(joined.schema().attr(dept).categorical);
+    }
+
+    #[test]
+    fn join_is_one_to_many_safe() {
+        // Two catalog rows for item 100 → sales rows for 100 fan out.
+        let s = sales(5); // items 100..104, one row each
+        let mut c = catalog();
+        c.push_unchecked_key(vec![Value::Int(100), Value::Text("organic".into())]).unwrap();
+        let joined = hash_join(&s, &c, "item", "item").unwrap();
+        // 4 matched single rows + 1 extra for the duplicated item 100.
+        assert_eq!(joined.len(), 5);
+    }
+
+    #[test]
+    fn join_unknown_attr_errors() {
+        let s = sales(3);
+        let c = catalog();
+        assert!(hash_join(&s, &c, "nope", "item").is_err());
+        assert!(hash_join(&s, &c, "item", "nope").is_err());
+    }
+
+    #[test]
+    fn join_on_empty_side_is_empty() {
+        let s = sales(10);
+        let empty = Relation::new(catalog().schema().clone());
+        assert!(hash_join(&s, &empty, "item", "item").unwrap().is_empty());
+        let empty_left = Relation::new(s.schema().clone());
+        assert!(hash_join(&empty_left, &catalog(), "item", "item").unwrap().is_empty());
+    }
+
+    #[test]
+    fn group_count_orders_by_count_then_value() {
+        let rel = sales(17); // items 100..104: counts 4,4,3,3,3
+        let groups = group_count(&rel, "item").unwrap();
+        assert_eq!(groups.len(), 5);
+        assert_eq!(groups[0], GroupCount { value: Value::Int(100), count: 4 });
+        assert_eq!(groups[1], GroupCount { value: Value::Int(101), count: 4 });
+        assert!(groups.windows(2).all(|w| w[0].count >= w[1].count));
+        let total: u64 = groups.iter().map(|g| g.count).sum();
+        assert_eq!(total, 17);
+    }
+
+    #[test]
+    fn group_count_distinct_counts_sets_not_rows() {
+        let s = sales(20);
+        let c = catalog();
+        let joined = hash_join(&s, &c, "item", "item").unwrap();
+        let by_dept = group_count_distinct(&joined, "dept", "item").unwrap();
+        let dairy = by_dept.iter().find(|g| g.value == Value::Text("dairy".into())).unwrap();
+        assert_eq!(dairy.count, 2); // items 100 and 101
+    }
+
+    #[test]
+    fn distinct_removes_exact_duplicates_only() {
+        let mut rel = sales(4);
+        rel.push_unchecked_key(vec![Value::Int(0), Value::Int(100)]).unwrap(); // dup of row 0
+        rel.push_unchecked_key(vec![Value::Int(0), Value::Int(101)]).unwrap(); // same key, diff item
+        let d = distinct(&rel);
+        assert_eq!(d.len(), 5);
+    }
+
+    #[test]
+    fn difference_and_intersection_partition_by_key() {
+        let a = sales(10);
+        let b = sales(4);
+        let diff = difference_by_key(&a, &b).unwrap();
+        let inter = intersect_by_key(&a, &b).unwrap();
+        assert_eq!(diff.len(), 6);
+        assert_eq!(inter.len(), 4);
+        assert_eq!(diff.len() + inter.len(), a.len());
+        assert!(diff.column_iter(0).all(|v| v.as_int().unwrap() >= 4));
+    }
+
+    #[test]
+    fn difference_requires_compatible_key_types() {
+        let a = sales(3);
+        let other = Schema::builder()
+            .key_attr("visit", AttrType::Text)
+            .categorical_attr("item", AttrType::Integer)
+            .build()
+            .unwrap();
+        let b = Relation::new(other);
+        assert!(difference_by_key(&a, &b).is_err());
+        assert!(intersect_by_key(&a, &b).is_err());
+    }
+
+    #[test]
+    fn rename_collision_with_existing_suffix_errors() {
+        let left = Schema::builder()
+            .key_attr("k", AttrType::Integer)
+            .attr("x", AttrType::Integer)
+            .attr("x_r", AttrType::Integer)
+            .build()
+            .unwrap();
+        let right = Schema::builder()
+            .key_attr("x", AttrType::Integer)
+            .build()
+            .unwrap();
+        let l = Relation::new(left);
+        let r = Relation::new(right);
+        assert!(matches!(
+            hash_join(&l, &r, "k", "x"),
+            Err(RelationError::InvalidSchema(_))
+        ));
+    }
+}

@@ -1,0 +1,64 @@
+//! In-memory relational substrate for `catmark`.
+//!
+//! The watermarking algorithms of *Proving Ownership over Categorical
+//! Data* (Sion, ICDE 2004) operate on relations of shape `(K, A, B)` — a
+//! primary key plus categorical attributes. The paper ran against a
+//! Wal-Mart sales database behind JDBC; this crate is the stand-in
+//! substrate: a small, fully-tested relational engine providing exactly
+//! the operations the watermarking pipeline and the adversary model
+//! need:
+//!
+//! * typed values and schemas with primary-key designation ([`value`],
+//!   [`schema`], [`mod@tuple`]),
+//! * a primary-key-indexed table with in-place attribute updates
+//!   ([`relation`]),
+//! * categorical value domains with stable, sortable indexing
+//!   ([`domain`]) — the `{a_1 … a_nA}` sets of the paper,
+//! * selection / projection / sorting / sampling operators ([`ops`]) —
+//!   the raw material of attacks A1/A4/A5,
+//! * joins, grouping and multiset operators ([`join`]) — the queries
+//!   legitimate consumers run, used by quality constraints,
+//! * occurrence-frequency statistics ([`stats`]) — the
+//!   frequency-transform channel of Section 4.2,
+//! * simple predicates for quality constraints ([`predicate`]),
+//! * CSV import/export for interoperability ([`csv`]).
+//!
+//! # Example
+//!
+//! ```
+//! use catmark_relation::{Relation, Schema, AttrType, Value};
+//!
+//! let schema = Schema::builder()
+//!     .key_attr("visit_nbr", AttrType::Integer)
+//!     .categorical_attr("item_nbr", AttrType::Integer)
+//!     .build()
+//!     .unwrap();
+//! let mut rel = Relation::new(schema);
+//! rel.push(vec![Value::Int(1), Value::Int(42)]).unwrap();
+//! rel.push(vec![Value::Int(2), Value::Int(17)]).unwrap();
+//! assert_eq!(rel.len(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod csv;
+pub mod domain;
+pub mod error;
+pub mod join;
+pub mod ops;
+pub mod predicate;
+pub mod relation;
+pub mod schema;
+pub mod stats;
+pub mod tuple;
+pub mod value;
+
+pub use domain::CategoricalDomain;
+pub use error::RelationError;
+pub use predicate::Predicate;
+pub use relation::Relation;
+pub use schema::{AttrDef, AttrType, Schema, SchemaBuilder};
+pub use stats::FrequencyHistogram;
+pub use tuple::Tuple;
+pub use value::Value;

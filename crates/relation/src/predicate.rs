@@ -1,0 +1,150 @@
+//! Boolean predicates over tuples.
+//!
+//! Section 4.1 proposes expressing "each property of the database that
+//! needs to be preserved … as a constraint on the allowable change to
+//! the dataset". Predicates are the comparison layer of that
+//! constraint language: attribute/value comparisons composed with
+//! boolean connectives.
+
+use crate::{RelationError, Schema, Tuple, Value};
+
+/// A boolean predicate over a tuple.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Predicate {
+    /// `attr == value`
+    Eq(String, Value),
+    /// `attr != value`
+    Ne(String, Value),
+    /// `attr < value` (by the total [`Value`] order)
+    Lt(String, Value),
+    /// `attr <= value`
+    Le(String, Value),
+    /// `attr > value`
+    Gt(String, Value),
+    /// `attr >= value`
+    Ge(String, Value),
+    /// `attr ∈ values`
+    In(String, Vec<Value>),
+    /// Conjunction.
+    And(Box<Predicate>, Box<Predicate>),
+    /// Disjunction.
+    Or(Box<Predicate>, Box<Predicate>),
+    /// Negation.
+    Not(Box<Predicate>),
+    /// Constant truth (identity for folds).
+    True,
+}
+
+impl Predicate {
+    /// `attr == value` (convenience constructor).
+    pub fn eq(attr: &str, value: impl Into<Value>) -> Predicate {
+        Predicate::Eq(attr.to_owned(), value.into())
+    }
+
+    /// `attr ∈ values`.
+    pub fn is_in(attr: &str, values: impl IntoIterator<Item = Value>) -> Predicate {
+        Predicate::In(attr.to_owned(), values.into_iter().collect())
+    }
+
+    /// Conjunction builder.
+    #[must_use]
+    pub fn and(self, other: Predicate) -> Predicate {
+        Predicate::And(Box::new(self), Box::new(other))
+    }
+
+    /// Disjunction builder.
+    #[must_use]
+    pub fn or(self, other: Predicate) -> Predicate {
+        Predicate::Or(Box::new(self), Box::new(other))
+    }
+
+    /// Negation builder.
+    #[must_use]
+    pub fn negate(self) -> Predicate {
+        Predicate::Not(Box::new(self))
+    }
+
+    /// Evaluate against `tuple` under `schema`.
+    ///
+    /// # Errors
+    ///
+    /// [`RelationError::UnknownAttr`] when a referenced attribute does
+    /// not exist.
+    pub fn eval(&self, schema: &Schema, tuple: &Tuple) -> Result<bool, RelationError> {
+        Ok(match self {
+            Predicate::Eq(attr, v) => tuple.get(schema.index_of(attr)?) == v,
+            Predicate::Ne(attr, v) => tuple.get(schema.index_of(attr)?) != v,
+            Predicate::Lt(attr, v) => tuple.get(schema.index_of(attr)?) < v,
+            Predicate::Le(attr, v) => tuple.get(schema.index_of(attr)?) <= v,
+            Predicate::Gt(attr, v) => tuple.get(schema.index_of(attr)?) > v,
+            Predicate::Ge(attr, v) => tuple.get(schema.index_of(attr)?) >= v,
+            Predicate::In(attr, vs) => vs.contains(tuple.get(schema.index_of(attr)?)),
+            Predicate::And(a, b) => a.eval(schema, tuple)? && b.eval(schema, tuple)?,
+            Predicate::Or(a, b) => a.eval(schema, tuple)? || b.eval(schema, tuple)?,
+            Predicate::Not(p) => !p.eval(schema, tuple)?,
+            Predicate::True => true,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AttrType;
+
+    fn fixture() -> (Schema, Tuple) {
+        let schema = Schema::builder()
+            .key_attr("k", AttrType::Integer)
+            .categorical_attr("city", AttrType::Text)
+            .build()
+            .unwrap();
+        let tuple = Tuple::new(vec![Value::Int(5), Value::Text("chicago".into())]);
+        (schema, tuple)
+    }
+
+    #[test]
+    fn comparisons() {
+        let (s, t) = fixture();
+        assert!(Predicate::eq("k", 5).eval(&s, &t).unwrap());
+        assert!(Predicate::Ne("k".into(), Value::Int(4)).eval(&s, &t).unwrap());
+        assert!(Predicate::Lt("k".into(), Value::Int(6)).eval(&s, &t).unwrap());
+        assert!(Predicate::Le("k".into(), Value::Int(5)).eval(&s, &t).unwrap());
+        assert!(Predicate::Gt("k".into(), Value::Int(4)).eval(&s, &t).unwrap());
+        assert!(Predicate::Ge("k".into(), Value::Int(5)).eval(&s, &t).unwrap());
+    }
+
+    #[test]
+    fn membership() {
+        let (s, t) = fixture();
+        let p = Predicate::is_in("city", [Value::Text("chicago".into()), Value::Text("boston".into())]);
+        assert!(p.eval(&s, &t).unwrap());
+        let p = Predicate::is_in("city", [Value::Text("boston".into())]);
+        assert!(!p.eval(&s, &t).unwrap());
+    }
+
+    #[test]
+    fn connectives() {
+        let (s, t) = fixture();
+        let p = Predicate::eq("k", 5).and(Predicate::eq("city", "chicago"));
+        assert!(p.eval(&s, &t).unwrap());
+        let p = Predicate::eq("k", 4).or(Predicate::eq("city", "chicago"));
+        assert!(p.eval(&s, &t).unwrap());
+        let p = Predicate::eq("k", 4).negate();
+        assert!(p.eval(&s, &t).unwrap());
+        assert!(Predicate::True.eval(&s, &t).unwrap());
+    }
+
+    #[test]
+    fn unknown_attribute_errors() {
+        let (s, t) = fixture();
+        assert!(Predicate::eq("missing", 1).eval(&s, &t).is_err());
+    }
+
+    #[test]
+    fn short_circuit_still_checks_left_operand() {
+        let (s, t) = fixture();
+        // Left operand errors propagate even under `or`.
+        let p = Predicate::eq("missing", 1).or(Predicate::True);
+        assert!(p.eval(&s, &t).is_err());
+    }
+}

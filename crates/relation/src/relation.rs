@@ -1,0 +1,372 @@
+//! The primary-key-indexed table at the center of the substrate.
+
+use std::collections::HashMap;
+
+use crate::{RelationError, Schema, Tuple, Value};
+
+/// An in-memory relation: a schema plus tuples, with a hash index on
+/// the primary key.
+///
+/// The index supports the embedding algorithms' per-tuple key hashing
+/// and the incremental-update path of Section 4.3 ("as updates occur to
+/// the data, the resulting tuples can be evaluated on the fly for
+/// fitness and watermarked accordingly").
+///
+/// Duplicate primary keys are rejected at insertion. Attacked data can
+/// violate key constraints (e.g. after A2 subset addition with reused
+/// keys); such data can be represented with [`Relation::push_unchecked_key`],
+/// which keeps the first index entry and is documented to do so.
+#[derive(Debug, Clone)]
+pub struct Relation {
+    schema: Schema,
+    tuples: Vec<Tuple>,
+    /// Primary key value → row position of its first occurrence.
+    key_index: HashMap<Value, usize>,
+}
+
+impl Relation {
+    /// Empty relation over `schema`.
+    #[must_use]
+    pub fn new(schema: Schema) -> Self {
+        Relation { schema, tuples: Vec::new(), key_index: HashMap::new() }
+    }
+
+    /// Empty relation with pre-allocated capacity.
+    #[must_use]
+    pub fn with_capacity(schema: Schema, capacity: usize) -> Self {
+        Relation {
+            schema,
+            tuples: Vec::with_capacity(capacity),
+            key_index: HashMap::with_capacity(capacity),
+        }
+    }
+
+    /// The relation's schema.
+    #[must_use]
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of tuples (the paper's `N`).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether the relation is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Append a tuple, validating schema conformance and key uniqueness.
+    ///
+    /// # Errors
+    ///
+    /// Arity/type mismatches and [`RelationError::DuplicateKey`].
+    pub fn push(&mut self, values: Vec<Value>) -> Result<usize, RelationError> {
+        self.schema.check_tuple(&values)?;
+        let key = values[self.schema.key_index()].clone();
+        if self.key_index.contains_key(&key) {
+            return Err(RelationError::DuplicateKey(key));
+        }
+        let row = self.tuples.len();
+        self.key_index.insert(key, row);
+        self.tuples.push(Tuple::new(values));
+        Ok(row)
+    }
+
+    /// Append a tuple validating types but tolerating duplicate keys.
+    ///
+    /// Attacked data may not satisfy the key constraint; the index
+    /// keeps the *first* row for any duplicated key value.
+    ///
+    /// # Errors
+    ///
+    /// Arity/type mismatches only.
+    pub fn push_unchecked_key(&mut self, values: Vec<Value>) -> Result<usize, RelationError> {
+        self.schema.check_tuple(&values)?;
+        let key = values[self.schema.key_index()].clone();
+        let row = self.tuples.len();
+        self.key_index.entry(key).or_insert(row);
+        self.tuples.push(Tuple::new(values));
+        Ok(row)
+    }
+
+    /// Tuple at `row`.
+    ///
+    /// # Errors
+    ///
+    /// [`RelationError::RowOutOfBounds`].
+    pub fn tuple(&self, row: usize) -> Result<&Tuple, RelationError> {
+        self.tuples
+            .get(row)
+            .ok_or(RelationError::RowOutOfBounds { row, len: self.tuples.len() })
+    }
+
+    /// Iterate over tuples in row order.
+    pub fn iter(&self) -> impl Iterator<Item = &Tuple> {
+        self.tuples.iter()
+    }
+
+    /// Row of the tuple whose primary key equals `key` (first
+    /// occurrence when duplicates were admitted).
+    #[must_use]
+    pub fn find_by_key(&self, key: &Value) -> Option<usize> {
+        self.key_index.get(key).copied()
+    }
+
+    /// Replace the value of attribute `attr_idx` in row `row`,
+    /// returning the previous value.
+    ///
+    /// Updating the primary-key attribute itself keeps the index
+    /// consistent.
+    ///
+    /// # Errors
+    ///
+    /// Out-of-bounds row, type mismatch, or (for key updates) duplicate
+    /// key.
+    pub fn update_value(
+        &mut self,
+        row: usize,
+        attr_idx: usize,
+        value: Value,
+    ) -> Result<Value, RelationError> {
+        if row >= self.tuples.len() {
+            return Err(RelationError::RowOutOfBounds { row, len: self.tuples.len() });
+        }
+        let attr = self.schema.attr(attr_idx);
+        if !attr.ty.admits(&value) {
+            return Err(RelationError::TypeMismatch {
+                attr: attr.name.clone(),
+                expected: attr.ty.name(),
+                value,
+            });
+        }
+        if attr_idx == self.schema.key_index() {
+            let old_key = self.tuples[row].get(attr_idx).clone();
+            if value != old_key {
+                if self.key_index.contains_key(&value) {
+                    return Err(RelationError::DuplicateKey(value));
+                }
+                self.key_index.remove(&old_key);
+                self.key_index.insert(value.clone(), row);
+            }
+        }
+        Ok(self.tuples[row].set(attr_idx, value))
+    }
+
+    /// All values of attribute `attr_idx`, in row order.
+    #[must_use]
+    pub fn column(&self, attr_idx: usize) -> Vec<Value> {
+        self.tuples.iter().map(|t| t.get(attr_idx).clone()).collect()
+    }
+
+    /// Borrowing iterator over one attribute's values.
+    pub fn column_iter(&self, attr_idx: usize) -> impl Iterator<Item = &Value> {
+        self.tuples.iter().map(move |t| t.get(attr_idx))
+    }
+
+    /// Rebuild the key index from scratch (first occurrence wins).
+    /// Used by operators that permute rows in place.
+    pub(crate) fn rebuild_index(&mut self) {
+        let key_pos = self.schema.key_index();
+        self.key_index.clear();
+        for (row, tuple) in self.tuples.iter().enumerate() {
+            self.key_index.entry(tuple.get(key_pos).clone()).or_insert(row);
+        }
+    }
+
+    /// Mutable access to the raw tuple storage for operators in this
+    /// crate; callers must re-establish the index via
+    /// [`Relation::rebuild_index`].
+    pub(crate) fn tuples_mut(&mut self) -> &mut Vec<Tuple> {
+        &mut self.tuples
+    }
+
+    /// Number of distinct primary-key values currently indexed.
+    #[must_use]
+    pub fn distinct_keys(&self) -> usize {
+        self.key_index.len()
+    }
+
+    /// Remove the tuple whose primary key equals `key`, if present.
+    /// Returns the removed tuple. Later rows shift down by one
+    /// (row indices are positional, not stable identifiers).
+    pub fn delete_by_key(&mut self, key: &Value) -> Option<Tuple> {
+        let row = self.find_by_key(key)?;
+        let removed = self.tuples.remove(row);
+        self.rebuild_index();
+        Some(removed)
+    }
+
+    /// Keep only tuples satisfying `predicate` (in-place `retain`).
+    /// Returns the number of deleted tuples.
+    pub fn retain(&mut self, mut predicate: impl FnMut(&Tuple) -> bool) -> usize {
+        let before = self.tuples.len();
+        self.tuples.retain(|t| predicate(t));
+        let deleted = before - self.tuples.len();
+        if deleted > 0 {
+            self.rebuild_index();
+        }
+        deleted
+    }
+}
+
+impl std::fmt::Display for Relation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let names: Vec<&str> = self.schema.attrs().iter().map(|a| a.name.as_str()).collect();
+        writeln!(f, "[{}] ({} tuples)", names.join(", "), self.tuples.len())?;
+        for t in self.tuples.iter().take(10) {
+            writeln!(f, "  {t}")?;
+        }
+        if self.tuples.len() > 10 {
+            writeln!(f, "  … {} more", self.tuples.len() - 10)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AttrType;
+
+    fn schema() -> Schema {
+        Schema::builder()
+            .key_attr("k", AttrType::Integer)
+            .categorical_attr("a", AttrType::Text)
+            .build()
+            .unwrap()
+    }
+
+    fn sample() -> Relation {
+        let mut r = Relation::new(schema());
+        r.push(vec![Value::Int(1), Value::Text("x".into())]).unwrap();
+        r.push(vec![Value::Int(2), Value::Text("y".into())]).unwrap();
+        r.push(vec![Value::Int(3), Value::Text("x".into())]).unwrap();
+        r
+    }
+
+    #[test]
+    fn push_and_lookup() {
+        let r = sample();
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.find_by_key(&Value::Int(2)), Some(1));
+        assert_eq!(r.find_by_key(&Value::Int(9)), None);
+    }
+
+    #[test]
+    fn rejects_duplicate_keys() {
+        let mut r = sample();
+        let err = r.push(vec![Value::Int(1), Value::Text("z".into())]);
+        assert!(matches!(err, Err(RelationError::DuplicateKey(_))));
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn push_unchecked_key_admits_duplicates_first_wins() {
+        let mut r = sample();
+        r.push_unchecked_key(vec![Value::Int(1), Value::Text("dup".into())]).unwrap();
+        assert_eq!(r.len(), 4);
+        // Index still points at the original row 0.
+        assert_eq!(r.find_by_key(&Value::Int(1)), Some(0));
+        assert_eq!(r.distinct_keys(), 3);
+    }
+
+    #[test]
+    fn rejects_type_mismatch() {
+        let mut r = sample();
+        let err = r.push(vec![Value::Text("k".into()), Value::Text("z".into())]);
+        assert!(matches!(err, Err(RelationError::TypeMismatch { .. })));
+    }
+
+    #[test]
+    fn update_value_swaps_and_returns_old() {
+        let mut r = sample();
+        let old = r.update_value(0, 1, Value::Text("new".into())).unwrap();
+        assert_eq!(old, Value::Text("x".into()));
+        assert_eq!(r.tuple(0).unwrap().get(1), &Value::Text("new".into()));
+    }
+
+    #[test]
+    fn update_key_maintains_index() {
+        let mut r = sample();
+        r.update_value(0, 0, Value::Int(99)).unwrap();
+        assert_eq!(r.find_by_key(&Value::Int(99)), Some(0));
+        assert_eq!(r.find_by_key(&Value::Int(1)), None);
+    }
+
+    #[test]
+    fn update_key_rejects_collision() {
+        let mut r = sample();
+        let err = r.update_value(0, 0, Value::Int(2));
+        assert!(matches!(err, Err(RelationError::DuplicateKey(_))));
+        // Original state intact.
+        assert_eq!(r.find_by_key(&Value::Int(1)), Some(0));
+    }
+
+    #[test]
+    fn update_key_to_same_value_is_noop() {
+        let mut r = sample();
+        r.update_value(0, 0, Value::Int(1)).unwrap();
+        assert_eq!(r.find_by_key(&Value::Int(1)), Some(0));
+    }
+
+    #[test]
+    fn update_rejects_out_of_bounds_and_bad_type() {
+        let mut r = sample();
+        assert!(matches!(
+            r.update_value(99, 1, Value::Text("z".into())),
+            Err(RelationError::RowOutOfBounds { .. })
+        ));
+        assert!(matches!(
+            r.update_value(0, 1, Value::Int(5)),
+            Err(RelationError::TypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn column_extracts_in_row_order() {
+        let r = sample();
+        assert_eq!(
+            r.column(1),
+            vec![Value::Text("x".into()), Value::Text("y".into()), Value::Text("x".into())]
+        );
+    }
+
+    #[test]
+    fn delete_by_key_removes_and_reindexes() {
+        let mut r = sample();
+        let removed = r.delete_by_key(&Value::Int(2)).unwrap();
+        assert_eq!(removed.get(1), &Value::Text("y".into()));
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.find_by_key(&Value::Int(2)), None);
+        // Row 1 is now the former row 2.
+        assert_eq!(r.find_by_key(&Value::Int(3)), Some(1));
+        // Deleting a missing key is a no-op.
+        assert!(r.delete_by_key(&Value::Int(99)).is_none());
+    }
+
+    #[test]
+    fn retain_filters_in_place() {
+        let mut r = sample();
+        let deleted = r.retain(|t| t.get(1) == &Value::Text("x".into()));
+        assert_eq!(deleted, 1);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.distinct_keys(), 2);
+        // Retaining everything touches nothing.
+        assert_eq!(r.retain(|_| true), 0);
+    }
+
+    #[test]
+    fn display_truncates_long_relations() {
+        let mut r = Relation::new(schema());
+        for i in 0..15 {
+            r.push(vec![Value::Int(i), Value::Text("v".into())]).unwrap();
+        }
+        let s = r.to_string();
+        assert!(s.contains("15 tuples"));
+        assert!(s.contains("… 5 more"));
+    }
+}

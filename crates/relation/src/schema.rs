@@ -1,0 +1,327 @@
+//! Relation schemas: attribute definitions and primary-key designation.
+//!
+//! The paper's model is a schema `(K, A, B)` with a primary key `K` and
+//! discrete (categorical) attributes. [`Schema`] generalizes to any
+//! number of attributes, exactly one of which is designated the primary
+//! key, and any subset of which may be flagged categorical (candidates
+//! for watermark embedding).
+
+use crate::{RelationError, Value};
+
+/// Attribute data type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AttrType {
+    /// 64-bit integers.
+    Integer,
+    /// UTF-8 text.
+    Text,
+}
+
+impl AttrType {
+    /// Whether `value` inhabits this type.
+    #[must_use]
+    pub fn admits(self, value: &Value) -> bool {
+        matches!(
+            (self, value),
+            (AttrType::Integer, Value::Int(_)) | (AttrType::Text, Value::Text(_))
+        )
+    }
+
+    /// Type name for error messages.
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            AttrType::Integer => "integer",
+            AttrType::Text => "text",
+        }
+    }
+}
+
+impl std::fmt::Display for AttrType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One attribute of a schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttrDef {
+    /// Attribute name, unique within the schema.
+    pub name: String,
+    /// Value type.
+    pub ty: AttrType,
+    /// Whether the attribute is categorical — a finite, discrete value
+    /// set and therefore an embedding-channel candidate.
+    pub categorical: bool,
+}
+
+/// A relation schema: ordered attributes plus the primary-key position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    attrs: Vec<AttrDef>,
+    key: usize,
+}
+
+impl Schema {
+    /// Start building a schema.
+    #[must_use]
+    pub fn builder() -> SchemaBuilder {
+        SchemaBuilder { attrs: Vec::new(), key: None }
+    }
+
+    /// All attributes, in declaration order.
+    #[must_use]
+    pub fn attrs(&self) -> &[AttrDef] {
+        &self.attrs
+    }
+
+    /// Number of attributes.
+    #[must_use]
+    pub fn arity(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// Index of the primary-key attribute.
+    #[must_use]
+    pub fn key_index(&self) -> usize {
+        self.key
+    }
+
+    /// Definition of the primary-key attribute.
+    #[must_use]
+    pub fn key_attr(&self) -> &AttrDef {
+        &self.attrs[self.key]
+    }
+
+    /// Position of attribute `name`.
+    ///
+    /// # Errors
+    ///
+    /// [`RelationError::UnknownAttr`] when no attribute has that name.
+    pub fn index_of(&self, name: &str) -> Result<usize, RelationError> {
+        self.attrs
+            .iter()
+            .position(|a| a.name == name)
+            .ok_or_else(|| RelationError::UnknownAttr(name.to_owned()))
+    }
+
+    /// Definition at position `idx` (panics when out of bounds —
+    /// indices come from [`Schema::index_of`]).
+    #[must_use]
+    pub fn attr(&self, idx: usize) -> &AttrDef {
+        &self.attrs[idx]
+    }
+
+    /// Indices of all categorical attributes (excluding the key).
+    #[must_use]
+    pub fn categorical_indices(&self) -> Vec<usize> {
+        self.attrs
+            .iter()
+            .enumerate()
+            .filter(|(i, a)| *i != self.key && a.categorical)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Validate a tuple against this schema (arity and types).
+    ///
+    /// # Errors
+    ///
+    /// [`RelationError::ArityMismatch`] or [`RelationError::TypeMismatch`].
+    pub fn check_tuple(&self, values: &[Value]) -> Result<(), RelationError> {
+        if values.len() != self.attrs.len() {
+            return Err(RelationError::ArityMismatch {
+                expected: self.attrs.len(),
+                actual: values.len(),
+            });
+        }
+        for (attr, value) in self.attrs.iter().zip(values) {
+            if !attr.ty.admits(value) {
+                return Err(RelationError::TypeMismatch {
+                    attr: attr.name.clone(),
+                    expected: attr.ty.name(),
+                    value: value.clone(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Derive the schema of a projection onto `indices` where position
+    /// `new_key` of `indices` acts as the projected primary key.
+    ///
+    /// Vertical partitioning (attack A5) — and the multi-attribute
+    /// embedding of Section 3.3, which "treats one of the attributes as
+    /// a primary key" — both need re-keyed sub-schemas.
+    ///
+    /// # Errors
+    ///
+    /// [`RelationError::InvalidSchema`] when `indices` is empty, has
+    /// duplicates, is out of bounds, or `new_key` is out of range.
+    pub fn project(&self, indices: &[usize], new_key: usize) -> Result<Schema, RelationError> {
+        if indices.is_empty() {
+            return Err(RelationError::InvalidSchema("projection onto zero attributes".into()));
+        }
+        if new_key >= indices.len() {
+            return Err(RelationError::InvalidSchema(format!(
+                "projected key position {new_key} out of range for {} attributes",
+                indices.len()
+            )));
+        }
+        let mut seen = vec![false; self.attrs.len()];
+        let mut attrs = Vec::with_capacity(indices.len());
+        for &i in indices {
+            let attr = self
+                .attrs
+                .get(i)
+                .ok_or_else(|| RelationError::InvalidSchema(format!("attribute index {i} out of bounds")))?;
+            if seen[i] {
+                return Err(RelationError::InvalidSchema(format!("attribute index {i} repeated")));
+            }
+            seen[i] = true;
+            attrs.push(attr.clone());
+        }
+        Ok(Schema { attrs, key: new_key })
+    }
+}
+
+/// Incremental [`Schema`] construction.
+#[derive(Debug)]
+pub struct SchemaBuilder {
+    attrs: Vec<AttrDef>,
+    key: Option<usize>,
+}
+
+impl SchemaBuilder {
+    /// Add the primary-key attribute ("not necessarily discrete" per the
+    /// paper; it may be of any type).
+    #[must_use]
+    pub fn key_attr(mut self, name: &str, ty: AttrType) -> Self {
+        self.key = Some(self.attrs.len());
+        self.attrs.push(AttrDef { name: name.to_owned(), ty, categorical: false });
+        self
+    }
+
+    /// Add a categorical (discrete-valued) attribute.
+    #[must_use]
+    pub fn categorical_attr(mut self, name: &str, ty: AttrType) -> Self {
+        self.attrs.push(AttrDef { name: name.to_owned(), ty, categorical: true });
+        self
+    }
+
+    /// Add a plain (non-categorical, non-key) attribute.
+    #[must_use]
+    pub fn attr(mut self, name: &str, ty: AttrType) -> Self {
+        self.attrs.push(AttrDef { name: name.to_owned(), ty, categorical: false });
+        self
+    }
+
+    /// Finish construction.
+    ///
+    /// # Errors
+    ///
+    /// [`RelationError::InvalidSchema`] when no key was declared, more
+    /// than one key was declared, or attribute names repeat.
+    pub fn build(self) -> Result<Schema, RelationError> {
+        let key = self
+            .key
+            .ok_or_else(|| RelationError::InvalidSchema("no primary key declared".into()))?;
+        for (i, a) in self.attrs.iter().enumerate() {
+            if self.attrs[..i].iter().any(|b| b.name == a.name) {
+                return Err(RelationError::InvalidSchema(format!(
+                    "duplicate attribute name {:?}",
+                    a.name
+                )));
+            }
+        }
+        Ok(Schema { attrs: self.attrs, key })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn item_scan() -> Schema {
+        Schema::builder()
+            .key_attr("visit_nbr", AttrType::Integer)
+            .categorical_attr("item_nbr", AttrType::Integer)
+            .categorical_attr("store_city", AttrType::Text)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_produces_expected_layout() {
+        let s = item_scan();
+        assert_eq!(s.arity(), 3);
+        assert_eq!(s.key_index(), 0);
+        assert_eq!(s.key_attr().name, "visit_nbr");
+        assert_eq!(s.categorical_indices(), vec![1, 2]);
+    }
+
+    #[test]
+    fn requires_a_key() {
+        let err = Schema::builder().categorical_attr("a", AttrType::Text).build();
+        assert!(matches!(err, Err(RelationError::InvalidSchema(_))));
+    }
+
+    #[test]
+    fn rejects_duplicate_names() {
+        let err = Schema::builder()
+            .key_attr("a", AttrType::Integer)
+            .categorical_attr("a", AttrType::Text)
+            .build();
+        assert!(matches!(err, Err(RelationError::InvalidSchema(_))));
+    }
+
+    #[test]
+    fn index_of_resolves_names() {
+        let s = item_scan();
+        assert_eq!(s.index_of("item_nbr").unwrap(), 1);
+        assert!(matches!(s.index_of("nope"), Err(RelationError::UnknownAttr(_))));
+    }
+
+    #[test]
+    fn check_tuple_validates_arity_and_types() {
+        let s = item_scan();
+        assert!(s.check_tuple(&[Value::Int(1), Value::Int(2), Value::Text("c".into())]).is_ok());
+        assert!(matches!(
+            s.check_tuple(&[Value::Int(1)]),
+            Err(RelationError::ArityMismatch { .. })
+        ));
+        assert!(matches!(
+            s.check_tuple(&[Value::Int(1), Value::Text("x".into()), Value::Text("c".into())]),
+            Err(RelationError::TypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn projection_rekeys() {
+        let s = item_scan();
+        // Keep (item_nbr, store_city), treating item_nbr as the key —
+        // the A5 scenario where "one of the remaining attributes can
+        // act as a primary key".
+        let p = s.project(&[1, 2], 0).unwrap();
+        assert_eq!(p.arity(), 2);
+        assert_eq!(p.key_attr().name, "item_nbr");
+        assert_eq!(p.categorical_indices(), vec![1]);
+    }
+
+    #[test]
+    fn projection_rejects_bad_input() {
+        let s = item_scan();
+        assert!(s.project(&[], 0).is_err());
+        assert!(s.project(&[0, 0], 0).is_err());
+        assert!(s.project(&[9], 0).is_err());
+        assert!(s.project(&[0, 1], 5).is_err());
+    }
+
+    #[test]
+    fn admits_matches_types() {
+        assert!(AttrType::Integer.admits(&Value::Int(1)));
+        assert!(!AttrType::Integer.admits(&Value::Text("x".into())));
+        assert!(AttrType::Text.admits(&Value::Text("x".into())));
+        assert!(!AttrType::Text.admits(&Value::Int(1)));
+    }
+}

@@ -1,0 +1,108 @@
+//! Tuples: ordered value lists conforming to a [`crate::Schema`].
+
+use crate::Value;
+
+/// One relation row.
+///
+/// A `Tuple` is schema-agnostic storage; validation against a schema
+/// happens at insertion ([`crate::Relation::push`]).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Tuple {
+    values: Vec<Value>,
+}
+
+impl Tuple {
+    /// Tuple from values.
+    #[must_use]
+    pub fn new(values: Vec<Value>) -> Self {
+        Tuple { values }
+    }
+
+    /// Value at attribute position `idx`.
+    ///
+    /// Panics when out of bounds; positions should come from
+    /// [`crate::Schema::index_of`].
+    #[must_use]
+    pub fn get(&self, idx: usize) -> &Value {
+        &self.values[idx]
+    }
+
+    /// Replace the value at position `idx`, returning the old value.
+    pub fn set(&mut self, idx: usize, value: Value) -> Value {
+        std::mem::replace(&mut self.values[idx], value)
+    }
+
+    /// Number of values.
+    #[must_use]
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// All values in order.
+    #[must_use]
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Project onto the given attribute positions.
+    #[must_use]
+    pub fn project(&self, indices: &[usize]) -> Tuple {
+        Tuple { values: indices.iter().map(|&i| self.values[i].clone()).collect() }
+    }
+
+    /// Consume into the underlying values.
+    #[must_use]
+    pub fn into_values(self) -> Vec<Value> {
+        self.values
+    }
+}
+
+impl From<Vec<Value>> for Tuple {
+    fn from(values: Vec<Value>) -> Self {
+        Tuple::new(values)
+    }
+}
+
+impl std::fmt::Display for Tuple {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("(")?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        f.write_str(")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_set_round_trip() {
+        let mut t = Tuple::new(vec![Value::Int(1), Value::Text("a".into())]);
+        let old = t.set(1, Value::Text("b".into()));
+        assert_eq!(old, Value::Text("a".into()));
+        assert_eq!(t.get(1), &Value::Text("b".into()));
+    }
+
+    #[test]
+    fn project_reorders_and_selects() {
+        let t = Tuple::new(vec![Value::Int(1), Value::Int(2), Value::Int(3)]);
+        assert_eq!(t.project(&[2, 0]).values(), &[Value::Int(3), Value::Int(1)]);
+    }
+
+    #[test]
+    fn display_is_parenthesized() {
+        let t = Tuple::new(vec![Value::Int(1), Value::Text("x".into())]);
+        assert_eq!(t.to_string(), "(1, x)");
+    }
+
+    #[test]
+    fn arity_reports_len() {
+        assert_eq!(Tuple::new(vec![]).arity(), 0);
+        assert_eq!(Tuple::new(vec![Value::Int(0)]).arity(), 1);
+    }
+}

@@ -1,0 +1,213 @@
+//! Typed attribute values.
+//!
+//! The paper's model needs values that are (i) hashable into the keyed
+//! one-way hash (so they need a canonical byte encoding), (ii) sortable
+//! ("these are distinct and can be sorted (e.g. by ASCII value)"), and
+//! (iii) comparable for primary-key indexing. Two concrete types cover
+//! the paper's examples (integer product codes, string city/airline
+//! names).
+
+use std::cmp::Ordering;
+
+/// A single attribute value.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Value {
+    /// 64-bit signed integer (e.g. `Item_Nbr`, `Visit_Nbr`).
+    Int(i64),
+    /// UTF-8 text (e.g. city names, airline codes).
+    Text(String),
+}
+
+impl Value {
+    /// Short name of the value's type, for error messages.
+    #[must_use]
+    pub const fn type_name(&self) -> &'static str {
+        match self {
+            Value::Int(_) => "integer",
+            Value::Text(_) => "text",
+        }
+    }
+
+    /// Canonical byte encoding used as hash input.
+    ///
+    /// The encoding is injective across both variants: a one-byte type
+    /// tag followed by the payload (big-endian for integers). This is
+    /// the `T_j(K)` byte string fed to `H(·, k)`.
+    #[must_use]
+    pub fn canonical_bytes(&self) -> Vec<u8> {
+        match self {
+            Value::Int(v) => {
+                let mut out = Vec::with_capacity(9);
+                out.push(0x01);
+                out.extend_from_slice(&v.to_be_bytes());
+                out
+            }
+            Value::Text(s) => {
+                let mut out = Vec::with_capacity(1 + s.len());
+                out.push(0x02);
+                out.extend_from_slice(s.as_bytes());
+                out
+            }
+        }
+    }
+
+    /// The integer payload, if this is an [`Value::Int`].
+    #[must_use]
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            Value::Text(_) => None,
+        }
+    }
+
+    /// The text payload, if this is a [`Value::Text`].
+    #[must_use]
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            Value::Text(s) => Some(s),
+            Value::Int(_) => None,
+        }
+    }
+
+    /// Parse a value of the requested type from its display form.
+    ///
+    /// Integers parse with `i64::from_str`; any string is valid text.
+    pub fn parse(ty: crate::schema::AttrType, s: &str) -> Result<Value, crate::RelationError> {
+        match ty {
+            crate::schema::AttrType::Integer => s
+                .trim()
+                .parse::<i64>()
+                .map(Value::Int)
+                .map_err(|e| crate::RelationError::Csv(format!("bad integer {s:?}: {e}"))),
+            crate::schema::AttrType::Text => Ok(Value::Text(s.to_owned())),
+        }
+    }
+}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    /// Total order: integers sort before text; within a variant the
+    /// natural order applies. This gives categorical domains the stable
+    /// "sortable (e.g. by ASCII value)" ordering the paper requires.
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => a.cmp(b),
+            (Value::Text(a), Value::Text(b)) => a.cmp(b),
+            (Value::Int(_), Value::Text(_)) => Ordering::Less,
+            (Value::Text(_), Value::Int(_)) => Ordering::Greater,
+        }
+    }
+}
+
+impl std::fmt::Display for Value {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Text(s) => f.write_str(s),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(i64::from(v))
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Text(s.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Text(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::AttrType;
+
+    #[test]
+    fn canonical_bytes_are_injective_across_variants() {
+        // Int(0x41) must not collide with Text("A") etc.
+        let int = Value::Int(0x41).canonical_bytes();
+        let text = Value::Text("A".into()).canonical_bytes();
+        assert_ne!(int, text);
+    }
+
+    #[test]
+    fn canonical_bytes_distinguish_integers() {
+        assert_ne!(Value::Int(1).canonical_bytes(), Value::Int(256).canonical_bytes());
+        assert_ne!(Value::Int(-1).canonical_bytes(), Value::Int(1).canonical_bytes());
+    }
+
+    #[test]
+    fn ordering_is_total_and_stable() {
+        let mut values = vec![
+            Value::Text("b".into()),
+            Value::Int(10),
+            Value::Text("a".into()),
+            Value::Int(-5),
+        ];
+        values.sort();
+        assert_eq!(
+            values,
+            vec![
+                Value::Int(-5),
+                Value::Int(10),
+                Value::Text("a".into()),
+                Value::Text("b".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn parse_round_trips_display() {
+        let v = Value::Int(-42);
+        assert_eq!(Value::parse(AttrType::Integer, &v.to_string()).unwrap(), v);
+        let v = Value::Text("San Jose".into());
+        assert_eq!(Value::parse(AttrType::Text, &v.to_string()).unwrap(), v);
+    }
+
+    #[test]
+    fn parse_rejects_garbage_integers() {
+        assert!(Value::parse(AttrType::Integer, "abc").is_err());
+        assert!(Value::parse(AttrType::Integer, "").is_err());
+    }
+
+    #[test]
+    fn parse_integer_accepts_whitespace() {
+        assert_eq!(Value::parse(AttrType::Integer, " 7 ").unwrap(), Value::Int(7));
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Int(3).as_int(), Some(3));
+        assert_eq!(Value::Int(3).as_text(), None);
+        assert_eq!(Value::Text("x".into()).as_text(), Some("x"));
+        assert_eq!(Value::Text("x".into()).as_int(), None);
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(5i64), Value::Int(5));
+        assert_eq!(Value::from(5i32), Value::Int(5));
+        assert_eq!(Value::from("hi"), Value::Text("hi".into()));
+        assert_eq!(Value::from(String::from("hi")), Value::Text("hi".into()));
+    }
+}

@@ -1,0 +1,103 @@
+//! Semantic-consistency-aware watermarking: mine the association rules
+//! and decision model your buyers depend on, then embed an ownership
+//! mark that provably cannot damage them beyond declared tolerances —
+//! the paper's Section 6 future-work item, end to end.
+//!
+//! ```sh
+//! cargo run --release --example semantic_rules
+//! ```
+
+use catmark::core::quality::{AlterationBudget, QualityGuard};
+use catmark::datagen::{BasketConfig, BasketGenerator};
+use catmark::mining::apriori::{mine, AprioriConfig};
+use catmark::mining::classify::{accuracy, NaiveBayes, OneR};
+use catmark::mining::constraints::{AssociationRulePreserved, ClassifierAccuracyPreserved};
+use catmark::mining::item::Transactions;
+use catmark::mining::rules::RuleSet;
+use catmark::prelude::*;
+
+fn main() {
+    // ---- 1. Retail data with real semantics ------------------------------
+    // dept determines aisle for 95% of rows — the kind of structure a
+    // data-mining buyer pays for.
+    let gen = BasketGenerator::new(BasketConfig {
+        tuples: 12_000,
+        depts: 16,
+        noise_rate: 0.05,
+        seed: 2004,
+    });
+    let original = gen.generate();
+    let aisle_domain = gen.aisle_domain();
+
+    // ---- 2. Mine the semantics before touching anything ------------------
+    let tx = Transactions::from_relation(&original, &["dept", "aisle"]).expect("attrs exist");
+    let freq = mine(&tx, &AprioriConfig { min_support: 0.01, max_len: 2 });
+    let rules = RuleSet::derive(&freq, 0.85);
+    println!("mined {} frequent itemsets → {} rules (conf ≥ 85%)", freq.len(), rules.len());
+    for r in rules.rules().iter().take(3) {
+        println!("  strongest: {r}");
+    }
+    let nb = NaiveBayes::train(&original, "aisle", &["dept"]).expect("trainable");
+    let baseline_acc = accuracy(&nb, &original);
+    println!("naive-Bayes dept→aisle baseline accuracy: {:.1}%", baseline_acc * 100.0);
+
+    // ---- 3. Embed under semantic guards -----------------------------------
+    let spec = WatermarkSpec::builder(aisle_domain)
+        .master_key("semantic-owner-key")
+        .e(20)
+        .wm_len(10)
+        .expected_tuples(original.len())
+        .build()
+        .expect("valid parameters");
+    let wm = Watermark::from_u64(0b1001110110, 10);
+
+    let mut marked = original.clone();
+    let mut guard = QualityGuard::new(vec![
+        Box::new(AlterationBudget::fraction_of(original.len(), 0.06)),
+        Box::new(AssociationRulePreserved::new(&original, &rules, 0.08)),
+        Box::new(ClassifierAccuracyPreserved::new(
+            &original,
+            Box::new(NaiveBayes::train(&original, "aisle", &["dept"]).expect("trainable")),
+            baseline_acc - 0.04,
+        )),
+    ]);
+    let report = Embedder::new(&spec)
+        .embed_guarded(&mut marked, "sku", "aisle", &wm, &mut guard)
+        .expect("embedding succeeds");
+    println!(
+        "\nembedded: {} fit tuples, {} altered, {} vetoed by semantic guards",
+        report.fit_tuples,
+        report.altered,
+        guard.vetoes()
+    );
+
+    // ---- 4. The buyer's view: semantics intact ----------------------------
+    let tx_after = Transactions::from_relation(&marked, &["dept", "aisle"]).expect("attrs exist");
+    let drift = rules.drift_against(&tx_after);
+    println!(
+        "rule survival: {}/{} ({:.1}%), max confidence drop {:.3}",
+        drift.surviving,
+        drift.total_rules,
+        drift.survival_rate() * 100.0,
+        drift.max_confidence_drop
+    );
+    let frozen = OneR::train(&original, "aisle", &["dept"]).expect("trainable");
+    println!(
+        "frozen OneR accuracy on the marked copy: {:.1}% (floor was {:.1}%)",
+        accuracy(&frozen, &marked) * 100.0,
+        (baseline_acc - 0.04) * 100.0
+    );
+
+    // ---- 5. The court's view: ownership still provable --------------------
+    let suspect = Attack::HorizontalLoss { keep: 0.5, seed: 11 }
+        .apply(&Attack::Shuffle { seed: 11 }.apply(&marked).expect("attack applies"))
+        .expect("attack applies");
+    let decoded = Decoder::new(&spec).decode(&suspect, "sku", "aisle").expect("blind decode");
+    let verdict = detect(&decoded.watermark, &wm);
+    println!(
+        "\nafter shuffle + 50% loss: {}/{} watermark bits match, false-positive odds {:.2e}",
+        verdict.matched_bits, verdict.total_bits, verdict.false_positive_probability
+    );
+    assert!(verdict.is_significant(1e-2), "ownership must remain provable");
+    println!("ownership: PROVEN — and the buyer's rules never moved.");
+}

@@ -1,0 +1,520 @@
+//! `catmark` — command-line watermarking for categorical CSV data.
+//!
+//! ```text
+//! catmark keygen --master <secret> --domain-from data.csv --attr item_nbr \
+//!                [--e 60] [--wm-len 10] [--tuples N | --wm-data-len L] > key.catmark
+//! catmark embed  --key key.catmark --input data.csv --key-attr visit_nbr \
+//!                --attr item_nbr --mark 1011001110 --output marked.csv
+//! catmark decode --key key.catmark --input suspect.csv --key-attr visit_nbr \
+//!                --attr item_nbr [--claim 1011001110]
+//! catmark inspect --key key.catmark
+//! catmark rules  --input data.csv --attrs dept,aisle [--min-support 0.05]
+//!                [--min-confidence 0.8] [--max-len 2] [--top 20]
+//! ```
+//!
+//! CSV schemas are inferred from the header row plus type sniffing
+//! (a column is Integer when every sampled value parses as `i64`).
+//! The key file format is documented in `catmark::core::keyfile`.
+
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::{BufRead, BufReader, Read};
+use std::process::ExitCode;
+
+use catmark::core::keyfile::{from_key_file, to_key_file};
+use catmark::mining::apriori::{mine, AprioriConfig};
+use catmark::mining::item::Transactions;
+use catmark::mining::rules::RuleSet;
+use catmark::prelude::*;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("catmark: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Dispatch and execute; returns what should be printed to stdout.
+fn run(args: &[String]) -> Result<String, String> {
+    let Some(command) = args.first() else {
+        return Err(format!("no command given\n\n{USAGE}"));
+    };
+    let flags = parse_flags(&args[1..])?;
+    match command.as_str() {
+        "keygen" => keygen(&flags),
+        "embed" => embed(&flags),
+        "decode" => decode(&flags),
+        "inspect" => inspect(&flags),
+        "rules" => rules(&flags),
+        "help" | "--help" | "-h" => Ok(USAGE.to_owned()),
+        other => Err(format!("unknown command {other:?}\n\n{USAGE}")),
+    }
+}
+
+const USAGE: &str = "usage:
+  catmark keygen  --master <secret> --domain-from <csv> --attr <name>
+                  [--e 60] [--wm-len 10] [--tuples N | --wm-data-len L]
+                  [--erasure abstain|random-fill|zero-fill]
+  catmark embed   --key <file> --input <csv> --key-attr <name> --attr <name>
+                  --mark <bits> --output <csv>
+  catmark decode  --key <file> --input <csv> --key-attr <name> --attr <name>
+                  [--claim <bits>]
+  catmark inspect --key <file>
+  catmark rules   --input <csv> --attrs <a,b,…> [--min-support 0.05]
+                  [--min-confidence 0.8] [--max-len 2] [--top 20]
+";
+
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut flags = HashMap::new();
+    let mut iter = args.iter();
+    while let Some(flag) = iter.next() {
+        let name = flag
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected --flag, got {flag:?}"))?;
+        let value = iter
+            .next()
+            .ok_or_else(|| format!("--{name} needs a value"))?;
+        if flags.insert(name.to_owned(), value.clone()).is_some() {
+            return Err(format!("--{name} given twice"));
+        }
+    }
+    Ok(flags)
+}
+
+fn require<'a>(flags: &'a HashMap<String, String>, name: &str) -> Result<&'a str, String> {
+    flags
+        .get(name)
+        .map(String::as_str)
+        .ok_or_else(|| format!("missing required flag --{name}"))
+}
+
+// ---------------------------------------------------------------- keygen
+
+fn keygen(flags: &HashMap<String, String>) -> Result<String, String> {
+    let master = require(flags, "master")?;
+    let csv_path = require(flags, "domain-from")?;
+    let attr = require(flags, "attr")?;
+    let e: u64 = flags
+        .get("e")
+        .map_or(Ok(60), |v| v.parse().map_err(|err| format!("--e: {err}")))?;
+    let wm_len: usize = flags
+        .get("wm-len")
+        .map_or(Ok(10), |v| v.parse().map_err(|err| format!("--wm-len: {err}")))?;
+    let erasure = match flags.get("erasure").map(String::as_str) {
+        None | Some("random-fill") => ErasurePolicy::RandomFill,
+        Some("abstain") => ErasurePolicy::Abstain,
+        Some("zero-fill") => ErasurePolicy::ZeroFill,
+        Some(other) => return Err(format!("unknown erasure policy {other:?}")),
+    };
+    let rel = load_csv(csv_path, attr)?;
+    let attr_idx = rel
+        .schema()
+        .index_of(attr)
+        .map_err(|err| err.to_string())?;
+    let domain = CategoricalDomain::from_column(&rel, attr_idx).map_err(|e| e.to_string())?;
+    let mut builder = WatermarkSpec::builder(domain)
+        .master_key(master)
+        .e(e)
+        .wm_len(wm_len)
+        .erasure(erasure);
+    builder = match (flags.get("wm-data-len"), flags.get("tuples")) {
+        (Some(l), _) => builder.wm_data_len(l.parse().map_err(|e| format!("--wm-data-len: {e}"))?),
+        (None, Some(n)) => builder.expected_tuples(n.parse().map_err(|e| format!("--tuples: {e}"))?),
+        (None, None) => builder.expected_tuples(rel.len()),
+    };
+    let spec = builder.build().map_err(|e| e.to_string())?;
+    Ok(to_key_file(&spec))
+}
+
+// ----------------------------------------------------------------- embed
+
+fn embed(flags: &HashMap<String, String>) -> Result<String, String> {
+    let spec = load_key(require(flags, "key")?)?;
+    let key_attr = require(flags, "key-attr")?;
+    let attr = require(flags, "attr")?;
+    let mark = parse_mark(require(flags, "mark")?, spec.wm_len)?;
+    let mut rel = load_csv(require(flags, "input")?, attr)?;
+    let report = Embedder::new(&spec)
+        .embed(&mut rel, key_attr, attr, &mark)
+        .map_err(|e| e.to_string())?;
+    let output_path = require(flags, "output")?;
+    let mut out = File::create(output_path).map_err(|e| format!("{output_path}: {e}"))?;
+    catmark::relation::csv::write_csv(&rel, &mut out).map_err(|e| e.to_string())?;
+    Ok(format!(
+        "embedded {} into {}: {} tuples, {} fit, {} altered ({:.2}%)\n",
+        mark,
+        output_path,
+        report.total_tuples,
+        report.fit_tuples,
+        report.altered,
+        report.alteration_rate() * 100.0
+    ))
+}
+
+// ---------------------------------------------------------------- decode
+
+fn decode(flags: &HashMap<String, String>) -> Result<String, String> {
+    let spec = load_key(require(flags, "key")?)?;
+    let key_attr = require(flags, "key-attr")?;
+    let attr = require(flags, "attr")?;
+    let rel = load_csv(require(flags, "input")?, attr)?;
+    let report = Decoder::new(&spec)
+        .decode(&rel, key_attr, attr)
+        .map_err(|e| e.to_string())?;
+    let mut out = format!(
+        "decoded mark     {}\nfit tuples       {}\nvotes cast       {}\nforeign values   {}\npositions        {} observed / {} erased / {} conflicting\n",
+        report.watermark,
+        report.fit_tuples,
+        report.votes_cast,
+        report.foreign_values,
+        report.positions_observed,
+        report.positions_erased,
+        report.position_conflicts,
+    );
+    if let Some(claim) = flags.get("claim") {
+        let claimed = parse_mark(claim, spec.wm_len)?;
+        let verdict = detect(&report.watermark, &claimed);
+        out.push_str(&format!(
+            "claim match      {}/{} bits\nfalse positive   {:.3e}\nverdict          {}\n",
+            verdict.matched_bits,
+            verdict.total_bits,
+            verdict.false_positive_probability,
+            if verdict.is_significant(1e-2) { "SIGNIFICANT (alpha 1%)" } else { "not significant" },
+        ));
+    }
+    Ok(out)
+}
+
+// --------------------------------------------------------------- inspect
+
+fn inspect(flags: &HashMap<String, String>) -> Result<String, String> {
+    let spec = load_key(require(flags, "key")?)?;
+    Ok(format!(
+        "algorithm    {}\ne            {} (≈{:.2}% of tuples altered)\nwm_len       {}\nwm_data_len  {} ({}x redundancy)\nerasure      {:?}\ndomain       {} values ({} bits)\n",
+        spec.algo,
+        spec.e,
+        100.0 / spec.e as f64,
+        spec.wm_len,
+        spec.wm_data_len,
+        spec.wm_data_len / spec.wm_len.max(1),
+        spec.erasure,
+        spec.domain.len(),
+        spec.domain.index_bits(),
+    ))
+}
+
+// ----------------------------------------------------------------- rules
+
+/// Mine association rules from a CSV — the "know your semantics before
+/// you watermark them" companion of `embed` (pipe the strong rules into
+/// a constraint program or the `catmark-mining` guards).
+fn rules(flags: &HashMap<String, String>) -> Result<String, String> {
+    let input = require(flags, "input")?;
+    let attrs_flag = require(flags, "attrs")?;
+    let attrs: Vec<&str> = attrs_flag.split(',').map(str::trim).filter(|s| !s.is_empty()).collect();
+    if attrs.is_empty() {
+        return Err("--attrs needs at least one attribute name".into());
+    }
+    let min_support: f64 = flags
+        .get("min-support")
+        .map_or(Ok(0.05), |v| v.parse().map_err(|e| format!("--min-support: {e}")))?;
+    let min_confidence: f64 = flags
+        .get("min-confidence")
+        .map_or(Ok(0.8), |v| v.parse().map_err(|e| format!("--min-confidence: {e}")))?;
+    let max_len: usize = flags
+        .get("max-len")
+        .map_or(Ok(2), |v| v.parse().map_err(|e| format!("--max-len: {e}")))?;
+    let top: usize = flags
+        .get("top")
+        .map_or(Ok(20), |v| v.parse().map_err(|e| format!("--top: {e}")))?;
+    if !(0.0..=1.0).contains(&min_support) || !(0.0..=1.0).contains(&min_confidence) {
+        return Err("--min-support and --min-confidence are fractions in 0..=1".into());
+    }
+
+    let rel = load_csv_multi(input, &attrs)?;
+    let tx = Transactions::from_relation(&rel, &attrs).map_err(|e| e.to_string())?;
+    let frequent = mine(&tx, &AprioriConfig { min_support, max_len });
+    let ruleset = RuleSet::derive(&frequent, min_confidence);
+
+    let name_of = |attr_idx: usize| rel.schema().attr(attr_idx).name.clone();
+    let fmt_value = |v: &Value| match v {
+        Value::Int(i) => i.to_string(),
+        Value::Text(s) => format!("{s:?}"),
+    };
+    let mut out = format!(
+        "{} transactions, {} frequent itemsets (support ≥ {:.1}%), {} rules (confidence ≥ {:.1}%)\n",
+        tx.len(),
+        frequent.len(),
+        min_support * 100.0,
+        ruleset.len(),
+        min_confidence * 100.0
+    );
+    for r in ruleset.rules().iter().take(top) {
+        let lhs: Vec<String> = r
+            .antecedent
+            .items()
+            .iter()
+            .map(|it| format!("{}={}", name_of(it.attr), fmt_value(&it.value)))
+            .collect();
+        out.push_str(&format!(
+            "{} => {}={}  sup {:.3}  conf {:.3}  lift {:.2}\n",
+            lhs.join(" & "),
+            name_of(r.consequent.attr),
+            fmt_value(&r.consequent.value),
+            r.support,
+            r.confidence,
+            r.lift
+        ));
+    }
+    if ruleset.len() > top {
+        out.push_str(&format!("… and {} more (raise --top)\n", ruleset.len() - top));
+    }
+    Ok(out)
+}
+
+// ----------------------------------------------------------- shared bits
+
+fn load_key(path: &str) -> Result<WatermarkSpec, String> {
+    let mut text = String::new();
+    File::open(path)
+        .map_err(|e| format!("{path}: {e}"))?
+        .read_to_string(&mut text)
+        .map_err(|e| format!("{path}: {e}"))?;
+    from_key_file(&text).map_err(|e| e.to_string())
+}
+
+/// Parse a watermark given as a bit string (`1011…`) or `0x` hex.
+fn parse_mark(text: &str, wm_len: usize) -> Result<Watermark, String> {
+    let value = if let Some(hex) = text.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16).map_err(|e| format!("mark: {e}"))?
+    } else if text.chars().all(|c| c == '0' || c == '1') && !text.is_empty() {
+        if text.len() != wm_len {
+            return Err(format!(
+                "mark has {} bits but the key file declares wm_len {}",
+                text.len(),
+                wm_len
+            ));
+        }
+        u64::from_str_radix(text, 2).map_err(|e| format!("mark: {e}"))?
+    } else {
+        return Err(format!("mark {text:?} is neither a bit string nor 0x-hex"));
+    };
+    if wm_len < 64 && value >= (1u64 << wm_len) {
+        return Err(format!("mark {text:?} does not fit in {wm_len} bits"));
+    }
+    Ok(Watermark::from_u64(value, wm_len))
+}
+
+/// Load a CSV with schema inference: the header names the attributes;
+/// a column is Integer when every sampled value parses as `i64`. The
+/// first column is the primary key; `marked_attr` is flagged
+/// categorical.
+fn load_csv(path: &str, marked_attr: &str) -> Result<Relation, String> {
+    load_csv_multi(path, &[marked_attr])
+}
+
+/// [`load_csv`] with several categorical attributes (the `rules`
+/// subcommand mines more than one).
+fn load_csv_multi(path: &str, cat_attrs: &[&str]) -> Result<Relation, String> {
+    let file = File::open(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut reader = BufReader::new(file);
+    let schema = infer_schema(&mut reader, cat_attrs).map_err(|e| format!("{path}: {e}"))?;
+    // Re-open: inference consumed the stream.
+    let file = File::open(path).map_err(|e| format!("{path}: {e}"))?;
+    catmark::relation::csv::read_csv(schema, &mut BufReader::new(file))
+        .map_err(|e| format!("{path}: {e}"))
+}
+
+/// Infer a schema by sampling up to 100 rows.
+fn infer_schema(input: &mut impl BufRead, cat_attrs: &[&str]) -> Result<Schema, String> {
+    let mut lines = input.lines();
+    let header = lines
+        .next()
+        .ok_or("empty file")?
+        .map_err(|e| e.to_string())?;
+    let names: Vec<String> = header.split(',').map(|s| s.trim().to_owned()).collect();
+    if names.is_empty() || names.iter().any(String::is_empty) {
+        return Err("malformed header".into());
+    }
+    let mut integral = vec![true; names.len()];
+    for line in lines.take(100) {
+        let line = line.map_err(|e| e.to_string())?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        for (i, field) in line.split(',').enumerate() {
+            if i < integral.len() && field.trim().parse::<i64>().is_err() {
+                integral[i] = false;
+            }
+        }
+    }
+    let mut builder = Schema::builder();
+    for (i, name) in names.iter().enumerate() {
+        let ty = if integral[i] { AttrType::Integer } else { AttrType::Text };
+        builder = if i == 0 {
+            builder.key_attr(name, ty)
+        } else if cat_attrs.contains(&name.as_str()) {
+            builder.categorical_attr(name, ty)
+        } else {
+            builder.attr(name, ty)
+        };
+    }
+    builder.build().map_err(|e| e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_parsing() {
+        let args: Vec<String> =
+            ["--key", "k.txt", "--attr", "item"].iter().map(|s| (*s).to_string()).collect();
+        let flags = parse_flags(&args).unwrap();
+        assert_eq!(flags["key"], "k.txt");
+        assert_eq!(flags["attr"], "item");
+        assert!(parse_flags(&["--lonely".to_owned()]).is_err());
+        assert!(parse_flags(&["naked".to_owned(), "v".to_owned()]).is_err());
+        let dup: Vec<String> =
+            ["--a", "1", "--a", "2"].iter().map(|s| (*s).to_string()).collect();
+        assert!(parse_flags(&dup).is_err());
+    }
+
+    #[test]
+    fn mark_parsing() {
+        assert_eq!(parse_mark("1011", 4).unwrap(), Watermark::from_u64(0b1011, 4));
+        assert_eq!(parse_mark("0x2A", 8).unwrap(), Watermark::from_u64(0x2A, 8));
+        assert!(parse_mark("10", 4).is_err(), "length mismatch");
+        assert!(parse_mark("0xFFF", 4).is_err(), "overflow");
+        assert!(parse_mark("abc", 4).is_err(), "garbage");
+    }
+
+    #[test]
+    fn schema_inference_sniffs_types() {
+        let csv = "id,city,amount\n1,austin,10\n2,boston,20\n";
+        let schema = infer_schema(&mut csv.as_bytes(), &["city"]).unwrap();
+        assert_eq!(schema.key_attr().name, "id");
+        assert_eq!(schema.attr(0).ty, AttrType::Integer);
+        assert_eq!(schema.attr(1).ty, AttrType::Text);
+        assert!(schema.attr(1).categorical);
+        assert_eq!(schema.attr(2).ty, AttrType::Integer);
+        assert!(!schema.attr(2).categorical);
+    }
+
+    #[test]
+    fn schema_inference_rejects_bad_headers() {
+        assert!(infer_schema(&mut "".as_bytes(), &["x"]).is_err());
+        assert!(infer_schema(&mut "a,,c\n".as_bytes(), &["x"]).is_err());
+    }
+
+    #[test]
+    fn rules_subcommand_mines_from_csv() {
+        let dir = std::env::temp_dir().join(format!("catmark-rules-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let data_path = dir.join("retail.csv");
+        let mut csv = String::from("sku,dept,aisle\n");
+        for i in 0..400i64 {
+            let dept = i % 4;
+            let aisle = if i % 10 == 9 { 99 } else { dept * 10 };
+            csv.push_str(&format!("{i},{dept},{aisle}\n"));
+        }
+        std::fs::write(&data_path, csv).unwrap();
+
+        let arg = |s: &str| s.to_owned();
+        let out = run(&[
+            arg("rules"),
+            arg("--input"), arg(data_path.to_str().unwrap()),
+            arg("--attrs"), arg("dept,aisle"),
+            arg("--min-support"), arg("0.1"),
+            arg("--min-confidence"), arg("0.8"),
+        ])
+        .unwrap();
+        assert!(out.contains("400 transactions"), "{out}");
+        assert!(out.contains("=>"), "{out}");
+        assert!(out.contains("dept=") && out.contains("aisle="), "{out}");
+
+        // Degenerate flags error cleanly.
+        assert!(run(&[
+            arg("rules"),
+            arg("--input"), arg(data_path.to_str().unwrap()),
+            arg("--attrs"), arg(""),
+        ])
+        .is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unknown_command_and_help() {
+        assert!(run(&["frobnicate".to_owned()]).is_err());
+        assert!(run(&["help".to_owned()]).unwrap().contains("usage"));
+        assert!(run(&[]).is_err());
+    }
+
+    #[test]
+    fn end_to_end_through_temp_files() {
+        use catmark::datagen::{ItemScanConfig, SalesGenerator};
+        let dir = std::env::temp_dir().join(format!("catmark-cli-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let data_path = dir.join("data.csv");
+        let key_path = dir.join("key.catmark");
+        let marked_path = dir.join("marked.csv");
+
+        // Write a data set.
+        let rel = SalesGenerator::new(ItemScanConfig { tuples: 3_000, ..Default::default() })
+            .generate();
+        let mut f = File::create(&data_path).unwrap();
+        catmark::relation::csv::write_csv(&rel, &mut f).unwrap();
+
+        // keygen → key file.
+        let arg = |s: &str| s.to_owned();
+        let key_text = run(&[
+            arg("keygen"),
+            arg("--master"), arg("cli-test-secret"),
+            arg("--domain-from"), arg(data_path.to_str().unwrap()),
+            arg("--attr"), arg("item_nbr"),
+            arg("--e"), arg("15"),
+            arg("--erasure"), arg("abstain"),
+        ])
+        .unwrap();
+        std::fs::write(&key_path, &key_text).unwrap();
+
+        // inspect.
+        let info = run(&[arg("inspect"), arg("--key"), arg(key_path.to_str().unwrap())]).unwrap();
+        assert!(info.contains("e            15"), "{info}");
+
+        // embed.
+        let summary = run(&[
+            arg("embed"),
+            arg("--key"), arg(key_path.to_str().unwrap()),
+            arg("--input"), arg(data_path.to_str().unwrap()),
+            arg("--key-attr"), arg("visit_nbr"),
+            arg("--attr"), arg("item_nbr"),
+            arg("--mark"), arg("1011001110"),
+            arg("--output"), arg(marked_path.to_str().unwrap()),
+        ])
+        .unwrap();
+        assert!(summary.contains("embedded 1011001110"), "{summary}");
+
+        // decode with a claim.
+        let verdict = run(&[
+            arg("decode"),
+            arg("--key"), arg(key_path.to_str().unwrap()),
+            arg("--input"), arg(marked_path.to_str().unwrap()),
+            arg("--key-attr"), arg("visit_nbr"),
+            arg("--attr"), arg("item_nbr"),
+            arg("--claim"), arg("1011001110"),
+        ])
+        .unwrap();
+        assert!(verdict.contains("decoded mark     1011001110"), "{verdict}");
+        assert!(verdict.contains("SIGNIFICANT"), "{verdict}");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,83 @@
+//! # catmark — proving ownership over categorical data
+//!
+//! A production-quality Rust implementation of Radu Sion's ICDE 2004
+//! paper *Proving Ownership over Categorical Data* (CERIAS TR
+//! 2003-19): blind, resilient watermarking of categorical attributes
+//! in relational data, together with every substrate, attack, and
+//! analysis the paper describes.
+//!
+//! This crate is a facade re-exporting the workspace members:
+//!
+//! * [`crypto`] — MD5 / SHA-1 / SHA-256 and the keyed construct
+//!   `H(V, k) = hash(k; V; k)` (Section 2.2);
+//! * [`relation`] — the in-memory relational substrate (schemas,
+//!   typed tuples, categorical domains, partition operators);
+//! * [`datagen`] — synthetic Wal-Mart-`ItemScan`-style workloads;
+//! * [`core`] — the watermarking scheme itself: fit-tuple selection,
+//!   majority-voting ECC, embedding, blind decoding, multi-attribute
+//!   embeddings, frequency-domain encoding, remap recovery, data
+//!   addition, quality constraints with rollback;
+//! * [`attacks`] — the Section 2.3 adversary (A1–A6) plus collusion
+//!   attacks on buyer fingerprints;
+//! * [`analysis`] — the Section 4.4 vulnerability theory;
+//! * [`mining`] — association rules and classifiers as embedding
+//!   constraints (the Section 6 future-work item, implemented).
+//!
+//! ## Sixty-second tour
+//!
+//! ```
+//! use catmark::prelude::*;
+//!
+//! // 1. Data: (visit_nbr PRIMARY KEY, item_nbr CATEGORICAL).
+//! let gen = SalesGenerator::new(ItemScanConfig { tuples: 3000, ..Default::default() });
+//! let mut rel = gen.generate();
+//!
+//! // 2. Key material.
+//! let spec = WatermarkSpec::builder(gen.item_domain())
+//!     .master_key("the-owner-secret")
+//!     .e(15)
+//!     .wm_len(10)
+//!     .expected_tuples(rel.len())
+//!     .erasure(ErasurePolicy::Abstain)
+//!     .build()
+//!     .unwrap();
+//!
+//! // 3. Embed a 10-bit ownership mark.
+//! let wm = Watermark::from_u64(0b1011001110, 10);
+//! Embedder::new(&spec).embed(&mut rel, "visit_nbr", "item_nbr", &wm).unwrap();
+//!
+//! // 4. Mallory strikes: shuffle + 40% loss.
+//! let suspect = Attack::HorizontalLoss { keep: 0.6, seed: 7 }
+//!     .apply(&Attack::Shuffle { seed: 7 }.apply(&rel).unwrap())
+//!     .unwrap();
+//!
+//! // 5. Blind detection + court-time odds.
+//! let decoded = Decoder::new(&spec).decode(&suspect, "visit_nbr", "item_nbr").unwrap();
+//! let verdict = detect(&decoded.watermark, &wm);
+//! assert!(verdict.is_significant(1e-2));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use catmark_analysis as analysis;
+pub use catmark_attacks as attacks;
+pub use catmark_core as core;
+pub use catmark_crypto as crypto;
+pub use catmark_datagen as datagen;
+pub use catmark_mining as mining;
+pub use catmark_relation as relation;
+
+/// One-stop imports for the common workflow.
+pub mod prelude {
+    pub use catmark_attacks::Attack;
+    pub use catmark_core::{
+        detect, Decoder, Detection, EmbedReport, Embedder, ErasurePolicy, Watermark,
+        WatermarkSpec,
+    };
+    pub use catmark_crypto::{HashAlgorithm, SecretKey};
+    pub use catmark_datagen::{ItemScanConfig, SalesGenerator};
+    pub use catmark_relation::{
+        AttrType, CategoricalDomain, FrequencyHistogram, Relation, Schema, Value,
+    };
+}

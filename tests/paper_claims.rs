@@ -1,0 +1,91 @@
+//! The paper's quantitative claims, pinned as tests (scaled-down pass
+//! counts; the full sweeps live in the `catmark-bench` binaries).
+
+use catmark_analysis::bounds::{false_positive_exact_match, residual_alteration};
+use catmark_analysis::vulnerability::attack_success_clt;
+use catmark_bench::figures::{fig4, fig7};
+use catmark_bench::ExperimentConfig;
+
+fn quick() -> ExperimentConfig {
+    ExperimentConfig { tuples: 6_000, passes: 5, ..Default::default() }
+}
+
+/// Abstract / §5: "tolerating up to 80% data loss with a watermark
+/// alteration of only 25%". We accept the paper's ~25% with slack for
+/// key-averaging noise.
+#[test]
+fn headline_80_percent_loss_tolerance() {
+    let rows = fig7(&quick(), &[80], 65);
+    let measured = rows[0].alteration_pct;
+    assert!(
+        measured <= 35.0,
+        "80% loss should cost ≤ ~25-35% alteration, measured {measured:.1}%"
+    );
+    assert!(measured > 0.0, "80% loss cannot be free");
+}
+
+/// Figure 7's shape: monotone, graceful.
+#[test]
+fn data_loss_degradation_is_graceful() {
+    let rows = fig7(&quick(), &[20, 50, 80], 65);
+    assert!(rows[0].alteration_pct <= rows[1].alteration_pct + 5.0);
+    assert!(rows[1].alteration_pct <= rows[2].alteration_pct + 5.0);
+    // 20% loss is cheap.
+    assert!(rows[0].alteration_pct < 15.0, "{rows:?}");
+}
+
+/// Figure 4's headline: graceful degradation under alteration attacks,
+/// bandwidth helps.
+#[test]
+fn alteration_degradation_is_graceful_and_bandwidth_helps() {
+    let rows = fig4(&quick(), &[20, 80]);
+    // Both series degrade with attack size.
+    assert!(rows[1].y1 >= rows[0].y1, "{rows:?}");
+    // At the light end, e=35 (twice the bandwidth) is at least as
+    // resilient as e=65.
+    assert!(rows[0].y2 <= rows[0].y1 + 2.5, "{rows:?}");
+    // Even the 80% attack leaves the majority of bits intact on
+    // average (the paper measures ≤ ~40%).
+    assert!(rows[1].y1 <= 50.0, "{rows:?}");
+}
+
+/// §4.4: the false-positive examples.
+#[test]
+fn false_positive_examples() {
+    // (1/2)^|wm| for a 10-bit mark.
+    assert!((false_positive_exact_match(10) - 2f64.powi(-10)).abs() < 1e-15);
+    // "For example, in the case of a data set with N = 6000 tuples and
+    // with e = 60, this probability is approximately 7.8 · 10⁻³¹."
+    let p = false_positive_exact_match(100);
+    assert!(p < 1e-30 && p > 1e-31, "p={p:e}");
+}
+
+/// §4.4: "we get P(15, 1200) ≈ 31.6%."
+#[test]
+fn attack_success_example() {
+    let p = attack_success_clt(15, 1200, 60, 0.7);
+    assert!((p - 0.316).abs() < 0.02, "P(15,1200)={p}");
+}
+
+/// §4.4: "the final watermark is going to incur only an average
+/// fraction of … 1.0%."
+#[test]
+fn residual_alteration_example() {
+    let v = residual_alteration(15, 100, 0.05, 10, 100);
+    assert!((v - 0.01).abs() < 1e-12, "residual={v}");
+}
+
+/// §4.4's qualitative claim behind Figure 5: "as e increases
+/// (decreasing number of encoding alterations) the vulnerability to
+/// random alteration attacks increases accordingly."
+#[test]
+fn vulnerability_grows_with_e_in_theory() {
+    use catmark_analysis::surface::expected_mark_alteration;
+    // redundancy = (N/e)/|wm| falls as e grows.
+    let damage_at = |e: u64| {
+        let redundancy = (6_000 / e / 10).max(1);
+        expected_mark_alteration(0.55, 0.5, redundancy)
+    };
+    assert!(damage_at(20) < damage_at(60));
+    assert!(damage_at(60) < damage_at(180));
+}

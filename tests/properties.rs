@@ -1,0 +1,282 @@
+//! Property-based tests over the core invariants, spanning crates.
+
+use catmark::prelude::*;
+use proptest::prelude::*;
+
+/// Generate a relation deterministically from a seed.
+fn relation_for(seed: u64, tuples: usize) -> (Relation, CategoricalDomain) {
+    let gen = SalesGenerator::new(ItemScanConfig {
+        tuples,
+        items: 200,
+        seed,
+        ..Default::default()
+    });
+    (gen.generate(), gen.item_domain())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Embed → blind decode is the identity for any watermark, key,
+    /// and modulus, given adequate carrier density (fit ≈ 8 × |wm_data|
+    /// keeps the erasure probability negligible).
+    #[test]
+    fn embed_decode_round_trip(
+        wm_bits in 1u64..=0xFFFF,
+        wm_len in 4usize..=16,
+        e in 4u64..=8,
+        master in any::<u64>(),
+    ) {
+        let (mut rel, domain) = relation_for(0xCAFE, 2_000);
+        let spec = WatermarkSpec::builder(domain)
+            .master_key(SecretKey::from_u64(master))
+            .e(e)
+            .wm_len(wm_len)
+            .wm_data_len(32.max(wm_len))
+            .erasure(catmark::core::decode::ErasurePolicy::Abstain)
+            .build()
+            .unwrap();
+        let wm = Watermark::from_u64(wm_bits & ((1 << wm_len) - 1), wm_len);
+        Embedder::new(&spec).embed(&mut rel, "visit_nbr", "item_nbr", &wm).unwrap();
+        let decoded = Decoder::new(&spec).decode(&rel, "visit_nbr", "item_nbr").unwrap();
+        prop_assert_eq!(decoded.watermark, wm);
+    }
+
+    /// Re-sorting never changes the decode result (A4 immunity is
+    /// structural, not statistical).
+    #[test]
+    fn decode_is_order_invariant(shuffle_seed in any::<u64>()) {
+        let (mut rel, domain) = relation_for(0xBEEF, 1_500);
+        let spec = WatermarkSpec::builder(domain)
+            .master_key("order-invariance")
+            .e(10)
+            .wm_len(8)
+            .expected_tuples(1_500)
+            .build()
+            .unwrap();
+        let wm = Watermark::from_u64(0xA5, 8);
+        Embedder::new(&spec).embed(&mut rel, "visit_nbr", "item_nbr", &wm).unwrap();
+        let shuffled = catmark::relation::ops::shuffle(&rel, shuffle_seed);
+        let a = Decoder::new(&spec).decode(&rel, "visit_nbr", "item_nbr").unwrap();
+        let b = Decoder::new(&spec).decode(&shuffled, "visit_nbr", "item_nbr").unwrap();
+        prop_assert_eq!(a.watermark, b.watermark);
+        prop_assert_eq!(a.votes_cast, b.votes_cast);
+    }
+
+    /// Fit-tuple density tracks 1/e for any key.
+    #[test]
+    fn fitness_density_tracks_e(e in 5u64..=50, master in any::<u64>()) {
+        let (rel, domain) = relation_for(0xF00D, 5_000);
+        let spec = WatermarkSpec::builder(domain)
+            .master_key(SecretKey::from_u64(master))
+            .e(e)
+            .wm_len(8)
+            .expected_tuples(5_000)
+            .build()
+            .unwrap();
+        let fit = catmark::core::FitnessSelector::new(&spec).fit_rows(&rel, 0).len() as f64;
+        let expected = 5_000.0 / e as f64;
+        // Binomial noise: allow 5 standard deviations.
+        let sd = (5_000.0 * (1.0 / e as f64) * (1.0 - 1.0 / e as f64)).sqrt();
+        prop_assert!((fit - expected).abs() <= 5.0 * sd + 1.0,
+            "e={}, fit={}, expected={}", e, fit, expected);
+    }
+
+    /// Majority-vote ECC tolerates any corruption strictly below half
+    /// of every bit's copies.
+    #[test]
+    fn ecc_tolerates_minority_corruption(
+        wm_bits in 0u64..=0x3FF,
+        corrupt in prop::collection::vec(0usize..10, 0..=4),
+    ) {
+        use catmark::core::ecc::{ErrorCorrectingCode, MajorityVotingEcc};
+        let ecc = MajorityVotingEcc;
+        let wm = Watermark::from_u64(wm_bits, 10);
+        let mut data = ecc.encode(&wm, 100);
+        // Corrupt ≤ 4 copies (of 10) of each listed bit index.
+        for (round, &bit) in corrupt.iter().enumerate() {
+            data[bit + 10 * round] = !data[bit + 10 * round];
+        }
+        let positions: Vec<Option<bool>> = data.into_iter().map(Some).collect();
+        let decoded = ecc.decode(&positions, 10, &mut |_| unreachable!("no ties possible"));
+        prop_assert_eq!(decoded, wm);
+    }
+
+    /// Watermark `from_u64` and bit accessors agree.
+    #[test]
+    fn watermark_bit_representation(value in any::<u64>(), len in 1usize..=64) {
+        let masked = if len == 64 { value } else { value & ((1u64 << len) - 1) };
+        let wm = Watermark::from_u64(masked, len);
+        prop_assert_eq!(wm.len(), len);
+        let reconstructed = wm
+            .bits()
+            .iter()
+            .fold(0u64, |acc, &b| (acc << 1) | u64::from(b));
+        prop_assert_eq!(reconstructed, masked);
+    }
+
+    /// Hamming distance is a metric (symmetry, identity, triangle).
+    #[test]
+    fn hamming_is_a_metric(a in 0u64..=0xFFF, b in 0u64..=0xFFF, c in 0u64..=0xFFF) {
+        let (wa, wb, wc) = (
+            Watermark::from_u64(a, 12),
+            Watermark::from_u64(b, 12),
+            Watermark::from_u64(c, 12),
+        );
+        prop_assert_eq!(wa.hamming_distance(&wb), wb.hamming_distance(&wa));
+        prop_assert_eq!(wa.hamming_distance(&wa), 0);
+        prop_assert!(
+            wa.hamming_distance(&wc) <= wa.hamming_distance(&wb) + wb.hamming_distance(&wc)
+        );
+    }
+
+    /// Horizontal loss never corrupts surviving tuples, only removes.
+    #[test]
+    fn subset_selection_is_pure_erasure(keep in 0.1f64..=1.0, seed in any::<u64>()) {
+        let (rel, _) = relation_for(7, 1_000);
+        let kept = catmark::attacks::horizontal::subset_selection(&rel, keep, seed);
+        for tuple in kept.iter() {
+            let row = rel.find_by_key(tuple.get(0)).expect("survivor from original");
+            prop_assert_eq!(rel.tuple(row).unwrap(), tuple);
+        }
+    }
+
+    /// Random alteration changes exactly the requested fraction and
+    /// nothing else.
+    #[test]
+    fn alteration_budget_is_exact(fraction in 0.0f64..=1.0, seed in any::<u64>()) {
+        let (rel, _) = relation_for(8, 800);
+        let attacked =
+            catmark::attacks::alteration::random_alteration(&rel, "item_nbr", fraction, seed)
+                .unwrap();
+        let changed = rel
+            .iter()
+            .zip(attacked.iter())
+            .filter(|(a, b)| a != b)
+            .count();
+        let expected = ((800.0 * fraction).round() as usize).min(800);
+        prop_assert_eq!(changed, expected);
+        prop_assert_eq!(rel.column(0), attacked.column(0));
+    }
+
+    /// CSV round-trips arbitrary text content, including separators,
+    /// quotes and unicode.
+    #[test]
+    fn csv_round_trips_arbitrary_text(values in prop::collection::vec("[^\r\n]{0,30}", 1..20)) {
+        let schema = Schema::builder()
+            .key_attr("k", AttrType::Integer)
+            .categorical_attr("text", AttrType::Text)
+            .build()
+            .unwrap();
+        let mut rel = Relation::new(schema.clone());
+        for (i, v) in values.iter().enumerate() {
+            rel.push(vec![Value::Int(i as i64), Value::Text(v.clone())]).unwrap();
+        }
+        let mut buf = Vec::new();
+        catmark::relation::csv::write_csv(&rel, &mut buf).unwrap();
+        let parsed = catmark::relation::csv::read_csv(
+            schema,
+            &mut std::io::BufReader::new(buf.as_slice()),
+        )
+        .unwrap();
+        prop_assert_eq!(parsed.len(), rel.len());
+        for (a, b) in rel.iter().zip(parsed.iter()) {
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    /// Hex encoding round-trips arbitrary bytes.
+    #[test]
+    fn hex_round_trip(bytes in prop::collection::vec(any::<u8>(), 0..64)) {
+        let hex = catmark::crypto::hex::to_hex(&bytes);
+        prop_assert_eq!(catmark::crypto::hex::from_hex(&hex).unwrap(), bytes);
+    }
+
+    /// Categorical domains are order-insensitive bijections.
+    #[test]
+    fn domain_is_a_bijection(mut values in prop::collection::hash_set(any::<i64>(), 2..50)) {
+        let vec: Vec<Value> = values.drain().map(Value::Int).collect();
+        let domain = CategoricalDomain::new(vec.clone()).unwrap();
+        prop_assert_eq!(domain.len(), vec.len());
+        for t in 0..domain.len() {
+            prop_assert_eq!(domain.index_of(domain.value_at(t)).unwrap(), t);
+        }
+    }
+
+    /// Frequency-domain codec round-trips arbitrary watermarks for
+    /// any key and reasonable step size.
+    #[test]
+    fn freq_codec_round_trip(
+        wm_bits in 0u64..=0xFF,
+        key in any::<u64>(),
+        step in 20u64..=80,
+    ) {
+        use catmark::core::freq::FreqCodec;
+        let (mut rel, domain) = relation_for(0xFEED, 8_000);
+        let codec = FreqCodec::new(
+            HashAlgorithm::Sha256,
+            SecretKey::from_u64(key),
+            step,
+            8,
+        )
+        .unwrap();
+        let wm = Watermark::from_u64(wm_bits, 8);
+        codec.embed(&mut rel, "item_nbr", &domain, &wm).unwrap();
+        prop_assert_eq!(codec.decode(&rel, "item_nbr", &domain).unwrap(), wm);
+    }
+
+    /// Key files round-trip arbitrary spec parameters.
+    #[test]
+    fn keyfile_round_trip(
+        master in any::<u64>(),
+        e in 1u64..=500,
+        wm_len in 1usize..=32,
+        extra in 0usize..=64,
+    ) {
+        use catmark::core::keyfile::{from_key_file, to_key_file};
+        let domain = CategoricalDomain::new((0..40).map(Value::Int).collect()).unwrap();
+        let spec = WatermarkSpec::builder(domain)
+            .master_key(SecretKey::from_u64(master))
+            .e(e)
+            .wm_len(wm_len)
+            .wm_data_len(wm_len + extra)
+            .build()
+            .unwrap();
+        let restored = from_key_file(&to_key_file(&spec)).unwrap();
+        prop_assert_eq!(restored.k1, spec.k1);
+        prop_assert_eq!(restored.k2, spec.k2);
+        prop_assert_eq!(restored.e, spec.e);
+        prop_assert_eq!(restored.wm_len, spec.wm_len);
+        prop_assert_eq!(restored.wm_data_len, spec.wm_data_len);
+        prop_assert_eq!(restored.domain, spec.domain);
+    }
+
+    /// The binomial tail used for court-time odds is a valid
+    /// complementary CDF: within [0,1] and monotone in k.
+    #[test]
+    fn detection_tail_is_a_ccdf(n in 1usize..=64) {
+        use catmark::core::detect::binomial_tail_half;
+        let mut prev = 1.0f64;
+        for k in 0..=n {
+            let p = binomial_tail_half(n, k);
+            prop_assert!((0.0..=1.0).contains(&p));
+            prop_assert!(p <= prev + 1e-12);
+            prev = p;
+        }
+        prop_assert_eq!(binomial_tail_half(n, 0), 1.0);
+    }
+
+    /// The frequency histogram always sums to 1 on non-empty columns
+    /// and L1 distance is bounded by 2.
+    #[test]
+    fn histogram_axioms(seed in any::<u64>()) {
+        let (rel, domain) = relation_for(seed, 500);
+        let h = FrequencyHistogram::from_relation(&rel, 1, &domain).unwrap();
+        let total: f64 = h.frequencies().iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        let (other_rel, _) = relation_for(seed.wrapping_add(1), 500);
+        let g = FrequencyHistogram::from_relation(&other_rel, 1, &domain).unwrap();
+        let d = h.l1_distance(&g);
+        prop_assert!((0.0..=2.0 + 1e-9).contains(&d));
+    }
+}
