@@ -130,15 +130,9 @@ mod tests {
         // e must respect delta (and e−1 must violate it, minimality).
         let (r, a, p, delta) = (15u64, 600u64, 0.7, 0.10);
         let e = min_e_for_vulnerability(r, a, p, delta).unwrap();
-        assert!(
-            attack_success_clt(r, a, e, p) <= delta + 1e-9,
-            "e={e} does not satisfy the bound"
-        );
+        assert!(attack_success_clt(r, a, e, p) <= delta + 1e-9, "e={e} does not satisfy the bound");
         if e > 1 {
-            assert!(
-                attack_success_clt(r, a, e - 1, p) > delta - 1e-9,
-                "e={e} is not minimal"
-            );
+            assert!(attack_success_clt(r, a, e - 1, p) > delta - 1e-9, "e={e} is not minimal");
         }
         // The paper's scenario lands in the same "few percent" regime
         // it reports (1/e in low single digits).

@@ -187,8 +187,7 @@ mod tests {
         // alpha=1e-2): carriers per bit = 90.
         // Majority, c=3: survival ≈ 6.3% → ~5.7 biased votes of 90 —
         // borderline; the model must predict under 80% tracing.
-        let majority3 =
-            traced_in_coalition(Strategy::MajorityMerge, 3, 10, 9_000, 10, 1e-2);
+        let majority3 = traced_in_coalition(Strategy::MajorityMerge, 3, 10, 9_000, 10, 1e-2);
         assert!(majority3 < 0.8, "majority c=3: {majority3}");
         // Mix-and-match, c=3: survival 1/3 → 30 biased votes: certain.
         let mix3 = traced_in_coalition(Strategy::MixAndMatch, 3, 10, 9_000, 10, 1e-2);
@@ -196,8 +195,7 @@ mod tests {
         // Mix-and-match degrades by c=8 at this redundancy but stays
         // well above majority merging.
         let mix8 = traced_in_coalition(Strategy::MixAndMatch, 8, 10, 9_000, 10, 1e-2);
-        let majority8 =
-            traced_in_coalition(Strategy::MajorityMerge, 8, 10, 9_000, 10, 1e-2);
+        let majority8 = traced_in_coalition(Strategy::MajorityMerge, 8, 10, 9_000, 10, 1e-2);
         assert!(majority8 < mix8);
     }
 

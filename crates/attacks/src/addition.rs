@@ -38,22 +38,14 @@ pub fn add_mimicking_tuples(
     let key_idx = rel.schema().key_index();
     // Fresh keys above the observed maximum integer key (or large
     // random integers when the key is non-integer).
-    let max_key = rel
-        .column_iter(key_idx)
-        .filter_map(Value::as_int)
-        .max()
-        .unwrap_or(0);
+    let max_key = rel.column_iter(key_idx).filter_map(Value::as_int).max().unwrap_or(0);
     for i in 0..count {
         let mut values = Vec::with_capacity(rel.schema().arity());
         for attr_idx in 0..rel.schema().arity() {
             if attr_idx == key_idx {
                 let key = match rel.schema().key_attr().ty {
-                    catmark_relation::AttrType::Integer => {
-                        Value::Int(max_key + 1 + i as i64)
-                    }
-                    catmark_relation::AttrType::Text => {
-                        Value::Text(format!("added-{seed}-{i}"))
-                    }
+                    catmark_relation::AttrType::Integer => Value::Int(max_key + 1 + i as i64),
+                    catmark_relation::AttrType::Text => Value::Text(format!("added-{seed}-{i}")),
                 };
                 values.push(key);
             } else {

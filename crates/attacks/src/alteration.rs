@@ -108,11 +108,7 @@ mod tests {
     fn alters_requested_fraction() {
         let r = rel();
         let attacked = random_alteration(&r, "item_nbr", 0.3, 7).unwrap();
-        let changed = r
-            .iter()
-            .zip(attacked.iter())
-            .filter(|(a, b)| a.get(1) != b.get(1))
-            .count();
+        let changed = r.iter().zip(attacked.iter()).filter(|(a, b)| a.get(1) != b.get(1)).count();
         let frac = changed as f64 / r.len() as f64;
         // Every targeted tuple is guaranteed to change (different
         // value enforced), so the fraction is exact.
@@ -151,10 +147,7 @@ mod tests {
         let r = rel();
         let foreign = domains::product_codes(10, 777_000);
         let attacked = domain_alteration(&r, "item_nbr", &foreign, 0.2, 5).unwrap();
-        let foreign_count = attacked
-            .column_iter(1)
-            .filter(|v| foreign.index_of(v).is_ok())
-            .count();
+        let foreign_count = attacked.column_iter(1).filter(|v| foreign.index_of(v).is_ok()).count();
         let frac = foreign_count as f64 / r.len() as f64;
         assert!((frac - 0.2).abs() < 0.02, "frac={frac}");
     }

@@ -32,9 +32,7 @@ use catmark_relation::{Relation, RelationError, Value};
 /// *all* copies, the per-copy row indices.
 fn aligned_rows(copies: &[&Relation]) -> Result<Vec<Vec<usize>>, RelationError> {
     let [first, rest @ ..] = copies else {
-        return Err(RelationError::InvalidSchema(
-            "collusion needs at least one copy".into(),
-        ));
+        return Err(RelationError::InvalidSchema("collusion needs at least one copy".into()));
     };
     for other in rest {
         if other.schema() != first.schema() {
@@ -200,12 +198,7 @@ mod tests {
         let intact = reg.trace(&copies[0], "visit_nbr", "item_nbr").unwrap();
         let after = reg.trace(&merged, "visit_nbr", "item_nbr").unwrap();
         let fp = |results: &[catmark_core::fingerprint::TraceResult], buyer: &str| {
-            results
-                .iter()
-                .find(|r| r.buyer == buyer)
-                .unwrap()
-                .detection
-                .false_positive_probability
+            results.iter().find(|r| r.buyer == buyer).unwrap().detection.false_positive_probability
         };
         // Evidence against the leaker of the intact copy is maximal;
         // the merge must not manufacture stronger evidence than that.

@@ -43,8 +43,8 @@ mod tests {
 
     #[test]
     fn pipeline_applies_in_order() {
-        let rel = SalesGenerator::new(ItemScanConfig { tuples: 2_000, ..Default::default() })
-            .generate();
+        let rel =
+            SalesGenerator::new(ItemScanConfig { tuples: 2_000, ..Default::default() }).generate();
         let steps = [
             Attack::HorizontalLoss { keep: 0.5, seed: 1 },
             Attack::SubsetAddition { fraction: 0.2, seed: 2 },
@@ -56,16 +56,16 @@ mod tests {
 
     #[test]
     fn empty_pipeline_is_identity() {
-        let rel = SalesGenerator::new(ItemScanConfig { tuples: 100, ..Default::default() })
-            .generate();
+        let rel =
+            SalesGenerator::new(ItemScanConfig { tuples: 100, ..Default::default() }).generate();
         let out = pipeline(&rel, &[]).unwrap();
         assert_eq!(out.len(), rel.len());
     }
 
     #[test]
     fn determined_adversary_composes() {
-        let rel = SalesGenerator::new(ItemScanConfig { tuples: 3_000, ..Default::default() })
-            .generate();
+        let rel =
+            SalesGenerator::new(ItemScanConfig { tuples: 3_000, ..Default::default() }).generate();
         let steps = determined_adversary("item_nbr", 9);
         let out = pipeline(&rel, &steps).unwrap();
         assert!(!out.is_empty());
@@ -74,8 +74,8 @@ mod tests {
 
     #[test]
     fn pipeline_propagates_errors() {
-        let rel = SalesGenerator::new(ItemScanConfig { tuples: 100, ..Default::default() })
-            .generate();
+        let rel =
+            SalesGenerator::new(ItemScanConfig { tuples: 100, ..Default::default() }).generate();
         let steps = [Attack::RandomAlteration { attr: "ghost".into(), fraction: 0.1, seed: 1 }];
         assert!(pipeline(&rel, &steps).is_err());
     }

@@ -179,8 +179,8 @@ mod tests {
     #[test]
     fn unknown_attribute_propagates() {
         let rel = rel();
-        let err = Attack::RandomAlteration { attr: "ghost".into(), fraction: 0.1, seed: 0 }
-            .apply(&rel);
+        let err =
+            Attack::RandomAlteration { attr: "ghost".into(), fraction: 0.1, seed: 0 }.apply(&rel);
         assert!(err.is_err());
     }
 }

@@ -34,21 +34,12 @@ pub fn bijective_remap(
         labels.swap(i, j);
     }
     let mapping: HashMap<Value, Value> = (0..observed.len())
-        .map(|t| {
-            (
-                observed.value_at(t).clone(),
-                Value::Int(900_000_000 + labels[t]),
-            )
-        })
+        .map(|t| (observed.value_at(t).clone(), Value::Int(900_000_000 + labels[t])))
         .collect();
 
     // Remapping may change the attribute's type (text → int); suspect
     // relations therefore get a rewritten schema when needed.
-    let needs_retype = rel
-        .schema()
-        .attr(attr_idx)
-        .ty
-        != catmark_relation::AttrType::Integer;
+    let needs_retype = rel.schema().attr(attr_idx).ty != catmark_relation::AttrType::Integer;
     let schema = if needs_retype {
         let mut b = catmark_relation::Schema::builder();
         for (i, a) in rel.schema().attrs().iter().enumerate() {
@@ -69,10 +60,8 @@ pub fn bijective_remap(
     let mut out = Relation::with_capacity(schema, rel.len());
     for tuple in rel.iter() {
         let mut values = tuple.values().to_vec();
-        values[attr_idx] = mapping
-            .get(&values[attr_idx])
-            .expect("observed domain covers the column")
-            .clone();
+        values[attr_idx] =
+            mapping.get(&values[attr_idx]).expect("observed domain covers the column").clone();
         out.push_unchecked_key(values)?;
     }
     Ok((out, mapping))
@@ -105,9 +94,8 @@ mod tests {
     fn frequencies_are_preserved_up_to_relabeling() {
         let r = rel();
         let (attacked, mapping) = bijective_remap(&r, "item_nbr", 12).unwrap();
-        let count = |relation: &Relation, v: &Value| {
-            relation.column_iter(1).filter(|x| *x == v).count()
-        };
+        let count =
+            |relation: &Relation, v: &Value| relation.column_iter(1).filter(|x| *x == v).count();
         for (orig_value, new_value) in mapping.iter().take(20) {
             assert_eq!(count(&r, orig_value), count(&attacked, new_value));
         }

@@ -32,8 +32,8 @@ mod tests {
 
     #[test]
     fn resorting_preserves_content() {
-        let rel = SalesGenerator::new(ItemScanConfig { tuples: 500, ..Default::default() })
-            .generate();
+        let rel =
+            SalesGenerator::new(ItemScanConfig { tuples: 500, ..Default::default() }).generate();
         let shuffled = shuffle(&rel, 42);
         let sorted = sort_by(&shuffled, "item_nbr", true).unwrap();
         assert_eq!(sorted.len(), rel.len());
@@ -46,8 +46,8 @@ mod tests {
 
     #[test]
     fn sort_by_unknown_attr_errors() {
-        let rel = SalesGenerator::new(ItemScanConfig { tuples: 10, ..Default::default() })
-            .generate();
+        let rel =
+            SalesGenerator::new(ItemScanConfig { tuples: 10, ..Default::default() }).generate();
         assert!(sort_by(&rel, "ghost", true).is_err());
     }
 }

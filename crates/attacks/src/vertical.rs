@@ -17,10 +17,8 @@ use catmark_relation::{ops, Relation, RelationError};
 ///
 /// Unknown attributes or an empty keep-list.
 pub fn keep_attributes(rel: &Relation, keep: &[&str]) -> Result<Relation, RelationError> {
-    let indices: Vec<usize> = keep
-        .iter()
-        .map(|name| rel.schema().index_of(name))
-        .collect::<Result<_, _>>()?;
+    let indices: Vec<usize> =
+        keep.iter().map(|name| rel.schema().index_of(name)).collect::<Result<_, _>>()?;
     ops::project(rel, &indices, 0, false)
 }
 
@@ -31,10 +29,8 @@ pub fn keep_attributes(rel: &Relation, keep: &[&str]) -> Result<Relation, Relati
 ///
 /// Unknown attributes or an empty keep-list.
 pub fn keep_attributes_dedup(rel: &Relation, keep: &[&str]) -> Result<Relation, RelationError> {
-    let indices: Vec<usize> = keep
-        .iter()
-        .map(|name| rel.schema().index_of(name))
-        .collect::<Result<_, _>>()?;
+    let indices: Vec<usize> =
+        keep.iter().map(|name| rel.schema().index_of(name)).collect::<Result<_, _>>()?;
     ops::project(rel, &indices, 0, true)
 }
 
@@ -44,12 +40,8 @@ mod tests {
     use catmark_datagen::{ItemScanConfig, SalesGenerator};
 
     fn rel() -> Relation {
-        SalesGenerator::new(ItemScanConfig {
-            tuples: 3_000,
-            with_city: true,
-            ..Default::default()
-        })
-        .generate()
+        SalesGenerator::new(ItemScanConfig { tuples: 3_000, with_city: true, ..Default::default() })
+            .generate()
     }
 
     #[test]

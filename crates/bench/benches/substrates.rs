@@ -103,11 +103,5 @@ fn bench_majority_merge(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_hash_join,
-    bench_group_count,
-    bench_apriori,
-    bench_majority_merge
-);
+criterion_group!(benches, bench_hash_join, bench_group_count, bench_apriori, bench_majority_merge);
 criterion_main!(benches);

@@ -92,7 +92,8 @@ fn bench_attacks(c: &mut Criterion) {
 
 fn bench_freq_codec(c: &mut Criterion) {
     use catmark_core::freq::FreqCodec;
-    let gen = SalesGenerator::new(ItemScanConfig { tuples: 6_000, items: 200, ..Default::default() });
+    let gen =
+        SalesGenerator::new(ItemScanConfig { tuples: 6_000, items: 200, ..Default::default() });
     let rel = gen.generate();
     let domain = gen.item_domain();
     let codec =
@@ -153,10 +154,8 @@ fn bench_remap_recovery(c: &mut Criterion) {
     });
     let rel = gen.generate();
     let domain = gen.item_domain();
-    let reference =
-        catmark_relation::FrequencyHistogram::from_relation(&rel, 1, &domain).unwrap();
-    let (suspect, _) =
-        catmark_attacks::remap::bijective_remap(&rel, "item_nbr", 5).unwrap();
+    let reference = catmark_relation::FrequencyHistogram::from_relation(&rel, 1, &domain).unwrap();
+    let (suspect, _) = catmark_attacks::remap::bijective_remap(&rel, "item_nbr", 5).unwrap();
     let mut group = c.benchmark_group("remap_recovery");
     group.throughput(Throughput::Elements(rel.len() as u64));
     group.bench_function("recover_confident", |b| {

@@ -76,11 +76,17 @@ fn ecc_layout_ablation() {
         let inter = MajorityVotingEcc;
         let block = BlockRepetitionEcc;
         let mut coin = |_: usize| false;
-        let inter_lost = wm
-            .hamming_distance(&inter.decode(&survivors(inter.encode(&wm, out_len)), 10, &mut coin));
+        let inter_lost = wm.hamming_distance(&inter.decode(
+            &survivors(inter.encode(&wm, out_len)),
+            10,
+            &mut coin,
+        ));
         let mut coin = |_: usize| false;
-        let block_lost = wm
-            .hamming_distance(&block.decode(&survivors(block.encode(&wm, out_len)), 10, &mut coin));
+        let block_lost = wm.hamming_distance(&block.decode(
+            &survivors(block.encode(&wm, out_len)),
+            10,
+            &mut coin,
+        ));
         t.row_f64(&[erased_pct as f64, inter_lost as f64, block_lost as f64], 0);
     }
     print!("{}", t.render());
@@ -96,9 +102,13 @@ fn ecc_family_ablation() {
     let out_len = 210; // 21 copies of a 10-bit repetition, 10 of a 21-bit codeword
     let wm_len = 10usize;
     let mut t = Table::new();
-    t.comment("ablation 2b: ECC family under total wipe-out of w positions (|wm|=10, |wm_data|=210)")
-        .comment("repetition has no parity: each wiped position is a lost bit; Hamming corrects 1/block")
-        .columns(&["wiped_positions", "majority_bits_lost", "hamming_bits_lost"]);
+    t.comment(
+        "ablation 2b: ECC family under total wipe-out of w positions (|wm|=10, |wm_data|=210)",
+    )
+    .comment(
+        "repetition has no parity: each wiped position is a lost bit; Hamming corrects 1/block",
+    )
+    .columns(&["wiped_positions", "majority_bits_lost", "hamming_bits_lost"]);
     // Wipe all copies of the position classes in `classes` (class =
     // index mod the code's layout stride).
     let wipe = |data: Vec<bool>, stride: usize, classes: &[usize]| -> Vec<Option<bool>> {
@@ -118,10 +128,7 @@ fn ecc_family_ablation() {
         let ham_classes: Vec<usize> =
             (0..wiped).map(|c| if c < 3 { c * 7 + 3 } else { (c - 3) * 7 + 4 }).collect();
         for trial in 0..trials {
-            let wm = Watermark::from_u64(
-                (0x155 ^ (u64::from(trial) * 0x9E37)) & 0x3FF,
-                wm_len,
-            );
+            let wm = Watermark::from_u64((0x155 ^ (u64::from(trial) * 0x9E37)) & 0x3FF, wm_len);
             let maj = MajorityVotingEcc;
             let ham = HammingMajorityEcc;
             let mut coin = |_: usize| false;
@@ -132,11 +139,8 @@ fn ecc_family_ablation() {
             );
             maj_lost += wm.hamming_distance(&maj_decoded) as u32;
             let mut coin = |_: usize| false;
-            let ham_decoded = ham.decode(
-                &wipe(ham.encode(&wm, out_len), 21, &ham_classes),
-                wm_len,
-                &mut coin,
-            );
+            let ham_decoded =
+                ham.decode(&wipe(ham.encode(&wm, out_len), 21, &ham_classes), wm_len, &mut coin);
             ham_lost += wm.hamming_distance(&ham_decoded) as u32;
         }
         t.row_f64(
@@ -156,7 +160,8 @@ fn ecc_family_ablation() {
 /// wider channels trade per-position redundancy for coverage).
 fn wide_channel_ablation(tuples: usize, passes: usize) {
     use catmark_core::wide::WideCodec;
-    let config = ExperimentConfig { tuples, passes, erasure: ErasurePolicy::Abstain, ..Default::default() };
+    let config =
+        ExperimentConfig { tuples, passes, erasure: ErasurePolicy::Abstain, ..Default::default() };
     let (base, domain) = config.base_relation();
     let mut t = Table::new();
     t.comment("ablation 4: direct-domain width (bits per fit tuple), e=60, |wm_data|=400")

@@ -10,8 +10,12 @@ use catmark_bench::report::Table;
 
 fn main() {
     let mut t = Table::new();
-    t.comment("Section 4.4 in-text results, recomputed")
-        .columns(&["experiment", "paper_value", "computed", "note"]);
+    t.comment("Section 4.4 in-text results, recomputed").columns(&[
+        "experiment",
+        "paper_value",
+        "computed",
+        "note",
+    ]);
 
     // EXP-A1: false positives.
     t.row(&[

@@ -15,9 +15,7 @@ use catmark_core::decode::ErasurePolicy;
 use catmark_core::power::score_run;
 use catmark_core::remap::{apply_inverse, recover_mapping_confident};
 use catmark_core::{Embedder, Watermark, WatermarkSpec};
-use catmark_datagen::{
-    ItemScanConfig, ReservationsConfig, ReservationsGenerator, SalesGenerator,
-};
+use catmark_datagen::{ItemScanConfig, ReservationsConfig, ReservationsGenerator, SalesGenerator};
 use catmark_relation::{CategoricalDomain, FrequencyHistogram, Relation};
 
 struct Workload {
@@ -101,16 +99,9 @@ fn main() {
             .collect();
 
         for (label, suspect) in attacks {
-            let score = score_run(
-                &w.original,
-                &marked,
-                &suspect,
-                &spec,
-                &wm,
-                w.key_attr,
-                w.target_attr,
-            )
-            .expect("scoring runs");
+            let score =
+                score_run(&w.original, &marked, &suspect, &spec, &wm, w.key_attr, w.target_attr)
+                    .expect("scoring runs");
             table.row(&[
                 w.name.to_owned(),
                 label,
@@ -133,10 +124,8 @@ fn attack_suite(marked: &Relation, attr: &str) -> Vec<(String, Relation)> {
         Attack::SortBy { attr: attr.to_owned(), ascending: true },
         Attack::BijectiveRemap { attr: attr.to_owned(), seed: 106 },
     ];
-    let mut out: Vec<(String, Relation)> = single
-        .into_iter()
-        .map(|a| (a.label(), a.apply(marked).expect("attack applies")))
-        .collect();
+    let mut out: Vec<(String, Relation)> =
+        single.into_iter().map(|a| (a.label(), a.apply(marked).expect("attack applies"))).collect();
     let steps = composite::determined_adversary(attr, 107);
     out.push((
         "composite".to_owned(),

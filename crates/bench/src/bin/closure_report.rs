@@ -68,11 +68,7 @@ fn main() {
         ))
         .columns(&["pseudo_key", "target", "target_load"]);
     for p in &closure.pairs {
-        t.row(&[
-            p.pseudo_key.clone(),
-            p.target.clone(),
-            closure.load[&p.target].to_string(),
-        ]);
+        t.row(&[p.pseudo_key.clone(), p.target.clone(), closure.load[&p.target].to_string()]);
     }
     print!("{}", t.render());
     println!();
@@ -101,8 +97,7 @@ fn main() {
         for b in &attrs[i + 1..] {
             let ia = rel.schema().index_of(a).expect("known attr");
             let ib = rel.schema().index_of(b).expect("known attr");
-            let partitioned =
-                ops::project(&rel, &[ia, ib], 0, false).expect("projection is valid");
+            let partitioned = ops::project(&rel, &[ia, ib], 0, false).expect("projection is valid");
             let witnesses =
                 decode_multiattr(&plan, &partitioned, &wm).expect("decode is infallible here");
             let v = aggregate_verdict(&witnesses, 1e-2);

@@ -70,10 +70,10 @@ fn main() {
         let coalition: Vec<&Relation> = copies[..c].iter().collect();
         let colluders = &buyer_names[..c];
 
-        let majority = collusion::majority_merge(&coalition, 42 + c as u64)
-            .expect("aligned copies merge");
-        let mixed = collusion::mix_and_match(&coalition, 97 + c as u64)
-            .expect("aligned copies merge");
+        let majority =
+            collusion::majority_merge(&coalition, 42 + c as u64).expect("aligned copies merge");
+        let mixed =
+            collusion::mix_and_match(&coalition, 97 + c as u64).expect("aligned copies merge");
         let shared = collusion::row_share(&coalition).expect("aligned copies merge");
 
         let mut innocent_fp: f64 = 1.0;
@@ -84,9 +84,7 @@ fn main() {
                 .expect("trace on intact schema succeeds");
             let hit = results
                 .iter()
-                .filter(|r| {
-                    colluders.contains(&r.buyer) && r.detection.is_significant(ALPHA)
-                })
+                .filter(|r| colluders.contains(&r.buyer) && r.detection.is_significant(ALPHA))
                 .count();
             traced.push(hit as f64 / c as f64);
             let best_innocent = results

@@ -19,11 +19,8 @@ fn main() {
         ExperimentConfig { passes: 7, ..Default::default() }
     };
     let attack_sizes: Vec<u64> = (0..=80).step_by(10).collect();
-    let e_values: Vec<u64> = if quick {
-        vec![20, 60, 100, 140, 180]
-    } else {
-        (10..=200).step_by(10).collect()
-    };
+    let e_values: Vec<u64> =
+        if quick { vec![20, 60, 100, 140, 180] } else { (10..=200).step_by(10).collect() };
     let rows = fig6(&config, &attack_sizes, &e_values);
 
     let mut table = Table::new();
@@ -39,11 +36,14 @@ fn main() {
     // The analytic counterpart (flip probability 1/2: a random
     // replacement value carries a random LSB).
     let attack_grid: Vec<f64> = attack_sizes.iter().map(|&a| a as f64 / 100.0).collect();
-    let cells = analytic_surface(config.tuples as u64, config.wm_len as u64, 0.5, &attack_grid, &e_values);
+    let cells =
+        analytic_surface(config.tuples as u64, config.wm_len as u64, 0.5, &attack_grid, &e_values);
     let mut model = Table::new();
-    model
-        .comment("analytic model surface (catmark-analysis::surface)")
-        .columns(&["attack_pct", "e", "predicted_mark_loss_pct"]);
+    model.comment("analytic model surface (catmark-analysis::surface)").columns(&[
+        "attack_pct",
+        "e",
+        "predicted_mark_loss_pct",
+    ]);
     for c in &cells {
         model.row_f64(&[c.attack_fraction * 100.0, c.e as f64, c.mark_alteration * 100.0], 2);
     }

@@ -1,0 +1,196 @@
+//! Plan-on vs plan-off throughput of the embed + blind-decode round
+//! trip, proving the `MarkPlan` layer end to end.
+//!
+//! The **baseline** re-implements the seed code path faithfully — per
+//! row it clones the key, materializes its canonical bytes per hash
+//! call, evaluates `H(·, k1)` once for the fitness test and *again*
+//! for the value base, and re-scans every row at decode time. The
+//! **planned** path builds one [`catmark_core::plan::MarkPlan`]
+//! through a shared [`catmark_core::plan::PlanCache`] and drives both
+//! embed and decode from it.
+//!
+//! The run asserts the two paths produce byte-identical marked
+//! relations and decodes before timing anything, then writes
+//! `BENCH_markplan.json` (machine-readable, one object per run) into
+//! the working directory so the perf trajectory is tracked from PR to
+//! PR.
+//!
+//! Usage: `cargo run --release -p catmark_bench --bin markplan
+//! [tuples]` (default 120 000).
+
+use std::time::Instant;
+
+use catmark_core::ecc::{ErrorCorrectingCode, MajorityVotingEcc};
+use catmark_core::plan::PlanCache;
+use catmark_core::{Decoder, Embedder, Watermark, WatermarkSpec};
+use catmark_datagen::{ItemScanConfig, SalesGenerator};
+use catmark_relation::Relation;
+
+const E: u64 = 60;
+const WM_LEN: usize = 10;
+const ITERS: usize = 5;
+
+fn main() {
+    let tuples: usize = std::env::args()
+        .nth(1)
+        .map(|a| a.parse().expect("tuples must be an integer"))
+        .unwrap_or(120_000);
+    let gen = SalesGenerator::new(ItemScanConfig { tuples, ..Default::default() });
+    let rel = gen.generate();
+    let spec = WatermarkSpec::builder(gen.item_domain())
+        .master_key("markplan-bench")
+        .e(E)
+        .wm_len(WM_LEN)
+        .expected_tuples(tuples)
+        .build()
+        .expect("bench parameters are valid");
+    let wm = Watermark::from_u64(0b10_1100_1110, WM_LEN);
+    let key_idx = 0;
+    let attr_idx = 1;
+
+    // Correctness gate: the planned path must reproduce the seed path
+    // byte for byte before any timing is worth reporting.
+    let mut seed_marked = rel.clone();
+    baseline_embed(&spec, &mut seed_marked, key_idx, attr_idx, &wm);
+    let seed_decoded = baseline_decode(&spec, &seed_marked, key_idx, attr_idx);
+    let cache = PlanCache::new();
+    let mut plan_marked = rel.clone();
+    let plan = cache.plan_for(&spec, &plan_marked, key_idx).expect("key attr exists");
+    Embedder::new(&spec)
+        .embed_with_plan(&mut plan_marked, attr_idx, &wm, &MajorityVotingEcc, None, &plan)
+        .expect("embedding succeeds");
+    let plan2 = cache.plan_for(&spec, &plan_marked, key_idx).expect("key attr exists");
+    let plan_decoded = Decoder::new(&spec)
+        .decode_with_plan(&plan_marked, attr_idx, &MajorityVotingEcc, &plan2)
+        .expect("decoding succeeds");
+    let byte_identical = seed_marked.len() == plan_marked.len()
+        && seed_marked.iter().zip(plan_marked.iter()).all(|(a, b)| a == b)
+        && seed_decoded == plan_decoded.watermark
+        && plan_decoded.watermark == wm;
+    assert!(byte_identical, "planned path diverged from the seed path");
+
+    // Timed round trips (embed a fresh copy + blind decode), best of
+    // ITERS to damp scheduler noise.
+    let mut baseline_best = f64::MAX;
+    for _ in 0..ITERS {
+        let mut marked = rel.clone();
+        let start = Instant::now();
+        baseline_embed(&spec, &mut marked, key_idx, attr_idx, &wm);
+        let decoded = baseline_decode(&spec, &marked, key_idx, attr_idx);
+        let elapsed = start.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(decoded, wm);
+        baseline_best = baseline_best.min(elapsed);
+    }
+
+    let mut planned_best = f64::MAX;
+    let mut stage_plan = f64::MAX;
+    let mut stage_embed = f64::MAX;
+    let mut stage_decode = f64::MAX;
+    for _ in 0..ITERS {
+        let cache = PlanCache::new();
+        let mut marked = rel.clone();
+        let start = Instant::now();
+        let plan = cache.plan_for(&spec, &marked, key_idx).expect("key attr exists");
+        let t_plan = start.elapsed().as_secs_f64() * 1e3;
+        Embedder::new(&spec)
+            .embed_with_plan(&mut marked, attr_idx, &wm, &MajorityVotingEcc, None, &plan)
+            .expect("embedding succeeds");
+        let t_embed = start.elapsed().as_secs_f64() * 1e3;
+        let plan = cache.plan_for(&spec, &marked, key_idx).expect("key attr exists");
+        let decoded = Decoder::new(&spec)
+            .decode_with_plan(&marked, attr_idx, &MajorityVotingEcc, &plan)
+            .expect("decoding succeeds");
+        let elapsed = start.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(decoded.watermark, wm);
+        planned_best = planned_best.min(elapsed);
+        stage_plan = stage_plan.min(t_plan);
+        stage_embed = stage_embed.min(t_embed - t_plan);
+        stage_decode = stage_decode.min(elapsed - t_embed);
+    }
+
+    let speedup = baseline_best / planned_best;
+    let throughput = tuples as f64 / (planned_best / 1e3);
+    println!("markplan round trip over {tuples} tuples (e = {E}, best of {ITERS}):");
+    println!("  plan-off (seed path): {baseline_best:9.2} ms");
+    println!("  plan-on  (cached):    {planned_best:9.2} ms   {throughput:.0} tuples/s");
+    println!(
+        "    stages: plan {stage_plan:.2} ms, embed {stage_embed:.2} ms, decode {stage_decode:.2} ms"
+    );
+    println!("  speedup:              {speedup:9.2}x");
+    println!("  byte-identical:       {byte_identical}");
+
+    let json = format!(
+        "{{\n  \"bench\": \"markplan_round_trip\",\n  \"tuples\": {tuples},\n  \"e\": {E},\n  \"wm_len\": {WM_LEN},\n  \"iterations\": {ITERS},\n  \"baseline_round_trip_ms\": {baseline_best:.3},\n  \"plan_round_trip_ms\": {planned_best:.3},\n  \"plan_tuples_per_second\": {throughput:.0},\n  \"speedup\": {speedup:.3},\n  \"byte_identical\": {byte_identical}\n}}\n"
+    );
+    std::fs::write("BENCH_markplan.json", &json).expect("can write BENCH_markplan.json");
+    println!("wrote BENCH_markplan.json");
+}
+
+/// The seed embedding loop, reproduced verbatim in structure: one
+/// `H(key, k1)` for the fitness test, a second for the value base, a
+/// key clone per row, and a canonical-bytes allocation per hash call.
+fn baseline_embed(
+    spec: &WatermarkSpec,
+    rel: &mut Relation,
+    key_idx: usize,
+    attr_idx: usize,
+    wm: &Watermark,
+) {
+    let keyed1 = spec.keyed1();
+    let keyed2 = spec.keyed2();
+    let wm_data = MajorityVotingEcc.encode(wm, spec.wm_data_len);
+    let n = spec.domain.len() as u64;
+    for row in 0..rel.len() {
+        let key = rel.tuple(row).expect("row in range").get(key_idx).clone();
+        if !keyed1.hash_u64(&[&key.canonical_bytes()]).is_multiple_of(spec.e) {
+            continue;
+        }
+        let idx = (keyed2.hash_u64(&[&key.canonical_bytes()]) % spec.wm_data_len as u64) as usize;
+        let bit = wm_data[idx];
+        let base = (keyed1.hash_u64(&[&key.canonical_bytes()]) >> 32) % n;
+        let t = catmark_core::bits::force_lsb_in_domain(base, bit, n);
+        let new_value = spec.domain.value_at(t as usize).clone();
+        let old_value = rel.tuple(row).expect("row in range").get(attr_idx).clone();
+        if old_value == new_value {
+            continue;
+        }
+        rel.update_value(row, attr_idx, new_value).expect("value in domain");
+    }
+}
+
+/// The seed decoding loop: full re-scan, rehashing every key.
+fn baseline_decode(
+    spec: &WatermarkSpec,
+    rel: &Relation,
+    key_idx: usize,
+    attr_idx: usize,
+) -> Watermark {
+    let keyed1 = spec.keyed1();
+    let keyed2 = spec.keyed2();
+    let len = spec.wm_data_len;
+    let mut ones = vec![0u32; len];
+    let mut zeros = vec![0u32; len];
+    for tuple in rel.iter() {
+        let key = tuple.get(key_idx);
+        if !keyed1.hash_u64(&[&key.canonical_bytes()]).is_multiple_of(spec.e) {
+            continue;
+        }
+        let Ok(t) = spec.domain.index_of(tuple.get(attr_idx)) else {
+            continue;
+        };
+        let idx = (keyed2.hash_u64(&[&key.canonical_bytes()]) % len as u64) as usize;
+        if t & 1 == 1 {
+            ones[idx] += 1;
+        } else {
+            zeros[idx] += 1;
+        }
+    }
+    let wm_data: Vec<Option<bool>> = (0..len)
+        .map(|i| match (ones[i], zeros[i]) {
+            (0, 0) => None,
+            (o, z) => Some(o > z),
+        })
+        .collect();
+    let mut tie_break = |_: usize| false;
+    MajorityVotingEcc.decode(&wm_data, spec.wm_len, &mut tie_break)
+}

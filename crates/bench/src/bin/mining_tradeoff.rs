@@ -77,12 +77,8 @@ fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let n: usize = if quick { 4_000 } else { 12_000 };
 
-    let gen = BasketGenerator::new(BasketConfig {
-        tuples: n,
-        depts: 16,
-        noise_rate: 0.05,
-        seed: 0xB00C,
-    });
+    let gen =
+        BasketGenerator::new(BasketConfig { tuples: n, depts: 16, noise_rate: 0.05, seed: 0xB00C });
     let original = gen.generate();
     let tx = Transactions::from_relation(&original, &["dept", "aisle"]).expect("attrs exist");
     let freq = mine(&tx, &AprioriConfig { min_support: 0.01, max_len: 2 });

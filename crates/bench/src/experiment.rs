@@ -10,7 +10,7 @@ use catmark_core::decode::ErasurePolicy;
 use catmark_core::{Decoder, Embedder, Watermark, WatermarkSpec};
 use catmark_datagen::{ItemScanConfig, SalesGenerator};
 use catmark_relation::Relation;
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 /// Shared experiment parameters (the paper's setup by default).
 #[derive(Debug, Clone)]
@@ -108,11 +108,7 @@ impl ExperimentResult {
     #[must_use]
     pub fn ci95(&self, wm_len: usize) -> (f64, f64) {
         let trials = (self.per_pass.len() * wm_len) as u64;
-        let successes: u64 = self
-            .per_pass
-            .iter()
-            .map(|f| (f * wm_len as f64).round() as u64)
-            .sum();
+        let successes: u64 = self.per_pass.iter().map(|f| (f * wm_len as f64).round() as u64).sum();
         catmark_analysis::prob::wilson_interval(successes, trials, 0.05)
     }
 
@@ -148,12 +144,12 @@ pub fn run(
 ) -> ExperimentResult {
     let (base, domain) = config.base_relation();
     let results = Mutex::new(vec![(0.0f64, 0.0f64); config.passes]);
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for pass in 0..config.passes {
             let base = &base;
             let domain = &domain;
             let results = &results;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 let spec = config.spec_for_pass(domain.clone(), e, pass);
                 let wm = config.watermark_for_pass(pass);
                 let mut marked = base.clone();
@@ -168,16 +164,15 @@ pub fn run(
                     .decode(&suspect, "visit_nbr", "item_nbr")
                     .expect("decoding never fails on suspect data");
                 let alteration = wm.alteration_fraction(&decoded.watermark);
-                results.lock()[pass] = (alteration, report.alteration_rate());
+                results.lock().expect("no poisoned pass")[pass] =
+                    (alteration, report.alteration_rate());
             });
         }
-    })
-    .expect("experiment threads do not panic");
-    let results = results.into_inner();
+    });
+    let results = results.into_inner().expect("no poisoned pass");
     let per_pass: Vec<f64> = results.iter().map(|r| r.0).collect();
     let mean_alteration = per_pass.iter().sum::<f64>() / per_pass.len().max(1) as f64;
-    let mean_embed_rate =
-        results.iter().map(|r| r.1).sum::<f64>() / results.len().max(1) as f64;
+    let mean_embed_rate = results.iter().map(|r| r.1).sum::<f64>() / results.len().max(1) as f64;
     ExperimentResult { mean_alteration, per_pass, mean_embed_rate }
 }
 
@@ -229,9 +224,7 @@ mod tests {
     #[test]
     fn results_are_reproducible() {
         let cfg = small();
-        let attack = |pass: usize| {
-            vec![Attack::HorizontalLoss { keep: 0.5, seed: pass as u64 }]
-        };
+        let attack = |pass: usize| vec![Attack::HorizontalLoss { keep: 0.5, seed: pass as u64 }];
         let a = run(&cfg, 30, &attack);
         let b = run(&cfg, 30, &attack);
         assert_eq!(a, b);

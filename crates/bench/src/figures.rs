@@ -193,10 +193,7 @@ mod tests {
     fn fig6_tilt() {
         let rows = fig6(&quick(), &[10, 70], &[20, 150]);
         let get = |a: f64, e: u64| {
-            rows.iter()
-                .find(|r| (r.attack_pct - a).abs() < 1e-9 && r.e == e)
-                .unwrap()
-                .mark_loss_pct
+            rows.iter().find(|r| (r.attack_pct - a).abs() < 1e-9 && r.e == e).unwrap().mark_loss_pct
         };
         // Lower-left (small attack, small e) below upper-right (big
         // attack, big e).

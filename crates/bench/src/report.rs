@@ -38,8 +38,7 @@ impl Table {
 
     /// Append a row of f64 cells rendered with `decimals` places.
     pub fn row_f64(&mut self, values: &[f64], decimals: usize) -> &mut Self {
-        self.rows
-            .push(values.iter().map(|v| format!("{v:.decimals$}")).collect());
+        self.rows.push(values.iter().map(|v| format!("{v:.decimals$}")).collect());
         self
     }
 

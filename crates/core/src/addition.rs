@@ -134,13 +134,11 @@ pub fn inject_fit_tuples(
             report.duplicate_keys += 1;
             continue;
         }
-        if !sel.is_fit(&key) {
+        let Some(facts) = sel.facts(&key) else {
             continue;
-        }
-        let idx = sel.position(&key);
-        let bit = wm_data[idx];
-        let base = sel.value_base(&key, n);
-        let t = crate::bits::force_lsb_in_domain(base, bit, n) as usize;
+        };
+        let bit = wm_data[facts.position];
+        let t = crate::bits::force_lsb_in_domain(facts.value_base(n), bit, n) as usize;
         // Stealth: copy every non-key, non-target attribute from a
         // random *original* tuple so marginals are preserved.
         let template_row = (template_rng.next_u64() % original_len) as usize;
@@ -186,8 +184,13 @@ mod tests {
         let (mut rel, spec, wm) = fixture(6_000, 30);
         let before = rel.len();
         let report = inject_fit_tuples(
-            &spec, &mut rel, "visit_nbr", "item_nbr", &wm,
-            InjectionParams::new(50, 1), &mut synth(),
+            &spec,
+            &mut rel,
+            "visit_nbr",
+            "item_nbr",
+            &wm,
+            InjectionParams::new(50, 1),
+            &mut synth(),
         )
         .unwrap();
         assert_eq!(report.added, 50);
@@ -202,8 +205,13 @@ mod tests {
         let (mut rel, spec, wm) = fixture(6_000, 30);
         let before = rel.len();
         inject_fit_tuples(
-            &spec, &mut rel, "visit_nbr", "item_nbr", &wm,
-            InjectionParams::new(30, 2), &mut synth(),
+            &spec,
+            &mut rel,
+            "visit_nbr",
+            "item_nbr",
+            &wm,
+            InjectionParams::new(30, 2),
+            &mut synth(),
         )
         .unwrap();
         let sel = FitnessSelector::new(&spec);
@@ -225,8 +233,13 @@ mod tests {
         let (rel, spec, wm) = fixture(6_000, 60);
         let mut reinforced = rel.clone();
         inject_fit_tuples(
-            &spec, &mut reinforced, "visit_nbr", "item_nbr", &wm,
-            InjectionParams::new(200, 3), &mut synth(),
+            &spec,
+            &mut reinforced,
+            "visit_nbr",
+            "item_nbr",
+            &wm,
+            InjectionParams::new(200, 3),
+            &mut synth(),
         )
         .unwrap();
         let mut plain_errors = 0usize;
@@ -253,8 +266,13 @@ mod tests {
     fn respects_max_attempts() {
         let (mut rel, spec, wm) = fixture(1_000, 30);
         let report = inject_fit_tuples(
-            &spec, &mut rel, "visit_nbr", "item_nbr", &wm,
-            InjectionParams { count: 1_000, max_attempts: Some(100), seed: 4 }, &mut synth(),
+            &spec,
+            &mut rel,
+            "visit_nbr",
+            "item_nbr",
+            &wm,
+            InjectionParams { count: 1_000, max_attempts: Some(100), seed: 4 },
+            &mut synth(),
         )
         .unwrap();
         assert!(report.attempts <= 100);
@@ -273,11 +291,16 @@ mod tests {
                 v
             }
         }
-        let keys = rel.column(0);
+        let keys: Vec<Value> = rel.column(0).into_iter().cloned().collect();
         let mut s = Existing(keys, 0);
         let report = inject_fit_tuples(
-            &spec, &mut rel, "visit_nbr", "item_nbr", &wm,
-            InjectionParams { count: 5, max_attempts: Some(50), seed: 5 }, &mut s,
+            &spec,
+            &mut rel,
+            "visit_nbr",
+            "item_nbr",
+            &wm,
+            InjectionParams { count: 5, max_attempts: Some(50), seed: 5 },
+            &mut s,
         )
         .unwrap();
         assert_eq!(report.added, 0);

@@ -98,11 +98,8 @@ impl Closure {
 pub fn build_closure(rel: &Relation) -> Result<Closure, CoreError> {
     let schema = rel.schema();
     let key = schema.key_attr().name.clone();
-    let cats: Vec<String> = schema
-        .categorical_indices()
-        .into_iter()
-        .map(|i| schema.attr(i).name.clone())
-        .collect();
+    let cats: Vec<String> =
+        schema.categorical_indices().into_iter().map(|i| schema.attr(i).name.clone()).collect();
     if cats.is_empty() {
         return Err(CoreError::InvalidSpec(
             "schema has no categorical attributes to watermark".into(),
@@ -140,8 +137,8 @@ pub fn build_closure(rel: &Relation) -> Result<Closure, CoreError> {
                 (true, false) => b.clone(),
                 (false, true) => a.clone(),
                 (true, true) => {
-                    let (la, lb) = (load.get(a).copied().unwrap_or(0),
-                                    load.get(b).copied().unwrap_or(0));
+                    let (la, lb) =
+                        (load.get(a).copied().unwrap_or(0), load.get(b).copied().unwrap_or(0));
                     match la.cmp(&lb) {
                         std::cmp::Ordering::Less => a.clone(),
                         std::cmp::Ordering::Greater => b.clone(),
@@ -230,12 +227,9 @@ pub fn plan_from_closure(
     let mut pairs = Vec::with_capacity(closure.pairs.len());
     for op in &closure.pairs {
         let mut spec = base.derived(&format!("pair:{}:{}", op.pseudo_key, op.target));
-        spec.domain = domains
-            .get(&op.target)
-            .cloned()
-            .ok_or_else(|| {
-                CoreError::InvalidSpec(format!("no domain provided for {:?}", op.target))
-            })?;
+        spec.domain = domains.get(&op.target).cloned().ok_or_else(|| {
+            CoreError::InvalidSpec(format!("no domain provided for {:?}", op.target))
+        })?;
         let bandwidth = if op.pseudo_key == *key_name {
             rel.len()
         } else {
@@ -360,10 +354,7 @@ mod tests {
         assert!(c.pairs.iter().all(|p| p.pseudo_key != "constant"));
         // The (a, constant) pair is still watermarked — oriented so
         // `a` pseudo-keys and `constant` absorbs the alterations.
-        assert!(c
-            .pairs
-            .iter()
-            .any(|p| p.pseudo_key == "a" && p.target == "constant"));
+        assert!(c.pairs.iter().any(|p| p.pseudo_key == "a" && p.target == "constant"));
     }
 
     #[test]
@@ -409,10 +400,8 @@ mod tests {
             ("c".to_owned(), 0),
             ("d".to_owned(), 0),
         ]);
-        let distinct: HashMap<String, usize> = ["a", "b", "c", "d"]
-            .into_iter()
-            .map(|s| (s.to_owned(), 100))
-            .collect();
+        let distinct: HashMap<String, usize> =
+            ["a", "b", "c", "d"].into_iter().map(|s| (s.to_owned(), 100)).collect();
         rebalance(&mut edges, &mut load, &distinct);
         let max = load.values().copied().max().unwrap();
         assert!(max <= 1, "load after rebalance: {load:?}");
@@ -425,8 +414,7 @@ mod tests {
             OrientedPair { pseudo_key: "big2".into(), target: "tiny".into() },
             OrientedPair { pseudo_key: "big3".into(), target: "tiny".into() },
         ];
-        let mut load: HashMap<String, usize> =
-            HashMap::from([("tiny".to_owned(), 3)]);
+        let mut load: HashMap<String, usize> = HashMap::from([("tiny".to_owned(), 3)]);
         let distinct: HashMap<String, usize> = HashMap::from([
             ("tiny".to_owned(), 1),
             ("big".to_owned(), 100),

@@ -134,10 +134,7 @@ fn parse_budget(rest: &str) -> Result<Decl, String> {
         return Err("budget needs an amount, e.g. `budget 3%` or `budget 500`".into());
     }
     if let Some(pct) = rest.strip_suffix('%') {
-        let amount: f64 = pct
-            .trim()
-            .parse()
-            .map_err(|e| format!("bad percentage {pct:?}: {e}"))?;
+        let amount: f64 = pct.trim().parse().map_err(|e| format!("bad percentage {pct:?}: {e}"))?;
         if !(0.0..=100.0).contains(&amount) {
             return Err(format!("percentage {amount} outside 0..=100"));
         }
@@ -173,10 +170,8 @@ fn parse_immutable(rest: &str) -> Result<Decl, String> {
 }
 
 fn parse_allow(rest: &str) -> Result<Decl, String> {
-    let rest = rest
-        .strip_prefix("in")
-        .ok_or_else(|| "allow expects `allow in (v, …)`".to_owned())?
-        .trim();
+    let rest =
+        rest.strip_prefix("in").ok_or_else(|| "allow expects `allow in (v, …)`".to_owned())?.trim();
     let inner = rest
         .strip_prefix('(')
         .and_then(|s| s.strip_suffix(')'))
@@ -252,9 +247,9 @@ fn parse_value_list(inner: &str) -> Result<Vec<Value>, String> {
         if let Some(q) = part.strip_prefix('"').and_then(|s| s.strip_suffix('"')) {
             values.push(Value::Text(q.to_owned()));
         } else {
-            let v: i64 = part
-                .parse()
-                .map_err(|e| format!("value {part:?} is neither an integer nor quoted text: {e}"))?;
+            let v: i64 = part.parse().map_err(|e| {
+                format!("value {part:?} is neither an integer nor quoted text: {e}")
+            })?;
             values.push(Value::Int(v));
         }
     }
@@ -310,9 +305,7 @@ pub fn compile(
             Decl::AllowIn { values } => Box::new(AllowedReplacements::new(values)),
             Decl::PreserveCount { selection, tolerance, percent } => {
                 let values = match selection {
-                    CountSelection::In(values) => {
-                        ValueSet::In(values.into_iter().collect())
-                    }
+                    CountSelection::In(values) => ValueSet::In(values.into_iter().collect()),
                     CountSelection::Range(lo, hi) => {
                         ValueSet::Range(Value::Int(lo), Value::Int(hi))
                     }
@@ -455,10 +448,7 @@ mod tests {
         let top = hist.rank_by_frequency()[0];
         let top_value = domain.value_at(top).clone();
         let other = domain.value_at((top + 1) % domain.len()).clone();
-        let program = format!(
-            "preserve count in ({}) tolerance 1",
-            top_value.as_int().unwrap()
-        );
+        let program = format!("preserve count in ({}) tolerance 1", top_value.as_int().unwrap());
         let mut guard = compile(&program, &rel, 1, &domain).unwrap();
         // Removing one tuple from the selection is fine, a second is
         // vetoed.
@@ -470,12 +460,8 @@ mod tests {
             .take(2)
             .collect();
         assert_eq!(hit_rows.len(), 2, "top value occurs at least twice");
-        let change = |row: usize| Alteration {
-            row,
-            attr: 1,
-            old: top_value.clone(),
-            new: other.clone(),
-        };
+        let change =
+            |row: usize| Alteration { row, attr: 1, old: top_value.clone(), new: other.clone() };
         assert!(guard.propose(change(hit_rows[0])));
         assert!(!guard.propose(change(hit_rows[1])));
         assert_eq!(guard.vetoes(), 1);
@@ -502,13 +488,7 @@ mod tests {
             .expected_tuples(rel.len())
             .build()
             .unwrap();
-        let mut guard = compile(
-            "budget 0.5%\nimmutable 0..1000\n",
-            &rel,
-            1,
-            &domain,
-        )
-        .unwrap();
+        let mut guard = compile("budget 0.5%\nimmutable 0..1000\n", &rel, 1, &domain).unwrap();
         let wm = Watermark::from_u64(0x155, 10);
         let report = Embedder::new(&spec)
             .embed_guarded(&mut rel, "visit_nbr", "item_nbr", &wm, &mut guard)

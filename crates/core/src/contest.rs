@@ -94,7 +94,36 @@ pub fn evidence(
     key_attr: &str,
     target_attr: &str,
 ) -> Result<ClaimEvidence, CoreError> {
-    let decode = Decoder::new(&claim.spec).decode(rel, key_attr, target_attr)?;
+    evidence_with_cache(claim, rel, key_attr, target_attr, &crate::plan::PlanCache::new())
+}
+
+/// [`evidence`] over a shared [`crate::plan::PlanCache`].
+///
+/// Plans are keyed per claimant spec, so the cache does **not** save
+/// work *across* claims (each claimant's keys require their own hash
+/// pass); it pays when the *same* claim's evidence is gathered more
+/// than once against the same data — re-running a contest after new
+/// filings, or auditing a verdict.
+///
+/// # Errors
+///
+/// Attribute-resolution failures.
+pub fn evidence_with_cache(
+    claim: &Claim,
+    rel: &Relation,
+    key_attr: &str,
+    target_attr: &str,
+    cache: &crate::plan::PlanCache,
+) -> Result<ClaimEvidence, CoreError> {
+    let key_idx = rel.schema().index_of(key_attr)?;
+    let attr_idx = rel.schema().index_of(target_attr)?;
+    let plan = cache.plan_for(&claim.spec, rel, key_idx)?;
+    let decode = Decoder::new(&claim.spec).decode_with_plan(
+        rel,
+        attr_idx,
+        &crate::ecc::MajorityVotingEcc,
+        &plan,
+    )?;
     let detection = detect(&decode.watermark, &claim.watermark);
     let voted = decode.positions_observed.max(1);
     let unanimous = decode.positions_observed - decode.position_conflicts;
@@ -127,8 +156,9 @@ pub fn resolve(
     alpha: f64,
     unanimity_margin: f64,
 ) -> Result<(ContestOutcome, ClaimEvidence, ClaimEvidence), CoreError> {
-    let ev_a = evidence(a, rel, key_attr, target_attr)?;
-    let ev_b = evidence(b, rel, key_attr, target_attr)?;
+    let cache = crate::plan::PlanCache::new();
+    let ev_a = evidence_with_cache(a, rel, key_attr, target_attr, &cache)?;
+    let ev_b = evidence_with_cache(b, rel, key_attr, target_attr, &cache)?;
     let outcome = match (ev_a.is_present(alpha), ev_b.is_present(alpha)) {
         (false, false) => ContestOutcome::NeitherClaim,
         (true, false) => ContestOutcome::OnlyClaim(ev_a.claimant.clone()),
@@ -225,8 +255,7 @@ mod tests {
         let (gen, rel) = fixture();
         let a = claim("a", &gen, 10);
         let b = claim("b", &gen, 10);
-        let (outcome, _, _) =
-            resolve(&a, &b, &rel, "visit_nbr", "item_nbr", 1e-2, 0.01).unwrap();
+        let (outcome, _, _) = resolve(&a, &b, &rel, "visit_nbr", "item_nbr", 1e-2, 0.01).unwrap();
         assert_eq!(outcome, ContestOutcome::NeitherClaim);
     }
 

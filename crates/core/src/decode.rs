@@ -21,7 +21,7 @@ use catmark_relation::Relation;
 
 use crate::ecc::{ErrorCorrectingCode, MajorityVotingEcc};
 use crate::error::CoreError;
-use crate::fitness::FitnessSelector;
+use crate::plan::MarkPlan;
 use crate::spec::{Watermark, WatermarkSpec};
 
 /// How the decoder values `wm_data` positions that received no votes.
@@ -114,7 +114,10 @@ impl<'a> Decoder<'a> {
         self.decode_by_idx(rel, key_idx, attr_idx, &MajorityVotingEcc)
     }
 
-    /// Fully general decoding with explicit indices and ECC.
+    /// Fully general decoding with explicit indices and ECC. Builds a
+    /// fresh [`MarkPlan`] internally; callers that already hold one
+    /// (or share a [`crate::plan::PlanCache`] with the embedding pass)
+    /// should use [`Decoder::decode_with_plan`].
     ///
     /// # Errors
     ///
@@ -127,24 +130,45 @@ impl<'a> Decoder<'a> {
         attr_idx: usize,
         ecc: &dyn ErrorCorrectingCode,
     ) -> Result<DecodeReport, CoreError> {
-        let sel = FitnessSelector::new(self.spec);
+        let plan = MarkPlan::build(self.spec, rel, key_idx);
+        self.decode_with_plan(rel, attr_idx, ecc, &plan)
+    }
+
+    /// Decoding over a precomputed [`MarkPlan`]: only the fit rows are
+    /// visited and no key is rehashed.
+    ///
+    /// Byte-identical to [`Decoder::decode_by_idx`] when the plan was
+    /// built from the same spec and relation.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidSpec`] when the plan does not match this
+    /// spec/relation.
+    pub fn decode_with_plan(
+        &self,
+        rel: &Relation,
+        attr_idx: usize,
+        ecc: &dyn ErrorCorrectingCode,
+        plan: &MarkPlan,
+    ) -> Result<DecodeReport, CoreError> {
+        if !plan.matches(self.spec, rel) {
+            return Err(CoreError::InvalidSpec(
+                "mark plan was built for a different spec or relation".into(),
+            ));
+        }
         let len = self.spec.wm_data_len;
         let mut ones = vec![0u32; len];
         let mut zeros = vec![0u32; len];
-        let mut fit_tuples = 0usize;
+        let fit_tuples = plan.fit().len();
         let mut votes_cast = 0usize;
         let mut foreign_values = 0usize;
-        for tuple in rel.iter() {
-            let key = tuple.get(key_idx);
-            if !sel.is_fit(key) {
-                continue;
-            }
-            fit_tuples += 1;
-            let Ok(t) = self.spec.domain.index_of(tuple.get(attr_idx)) else {
+        for planned in plan.fit() {
+            let tuple = rel.tuple(planned.row as usize).expect("planned row in range");
+            let Some(t) = self.spec.domain.code_of(tuple.get(attr_idx)) else {
                 foreign_values += 1;
                 continue;
             };
-            let idx = sel.position(key);
+            let idx = planned.position as usize;
             if t & 1 == 1 {
                 ones[idx] += 1;
             } else {
@@ -156,7 +180,8 @@ impl<'a> Decoder<'a> {
         // Deterministic coins for erasure fill and tie-breaking,
         // independent of the data (derived from k2 so any party with
         // the detection keys resolves identically).
-        let prf = KeyedPrf::new(self.spec.algo, self.spec.k2.derive(self.spec.algo, "decode-coins"));
+        let prf =
+            KeyedPrf::new(self.spec.algo, self.spec.k2.derive(self.spec.algo, "decode-coins"));
 
         let mut positions_observed = 0usize;
         let mut positions_erased = 0usize;
@@ -207,7 +232,11 @@ mod tests {
     use catmark_datagen::{ItemScanConfig, SalesGenerator};
     use catmark_relation::ops;
 
-    fn setup(tuples: usize, e: u64, erasure: ErasurePolicy) -> (Relation, WatermarkSpec, Watermark) {
+    fn setup(
+        tuples: usize,
+        e: u64,
+        erasure: ErasurePolicy,
+    ) -> (Relation, WatermarkSpec, Watermark) {
         let gen = SalesGenerator::new(ItemScanConfig { tuples, ..Default::default() });
         let mut rel = gen.generate();
         let spec = WatermarkSpec::builder(gen.item_domain())
@@ -324,10 +353,7 @@ mod tests {
         let (rel, spec, _) = setup(6_000, 60, ErasurePolicy::RandomFill);
         let report = Decoder::new(&spec).decode(&rel, "visit_nbr", "item_nbr").unwrap();
         assert_eq!(report.votes_cast + report.foreign_values, report.fit_tuples);
-        assert_eq!(
-            report.positions_observed + report.positions_erased,
-            spec.wm_data_len
-        );
+        assert_eq!(report.positions_observed + report.positions_erased, spec.wm_data_len);
         assert_eq!(report.wm_data.len(), spec.wm_data_len);
         assert!(report.coverage() > 0.0 && report.coverage() <= 1.0);
     }

@@ -50,11 +50,7 @@ impl Detection {
 /// bits; compare against a mark built with the same spec).
 #[must_use]
 pub fn detect(decoded: &Watermark, claimed: &Watermark) -> Detection {
-    assert_eq!(
-        decoded.len(),
-        claimed.len(),
-        "decoded and claimed watermark lengths differ"
-    );
+    assert_eq!(decoded.len(), claimed.len(), "decoded and claimed watermark lengths differ");
     let total_bits = claimed.len();
     let matched_bits = total_bits - decoded.hamming_distance(claimed);
     Detection {

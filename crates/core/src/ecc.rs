@@ -91,9 +91,7 @@ pub struct BlockRepetitionEcc;
 impl ErrorCorrectingCode for BlockRepetitionEcc {
     fn encode(&self, wm: &Watermark, out_len: usize) -> Vec<bool> {
         assert!(out_len >= wm.len(), "wm_data must be at least |wm| bits");
-        (0..out_len)
-            .map(|i| wm.bit(self.bit_for_position(i, wm.len(), out_len)))
-            .collect()
+        (0..out_len).map(|i| wm.bit(self.bit_for_position(i, wm.len(), out_len))).collect()
     }
 
     fn decode(
@@ -185,10 +183,7 @@ impl HammingMajorityEcc {
 impl ErrorCorrectingCode for HammingMajorityEcc {
     fn encode(&self, wm: &Watermark, out_len: usize) -> Vec<bool> {
         let l = Self::codeword_len(wm.len());
-        assert!(
-            out_len >= l,
-            "wm_data must be at least the {l}-bit Hamming codeword"
-        );
+        assert!(out_len >= l, "wm_data must be at least the {l}-bit Hamming codeword");
         let mut codeword = Vec::with_capacity(l);
         for chunk_start in (0..wm.len()).step_by(4) {
             let mut d = [false; 4];
@@ -303,11 +298,8 @@ mod tests {
         let wm = Watermark::from_u64(0b11, 2);
         let data = ecc.encode(&wm, 10);
         // Erase all but one copy of each bit: survivors decide alone.
-        let positions: Vec<Option<bool>> = data
-            .iter()
-            .enumerate()
-            .map(|(i, &b)| if i < 2 { Some(b) } else { None })
-            .collect();
+        let positions: Vec<Option<bool>> =
+            data.iter().enumerate().map(|(i, &b)| if i < 2 { Some(b) } else { None }).collect();
         assert_eq!(ecc.decode(&positions, 2, &mut no_ties), wm);
     }
 
@@ -412,21 +404,15 @@ mod tests {
         let data = hamming.encode(&wm, out_len);
         let l = HammingMajorityEcc::codeword_len(8);
         // Flip all copies of codeword position 2 (a data bit: d1).
-        let flipped: Vec<Option<bool>> = data
-            .iter()
-            .enumerate()
-            .map(|(i, &b)| Some(if i % l == 2 { !b } else { b }))
-            .collect();
+        let flipped: Vec<Option<bool>> =
+            data.iter().enumerate().map(|(i, &b)| Some(if i % l == 2 { !b } else { b })).collect();
         assert_eq!(hamming.decode(&flipped, 8, &mut no_ties), wm);
 
         // The repetition code under the same adversary loses the bit.
         let majority = MajorityVotingEcc;
         let rep = majority.encode(&wm, out_len);
-        let rep_flipped: Vec<Option<bool>> = rep
-            .iter()
-            .enumerate()
-            .map(|(i, &b)| Some(if i % 8 == 2 { !b } else { b }))
-            .collect();
+        let rep_flipped: Vec<Option<bool>> =
+            rep.iter().enumerate().map(|(i, &b)| Some(if i % 8 == 2 { !b } else { b })).collect();
         let decoded = majority.decode(&rep_flipped, 8, &mut no_ties);
         assert_eq!(wm.hamming_distance(&decoded), 1, "repetition must lose exactly bit 2");
     }
@@ -438,11 +424,8 @@ mod tests {
         let data = hamming.encode(&wm, 70);
         // Two positions of the same block wiped: miscorrection allowed,
         // but the decode must still be a valid 4-bit watermark.
-        let flipped: Vec<Option<bool>> = data
-            .iter()
-            .enumerate()
-            .map(|(i, &b)| Some(if i % 7 <= 1 { !b } else { b }))
-            .collect();
+        let flipped: Vec<Option<bool>> =
+            data.iter().enumerate().map(|(i, &b)| Some(if i % 7 <= 1 { !b } else { b })).collect();
         let decoded = hamming.decode(&flipped, 4, &mut no_ties);
         assert_eq!(decoded.len(), 4);
         assert!(wm.hamming_distance(&decoded) >= 1, "double wipeout is beyond Hamming(7,4)");
@@ -453,7 +436,7 @@ mod tests {
         let ecc = HammingMajorityEcc;
         let wm = Watermark::from_u64(0x2AB, 10);
         let mut data = ecc.encode(&wm, 210); // 10 copies per codeword bit
-        // Flip 3 of 10 copies of several scattered positions.
+                                             // Flip 3 of 10 copies of several scattered positions.
         for (pos, k) in [(0, 0), (5, 1), (13, 2)] {
             for copy in 0..3 {
                 let idx = pos + 21 * (copy + k);

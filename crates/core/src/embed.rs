@@ -20,7 +20,7 @@ use catmark_relation::Relation;
 
 use crate::ecc::{ErrorCorrectingCode, MajorityVotingEcc};
 use crate::error::CoreError;
-use crate::fitness::FitnessSelector;
+use crate::plan::MarkPlan;
 use crate::quality::{Alteration, QualityGuard};
 use crate::spec::{Watermark, WatermarkSpec};
 
@@ -115,7 +115,10 @@ impl<'a> Embedder<'a> {
     }
 
     /// Fully general embedding: explicit attribute indices, pluggable
-    /// ECC, optional guard.
+    /// ECC, optional guard. Builds a fresh [`MarkPlan`] internally;
+    /// callers that already hold one (or share a
+    /// [`crate::plan::PlanCache`] with a later decode) should use
+    /// [`Embedder::embed_with_plan`].
     ///
     /// # Errors
     ///
@@ -127,7 +130,30 @@ impl<'a> Embedder<'a> {
         attr_idx: usize,
         wm: &Watermark,
         ecc: &dyn ErrorCorrectingCode,
+        guard: Option<&mut QualityGuard>,
+    ) -> Result<EmbedReport, CoreError> {
+        let plan = MarkPlan::build(self.spec, rel, key_idx);
+        self.embed_with_plan(rel, attr_idx, wm, ecc, guard, &plan)
+    }
+
+    /// Embedding over a precomputed [`MarkPlan`]: the per-tuple hash
+    /// work is already done, so this pass only rewrites values.
+    ///
+    /// Byte-identical to [`Embedder::embed_by_idx`] when the plan was
+    /// built from the same spec and relation.
+    ///
+    /// # Errors
+    ///
+    /// As [`Embedder::embed`], plus [`CoreError::InvalidSpec`] when
+    /// the plan does not match this spec/relation.
+    pub fn embed_with_plan(
+        &self,
+        rel: &mut Relation,
+        attr_idx: usize,
+        wm: &Watermark,
+        ecc: &dyn ErrorCorrectingCode,
         mut guard: Option<&mut QualityGuard>,
+        plan: &MarkPlan,
     ) -> Result<EmbedReport, CoreError> {
         if wm.len() != self.spec.wm_len {
             return Err(CoreError::InvalidSpec(format!(
@@ -136,12 +162,15 @@ impl<'a> Embedder<'a> {
                 self.spec.wm_len
             )));
         }
+        if !plan.matches(self.spec, rel) {
+            return Err(CoreError::InvalidSpec(
+                "mark plan was built for a different spec or relation".into(),
+            ));
+        }
         let wm_data = ecc.encode(wm, self.spec.wm_data_len);
-        let sel = FitnessSelector::new(self.spec);
-        let n = self.spec.domain.len() as u64;
         let mut report = EmbedReport {
-            total_tuples: rel.len(),
-            fit_tuples: 0,
+            total_tuples: plan.rows(),
+            fit_tuples: plan.fit().len(),
             altered: 0,
             unchanged: 0,
             vetoed: 0,
@@ -149,28 +178,24 @@ impl<'a> Embedder<'a> {
             touched_rows: Vec::new(),
         };
         let mut covered = vec![false; self.spec.wm_data_len];
-        for row in 0..rel.len() {
-            let key = rel.tuple(row).expect("row in range").get(key_idx).clone();
-            if !sel.is_fit(&key) {
-                continue;
-            }
-            report.fit_tuples += 1;
-            let idx = sel.position(&key);
+        for planned in plan.fit() {
+            let row = planned.row as usize;
+            let idx = planned.position as usize;
             let bit = wm_data[idx];
-            let base = sel.value_base(&key, n);
-            let t = crate::bits::force_lsb_in_domain(base, bit, n) as usize;
-            let new_value = self.spec.domain.value_at(t).clone();
-            let old_value = rel.tuple(row).expect("row in range").get(attr_idx).clone();
+            let t = plan.value_index(planned, bit);
+            let new_value = self.spec.domain.value_at(t);
+            let old_value = rel.tuple(row).expect("planned row in range").get(attr_idx);
             if old_value == new_value {
                 report.unchanged += 1;
                 covered[idx] = true;
                 continue;
             }
+            let new_value = new_value.clone();
             if let Some(g) = guard.as_deref_mut() {
                 let change = Alteration {
                     row,
                     attr: attr_idx,
-                    old: old_value,
+                    old: old_value.clone(),
                     new: new_value.clone(),
                 };
                 if !g.propose(change) {
@@ -191,6 +216,7 @@ impl<'a> Embedder<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fitness::FitnessSelector;
     use crate::quality::AlterationBudget;
     use catmark_datagen::{ItemScanConfig, SalesGenerator};
     use catmark_relation::Value;
@@ -330,8 +356,8 @@ mod tests {
         let (rel, spec, wm) = setup(3_000, 20);
         let mut marked = rel.clone();
         Embedder::new(&spec).embed(&mut marked, "visit_nbr", "item_nbr", &wm).unwrap();
-        let before: Vec<Value> = rel.column(0);
-        let after: Vec<Value> = marked.column(0);
+        let before: Vec<&Value> = rel.column(0);
+        let after: Vec<&Value> = marked.column(0);
         assert_eq!(before, after);
     }
 }

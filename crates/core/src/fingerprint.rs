@@ -16,18 +16,27 @@
 use catmark_crypto::SecretKey;
 use catmark_relation::Relation;
 
-use crate::detect::{detect, Detection};
 use crate::decode::Decoder;
+use crate::detect::{detect, Detection};
+use crate::ecc::MajorityVotingEcc;
 use crate::embed::{EmbedReport, Embedder};
 use crate::error::CoreError;
+use crate::plan::PlanCache;
 use crate::spec::{Watermark, WatermarkSpec};
 
 /// A registry of buyers sharing one base spec (master keys,
 /// parameters, domain).
+///
+/// The registry carries a [`PlanCache`]: tracing decodes the suspect
+/// under *every* buyer's keys, and a follow-up [`FingerprintRegistry::accuse`]
+/// (or repeated traces during an investigation) re-decodes the same
+/// copy — each `(buyer spec, suspect)` pair is planned once. Clones
+/// share the cache.
 #[derive(Debug, Clone)]
 pub struct FingerprintRegistry {
     base: WatermarkSpec,
     buyers: Vec<String>,
+    plans: PlanCache,
 }
 
 /// One buyer's trace result.
@@ -44,7 +53,7 @@ impl FingerprintRegistry {
     /// get derived subkeys).
     #[must_use]
     pub fn new(base: WatermarkSpec) -> Self {
-        FingerprintRegistry { base, buyers: Vec::new() }
+        FingerprintRegistry { base, buyers: Vec::new(), plans: PlanCache::new() }
     }
 
     /// Register a buyer (idempotent).
@@ -71,9 +80,8 @@ impl FingerprintRegistry {
     /// truncated to `wm_len` (reproducible by the seller alone).
     #[must_use]
     pub fn mark_for(&self, buyer: &str) -> Watermark {
-        let key = SecretKey::from_bytes(
-            [self.base.k1.as_bytes(), b"fingerprint".as_slice()].concat(),
-        );
+        let key =
+            SecretKey::from_bytes([self.base.k1.as_bytes(), b"fingerprint".as_slice()].concat());
         Watermark::from_identity(buyer, &key, self.base.wm_len)
     }
 
@@ -111,11 +119,19 @@ impl FingerprintRegistry {
         key_attr: &str,
         target_attr: &str,
     ) -> Result<Vec<TraceResult>, CoreError> {
+        let key_idx = suspect.schema().index_of(key_attr)?;
+        let attr_idx = suspect.schema().index_of(target_attr)?;
         let mut results = Vec::with_capacity(self.buyers.len());
         for buyer in &self.buyers {
             let spec = self.spec_for(buyer);
             let wm = self.mark_for(buyer);
-            let decode = Decoder::new(&spec).decode(suspect, key_attr, target_attr)?;
+            let plan = self.plans.plan_for(&spec, suspect, key_idx)?;
+            let decode = Decoder::new(&spec).decode_with_plan(
+                suspect,
+                attr_idx,
+                &MajorityVotingEcc,
+                &plan,
+            )?;
             results.push(TraceResult {
                 buyer: buyer.clone(),
                 detection: detect(&decode.watermark, &wm),
@@ -234,14 +250,10 @@ mod tests {
         // Interleave: first half of A's rows, second half of B's.
         let mut merged = Relation::with_capacity(rel.schema().clone(), rel.len());
         for row in 0..rel.len() / 2 {
-            merged
-                .push_unchecked_key(copy_a.tuple(row).unwrap().values().to_vec())
-                .unwrap();
+            merged.push_unchecked_key(copy_a.tuple(row).unwrap().values().to_vec()).unwrap();
         }
         for row in rel.len() / 2..rel.len() {
-            merged
-                .push_unchecked_key(copy_b.tuple(row).unwrap().values().to_vec())
-                .unwrap();
+            merged.push_unchecked_key(copy_b.tuple(row).unwrap().values().to_vec()).unwrap();
         }
         let results = reg.trace(&merged, "visit_nbr", "item_nbr").unwrap();
         let top2: Vec<&str> = results[..2].iter().map(|r| r.buyer.as_str()).collect();

@@ -20,6 +20,29 @@ pub struct FitnessSelector {
     wm_data_len: u64,
 }
 
+/// The per-tuple facts of one **fit** tuple, derived from a single
+/// evaluation of `H(key, k1)` plus one of `H(key, k2)`.
+///
+/// Historically every consumer re-derived these piecewise — `is_fit`
+/// hashed `k1`, `value_base` hashed `k1` *again*, `position` hashed
+/// `k2` — paying two `H(·, k1)` evaluations per fit tuple. `facts`
+/// hashes each key exactly once per keyed hash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FitFacts {
+    /// The `wm_data` position this tuple carries.
+    pub position: usize,
+    /// Top 32 bits of `H(key, k1)` — the pre-reduction value base.
+    pub base_raw: u64,
+}
+
+impl FitFacts {
+    /// The pseudorandom base index into a value domain of size `n`.
+    #[must_use]
+    pub fn value_base(&self, n: u64) -> u64 {
+        self.base_raw % n
+    }
+}
+
 impl FitnessSelector {
     /// Selector from a spec.
     #[must_use]
@@ -32,16 +55,37 @@ impl FitnessSelector {
         }
     }
 
-    /// `H(key, k1)` — the fitness/value-selection hash.
+    /// `H(key, k1)` — the fitness/value-selection hash
+    /// (allocation-free: the key streams its canonical encoding into
+    /// the digest).
     #[must_use]
     pub fn hash1(&self, key: &Value) -> u64 {
-        self.keyed1.hash_u64(&[&key.canonical_bytes()])
+        self.keyed1.hash_canonical_u64(key)
     }
 
     /// Whether the tuple with primary key `key` is fit.
     #[must_use]
     pub fn is_fit(&self, key: &Value) -> bool {
         self.hash1(key).is_multiple_of(self.e)
+    }
+
+    /// Fitness plus the derived facts, from **one** `H(key, k1)`
+    /// evaluation: `None` when the tuple is unfit, otherwise its
+    /// `wm_data` position and value base.
+    ///
+    /// This is the single hot path shared by [`crate::plan::MarkPlan`]
+    /// and the streaming marker; prefer it over separate
+    /// `is_fit`/`position`/`value_base` calls, which rehash.
+    #[must_use]
+    pub fn facts(&self, key: &Value) -> Option<FitFacts> {
+        let h1 = self.hash1(key);
+        if !h1.is_multiple_of(self.e) {
+            return None;
+        }
+        Some(FitFacts {
+            position: (self.keyed2.hash_canonical_u64(key) % self.wm_data_len) as usize,
+            base_raw: h1 >> 32,
+        })
     }
 
     /// The `wm_data` position carried by the fit tuple with key `key`:
@@ -54,7 +98,7 @@ impl FitnessSelector {
     /// makes the scheme survive subset selection and addition.
     #[must_use]
     pub fn position(&self, key: &Value) -> usize {
-        (self.keyed2.hash_u64(&[&key.canonical_bytes()]) % self.wm_data_len) as usize
+        (self.keyed2.hash_canonical_u64(key) % self.wm_data_len) as usize
     }
 
     /// The pseudorandom base index into the value domain for a fit
@@ -67,6 +111,10 @@ impl FitnessSelector {
     /// `n = 1000` would only ever select indices divisible by 20,
     /// pinning the embedded LSB). The top 32 bits remain uniform
     /// conditioned on the fitness residue.
+    ///
+    /// Convenience form that re-evaluates `H(key, k1)`; loops that
+    /// already tested fitness should use [`FitnessSelector::facts`]
+    /// and [`FitFacts::value_base`] instead, which hash once.
     #[must_use]
     pub fn value_base(&self, key: &Value, n: u64) -> u64 {
         (self.hash1(key) >> 32) % n
@@ -186,5 +234,29 @@ mod tests {
         for i in 0..1000i64 {
             assert!(sel.value_base(&Value::Int(i), 7) < 7);
         }
+    }
+
+    #[test]
+    fn facts_agree_with_piecewise_accessors() {
+        // The single-hash path must reproduce the historical
+        // three-hash path bit for bit, for both key types.
+        let sel = FitnessSelector::new(&spec(20));
+        let keys =
+            (0..5_000i64).map(Value::Int).chain((0..500).map(|i| Value::Text(format!("key-{i}"))));
+        let mut fit_seen = 0;
+        for key in keys {
+            match sel.facts(&key) {
+                Some(f) => {
+                    fit_seen += 1;
+                    assert!(sel.is_fit(&key));
+                    assert_eq!(f.position, sel.position(&key));
+                    for n in [7u64, 100, 1000] {
+                        assert_eq!(f.value_base(n), sel.value_base(&key, n));
+                    }
+                }
+                None => assert!(!sel.is_fit(&key)),
+            }
+        }
+        assert!(fit_seen > 100, "fixture too small: {fit_seen}");
     }
 }

@@ -195,9 +195,7 @@ impl FreqCodec {
             if imbalance > 0 {
                 let t = targets.iter_mut().min().expect("at least one group");
                 *t += two;
-            } else if let Some(t) =
-                targets.iter_mut().filter(|t| **t >= two).max()
-            {
+            } else if let Some(t) = targets.iter_mut().filter(|t| **t >= two).max() {
                 *t -= two;
             } else {
                 return; // pathological: total smaller than one cell per group
@@ -241,9 +239,8 @@ impl FreqCodec {
         // Desired targets per group: nearest parity-correct point,
         // then rebalanced so they are jointly reachable (group moves
         // conserve the total).
-        let mut targets: Vec<u64> = (0..self.wm_len)
-            .map(|j| self.target_for(sums[j], wm.bit(j)))
-            .collect();
+        let mut targets: Vec<u64> =
+            (0..self.wm_len).map(|j| self.target_for(sums[j], wm.bit(j))).collect();
         self.balance_targets(&mut targets, total);
         let mut deltas: Vec<i64> =
             (0..self.wm_len).map(|j| targets[j] as i64 - sums[j] as i64).collect();
@@ -276,9 +273,8 @@ impl FreqCodec {
         let mut current = sums;
         while let (Some(&d), Some(&a)) = (donors.last(), acceptors.last()) {
             let row = rows_by_group[d].pop().expect("group sum equals its row count");
-            let new_value = acceptor_value[a]
-                .clone()
-                .expect("acceptor group has at least one domain value");
+            let new_value =
+                acceptor_value[a].clone().expect("acceptor group has at least one domain value");
             rel.update_value(row, attr_idx, new_value)?;
             moved += 1;
             deltas[d] += 1;
@@ -350,11 +346,7 @@ mod tests {
         let c = codec(40);
         let wm = Watermark::from_u64(0b0110_1001, 8);
         let report = c.embed(&mut rel, "item_nbr", &domain, &wm).unwrap();
-        let changed = original
-            .iter()
-            .zip(rel.iter())
-            .filter(|(a, b)| a != b)
-            .count();
+        let changed = original.iter().zip(rel.iter()).filter(|(a, b)| a != b).count();
         assert_eq!(changed, report.moved);
         // At most ~1.5 cells of movement per group.
         assert!(changed <= 8 * 60, "changed {changed}");
@@ -438,7 +430,7 @@ mod tests {
         assert!(!c.parity(5)); // cell 0
         assert!(c.parity(15)); // cell 1
         assert!(!c.parity(25)); // cell 2
-        // Already-correct sum away from edges stays put.
+                                // Already-correct sum away from edges stays put.
         assert_eq!(c.target_for(15, true), 15);
         // Correct cell but near the edge: recentered to 15.
         assert_eq!(c.target_for(10, true), 15);

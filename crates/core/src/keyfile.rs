@@ -103,15 +103,18 @@ pub fn from_key_file(text: &str) -> Result<WatermarkSpec, CoreError> {
         if line.is_empty() {
             continue;
         }
-        let (field, rest) = line
-            .split_once(' ')
-            .ok_or_else(|| bad(format!("line {}: missing value", idx + 2)))?;
+        let (field, rest) =
+            line.split_once(' ').ok_or_else(|| bad(format!("line {}: missing value", idx + 2)))?;
         match field {
             "algo" => {
                 algo = Some(rest.parse().map_err(|e| bad(format!("algo: {e}")))?);
             }
-            "k1" => k1 = Some(SecretKey::from_bytes(from_hex(rest).map_err(|e| bad(e.to_string()))?)),
-            "k2" => k2 = Some(SecretKey::from_bytes(from_hex(rest).map_err(|e| bad(e.to_string()))?)),
+            "k1" => {
+                k1 = Some(SecretKey::from_bytes(from_hex(rest).map_err(|e| bad(e.to_string()))?))
+            }
+            "k2" => {
+                k2 = Some(SecretKey::from_bytes(from_hex(rest).map_err(|e| bad(e.to_string()))?))
+            }
             "e" => e = Some(rest.parse::<u64>().map_err(|e| bad(format!("e: {e}")))?),
             "wm_len" => {
                 wm_len = Some(rest.parse::<usize>().map_err(|e| bad(format!("wm_len: {e}")))?);
@@ -143,8 +146,7 @@ pub fn from_key_file(text: &str) -> Result<WatermarkSpec, CoreError> {
             other => return Err(bad(format!("unknown field {other:?}"))),
         }
     }
-    let domain = CategoricalDomain::new(domain_values)
-        .map_err(|e| bad(format!("domain: {e}")))?;
+    let domain = CategoricalDomain::new(domain_values).map_err(|e| bad(format!("domain: {e}")))?;
     let spec = WatermarkSpec::builder(domain)
         .algorithm(algo.ok_or_else(|| bad("missing algo".into()))?)
         .keys(
@@ -165,8 +167,8 @@ mod tests {
     use crate::decode::Decoder;
     use crate::embed::Embedder;
     use crate::spec::Watermark;
-    use catmark_datagen::{domains, ItemScanConfig, SalesGenerator};
     use catmark_crypto::HashAlgorithm;
+    use catmark_datagen::{domains, ItemScanConfig, SalesGenerator};
 
     fn spec() -> WatermarkSpec {
         WatermarkSpec::builder(domains::product_codes(50, 1000))
@@ -226,9 +228,11 @@ mod tests {
         assert!(from_key_file("").is_err());
         assert!(from_key_file("not-a-key-file v9\n").is_err());
         let mut missing_k1 = to_key_file(&spec());
-        missing_k1 = missing_k1.lines().filter(|l| !l.starts_with("k1")).collect::<Vec<_>>().join("\n");
+        missing_k1 =
+            missing_k1.lines().filter(|l| !l.starts_with("k1")).collect::<Vec<_>>().join("\n");
         assert!(from_key_file(&missing_k1).is_err());
-        let truncated_domain = format!("{MAGIC}\nalgo sha256\nk1 aa\nk2 bb\ne 5\nwm_len 4\nwm_data_len 8\n");
+        let truncated_domain =
+            format!("{MAGIC}\nalgo sha256\nk1 aa\nk2 bb\ne 5\nwm_len 4\nwm_data_len 8\n");
         assert!(from_key_file(&truncated_domain).is_err(), "empty domain must fail");
         let unknown_field = format!("{}\nbogus 1\n", to_key_file(&spec()).trim());
         assert!(from_key_file(&unknown_field).is_err());

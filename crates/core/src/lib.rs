@@ -25,6 +25,7 @@
 //! |---|---|
 //! | §2.1 notation (`b(·)`, `msb`, `set_bit`) | [`bits`] |
 //! | §3.2.1 fit-tuple selection | [`fitness`] |
+//! | shared per-tuple fact layer (plans, caching) | [`plan`] |
 //! | §3.2.1 error correction (majority voting) | [`ecc`] |
 //! | §3.2.1 mark encoding | [`embed`] |
 //! | §3.2.2 mark decoding | [`decode`] |
@@ -46,7 +47,7 @@
 //! # Quickstart
 //!
 //! ```
-//! use catmark_core::{Embedder, Decoder, Watermark, WatermarkSpec};
+//! use catmark_core::{Embedder, Decoder, ErasurePolicy, Watermark, WatermarkSpec};
 //! use catmark_crypto::HashAlgorithm;
 //! use catmark_datagen::{ItemScanConfig, SalesGenerator};
 //! use catmark_relation::CategoricalDomain;
@@ -56,12 +57,14 @@
 //! let mut rel = gen.generate();
 //!
 //! // Key material: two secret keys, the fitness modulus e, and the
-//! // attribute's value domain.
+//! // attribute's value domain. e = 10 over 2000 tuples puts ~5
+//! // redundant copies behind each of the 40 wm_data positions.
 //! let spec = WatermarkSpec::builder(gen.item_domain())
 //!     .master_key("my-secret")
-//!     .e(30)
+//!     .e(10)
 //!     .wm_len(10)
-//!     .expected_tuples(rel.len())
+//!     .wm_data_len(40)
+//!     .erasure(ErasurePolicy::Abstain)
 //!     .build()
 //!     .unwrap();
 //!
@@ -93,6 +96,7 @@ pub mod freq;
 pub mod keyfile;
 pub mod map_variant;
 pub mod multiattr;
+pub mod plan;
 pub mod power;
 pub mod quality;
 pub mod query_preserve;
@@ -105,5 +109,6 @@ pub use decode::{DecodeReport, Decoder, ErasurePolicy};
 pub use detect::{detect, Detection};
 pub use embed::{EmbedReport, Embedder};
 pub use error::CoreError;
-pub use fitness::FitnessSelector;
+pub use fitness::{FitFacts, FitnessSelector};
+pub use plan::{MarkPlan, PlanCache, PlannedRow};
 pub use spec::{Watermark, WatermarkSpec, WatermarkSpecBuilder};

@@ -86,24 +86,25 @@ pub fn embed_with_map(
     }
     let key_idx = rel.schema().index_of(key_attr)?;
     let attr_idx = rel.schema().index_of(target_attr)?;
-    let sel = FitnessSelector::new(spec);
     let n = spec.domain.len() as u64;
 
-    // First pass: find fit rows so wm_data can be sized exactly.
-    let fit_rows = sel.fit_rows(rel, key_idx);
-    if fit_rows.is_empty() {
+    // One planned pass finds the fit rows (so wm_data can be sized
+    // exactly) *and* their value bases — the historical code rehashed
+    // every fit key a second time for the base.
+    let plan = crate::plan::MarkPlan::build(spec, rel, key_idx);
+    if plan.is_empty() {
         return Err(CoreError::EmptyEmbedding);
     }
-    let wm_data_len = fit_rows.len().max(wm.len());
+    let wm_data_len = plan.fit().len().max(wm.len());
     let ecc = MajorityVotingEcc;
     let wm_data = ecc.encode(wm, wm_data_len);
 
-    let mut map = EmbeddingMap { entries: HashMap::with_capacity(fit_rows.len()), wm_data_len };
-    for (idx, row) in fit_rows.into_iter().enumerate() {
+    let mut map = EmbeddingMap { entries: HashMap::with_capacity(plan.fit().len()), wm_data_len };
+    for (idx, planned) in plan.fit().iter().enumerate() {
+        let row = planned.row as usize;
         let key = rel.tuple(row).expect("row in range").get(key_idx).clone();
         let bit = wm_data[idx];
-        let base = sel.value_base(&key, n);
-        let t = crate::bits::force_lsb_in_domain(base, bit, n) as usize;
+        let t = crate::bits::force_lsb_in_domain(u64::from(planned.value_base), bit, n) as usize;
         let new_value = spec.domain.value_at(t).clone();
         rel.update_value(row, attr_idx, new_value)?;
         map.entries.insert(key, idx);
@@ -238,7 +239,8 @@ mod tests {
     #[test]
     fn wrong_length_watermark_rejected() {
         let (mut rel, spec, _) = setup(100, 30);
-        let err = embed_with_map(&spec, &mut rel, "visit_nbr", "item_nbr", &Watermark::from_u64(0, 3));
+        let err =
+            embed_with_map(&spec, &mut rel, "visit_nbr", "item_nbr", &Watermark::from_u64(0, 3));
         assert!(matches!(err, Err(CoreError::InvalidSpec(_))));
     }
 }

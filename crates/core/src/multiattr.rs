@@ -194,17 +194,41 @@ pub fn embed_multiattr(
     rel: &mut Relation,
     wm: &Watermark,
 ) -> Result<Vec<PairEmbedOutcome>, CoreError> {
+    embed_multiattr_with_cache(plan, rel, wm, &crate::plan::PlanCache::new())
+}
+
+/// [`embed_multiattr`] over a shared [`crate::plan::PlanCache`].
+///
+/// Each pair plans its pseudo-key column once; sharing the cache with
+/// a later [`decode_multiattr_with_cache`] over the same relation
+/// skips re-planning every pair whose pseudo-key column the embedding
+/// left untouched (always true for the `(K, ·)` pairs and for the
+/// pair-closure's final pass).
+///
+/// # Errors
+///
+/// Propagates embedding errors from any pass.
+pub fn embed_multiattr_with_cache(
+    plan: &MultiAttrPlan,
+    rel: &mut Relation,
+    wm: &Watermark,
+    cache: &crate::plan::PlanCache,
+) -> Result<Vec<PairEmbedOutcome>, CoreError> {
     let mut touched: HashMap<String, HashSet<usize>> = HashMap::new();
     let mut outcomes = Vec::with_capacity(plan.pairs.len());
     for pair in &plan.pairs {
+        let key_idx = rel.schema().index_of(&pair.pseudo_key)?;
+        let attr_idx = rel.schema().index_of(&pair.target)?;
         let already = touched.entry(pair.target.clone()).or_default().clone();
         let mut guard = QualityGuard::new(vec![Box::new(ImmutableRows::new(already))]);
-        let report = Embedder::new(&pair.spec).embed_guarded(
+        let mark_plan = cache.plan_for(&pair.spec, rel, key_idx)?;
+        let report = Embedder::new(&pair.spec).embed_with_plan(
             rel,
-            &pair.pseudo_key,
-            &pair.target,
+            attr_idx,
             wm,
-            &mut guard,
+            &crate::ecc::MajorityVotingEcc,
+            Some(&mut guard),
+            &mark_plan,
         )?;
         let ledger = touched.get_mut(&pair.target).expect("entry created above");
         for &row in &report.touched_rows {
@@ -244,14 +268,35 @@ pub fn decode_multiattr(
     rel: &Relation,
     claimed: &Watermark,
 ) -> Result<Vec<PairWitness>, CoreError> {
+    decode_multiattr_with_cache(plan, rel, claimed, &crate::plan::PlanCache::new())
+}
+
+/// [`decode_multiattr`] over a shared [`crate::plan::PlanCache`]; see
+/// [`embed_multiattr_with_cache`] for when sharing pays.
+///
+/// # Errors
+///
+/// As [`decode_multiattr`].
+pub fn decode_multiattr_with_cache(
+    plan: &MultiAttrPlan,
+    rel: &Relation,
+    claimed: &Watermark,
+    cache: &crate::plan::PlanCache,
+) -> Result<Vec<PairWitness>, CoreError> {
     let mut witnesses = Vec::new();
     for pair in &plan.pairs {
-        if rel.schema().index_of(&pair.pseudo_key).is_err()
-            || rel.schema().index_of(&pair.target).is_err()
-        {
+        let (Ok(key_idx), Ok(attr_idx)) =
+            (rel.schema().index_of(&pair.pseudo_key), rel.schema().index_of(&pair.target))
+        else {
             continue; // partitioned away
-        }
-        let decode = Decoder::new(&pair.spec).decode(rel, &pair.pseudo_key, &pair.target)?;
+        };
+        let mark_plan = cache.plan_for(&pair.spec, rel, key_idx)?;
+        let decode = Decoder::new(&pair.spec).decode_with_plan(
+            rel,
+            attr_idx,
+            &crate::ecc::MajorityVotingEcc,
+            &mark_plan,
+        )?;
         let detection = detect(&decode.watermark, claimed);
         witnesses.push(PairWitness { label: pair.label(), decode, detection });
     }
@@ -355,11 +400,8 @@ mod tests {
     #[test]
     fn pair_bandwidth_uses_distinct_values_for_non_key_pseudo_keys() {
         let (_, plan, _) = fixture();
-        let ab = plan
-            .pairs()
-            .iter()
-            .find(|p| p.pseudo_key == "supplier")
-            .expect("A-B pair present");
+        let ab =
+            plan.pairs().iter().find(|p| p.pseudo_key == "supplier").expect("A-B pair present");
         // 300 distinct suppliers / e = 5 → 60 positions, while the
         // (K, ·) pairs use row count: 8000 / 5 = 1600.
         assert_eq!(ab.spec.wm_data_len, 60);

@@ -1,0 +1,519 @@
+//! The shared mark-plan layer: one (optionally parallel) pass over a
+//! relation that computes every per-tuple fact the watermarking
+//! operators need, computed once and consumed by all of them.
+//!
+//! Everything in the paper's scheme is a pure function of the keyed
+//! hashes of each tuple's primary key: the fitness bit
+//! (`H(key, k1) mod e == 0`), the `wm_data` position
+//! (`H(key, k2) mod |wm_data|`), and the pseudorandom value base
+//! (`msb32(H(key, k1)) mod nA`). Historically the embedder, the blind
+//! decoder, the stream marker, the multi-attribute passes, the
+//! fingerprint tracer, and the contest resolver each recomputed those
+//! hashes independently — and the fitness test and value base each
+//! evaluated `H(·, k1)` separately, doubling the dominant cost.
+//!
+//! [`MarkPlan`] performs the pass once per `(spec keys, key column)`
+//! pair, storing only the fit rows (≈ N/e entries), and every operator
+//! consumes the same plan. [`PlanCache`] memoizes plans across
+//! operators — an embed → decode round trip over the same relation
+//! hashes the key column **once** instead of twice (and instead of
+//! four `H(·, k1)` passes in the historical code). Plan construction
+//! can fan out over threads; chunked row ranges are merged in order,
+//! so sequential and parallel builds are byte-identical (pinned by
+//! test).
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use catmark_relation::Relation;
+
+use crate::error::CoreError;
+use crate::fitness::FitnessSelector;
+use crate::spec::WatermarkSpec;
+
+/// The planned facts for one fit tuple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlannedRow {
+    /// Row index in the planned relation.
+    pub row: u32,
+    /// The `wm_data` position this tuple carries.
+    pub position: u32,
+    /// Value base, already reduced modulo the domain size `nA`.
+    pub value_base: u32,
+}
+
+/// Per-tuple facts for one `(spec, key column)` pair: the fit rows
+/// with their positions and value bases, in ascending row order.
+#[derive(Debug, Clone)]
+pub struct MarkPlan {
+    spec_id: u64,
+    key_idx: usize,
+    column_fp: u64,
+    rows: usize,
+    n: u64,
+    fit: Vec<PlannedRow>,
+}
+
+impl MarkPlan {
+    /// Build the plan for `rel` keyed by attribute `key_idx`, choosing
+    /// sequential or parallel construction by relation size and
+    /// available parallelism.
+    #[must_use]
+    pub fn build(spec: &WatermarkSpec, rel: &Relation, key_idx: usize) -> MarkPlan {
+        Self::build_knowing_fp(spec, rel, key_idx, column_fingerprint(rel, key_idx))
+    }
+
+    /// [`MarkPlan::build`] with the key-column fingerprint already in
+    /// hand (the cache computes it for its lookup key; no need to walk
+    /// the column twice).
+    fn build_knowing_fp(
+        spec: &WatermarkSpec,
+        rel: &Relation,
+        key_idx: usize,
+        column_fp: u64,
+    ) -> MarkPlan {
+        let threads = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+        if threads < 2 || rel.len() < 16_384 {
+            Self::sequential_knowing_fp(spec, rel, key_idx, column_fp)
+        } else {
+            Self::threaded_knowing_fp(spec, rel, key_idx, threads, column_fp)
+        }
+    }
+
+    /// Single-threaded plan construction — the reference semantics.
+    #[must_use]
+    pub fn build_sequential(spec: &WatermarkSpec, rel: &Relation, key_idx: usize) -> MarkPlan {
+        Self::sequential_knowing_fp(spec, rel, key_idx, column_fingerprint(rel, key_idx))
+    }
+
+    fn sequential_knowing_fp(
+        spec: &WatermarkSpec,
+        rel: &Relation,
+        key_idx: usize,
+        column_fp: u64,
+    ) -> MarkPlan {
+        let sel = FitnessSelector::new(spec);
+        let n = domain_size(spec);
+        let mut fit = Vec::with_capacity(fit_estimate(rel.len(), spec.e));
+        for (row, tuple) in rel.iter().enumerate() {
+            if let Some(facts) = sel.facts(tuple.get(key_idx)) {
+                fit.push(planned(row, &facts, n));
+            }
+        }
+        MarkPlan { spec_id: spec_identity(spec), key_idx, column_fp, rows: rel.len(), n, fit }
+    }
+
+    /// Plan construction fanned out over `threads` scoped threads.
+    ///
+    /// Rows are split into contiguous chunks, each scanned
+    /// independently, and the per-chunk fit lists concatenated in
+    /// chunk order — the result is byte-identical to
+    /// [`MarkPlan::build_sequential`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `threads == 0`.
+    #[must_use]
+    pub fn build_with_threads(
+        spec: &WatermarkSpec,
+        rel: &Relation,
+        key_idx: usize,
+        threads: usize,
+    ) -> MarkPlan {
+        Self::threaded_knowing_fp(spec, rel, key_idx, threads, column_fingerprint(rel, key_idx))
+    }
+
+    fn threaded_knowing_fp(
+        spec: &WatermarkSpec,
+        rel: &Relation,
+        key_idx: usize,
+        threads: usize,
+        column_fp: u64,
+    ) -> MarkPlan {
+        assert!(threads > 0, "at least one thread required");
+        let rows = rel.len();
+        let chunk = rows.div_ceil(threads).max(1);
+        let sel = FitnessSelector::new(spec);
+        let n = domain_size(spec);
+        let mut chunks: Vec<Vec<PlannedRow>> = Vec::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..rows)
+                .step_by(chunk)
+                .map(|start| {
+                    let sel = &sel;
+                    let end = (start + chunk).min(rows);
+                    scope.spawn(move || {
+                        let mut fit = Vec::with_capacity(fit_estimate(end - start, spec.e));
+                        scan_rows(sel, rel, key_idx, start..end, n, &mut fit);
+                        fit
+                    })
+                })
+                .collect();
+            chunks = handles
+                .into_iter()
+                .map(|h| h.join().expect("plan scan threads do not panic"))
+                .collect();
+        });
+        let fit = chunks.concat();
+        MarkPlan { spec_id: spec_identity(spec), key_idx, column_fp, rows, n, fit }
+    }
+
+    /// The fit tuples, ascending by row.
+    #[must_use]
+    pub fn fit(&self) -> &[PlannedRow] {
+        &self.fit
+    }
+
+    /// Rows in the planned relation (the paper's `N`).
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Whether the plan is empty (no fit tuples).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.fit.is_empty()
+    }
+
+    /// The domain value index a fit tuple must carry for watermark bit
+    /// `bit`: the value base with its LSB forced, kept inside the
+    /// domain.
+    #[must_use]
+    pub fn value_index(&self, planned: &PlannedRow, bit: bool) -> usize {
+        crate::bits::force_lsb_in_domain(u64::from(planned.value_base), bit, self.n) as usize
+    }
+
+    /// Whether this plan was built under `spec` for `rel`'s key
+    /// column: same keyed parameters and domain size, same row count,
+    /// and the same key-column **content** (verified through the
+    /// column fingerprint, so a shuffled, subsetted, or re-keyed
+    /// relation of equal length is rejected rather than silently
+    /// decoded against stale row indices).
+    ///
+    /// Costs one cheap fingerprint pass over the key column — two
+    /// orders of magnitude below the keyed-hash pass a stale plan
+    /// would corrupt.
+    #[must_use]
+    pub fn matches(&self, spec: &WatermarkSpec, rel: &Relation) -> bool {
+        self.spec_id == spec_identity(spec)
+            && self.rows == rel.len()
+            && self.key_idx < rel.schema().arity()
+            && self.column_fp == column_fingerprint(rel, self.key_idx)
+    }
+}
+
+/// Scan `range` of `rel`, appending planned facts for fit rows.
+fn scan_rows(
+    sel: &FitnessSelector,
+    rel: &Relation,
+    key_idx: usize,
+    range: std::ops::Range<usize>,
+    n: u64,
+    out: &mut Vec<PlannedRow>,
+) {
+    for row in range {
+        let key = rel.tuple(row).expect("row in range").get(key_idx);
+        if let Some(facts) = sel.facts(key) {
+            out.push(planned(row, &facts, n));
+        }
+    }
+}
+
+/// Expected fit-list capacity for `rows` rows at modulus `e`, with
+/// ~4σ binomial slack to avoid a mid-scan reallocation.
+fn fit_estimate(rows: usize, e: u64) -> usize {
+    let e = usize::try_from(e).unwrap_or(1).max(1);
+    let mean = rows / e;
+    mean + 4 * (mean as f64).sqrt() as usize + 8
+}
+
+fn planned(row: usize, facts: &crate::fitness::FitFacts, n: u64) -> PlannedRow {
+    PlannedRow {
+        row: u32::try_from(row).expect("relations hold fewer than 2^32 rows"),
+        position: u32::try_from(facts.position).expect("wm_data_len fits in u32"),
+        value_base: u32::try_from(facts.value_base(n)).expect("domain size fits in u32"),
+    }
+}
+
+fn domain_size(spec: &WatermarkSpec) -> u64 {
+    spec.domain.len() as u64
+}
+
+/// FNV-1a identity of the spec parameters a plan depends on. The
+/// domain participates through its size only: the plan stores value
+/// *indices*, which depend on `nA` but not on the values themselves.
+fn spec_identity(spec: &WatermarkSpec) -> u64 {
+    let mut h = Fnv::new();
+    h.write(&[match spec.algo {
+        catmark_crypto::HashAlgorithm::Md5 => 1,
+        catmark_crypto::HashAlgorithm::Sha1 => 2,
+        catmark_crypto::HashAlgorithm::Sha256 => 3,
+    }]);
+    h.write(spec.k1.as_bytes());
+    h.write(&[0xFF]);
+    h.write(spec.k2.as_bytes());
+    h.write(&spec.e.to_be_bytes());
+    h.write(&(spec.wm_data_len as u64).to_be_bytes());
+    h.write(&domain_size(spec).to_be_bytes());
+    h.finish()
+}
+
+/// Cheap (non-cryptographic) content fingerprint of the key column —
+/// how [`PlanCache`] recognizes a relation it has already planned.
+/// Integer keys mix word-wide (SplitMix64 finalizer per row); text
+/// keys fold FNV-1a over their bytes first. Two orders of magnitude
+/// cheaper than one keyed SHA-256 pass over the same column. Not
+/// collision-resistant against adversarial inputs: the cache is a
+/// same-process memoization, not an integrity boundary.
+fn column_fingerprint(rel: &Relation, key_idx: usize) -> u64 {
+    fn mix(h: u64, v: u64) -> u64 {
+        (h ^ v).wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(23)
+    }
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for value in rel.column_iter(key_idx) {
+        h = match value {
+            catmark_relation::Value::Int(i) => mix(h, *i as u64 ^ 0x0100_0000_0000_0000),
+            catmark_relation::Value::Text(s) => {
+                let mut f = Fnv::new();
+                f.write(&[0x02]);
+                f.write(s.as_bytes());
+                mix(h, f.finish())
+            }
+        };
+    }
+    h
+}
+
+/// Minimal FNV-1a state.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xCBF2_9CE4_8422_2325)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x1000_0000_01B3);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Memoizes [`MarkPlan`]s keyed by `(spec identity, key attribute,
+/// key-column content fingerprint)`.
+///
+/// Sharing one cache across an embed → decode round trip (or across
+/// repeated traces of the same suspect copy) collapses the keyed-hash
+/// work to a single pass over the key column. The cache is
+/// thread-safe; clones share the same underlying store. Memoization
+/// is bounded: when the store reaches [`PlanCache::CAPACITY`] distinct
+/// plans it resets, so a long-lived holder (e.g. a fingerprint
+/// registry tracing an endless stream of suspect copies) cannot grow
+/// without bound.
+#[derive(Debug, Clone, Default)]
+pub struct PlanCache {
+    inner: Arc<Mutex<HashMap<PlanKey, Arc<MarkPlan>>>>,
+}
+
+/// `(spec identity, key attribute index, key-column fingerprint)`.
+type PlanKey = (u64, usize, u64);
+
+impl PlanCache {
+    /// Distinct plans memoized before the store resets.
+    pub const CAPACITY: usize = 64;
+
+    /// Fresh, empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The plan for `(spec, rel, key_idx)`, building and memoizing it
+    /// on first request.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Relation`] when `key_idx` is out of schema range.
+    pub fn plan_for(
+        &self,
+        spec: &WatermarkSpec,
+        rel: &Relation,
+        key_idx: usize,
+    ) -> Result<Arc<MarkPlan>, CoreError> {
+        if key_idx >= rel.schema().arity() {
+            return Err(CoreError::Relation(catmark_relation::RelationError::InvalidSchema(
+                format!("key attribute index {key_idx} out of range"),
+            )));
+        }
+        let key = (spec_identity(spec), key_idx, column_fingerprint(rel, key_idx));
+        if let Some(plan) = self.inner.lock().expect("plan cache is never poisoned").get(&key) {
+            return Ok(Arc::clone(plan));
+        }
+        // Build outside the lock: plans are immutable, so two threads
+        // racing on the same key at worst build twice and agree; and a
+        // long build never blocks other cache users (or poisons the
+        // mutex if it panics).
+        let plan = Arc::new(MarkPlan::build_knowing_fp(spec, rel, key_idx, key.2));
+        let mut inner = self.inner.lock().expect("plan cache is never poisoned");
+        if inner.len() >= Self::CAPACITY && !inner.contains_key(&key) {
+            inner.clear();
+        }
+        Ok(Arc::clone(inner.entry(key).or_insert(plan)))
+    }
+
+    /// Number of memoized plans.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("plan cache is never poisoned").len()
+    }
+
+    /// Whether the cache is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop all memoized plans.
+    pub fn clear(&self) {
+        self.inner.lock().expect("plan cache is never poisoned").clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use catmark_datagen::{ItemScanConfig, SalesGenerator};
+    use catmark_relation::Value;
+
+    fn fixture(tuples: usize, e: u64) -> (Relation, WatermarkSpec) {
+        let gen = SalesGenerator::new(ItemScanConfig { tuples, ..Default::default() });
+        let rel = gen.generate();
+        let spec = WatermarkSpec::builder(gen.item_domain())
+            .master_key("plan-tests")
+            .e(e)
+            .wm_len(10)
+            .expected_tuples(tuples)
+            .build()
+            .unwrap();
+        (rel, spec)
+    }
+
+    #[test]
+    fn plan_agrees_with_fitness_selector() {
+        let (rel, spec) = fixture(4_000, 20);
+        let plan = MarkPlan::build_sequential(&spec, &rel, 0);
+        let sel = FitnessSelector::new(&spec);
+        let expected = sel.fit_rows(&rel, 0);
+        assert_eq!(plan.fit().iter().map(|p| p.row as usize).collect::<Vec<_>>(), expected);
+        let n = spec.domain.len() as u64;
+        for planned in plan.fit() {
+            let key = rel.tuple(planned.row as usize).unwrap().get(0);
+            assert_eq!(planned.position as usize, sel.position(key));
+            assert_eq!(u64::from(planned.value_base), sel.value_base(key, n));
+        }
+    }
+
+    #[test]
+    fn parallel_build_is_byte_identical_to_sequential() {
+        let (rel, spec) = fixture(10_000, 15);
+        let sequential = MarkPlan::build_sequential(&spec, &rel, 0);
+        for threads in [1, 2, 3, 7, 16] {
+            let parallel = MarkPlan::build_with_threads(&spec, &rel, 0, threads);
+            assert_eq!(parallel.fit(), sequential.fit(), "threads={threads}");
+            assert_eq!(parallel.rows(), sequential.rows());
+        }
+    }
+
+    #[test]
+    fn value_index_forces_lsb_within_domain() {
+        let (rel, spec) = fixture(3_000, 10);
+        let plan = MarkPlan::build(&spec, &rel, 0);
+        let n = spec.domain.len();
+        assert!(!plan.is_empty());
+        for planned in plan.fit() {
+            for bit in [false, true] {
+                let t = plan.value_index(planned, bit);
+                assert!(t < n);
+                assert_eq!(t & 1 == 1, bit);
+            }
+        }
+    }
+
+    #[test]
+    fn matches_gates_spec_shape_and_content() {
+        let (rel, spec) = fixture(1_000, 10);
+        let plan = MarkPlan::build(&spec, &rel, 0);
+        assert!(plan.matches(&spec, &rel));
+        let rekeyed = spec.derived("other");
+        assert!(!plan.matches(&rekeyed, &rel));
+        let (smaller, _) = fixture(900, 10);
+        assert!(!plan.matches(&spec, &smaller));
+        // Same row count, different key content: a stale plan must be
+        // rejected, not silently decoded against wrong row indices.
+        let mut edited = rel.clone();
+        let old = edited.tuple(0).unwrap().get(0).as_int().unwrap();
+        edited.update_value(0, 0, Value::Int(old + 1_000_000)).unwrap();
+        assert!(!plan.matches(&spec, &edited));
+        // Row-shuffled relation of identical content: also rejected.
+        let shuffled = catmark_relation::ops::shuffle(&rel, 42);
+        assert!(!plan.matches(&spec, &shuffled));
+    }
+
+    #[test]
+    fn stale_plan_is_an_error_not_a_wrong_decode() {
+        use crate::decode::Decoder;
+        use crate::ecc::MajorityVotingEcc;
+        let (rel, spec) = fixture(1_000, 10);
+        let plan = MarkPlan::build(&spec, &rel, 0);
+        let shuffled = catmark_relation::ops::shuffle(&rel, 7);
+        let err = Decoder::new(&spec).decode_with_plan(&shuffled, 1, &MajorityVotingEcc, &plan);
+        assert!(matches!(err, Err(CoreError::InvalidSpec(_))));
+    }
+
+    #[test]
+    fn cache_is_bounded() {
+        let (rel, spec) = fixture(100, 10);
+        let cache = PlanCache::new();
+        for i in 0..(PlanCache::CAPACITY + 5) {
+            cache.plan_for(&spec.derived(&format!("tenant-{i}")), &rel, 0).unwrap();
+        }
+        assert!(cache.len() <= PlanCache::CAPACITY);
+    }
+
+    #[test]
+    fn cache_reuses_plans_and_distinguishes_content() {
+        let (rel, spec) = fixture(2_000, 10);
+        let cache = PlanCache::new();
+        let a = cache.plan_for(&spec, &rel, 0).unwrap();
+        let b = cache.plan_for(&spec, &rel, 0).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "identical requests share one plan");
+        assert_eq!(cache.len(), 1);
+
+        // Same shape, different key content → a different plan.
+        let mut altered = rel.clone();
+        let old = altered.tuple(0).unwrap().get(0).as_int().unwrap();
+        altered.update_value(0, 0, Value::Int(old + 1_000_000)).unwrap();
+        let c = cache.plan_for(&spec, &altered, 0).unwrap();
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(cache.len(), 2);
+
+        // Different keys under the same column → a different plan.
+        let d = cache.plan_for(&spec.derived("buyer:acme"), &rel, 0).unwrap();
+        assert!(!Arc::ptr_eq(&a, &d));
+
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn cache_rejects_out_of_range_attribute() {
+        let (rel, spec) = fixture(100, 10);
+        assert!(PlanCache::new().plan_for(&spec, &rel, 9).is_err());
+    }
+}

@@ -164,20 +164,18 @@ impl QualityConstraint for FrequencyDriftLimit {
     }
 
     fn commit(&mut self, change: &Alteration) {
-        if let (Ok(old_idx), Ok(new_idx)) = (
-            self.domain.index_of(&change.old),
-            self.domain.index_of(&change.new),
-        ) {
+        if let (Ok(old_idx), Ok(new_idx)) =
+            (self.domain.index_of(&change.old), self.domain.index_of(&change.new))
+        {
             self.current[old_idx] = self.current[old_idx].saturating_sub(1);
             self.current[new_idx] += 1;
         }
     }
 
     fn rollback(&mut self, change: &Alteration) {
-        if let (Ok(old_idx), Ok(new_idx)) = (
-            self.domain.index_of(&change.old),
-            self.domain.index_of(&change.new),
-        ) {
+        if let (Ok(old_idx), Ok(new_idx)) =
+            (self.domain.index_of(&change.old), self.domain.index_of(&change.new))
+        {
             self.current[new_idx] = self.current[new_idx].saturating_sub(1);
             self.current[old_idx] += 1;
         }
@@ -371,8 +369,8 @@ mod tests {
         for i in 0..10 {
             rel.push(vec![Value::Int(i), Value::Int(i % 3)]).unwrap();
         }
-        let domain = CategoricalDomain::new(vec![Value::Int(0), Value::Int(1), Value::Int(2)])
-            .unwrap();
+        let domain =
+            CategoricalDomain::new(vec![Value::Int(0), Value::Int(1), Value::Int(2)]).unwrap();
         (rel, domain)
     }
 

@@ -302,12 +302,8 @@ mod tests {
     #[test]
     fn zero_baseline_relative_admits_nothing_adverse() {
         let rel = fixture();
-        let q = CountQuery::new(
-            "ghost",
-            1,
-            ValueSet::Eq(Value::Int(999)),
-            Tolerance::Relative(0.5),
-        );
+        let q =
+            CountQuery::new("ghost", 1, ValueSet::Eq(Value::Int(999)), Tolerance::Relative(0.5));
         let c = CountQueryPreservation::from_relation(&rel, vec![q]);
         assert_eq!(c.baseline(0), 0);
         // Creating a row matching the ghost query drifts 0 → 1: veto.
@@ -318,9 +314,8 @@ mod tests {
     fn composes_with_quality_guard() {
         let rel = fixture();
         let q = CountQuery::new("item3", 1, ValueSet::Eq(Value::Int(3)), Tolerance::Absolute(1));
-        let mut guard = QualityGuard::new(vec![Box::new(
-            CountQueryPreservation::from_relation(&rel, vec![q]),
-        )]);
+        let mut guard =
+            QualityGuard::new(vec![Box::new(CountQueryPreservation::from_relation(&rel, vec![q]))]);
         assert!(guard.propose(change(3, 3, 4)));
         assert!(!guard.propose(change(13, 3, 4)));
         assert_eq!(guard.vetoes(), 1);

@@ -95,8 +95,7 @@ pub fn recover_mapping(
     for r in 0..matched {
         let original = reference.domain().value_at(ref_rank[r]).clone();
         let suspect_value = suspect_domain.value_at(sus_rank[r]).clone();
-        gap_total +=
-            (reference.frequency(ref_rank[r]) - suspect_hist.frequency(sus_rank[r])).abs();
+        gap_total += (reference.frequency(ref_rank[r]) - suspect_hist.frequency(sus_rank[r])).abs();
         mapping.insert(suspect_value, original);
     }
     Ok(RemapRecovery {
@@ -160,8 +159,7 @@ pub fn recover_mapping_confident(
                 suspect_domain.value_at(sus_idx).clone(),
                 reference.domain().value_at(ref_idx).clone(),
             );
-            gap_total +=
-                (reference.frequency(ref_idx) - suspect_hist.frequency(sus_idx)).abs();
+            gap_total += (reference.frequency(ref_idx) - suspect_hist.frequency(sus_idx)).abs();
         }
     }
     let matched = mapping.len();
@@ -228,7 +226,9 @@ pub fn apply_inverse(
             (catmark_relation::AttrType::Integer, Value::Text(s)) => {
                 Value::Int(i64::from_le_bytes(hash8(s.as_bytes())))
             }
-            (catmark_relation::AttrType::Text, Value::Int(i)) => Value::Text(format!("⟨unmapped {i}⟩")),
+            (catmark_relation::AttrType::Text, Value::Int(i)) => {
+                Value::Text(format!("⟨unmapped {i}⟩"))
+            }
             _ => v,
         }
     };
@@ -330,10 +330,7 @@ mod tests {
         let restored = apply_inverse(&attacked, "item_nbr", &recovery).unwrap();
         let report = Decoder::new(&spec).decode(&restored, "visit_nbr", "item_nbr").unwrap();
         let detection = crate::detect::detect(&report.watermark, &wm);
-        assert!(
-            detection.is_significant(1e-2),
-            "detection after recovery: {detection:?}"
-        );
+        assert!(detection.is_significant(1e-2), "detection after recovery: {detection:?}");
     }
 
     #[test]
@@ -376,11 +373,8 @@ mod tests {
             .build()
             .unwrap();
         let wm = Watermark::from_u64(0b1100101101, 10);
-        crate::embed::Embedder::new(&spec)
-            .embed(&mut rel, "visit_nbr", "item_nbr", &wm)
-            .unwrap();
-        let reference =
-            FrequencyHistogram::from_relation(&rel, 1, &gen.item_domain()).unwrap();
+        crate::embed::Embedder::new(&spec).embed(&mut rel, "visit_nbr", "item_nbr", &wm).unwrap();
+        let reference = FrequencyHistogram::from_relation(&rel, 1, &gen.item_domain()).unwrap();
         let attacked = remap_items(&rel, |v| -v);
         let confident = recover_mapping_confident(&reference, &attacked, "item_nbr").unwrap();
         let restored = apply_inverse(&attacked, "item_nbr", &confident).unwrap();

@@ -87,11 +87,7 @@ impl Watermark {
     #[must_use]
     pub fn hamming_distance(&self, other: &Watermark) -> usize {
         assert_eq!(self.len(), other.len(), "watermarks must have equal length");
-        self.bits
-            .iter()
-            .zip(other.bits.iter())
-            .filter(|(a, b)| a != b)
-            .count()
+        self.bits.iter().zip(other.bits.iter()).filter(|(a, b)| a != b).count()
     }
 
     /// Fraction of differing bits — the y-axis of the paper's Figures
@@ -277,9 +273,9 @@ impl WatermarkSpecBuilder {
     /// keys, or zero-length watermark; [`CoreError::InsufficientBandwidth`]
     /// when `|wm| > |wm_data|`.
     pub fn build(self) -> Result<WatermarkSpec, CoreError> {
-        let (k1, k2) = self
-            .keys
-            .ok_or_else(|| CoreError::InvalidSpec("no keys provided (use master_key or keys)".into()))?;
+        let (k1, k2) = self.keys.ok_or_else(|| {
+            CoreError::InvalidSpec("no keys provided (use master_key or keys)".into())
+        })?;
         if k1 == k2 {
             // The paper requires k2 != k1: reusing the key would
             // correlate tuple selection with bit-position selection.
@@ -396,42 +392,30 @@ mod tests {
 
     #[test]
     fn builder_rejects_zero_e() {
-        let err = WatermarkSpec::builder(domain())
-            .master_key("s")
-            .e(0)
-            .expected_tuples(100)
-            .build();
+        let err =
+            WatermarkSpec::builder(domain()).master_key("s").e(0).expected_tuples(100).build();
         assert!(matches!(err, Err(CoreError::InvalidSpec(_))));
     }
 
     #[test]
     fn builder_enforces_bandwidth() {
-        let err = WatermarkSpec::builder(domain())
-            .master_key("s")
-            .wm_len(64)
-            .wm_data_len(10)
-            .build();
+        let err =
+            WatermarkSpec::builder(domain()).master_key("s").wm_len(64).wm_data_len(10).build();
         assert!(matches!(err, Err(CoreError::InsufficientBandwidth { .. })));
     }
 
     #[test]
     fn expected_tuples_never_sizes_below_wm_len() {
         // 100 tuples at e=60 → N/e = 1, clamped up to |wm| = 10.
-        let spec = WatermarkSpec::builder(domain())
-            .master_key("s")
-            .expected_tuples(100)
-            .build()
-            .unwrap();
+        let spec =
+            WatermarkSpec::builder(domain()).master_key("s").expected_tuples(100).build().unwrap();
         assert_eq!(spec.wm_data_len, 10);
     }
 
     #[test]
     fn derived_specs_have_fresh_keys() {
-        let spec = WatermarkSpec::builder(domain())
-            .master_key("s")
-            .expected_tuples(6000)
-            .build()
-            .unwrap();
+        let spec =
+            WatermarkSpec::builder(domain()).master_key("s").expected_tuples(6000).build().unwrap();
         let d = spec.derived("pair:item:city");
         assert_ne!(d.k1, spec.k1);
         assert_ne!(d.k2, spec.k2);

@@ -68,16 +68,16 @@ impl StreamMarker {
 
     /// The marked value the tuple with primary key `key` must carry,
     /// or `None` when the tuple is not fit (its value is free).
+    ///
+    /// One [`FitnessSelector::facts`] evaluation per call — the
+    /// streaming twin of the batch [`crate::plan::MarkPlan`] row scan,
+    /// guaranteed to assign the same value a batch embed would.
     #[must_use]
     pub fn marked_value_for(&self, key: &Value) -> Option<Value> {
-        if !self.selector.is_fit(key) {
-            return None;
-        }
-        let idx = self.selector.position(key);
-        let bit = self.wm_data[idx];
+        let facts = self.selector.facts(key)?;
+        let bit = self.wm_data[facts.position];
         let n = self.spec.domain.len() as u64;
-        let base = self.selector.value_base(key, n);
-        let t = crate::bits::force_lsb_in_domain(base, bit, n) as usize;
+        let t = crate::bits::force_lsb_in_domain(facts.value_base(n), bit, n) as usize;
         Some(self.spec.domain.value_at(t).clone())
     }
 
@@ -137,13 +137,32 @@ mod tests {
         let mut batch = source.clone();
         Embedder::new(&spec).embed(&mut batch, "visit_nbr", "item_nbr", &wm).unwrap();
         // Streaming path: ingest tuple by tuple into an empty relation.
-        let marker = StreamMarker::new(spec.clone(), &source, "visit_nbr", "item_nbr", &wm).unwrap();
+        let marker =
+            StreamMarker::new(spec.clone(), &source, "visit_nbr", "item_nbr", &wm).unwrap();
         let mut streamed = Relation::new(source.schema().clone());
         for tuple in source.iter() {
             marker.ingest(&mut streamed, tuple.values().to_vec()).unwrap();
         }
         assert_eq!(streamed.len(), batch.len());
         assert!(batch.iter().zip(streamed.iter()).all(|(a, b)| a == b));
+
+        // Plan-driven batch paths (cached, sequential, parallel) all
+        // pin to the same bytes as the streamed relation.
+        use crate::ecc::MajorityVotingEcc;
+        use crate::plan::{MarkPlan, PlanCache};
+        let cache = PlanCache::new();
+        let plan = cache.plan_for(&spec, &source, 0).unwrap();
+        let mut planned = source.clone();
+        Embedder::new(&spec)
+            .embed_with_plan(&mut planned, 1, &wm, &MajorityVotingEcc, None, &plan)
+            .unwrap();
+        assert!(planned.iter().zip(streamed.iter()).all(|(a, b)| a == b));
+        let par = MarkPlan::build_with_threads(&spec, &source, 0, 4);
+        let mut par_marked = source.clone();
+        Embedder::new(&spec)
+            .embed_with_plan(&mut par_marked, 1, &wm, &MajorityVotingEcc, None, &par)
+            .unwrap();
+        assert!(par_marked.iter().zip(streamed.iter()).all(|(a, b)| a == b));
     }
 
     #[test]
@@ -169,7 +188,8 @@ mod tests {
     fn stream_grown_relation_decodes() {
         let (gen, spec, wm) = fixture();
         let source = gen.generate();
-        let marker = StreamMarker::new(spec.clone(), &source, "visit_nbr", "item_nbr", &wm).unwrap();
+        let marker =
+            StreamMarker::new(spec.clone(), &source, "visit_nbr", "item_nbr", &wm).unwrap();
         let mut rel = Relation::new(source.schema().clone());
         for tuple in source.iter() {
             marker.ingest(&mut rel, tuple.values().to_vec()).unwrap();
@@ -207,7 +227,8 @@ mod tests {
     fn wrong_watermark_length_rejected() {
         let (gen, spec, _) = fixture();
         let source = gen.generate();
-        let err = StreamMarker::new(spec, &source, "visit_nbr", "item_nbr", &Watermark::from_u64(1, 3));
+        let err =
+            StreamMarker::new(spec, &source, "visit_nbr", "item_nbr", &Watermark::from_u64(1, 3));
         assert!(matches!(err, Err(CoreError::InvalidSpec(_))));
     }
 }

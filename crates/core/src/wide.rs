@@ -65,8 +65,13 @@ impl<'a> WideCodec<'a> {
     /// The `wm_data` positions a fit tuple carries: `width`
     /// consecutive positions starting at `H(K, k2) mod |wm_data|`.
     fn positions(&self, sel: &FitnessSelector, key: &catmark_relation::Value) -> Vec<usize> {
+        self.positions_from(sel.position(key))
+    }
+
+    /// Positions derived from an already-computed start position (the
+    /// single-hash `facts` path).
+    fn positions_from(&self, start: usize) -> Vec<usize> {
         let len = self.spec.wm_data_len;
-        let start = sel.position(key);
         (0..self.width as usize).map(|i| (start + i) % len).collect()
     }
 
@@ -112,16 +117,15 @@ impl<'a> WideCodec<'a> {
         let mut altered = 0usize;
         for row in 0..rel.len() {
             let key = rel.tuple(row).expect("row in range").get(key_idx).clone();
-            if !sel.is_fit(&key) {
+            let Some(facts) = sel.facts(&key) else {
                 continue;
-            }
-            let positions = self.positions(&sel, &key);
+            };
+            let positions = self.positions_from(facts.position);
             let mut payload = 0u64;
             for (i, &pos) in positions.iter().enumerate() {
                 payload |= u64::from(wm_data[pos]) << i;
             }
-            let base = sel.value_base(&key, n);
-            let t = self.index_for(base, payload, n) as usize;
+            let t = self.index_for(facts.value_base(n), payload, n) as usize;
             let new_value = self.spec.domain.value_at(t).clone();
             let old = rel.update_value(row, attr_idx, new_value.clone())?;
             if old != new_value {

@@ -72,13 +72,20 @@ impl DynDigest {
     /// This is the integer view of `H(...)` used throughout the
     /// watermarking algorithms (`mod e` fitness tests, pseudorandom
     /// value/position selection). Truncating a cryptographic hash
-    /// preserves its pseudorandomness.
+    /// preserves its pseudorandomness. Allocation-free: the digest
+    /// stays in its fixed output array.
     #[must_use]
     pub fn finalize_u64(self) -> u64 {
-        let bytes = self.finalize_vec();
-        let mut first = [0u8; 8];
-        first.copy_from_slice(&bytes[..8]);
-        u64::from_be_bytes(first)
+        fn prefix(bytes: &[u8]) -> u64 {
+            let mut first = [0u8; 8];
+            first.copy_from_slice(&bytes[..8]);
+            u64::from_be_bytes(first)
+        }
+        match self {
+            DynDigest::Md5(h) => prefix(&h.finalize()),
+            DynDigest::Sha1(h) => prefix(&h.finalize()),
+            DynDigest::Sha256(h) => prefix(&h.finalize()),
+        }
     }
 
     /// Digest length in bytes for this state's algorithm.
@@ -89,6 +96,21 @@ impl DynDigest {
             DynDigest::Sha1(_) => 20,
             DynDigest::Sha256(_) => 32,
         }
+    }
+}
+
+/// Digests absorb byte streams, so they are infallible writers. This
+/// lets hash inputs stream their canonical encodings straight into the
+/// hash state (`write_canonical(&mut digest)`) with no intermediate
+/// buffer.
+impl std::io::Write for DynDigest {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.update(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
     }
 }
 
@@ -148,7 +170,11 @@ impl BlockBuffer {
     /// Apply MD-strengthening padding (0x80, zeros, 8-byte bit length)
     /// and compress the final block(s). `little_endian_len` selects the
     /// MD5 length convention; SHA uses big-endian.
-    pub(crate) fn finalize(&mut self, little_endian_len: bool, mut compress: impl FnMut(&[u8; 64])) {
+    pub(crate) fn finalize(
+        &mut self,
+        little_endian_len: bool,
+        mut compress: impl FnMut(&[u8; 64]),
+    ) {
         let bit_len = self.total_len.wrapping_mul(8);
         let mut block = self.block;
         block[self.filled] = 0x80;
@@ -159,7 +185,8 @@ impl BlockBuffer {
             compress(&block);
             block = [0u8; 64];
         }
-        let len_bytes = if little_endian_len { bit_len.to_le_bytes() } else { bit_len.to_be_bytes() };
+        let len_bytes =
+            if little_endian_len { bit_len.to_le_bytes() } else { bit_len.to_be_bytes() };
         block[56..64].copy_from_slice(&len_bytes);
         compress(&block);
         self.filled = 0;

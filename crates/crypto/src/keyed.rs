@@ -7,9 +7,54 @@
 //! searched for *after* the fact: finding a key that makes an arbitrary
 //! data set decode to a chosen mark requires inverting the hash.
 
-use bytes::{BufMut, BytesMut};
-
 use crate::HashAlgorithm;
+
+/// A hash input with a canonical, injective byte encoding that can be
+/// **streamed** into a writer instead of materialized.
+///
+/// This is the zero-allocation path under the watermarking hot loops:
+/// `KeyedHash::hash_canonical_u64` streams `write_canonical` output
+/// straight into the digest state, so hashing a tuple key costs no
+/// heap traffic (the historical path built a `Vec<u8>` per call).
+///
+/// Implementations must uphold two contracts:
+///
+/// * `write_canonical` emits exactly [`CanonicalInput::canonical_len`]
+///   bytes — the keyed construct length-prefixes the encoding, and a
+///   mismatch would silently change every hash;
+/// * the encoding is injective across all values that may share a hash
+///   domain (distinct values ⇒ distinct byte strings).
+pub trait CanonicalInput {
+    /// Exact length in bytes of the canonical encoding.
+    fn canonical_len(&self) -> usize;
+
+    /// Stream the canonical encoding into `out`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates writer errors; digest writers are infallible.
+    fn write_canonical<W: std::io::Write + ?Sized>(&self, out: &mut W) -> std::io::Result<()>;
+}
+
+impl CanonicalInput for [u8] {
+    fn canonical_len(&self) -> usize {
+        self.len()
+    }
+
+    fn write_canonical<W: std::io::Write + ?Sized>(&self, out: &mut W) -> std::io::Result<()> {
+        out.write_all(self)
+    }
+}
+
+impl CanonicalInput for str {
+    fn canonical_len(&self) -> usize {
+        self.len()
+    }
+
+    fn write_canonical<W: std::io::Write + ?Sized>(&self, out: &mut W) -> std::io::Result<()> {
+        out.write_all(self.as_bytes())
+    }
+}
 
 /// A secret watermarking key.
 ///
@@ -117,11 +162,8 @@ impl KeyedHash {
     pub fn hash_parts(&self, parts: &[&[u8]]) -> Vec<u8> {
         let mut h = self.algo.hasher();
         h.update(self.key.as_bytes());
-        let mut prefix = BytesMut::with_capacity(8);
         for part in parts {
-            prefix.clear();
-            prefix.put_u64(part.len() as u64);
-            h.update(&prefix);
+            h.update(&(part.len() as u64).to_be_bytes());
             h.update(part);
         }
         h.update(self.key.as_bytes());
@@ -146,6 +188,42 @@ impl KeyedHash {
     #[must_use]
     pub fn hash_value_u64(&self, value: &[u8]) -> u64 {
         self.hash_u64(&[value])
+    }
+
+    /// One-shot `H(value, k)` over a borrowed canonical encoding,
+    /// truncated to the first 8 digest bytes (big-endian).
+    ///
+    /// Byte-identical to `hash_u64(&[&value.canonical_bytes()])` but
+    /// allocation-free: the encoding streams straight into the digest
+    /// state and the truncated integer is read from the fixed output
+    /// array. This is the hot path under fit-tuple selection, where it
+    /// runs once (or twice, for the position hash) per tuple of the
+    /// relation.
+    #[must_use]
+    pub fn hash_canonical_u64<V: CanonicalInput + ?Sized>(&self, value: &V) -> u64 {
+        let key = self.key.as_bytes();
+        let vlen = value.canonical_len();
+        let total = 2 * key.len() + 8 + vlen;
+        // Small inputs (every integer tuple key, most text keys)
+        // assemble on the stack so the digest absorbs one contiguous
+        // slice — same bytes, fewer block-buffer round trips.
+        if total <= 128 {
+            let mut buf = [0u8; 128];
+            buf[..key.len()].copy_from_slice(key);
+            buf[key.len()..key.len() + 8].copy_from_slice(&(vlen as u64).to_be_bytes());
+            let mut tail = &mut buf[key.len() + 8..];
+            value.write_canonical(&mut tail).expect("slice writers hold canonical_len bytes");
+            buf[key.len() + 8 + vlen..total].copy_from_slice(key);
+            let mut h = self.algo.hasher();
+            h.update(&buf[..total]);
+            return h.finalize_u64();
+        }
+        let mut h = self.algo.hasher();
+        h.update(key);
+        h.update(&(vlen as u64).to_be_bytes());
+        value.write_canonical(&mut h).expect("digest writers are infallible");
+        h.update(key);
+        h.finalize_u64()
     }
 }
 
@@ -214,6 +292,24 @@ mod tests {
     }
 
     #[test]
+    fn hash_canonical_matches_hash_u64() {
+        // The zero-allocation one-shot path must produce the same
+        // stream (and therefore the same digest) as the part-based
+        // path with a single materialized part.
+        for algo in HashAlgorithm::ALL {
+            let h = KeyedHash::new(algo, SecretKey::from_u64(42));
+            for payload in [&b""[..], b"x", b"some-longer-tuple-key-payload"] {
+                assert_eq!(
+                    h.hash_canonical_u64(payload),
+                    h.hash_u64(&[payload]),
+                    "{algo}: {payload:?}"
+                );
+            }
+            assert_eq!(h.hash_canonical_u64("text"), h.hash_u64(&[b"text"]));
+        }
+    }
+
+    #[test]
     fn part_boundaries_are_unambiguous() {
         // Without length prefixes these two calls would collide.
         assert_ne!(kh().hash_u64(&[b"ab", b"c"]), kh().hash_u64(&[b"a", b"bc"]));
@@ -273,9 +369,8 @@ mod tests {
         // keyed hash look uniform enough that ~1/e of tuples qualify.
         let h = kh();
         let e = 10u64;
-        let hits = (0..5000u64)
-            .filter(|i| h.hash_u64(&[&i.to_be_bytes()]).is_multiple_of(e))
-            .count();
+        let hits =
+            (0..5000u64).filter(|i| h.hash_u64(&[&i.to_be_bytes()]).is_multiple_of(e)).count();
         // Expect ~500; allow generous slack.
         assert!((380..630).contains(&hits), "hits={hits}");
     }

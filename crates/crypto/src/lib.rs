@@ -41,7 +41,7 @@ pub mod sha1;
 pub mod sha256;
 
 pub use digest::{Digest, DynDigest};
-pub use keyed::{KeyedHash, KeyedPrf, SecretKey};
+pub use keyed::{CanonicalInput, KeyedHash, KeyedPrf, SecretKey};
 
 /// Selects one of the supported one-way hash functions.
 ///
@@ -90,11 +90,8 @@ impl HashAlgorithm {
     }
 
     /// All supported algorithms, for exhaustive tests and benches.
-    pub const ALL: [HashAlgorithm; 3] = [
-        HashAlgorithm::Md5,
-        HashAlgorithm::Sha1,
-        HashAlgorithm::Sha256,
-    ];
+    pub const ALL: [HashAlgorithm; 3] =
+        [HashAlgorithm::Md5, HashAlgorithm::Sha1, HashAlgorithm::Sha256];
 }
 
 impl std::fmt::Display for HashAlgorithm {

@@ -72,10 +72,7 @@ impl Md5 {
             d = c;
             c = b;
             b = b.wrapping_add(
-                a.wrapping_add(f)
-                    .wrapping_add(t[i])
-                    .wrapping_add(m[g])
-                    .rotate_left(S[i]),
+                a.wrapping_add(f).wrapping_add(t[i]).wrapping_add(m[g]).rotate_left(S[i]),
             );
             a = tmp;
         }

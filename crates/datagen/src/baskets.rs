@@ -48,10 +48,7 @@ impl BasketGenerator {
     #[must_use]
     pub fn new(config: BasketConfig) -> Self {
         assert!(config.depts > 0, "need at least one department");
-        assert!(
-            (0.0..1.0).contains(&config.noise_rate),
-            "noise_rate is a fraction below 1"
-        );
+        assert!((0.0..1.0).contains(&config.noise_rate), "noise_rate is a fraction below 1");
         BasketGenerator { config }
     }
 
@@ -67,10 +64,8 @@ impl BasketGenerator {
     /// The dept domain (`0 .. depts`).
     #[must_use]
     pub fn dept_domain(&self) -> CategoricalDomain {
-        CategoricalDomain::new(
-            (0..self.config.depts as i64).map(Value::Int).collect::<Vec<_>>(),
-        )
-        .expect("departments are distinct")
+        CategoricalDomain::new((0..self.config.depts as i64).map(Value::Int).collect::<Vec<_>>())
+            .expect("departments are distinct")
     }
 
     /// Home aisle of `dept` (the planted rule's consequent).

@@ -10,18 +10,51 @@ use catmark_relation::{CategoricalDomain, Value};
 /// US cities, in the spirit of the paper's "change departure city from
 /// Chicago to San Jose" example.
 pub const CITIES: [&str; 40] = [
-    "Albuquerque", "Atlanta", "Austin", "Baltimore", "Boston", "Charlotte", "Chicago",
-    "Cleveland", "Columbus", "Dallas", "Denver", "Detroit", "El Paso", "Fort Worth", "Fresno",
-    "Houston", "Indianapolis", "Jacksonville", "Kansas City", "Las Vegas", "Long Beach",
-    "Los Angeles", "Louisville", "Memphis", "Mesa", "Miami", "Milwaukee", "Minneapolis",
-    "Nashville", "New Orleans", "New York", "Oakland", "Oklahoma City", "Omaha", "Philadelphia",
-    "Phoenix", "Portland", "Sacramento", "San Antonio", "San Jose",
+    "Albuquerque",
+    "Atlanta",
+    "Austin",
+    "Baltimore",
+    "Boston",
+    "Charlotte",
+    "Chicago",
+    "Cleveland",
+    "Columbus",
+    "Dallas",
+    "Denver",
+    "Detroit",
+    "El Paso",
+    "Fort Worth",
+    "Fresno",
+    "Houston",
+    "Indianapolis",
+    "Jacksonville",
+    "Kansas City",
+    "Las Vegas",
+    "Long Beach",
+    "Los Angeles",
+    "Louisville",
+    "Memphis",
+    "Mesa",
+    "Miami",
+    "Milwaukee",
+    "Minneapolis",
+    "Nashville",
+    "New Orleans",
+    "New York",
+    "Oakland",
+    "Oklahoma City",
+    "Omaha",
+    "Philadelphia",
+    "Phoenix",
+    "Portland",
+    "Sacramento",
+    "San Antonio",
+    "San Jose",
 ];
 
 /// Two-letter airline codes for reservation-portal style schemas.
 pub const AIRLINES: [&str; 16] = [
-    "AA", "AC", "AF", "AM", "AS", "B6", "BA", "DL", "EK", "F9", "JL", "LH", "NK", "QF", "UA",
-    "WN",
+    "AA", "AC", "AF", "AM", "AS", "B6", "BA", "DL", "EK", "F9", "JL", "LH", "NK", "QF", "UA", "WN",
 ];
 
 /// Domain of city names.
@@ -77,13 +110,10 @@ mod tests {
     #[test]
     fn product_codes_run_from_base() {
         let d = product_codes(5, 100);
-        assert_eq!(d.values(), &[
-            Value::Int(100),
-            Value::Int(101),
-            Value::Int(102),
-            Value::Int(103),
-            Value::Int(104),
-        ]);
+        assert_eq!(
+            d.values(),
+            &[Value::Int(100), Value::Int(101), Value::Int(102), Value::Int(103), Value::Int(104),]
+        );
     }
 
     #[test]

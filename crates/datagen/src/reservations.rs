@@ -100,10 +100,8 @@ mod tests {
 
     #[test]
     fn generates_requested_shape() {
-        let gen = ReservationsGenerator::new(ReservationsConfig {
-            tuples: 1_000,
-            ..Default::default()
-        });
+        let gen =
+            ReservationsGenerator::new(ReservationsConfig { tuples: 1_000, ..Default::default() });
         let rel = gen.generate();
         assert_eq!(rel.len(), 1_000);
         assert_eq!(rel.schema().arity(), 3);
@@ -125,10 +123,8 @@ mod tests {
 
     #[test]
     fn hub_cities_dominate() {
-        let gen = ReservationsGenerator::new(ReservationsConfig {
-            tuples: 20_000,
-            ..Default::default()
-        });
+        let gen =
+            ReservationsGenerator::new(ReservationsConfig { tuples: 20_000, ..Default::default() });
         let rel = gen.generate();
         let hist = FrequencyHistogram::from_relation(&rel, 1, &gen.city_domain()).unwrap();
         let ranked = hist.rank_by_frequency();

@@ -146,7 +146,8 @@ mod tests {
 
     #[test]
     fn items_stay_in_domain() {
-        let gen = SalesGenerator::new(ItemScanConfig { tuples: 300, items: 50, ..Default::default() });
+        let gen =
+            SalesGenerator::new(ItemScanConfig { tuples: 300, items: 50, ..Default::default() });
         let rel = gen.generate();
         let domain = gen.item_domain();
         for v in rel.column_iter(1) {

@@ -221,10 +221,8 @@ impl NaiveBayes {
         let mut classes: Vec<Value> = class_counts.keys().map(|v| (*v).clone()).collect();
         classes.sort();
         let n = rel.len() as f64;
-        let log_prior: Vec<f64> = classes
-            .iter()
-            .map(|c| (class_counts[c] as f64 / n).ln())
-            .collect();
+        let log_prior: Vec<f64> =
+            classes.iter().map(|c| (class_counts[c] as f64 / n).ln()).collect();
 
         // Per-predictor conditional counts.
         let mut likelihood = Vec::with_capacity(predictors.len());
@@ -280,11 +278,8 @@ impl Classifier for NaiveBayes {
                 *s += *l;
             }
         }
-        let best = scores
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.total_cmp(b.1).then(b.0.cmp(&a.0)))?
-            .0;
+        let best =
+            scores.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1).then(b.0.cmp(&a.0)))?.0;
         Some(self.classes[best].clone())
     }
 
@@ -316,13 +311,8 @@ mod tests {
             let dept = i % 4;
             let region = (i * 7) % 5;
             let aisle = dept + 100;
-            rel.push(vec![
-                Value::Int(i),
-                Value::Int(dept),
-                Value::Int(region),
-                Value::Int(aisle),
-            ])
-            .unwrap();
+            rel.push(vec![Value::Int(i), Value::Int(dept), Value::Int(region), Value::Int(aisle)])
+                .unwrap();
         }
         rel
     }
@@ -340,9 +330,8 @@ mod tests {
     fn oner_unseen_value_falls_back_to_majority() {
         let rel = fixture(100);
         let clf = OneR::train(&rel, "aisle", &["dept"]).unwrap();
-        let pred = clf
-            .predict(&[Value::Int(0), Value::Int(999), Value::Int(0), Value::Int(0)])
-            .unwrap();
+        let pred =
+            clf.predict(&[Value::Int(0), Value::Int(999), Value::Int(0), Value::Int(0)]).unwrap();
         // Majority aisle (all tie at 25 each → smallest label wins).
         assert_eq!(pred, Value::Int(100));
     }
@@ -380,8 +369,7 @@ mod tests {
             let mut rel = fixture(500);
             let aisle_idx = 3;
             for row in (0..rel.len()).step_by(5) {
-                rel.update_value(row, aisle_idx, Value::Int(100 + (row as i64 * 3) % 4))
-                    .unwrap();
+                rel.update_value(row, aisle_idx, Value::Int(100 + (row as i64 * 3) % 4)).unwrap();
             }
             rel
         };

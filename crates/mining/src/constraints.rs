@@ -68,8 +68,7 @@ impl AssociationRulePreserved {
             .iter()
             .map(|r| {
                 let full = r.full_set();
-                let ant_count =
-                    rows.iter().filter(|row| r.antecedent.matches(row)).count() as u64;
+                let ant_count = rows.iter().filter(|row| r.antecedent.matches(row)).count() as u64;
                 let full_count = rows.iter().filter(|row| full.matches(row)).count() as u64;
                 let current = TrackedRule::confidence(ant_count, full_count);
                 TrackedRule {

@@ -269,8 +269,8 @@ mod tests {
         assert_eq!(tx.attrs, vec![1, 2]);
         let even_a = Itemset::singleton(Item::new(1, Value::Int(0)));
         assert_eq!(tx.support_count(&even_a), 5);
-        let joint = Itemset::new([Item::new(1, Value::Int(0)), Item::new(2, Value::Int(0))])
-            .unwrap();
+        let joint =
+            Itemset::new([Item::new(1, Value::Int(0)), Item::new(2, Value::Int(0))]).unwrap();
         // i ≡ 0 mod 6 → rows 0, 6.
         assert_eq!(tx.support_count(&joint), 2);
     }

@@ -77,8 +77,7 @@ impl RuleSet {
                 let Some(ant_count) = frequent.count_of(&antecedent) else {
                     continue; // downward closure guarantees this in practice
                 };
-                let Some(cons_count) =
-                    frequent.count_of(&Itemset::singleton(consequent.clone()))
+                let Some(cons_count) = frequent.count_of(&Itemset::singleton(consequent.clone()))
                 else {
                     continue;
                 };
@@ -217,11 +216,8 @@ mod tests {
         let mut rel = Relation::new(schema);
         for i in 0..n {
             let dept = i % 4;
-            let shelf = if noise_every > 0 && i % noise_every == noise_every - 1 {
-                99
-            } else {
-                dept * 10
-            };
+            let shelf =
+                if noise_every > 0 && i % noise_every == noise_every - 1 { 99 } else { dept * 10 };
             rel.push(vec![Value::Int(i), Value::Int(dept), Value::Int(shelf)]).unwrap();
         }
         rel
@@ -290,12 +286,7 @@ mod tests {
         assert!(drift.max_confidence_drop > 0.5);
         // Every broken rule mentions dept 0 or shelf 0.
         for b in &drift.broken {
-            let touches_zero = b
-                .rule
-                .full_set()
-                .items()
-                .iter()
-                .any(|it| it.value == Value::Int(0));
+            let touches_zero = b.rule.full_set().items().iter().any(|it| it.value == Value::Int(0));
             assert!(touches_zero, "unexpected break: {}", b.rule);
         }
     }

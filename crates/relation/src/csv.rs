@@ -17,12 +17,7 @@ use crate::{Relation, RelationError, Schema, Value};
 /// Propagates I/O errors as [`RelationError::Csv`].
 pub fn write_csv(rel: &Relation, out: &mut impl Write) -> Result<(), RelationError> {
     let io = |e: std::io::Error| RelationError::Csv(e.to_string());
-    let header: Vec<String> = rel
-        .schema()
-        .attrs()
-        .iter()
-        .map(|a| escape(&a.name))
-        .collect();
+    let header: Vec<String> = rel.schema().attrs().iter().map(|a| escape(&a.name)).collect();
     writeln!(out, "{}", header.join(",")).map_err(io)?;
     for tuple in rel.iter() {
         let row: Vec<String> = tuple.values().iter().map(|v| escape(&v.to_string())).collect();
@@ -43,10 +38,8 @@ pub fn write_csv(rel: &Relation, out: &mut impl Write) -> Result<(), RelationErr
 pub fn read_csv(schema: Schema, input: &mut impl BufRead) -> Result<Relation, RelationError> {
     let io = |e: std::io::Error| RelationError::Csv(e.to_string());
     let mut lines = input.lines();
-    let header_line = lines
-        .next()
-        .ok_or_else(|| RelationError::Csv("missing header row".into()))?
-        .map_err(io)?;
+    let header_line =
+        lines.next().ok_or_else(|| RelationError::Csv("missing header row".into()))?.map_err(io)?;
     let header = parse_row(&header_line)?;
     let expected: Vec<&str> = schema.attrs().iter().map(|a| a.name.as_str()).collect();
     if header != expected {

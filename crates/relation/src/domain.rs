@@ -13,7 +13,7 @@
 
 use std::collections::HashMap;
 
-use crate::{RelationError, Relation, Value};
+use crate::{Relation, RelationError, Value};
 
 /// A finite, sorted categorical value domain with O(1) value→index
 /// lookup.
@@ -42,11 +42,7 @@ impl CategoricalDomain {
                 values.len()
             )));
         }
-        let index = values
-            .iter()
-            .enumerate()
-            .map(|(i, v)| (v.clone(), i))
-            .collect();
+        let index = values.iter().enumerate().map(|(i, v)| (v.clone(), i)).collect();
         Ok(CategoricalDomain { values, index })
     }
 
@@ -63,7 +59,7 @@ impl CategoricalDomain {
     ///
     /// Same as [`CategoricalDomain::new`].
     pub fn from_column(rel: &Relation, attr_idx: usize) -> Result<Self, RelationError> {
-        Self::new(rel.column(attr_idx))
+        Self::new(rel.column_iter(attr_idx).cloned().collect())
     }
 
     /// Number of values `nA`.
@@ -86,10 +82,31 @@ impl CategoricalDomain {
     /// [`RelationError::ValueNotInDomain`] for foreign values (e.g.
     /// after an A6 remapping attack).
     pub fn index_of(&self, value: &Value) -> Result<usize, RelationError> {
-        self.index
-            .get(value)
-            .copied()
-            .ok_or_else(|| RelationError::ValueNotInDomain(value.clone()))
+        self.index.get(value).copied().ok_or_else(|| RelationError::ValueNotInDomain(value.clone()))
+    }
+
+    /// Index of `value` as a compact code, `None` for foreign values.
+    ///
+    /// The non-erroring twin of [`CategoricalDomain::index_of`] for
+    /// vote-counting hot paths: foreign values are *expected* there
+    /// (every fit tuple of a remapped relation produces one), and the
+    /// error path would clone the value into a `RelationError` per
+    /// occurrence.
+    #[must_use]
+    pub fn code_of(&self, value: &Value) -> Option<u32> {
+        self.index.get(value).map(|&i| i as u32)
+    }
+
+    /// Interned-code view of one column: each row's value replaced by
+    /// its domain code (`None` where the value is foreign).
+    ///
+    /// Interning pays when a categorical **text** column is consulted
+    /// repeatedly (histogram comparisons, repeated decode passes over
+    /// the same suspect data): each subsequent pass indexes a `u32`
+    /// instead of re-hashing string values.
+    #[must_use]
+    pub fn intern_column(&self, rel: &Relation, attr_idx: usize) -> Vec<Option<u32>> {
+        rel.column_iter(attr_idx).map(|v| self.code_of(v)).collect()
     }
 
     /// Value `a_t` at index `t`.
@@ -154,6 +171,32 @@ mod tests {
         assert!(CategoricalDomain::new(vec![]).is_err());
         assert!(CategoricalDomain::new(vec![Value::Int(1)]).is_err());
         assert!(CategoricalDomain::new(vec![Value::Int(1), Value::Int(1)]).is_err());
+    }
+
+    #[test]
+    fn code_of_agrees_with_index_of() {
+        let d = domain();
+        for t in 0..d.len() {
+            assert_eq!(d.code_of(d.value_at(t)), Some(t as u32));
+        }
+        assert_eq!(d.code_of(&Value::Text("paris".into())), None);
+    }
+
+    #[test]
+    fn intern_column_maps_rows_to_codes() {
+        let schema = Schema::builder()
+            .key_attr("k", AttrType::Integer)
+            .categorical_attr("city", AttrType::Text)
+            .build()
+            .unwrap();
+        let mut rel = Relation::new(schema);
+        for (k, city) in [(1, "boston"), (2, "paris"), (3, "austin")] {
+            rel.push(vec![Value::Int(k), Value::Text(city.into())]).unwrap();
+        }
+        let d = domain();
+        let codes = rel.column_iter(1).map(|v| d.code_of(v)).collect::<Vec<_>>();
+        assert_eq!(d.intern_column(&rel, 1), codes);
+        assert_eq!(codes, vec![Some(1), None, Some(0)]);
     }
 
     #[test]

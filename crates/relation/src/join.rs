@@ -178,8 +178,7 @@ pub fn distinct(rel: &Relation) -> Relation {
 /// different types (the comparison would be vacuous).
 pub fn difference_by_key(a: &Relation, b: &Relation) -> Result<Relation, RelationError> {
     check_key_types(a, b)?;
-    let b_keys: HashSet<&Value> =
-        b.column_iter(b.schema().key_index()).collect();
+    let b_keys: HashSet<&Value> = b.column_iter(b.schema().key_index()).collect();
     let key_idx = a.schema().key_index();
     let mut out = Relation::with_capacity(a.schema().clone(), a.len());
     for tuple in a.iter() {
@@ -199,8 +198,7 @@ pub fn difference_by_key(a: &Relation, b: &Relation) -> Result<Relation, Relatio
 /// different types.
 pub fn intersect_by_key(a: &Relation, b: &Relation) -> Result<Relation, RelationError> {
     check_key_types(a, b)?;
-    let b_keys: HashSet<&Value> =
-        b.column_iter(b.schema().key_index()).collect();
+    let b_keys: HashSet<&Value> = b.column_iter(b.schema().key_index()).collect();
     let key_idx = a.schema().key_index();
     let mut out = Relation::with_capacity(a.schema().clone(), a.len());
     for tuple in a.iter() {
@@ -217,9 +215,7 @@ fn check_key_types(a: &Relation, b: &Relation) -> Result<(), RelationError> {
     if a_ty == b_ty {
         Ok(())
     } else {
-        Err(RelationError::InvalidSchema(format!(
-            "key types differ: {a_ty} vs {b_ty}"
-        )))
+        Err(RelationError::InvalidSchema(format!("key types differ: {a_ty} vs {b_ty}")))
     }
 }
 
@@ -261,8 +257,7 @@ mod tests {
         let joined = hash_join(&s, &c, "item", "item").unwrap();
         // Item 104 has no catalog row: 4 of 20 sales rows drop out.
         assert_eq!(joined.len(), 16);
-        let names: Vec<&str> =
-            joined.schema().attrs().iter().map(|a| a.name.as_str()).collect();
+        let names: Vec<&str> = joined.schema().attrs().iter().map(|a| a.name.as_str()).collect();
         assert_eq!(names, vec!["visit", "item", "item_r", "dept"]);
         // Join attribute values agree on every output row.
         let item = joined.schema().index_of("item").unwrap();
@@ -370,15 +365,9 @@ mod tests {
             .attr("x_r", AttrType::Integer)
             .build()
             .unwrap();
-        let right = Schema::builder()
-            .key_attr("x", AttrType::Integer)
-            .build()
-            .unwrap();
+        let right = Schema::builder().key_attr("x", AttrType::Integer).build().unwrap();
         let l = Relation::new(left);
         let r = Relation::new(right);
-        assert!(matches!(
-            hash_join(&l, &r, "k", "x"),
-            Err(RelationError::InvalidSchema(_))
-        ));
+        assert!(matches!(hash_join(&l, &r, "k", "x"), Err(RelationError::InvalidSchema(_))));
     }
 }

@@ -188,9 +188,7 @@ pub fn shuffle(rel: &Relation, seed: u64) -> Relation {
 /// [`RelationError::InvalidSchema`] when schemas differ.
 pub fn union(a: &Relation, b: &Relation) -> Result<Relation, RelationError> {
     if a.schema() != b.schema() {
-        return Err(RelationError::InvalidSchema(
-            "union requires identical schemas".into(),
-        ));
+        return Err(RelationError::InvalidSchema("union requires identical schemas".into()));
     }
     let mut out = Relation::with_capacity(a.schema().clone(), a.len() + b.len());
     for tuple in a.iter().chain(b.iter()) {

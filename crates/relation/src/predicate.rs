@@ -116,7 +116,8 @@ mod tests {
     #[test]
     fn membership() {
         let (s, t) = fixture();
-        let p = Predicate::is_in("city", [Value::Text("chicago".into()), Value::Text("boston".into())]);
+        let p =
+            Predicate::is_in("city", [Value::Text("chicago".into()), Value::Text("boston".into())]);
         assert!(p.eval(&s, &t).unwrap());
         let p = Predicate::is_in("city", [Value::Text("boston".into())]);
         assert!(!p.eval(&s, &t).unwrap());

@@ -99,9 +99,7 @@ impl Relation {
     ///
     /// [`RelationError::RowOutOfBounds`].
     pub fn tuple(&self, row: usize) -> Result<&Tuple, RelationError> {
-        self.tuples
-            .get(row)
-            .ok_or(RelationError::RowOutOfBounds { row, len: self.tuples.len() })
+        self.tuples.get(row).ok_or(RelationError::RowOutOfBounds { row, len: self.tuples.len() })
     }
 
     /// Iterate over tuples in row order.
@@ -156,10 +154,15 @@ impl Relation {
         Ok(self.tuples[row].set(attr_idx, value))
     }
 
-    /// All values of attribute `attr_idx`, in row order.
+    /// All values of attribute `attr_idx`, in row order, **borrowed**.
+    ///
+    /// Historically this cloned every value; column extraction sits
+    /// under domain construction, attack-invariance checks, and the
+    /// plan layer's key-column fingerprinting, none of which need
+    /// ownership. Callers that do can `.into_iter().cloned()`.
     #[must_use]
-    pub fn column(&self, attr_idx: usize) -> Vec<Value> {
-        self.tuples.iter().map(|t| t.get(attr_idx).clone()).collect()
+    pub fn column(&self, attr_idx: usize) -> Vec<&Value> {
+        self.tuples.iter().map(|t| t.get(attr_idx)).collect()
     }
 
     /// Borrowing iterator over one attribute's values.
@@ -327,12 +330,12 @@ mod tests {
     }
 
     #[test]
-    fn column_extracts_in_row_order() {
+    fn column_extracts_in_row_order_without_cloning() {
         let r = sample();
-        assert_eq!(
-            r.column(1),
-            vec![Value::Text("x".into()), Value::Text("y".into()), Value::Text("x".into())]
-        );
+        let expected = [Value::Text("x".into()), Value::Text("y".into()), Value::Text("x".into())];
+        assert_eq!(r.column(1), expected.iter().collect::<Vec<&Value>>());
+        // The borrowed values alias the stored tuples.
+        assert!(std::ptr::eq(r.column(1)[0], r.tuple(0).unwrap().get(1)));
     }
 
     #[test]

@@ -171,10 +171,9 @@ impl Schema {
         let mut seen = vec![false; self.attrs.len()];
         let mut attrs = Vec::with_capacity(indices.len());
         for &i in indices {
-            let attr = self
-                .attrs
-                .get(i)
-                .ok_or_else(|| RelationError::InvalidSchema(format!("attribute index {i} out of bounds")))?;
+            let attr = self.attrs.get(i).ok_or_else(|| {
+                RelationError::InvalidSchema(format!("attribute index {i} out of bounds"))
+            })?;
             if seen[i] {
                 return Err(RelationError::InvalidSchema(format!("attribute index {i} repeated")));
             }

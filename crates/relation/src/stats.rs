@@ -44,7 +44,10 @@ impl FrequencyHistogram {
     ///
     /// [`RelationError::InvalidSchema`] when `counts` does not match
     /// the domain size.
-    pub fn from_counts(domain: &CategoricalDomain, counts: Vec<u64>) -> Result<Self, RelationError> {
+    pub fn from_counts(
+        domain: &CategoricalDomain,
+        counts: Vec<u64>,
+    ) -> Result<Self, RelationError> {
         if counts.len() != domain.len() {
             return Err(RelationError::InvalidSchema(format!(
                 "{} counts for a domain of {} values",
@@ -115,14 +118,8 @@ impl FrequencyHistogram {
     /// different attributes is a programming error).
     #[must_use]
     pub fn l1_distance(&self, other: &FrequencyHistogram) -> f64 {
-        assert_eq!(
-            self.counts.len(),
-            other.counts.len(),
-            "histograms must share a domain size"
-        );
-        (0..self.counts.len())
-            .map(|t| (self.frequency(t) - other.frequency(t)).abs())
-            .sum()
+        assert_eq!(self.counts.len(), other.counts.len(), "histograms must share a domain size");
+        (0..self.counts.len()).map(|t| (self.frequency(t) - other.frequency(t)).abs()).sum()
     }
 
     /// Shannon entropy of the distribution in bits.
@@ -185,8 +182,8 @@ mod tests {
     #[test]
     fn foreign_value_in_column_errors() {
         let (rel, _) = fixture();
-        let small = CategoricalDomain::new(vec![Value::Text("x".into()), Value::Text("y".into())])
-            .unwrap();
+        let small =
+            CategoricalDomain::new(vec![Value::Text("x".into()), Value::Text("y".into())]).unwrap();
         assert!(FrequencyHistogram::from_relation(&rel, 1, &small).is_err());
     }
 

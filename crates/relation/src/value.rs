@@ -9,6 +9,8 @@
 
 use std::cmp::Ordering;
 
+use catmark_crypto::CanonicalInput;
+
 /// A single attribute value.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Value {
@@ -28,27 +30,21 @@ impl Value {
         }
     }
 
-    /// Canonical byte encoding used as hash input.
+    /// Canonical byte encoding used as hash input, materialized.
     ///
     /// The encoding is injective across both variants: a one-byte type
     /// tag followed by the payload (big-endian for integers). This is
     /// the `T_j(K)` byte string fed to `H(·, k)`.
+    ///
+    /// Hot paths should prefer the allocation-free streaming form —
+    /// `Value` implements [`CanonicalInput`], so
+    /// `KeyedHash::hash_canonical_u64(value)` hashes the same bytes
+    /// without building this `Vec`.
     #[must_use]
     pub fn canonical_bytes(&self) -> Vec<u8> {
-        match self {
-            Value::Int(v) => {
-                let mut out = Vec::with_capacity(9);
-                out.push(0x01);
-                out.extend_from_slice(&v.to_be_bytes());
-                out
-            }
-            Value::Text(s) => {
-                let mut out = Vec::with_capacity(1 + s.len());
-                out.push(0x02);
-                out.extend_from_slice(s.as_bytes());
-                out
-            }
-        }
+        let mut out = Vec::with_capacity(self.canonical_len());
+        self.write_canonical(&mut out).expect("Vec writers are infallible");
+        out
     }
 
     /// The integer payload, if this is an [`Value::Int`].
@@ -80,6 +76,33 @@ impl Value {
                 .map(Value::Int)
                 .map_err(|e| crate::RelationError::Csv(format!("bad integer {s:?}: {e}"))),
             crate::schema::AttrType::Text => Ok(Value::Text(s.to_owned())),
+        }
+    }
+}
+
+/// Streaming form of [`Value::canonical_bytes`]: one type-tag byte
+/// then the payload, written piecewise so keyed hashing over tuple
+/// keys never allocates.
+impl CanonicalInput for Value {
+    fn canonical_len(&self) -> usize {
+        match self {
+            Value::Int(_) => 1 + std::mem::size_of::<i64>(),
+            Value::Text(s) => 1 + s.len(),
+        }
+    }
+
+    fn write_canonical<W: std::io::Write + ?Sized>(&self, out: &mut W) -> std::io::Result<()> {
+        match self {
+            Value::Int(v) => {
+                let mut buf = [0u8; 9];
+                buf[0] = 0x01;
+                buf[1..].copy_from_slice(&v.to_be_bytes());
+                out.write_all(&buf)
+            }
+            Value::Text(s) => {
+                out.write_all(&[0x02])?;
+                out.write_all(s.as_bytes())
+            }
         }
     }
 }
@@ -143,6 +166,27 @@ mod tests {
     use crate::schema::AttrType;
 
     #[test]
+    fn streaming_encoding_matches_materialized() {
+        for v in [Value::Int(0), Value::Int(-7), Value::Int(i64::MAX), Value::Text("Äx".into())] {
+            let mut streamed = Vec::new();
+            v.write_canonical(&mut streamed).unwrap();
+            assert_eq!(streamed, v.canonical_bytes());
+            assert_eq!(streamed.len(), v.canonical_len());
+        }
+    }
+
+    #[test]
+    fn zero_alloc_hash_agrees_with_materialized_hash() {
+        let h = catmark_crypto::KeyedHash::new(
+            catmark_crypto::HashAlgorithm::Sha256,
+            catmark_crypto::SecretKey::from_u64(5),
+        );
+        for v in [Value::Int(123), Value::Text("san jose".into())] {
+            assert_eq!(h.hash_canonical_u64(&v), h.hash_u64(&[&v.canonical_bytes()]));
+        }
+    }
+
+    #[test]
     fn canonical_bytes_are_injective_across_variants() {
         // Int(0x41) must not collide with Text("A") etc.
         let int = Value::Int(0x41).canonical_bytes();
@@ -158,21 +202,12 @@ mod tests {
 
     #[test]
     fn ordering_is_total_and_stable() {
-        let mut values = vec![
-            Value::Text("b".into()),
-            Value::Int(10),
-            Value::Text("a".into()),
-            Value::Int(-5),
-        ];
+        let mut values =
+            vec![Value::Text("b".into()), Value::Int(10), Value::Text("a".into()), Value::Int(-5)];
         values.sort();
         assert_eq!(
             values,
-            vec![
-                Value::Int(-5),
-                Value::Int(10),
-                Value::Text("a".into()),
-                Value::Text("b".into()),
-            ]
+            vec![Value::Int(-5), Value::Int(10), Value::Text("a".into()), Value::Text("b".into()),]
         );
     }
 

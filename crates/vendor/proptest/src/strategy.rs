@@ -1,0 +1,239 @@
+//! Value-generation strategies: integer/float ranges, `any::<T>()`,
+//! and a regex-subset string strategy for `&str` patterns.
+
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+use crate::test_runner::TestRng;
+
+/// Generates one value per call; the shim's equivalent of proptest's
+/// `Strategy` (no value tree, no shrinking).
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+/// Full-range strategy for `T`, mirroring `proptest::prelude::any`.
+#[must_use]
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// Strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(PhantomData<T>);
+
+/// Types with a canonical full-range strategy.
+pub trait Arbitrary: Sized {
+    /// Draw one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let len = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(len) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let len = (hi as i128 - lo as i128) as u128 + 1;
+                if len > u128::from(u64::MAX) {
+                    return rng.next_u64() as $t; // full-width range
+                }
+                (lo as i128 + rng.below(len as u64) as i128) as $t
+            }
+        }
+    )*};
+}
+impl_range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.unit() * (self.end - self.start)
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        // Closed upper end: scale a 53-bit lattice that includes 1.
+        let lattice = (rng.next_u64() >> 11) as f64 / ((1u64 << 53) - 1) as f64;
+        self.start() + lattice * (self.end() - self.start())
+    }
+}
+
+/// String strategy from a regex **subset**: a single `[...]` or
+/// `[^...]` character class followed by a `{min,max}` repetition, e.g.
+/// `"[^\r\n]{0,30}"`. Anything else panics with a clear message — the
+/// shim prefers loud failure over silently generating the wrong
+/// language.
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (class, min, max) = parse_class_repeat(self)
+            .unwrap_or_else(|| panic!("unsupported regex strategy pattern: {self:?}"));
+        let len = min + rng.below((max - min + 1) as u64) as usize;
+        (0..len).map(|_| class.sample(rng)).collect()
+    }
+}
+
+/// A parsed character class: printable-ASCII alphabet minus exclusions
+/// (negated class), or an explicit member list.
+struct CharClass {
+    negated: bool,
+    members: Vec<char>,
+}
+
+impl CharClass {
+    fn sample(&self, rng: &mut TestRng) -> char {
+        if self.negated {
+            // Draw from printable ASCII plus a few common unicode
+            // letters, skipping excluded members.
+            const EXTRA: [char; 6] = ['é', 'ü', 'λ', '中', '✓', 'ß'];
+            loop {
+                let roll = rng.below(100);
+                let c = if roll < 94 {
+                    char::from(b' ' + rng.below(95) as u8)
+                } else {
+                    EXTRA[rng.below(EXTRA.len() as u64) as usize]
+                };
+                if !self.members.contains(&c) {
+                    return c;
+                }
+            }
+        } else {
+            self.members[rng.below(self.members.len() as u64) as usize]
+        }
+    }
+}
+
+/// Parse `[...]{min,max}` / `[^...]{min,max}`; `None` when the pattern
+/// falls outside the supported subset.
+fn parse_class_repeat(pattern: &str) -> Option<(CharClass, usize, usize)> {
+    let rest = pattern.strip_prefix('[')?;
+    let (negated, rest) = match rest.strip_prefix('^') {
+        Some(r) => (true, r),
+        None => (false, rest),
+    };
+    let close = rest.find(']')?;
+    let (class_src, rest) = rest.split_at(close);
+    let rest = rest.strip_prefix(']')?;
+    let mut members = Vec::new();
+    let mut chars = class_src.chars().peekable();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next()? {
+                'r' => members.push('\r'),
+                'n' => members.push('\n'),
+                't' => members.push('\t'),
+                other => members.push(other),
+            }
+        } else if chars.peek() == Some(&'-') && c != '-' {
+            chars.next(); // consume '-'
+            let hi = chars.next()?;
+            for v in (c as u32)..=(hi as u32) {
+                members.push(char::from_u32(v)?);
+            }
+        } else {
+            members.push(c);
+        }
+    }
+    let reps = rest.strip_prefix('{')?.strip_suffix('}')?;
+    let (min, max) = match reps.split_once(',') {
+        Some((a, b)) => (a.trim().parse().ok()?, b.trim().parse().ok()?),
+        None => {
+            let n = reps.trim().parse().ok()?;
+            (n, n)
+        }
+    };
+    if min > max || (!negated && members.is_empty()) {
+        return None;
+    }
+    Some((CharClass { negated, members }, min, max))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::{ProptestConfig, TestRunner};
+
+    fn rng() -> TestRng {
+        TestRunner::new(&ProptestConfig::default(), "strategy-tests").rng_for_case(0)
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = rng();
+        for _ in 0..5_000 {
+            let v = (10u64..=20).generate(&mut rng);
+            assert!((10..=20).contains(&v));
+            let w = (0usize..7).generate(&mut rng);
+            assert!(w < 7);
+            let f = (0.25f64..=1.0).generate(&mut rng);
+            assert!((0.25..=1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn full_width_inclusive_range_is_supported() {
+        let mut rng = rng();
+        let _ = (0u64..=u64::MAX).generate(&mut rng);
+    }
+
+    #[test]
+    fn regex_subset_generates_matching_strings() {
+        let mut rng = rng();
+        for _ in 0..2_000 {
+            let s = "[^\r\n]{0,30}".generate(&mut rng);
+            assert!(s.chars().count() <= 30);
+            assert!(!s.contains('\r') && !s.contains('\n'));
+        }
+        for _ in 0..500 {
+            let s = "[a-c]{2,4}".generate(&mut rng);
+            assert!((2..=4).contains(&s.len()));
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported regex strategy")]
+    fn unsupported_regex_panics() {
+        let mut rng = rng();
+        let _ = "(a|b)+".generate(&mut rng);
+    }
+}

@@ -1,0 +1,98 @@
+//! Deterministic case runner: per-test seeding, case RNGs, and the
+//! error type `prop_assert!` returns.
+
+/// How many cases each property runs (the only config knob consumers
+/// use).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per property.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A failed property case (no shrinking; the message carries the
+/// assertion context).
+#[derive(Debug)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// Failure with `message`.
+    #[must_use]
+    pub fn fail(message: String) -> Self {
+        TestCaseError(message)
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Drives one property: derives a stable seed from the test name so
+/// runs are reproducible without a persistence file.
+#[derive(Debug)]
+pub struct TestRunner {
+    seed: u64,
+}
+
+impl TestRunner {
+    /// Runner for the property named `name`.
+    #[must_use]
+    pub fn new(_config: &ProptestConfig, name: &str) -> Self {
+        // FNV-1a over the test name: stable across runs and platforms.
+        let mut seed = 0xCBF2_9CE4_8422_2325u64;
+        for b in name.bytes() {
+            seed ^= u64::from(b);
+            seed = seed.wrapping_mul(0x1000_0000_01B3);
+        }
+        TestRunner { seed }
+    }
+
+    /// Independent RNG for case `case`.
+    #[must_use]
+    pub fn rng_for_case(&mut self, case: u32) -> TestRng {
+        TestRng { state: self.seed ^ (u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15)) | 1 }
+    }
+}
+
+/// SplitMix64 stream feeding the strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Next 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, bound)`; bias < bound / 2^64.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "below(0)");
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}

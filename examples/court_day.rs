@@ -32,8 +32,13 @@ fn main() {
     // (Section 4.6 — additions cost no alterations).
     let mut synth = IntKeySynthesizer::new(500_000_000, 600_000_000, 7);
     let added = inject_fit_tuples(
-        &spec, &mut rel, "visit_nbr", "item_nbr", &wm,
-        InjectionParams::new(120, 7), &mut synth,
+        &spec,
+        &mut rel,
+        "visit_nbr",
+        "item_nbr",
+        &wm,
+        InjectionParams::new(120, 7),
+        &mut synth,
     )
     .expect("injection succeeds");
     println!(

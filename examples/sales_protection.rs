@@ -9,9 +9,7 @@
 
 use catmark::prelude::*;
 use catmark_attacks::composite;
-use catmark_core::quality::{
-    AlterationBudget, FrequencyDriftLimit, ImmutableRows, QualityGuard,
-};
+use catmark_core::quality::{AlterationBudget, FrequencyDriftLimit, ImmutableRows, QualityGuard};
 
 fn main() {
     // The data product: a quarter of Zipf-skewed item scans.
@@ -65,10 +63,7 @@ fn main() {
 
     // Verify the contract held.
     let after = FrequencyHistogram::from_relation(&rel, 1, &domain).expect("clean column");
-    println!(
-        "frequency drift after marking: {:.4} L1 (limit 0.02)",
-        baseline.l1_distance(&after)
-    );
+    println!("frequency drift after marking: {:.4} L1 (limit 0.02)", baseline.l1_distance(&after));
     assert!(baseline.l1_distance(&after) <= 0.02 + 1e-9);
 
     // A realistic composite adversary.
@@ -78,9 +73,8 @@ fn main() {
     }
     let suspect = composite::pipeline(&rel, &steps).expect("attack pipeline");
 
-    let decoded = Decoder::new(&spec)
-        .decode(&suspect, "visit_nbr", "item_nbr")
-        .expect("blind decode");
+    let decoded =
+        Decoder::new(&spec).decode(&suspect, "visit_nbr", "item_nbr").expect("blind decode");
     let verdict = detect(&decoded.watermark, &wm);
     println!(
         "after attack: {}/{} bits recovered, false-positive odds {:.2e} => {}",
@@ -93,9 +87,8 @@ fn main() {
     // And if the publication deal falls through: full undo.
     let mut restored = rel.clone();
     let undone = guard.undo_all(&mut restored).expect("undo succeeds");
-    let still_marked = Decoder::new(&spec)
-        .decode(&restored, "visit_nbr", "item_nbr")
-        .expect("decode");
+    let still_marked =
+        Decoder::new(&spec).decode(&restored, "visit_nbr", "item_nbr").expect("decode");
     println!(
         "rollback: {undone} alterations undone; residual mark match {}/{} (expected ~chance)",
         detect(&still_marked.watermark, &wm).matched_bits,

@@ -54,8 +54,8 @@ fn main() {
         drift <= 0.05        # histogram stays within 0.05 L1
         immutable 0..500     # first 500 rows are contractual samples
     "#;
-    let mut guard = constraint_lang::compile(program, &live, 1, &gen.item_domain())
-        .expect("program compiles");
+    let mut guard =
+        constraint_lang::compile(program, &live, 1, &gen.item_domain()).expect("program compiles");
     let mut governed = live.clone();
     let report = Embedder::new(&spec)
         .embed_guarded(&mut governed, "visit_nbr", "item_nbr", &wm, &mut guard)
@@ -92,9 +92,7 @@ fn main() {
             .expect("contest resolves");
     println!(
         "owner evidence: {}/{} bits, vote unanimity {:.3}",
-        ev_owner.detection.matched_bits,
-        ev_owner.detection.total_bits,
-        ev_owner.vote_unanimity
+        ev_owner.detection.matched_bits, ev_owner.detection.total_bits, ev_owner.vote_unanimity
     );
     println!(
         "mallory evidence: {}/{} bits, vote unanimity {:.3}",

@@ -107,9 +107,8 @@ fn main() {
 
         // The frequency channel needs only the single attribute.
         if keep.contains(&"item_nbr") {
-            let freq_wm = codec
-                .decode(&suspect, "item_nbr", &gen.item_domain())
-                .expect("frequency decode");
+            let freq_wm =
+                codec.decode(&suspect, "item_nbr", &gen.item_domain()).expect("frequency decode");
             let freq_verdict = detect(&freq_wm, &wm);
             println!(
                 "  frequency witness: {}/{} bits, fp {:.2e}",

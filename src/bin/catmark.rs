@@ -75,12 +75,9 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
     let mut flags = HashMap::new();
     let mut iter = args.iter();
     while let Some(flag) = iter.next() {
-        let name = flag
-            .strip_prefix("--")
-            .ok_or_else(|| format!("expected --flag, got {flag:?}"))?;
-        let value = iter
-            .next()
-            .ok_or_else(|| format!("--{name} needs a value"))?;
+        let name =
+            flag.strip_prefix("--").ok_or_else(|| format!("expected --flag, got {flag:?}"))?;
+        let value = iter.next().ok_or_else(|| format!("--{name} needs a value"))?;
         if flags.insert(name.to_owned(), value.clone()).is_some() {
             return Err(format!("--{name} given twice"));
         }
@@ -89,10 +86,7 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
 }
 
 fn require<'a>(flags: &'a HashMap<String, String>, name: &str) -> Result<&'a str, String> {
-    flags
-        .get(name)
-        .map(String::as_str)
-        .ok_or_else(|| format!("missing required flag --{name}"))
+    flags.get(name).map(String::as_str).ok_or_else(|| format!("missing required flag --{name}"))
 }
 
 // ---------------------------------------------------------------- keygen
@@ -101,9 +95,8 @@ fn keygen(flags: &HashMap<String, String>) -> Result<String, String> {
     let master = require(flags, "master")?;
     let csv_path = require(flags, "domain-from")?;
     let attr = require(flags, "attr")?;
-    let e: u64 = flags
-        .get("e")
-        .map_or(Ok(60), |v| v.parse().map_err(|err| format!("--e: {err}")))?;
+    let e: u64 =
+        flags.get("e").map_or(Ok(60), |v| v.parse().map_err(|err| format!("--e: {err}")))?;
     let wm_len: usize = flags
         .get("wm-len")
         .map_or(Ok(10), |v| v.parse().map_err(|err| format!("--wm-len: {err}")))?;
@@ -114,19 +107,15 @@ fn keygen(flags: &HashMap<String, String>) -> Result<String, String> {
         Some(other) => return Err(format!("unknown erasure policy {other:?}")),
     };
     let rel = load_csv(csv_path, attr)?;
-    let attr_idx = rel
-        .schema()
-        .index_of(attr)
-        .map_err(|err| err.to_string())?;
+    let attr_idx = rel.schema().index_of(attr).map_err(|err| err.to_string())?;
     let domain = CategoricalDomain::from_column(&rel, attr_idx).map_err(|e| e.to_string())?;
-    let mut builder = WatermarkSpec::builder(domain)
-        .master_key(master)
-        .e(e)
-        .wm_len(wm_len)
-        .erasure(erasure);
+    let mut builder =
+        WatermarkSpec::builder(domain).master_key(master).e(e).wm_len(wm_len).erasure(erasure);
     builder = match (flags.get("wm-data-len"), flags.get("tuples")) {
         (Some(l), _) => builder.wm_data_len(l.parse().map_err(|e| format!("--wm-data-len: {e}"))?),
-        (None, Some(n)) => builder.expected_tuples(n.parse().map_err(|e| format!("--tuples: {e}"))?),
+        (None, Some(n)) => {
+            builder.expected_tuples(n.parse().map_err(|e| format!("--tuples: {e}"))?)
+        }
         (None, None) => builder.expected_tuples(rel.len()),
     };
     let spec = builder.build().map_err(|e| e.to_string())?;
@@ -141,9 +130,8 @@ fn embed(flags: &HashMap<String, String>) -> Result<String, String> {
     let attr = require(flags, "attr")?;
     let mark = parse_mark(require(flags, "mark")?, spec.wm_len)?;
     let mut rel = load_csv(require(flags, "input")?, attr)?;
-    let report = Embedder::new(&spec)
-        .embed(&mut rel, key_attr, attr, &mark)
-        .map_err(|e| e.to_string())?;
+    let report =
+        Embedder::new(&spec).embed(&mut rel, key_attr, attr, &mark).map_err(|e| e.to_string())?;
     let output_path = require(flags, "output")?;
     let mut out = File::create(output_path).map_err(|e| format!("{output_path}: {e}"))?;
     catmark::relation::csv::write_csv(&rel, &mut out).map_err(|e| e.to_string())?;
@@ -165,9 +153,7 @@ fn decode(flags: &HashMap<String, String>) -> Result<String, String> {
     let key_attr = require(flags, "key-attr")?;
     let attr = require(flags, "attr")?;
     let rel = load_csv(require(flags, "input")?, attr)?;
-    let report = Decoder::new(&spec)
-        .decode(&rel, key_attr, attr)
-        .map_err(|e| e.to_string())?;
+    let report = Decoder::new(&spec).decode(&rel, key_attr, attr).map_err(|e| e.to_string())?;
     let mut out = format!(
         "decoded mark     {}\nfit tuples       {}\nvotes cast       {}\nforeign values   {}\npositions        {} observed / {} erased / {} conflicting\n",
         report.watermark,
@@ -228,12 +214,10 @@ fn rules(flags: &HashMap<String, String>) -> Result<String, String> {
     let min_confidence: f64 = flags
         .get("min-confidence")
         .map_or(Ok(0.8), |v| v.parse().map_err(|e| format!("--min-confidence: {e}")))?;
-    let max_len: usize = flags
-        .get("max-len")
-        .map_or(Ok(2), |v| v.parse().map_err(|e| format!("--max-len: {e}")))?;
-    let top: usize = flags
-        .get("top")
-        .map_or(Ok(20), |v| v.parse().map_err(|e| format!("--top: {e}")))?;
+    let max_len: usize =
+        flags.get("max-len").map_or(Ok(2), |v| v.parse().map_err(|e| format!("--max-len: {e}")))?;
+    let top: usize =
+        flags.get("top").map_or(Ok(20), |v| v.parse().map_err(|e| format!("--top: {e}")))?;
     if !(0.0..=1.0).contains(&min_support) || !(0.0..=1.0).contains(&min_confidence) {
         return Err("--min-support and --min-confidence are fractions in 0..=1".into());
     }
@@ -335,10 +319,7 @@ fn load_csv_multi(path: &str, cat_attrs: &[&str]) -> Result<Relation, String> {
 /// Infer a schema by sampling up to 100 rows.
 fn infer_schema(input: &mut impl BufRead, cat_attrs: &[&str]) -> Result<Schema, String> {
     let mut lines = input.lines();
-    let header = lines
-        .next()
-        .ok_or("empty file")?
-        .map_err(|e| e.to_string())?;
+    let header = lines.next().ok_or("empty file")?.map_err(|e| e.to_string())?;
     let names: Vec<String> = header.split(',').map(|s| s.trim().to_owned()).collect();
     if names.is_empty() || names.iter().any(String::is_empty) {
         return Err("malformed header".into());
@@ -382,8 +363,7 @@ mod tests {
         assert_eq!(flags["attr"], "item");
         assert!(parse_flags(&["--lonely".to_owned()]).is_err());
         assert!(parse_flags(&["naked".to_owned(), "v".to_owned()]).is_err());
-        let dup: Vec<String> =
-            ["--a", "1", "--a", "2"].iter().map(|s| (*s).to_string()).collect();
+        let dup: Vec<String> = ["--a", "1", "--a", "2"].iter().map(|s| (*s).to_string()).collect();
         assert!(parse_flags(&dup).is_err());
     }
 
@@ -430,10 +410,14 @@ mod tests {
         let arg = |s: &str| s.to_owned();
         let out = run(&[
             arg("rules"),
-            arg("--input"), arg(data_path.to_str().unwrap()),
-            arg("--attrs"), arg("dept,aisle"),
-            arg("--min-support"), arg("0.1"),
-            arg("--min-confidence"), arg("0.8"),
+            arg("--input"),
+            arg(data_path.to_str().unwrap()),
+            arg("--attrs"),
+            arg("dept,aisle"),
+            arg("--min-support"),
+            arg("0.1"),
+            arg("--min-confidence"),
+            arg("0.8"),
         ])
         .unwrap();
         assert!(out.contains("400 transactions"), "{out}");
@@ -443,8 +427,10 @@ mod tests {
         // Degenerate flags error cleanly.
         assert!(run(&[
             arg("rules"),
-            arg("--input"), arg(data_path.to_str().unwrap()),
-            arg("--attrs"), arg(""),
+            arg("--input"),
+            arg(data_path.to_str().unwrap()),
+            arg("--attrs"),
+            arg(""),
         ])
         .is_err());
         std::fs::remove_dir_all(&dir).ok();
@@ -467,8 +453,8 @@ mod tests {
         let marked_path = dir.join("marked.csv");
 
         // Write a data set.
-        let rel = SalesGenerator::new(ItemScanConfig { tuples: 3_000, ..Default::default() })
-            .generate();
+        let rel =
+            SalesGenerator::new(ItemScanConfig { tuples: 3_000, ..Default::default() }).generate();
         let mut f = File::create(&data_path).unwrap();
         catmark::relation::csv::write_csv(&rel, &mut f).unwrap();
 
@@ -476,11 +462,16 @@ mod tests {
         let arg = |s: &str| s.to_owned();
         let key_text = run(&[
             arg("keygen"),
-            arg("--master"), arg("cli-test-secret"),
-            arg("--domain-from"), arg(data_path.to_str().unwrap()),
-            arg("--attr"), arg("item_nbr"),
-            arg("--e"), arg("15"),
-            arg("--erasure"), arg("abstain"),
+            arg("--master"),
+            arg("cli-test-secret"),
+            arg("--domain-from"),
+            arg(data_path.to_str().unwrap()),
+            arg("--attr"),
+            arg("item_nbr"),
+            arg("--e"),
+            arg("15"),
+            arg("--erasure"),
+            arg("abstain"),
         ])
         .unwrap();
         std::fs::write(&key_path, &key_text).unwrap();
@@ -492,12 +483,18 @@ mod tests {
         // embed.
         let summary = run(&[
             arg("embed"),
-            arg("--key"), arg(key_path.to_str().unwrap()),
-            arg("--input"), arg(data_path.to_str().unwrap()),
-            arg("--key-attr"), arg("visit_nbr"),
-            arg("--attr"), arg("item_nbr"),
-            arg("--mark"), arg("1011001110"),
-            arg("--output"), arg(marked_path.to_str().unwrap()),
+            arg("--key"),
+            arg(key_path.to_str().unwrap()),
+            arg("--input"),
+            arg(data_path.to_str().unwrap()),
+            arg("--key-attr"),
+            arg("visit_nbr"),
+            arg("--attr"),
+            arg("item_nbr"),
+            arg("--mark"),
+            arg("1011001110"),
+            arg("--output"),
+            arg(marked_path.to_str().unwrap()),
         ])
         .unwrap();
         assert!(summary.contains("embedded 1011001110"), "{summary}");
@@ -505,11 +502,16 @@ mod tests {
         // decode with a claim.
         let verdict = run(&[
             arg("decode"),
-            arg("--key"), arg(key_path.to_str().unwrap()),
-            arg("--input"), arg(marked_path.to_str().unwrap()),
-            arg("--key-attr"), arg("visit_nbr"),
-            arg("--attr"), arg("item_nbr"),
-            arg("--claim"), arg("1011001110"),
+            arg("--key"),
+            arg(key_path.to_str().unwrap()),
+            arg("--input"),
+            arg(marked_path.to_str().unwrap()),
+            arg("--key-attr"),
+            arg("visit_nbr"),
+            arg("--attr"),
+            arg("item_nbr"),
+            arg("--claim"),
+            arg("1011001110"),
         ])
         .unwrap();
         assert!(verdict.contains("decoded mark     1011001110"), "{verdict}");

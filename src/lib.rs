@@ -9,14 +9,23 @@
 //! This crate is a facade re-exporting the workspace members:
 //!
 //! * [`crypto`] — MD5 / SHA-1 / SHA-256 and the keyed construct
-//!   `H(V, k) = hash(k; V; k)` (Section 2.2);
+//!   `H(V, k) = hash(k; V; k)` (Section 2.2). Hash inputs implement
+//!   `CanonicalInput` and stream their canonical encoding straight
+//!   into the digest (`write_canonical`), so the per-tuple hashing
+//!   under every operator is allocation-free;
 //! * [`relation`] — the in-memory relational substrate (schemas,
-//!   typed tuples, categorical domains, partition operators);
+//!   typed tuples, categorical domains with an interned-code lookup
+//!   path, borrowing column access, partition operators);
 //! * [`datagen`] — synthetic Wal-Mart-`ItemScan`-style workloads;
 //! * [`core`] — the watermarking scheme itself: fit-tuple selection,
 //!   majority-voting ECC, embedding, blind decoding, multi-attribute
 //!   embeddings, frequency-domain encoding, remap recovery, data
-//!   addition, quality constraints with rollback;
+//!   addition, quality constraints with rollback. All operators are
+//!   built on the shared `core::plan` layer: a `MarkPlan` computes
+//!   the per-tuple facts (fitness, `wm_data` position, value base) in
+//!   one optionally-parallel pass, and a `PlanCache` shares that pass
+//!   across embed, decode, streaming, tracing, and contests —
+//!   an embed → blind-decode round trip hashes the key column once;
 //! * [`attacks`] — the Section 2.3 adversary (A1–A6) plus collusion
 //!   attacks on buyer fingerprints;
 //! * [`analysis`] — the Section 4.4 vulnerability theory;
@@ -72,8 +81,8 @@ pub use catmark_relation as relation;
 pub mod prelude {
     pub use catmark_attacks::Attack;
     pub use catmark_core::{
-        detect, Decoder, Detection, EmbedReport, Embedder, ErasurePolicy, Watermark,
-        WatermarkSpec,
+        detect, Decoder, Detection, EmbedReport, Embedder, ErasurePolicy, MarkPlan, PlanCache,
+        Watermark, WatermarkSpec,
     };
     pub use catmark_crypto::{HashAlgorithm, SecretKey};
     pub use catmark_datagen::{ItemScanConfig, SalesGenerator};

@@ -20,7 +20,12 @@ fn marked_fixture(tuples: usize, e: u64) -> (Relation, WatermarkSpec, Watermark)
     (rel, spec, wm)
 }
 
-fn significant_after(attack: &Attack, rel: &Relation, spec: &WatermarkSpec, wm: &Watermark) -> bool {
+fn significant_after(
+    attack: &Attack,
+    rel: &Relation,
+    spec: &WatermarkSpec,
+    wm: &Watermark,
+) -> bool {
     let suspect = attack.apply(rel).unwrap();
     let decoded = Decoder::new(spec).decode(&suspect, "visit_nbr", "item_nbr").unwrap();
     detect(&decoded.watermark, wm).is_significant(1e-2)
@@ -74,12 +79,9 @@ fn incremental_updates_extend_the_mark() {
     // accordingly."
     let (mut rel, spec, wm) = marked_fixture(4_000, 20);
     // A month of new sales arrives.
-    let fresh = SalesGenerator::new(ItemScanConfig {
-        tuples: 1_000,
-        seed: 0xBEEF,
-        ..Default::default()
-    })
-    .generate();
+    let fresh =
+        SalesGenerator::new(ItemScanConfig { tuples: 1_000, seed: 0xBEEF, ..Default::default() })
+            .generate();
     for t in fresh.iter() {
         let mut values = t.values().to_vec();
         // Shift keys into a fresh range to avoid collisions.
@@ -101,11 +103,8 @@ fn incremental_updates_extend_the_mark() {
 #[test]
 fn frequency_channel_survives_extreme_partition_after_association_channel_dies() {
     use catmark::core::freq::FreqCodec;
-    let gen = SalesGenerator::new(ItemScanConfig {
-        tuples: 12_000,
-        items: 300,
-        ..Default::default()
-    });
+    let gen =
+        SalesGenerator::new(ItemScanConfig { tuples: 12_000, items: 300, ..Default::default() });
     let mut rel = gen.generate();
     let spec = WatermarkSpec::builder(gen.item_domain())
         .master_key("combined-channels")
@@ -116,13 +115,9 @@ fn frequency_channel_survives_extreme_partition_after_association_channel_dies()
         .unwrap();
     let wm = Watermark::from_u64(0b0101010101, 10);
     Embedder::new(&spec).embed(&mut rel, "visit_nbr", "item_nbr", &wm).unwrap();
-    let codec = FreqCodec::new(
-        HashAlgorithm::Sha256,
-        SecretKey::from_bytes(b"freq-key".to_vec()),
-        50,
-        10,
-    )
-    .unwrap();
+    let codec =
+        FreqCodec::new(HashAlgorithm::Sha256, SecretKey::from_bytes(b"freq-key".to_vec()), 50, 10)
+            .unwrap();
     codec.embed(&mut rel, "item_nbr", &gen.item_domain(), &wm).unwrap();
 
     // Both channels decode on intact data.
@@ -206,8 +201,7 @@ fn survives_value_biased_bestseller_partition() {
     // harsher partition than uniform loss. With Zipf skew the top-200
     // of 1000 items still covers most rows.
     let (rel, spec, wm) = marked_fixture(12_000, 15);
-    let kept =
-        catmark::attacks::horizontal::value_biased_selection(&rel, "item_nbr", 200).unwrap();
+    let kept = catmark::attacks::horizontal::value_biased_selection(&rel, "item_nbr", 200).unwrap();
     assert!(kept.len() > rel.len() / 2, "top-200 should keep most rows, kept {}", kept.len());
     let decoded = Decoder::new(&spec).decode(&kept, "visit_nbr", "item_nbr").unwrap();
     let verdict = detect(&decoded.watermark, &wm);
@@ -219,7 +213,7 @@ fn deletions_behave_like_data_loss() {
     // §4.3's update model includes deletes: removing tuples through
     // the relation API must leave surviving votes untouched.
     let (mut rel, spec, wm) = marked_fixture(6_000, 15);
-    let keys: Vec<Value> = rel.column(0);
+    let keys: Vec<Value> = rel.column(0).into_iter().cloned().collect();
     for key in keys.iter().step_by(3) {
         rel.delete_by_key(key).unwrap();
     }
@@ -279,9 +273,7 @@ fn decoder_is_total_on_junk_data() {
     // Junk 3: all values outside the domain.
     let mut foreign = Relation::new(junk.schema().clone());
     for i in 0..500 {
-        foreign
-            .push(vec![Value::Int(i), Value::Int(-1_000_000 - i)])
-            .unwrap();
+        foreign.push(vec![Value::Int(i), Value::Int(-1_000_000 - i)]).unwrap();
     }
     let report = Decoder::new(&spec).decode(&foreign, "visit_nbr", "item_nbr").unwrap();
     assert_eq!(report.votes_cast, 0);

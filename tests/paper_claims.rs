@@ -17,10 +17,7 @@ fn quick() -> ExperimentConfig {
 fn headline_80_percent_loss_tolerance() {
     let rows = fig7(&quick(), &[80], 65);
     let measured = rows[0].alteration_pct;
-    assert!(
-        measured <= 35.0,
-        "80% loss should cost ≤ ~25-35% alteration, measured {measured:.1}%"
-    );
+    assert!(measured <= 35.0, "80% loss should cost ≤ ~25-35% alteration, measured {measured:.1}%");
     assert!(measured > 0.0, "80% loss cannot be free");
 }
 

@@ -5,12 +5,8 @@ use proptest::prelude::*;
 
 /// Generate a relation deterministically from a seed.
 fn relation_for(seed: u64, tuples: usize) -> (Relation, CategoricalDomain) {
-    let gen = SalesGenerator::new(ItemScanConfig {
-        tuples,
-        items: 200,
-        seed,
-        ..Default::default()
-    });
+    let gen =
+        SalesGenerator::new(ItemScanConfig { tuples, items: 200, seed, ..Default::default() });
     (gen.generate(), gen.item_domain())
 }
 
@@ -264,6 +260,79 @@ proptest! {
             prev = p;
         }
         prop_assert_eq!(binomial_tail_half(n, 0), 1.0);
+    }
+
+    /// MarkPlan-driven embedding and decoding — sequential, parallel
+    /// at any thread count, and cache-served — are byte-identical to
+    /// the seed sequential path for any key, modulus, and watermark.
+    #[test]
+    fn plan_paths_are_byte_identical(
+        master in any::<u64>(),
+        e in 4u64..=40,
+        wm_bits in 0u64..=0x3FF,
+        threads in 2usize..=8,
+    ) {
+        use catmark::core::ecc::MajorityVotingEcc;
+        use catmark::core::{MarkPlan, PlanCache};
+        let (rel, domain) = relation_for(0xD1CE, 2_000);
+        let spec = WatermarkSpec::builder(domain)
+            .master_key(SecretKey::from_u64(master))
+            .e(e)
+            .wm_len(10)
+            .expected_tuples(2_000)
+            .build()
+            .unwrap();
+        let wm = Watermark::from_u64(wm_bits, 10);
+        // Seed path: name-resolved embed + decode, no shared plan.
+        let mut seed_marked = rel.clone();
+        let seed_report =
+            Embedder::new(&spec).embed(&mut seed_marked, "visit_nbr", "item_nbr", &wm).unwrap();
+        let seed_decode = Decoder::new(&spec).decode(&seed_marked, "visit_nbr", "item_nbr").unwrap();
+        // Plan paths.
+        let sequential = MarkPlan::build_sequential(&spec, &rel, 0);
+        let parallel = MarkPlan::build_with_threads(&spec, &rel, 0, threads);
+        prop_assert_eq!(sequential.fit(), parallel.fit());
+        let cache = PlanCache::new();
+        let cached = cache.plan_for(&spec, &rel, 0).unwrap();
+        for plan in [&sequential, &parallel, &*cached] {
+            let mut marked = rel.clone();
+            let report = Embedder::new(&spec)
+                .embed_with_plan(&mut marked, 1, &wm, &MajorityVotingEcc, None, plan)
+                .unwrap();
+            prop_assert_eq!(&report, &seed_report);
+            prop_assert!(seed_marked.iter().zip(marked.iter()).all(|(a, b)| a == b));
+            let plan_after = cache.plan_for(&spec, &marked, 0).unwrap();
+            let decode = Decoder::new(&spec)
+                .decode_with_plan(&marked, 1, &MajorityVotingEcc, &plan_after)
+                .unwrap();
+            prop_assert_eq!(&decode, &seed_decode);
+        }
+    }
+
+    /// Streaming ingestion through a StreamMarker matches a batch
+    /// Embedder pass tuple for tuple, for any key and modulus.
+    #[test]
+    fn stream_ingest_matches_batch_embed(master in any::<u64>(), e in 4u64..=40) {
+        use catmark::core::stream::StreamMarker;
+        let (rel, domain) = relation_for(0xFACE, 1_500);
+        let spec = WatermarkSpec::builder(domain)
+            .master_key(SecretKey::from_u64(master))
+            .e(e)
+            .wm_len(10)
+            .expected_tuples(1_500)
+            .build()
+            .unwrap();
+        let wm = Watermark::from_u64(0b1001101011, 10);
+        let mut batch = rel.clone();
+        Embedder::new(&spec).embed(&mut batch, "visit_nbr", "item_nbr", &wm).unwrap();
+        let marker =
+            StreamMarker::new(spec.clone(), &rel, "visit_nbr", "item_nbr", &wm).unwrap();
+        let mut streamed = Relation::new(rel.schema().clone());
+        for tuple in rel.iter() {
+            marker.ingest(&mut streamed, tuple.values().to_vec()).unwrap();
+        }
+        prop_assert_eq!(streamed.len(), batch.len());
+        prop_assert!(batch.iter().zip(streamed.iter()).all(|(a, b)| a == b));
     }
 
     /// The frequency histogram always sums to 1 on non-empty columns

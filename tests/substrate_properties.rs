@@ -258,9 +258,8 @@ fn guarded_embedding_survives_attacks_and_preserves_rules() {
         .build()
         .unwrap();
     let wm = Watermark::from_u64(0b1101001011, 10);
-    let mut guard = QualityGuard::new(vec![Box::new(AssociationRulePreserved::new(
-        &rel, &rules, 0.06,
-    ))]);
+    let mut guard =
+        QualityGuard::new(vec![Box::new(AssociationRulePreserved::new(&rel, &rules, 0.06))]);
     Embedder::new(&spec).embed_guarded(&mut rel, "k", "b", &wm, &mut guard).unwrap();
 
     // Rules hold on the marked copy.
