@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 use catmark_attacks::Attack;
-use catmark_core::{Decoder, Embedder, Watermark, WatermarkSpec};
+use catmark_core::{MarkSession, Watermark, WatermarkSpec};
 use catmark_crypto::{HashAlgorithm, KeyedHash};
 use catmark_datagen::{ItemScanConfig, SalesGenerator};
 
@@ -35,13 +35,16 @@ fn bench_embed(c: &mut Criterion) {
             .build()
             .unwrap();
         let wm = Watermark::from_u64(0x2A5, 10);
+        let session = MarkSession::builder(spec)
+            .key_column("visit_nbr")
+            .target_column("item_nbr")
+            .bind(&rel)
+            .unwrap();
         group.throughput(Throughput::Elements(n as u64));
         group.bench_with_input(BenchmarkId::from_parameter(n), &rel, |b, rel| {
             b.iter_batched(
                 || rel.clone(),
-                |mut data| {
-                    Embedder::new(&spec).embed(&mut data, "visit_nbr", "item_nbr", &wm).unwrap()
-                },
+                |mut data| session.embed(&mut data, &wm).unwrap(),
                 criterion::BatchSize::LargeInput,
             );
         });
@@ -62,10 +65,15 @@ fn bench_decode(c: &mut Criterion) {
             .build()
             .unwrap();
         let wm = Watermark::from_u64(0x2A5, 10);
-        Embedder::new(&spec).embed(&mut rel, "visit_nbr", "item_nbr", &wm).unwrap();
+        let session = MarkSession::builder(spec)
+            .key_column("visit_nbr")
+            .target_column("item_nbr")
+            .bind(&rel)
+            .unwrap();
+        session.embed(&mut rel, &wm).unwrap();
         group.throughput(Throughput::Elements(n as u64));
         group.bench_with_input(BenchmarkId::from_parameter(n), &rel, |b, rel| {
-            b.iter(|| Decoder::new(&spec).decode(rel, "visit_nbr", "item_nbr").unwrap());
+            b.iter(|| session.decode(rel).unwrap());
         });
     }
     group.finish();
@@ -118,7 +126,6 @@ fn bench_freq_codec(c: &mut Criterion) {
 }
 
 fn bench_stream_ingest(c: &mut Criterion) {
-    use catmark_core::stream::StreamMarker;
     let gen = SalesGenerator::new(ItemScanConfig { tuples: 6_000, ..Default::default() });
     let source = gen.generate();
     let spec = WatermarkSpec::builder(gen.item_domain())
@@ -129,7 +136,13 @@ fn bench_stream_ingest(c: &mut Criterion) {
         .build()
         .unwrap();
     let wm = Watermark::from_u64(0x2A5, 10);
-    let marker = StreamMarker::new(spec, &source, "visit_nbr", "item_nbr", &wm).unwrap();
+    let marker = MarkSession::builder(spec)
+        .key_column("visit_nbr")
+        .target_column("item_nbr")
+        .bind(&source)
+        .unwrap()
+        .stream(&wm)
+        .unwrap();
     let mut group = c.benchmark_group("stream_ingest");
     group.throughput(Throughput::Elements(source.len() as u64));
     group.bench_function("6000_tuples", |b| {

@@ -14,7 +14,7 @@ use catmark_bench::report::Table;
 use catmark_core::decode::ErasurePolicy;
 use catmark_core::power::score_run;
 use catmark_core::remap::{apply_inverse, recover_mapping_confident};
-use catmark_core::{Embedder, Watermark, WatermarkSpec};
+use catmark_core::{MarkSession, Watermark, WatermarkSpec};
 use catmark_datagen::{ItemScanConfig, ReservationsConfig, ReservationsGenerator, SalesGenerator};
 use catmark_relation::{CategoricalDomain, FrequencyHistogram, Relation};
 
@@ -70,8 +70,12 @@ fn main() {
             .expect("valid parameters");
         let wm = Watermark::from_u64(0b11_0010_1101 & 0x3FF, 10);
         let mut marked = w.original.clone();
-        Embedder::new(&spec)
-            .embed(&mut marked, w.key_attr, w.target_attr, &wm)
+        MarkSession::builder(spec.clone())
+            .key_column(w.key_attr)
+            .target_column(w.target_attr)
+            .bind(&marked)
+            .expect("workload schema binds")
+            .embed(&mut marked, &wm)
             .expect("embedding succeeds");
         let reference = FrequencyHistogram::from_relation(
             &marked,

@@ -1,16 +1,24 @@
 //! Plan-on vs plan-off throughput of the embed + blind-decode round
-//! trip, proving the `MarkPlan` layer end to end.
+//! trip, proving the `MarkPlan` layer — and the `MarkSession` API on
+//! top of it — end to end.
 //!
-//! The **baseline** re-implements the seed code path faithfully — per
-//! row it clones the key, materializes its canonical bytes per hash
-//! call, evaluates `H(·, k1)` once for the fitness test and *again*
-//! for the value base, and re-scans every row at decode time. The
-//! **planned** path builds one [`catmark_core::plan::MarkPlan`]
-//! through a shared [`catmark_core::plan::PlanCache`] and drives both
-//! embed and decode from it.
+//! Three paths over the same workload:
 //!
-//! The run asserts the two paths produce byte-identical marked
-//! relations and decodes before timing anything, then writes
+//! * **baseline** re-implements the seed code path faithfully — per
+//!   row it clones the key, materializes its canonical bytes per hash
+//!   call, evaluates `H(·, k1)` once for the fitness test and *again*
+//!   for the value base, and re-scans every row at decode time;
+//! * **plan-on** drives embed and decode from one
+//!   [`catmark_core::plan::MarkPlan`] through a
+//!   [`catmark_core::MarkSession`]'s shared cache;
+//! * **session-reuse** times the full court run (embed → blind decode
+//!   → detect) twice: once constructing a fresh per-operator
+//!   `Embedder`/`Decoder` for each step (the deprecated pre-session
+//!   surface — every operator replans), and once on a single bound
+//!   session, where all three steps share one cached plan.
+//!
+//! The run asserts the paths produce byte-identical marked relations
+//! and decodes before timing anything, then writes
 //! `BENCH_markplan.json` (machine-readable, one object per run) into
 //! the working directory so the perf trajectory is tracked from PR to
 //! PR.
@@ -21,8 +29,7 @@
 use std::time::Instant;
 
 use catmark_core::ecc::{ErrorCorrectingCode, MajorityVotingEcc};
-use catmark_core::plan::PlanCache;
-use catmark_core::{Decoder, Embedder, Watermark, WatermarkSpec};
+use catmark_core::{detect, MarkSession, Watermark, WatermarkSpec};
 use catmark_datagen::{ItemScanConfig, SalesGenerator};
 use catmark_relation::Relation;
 
@@ -47,22 +54,20 @@ fn main() {
     let wm = Watermark::from_u64(0b10_1100_1110, WM_LEN);
     let key_idx = 0;
     let attr_idx = 1;
+    let session = MarkSession::builder(spec.clone())
+        .key_column("visit_nbr")
+        .target_column("item_nbr")
+        .bind(&rel)
+        .expect("bench schema binds");
 
-    // Correctness gate: the planned path must reproduce the seed path
-    // byte for byte before any timing is worth reporting.
+    // Correctness gate: the planned/session path must reproduce the
+    // seed path byte for byte before any timing is worth reporting.
     let mut seed_marked = rel.clone();
     baseline_embed(&spec, &mut seed_marked, key_idx, attr_idx, &wm);
     let seed_decoded = baseline_decode(&spec, &seed_marked, key_idx, attr_idx);
-    let cache = PlanCache::new();
     let mut plan_marked = rel.clone();
-    let plan = cache.plan_for(&spec, &plan_marked, key_idx).expect("key attr exists");
-    Embedder::new(&spec)
-        .embed_with_plan(&mut plan_marked, attr_idx, &wm, &MajorityVotingEcc, None, &plan)
-        .expect("embedding succeeds");
-    let plan2 = cache.plan_for(&spec, &plan_marked, key_idx).expect("key attr exists");
-    let plan_decoded = Decoder::new(&spec)
-        .decode_with_plan(&plan_marked, attr_idx, &MajorityVotingEcc, &plan2)
-        .expect("decoding succeeds");
+    session.embed(&mut plan_marked, &wm).expect("embedding succeeds");
+    let plan_decoded = session.decode(&plan_marked).expect("decoding succeeds");
     let byte_identical = seed_marked.len() == plan_marked.len()
         && seed_marked.iter().zip(plan_marked.iter()).all(|(a, b)| a == b)
         && seed_decoded == plan_decoded.watermark
@@ -87,19 +92,19 @@ fn main() {
     let mut stage_embed = f64::MAX;
     let mut stage_decode = f64::MAX;
     for _ in 0..ITERS {
-        let cache = PlanCache::new();
+        // A fresh session per iteration: nothing pre-planned.
+        let session = MarkSession::builder(spec.clone())
+            .key_column("visit_nbr")
+            .target_column("item_nbr")
+            .bind(&rel)
+            .expect("bench schema binds");
         let mut marked = rel.clone();
         let start = Instant::now();
-        let plan = cache.plan_for(&spec, &marked, key_idx).expect("key attr exists");
+        let plan = session.plan(&marked).expect("planning succeeds");
         let t_plan = start.elapsed().as_secs_f64() * 1e3;
-        Embedder::new(&spec)
-            .embed_with_plan(&mut marked, attr_idx, &wm, &MajorityVotingEcc, None, &plan)
-            .expect("embedding succeeds");
+        session.embed_planned(&mut marked, &wm, &plan).expect("embedding succeeds");
         let t_embed = start.elapsed().as_secs_f64() * 1e3;
-        let plan = cache.plan_for(&spec, &marked, key_idx).expect("key attr exists");
-        let decoded = Decoder::new(&spec)
-            .decode_with_plan(&marked, attr_idx, &MajorityVotingEcc, &plan)
-            .expect("decoding succeeds");
+        let decoded = session.decode(&marked).expect("decoding succeeds");
         let elapsed = start.elapsed().as_secs_f64() * 1e3;
         assert_eq!(decoded.watermark, wm);
         planned_best = planned_best.min(elapsed);
@@ -108,22 +113,64 @@ fn main() {
         stage_decode = stage_decode.min(elapsed - t_embed);
     }
 
+    // Session-reuse scenario: the full court run (embed → blind decode
+    // → detect), per-operator construction vs one session handle.
+    let mut per_operator_best = f64::MAX;
+    for _ in 0..ITERS {
+        let mut marked = rel.clone();
+        let start = Instant::now();
+        per_operator_court_run(&spec, &mut marked, &wm);
+        per_operator_best = per_operator_best.min(start.elapsed().as_secs_f64() * 1e3);
+    }
+    let mut session_best = f64::MAX;
+    for _ in 0..ITERS {
+        let session = MarkSession::builder(spec.clone())
+            .key_column("visit_nbr")
+            .target_column("item_nbr")
+            .bind(&rel)
+            .expect("bench schema binds");
+        let mut marked = rel.clone();
+        let start = Instant::now();
+        session.embed(&mut marked, &wm).expect("embedding succeeds");
+        let verdict = session.detect(&marked, &wm).expect("detection succeeds");
+        assert_eq!(verdict.detection.matched_bits, WM_LEN);
+        session_best = session_best.min(start.elapsed().as_secs_f64() * 1e3);
+    }
+
     let speedup = baseline_best / planned_best;
+    let session_speedup = per_operator_best / session_best;
     let throughput = tuples as f64 / (planned_best / 1e3);
     println!("markplan round trip over {tuples} tuples (e = {E}, best of {ITERS}):");
     println!("  plan-off (seed path): {baseline_best:9.2} ms");
-    println!("  plan-on  (cached):    {planned_best:9.2} ms   {throughput:.0} tuples/s");
+    println!("  plan-on  (session):   {planned_best:9.2} ms   {throughput:.0} tuples/s");
     println!(
         "    stages: plan {stage_plan:.2} ms, embed {stage_embed:.2} ms, decode {stage_decode:.2} ms"
     );
     println!("  speedup:              {speedup:9.2}x");
+    println!("court run (embed + decode + detect):");
+    println!("  per-operator structs: {per_operator_best:9.2} ms   (every operator replans)");
+    println!("  one MarkSession:      {session_best:9.2} ms   (plan shared across operators)");
+    println!("  session speedup:      {session_speedup:9.2}x");
     println!("  byte-identical:       {byte_identical}");
 
     let json = format!(
-        "{{\n  \"bench\": \"markplan_round_trip\",\n  \"tuples\": {tuples},\n  \"e\": {E},\n  \"wm_len\": {WM_LEN},\n  \"iterations\": {ITERS},\n  \"baseline_round_trip_ms\": {baseline_best:.3},\n  \"plan_round_trip_ms\": {planned_best:.3},\n  \"plan_tuples_per_second\": {throughput:.0},\n  \"speedup\": {speedup:.3},\n  \"byte_identical\": {byte_identical}\n}}\n"
+        "{{\n  \"bench\": \"markplan_round_trip\",\n  \"tuples\": {tuples},\n  \"e\": {E},\n  \"wm_len\": {WM_LEN},\n  \"iterations\": {ITERS},\n  \"baseline_round_trip_ms\": {baseline_best:.3},\n  \"plan_round_trip_ms\": {planned_best:.3},\n  \"plan_tuples_per_second\": {throughput:.0},\n  \"speedup\": {speedup:.3},\n  \"per_operator_court_run_ms\": {per_operator_best:.3},\n  \"session_court_run_ms\": {session_best:.3},\n  \"session_speedup\": {session_speedup:.3},\n  \"byte_identical\": {byte_identical}\n}}\n"
     );
     std::fs::write("BENCH_markplan.json", &json).expect("can write BENCH_markplan.json");
     println!("wrote BENCH_markplan.json");
+}
+
+/// The pre-session public surface: a fresh operator struct per step,
+/// stringly-typed columns, no shared cache — embed and decode each
+/// run their own keyed-hash pass.
+#[allow(deprecated)]
+fn per_operator_court_run(spec: &WatermarkSpec, rel: &mut Relation, wm: &Watermark) {
+    use catmark_core::{Decoder, Embedder};
+    Embedder::new(spec).embed(rel, "visit_nbr", "item_nbr", wm).expect("embedding succeeds");
+    let decoded =
+        Decoder::new(spec).decode(rel, "visit_nbr", "item_nbr").expect("decoding succeeds");
+    let verdict = detect(&decoded.watermark, wm);
+    assert_eq!(verdict.matched_bits, wm.len());
 }
 
 /// The seed embedding loop, reproduced verbatim in structure: one

@@ -12,9 +12,8 @@
 //! Usage: `mining_tradeoff [--quick]`
 
 use catmark_bench::report::Table;
-use catmark_core::detect;
 use catmark_core::quality::QualityGuard;
-use catmark_core::{Decoder, Embedder, Watermark, WatermarkSpec};
+use catmark_core::{MarkSession, Watermark, WatermarkSpec};
 use catmark_datagen::{BasketConfig, BasketGenerator};
 use catmark_mining::apriori::{mine, AprioriConfig};
 use catmark_mining::classify::{accuracy, NaiveBayes, OneR};
@@ -52,9 +51,12 @@ fn embed_and_measure(
         )));
     }
     let mut guard = QualityGuard::new(constraints);
-    let report = Embedder::new(spec)
-        .embed_guarded(&mut rel, "sku", "aisle", wm, &mut guard)
-        .expect("embedding succeeds");
+    let session = MarkSession::builder(spec.clone())
+        .key_column("sku")
+        .target_column("aisle")
+        .bind(original)
+        .expect("basket schema binds");
+    let report = session.embed_guarded(&mut rel, wm, &mut guard).expect("embedding succeeds");
 
     let tx = Transactions::from_relation(&rel, &["dept", "aisle"]).expect("attrs exist");
     let drift = rules.drift_against(&tx);
@@ -62,14 +64,13 @@ fn embed_and_measure(
     // on the watermarked copy — the buyer's view.
     let frozen = OneR::train(original, "aisle", &["dept"]).expect("training data valid");
     let acc = accuracy(&frozen, &rel);
-    let decoded = Decoder::new(spec).decode(&rel, "sku", "aisle").expect("decode succeeds");
-    let det = detect(&decoded.watermark, wm);
+    let verdict = session.detect(&rel, wm).expect("decode succeeds");
     Outcome {
         altered: report.altered,
         vetoes: guard.vetoes(),
         rule_survival: drift.survival_rate(),
         clf_accuracy: acc,
-        mark_fp: det.false_positive_probability,
+        mark_fp: verdict.detection.false_positive_probability,
     }
 }
 

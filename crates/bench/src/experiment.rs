@@ -7,7 +7,7 @@
 
 use catmark_attacks::Attack;
 use catmark_core::decode::ErasurePolicy;
-use catmark_core::{Decoder, Embedder, Watermark, WatermarkSpec};
+use catmark_core::{MarkSession, Watermark, WatermarkSpec};
 use catmark_datagen::{ItemScanConfig, SalesGenerator};
 use catmark_relation::Relation;
 use std::sync::Mutex;
@@ -153,16 +153,19 @@ pub fn run(
                 let spec = config.spec_for_pass(domain.clone(), e, pass);
                 let wm = config.watermark_for_pass(pass);
                 let mut marked = base.clone();
-                let report = Embedder::new(&spec)
-                    .embed(&mut marked, "visit_nbr", "item_nbr", &wm)
-                    .expect("embedding validated parameters");
+                let session = MarkSession::builder(spec)
+                    .key_column("visit_nbr")
+                    .target_column("item_nbr")
+                    .bind(&marked)
+                    .expect("experiment schema binds");
+                let report =
+                    session.embed(&mut marked, &wm).expect("embedding validated parameters");
                 let mut suspect = marked;
                 for step in attack(pass) {
                     suspect = step.apply(&suspect).expect("attack applies to marked data");
                 }
-                let decoded = Decoder::new(&spec)
-                    .decode(&suspect, "visit_nbr", "item_nbr")
-                    .expect("decoding never fails on suspect data");
+                let decoded =
+                    session.decode(&suspect).expect("decoding never fails on suspect data");
                 let alteration = wm.alteration_fraction(&decoded.watermark);
                 results.lock().expect("no poisoned pass")[pass] =
                     (alteration, report.alteration_rate());

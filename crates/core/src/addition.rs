@@ -170,7 +170,7 @@ mod tests {
             .build()
             .unwrap();
         let wm = Watermark::from_u64(0b0101110010, 10);
-        Embedder::new(&spec).embed(&mut rel, "visit_nbr", "item_nbr", &wm).unwrap();
+        Embedder::engine(&spec).embed(&mut rel, "visit_nbr", "item_nbr", &wm).unwrap();
         (rel, spec, wm)
     }
 
@@ -247,7 +247,7 @@ mod tests {
         for seed in 0..8 {
             let lost_plain = ops::sample_bernoulli(&rel, 0.25, seed);
             let lost_reinf = ops::sample_bernoulli(&reinforced, 0.25, seed);
-            let d = Decoder::new(&spec);
+            let d = Decoder::engine(&spec);
             plain_errors += wm.hamming_distance(
                 &d.decode(&lost_plain, "visit_nbr", "item_nbr").unwrap().watermark,
             );

@@ -490,7 +490,7 @@ mod tests {
             .unwrap();
         let mut guard = compile("budget 0.5%\nimmutable 0..1000\n", &rel, 1, &domain).unwrap();
         let wm = Watermark::from_u64(0x155, 10);
-        let report = Embedder::new(&spec)
+        let report = Embedder::engine(&spec)
             .embed_guarded(&mut rel, "visit_nbr", "item_nbr", &wm, &mut guard)
             .unwrap();
         // Budget: 0.5% of 6000 = 30 alterations max.

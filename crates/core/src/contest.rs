@@ -67,6 +67,31 @@ impl ClaimEvidence {
     }
 }
 
+impl std::fmt::Display for ClaimEvidence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "claim by {:?}: {}, vote unanimity {:.3}",
+            self.claimant, self.detection, self.vote_unanimity
+        )
+    }
+}
+
+impl crate::session::Outcome for ClaimEvidence {
+    fn fit_count(&self) -> usize {
+        self.decode.fit_tuples
+    }
+
+    fn coverage(&self) -> f64 {
+        self.decode.coverage()
+    }
+
+    /// Probability the observed match is *not* chance.
+    fn confidence(&self) -> f64 {
+        1.0 - self.detection.false_positive_probability
+    }
+}
+
 /// Verdict of an ownership contest.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ContestOutcome {
@@ -81,6 +106,23 @@ pub enum ContestOutcome {
     Indeterminate,
     /// Neither claim is present.
     NeitherClaim,
+}
+
+impl std::fmt::Display for ContestOutcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ContestOutcome::OnlyClaim(who) => {
+                write!(f, "only {who:?}'s mark is present")
+            }
+            ContestOutcome::EarlierClaim(who) => {
+                write!(f, "both marks present; {who:?}'s shows the overwrite damage of the earlier embedding")
+            }
+            ContestOutcome::Indeterminate => {
+                f.write_str("both marks present and statistically indistinguishable")
+            }
+            ContestOutcome::NeitherClaim => f.write_str("neither mark is present"),
+        }
+    }
 }
 
 /// Gather evidence for `claim` against `rel`.
@@ -118,7 +160,7 @@ pub fn evidence_with_cache(
     let key_idx = rel.schema().index_of(key_attr)?;
     let attr_idx = rel.schema().index_of(target_attr)?;
     let plan = cache.plan_for(&claim.spec, rel, key_idx)?;
-    let decode = Decoder::new(&claim.spec).decode_with_plan(
+    let decode = Decoder::engine(&claim.spec).decode_with_plan(
         rel,
         attr_idx,
         &crate::ecc::MajorityVotingEcc,
@@ -156,9 +198,38 @@ pub fn resolve(
     alpha: f64,
     unanimity_margin: f64,
 ) -> Result<(ContestOutcome, ClaimEvidence, ClaimEvidence), CoreError> {
-    let cache = crate::plan::PlanCache::new();
-    let ev_a = evidence_with_cache(a, rel, key_attr, target_attr, &cache)?;
-    let ev_b = evidence_with_cache(b, rel, key_attr, target_attr, &cache)?;
+    resolve_with_cache(
+        a,
+        b,
+        rel,
+        key_attr,
+        target_attr,
+        alpha,
+        unanimity_margin,
+        &crate::plan::PlanCache::new(),
+    )
+}
+
+/// [`resolve`] over a shared [`crate::plan::PlanCache`] — what a
+/// [`crate::session::MarkSession`] passes so re-running the same
+/// contest (new filings, audits) replans nothing.
+///
+/// # Errors
+///
+/// Attribute-resolution failures.
+#[allow(clippy::too_many_arguments)]
+pub fn resolve_with_cache(
+    a: &Claim,
+    b: &Claim,
+    rel: &Relation,
+    key_attr: &str,
+    target_attr: &str,
+    alpha: f64,
+    unanimity_margin: f64,
+    cache: &crate::plan::PlanCache,
+) -> Result<(ContestOutcome, ClaimEvidence, ClaimEvidence), CoreError> {
+    let ev_a = evidence_with_cache(a, rel, key_attr, target_attr, cache)?;
+    let ev_b = evidence_with_cache(b, rel, key_attr, target_attr, cache)?;
     let outcome = match (ev_a.is_present(alpha), ev_b.is_present(alpha)) {
         (false, false) => ContestOutcome::NeitherClaim,
         (true, false) => ContestOutcome::OnlyClaim(ev_a.claimant.clone()),
@@ -189,7 +260,7 @@ pub fn additive_attack(
     key_attr: &str,
     target_attr: &str,
 ) -> Result<crate::embed::EmbedReport, CoreError> {
-    crate::embed::Embedder::new(&attacker_claim.spec).embed(
+    crate::embed::Embedder::engine(&attacker_claim.spec).embed(
         rel,
         key_attr,
         target_attr,
@@ -229,7 +300,7 @@ mod tests {
         let owner = claim("owner", &gen, 10);
         let mallory = claim("mallory", &gen, 10);
         // Owner marks first…
-        Embedder::new(&owner.spec)
+        Embedder::engine(&owner.spec)
             .embed(&mut rel, "visit_nbr", "item_nbr", &owner.watermark)
             .unwrap();
         // …Mallory additively marks second.
@@ -264,7 +335,7 @@ mod tests {
         let (gen, mut rel) = fixture();
         let owner = claim("owner", &gen, 10);
         let pretender = claim("pretender", &gen, 10);
-        Embedder::new(&owner.spec)
+        Embedder::engine(&owner.spec)
             .embed(&mut rel, "visit_nbr", "item_nbr", &owner.watermark)
             .unwrap();
         let (outcome, ev_owner, ev_pretender) =
@@ -283,7 +354,9 @@ mod tests {
         let a = claim("a", &gen, 10);
         let b = claim("b", &gen, 10);
         let mut copy_a = rel.clone();
-        Embedder::new(&a.spec).embed(&mut copy_a, "visit_nbr", "item_nbr", &a.watermark).unwrap();
+        Embedder::engine(&a.spec)
+            .embed(&mut copy_a, "visit_nbr", "item_nbr", &a.watermark)
+            .unwrap();
         let (outcome, _, _) =
             resolve(&a, &b, &copy_a, "visit_nbr", "item_nbr", 1e-2, 0.01).unwrap();
         assert_eq!(outcome, ContestOutcome::OnlyClaim("a".into()));
@@ -294,7 +367,7 @@ mod tests {
         let (gen, mut rel) = fixture();
         let owner = claim("owner", &gen, 10);
         let mallory = claim("mallory", &gen, 10);
-        Embedder::new(&owner.spec)
+        Embedder::engine(&owner.spec)
             .embed(&mut rel, "visit_nbr", "item_nbr", &owner.watermark)
             .unwrap();
         additive_attack(&mut rel, &mallory, "visit_nbr", "item_nbr").unwrap();

@@ -83,6 +83,46 @@ impl DecodeReport {
     }
 }
 
+impl std::fmt::Display for DecodeReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "decoded {} from {} votes over {} fit tuples ({} foreign): \
+             {}/{} positions observed, {} erased, {} conflicting",
+            self.watermark,
+            self.votes_cast,
+            self.fit_tuples,
+            self.foreign_values,
+            self.positions_observed,
+            self.wm_data.len(),
+            self.positions_erased,
+            self.position_conflicts,
+        )
+    }
+}
+
+impl crate::session::Outcome for DecodeReport {
+    fn fit_count(&self) -> usize {
+        self.fit_tuples
+    }
+
+    fn coverage(&self) -> f64 {
+        DecodeReport::coverage(self)
+    }
+
+    /// Vote unanimity of the observed positions — clean embedded data
+    /// votes unanimously, so conflicts are direct evidence of
+    /// tampering (0 when nothing was observed).
+    fn confidence(&self) -> f64 {
+        if self.positions_observed == 0 {
+            0.0
+        } else {
+            (self.positions_observed - self.position_conflicts) as f64
+                / self.positions_observed as f64
+        }
+    }
+}
+
 /// Blind watermark decoder for one `(key, categorical attribute)`
 /// pair.
 #[derive(Debug, Clone)]
@@ -92,8 +132,20 @@ pub struct Decoder<'a> {
 
 impl<'a> Decoder<'a> {
     /// Decoder over `spec`.
+    #[deprecated(
+        since = "0.2.0",
+        note = "bind a `MarkSession` (`MarkSession::builder(spec).…bind(&rel)`) instead: it \
+                resolves columns once, shares one plan cache across every operator, and \
+                exposes `decode`/`detect` directly"
+    )]
     #[must_use]
     pub fn new(spec: &'a WatermarkSpec) -> Self {
+        Self::engine(spec)
+    }
+
+    /// In-crate constructor for the session layer and the other
+    /// operators: same as [`Decoder::new`] without the deprecation.
+    pub(crate) fn engine(spec: &'a WatermarkSpec) -> Self {
         Decoder { spec }
     }
 
@@ -156,6 +208,20 @@ impl<'a> Decoder<'a> {
                 "mark plan was built for a different spec or relation".into(),
             ));
         }
+        self.decode_with_plan_trusted(rel, attr_idx, ecc, plan)
+    }
+
+    /// [`Decoder::decode_with_plan`] minus the plan-staleness
+    /// fingerprint pass — for plans the caller *just* obtained from a
+    /// [`crate::plan::PlanCache`] lookup over the same relation, where
+    /// the cache key already proved content identity.
+    pub(crate) fn decode_with_plan_trusted(
+        &self,
+        rel: &Relation,
+        attr_idx: usize,
+        ecc: &dyn ErrorCorrectingCode,
+        plan: &MarkPlan,
+    ) -> Result<DecodeReport, CoreError> {
         let len = self.spec.wm_data_len;
         let mut ones = vec![0u32; len];
         let mut zeros = vec![0u32; len];
@@ -248,7 +314,7 @@ mod tests {
             .build()
             .unwrap();
         let wm = Watermark::from_u64(0b1011001110, 10);
-        Embedder::new(&spec).embed(&mut rel, "visit_nbr", "item_nbr", &wm).unwrap();
+        Embedder::engine(&spec).embed(&mut rel, "visit_nbr", "item_nbr", &wm).unwrap();
         (rel, spec, wm)
     }
 
@@ -271,8 +337,8 @@ mod tests {
                 .build()
                 .unwrap();
             let wm = Watermark::from_u64(0b1011001110, 10);
-            Embedder::new(&spec).embed(&mut rel, "visit_nbr", "item_nbr", &wm).unwrap();
-            let report = Decoder::new(&spec).decode(&rel, "visit_nbr", "item_nbr").unwrap();
+            Embedder::engine(&spec).embed(&mut rel, "visit_nbr", "item_nbr", &wm).unwrap();
+            let report = Decoder::engine(&spec).decode(&rel, "visit_nbr", "item_nbr").unwrap();
             assert_eq!(report.watermark, wm, "policy {policy:?}");
             assert_eq!(report.foreign_values, 0);
             assert_eq!(report.position_conflicts, 0, "clean data votes unanimously");
@@ -292,8 +358,8 @@ mod tests {
                 .build()
                 .unwrap();
             let wm = Watermark::from_u64(bits, len);
-            Embedder::new(&spec).embed(&mut rel, "visit_nbr", "item_nbr", &wm).unwrap();
-            let report = Decoder::new(&spec).decode(&rel, "visit_nbr", "item_nbr").unwrap();
+            Embedder::engine(&spec).embed(&mut rel, "visit_nbr", "item_nbr", &wm).unwrap();
+            let report = Decoder::engine(&spec).decode(&rel, "visit_nbr", "item_nbr").unwrap();
             assert_eq!(report.watermark, wm, "wm={wm}");
         }
     }
@@ -305,7 +371,7 @@ mod tests {
         let shuffled = ops::shuffle(&rel, 999);
         let sorted = ops::sort_by_attr(&rel, 1, false);
         for suspect in [shuffled, sorted] {
-            let report = Decoder::new(&spec).decode(&suspect, "visit_nbr", "item_nbr").unwrap();
+            let report = Decoder::engine(&spec).decode(&suspect, "visit_nbr", "item_nbr").unwrap();
             assert_eq!(report.watermark, wm);
         }
     }
@@ -316,7 +382,7 @@ mod tests {
         let mut wrong = spec.clone();
         wrong.k1 = spec.k1.derive(spec.algo, "not-the-real-key");
         wrong.k2 = spec.k2.derive(spec.algo, "not-the-real-key");
-        let report = Decoder::new(&wrong).decode(&rel, "visit_nbr", "item_nbr").unwrap();
+        let report = Decoder::engine(&wrong).decode(&rel, "visit_nbr", "item_nbr").unwrap();
         // A 10-bit mark matches by chance with probability 2^-10; a
         // *perfect* match under the wrong key would be a red flag.
         assert_ne!(report.watermark, wm);
@@ -328,7 +394,7 @@ mod tests {
         // mark should still decode exactly under Abstain.
         let (rel, spec, wm) = setup(12_000, 30, ErasurePolicy::Abstain);
         let kept = ops::sample_bernoulli(&rel, 0.6, 4242);
-        let report = Decoder::new(&spec).decode(&kept, "visit_nbr", "item_nbr").unwrap();
+        let report = Decoder::engine(&spec).decode(&kept, "visit_nbr", "item_nbr").unwrap();
         assert_eq!(report.watermark, wm);
         assert!(report.positions_erased > 0, "loss should erase some positions");
     }
@@ -341,7 +407,7 @@ mod tests {
             let old = rel.tuple(row).unwrap().get(1).as_int().unwrap();
             rel.update_value(row, 1, catmark_relation::Value::Int(old + 1_000_000)).unwrap();
         }
-        let report = Decoder::new(&spec).decode(&rel, "visit_nbr", "item_nbr").unwrap();
+        let report = Decoder::engine(&spec).decode(&rel, "visit_nbr", "item_nbr").unwrap();
         assert_eq!(report.votes_cast, 0);
         assert_eq!(report.foreign_values, report.fit_tuples);
         assert_eq!(report.positions_observed, 0);
@@ -351,7 +417,7 @@ mod tests {
     #[test]
     fn report_accounting_is_consistent() {
         let (rel, spec, _) = setup(6_000, 60, ErasurePolicy::RandomFill);
-        let report = Decoder::new(&spec).decode(&rel, "visit_nbr", "item_nbr").unwrap();
+        let report = Decoder::engine(&spec).decode(&rel, "visit_nbr", "item_nbr").unwrap();
         assert_eq!(report.votes_cast + report.foreign_values, report.fit_tuples);
         assert_eq!(report.positions_observed + report.positions_erased, spec.wm_data_len);
         assert_eq!(report.wm_data.len(), spec.wm_data_len);
@@ -361,21 +427,21 @@ mod tests {
     #[test]
     fn abstain_leaves_none_randomfill_fills() {
         let (rel, spec, _) = setup(3_000, 60, ErasurePolicy::Abstain);
-        let report = Decoder::new(&spec).decode(&rel, "visit_nbr", "item_nbr").unwrap();
+        let report = Decoder::engine(&spec).decode(&rel, "visit_nbr", "item_nbr").unwrap();
         if report.positions_erased > 0 {
             assert!(report.wm_data.iter().any(Option::is_none));
         }
         let mut spec2 = spec.clone();
         spec2.erasure = ErasurePolicy::RandomFill;
-        let report2 = Decoder::new(&spec2).decode(&rel, "visit_nbr", "item_nbr").unwrap();
+        let report2 = Decoder::engine(&spec2).decode(&rel, "visit_nbr", "item_nbr").unwrap();
         assert!(report2.wm_data.iter().all(Option::is_some));
     }
 
     #[test]
     fn decoding_is_deterministic() {
         let (rel, spec, _) = setup(3_000, 40, ErasurePolicy::RandomFill);
-        let a = Decoder::new(&spec).decode(&rel, "visit_nbr", "item_nbr").unwrap();
-        let b = Decoder::new(&spec).decode(&rel, "visit_nbr", "item_nbr").unwrap();
+        let a = Decoder::engine(&spec).decode(&rel, "visit_nbr", "item_nbr").unwrap();
+        let b = Decoder::engine(&spec).decode(&rel, "visit_nbr", "item_nbr").unwrap();
         assert_eq!(a, b);
     }
 }

@@ -42,6 +42,16 @@ impl Detection {
     }
 }
 
+impl std::fmt::Display for Detection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}/{} bits match, chance odds {:.2e}",
+            self.matched_bits, self.total_bits, self.false_positive_probability
+        )
+    }
+}
+
 /// Compare a decoded watermark against the claimed one.
 ///
 /// # Panics

@@ -41,6 +41,9 @@ pub struct EmbedReport {
     /// embedding (the paper: "a large majority of the bits in wm_data
     /// are going to be embedded at least once").
     pub positions_covered: usize,
+    /// Total `wm_data` positions available (`spec.wm_data_len`), so
+    /// coverage is computable from the report alone.
+    pub positions_total: usize,
     /// Rows whose attribute value was actually altered. Fit tuples
     /// whose value already matched are *not* listed: they need no
     /// protection from later passes (their vote already agrees).
@@ -61,6 +64,50 @@ impl EmbedReport {
     }
 }
 
+impl std::fmt::Display for EmbedReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "embedded {} of {} fit tuples ({} already carried their bit, {} vetoed), \
+             covering {}/{} positions — {:.2}% of {} tuples altered",
+            self.altered,
+            self.fit_tuples,
+            self.unchanged,
+            self.vetoed,
+            self.positions_covered,
+            self.positions_total,
+            self.alteration_rate() * 100.0,
+            self.total_tuples,
+        )
+    }
+}
+
+impl crate::session::Outcome for EmbedReport {
+    fn fit_count(&self) -> usize {
+        self.fit_tuples
+    }
+
+    /// Fraction of `wm_data` positions that received at least one
+    /// carrier.
+    fn coverage(&self) -> f64 {
+        if self.positions_total == 0 {
+            0.0
+        } else {
+            self.positions_covered as f64 / self.positions_total as f64
+        }
+    }
+
+    /// Fraction of fit tuples that ended up carrying their assigned
+    /// bit (vetoed alterations erode it; 0 when nothing was fit).
+    fn confidence(&self) -> f64 {
+        if self.fit_tuples == 0 {
+            0.0
+        } else {
+            (self.altered + self.unchanged) as f64 / self.fit_tuples as f64
+        }
+    }
+}
+
 /// Watermark encoder for one `(key, categorical attribute)` pair.
 #[derive(Debug, Clone)]
 pub struct Embedder<'a> {
@@ -69,8 +116,20 @@ pub struct Embedder<'a> {
 
 impl<'a> Embedder<'a> {
     /// Encoder over `spec`.
+    #[deprecated(
+        since = "0.2.0",
+        note = "bind a `MarkSession` (`MarkSession::builder(spec).…bind(&rel)`) instead: it \
+                resolves columns once, shares one plan cache across every operator, and \
+                exposes `embed` directly"
+    )]
     #[must_use]
     pub fn new(spec: &'a WatermarkSpec) -> Self {
+        Self::engine(spec)
+    }
+
+    /// In-crate constructor for the session layer and the other
+    /// operators: same as [`Embedder::new`] without the deprecation.
+    pub(crate) fn engine(spec: &'a WatermarkSpec) -> Self {
         Embedder { spec }
     }
 
@@ -152,6 +211,27 @@ impl<'a> Embedder<'a> {
         attr_idx: usize,
         wm: &Watermark,
         ecc: &dyn ErrorCorrectingCode,
+        guard: Option<&mut QualityGuard>,
+        plan: &MarkPlan,
+    ) -> Result<EmbedReport, CoreError> {
+        if !plan.matches(self.spec, rel) {
+            return Err(CoreError::InvalidSpec(
+                "mark plan was built for a different spec or relation".into(),
+            ));
+        }
+        self.embed_with_plan_trusted(rel, attr_idx, wm, ecc, guard, plan)
+    }
+
+    /// [`Embedder::embed_with_plan`] minus the plan-staleness
+    /// fingerprint pass — for plans the caller *just* obtained from a
+    /// [`crate::plan::PlanCache`] lookup over the same relation, where
+    /// the cache key already proved content identity.
+    pub(crate) fn embed_with_plan_trusted(
+        &self,
+        rel: &mut Relation,
+        attr_idx: usize,
+        wm: &Watermark,
+        ecc: &dyn ErrorCorrectingCode,
         mut guard: Option<&mut QualityGuard>,
         plan: &MarkPlan,
     ) -> Result<EmbedReport, CoreError> {
@@ -162,11 +242,6 @@ impl<'a> Embedder<'a> {
                 self.spec.wm_len
             )));
         }
-        if !plan.matches(self.spec, rel) {
-            return Err(CoreError::InvalidSpec(
-                "mark plan was built for a different spec or relation".into(),
-            ));
-        }
         let wm_data = ecc.encode(wm, self.spec.wm_data_len);
         let mut report = EmbedReport {
             total_tuples: plan.rows(),
@@ -175,6 +250,7 @@ impl<'a> Embedder<'a> {
             unchanged: 0,
             vetoed: 0,
             positions_covered: 0,
+            positions_total: self.spec.wm_data_len,
             touched_rows: Vec::new(),
         };
         let mut covered = vec![false; self.spec.wm_data_len];
@@ -238,7 +314,7 @@ mod tests {
     #[test]
     fn embeds_expected_tuple_fraction() {
         let (mut rel, spec, wm) = setup(12_000, 60);
-        let report = Embedder::new(&spec).embed(&mut rel, "visit_nbr", "item_nbr", &wm).unwrap();
+        let report = Embedder::engine(&spec).embed(&mut rel, "visit_nbr", "item_nbr", &wm).unwrap();
         assert_eq!(report.total_tuples, 12_000);
         let expected = 200.0;
         assert!(
@@ -256,7 +332,7 @@ mod tests {
     #[test]
     fn embedded_values_stay_in_domain_with_correct_lsb() {
         let (mut rel, spec, wm) = setup(3_000, 20);
-        let report = Embedder::new(&spec).embed(&mut rel, "visit_nbr", "item_nbr", &wm).unwrap();
+        let report = Embedder::engine(&spec).embed(&mut rel, "visit_nbr", "item_nbr", &wm).unwrap();
         let ecc = MajorityVotingEcc;
         let wm_data = ecc.encode(&wm, spec.wm_data_len);
         let sel = FitnessSelector::new(&spec);
@@ -273,8 +349,8 @@ mod tests {
         let (rel, spec, wm) = setup(2_000, 30);
         let mut a = rel.clone();
         let mut b = rel;
-        Embedder::new(&spec).embed(&mut a, "visit_nbr", "item_nbr", &wm).unwrap();
-        Embedder::new(&spec).embed(&mut b, "visit_nbr", "item_nbr", &wm).unwrap();
+        Embedder::engine(&spec).embed(&mut a, "visit_nbr", "item_nbr", &wm).unwrap();
+        Embedder::engine(&spec).embed(&mut b, "visit_nbr", "item_nbr", &wm).unwrap();
         assert!(a.iter().zip(b.iter()).all(|(x, y)| x == y));
     }
 
@@ -283,7 +359,7 @@ mod tests {
         // Re-embedding the same watermark changes nothing: every fit
         // tuple already carries its assigned value.
         let (mut rel, spec, wm) = setup(2_000, 30);
-        let emb = Embedder::new(&spec);
+        let emb = Embedder::engine(&spec);
         let first = emb.embed(&mut rel, "visit_nbr", "item_nbr", &wm).unwrap();
         let second = emb.embed(&mut rel, "visit_nbr", "item_nbr", &wm).unwrap();
         assert!(first.altered > 0);
@@ -295,22 +371,22 @@ mod tests {
     fn rejects_wrong_watermark_length() {
         let (mut rel, spec, _) = setup(1_000, 30);
         let wm = Watermark::from_u64(1, 5);
-        let err = Embedder::new(&spec).embed(&mut rel, "visit_nbr", "item_nbr", &wm);
+        let err = Embedder::engine(&spec).embed(&mut rel, "visit_nbr", "item_nbr", &wm);
         assert!(matches!(err, Err(CoreError::InvalidSpec(_))));
     }
 
     #[test]
     fn rejects_unknown_attributes() {
         let (mut rel, spec, wm) = setup(100, 30);
-        assert!(Embedder::new(&spec).embed(&mut rel, "nope", "item_nbr", &wm).is_err());
-        assert!(Embedder::new(&spec).embed(&mut rel, "visit_nbr", "nope", &wm).is_err());
+        assert!(Embedder::engine(&spec).embed(&mut rel, "nope", "item_nbr", &wm).is_err());
+        assert!(Embedder::engine(&spec).embed(&mut rel, "visit_nbr", "nope", &wm).is_err());
     }
 
     #[test]
     fn guard_vetoes_are_counted_and_skip_alterations() {
         let (mut rel, spec, wm) = setup(6_000, 30);
         let mut guard = QualityGuard::new(vec![Box::new(AlterationBudget::new(10))]);
-        let report = Embedder::new(&spec)
+        let report = Embedder::engine(&spec)
             .embed_guarded(&mut rel, "visit_nbr", "item_nbr", &wm, &mut guard)
             .unwrap();
         assert_eq!(report.altered, 10);
@@ -324,7 +400,7 @@ mod tests {
         let original = rel.clone();
         let mut marked = rel;
         let mut guard = QualityGuard::new(vec![]);
-        Embedder::new(&spec)
+        Embedder::engine(&spec)
             .embed_guarded(&mut marked, "visit_nbr", "item_nbr", &wm, &mut guard)
             .unwrap();
         assert!(original.iter().zip(marked.iter()).any(|(a, b)| a != b));
@@ -335,7 +411,7 @@ mod tests {
     #[test]
     fn alteration_rate_matches_one_over_e_scaling() {
         let (mut rel, spec, wm) = setup(12_000, 60);
-        let report = Embedder::new(&spec).embed(&mut rel, "visit_nbr", "item_nbr", &wm).unwrap();
+        let report = Embedder::engine(&spec).embed(&mut rel, "visit_nbr", "item_nbr", &wm).unwrap();
         let rate = report.alteration_rate();
         // ~1/e of tuples altered (minus the few unchanged-by-chance).
         assert!((rate - 1.0 / 60.0).abs() < 0.01, "rate={rate}");
@@ -344,7 +420,7 @@ mod tests {
     #[test]
     fn covers_most_positions() {
         let (mut rel, spec, wm) = setup(6_000, 60);
-        let report = Embedder::new(&spec).embed(&mut rel, "visit_nbr", "item_nbr", &wm).unwrap();
+        let report = Embedder::engine(&spec).embed(&mut rel, "visit_nbr", "item_nbr", &wm).unwrap();
         // With ~100 fit tuples into 100 positions, coverage follows
         // the coupon-collector/Poisson curve: ≈ 1 - 1/e ≈ 63%.
         let coverage = report.positions_covered as f64 / spec.wm_data_len as f64;
@@ -355,7 +431,7 @@ mod tests {
     fn key_attribute_is_never_modified() {
         let (rel, spec, wm) = setup(3_000, 20);
         let mut marked = rel.clone();
-        Embedder::new(&spec).embed(&mut marked, "visit_nbr", "item_nbr", &wm).unwrap();
+        Embedder::engine(&spec).embed(&mut marked, "visit_nbr", "item_nbr", &wm).unwrap();
         let before: Vec<&Value> = rel.column(0);
         let after: Vec<&Value> = marked.column(0);
         assert_eq!(before, after);

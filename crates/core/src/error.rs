@@ -10,6 +10,20 @@ pub enum CoreError {
     Relation(RelationError),
     /// Invalid watermarking parameters.
     InvalidSpec(String),
+    /// A column could not be bound to a relation: the name (or index)
+    /// does not resolve, or the resolved attribute is unusable for the
+    /// requested role. Carries the relation's arity and attribute list
+    /// so the caller can see exactly what *was* available.
+    ColumnBinding {
+        /// The column that failed to bind.
+        column: String,
+        /// Why it failed to bind.
+        reason: String,
+        /// Arity of the relation the binding was attempted against.
+        arity: usize,
+        /// The attribute names the relation actually offers.
+        available: Vec<String>,
+    },
     /// The data offers too little bandwidth for the requested
     /// watermark (the `|wm| < N/e` requirement of Section 4.4).
     InsufficientBandwidth {
@@ -30,6 +44,14 @@ impl std::fmt::Display for CoreError {
         match self {
             CoreError::Relation(e) => write!(f, "relation error: {e}"),
             CoreError::InvalidSpec(msg) => write!(f, "invalid watermark spec: {msg}"),
+            CoreError::ColumnBinding { column, reason, arity, available } => {
+                write!(
+                    f,
+                    "cannot bind column {column:?}: {reason} (relation has {arity} attribute{}: {})",
+                    if *arity == 1 { "" } else { "s" },
+                    available.join(", ")
+                )
+            }
             CoreError::InsufficientBandwidth { wm_len, capacity } => write!(
                 f,
                 "watermark of {wm_len} bits exceeds embedding capacity of {capacity} positions"
@@ -68,6 +90,21 @@ mod tests {
         let e = CoreError::InsufficientBandwidth { wm_len: 100, capacity: 10 };
         assert!(e.to_string().contains("100"));
         assert!(e.to_string().contains("10"));
+    }
+
+    #[test]
+    fn column_binding_names_the_column_and_the_alternatives() {
+        let e = CoreError::ColumnBinding {
+            column: "item_nbr".into(),
+            reason: "no such attribute".into(),
+            arity: 2,
+            available: vec!["visit_nbr".into(), "item".into()],
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("item_nbr"), "{msg}");
+        assert!(msg.contains("no such attribute"), "{msg}");
+        assert!(msg.contains("2 attributes"), "{msg}");
+        assert!(msg.contains("visit_nbr, item"), "{msg}");
     }
 
     #[test]

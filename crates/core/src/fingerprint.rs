@@ -48,12 +48,26 @@ pub struct TraceResult {
     pub detection: Detection,
 }
 
+impl std::fmt::Display for TraceResult {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "buyer {:?}: {}", self.buyer, self.detection)
+    }
+}
+
 impl FingerprintRegistry {
     /// Registry over `base` (its `k1`/`k2` act as master keys; buyers
     /// get derived subkeys).
     #[must_use]
     pub fn new(base: WatermarkSpec) -> Self {
-        FingerprintRegistry { base, buyers: Vec::new(), plans: PlanCache::new() }
+        Self::with_cache(base, PlanCache::new())
+    }
+
+    /// Registry sharing an existing [`PlanCache`] — how a
+    /// [`crate::session::MarkSession`] hands its cache down so traces
+    /// and session decodes of the same copy plan once.
+    #[must_use]
+    pub fn with_cache(base: WatermarkSpec, plans: PlanCache) -> Self {
+        FingerprintRegistry { base, buyers: Vec::new(), plans }
     }
 
     /// Register a buyer (idempotent).
@@ -102,7 +116,7 @@ impl FingerprintRegistry {
         let spec = self.spec_for(buyer);
         let wm = self.mark_for(buyer);
         let mut copy = rel.clone();
-        let report = Embedder::new(&spec).embed(&mut copy, key_attr, target_attr, &wm)?;
+        let report = Embedder::engine(&spec).embed(&mut copy, key_attr, target_attr, &wm)?;
         Ok((copy, report))
     }
 
@@ -126,7 +140,7 @@ impl FingerprintRegistry {
             let spec = self.spec_for(buyer);
             let wm = self.mark_for(buyer);
             let plan = self.plans.plan_for(&spec, suspect, key_idx)?;
-            let decode = Decoder::new(&spec).decode_with_plan(
+            let decode = Decoder::engine(&spec).decode_with_plan(
                 suspect,
                 attr_idx,
                 &MajorityVotingEcc,

@@ -216,10 +216,10 @@ mod tests {
             .build()
             .unwrap();
         let wm = Watermark::from_u64(0b10_0110_1101 & 0x3FF, 10);
-        Embedder::new(&original).embed(&mut rel, "visit_nbr", "item_nbr", &wm).unwrap();
+        Embedder::engine(&original).embed(&mut rel, "visit_nbr", "item_nbr", &wm).unwrap();
         // Years later: only the key file survives.
         let restored = from_key_file(&to_key_file(&original)).unwrap();
-        let decoded = Decoder::new(&restored).decode(&rel, "visit_nbr", "item_nbr").unwrap();
+        let decoded = Decoder::engine(&restored).decode(&rel, "visit_nbr", "item_nbr").unwrap();
         assert_eq!(decoded.watermark, wm);
     }
 

@@ -23,6 +23,7 @@
 //!
 //! | Paper section | Module |
 //! |---|---|
+//! | the typed session API over everything below | [`session`] |
 //! | §2.1 notation (`b(·)`, `msb`, `set_bit`) | [`bits`] |
 //! | §3.2.1 fit-tuple selection | [`fitness`] |
 //! | shared per-tuple fact layer (plans, caching) | [`plan`] |
@@ -44,13 +45,17 @@
 //! | §3.1 direct-domain augmentation (sketched, implemented) | [`wide`] |
 //! | intro's buyer scenario: traitor tracing | [`fingerprint`] |
 //!
+//! The public entry point is [`session::MarkSession`]: it binds the
+//! key material and the relation's columns once (typed
+//! [`session::ColumnRef`] handles, validated at bind time), owns the
+//! [`plan::PlanCache`], and exposes every operation above as a method.
+//! The per-operator structs remain as the engine underneath it.
+//!
 //! # Quickstart
 //!
 //! ```
-//! use catmark_core::{Embedder, Decoder, ErasurePolicy, Watermark, WatermarkSpec};
-//! use catmark_crypto::HashAlgorithm;
+//! use catmark_core::{ErasurePolicy, MarkSession, Watermark, WatermarkSpec};
 //! use catmark_datagen::{ItemScanConfig, SalesGenerator};
-//! use catmark_relation::CategoricalDomain;
 //!
 //! // A sales relation: (visit_nbr PRIMARY KEY, item_nbr CATEGORICAL).
 //! let gen = SalesGenerator::new(ItemScanConfig { tuples: 2000, ..Default::default() });
@@ -68,12 +73,20 @@
 //!     .build()
 //!     .unwrap();
 //!
+//! // Bind the columns once; the session owns the plan cache.
+//! let session = MarkSession::builder(spec)
+//!     .key_column("visit_nbr")
+//!     .target_column("item_nbr")
+//!     .bind(&rel)
+//!     .unwrap();
+//!
 //! let wm = Watermark::from_u64(0b10_0111_0101, 10);
-//! let report = Embedder::new(&spec).embed(&mut rel, "visit_nbr", "item_nbr", &wm).unwrap();
+//! let report = session.embed(&mut rel, &wm).unwrap();
 //! assert!(report.fit_tuples > 0);
 //!
-//! // Blind detection: only the spec (keys + parameters) is needed.
-//! let decoded = Decoder::new(&spec).decode(&rel, "visit_nbr", "item_nbr").unwrap();
+//! // Blind detection: only the session (keys + parameters) is needed,
+//! // and the plan built for the embed is reused — no key is rehashed.
+//! let decoded = session.decode(&rel).unwrap();
 //! assert_eq!(decoded.watermark, wm);
 //! ```
 
@@ -101,6 +114,7 @@ pub mod power;
 pub mod quality;
 pub mod query_preserve;
 pub mod remap;
+pub mod session;
 pub mod spec;
 pub mod stream;
 pub mod wide;
@@ -111,4 +125,8 @@ pub use embed::{EmbedReport, Embedder};
 pub use error::CoreError;
 pub use fitness::{FitFacts, FitnessSelector};
 pub use plan::{MarkPlan, PlanCache, PlannedRow};
+pub use session::{
+    ColumnRef, FingerprintSession, MarkSession, MarkSessionBuilder, MultiAttrSession, Outcome,
+    Verdict,
+};
 pub use spec::{Watermark, WatermarkSpec, WatermarkSpecBuilder};

@@ -222,7 +222,7 @@ pub fn embed_multiattr_with_cache(
         let already = touched.entry(pair.target.clone()).or_default().clone();
         let mut guard = QualityGuard::new(vec![Box::new(ImmutableRows::new(already))]);
         let mark_plan = cache.plan_for(&pair.spec, rel, key_idx)?;
-        let report = Embedder::new(&pair.spec).embed_with_plan(
+        let report = Embedder::engine(&pair.spec).embed_with_plan(
             rel,
             attr_idx,
             wm,
@@ -253,6 +253,26 @@ pub struct PairWitness {
     pub decode: DecodeReport,
     /// Comparison against the claimed watermark.
     pub detection: Detection,
+}
+
+impl std::fmt::Display for PairWitness {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "witness {}: {}", self.label, self.detection)
+    }
+}
+
+impl crate::session::Outcome for PairWitness {
+    fn fit_count(&self) -> usize {
+        self.decode.fit_tuples
+    }
+
+    fn coverage(&self) -> f64 {
+        self.decode.coverage()
+    }
+
+    fn confidence(&self) -> f64 {
+        1.0 - self.detection.false_positive_probability
+    }
 }
 
 /// Decode every pair of `plan` that survives in `rel`'s schema and
@@ -291,7 +311,7 @@ pub fn decode_multiattr_with_cache(
             continue; // partitioned away
         };
         let mark_plan = cache.plan_for(&pair.spec, rel, key_idx)?;
-        let decode = Decoder::new(&pair.spec).decode_with_plan(
+        let decode = Decoder::engine(&pair.spec).decode_with_plan(
             rel,
             attr_idx,
             &crate::ecc::MajorityVotingEcc,
@@ -315,6 +335,36 @@ pub struct AggregateVerdict {
     pub significant_witnesses: usize,
     /// The strongest single-witness false-positive probability.
     pub best_false_positive: f64,
+}
+
+impl std::fmt::Display for AggregateVerdict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}/{} witnesses significant, best chance odds {:.2e}",
+            self.significant_witnesses, self.witnesses, self.best_false_positive
+        )
+    }
+}
+
+impl crate::session::Outcome for AggregateVerdict {
+    /// Number of surviving pair witnesses.
+    fn fit_count(&self) -> usize {
+        self.witnesses
+    }
+
+    /// Fraction of surviving witnesses that individually testify.
+    fn coverage(&self) -> f64 {
+        if self.witnesses == 0 {
+            0.0
+        } else {
+            self.significant_witnesses as f64 / self.witnesses as f64
+        }
+    }
+
+    fn confidence(&self) -> f64 {
+        1.0 - self.best_false_positive
+    }
 }
 
 /// Summarize pair witnesses at significance level `alpha`.

@@ -250,8 +250,13 @@ fn spec_identity(spec: &WatermarkSpec) -> u64 {
         catmark_crypto::HashAlgorithm::Sha1 => 2,
         catmark_crypto::HashAlgorithm::Sha256 => 3,
     }]);
+    // Length-prefix the variable-length keys so the concatenation is
+    // injective: without it, shifting bytes between k1 and k2 around a
+    // plain separator would collide two different key pairs into one
+    // cache identity.
+    h.write(&(spec.k1.as_bytes().len() as u64).to_be_bytes());
     h.write(spec.k1.as_bytes());
-    h.write(&[0xFF]);
+    h.write(&(spec.k2.as_bytes().len() as u64).to_be_bytes());
     h.write(spec.k2.as_bytes());
     h.write(&spec.e.to_be_bytes());
     h.write(&(spec.wm_data_len as u64).to_be_bytes());
@@ -472,7 +477,7 @@ mod tests {
         let (rel, spec) = fixture(1_000, 10);
         let plan = MarkPlan::build(&spec, &rel, 0);
         let shuffled = catmark_relation::ops::shuffle(&rel, 7);
-        let err = Decoder::new(&spec).decode_with_plan(&shuffled, 1, &MajorityVotingEcc, &plan);
+        let err = Decoder::engine(&spec).decode_with_plan(&shuffled, 1, &MajorityVotingEcc, &plan);
         assert!(matches!(err, Err(CoreError::InvalidSpec(_))));
     }
 
@@ -509,6 +514,22 @@ mod tests {
 
         cache.clear();
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn spec_identity_separates_shifted_key_bytes() {
+        // Two different key pairs whose concatenation around a plain
+        // separator would be byte-identical (01 FF 02 FF 03): the
+        // length-prefixed identity must keep them distinct, or the
+        // cache would serve one spec's plan for the other.
+        let (_, spec) = fixture(100, 10);
+        let mut a = spec.clone();
+        a.k1 = catmark_crypto::SecretKey::from_bytes(vec![0x01]);
+        a.k2 = catmark_crypto::SecretKey::from_bytes(vec![0x02, 0xFF, 0x03]);
+        let mut b = spec;
+        b.k1 = catmark_crypto::SecretKey::from_bytes(vec![0x01, 0xFF, 0x02]);
+        b.k2 = catmark_crypto::SecretKey::from_bytes(vec![0x03]);
+        assert_ne!(spec_identity(&a), spec_identity(&b));
     }
 
     #[test]

@@ -85,7 +85,7 @@ pub fn score_run(
 
     let frequency_drift = histogram_drift(original, marked, attr_idx, &spec.domain)?;
 
-    let decode = Decoder::new(spec).decode(suspect, key_attr, target_attr)?;
+    let decode = Decoder::engine(spec).decode(suspect, key_attr, target_attr)?;
     let detection = detect(&decode.watermark, wm);
     let carrier_survival = if decode.fit_tuples == 0 {
         0.0
@@ -133,7 +133,7 @@ mod tests {
             .unwrap();
         let wm = Watermark::from_u64(0b1010110100, 10);
         let mut marked = original.clone();
-        Embedder::new(&spec).embed(&mut marked, "visit_nbr", "item_nbr", &wm).unwrap();
+        Embedder::engine(&spec).embed(&mut marked, "visit_nbr", "item_nbr", &wm).unwrap();
         let suspect = ops::sample_bernoulli(&marked, keep, 1234);
         score_run(&original, &marked, &suspect, &spec, &wm, "visit_nbr", "item_nbr").unwrap()
     }

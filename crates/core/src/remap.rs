@@ -317,18 +317,18 @@ mod tests {
             .build()
             .unwrap();
         let wm = Watermark::from_u64(0b1001101011, 10);
-        Embedder::new(&spec).embed(&mut rel, "visit_nbr", "item_nbr", &wm).unwrap();
+        Embedder::engine(&spec).embed(&mut rel, "visit_nbr", "item_nbr", &wm).unwrap();
         // Rights holder retains the *post-embedding* histogram.
         let reference = FrequencyHistogram::from_relation(&rel, 1, &domain).unwrap();
         // Mallory remaps.
         let attacked = remap_items(&rel, |v| -v);
         // Direct decode yields only abstentions.
-        let direct = Decoder::new(&spec).decode(&attacked, "visit_nbr", "item_nbr").unwrap();
+        let direct = Decoder::engine(&spec).decode(&attacked, "visit_nbr", "item_nbr").unwrap();
         assert_eq!(direct.votes_cast, 0);
         // Recover the mapping, invert, decode.
         let recovery = recover_mapping(&reference, &attacked, "item_nbr").unwrap();
         let restored = apply_inverse(&attacked, "item_nbr", &recovery).unwrap();
-        let report = Decoder::new(&spec).decode(&restored, "visit_nbr", "item_nbr").unwrap();
+        let report = Decoder::engine(&spec).decode(&restored, "visit_nbr", "item_nbr").unwrap();
         let detection = crate::detect::detect(&report.watermark, &wm);
         assert!(detection.is_significant(1e-2), "detection after recovery: {detection:?}");
     }
@@ -373,12 +373,14 @@ mod tests {
             .build()
             .unwrap();
         let wm = Watermark::from_u64(0b1100101101, 10);
-        crate::embed::Embedder::new(&spec).embed(&mut rel, "visit_nbr", "item_nbr", &wm).unwrap();
+        crate::embed::Embedder::engine(&spec)
+            .embed(&mut rel, "visit_nbr", "item_nbr", &wm)
+            .unwrap();
         let reference = FrequencyHistogram::from_relation(&rel, 1, &gen.item_domain()).unwrap();
         let attacked = remap_items(&rel, |v| -v);
         let confident = recover_mapping_confident(&reference, &attacked, "item_nbr").unwrap();
         let restored = apply_inverse(&attacked, "item_nbr", &confident).unwrap();
-        let report = Decoder::new(&spec).decode(&restored, "visit_nbr", "item_nbr").unwrap();
+        let report = Decoder::engine(&spec).decode(&restored, "visit_nbr", "item_nbr").unwrap();
         assert_eq!(
             report.position_conflicts, 0,
             "confident recovery must never cast contradictory votes"

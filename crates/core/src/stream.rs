@@ -45,11 +45,33 @@ impl StreamMarker {
     /// # Errors
     ///
     /// Unknown attributes or a watermark length mismatch.
+    #[deprecated(
+        since = "0.2.0",
+        note = "bind a `MarkSession` and call `session.stream(&wm)` instead: the session \
+                resolves the columns once and hands back the same marker"
+    )]
     pub fn new(
         spec: WatermarkSpec,
         template: &Relation,
         key_attr: &str,
         target_attr: &str,
+        wm: &Watermark,
+    ) -> Result<Self, CoreError> {
+        let key_idx = template.schema().index_of(key_attr)?;
+        let attr_idx = template.schema().index_of(target_attr)?;
+        Self::with_indices(spec, key_idx, attr_idx, wm)
+    }
+
+    /// Marker over already-resolved attribute indices — the typed
+    /// constructor [`crate::session::MarkSession::stream`] uses.
+    ///
+    /// # Errors
+    ///
+    /// Watermark length mismatch against the spec.
+    pub fn with_indices(
+        spec: WatermarkSpec,
+        key_idx: usize,
+        attr_idx: usize,
         wm: &Watermark,
     ) -> Result<Self, CoreError> {
         if wm.len() != spec.wm_len {
@@ -59,8 +81,6 @@ impl StreamMarker {
                 spec.wm_len
             )));
         }
-        let key_idx = template.schema().index_of(key_attr)?;
-        let attr_idx = template.schema().index_of(target_attr)?;
         let wm_data = MajorityVotingEcc.encode(wm, spec.wm_data_len);
         let selector = FitnessSelector::new(&spec);
         Ok(StreamMarker { spec, wm_data, selector, key_idx, attr_idx })
@@ -92,12 +112,16 @@ impl StreamMarker {
         rel: &mut Relation,
         mut values: Vec<Value>,
     ) -> Result<IngestOutcome, CoreError> {
-        let Some(key) = values.get(self.key_idx) else {
+        // Bound-check both configured indices up front: a marker built
+        // via `with_indices` carries whatever indices the caller chose,
+        // and a fit tuple must error — not panic — on a bad target.
+        if self.key_idx >= values.len() || self.attr_idx >= values.len() {
             return Err(CoreError::Relation(catmark_relation::RelationError::ArityMismatch {
                 expected: rel.schema().arity(),
                 actual: values.len(),
             }));
-        };
+        }
+        let key = &values[self.key_idx];
         let marked_value = self.marked_value_for(key);
         let marked = marked_value.is_some();
         if let Some(v) = marked_value {
@@ -135,10 +159,9 @@ mod tests {
         let source = gen.generate();
         // Batch path.
         let mut batch = source.clone();
-        Embedder::new(&spec).embed(&mut batch, "visit_nbr", "item_nbr", &wm).unwrap();
+        Embedder::engine(&spec).embed(&mut batch, "visit_nbr", "item_nbr", &wm).unwrap();
         // Streaming path: ingest tuple by tuple into an empty relation.
-        let marker =
-            StreamMarker::new(spec.clone(), &source, "visit_nbr", "item_nbr", &wm).unwrap();
+        let marker = StreamMarker::with_indices(spec.clone(), 0, 1, &wm).unwrap();
         let mut streamed = Relation::new(source.schema().clone());
         for tuple in source.iter() {
             marker.ingest(&mut streamed, tuple.values().to_vec()).unwrap();
@@ -153,13 +176,13 @@ mod tests {
         let cache = PlanCache::new();
         let plan = cache.plan_for(&spec, &source, 0).unwrap();
         let mut planned = source.clone();
-        Embedder::new(&spec)
+        Embedder::engine(&spec)
             .embed_with_plan(&mut planned, 1, &wm, &MajorityVotingEcc, None, &plan)
             .unwrap();
         assert!(planned.iter().zip(streamed.iter()).all(|(a, b)| a == b));
         let par = MarkPlan::build_with_threads(&spec, &source, 0, 4);
         let mut par_marked = source.clone();
-        Embedder::new(&spec)
+        Embedder::engine(&spec)
             .embed_with_plan(&mut par_marked, 1, &wm, &MajorityVotingEcc, None, &par)
             .unwrap();
         assert!(par_marked.iter().zip(streamed.iter()).all(|(a, b)| a == b));
@@ -169,7 +192,7 @@ mod tests {
     fn marked_fraction_tracks_one_over_e() {
         let (gen, spec, wm) = fixture();
         let source = gen.generate();
-        let marker = StreamMarker::new(spec, &source, "visit_nbr", "item_nbr", &wm).unwrap();
+        let marker = StreamMarker::with_indices(spec, 0, 1, &wm).unwrap();
         let mut rel = Relation::new(source.schema().clone());
         let mut marked = 0usize;
         for tuple in source.iter() {
@@ -188,13 +211,12 @@ mod tests {
     fn stream_grown_relation_decodes() {
         let (gen, spec, wm) = fixture();
         let source = gen.generate();
-        let marker =
-            StreamMarker::new(spec.clone(), &source, "visit_nbr", "item_nbr", &wm).unwrap();
+        let marker = StreamMarker::with_indices(spec.clone(), 0, 1, &wm).unwrap();
         let mut rel = Relation::new(source.schema().clone());
         for tuple in source.iter() {
             marker.ingest(&mut rel, tuple.values().to_vec()).unwrap();
         }
-        let decoded = Decoder::new(&spec).decode(&rel, "visit_nbr", "item_nbr").unwrap();
+        let decoded = Decoder::engine(&spec).decode(&rel, "visit_nbr", "item_nbr").unwrap();
         assert_eq!(decoded.watermark, wm);
     }
 
@@ -202,7 +224,7 @@ mod tests {
     fn unfit_tuples_pass_through_unmodified() {
         let (gen, spec, wm) = fixture();
         let source = gen.generate();
-        let marker = StreamMarker::new(spec, &source, "visit_nbr", "item_nbr", &wm).unwrap();
+        let marker = StreamMarker::with_indices(spec, 0, 1, &wm).unwrap();
         let mut rel = Relation::new(source.schema().clone());
         for tuple in source.iter().take(500) {
             let outcome = marker.ingest(&mut rel, tuple.values().to_vec()).unwrap();
@@ -216,7 +238,7 @@ mod tests {
     fn duplicate_keys_are_rejected() {
         let (gen, spec, wm) = fixture();
         let source = gen.generate();
-        let marker = StreamMarker::new(spec, &source, "visit_nbr", "item_nbr", &wm).unwrap();
+        let marker = StreamMarker::with_indices(spec, 0, 1, &wm).unwrap();
         let mut rel = Relation::new(source.schema().clone());
         let values = source.tuple(0).unwrap().values().to_vec();
         marker.ingest(&mut rel, values.clone()).unwrap();
@@ -224,11 +246,26 @@ mod tests {
     }
 
     #[test]
-    fn wrong_watermark_length_rejected() {
-        let (gen, spec, _) = fixture();
+    fn out_of_range_indices_error_instead_of_panicking() {
+        let (gen, spec, wm) = fixture();
         let source = gen.generate();
-        let err =
-            StreamMarker::new(spec, &source, "visit_nbr", "item_nbr", &Watermark::from_u64(1, 3));
+        // attr_idx 5 on a 2-column relation: every tuple — fit or not —
+        // must come back as an arity error, never a panic.
+        let marker = StreamMarker::with_indices(spec, 0, 5, &wm).unwrap();
+        let mut rel = Relation::new(source.schema().clone());
+        for tuple in source.iter().take(200) {
+            assert!(matches!(
+                marker.ingest(&mut rel, tuple.values().to_vec()),
+                Err(CoreError::Relation(_))
+            ));
+        }
+        assert!(rel.is_empty());
+    }
+
+    #[test]
+    fn wrong_watermark_length_rejected() {
+        let (_, spec, _) = fixture();
+        let err = StreamMarker::with_indices(spec, 0, 1, &Watermark::from_u64(1, 3));
         assert!(matches!(err, Err(CoreError::InvalidSpec(_))));
     }
 }

@@ -229,7 +229,7 @@ mod tests {
         let (mut rel, spec, wm) = setup(30, 100);
         WideCodec::new(&spec, 1).unwrap().embed(&mut rel, "visit_nbr", "item_nbr", &wm).unwrap();
         let report =
-            crate::decode::Decoder::new(&spec).decode(&rel, "visit_nbr", "item_nbr").unwrap();
+            crate::decode::Decoder::engine(&spec).decode(&rel, "visit_nbr", "item_nbr").unwrap();
         assert_eq!(report.watermark, wm);
     }
 

@@ -23,7 +23,7 @@
 //!
 //! ```
 //! use catmark_core::quality::{AlterationBudget, QualityGuard};
-//! use catmark_core::{Embedder, Watermark, WatermarkSpec};
+//! use catmark_core::{MarkSession, Watermark, WatermarkSpec};
 //! use catmark_mining::apriori::{mine, AprioriConfig};
 //! use catmark_mining::constraints::AssociationRulePreserved;
 //! use catmark_mining::item::Transactions;
@@ -57,9 +57,12 @@
 //!     .unwrap();
 //! let mut guard = QualityGuard::new(vec![Box::new(AlterationBudget::new(150))]);
 //! let wm = Watermark::from_u64(0b1011_0010, 8);
-//! let report = Embedder::new(&spec)
-//!     .embed_guarded(&mut rel, "k", "aisle", &wm, &mut guard)
+//! let session = MarkSession::builder(spec)
+//!     .key_column("k")
+//!     .target_column("aisle")
+//!     .bind(&rel)
 //!     .unwrap();
+//! let report = session.embed_guarded(&mut rel, &wm, &mut guard).unwrap();
 //! assert!(report.fit_tuples > 0);
 //! # let _ = RuleSet::derive(&freq, 0.5);
 //! # let _ = AssociationRulePreserved::new(&rel, &RuleSet::derive(&freq, 0.5), 0.1);

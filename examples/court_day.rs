@@ -26,7 +26,12 @@ fn main() {
         &SecretKey::from_bytes(b"plaintiff-master-key".to_vec()),
         10,
     );
-    Embedder::new(&spec).embed(&mut rel, "visit_nbr", "item_nbr", &wm).expect("embed");
+    let session = MarkSession::builder(spec.clone())
+        .key_column("visit_nbr")
+        .target_column("item_nbr")
+        .bind(&rel)
+        .expect("columns bind");
+    session.embed(&mut rel, &wm).expect("embed");
 
     // Reinforce before publication: inject 2% synthetic fit tuples
     // (Section 4.6 — additions cost no alterations).
@@ -63,12 +68,17 @@ fn main() {
     println!("pirated copy: {} of {} tuples survive", pirated.len(), rel.len());
 
     // Exhibit 1: detection with the plaintiff's keys — restored from
-    // escrow, not from memory.
+    // escrow, not from memory, and bound into a fresh session against
+    // the pirated copy.
     let restored_spec =
         catmark_core::keyfile::from_key_file(&key_file).expect("escrowed key file parses");
-    let decoded =
-        Decoder::new(&restored_spec).decode(&pirated, "visit_nbr", "item_nbr").expect("decode");
-    let verdict = detect(&decoded.watermark, &wm);
+    let restored_session = MarkSession::builder(restored_spec)
+        .key_column("visit_nbr")
+        .target_column("item_nbr")
+        .bind(&pirated)
+        .expect("columns bind");
+    let exhibit1 = restored_session.detect(&pirated, &wm).expect("decode");
+    let verdict = exhibit1.detection.clone();
     println!(
         "exhibit 1 — plaintiff keys: {}/{} bits, chance odds {:.2e}",
         verdict.matched_bits, verdict.total_bits, verdict.false_positive_probability
@@ -87,8 +97,12 @@ fn main() {
             .expected_tuples(6_000)
             .build()
             .expect("valid parameters");
-        let d = Decoder::new(&control).decode(&pirated, "visit_nbr", "item_nbr").expect("decode");
-        if detect(&d.watermark, &wm).is_significant(1e-2) {
+        let control_session = MarkSession::builder(control)
+            .key_column("visit_nbr")
+            .target_column("item_nbr")
+            .bind(&pirated)
+            .expect("columns bind");
+        if control_session.detect(&pirated, &wm).expect("decode").is_significant(1e-2) {
             chance_hits += 1;
         }
     }

@@ -26,15 +26,22 @@ fn main() {
         .build()
         .expect("valid parameters");
 
-    // ---- 3. Embed -------------------------------------------------------
+    // ---- 3. One session, bound once ---------------------------------------
+    // Columns are resolved and validated here; every operation below is
+    // a method on this handle and shares one cached per-tuple plan.
+    let session = MarkSession::builder(spec)
+        .key_column("visit_nbr")
+        .target_column("item_nbr")
+        .bind(&rel)
+        .expect("columns bind");
+
+    // ---- 4. Embed -------------------------------------------------------
     let wm = Watermark::from_identity(
         "© DataCorp 2004 — all rights reserved",
         &SecretKey::from_bytes(b"secret-of-the-rights-holder".to_vec()),
         10,
     );
-    let report = Embedder::new(&spec)
-        .embed(&mut rel, "visit_nbr", "item_nbr", &wm)
-        .expect("embedding succeeds");
+    let report = session.embed(&mut rel, &wm).expect("embedding succeeds");
     println!(
         "embedded wm={wm} into {} fit tuples ({} altered = {:.2}% of the data)",
         report.fit_tuples,
@@ -42,7 +49,7 @@ fn main() {
         report.alteration_rate() * 100.0
     );
 
-    // ---- 4. Mallory -----------------------------------------------------
+    // ---- 5. Mallory -----------------------------------------------------
     // Re-sort, steal half the rows, and randomly alter 10% of items.
     let stolen = Attack::Shuffle { seed: 42 }.apply(&rel).expect("shuffle");
     let stolen = Attack::HorizontalLoss { keep: 0.5, seed: 43 }.apply(&stolen).expect("loss");
@@ -51,19 +58,11 @@ fn main() {
         .expect("alteration");
     println!("Mallory kept {} tuples, shuffled, and altered 10% of items", stolen.len());
 
-    // ---- 5. Blind detection ----------------------------------------------
-    // Only the spec is needed — not the original data.
-    let decoded = Decoder::new(&spec)
-        .decode(&stolen, "visit_nbr", "item_nbr")
-        .expect("decoding runs on any suspect data");
-    let verdict = detect(&decoded.watermark, &wm);
-    println!(
-        "decoded wm={} — {}/{} bits match, false-positive odds {:.2e}",
-        decoded.watermark,
-        verdict.matched_bits,
-        verdict.total_bits,
-        verdict.false_positive_probability
-    );
+    // ---- 6. Blind detection ----------------------------------------------
+    // Only the session (keys + parameters) is needed — not the original
+    // data. `detect` decodes blindly and weighs the court-time odds.
+    let verdict = session.detect(&stolen, &wm).expect("decoding runs on any suspect data");
+    println!("{verdict}");
     if verdict.is_significant(1e-2) {
         println!("=> ownership PROVEN (chance match below 1%)");
     } else {

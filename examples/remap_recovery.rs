@@ -29,7 +29,12 @@ fn main() {
         .build()
         .expect("valid parameters");
     let wm = Watermark::from_u64(0b1110001011, 10);
-    Embedder::new(&spec).embed(&mut rel, "visit_nbr", "item_nbr", &wm).expect("embed");
+    let session = MarkSession::builder(spec)
+        .key_column("visit_nbr")
+        .target_column("item_nbr")
+        .bind(&rel)
+        .expect("columns bind");
+    session.embed(&mut rel, &wm).expect("embed");
 
     // The rights holder archives the post-embedding histogram as part
     // of the key material.
@@ -45,7 +50,7 @@ fn main() {
     println!("Mallory remapped every item code into a fresh 9xx-million range");
 
     // Naïve decode: total abstention.
-    let naive = Decoder::new(&spec).decode(&suspect, "visit_nbr", "item_nbr").expect("decode");
+    let naive = session.decode(&suspect).expect("decode");
     println!(
         "naive decode: {} votes cast, {} foreign values — useless",
         naive.votes_cast, naive.foreign_values
@@ -61,13 +66,12 @@ fn main() {
     );
     let restored = apply_inverse(&suspect, "item_nbr", &recovery).expect("inverse applies");
 
-    let report = Decoder::new(&spec).decode(&restored, "visit_nbr", "item_nbr").expect("decode");
-    let verdict = detect(&report.watermark, &wm);
+    let verdict = session.detect(&restored, &wm).expect("decode");
     println!(
         "decode after recovery: {}/{} bits, fp odds {:.2e} => {}",
-        verdict.matched_bits,
-        verdict.total_bits,
-        verdict.false_positive_probability,
+        verdict.detection.matched_bits,
+        verdict.detection.total_bits,
+        verdict.detection.false_positive_probability,
         if verdict.is_significant(1e-3) { "ownership proven" } else { "inconclusive" }
     );
 }

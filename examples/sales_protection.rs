@@ -50,9 +50,12 @@ fn main() {
         Box::new(FrequencyDriftLimit::new(&rel, 1, &domain, 0.02).expect("histogram")),
         Box::new(ImmutableRows::new(0..100)),
     ]);
-    let report = Embedder::new(&spec)
-        .embed_guarded(&mut rel, "visit_nbr", "item_nbr", &wm, &mut guard)
-        .expect("embedding succeeds");
+    let session = MarkSession::builder(spec)
+        .key_column("visit_nbr")
+        .target_column("item_nbr")
+        .bind(&rel)
+        .expect("columns bind");
+    let report = session.embed_guarded(&mut rel, &wm, &mut guard).expect("embedding succeeds");
     println!(
         "embedded: {} fit, {} altered, {} vetoed by constraints, rollback log holds {} entries",
         report.fit_tuples,
@@ -73,25 +76,22 @@ fn main() {
     }
     let suspect = composite::pipeline(&rel, &steps).expect("attack pipeline");
 
-    let decoded =
-        Decoder::new(&spec).decode(&suspect, "visit_nbr", "item_nbr").expect("blind decode");
-    let verdict = detect(&decoded.watermark, &wm);
+    let verdict = session.detect(&suspect, &wm).expect("blind decode");
     println!(
         "after attack: {}/{} bits recovered, false-positive odds {:.2e} => {}",
-        verdict.matched_bits,
-        verdict.total_bits,
-        verdict.false_positive_probability,
+        verdict.detection.matched_bits,
+        verdict.detection.total_bits,
+        verdict.detection.false_positive_probability,
         if verdict.is_significant(1e-2) { "ownership proven" } else { "inconclusive" }
     );
 
     // And if the publication deal falls through: full undo.
     let mut restored = rel.clone();
     let undone = guard.undo_all(&mut restored).expect("undo succeeds");
-    let still_marked =
-        Decoder::new(&spec).decode(&restored, "visit_nbr", "item_nbr").expect("decode");
+    let residual = session.detect(&restored, &wm).expect("decode");
     println!(
         "rollback: {undone} alterations undone; residual mark match {}/{} (expected ~chance)",
-        detect(&still_marked.watermark, &wm).matched_bits,
+        residual.detection.matched_bits,
         wm.len()
     );
 }

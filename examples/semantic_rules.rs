@@ -51,6 +51,11 @@ fn main() {
         .expect("valid parameters");
     let wm = Watermark::from_u64(0b1001110110, 10);
 
+    let session = MarkSession::builder(spec)
+        .key_column("sku")
+        .target_column("aisle")
+        .bind(&original)
+        .expect("columns bind");
     let mut marked = original.clone();
     let mut guard = QualityGuard::new(vec![
         Box::new(AlterationBudget::fraction_of(original.len(), 0.06)),
@@ -61,9 +66,7 @@ fn main() {
             baseline_acc - 0.04,
         )),
     ]);
-    let report = Embedder::new(&spec)
-        .embed_guarded(&mut marked, "sku", "aisle", &wm, &mut guard)
-        .expect("embedding succeeds");
+    let report = session.embed_guarded(&mut marked, &wm, &mut guard).expect("embedding succeeds");
     println!(
         "\nembedded: {} fit tuples, {} altered, {} vetoed by semantic guards",
         report.fit_tuples,
@@ -92,11 +95,12 @@ fn main() {
     let suspect = Attack::HorizontalLoss { keep: 0.5, seed: 11 }
         .apply(&Attack::Shuffle { seed: 11 }.apply(&marked).expect("attack applies"))
         .expect("attack applies");
-    let decoded = Decoder::new(&spec).decode(&suspect, "sku", "aisle").expect("blind decode");
-    let verdict = detect(&decoded.watermark, &wm);
+    let verdict = session.detect(&suspect, &wm).expect("blind decode");
     println!(
         "\nafter shuffle + 50% loss: {}/{} watermark bits match, false-positive odds {:.2e}",
-        verdict.matched_bits, verdict.total_bits, verdict.false_positive_probability
+        verdict.detection.matched_bits,
+        verdict.detection.total_bits,
+        verdict.detection.false_positive_probability
     );
     assert!(verdict.is_significant(1e-2), "ownership must remain provable");
     println!("ownership: PROVEN — and the buyer's rules never moved.");

@@ -8,8 +8,7 @@
 
 use catmark::prelude::*;
 use catmark_core::constraint_lang;
-use catmark_core::contest::{additive_attack, resolve, Claim, ContestOutcome};
-use catmark_core::stream::StreamMarker;
+use catmark_core::contest::{additive_attack, Claim, ContestOutcome};
 
 fn main() {
     let gen = SalesGenerator::new(ItemScanConfig { tuples: 9_000, ..Default::default() });
@@ -24,10 +23,17 @@ fn main() {
         .expect("valid parameters");
     let wm = Watermark::from_u64(0b1101100101, 10);
 
+    // One session drives everything: the stream marker, the guarded
+    // batch re-pass, the blind decode, and the ownership contest.
+    let session = MarkSession::builder(spec.clone())
+        .key_column("visit_nbr")
+        .target_column("item_nbr")
+        .bind(&source)
+        .expect("columns bind");
+
     // ---- 1. Stream ingestion (§4.3) --------------------------------------
     // New sales arrive one at a time; fit tuples are marked on the fly.
-    let marker = StreamMarker::new(spec.clone(), &source, "visit_nbr", "item_nbr", &wm)
-        .expect("marker configures");
+    let marker = session.stream(&wm).expect("marker configures");
     let mut live = Relation::new(source.schema().clone());
     let mut marked_count = 0usize;
     for tuple in source.iter() {
@@ -42,7 +48,7 @@ fn main() {
         marked_count,
         spec.e
     );
-    let decoded = Decoder::new(&spec).decode(&live, "visit_nbr", "item_nbr").expect("decode");
+    let decoded = session.decode(&live).expect("decode");
     println!("streamed relation decodes to {} (expected {wm})", decoded.watermark);
 
     // ---- 2. The constraint language (§6) ----------------------------------
@@ -57,9 +63,7 @@ fn main() {
     let mut guard =
         constraint_lang::compile(program, &live, 1, &gen.item_domain()).expect("program compiles");
     let mut governed = live.clone();
-    let report = Embedder::new(&spec)
-        .embed_guarded(&mut governed, "visit_nbr", "item_nbr", &wm, &mut guard)
-        .expect("guarded embed");
+    let report = session.embed_guarded(&mut governed, &wm, &mut guard).expect("guarded embed");
     println!(
         "constraint-governed re-pass: {} altered, {} vetoed (log {} entries) — \
          0 alterations confirms stream marking left nothing for the batch pass (idempotence)",
@@ -69,7 +73,7 @@ fn main() {
     );
 
     // ---- 3. The additive attack and its resolution (§6) -------------------
-    let owner = Claim { claimant: "owner".into(), spec: spec.clone(), watermark: wm.clone() };
+    let owner = session.claim("owner", &wm);
     let mallory_spec = WatermarkSpec::builder(gen.item_domain())
         .master_key("mallory-keys")
         .e(15)
@@ -88,8 +92,7 @@ fn main() {
     println!("\nMallory additively embedded her own mark over the owner's data");
 
     let (outcome, ev_owner, ev_mallory) =
-        resolve(&owner, &mallory, &disputed, "visit_nbr", "item_nbr", 1e-2, 0.01)
-            .expect("contest resolves");
+        session.contest(&owner, &mallory, &disputed, 1e-2, 0.01).expect("contest resolves");
     println!(
         "owner evidence: {}/{} bits, vote unanimity {:.3}",
         ev_owner.detection.matched_bits, ev_owner.detection.total_bits, ev_owner.vote_unanimity

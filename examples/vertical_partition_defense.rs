@@ -11,9 +11,7 @@ use std::collections::HashMap;
 use catmark::prelude::*;
 use catmark_attacks::vertical;
 use catmark_core::freq::FreqCodec;
-use catmark_core::multiattr::{
-    aggregate_verdict, decode_multiattr, embed_multiattr, MultiAttrPlan,
-};
+use catmark_core::multiattr::aggregate_verdict;
 
 fn main() {
     // Schema (visit_nbr, item_nbr, store_city): two categorical
@@ -39,9 +37,17 @@ fn main() {
     let mut domains = HashMap::new();
     domains.insert("item_nbr".to_owned(), gen.item_domain());
     domains.insert("store_city".to_owned(), gen.city_domain());
-    let plan = MultiAttrPlan::build(&rel, &base, &domains).expect("plan builds");
+    // The session's multiattr handle shares its plan cache: the embed
+    // below and the per-partition decodes plan each pair's pseudo-key
+    // column once.
+    let session = MarkSession::builder(base)
+        .key_column("visit_nbr")
+        .target_column("item_nbr")
+        .bind(&rel)
+        .expect("columns bind");
+    let multi = session.multiattr(&rel, &domains).expect("plan builds");
     println!("pair plan:");
-    for p in plan.pairs() {
+    for p in multi.plan().pairs() {
         println!(
             "  {} (wm_data {} bits, pseudo-key {})",
             p.label(),
@@ -49,7 +55,7 @@ fn main() {
             p.pseudo_key
         );
     }
-    let outcomes = embed_multiattr(&plan, &mut rel, &wm).expect("embedding succeeds");
+    let outcomes = multi.embed(&mut rel, &wm).expect("embedding succeeds");
     for o in &outcomes {
         println!(
             "  embedded {}: {} altered, {} interference skips",
@@ -83,7 +89,7 @@ fn main() {
         println!("\nA5 partition keeps {:?} ({} tuples):", keep, suspect.len());
 
         // Pair witnesses that survive the partition.
-        let witnesses = decode_multiattr(&plan, &suspect, &wm).expect("decode runs");
+        let witnesses = multi.decode(&suspect, &wm).expect("decode runs");
         let verdict = aggregate_verdict(&witnesses, 1e-2);
         for w in &witnesses {
             println!(

@@ -27,6 +27,43 @@ use catmark::mining::item::Transactions;
 use catmark::mining::rules::RuleSet;
 use catmark::prelude::*;
 
+/// A CLI failure, split by whose fault it is: usage errors (bad
+/// flags, unknown commands) exit 2, operational errors (unreadable
+/// files, binding failures, embedding errors) exit 1. Nothing panics
+/// on bad input.
+#[derive(Debug)]
+enum CliError {
+    /// The invocation itself was malformed.
+    Usage(String),
+    /// The invocation was well-formed but the operation failed.
+    Run(String),
+}
+
+impl CliError {
+    fn run(e: impl std::fmt::Display) -> Self {
+        CliError::Run(e.to_string())
+    }
+
+    fn message(&self) -> &str {
+        match self {
+            CliError::Usage(m) | CliError::Run(m) => m,
+        }
+    }
+
+    fn exit_code(&self) -> ExitCode {
+        match self {
+            CliError::Usage(_) => ExitCode::from(2),
+            CliError::Run(_) => ExitCode::FAILURE,
+        }
+    }
+}
+
+impl From<String> for CliError {
+    fn from(m: String) -> Self {
+        CliError::Run(m)
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
@@ -34,17 +71,17 @@ fn main() -> ExitCode {
             print!("{output}");
             ExitCode::SUCCESS
         }
-        Err(message) => {
-            eprintln!("catmark: {message}");
-            ExitCode::FAILURE
+        Err(err) => {
+            eprintln!("catmark: {}", err.message());
+            err.exit_code()
         }
     }
 }
 
 /// Dispatch and execute; returns what should be printed to stdout.
-fn run(args: &[String]) -> Result<String, String> {
+fn run(args: &[String]) -> Result<String, CliError> {
     let Some(command) = args.first() else {
-        return Err(format!("no command given\n\n{USAGE}"));
+        return Err(CliError::Usage(format!("no command given\n\n{USAGE}")));
     };
     let flags = parse_flags(&args[1..])?;
     match command.as_str() {
@@ -54,7 +91,7 @@ fn run(args: &[String]) -> Result<String, String> {
         "inspect" => inspect(&flags),
         "rules" => rules(&flags),
         "help" | "--help" | "-h" => Ok(USAGE.to_owned()),
-        other => Err(format!("unknown command {other:?}\n\n{USAGE}")),
+        other => Err(CliError::Usage(format!("unknown command {other:?}\n\n{USAGE}"))),
     }
 }
 
@@ -71,70 +108,101 @@ const USAGE: &str = "usage:
                   [--min-confidence 0.8] [--max-len 2] [--top 20]
 ";
 
-fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, CliError> {
     let mut flags = HashMap::new();
     let mut iter = args.iter();
     while let Some(flag) = iter.next() {
-        let name =
-            flag.strip_prefix("--").ok_or_else(|| format!("expected --flag, got {flag:?}"))?;
-        let value = iter.next().ok_or_else(|| format!("--{name} needs a value"))?;
+        let name = flag
+            .strip_prefix("--")
+            .ok_or_else(|| CliError::Usage(format!("expected --flag, got {flag:?}")))?;
+        let value =
+            iter.next().ok_or_else(|| CliError::Usage(format!("--{name} needs a value")))?;
         if flags.insert(name.to_owned(), value.clone()).is_some() {
-            return Err(format!("--{name} given twice"));
+            return Err(CliError::Usage(format!("--{name} given twice")));
         }
     }
     Ok(flags)
 }
 
-fn require<'a>(flags: &'a HashMap<String, String>, name: &str) -> Result<&'a str, String> {
-    flags.get(name).map(String::as_str).ok_or_else(|| format!("missing required flag --{name}"))
+fn require<'a>(flags: &'a HashMap<String, String>, name: &str) -> Result<&'a str, CliError> {
+    flags
+        .get(name)
+        .map(String::as_str)
+        .ok_or_else(|| CliError::Usage(format!("missing required flag --{name}")))
+}
+
+/// Bind a [`MarkSession`] for the CLI's `(--key-attr, --attr)` pair;
+/// binding failures (missing column, non-categorical target) surface
+/// the relation's actual attributes via `CoreError::ColumnBinding`.
+fn bind_session(
+    spec: WatermarkSpec,
+    rel: &Relation,
+    key_attr: &str,
+    target_attr: &str,
+) -> Result<MarkSession, CliError> {
+    MarkSession::builder(spec)
+        .key_column(key_attr)
+        .target_column(target_attr)
+        .bind(rel)
+        .map_err(CliError::run)
+}
+
+/// Parse an optional flag, falling back to `default`; malformed
+/// values are usage errors (exit 2).
+fn parsed_flag<T>(flags: &HashMap<String, String>, name: &str, default: T) -> Result<T, CliError>
+where
+    T: std::str::FromStr,
+    T::Err: std::fmt::Display,
+{
+    flags
+        .get(name)
+        .map_or(Ok(default), |v| v.parse().map_err(|e| CliError::Usage(format!("--{name}: {e}"))))
 }
 
 // ---------------------------------------------------------------- keygen
 
-fn keygen(flags: &HashMap<String, String>) -> Result<String, String> {
+fn keygen(flags: &HashMap<String, String>) -> Result<String, CliError> {
     let master = require(flags, "master")?;
     let csv_path = require(flags, "domain-from")?;
     let attr = require(flags, "attr")?;
-    let e: u64 =
-        flags.get("e").map_or(Ok(60), |v| v.parse().map_err(|err| format!("--e: {err}")))?;
-    let wm_len: usize = flags
-        .get("wm-len")
-        .map_or(Ok(10), |v| v.parse().map_err(|err| format!("--wm-len: {err}")))?;
+    let e: u64 = parsed_flag(flags, "e", 60)?;
+    let wm_len: usize = parsed_flag(flags, "wm-len", 10)?;
     let erasure = match flags.get("erasure").map(String::as_str) {
         None | Some("random-fill") => ErasurePolicy::RandomFill,
         Some("abstain") => ErasurePolicy::Abstain,
         Some("zero-fill") => ErasurePolicy::ZeroFill,
-        Some(other) => return Err(format!("unknown erasure policy {other:?}")),
+        Some(other) => return Err(CliError::Usage(format!("unknown erasure policy {other:?}"))),
     };
     let rel = load_csv(csv_path, attr)?;
-    let attr_idx = rel.schema().index_of(attr).map_err(|err| err.to_string())?;
-    let domain = CategoricalDomain::from_column(&rel, attr_idx).map_err(|e| e.to_string())?;
+    let attr_idx = rel.schema().index_of(attr).map_err(CliError::run)?;
+    let domain = CategoricalDomain::from_column(&rel, attr_idx).map_err(CliError::run)?;
     let mut builder =
         WatermarkSpec::builder(domain).master_key(master).e(e).wm_len(wm_len).erasure(erasure);
     builder = match (flags.get("wm-data-len"), flags.get("tuples")) {
-        (Some(l), _) => builder.wm_data_len(l.parse().map_err(|e| format!("--wm-data-len: {e}"))?),
-        (None, Some(n)) => {
-            builder.expected_tuples(n.parse().map_err(|e| format!("--tuples: {e}"))?)
-        }
+        (Some(l), _) => builder
+            .wm_data_len(l.parse().map_err(|e| CliError::Usage(format!("--wm-data-len: {e}")))?),
+        (None, Some(n)) => builder
+            .expected_tuples(n.parse().map_err(|e| CliError::Usage(format!("--tuples: {e}")))?),
         (None, None) => builder.expected_tuples(rel.len()),
     };
-    let spec = builder.build().map_err(|e| e.to_string())?;
+    let spec = builder.build().map_err(CliError::run)?;
     Ok(to_key_file(&spec))
 }
 
 // ----------------------------------------------------------------- embed
 
-fn embed(flags: &HashMap<String, String>) -> Result<String, String> {
+fn embed(flags: &HashMap<String, String>) -> Result<String, CliError> {
     let spec = load_key(require(flags, "key")?)?;
     let key_attr = require(flags, "key-attr")?;
     let attr = require(flags, "attr")?;
     let mark = parse_mark(require(flags, "mark")?, spec.wm_len)?;
     let mut rel = load_csv(require(flags, "input")?, attr)?;
-    let report =
-        Embedder::new(&spec).embed(&mut rel, key_attr, attr, &mark).map_err(|e| e.to_string())?;
+    let session = bind_session(spec, &rel, key_attr, attr)?;
+    let report = session.embed(&mut rel, &mark).map_err(CliError::run)?;
     let output_path = require(flags, "output")?;
-    let mut out = File::create(output_path).map_err(|e| format!("{output_path}: {e}"))?;
-    catmark::relation::csv::write_csv(&rel, &mut out).map_err(|e| e.to_string())?;
+    let mut out =
+        File::create(output_path).map_err(|e| CliError::Run(format!("{output_path}: {e}")))?;
+    catmark::relation::csv::write_csv(&rel, &mut out).map_err(CliError::run)?;
     Ok(format!(
         "embedded {} into {}: {} tuples, {} fit, {} altered ({:.2}%)\n",
         mark,
@@ -148,12 +216,14 @@ fn embed(flags: &HashMap<String, String>) -> Result<String, String> {
 
 // ---------------------------------------------------------------- decode
 
-fn decode(flags: &HashMap<String, String>) -> Result<String, String> {
+fn decode(flags: &HashMap<String, String>) -> Result<String, CliError> {
     let spec = load_key(require(flags, "key")?)?;
     let key_attr = require(flags, "key-attr")?;
     let attr = require(flags, "attr")?;
     let rel = load_csv(require(flags, "input")?, attr)?;
-    let report = Decoder::new(&spec).decode(&rel, key_attr, attr).map_err(|e| e.to_string())?;
+    let claimed = flags.get("claim").map(|c| parse_mark(c, spec.wm_len)).transpose()?;
+    let session = bind_session(spec, &rel, key_attr, attr)?;
+    let report = session.decode(&rel).map_err(CliError::run)?;
     let mut out = format!(
         "decoded mark     {}\nfit tuples       {}\nvotes cast       {}\nforeign values   {}\npositions        {} observed / {} erased / {} conflicting\n",
         report.watermark,
@@ -164,8 +234,9 @@ fn decode(flags: &HashMap<String, String>) -> Result<String, String> {
         report.positions_erased,
         report.position_conflicts,
     );
-    if let Some(claim) = flags.get("claim") {
-        let claimed = parse_mark(claim, spec.wm_len)?;
+    if let Some(claimed) = claimed {
+        // Weigh the decode above against the claim — pure arithmetic,
+        // no second decode pass.
         let verdict = detect(&report.watermark, &claimed);
         out.push_str(&format!(
             "claim match      {}/{} bits\nfalse positive   {:.3e}\nverdict          {}\n",
@@ -180,7 +251,7 @@ fn decode(flags: &HashMap<String, String>) -> Result<String, String> {
 
 // --------------------------------------------------------------- inspect
 
-fn inspect(flags: &HashMap<String, String>) -> Result<String, String> {
+fn inspect(flags: &HashMap<String, String>) -> Result<String, CliError> {
     let spec = load_key(require(flags, "key")?)?;
     Ok(format!(
         "algorithm    {}\ne            {} (≈{:.2}% of tuples altered)\nwm_len       {}\nwm_data_len  {} ({}x redundancy)\nerasure      {:?}\ndomain       {} values ({} bits)\n",
@@ -201,29 +272,25 @@ fn inspect(flags: &HashMap<String, String>) -> Result<String, String> {
 /// Mine association rules from a CSV — the "know your semantics before
 /// you watermark them" companion of `embed` (pipe the strong rules into
 /// a constraint program or the `catmark-mining` guards).
-fn rules(flags: &HashMap<String, String>) -> Result<String, String> {
+fn rules(flags: &HashMap<String, String>) -> Result<String, CliError> {
     let input = require(flags, "input")?;
     let attrs_flag = require(flags, "attrs")?;
     let attrs: Vec<&str> = attrs_flag.split(',').map(str::trim).filter(|s| !s.is_empty()).collect();
     if attrs.is_empty() {
-        return Err("--attrs needs at least one attribute name".into());
+        return Err(CliError::Usage("--attrs needs at least one attribute name".into()));
     }
-    let min_support: f64 = flags
-        .get("min-support")
-        .map_or(Ok(0.05), |v| v.parse().map_err(|e| format!("--min-support: {e}")))?;
-    let min_confidence: f64 = flags
-        .get("min-confidence")
-        .map_or(Ok(0.8), |v| v.parse().map_err(|e| format!("--min-confidence: {e}")))?;
-    let max_len: usize =
-        flags.get("max-len").map_or(Ok(2), |v| v.parse().map_err(|e| format!("--max-len: {e}")))?;
-    let top: usize =
-        flags.get("top").map_or(Ok(20), |v| v.parse().map_err(|e| format!("--top: {e}")))?;
+    let min_support: f64 = parsed_flag(flags, "min-support", 0.05)?;
+    let min_confidence: f64 = parsed_flag(flags, "min-confidence", 0.8)?;
+    let max_len: usize = parsed_flag(flags, "max-len", 2)?;
+    let top: usize = parsed_flag(flags, "top", 20)?;
     if !(0.0..=1.0).contains(&min_support) || !(0.0..=1.0).contains(&min_confidence) {
-        return Err("--min-support and --min-confidence are fractions in 0..=1".into());
+        return Err(CliError::Usage(
+            "--min-support and --min-confidence are fractions in 0..=1".into(),
+        ));
     }
 
     let rel = load_csv_multi(input, &attrs)?;
-    let tx = Transactions::from_relation(&rel, &attrs).map_err(|e| e.to_string())?;
+    let tx = Transactions::from_relation(&rel, &attrs).map_err(CliError::run)?;
     let frequent = mine(&tx, &AprioriConfig { min_support, max_len });
     let ruleset = RuleSet::derive(&frequent, min_confidence);
 
@@ -265,33 +332,33 @@ fn rules(flags: &HashMap<String, String>) -> Result<String, String> {
 
 // ----------------------------------------------------------- shared bits
 
-fn load_key(path: &str) -> Result<WatermarkSpec, String> {
+fn load_key(path: &str) -> Result<WatermarkSpec, CliError> {
     let mut text = String::new();
     File::open(path)
         .map_err(|e| format!("{path}: {e}"))?
         .read_to_string(&mut text)
         .map_err(|e| format!("{path}: {e}"))?;
-    from_key_file(&text).map_err(|e| e.to_string())
+    from_key_file(&text).map_err(CliError::run)
 }
 
 /// Parse a watermark given as a bit string (`1011…`) or `0x` hex.
-fn parse_mark(text: &str, wm_len: usize) -> Result<Watermark, String> {
+fn parse_mark(text: &str, wm_len: usize) -> Result<Watermark, CliError> {
     let value = if let Some(hex) = text.strip_prefix("0x") {
-        u64::from_str_radix(hex, 16).map_err(|e| format!("mark: {e}"))?
+        u64::from_str_radix(hex, 16).map_err(|e| CliError::Usage(format!("mark: {e}")))?
     } else if text.chars().all(|c| c == '0' || c == '1') && !text.is_empty() {
         if text.len() != wm_len {
-            return Err(format!(
+            return Err(CliError::Usage(format!(
                 "mark has {} bits but the key file declares wm_len {}",
                 text.len(),
                 wm_len
-            ));
+            )));
         }
-        u64::from_str_radix(text, 2).map_err(|e| format!("mark: {e}"))?
+        u64::from_str_radix(text, 2).map_err(|e| CliError::Usage(format!("mark: {e}")))?
     } else {
-        return Err(format!("mark {text:?} is neither a bit string nor 0x-hex"));
+        return Err(CliError::Usage(format!("mark {text:?} is neither a bit string nor 0x-hex")));
     };
     if wm_len < 64 && value >= (1u64 << wm_len) {
-        return Err(format!("mark {text:?} does not fit in {wm_len} bits"));
+        return Err(CliError::Usage(format!("mark {text:?} does not fit in {wm_len} bits")));
     }
     Ok(Watermark::from_u64(value, wm_len))
 }
@@ -300,20 +367,20 @@ fn parse_mark(text: &str, wm_len: usize) -> Result<Watermark, String> {
 /// a column is Integer when every sampled value parses as `i64`. The
 /// first column is the primary key; `marked_attr` is flagged
 /// categorical.
-fn load_csv(path: &str, marked_attr: &str) -> Result<Relation, String> {
+fn load_csv(path: &str, marked_attr: &str) -> Result<Relation, CliError> {
     load_csv_multi(path, &[marked_attr])
 }
 
 /// [`load_csv`] with several categorical attributes (the `rules`
 /// subcommand mines more than one).
-fn load_csv_multi(path: &str, cat_attrs: &[&str]) -> Result<Relation, String> {
+fn load_csv_multi(path: &str, cat_attrs: &[&str]) -> Result<Relation, CliError> {
     let file = File::open(path).map_err(|e| format!("{path}: {e}"))?;
     let mut reader = BufReader::new(file);
     let schema = infer_schema(&mut reader, cat_attrs).map_err(|e| format!("{path}: {e}"))?;
     // Re-open: inference consumed the stream.
     let file = File::open(path).map_err(|e| format!("{path}: {e}"))?;
     catmark::relation::csv::read_csv(schema, &mut BufReader::new(file))
-        .map_err(|e| format!("{path}: {e}"))
+        .map_err(|e| CliError::Run(format!("{path}: {e}")))
 }
 
 /// Infer a schema by sampling up to 100 rows.

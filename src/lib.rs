@@ -25,7 +25,10 @@
 //!   the per-tuple facts (fitness, `wm_data` position, value base) in
 //!   one optionally-parallel pass, and a `PlanCache` shares that pass
 //!   across embed, decode, streaming, tracing, and contests —
-//!   an embed → blind-decode round trip hashes the key column once;
+//!   an embed → blind-decode round trip hashes the key column once.
+//!   The public entry point is the typed [`core::session::MarkSession`],
+//!   which binds columns once and owns the cache; the per-operator
+//!   structs remain underneath as the engine;
 //! * [`attacks`] — the Section 2.3 adversary (A1–A6) plus collusion
 //!   attacks on buyer fingerprints;
 //! * [`analysis`] — the Section 4.4 vulnerability theory;
@@ -33,6 +36,12 @@
 //!   constraints (the Section 6 future-work item, implemented).
 //!
 //! ## Sixty-second tour
+//!
+//! Everything goes through a [`core::session::MarkSession`]: bind the
+//! key material and the two columns once, then every paper operation —
+//! embed, blind decode, court-time detect, streaming, multi-attribute
+//! pairs, buyer fingerprints, ownership contests — is a method on the
+//! same handle, sharing one cached per-tuple plan.
 //!
 //! ```
 //! use catmark::prelude::*;
@@ -51,19 +60,26 @@
 //!     .build()
 //!     .unwrap();
 //!
-//! // 3. Embed a 10-bit ownership mark.
-//! let wm = Watermark::from_u64(0b1011001110, 10);
-//! Embedder::new(&spec).embed(&mut rel, "visit_nbr", "item_nbr", &wm).unwrap();
+//! // 3. One typed session: columns resolved and validated here, once.
+//! let session = MarkSession::builder(spec)
+//!     .key_column("visit_nbr")
+//!     .target_column("item_nbr")
+//!     .bind(&rel)
+//!     .unwrap();
 //!
-//! // 4. Mallory strikes: shuffle + 40% loss.
+//! // 4. Embed a 10-bit ownership mark.
+//! let wm = Watermark::from_u64(0b1011001110, 10);
+//! session.embed(&mut rel, &wm).unwrap();
+//!
+//! // 5. Mallory strikes: shuffle + 40% loss.
 //! let suspect = Attack::HorizontalLoss { keep: 0.6, seed: 7 }
 //!     .apply(&Attack::Shuffle { seed: 7 }.apply(&rel).unwrap())
 //!     .unwrap();
 //!
-//! // 5. Blind detection + court-time odds.
-//! let decoded = Decoder::new(&spec).decode(&suspect, "visit_nbr", "item_nbr").unwrap();
-//! let verdict = detect(&decoded.watermark, &wm);
+//! // 6. Blind detection + court-time odds, on the same handle.
+//! let verdict = session.detect(&suspect, &wm).unwrap();
 //! assert!(verdict.is_significant(1e-2));
+//! println!("{verdict}"); // e.g. "decoded 1011001110 — 10/10 bits match, chance odds 9.77e-4 …"
 //! ```
 
 #![forbid(unsafe_code)]
@@ -81,8 +97,8 @@ pub use catmark_relation as relation;
 pub mod prelude {
     pub use catmark_attacks::Attack;
     pub use catmark_core::{
-        detect, Decoder, Detection, EmbedReport, Embedder, ErasurePolicy, MarkPlan, PlanCache,
-        Watermark, WatermarkSpec,
+        detect, ColumnRef, Decoder, Detection, EmbedReport, Embedder, ErasurePolicy, MarkPlan,
+        MarkSession, Outcome, PlanCache, Verdict, Watermark, WatermarkSpec,
     };
     pub use catmark_crypto::{HashAlgorithm, SecretKey};
     pub use catmark_datagen::{ItemScanConfig, SalesGenerator};

@@ -260,7 +260,8 @@ fn guarded_embedding_survives_attacks_and_preserves_rules() {
     let wm = Watermark::from_u64(0b1101001011, 10);
     let mut guard =
         QualityGuard::new(vec![Box::new(AssociationRulePreserved::new(&rel, &rules, 0.06))]);
-    Embedder::new(&spec).embed_guarded(&mut rel, "k", "b", &wm, &mut guard).unwrap();
+    let session = MarkSession::builder(spec).key_column("k").target_column("b").bind(&rel).unwrap();
+    session.embed_guarded(&mut rel, &wm, &mut guard).unwrap();
 
     // Rules hold on the marked copy.
     let tx_after = Transactions::from_relation(&rel, &["a", "b"]).unwrap();
@@ -275,6 +276,5 @@ fn guarded_embedding_survives_attacks_and_preserves_rules() {
     let suspect = Attack::HorizontalLoss { keep: 0.6, seed: 5 }
         .apply(&Attack::Shuffle { seed: 5 }.apply(&rel).unwrap())
         .unwrap();
-    let decoded = Decoder::new(&spec).decode(&suspect, "k", "b").unwrap();
-    assert!(detect(&decoded.watermark, &wm).is_significant(1e-2));
+    assert!(session.detect(&suspect, &wm).unwrap().is_significant(1e-2));
 }
