@@ -38,7 +38,7 @@ pub fn add_mimicking_tuples(
     let key_idx = rel.schema().key_index();
     // Fresh keys above the observed maximum integer key (or large
     // random integers when the key is non-integer).
-    let max_key = rel.column_iter(key_idx).filter_map(Value::as_int).max().unwrap_or(0);
+    let max_key = rel.column_iter(key_idx).filter_map(|v| v.as_int()).max().unwrap_or(0);
     for i in 0..count {
         let mut values = Vec::with_capacity(rel.schema().arity());
         for attr_idx in 0..rel.schema().arity() {

@@ -8,16 +8,22 @@
 //! exactly the attack implemented here.
 
 use catmark_relation::ops::SplitMix64;
-use catmark_relation::{CategoricalDomain, Relation, RelationError, Value};
+use catmark_relation::{CategoricalDomain, ColumnMut, Relation, RelationError};
 
 /// Replace the `attr` value of `fraction · N` uniformly chosen tuples
 /// with a uniformly chosen *different* value observed in the column
 /// (Mallory knows the data, not the domain's secret indexing).
 ///
+/// Runs directly on the column's typed storage: integer columns swap
+/// `i64`s, text columns swap dictionary codes — no per-row `Value`
+/// materialization. Replacement draws index the observed values in
+/// sorted order, so per-seed outputs match the historical row-store
+/// implementation exactly.
+///
 /// # Errors
 ///
-/// Unknown attribute, or a column with fewer than two distinct values
-/// (nothing to alter to).
+/// Unknown or primary-key attribute, or a column with fewer than two
+/// distinct values (nothing to alter to).
 ///
 /// # Panics
 ///
@@ -34,10 +40,33 @@ pub fn random_alteration(
     let mut out = rel.clone();
     let mut rng = SplitMix64::new(seed);
     let targets = pick_rows(rel.len(), fraction, &mut rng);
-    for row in targets {
-        let current = out.tuple(row).expect("row in range").get(attr_idx).clone();
-        let replacement = random_other_value(&observed, &current, &mut rng);
-        out.update_value(row, attr_idx, replacement)?;
+    match out.column_mut(attr_idx)? {
+        ColumnMut::Int(xs) => {
+            let sorted: Vec<i64> = observed
+                .values()
+                .iter()
+                .map(|v| v.as_int().expect("observed domain of an integer column"))
+                .collect();
+            for row in targets {
+                xs[row] = random_other(&sorted, &xs[row], &mut rng);
+            }
+        }
+        ColumnMut::Text(mut tc) => {
+            // Observed values in the domain's sorted order, as codes
+            // (every observed string is already interned).
+            let sorted: Vec<u32> = observed
+                .values()
+                .iter()
+                .map(|v| {
+                    let s = v.as_text().expect("observed domain of a text column");
+                    tc.dict().code_of(s).expect("observed value is interned")
+                })
+                .collect();
+            for row in targets {
+                let code = random_other(&sorted, &tc.code(row), &mut rng);
+                tc.set(row, code);
+            }
+        }
     }
     Ok(out)
 }
@@ -48,7 +77,8 @@ pub fn random_alteration(
 ///
 /// # Errors
 ///
-/// Unknown attribute.
+/// Unknown or primary-key attribute, or a supplied domain whose value
+/// type differs from the column's.
 ///
 /// # Panics
 ///
@@ -65,9 +95,33 @@ pub fn domain_alteration(
     let mut out = rel.clone();
     let mut rng = SplitMix64::new(seed);
     let targets = pick_rows(rel.len(), fraction, &mut rng);
-    for row in targets {
-        let replacement = domain.value_at(rng.below(domain.len() as u64) as usize).clone();
-        out.update_value(row, attr_idx, replacement)?;
+    let mistyped = |v: &catmark_relation::Value| RelationError::TypeMismatch {
+        attr: attr.to_owned(),
+        expected: rel.schema().attr(attr_idx).ty.name(),
+        value: v.clone(),
+    };
+    match out.column_mut(attr_idx)? {
+        ColumnMut::Int(xs) => {
+            let values: Vec<i64> = domain
+                .values()
+                .iter()
+                .map(|v| v.as_int().ok_or_else(|| mistyped(v)))
+                .collect::<Result<_, _>>()?;
+            for row in targets {
+                xs[row] = values[rng.below(values.len() as u64) as usize];
+            }
+        }
+        ColumnMut::Text(mut tc) => {
+            let codes: Vec<u32> = domain
+                .values()
+                .iter()
+                .map(|v| v.as_text().map(|s| tc.intern(s)).ok_or_else(|| mistyped(v)))
+                .collect::<Result<_, _>>()?;
+            for row in targets {
+                let code = codes[rng.below(codes.len() as u64) as usize];
+                tc.set(row, code);
+            }
+        }
     }
     Ok(out)
 }
@@ -85,12 +139,15 @@ fn pick_rows(n: usize, fraction: f64, rng: &mut SplitMix64) -> Vec<usize> {
     rows
 }
 
-fn random_other_value(domain: &CategoricalDomain, current: &Value, rng: &mut SplitMix64) -> Value {
-    debug_assert!(domain.len() >= 2);
+/// Uniform draw from `sorted` (the observed values in canonical
+/// order), retrying until it differs from `current` — the same draw
+/// sequence the historical Value-typed implementation consumed.
+fn random_other<T: Copy + PartialEq>(sorted: &[T], current: &T, rng: &mut SplitMix64) -> T {
+    debug_assert!(sorted.len() >= 2);
     loop {
-        let candidate = domain.value_at(rng.below(domain.len() as u64) as usize);
-        if candidate != current {
-            return candidate.clone();
+        let candidate = sorted[rng.below(sorted.len() as u64) as usize];
+        if candidate != *current {
+            return candidate;
         }
     }
 }
@@ -138,7 +195,7 @@ mod tests {
         let observed = CategoricalDomain::from_column(&r, 1).unwrap();
         let attacked = random_alteration(&r, "item_nbr", 0.4, 9).unwrap();
         for v in attacked.column_iter(1) {
-            assert!(observed.index_of(v).is_ok());
+            assert!(observed.index_of(&v).is_ok());
         }
     }
 

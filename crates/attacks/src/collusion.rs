@@ -76,12 +76,12 @@ pub fn majority_merge(copies: &[&Relation], seed: u64) -> Result<Relation, Relat
     for per_copy in rows {
         let mut values = Vec::with_capacity(arity);
         for attr in 0..arity {
-            let mut counts: HashMap<&Value, usize> = HashMap::new();
+            let mut counts: HashMap<Value, usize> = HashMap::new();
             for (&row, copy) in per_copy.iter().zip(copies) {
-                *counts.entry(copy.tuple(row)?.get(attr)).or_insert(0) += 1;
+                *counts.entry(copy.value(row, attr)?).or_insert(0) += 1;
             }
             let top = counts.values().copied().max().expect("at least one copy");
-            let mut winners: Vec<&Value> =
+            let mut winners: Vec<Value> =
                 counts.into_iter().filter(|&(_, c)| c == top).map(|(v, _)| v).collect();
             // Sort so the random pick is independent of hash order.
             winners.sort();

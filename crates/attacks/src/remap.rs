@@ -10,7 +10,7 @@
 use std::collections::HashMap;
 
 use catmark_relation::ops::SplitMix64;
-use catmark_relation::{CategoricalDomain, Relation, RelationError, Value};
+use catmark_relation::{CategoricalDomain, Column, ColumnView, Relation, RelationError, Value};
 
 /// Remap every value of `attr` through a random bijection into a fresh
 /// integer domain. Returns the attacked relation and the ground-truth
@@ -57,13 +57,48 @@ pub fn bijective_remap(
         rel.schema().clone()
     };
 
-    let mut out = Relation::with_capacity(schema, rel.len());
-    for tuple in rel.iter() {
-        let mut values = tuple.values().to_vec();
-        values[attr_idx] =
-            mapping.get(&values[attr_idx]).expect("observed domain covers the column").clone();
-        out.push_unchecked_key(values)?;
-    }
+    // Build the remapped column directly: for an integer column a
+    // per-distinct `i64 → i64` table, for a text column the dictionary
+    // code *is* the table index — either way the row loop is a flat
+    // integer write, no per-row Value traffic.
+    let remapped = match rel.column(attr_idx) {
+        ColumnView::Int(xs) => {
+            let table: HashMap<i64, i64> = mapping
+                .iter()
+                .map(|(from, to)| {
+                    (
+                        from.as_int().expect("observed integer domain"),
+                        to.as_int().expect("fresh labels are integers"),
+                    )
+                })
+                .collect();
+            Column::Int(xs.iter().map(|x| table[x]).collect())
+        }
+        ColumnView::Text { codes, dict } => {
+            let by_code: Vec<i64> = dict
+                .entries()
+                .iter()
+                .map(|s| match mapping.get(&Value::Text(s.to_string())) {
+                    Some(v) => v.as_int().expect("fresh labels are integers"),
+                    // Stale dictionary entry no row references; the
+                    // code never occurs below.
+                    None => i64::MIN,
+                })
+                .collect();
+            Column::Int(codes.iter().map(|&c| by_code[c as usize]).collect())
+        }
+    };
+    let mut remapped = Some(remapped);
+    let columns: Vec<Column> = (0..rel.schema().arity())
+        .map(|i| {
+            if i == attr_idx {
+                remapped.take().expect("each attribute index visited once")
+            } else {
+                rel.column(i).to_column()
+            }
+        })
+        .collect();
+    let out = Relation::from_columns(schema, columns)?;
     Ok((out, mapping))
 }
 
@@ -95,7 +130,7 @@ mod tests {
         let r = rel();
         let (attacked, mapping) = bijective_remap(&r, "item_nbr", 12).unwrap();
         let count =
-            |relation: &Relation, v: &Value| relation.column_iter(1).filter(|x| *x == v).count();
+            |relation: &Relation, v: &Value| relation.column_iter(1).filter(|x| x == v).count();
         for (orig_value, new_value) in mapping.iter().take(20) {
             assert_eq!(count(&r, orig_value), count(&attacked, new_value));
         }

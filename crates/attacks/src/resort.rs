@@ -37,8 +37,8 @@ mod tests {
         let shuffled = shuffle(&rel, 42);
         let sorted = sort_by(&shuffled, "item_nbr", true).unwrap();
         assert_eq!(sorted.len(), rel.len());
-        let mut a: Vec<_> = rel.iter().cloned().collect();
-        let mut b: Vec<_> = sorted.iter().cloned().collect();
+        let mut a: Vec<_> = rel.iter().collect();
+        let mut b: Vec<_> = sorted.iter().collect();
         a.sort_by(|x, y| x.get(0).cmp(y.get(0)));
         b.sort_by(|x, y| x.get(0).cmp(y.get(0)));
         assert_eq!(a, b);

@@ -1,21 +1,27 @@
 //! Plan-on vs plan-off throughput of the embed + blind-decode round
-//! trip, proving the `MarkPlan` layer — and the `MarkSession` API on
-//! top of it — end to end.
+//! trip, proving the `MarkPlan` layer, the `MarkSession` API, and the
+//! columnar storage engine end to end.
 //!
-//! Three paths over the same workload:
+//! Four scenarios over the same workload:
 //!
 //! * **baseline** re-implements the seed code path faithfully — per
-//!   row it clones the key, materializes its canonical bytes per hash
+//!   row it materializes the key, builds its canonical bytes per hash
 //!   call, evaluates `H(·, k1)` once for the fitness test and *again*
 //!   for the value base, and re-scans every row at decode time;
 //! * **plan-on** drives embed and decode from one
 //!   [`catmark_core::plan::MarkPlan`] through a
-//!   [`catmark_core::MarkSession`]'s shared cache;
+//!   [`catmark_core::MarkSession`]'s shared cache, on columnar
+//!   storage;
 //! * **session-reuse** times the full court run (embed → blind decode
-//!   → detect) twice: once constructing a fresh per-operator
-//!   `Embedder`/`Decoder` for each step (the deprecated pre-session
-//!   surface — every operator replans), and once on a single bound
-//!   session, where all three steps share one cached plan.
+//!   → detect) twice: once with a fresh session per step (every
+//!   operator replans — the pre-session surface), once on a single
+//!   bound session sharing one cached plan;
+//! * **columnar** isolates the storage engine: the planned round trip
+//!   re-run over an emulated row store (per-row `Value`
+//!   materialization + generic streaming hashing, the pre-columnar
+//!   cost profile) against the columnar flat-slice scan, plus
+//!   `Relation::clone` cost and resident bytes per tuple for both
+//!   layouts.
 //!
 //! The run asserts the paths produce byte-identical marked relations
 //! and decodes before timing anything, then writes
@@ -26,12 +32,14 @@
 //! Usage: `cargo run --release -p catmark_bench --bin markplan
 //! [tuples]` (default 120 000).
 
+use std::collections::HashMap;
 use std::time::Instant;
 
 use catmark_core::ecc::{ErrorCorrectingCode, MajorityVotingEcc};
-use catmark_core::{detect, MarkSession, Watermark, WatermarkSpec};
+use catmark_core::fitness::FitnessSelector;
+use catmark_core::{MarkSession, Watermark, WatermarkSpec};
 use catmark_datagen::{ItemScanConfig, SalesGenerator};
-use catmark_relation::Relation;
+use catmark_relation::{Relation, Tuple, Value};
 
 const E: u64 = 60;
 const WM_LEN: usize = 10;
@@ -54,11 +62,7 @@ fn main() {
     let wm = Watermark::from_u64(0b10_1100_1110, WM_LEN);
     let key_idx = 0;
     let attr_idx = 1;
-    let session = MarkSession::builder(spec.clone())
-        .key_column("visit_nbr")
-        .target_column("item_nbr")
-        .bind(&rel)
-        .expect("bench schema binds");
+    let session = bind(&spec, &rel);
 
     // Correctness gate: the planned/session path must reproduce the
     // seed path byte for byte before any timing is worth reporting.
@@ -68,11 +72,18 @@ fn main() {
     let mut plan_marked = rel.clone();
     session.embed(&mut plan_marked, &wm).expect("embedding succeeds");
     let plan_decoded = session.decode(&plan_marked).expect("decoding succeeds");
+    let row_tuples: Vec<Tuple> = rel.iter().collect();
+    let mut row_marked = row_tuples.clone();
+    let row_plan = rowstore_plan(&spec, &row_marked, key_idx);
+    rowstore_embed(&spec, &mut row_marked, attr_idx, &wm, &row_plan);
+    let row_decoded = rowstore_decode(&spec, &row_marked, attr_idx, &row_plan);
     let byte_identical = seed_marked.len() == plan_marked.len()
         && seed_marked.iter().zip(plan_marked.iter()).all(|(a, b)| a == b)
+        && seed_marked.iter().zip(row_marked.iter()).all(|(a, b)| a == *b)
         && seed_decoded == plan_decoded.watermark
+        && row_decoded == plan_decoded.watermark
         && plan_decoded.watermark == wm;
-    assert!(byte_identical, "planned path diverged from the seed path");
+    assert!(byte_identical, "planned/columnar paths diverged from the seed path");
 
     // Timed round trips (embed a fresh copy + blind decode), best of
     // ITERS to damp scheduler noise.
@@ -93,11 +104,7 @@ fn main() {
     let mut stage_decode = f64::MAX;
     for _ in 0..ITERS {
         // A fresh session per iteration: nothing pre-planned.
-        let session = MarkSession::builder(spec.clone())
-            .key_column("visit_nbr")
-            .target_column("item_nbr")
-            .bind(&rel)
-            .expect("bench schema binds");
+        let session = bind(&spec, &rel);
         let mut marked = rel.clone();
         let start = Instant::now();
         let plan = session.plan(&marked).expect("planning succeeds");
@@ -114,21 +121,20 @@ fn main() {
     }
 
     // Session-reuse scenario: the full court run (embed → blind decode
-    // → detect), per-operator construction vs one session handle.
+    // → detect), fresh-session-per-operator (each step replans) vs one
+    // session handle (plan shared).
     let mut per_operator_best = f64::MAX;
     for _ in 0..ITERS {
         let mut marked = rel.clone();
         let start = Instant::now();
-        per_operator_court_run(&spec, &mut marked, &wm);
+        bind(&spec, &marked).embed(&mut marked, &wm).expect("embedding succeeds");
+        let verdict = bind(&spec, &marked).detect(&marked, &wm).expect("detection succeeds");
+        assert_eq!(verdict.detection.matched_bits, WM_LEN);
         per_operator_best = per_operator_best.min(start.elapsed().as_secs_f64() * 1e3);
     }
     let mut session_best = f64::MAX;
     for _ in 0..ITERS {
-        let session = MarkSession::builder(spec.clone())
-            .key_column("visit_nbr")
-            .target_column("item_nbr")
-            .bind(&rel)
-            .expect("bench schema binds");
+        let session = bind(&spec, &rel);
         let mut marked = rel.clone();
         let start = Instant::now();
         session.embed(&mut marked, &wm).expect("embedding succeeds");
@@ -137,8 +143,55 @@ fn main() {
         session_best = session_best.min(start.elapsed().as_secs_f64() * 1e3);
     }
 
+    // Columnar scenario — storage engine isolated. The row-store
+    // emulation reproduces the pre-columnar plan path's cost profile:
+    // one keyed-hash pass, but every access through per-row Value
+    // materialization and the generic streaming hashers.
+    let mut rowstore_best = f64::MAX;
+    for _ in 0..ITERS {
+        let mut marked = row_tuples.clone();
+        let start = Instant::now();
+        // Faithful to the pre-columnar session round trip: one
+        // fingerprint pass + one hash pass at plan time, the embed
+        // write pass, then the decode's cache lookup (a second
+        // fingerprint pass) and vote pass — all over genuine
+        // row-tuple storage.
+        std::hint::black_box(rowstore_fingerprint(&marked, key_idx));
+        let plan = rowstore_plan(&spec, &marked, key_idx);
+        rowstore_embed(&spec, &mut marked, attr_idx, &wm, &plan);
+        std::hint::black_box(rowstore_fingerprint(&marked, key_idx));
+        let decoded = rowstore_decode(&spec, &marked, attr_idx, &plan);
+        let elapsed = start.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(decoded, wm);
+        rowstore_best = rowstore_best.min(elapsed);
+    }
+    let columnar_best = planned_best;
+
+    // Clone cost: columnar `Relation::clone` vs the row store
+    // (Vec<Tuple> + key index), which is what the seed layout cloned.
+    let row_index: HashMap<Value, usize> =
+        (0..rel.len()).map(|r| (rel.value(r, key_idx).expect("row in range"), r)).collect();
+    let mut clone_row_best = f64::MAX;
+    let mut clone_col_best = f64::MAX;
+    for _ in 0..ITERS {
+        let start = Instant::now();
+        let cloned = (row_tuples.clone(), row_index.clone());
+        clone_row_best = clone_row_best.min(start.elapsed().as_secs_f64() * 1e3);
+        assert_eq!(cloned.0.len(), rel.len());
+        let start = Instant::now();
+        let cloned = rel.clone();
+        clone_col_best = clone_col_best.min(start.elapsed().as_secs_f64() * 1e3);
+        assert_eq!(cloned.len(), rel.len());
+    }
+
+    let columnar_bytes_per_tuple = rel.resident_bytes() as f64 / rel.len() as f64;
+    let rowstore_bytes_per_tuple =
+        rowstore_resident_bytes(&row_tuples, &row_index) as f64 / rel.len() as f64;
+
     let speedup = baseline_best / planned_best;
     let session_speedup = per_operator_best / session_best;
+    let columnar_speedup = rowstore_best / columnar_best;
+    let clone_speedup = clone_row_best / clone_col_best;
     let throughput = tuples as f64 / (planned_best / 1e3);
     println!("markplan round trip over {tuples} tuples (e = {E}, best of {ITERS}):");
     println!("  plan-off (seed path): {baseline_best:9.2} ms");
@@ -148,34 +201,40 @@ fn main() {
     );
     println!("  speedup:              {speedup:9.2}x");
     println!("court run (embed + decode + detect):");
-    println!("  per-operator structs: {per_operator_best:9.2} ms   (every operator replans)");
+    println!("  session per operator: {per_operator_best:9.2} ms   (every operator replans)");
     println!("  one MarkSession:      {session_best:9.2} ms   (plan shared across operators)");
     println!("  session speedup:      {session_speedup:9.2}x");
+    println!("columnar storage engine:");
+    println!("  row-store emulation:  {rowstore_best:9.2} ms   (per-row Value materialization)");
+    println!("  columnar scan:        {columnar_best:9.2} ms   (flat slices + fixed-len hashing)");
+    println!("  columnar speedup:     {columnar_speedup:9.2}x");
+    println!(
+        "  clone: row-store {clone_row_best:.2} ms, columnar {clone_col_best:.2} ms ({clone_speedup:.1}x)"
+    );
+    println!(
+        "  resident bytes/tuple: row-store {rowstore_bytes_per_tuple:.0}, columnar {columnar_bytes_per_tuple:.0}"
+    );
     println!("  byte-identical:       {byte_identical}");
 
     let json = format!(
-        "{{\n  \"bench\": \"markplan_round_trip\",\n  \"tuples\": {tuples},\n  \"e\": {E},\n  \"wm_len\": {WM_LEN},\n  \"iterations\": {ITERS},\n  \"baseline_round_trip_ms\": {baseline_best:.3},\n  \"plan_round_trip_ms\": {planned_best:.3},\n  \"plan_tuples_per_second\": {throughput:.0},\n  \"speedup\": {speedup:.3},\n  \"per_operator_court_run_ms\": {per_operator_best:.3},\n  \"session_court_run_ms\": {session_best:.3},\n  \"session_speedup\": {session_speedup:.3},\n  \"byte_identical\": {byte_identical}\n}}\n"
+        "{{\n  \"bench\": \"markplan_round_trip\",\n  \"tuples\": {tuples},\n  \"e\": {E},\n  \"wm_len\": {WM_LEN},\n  \"iterations\": {ITERS},\n  \"baseline_round_trip_ms\": {baseline_best:.3},\n  \"plan_round_trip_ms\": {planned_best:.3},\n  \"plan_tuples_per_second\": {throughput:.0},\n  \"speedup\": {speedup:.3},\n  \"per_operator_court_run_ms\": {per_operator_best:.3},\n  \"session_court_run_ms\": {session_best:.3},\n  \"session_speedup\": {session_speedup:.3},\n  \"rowstore_round_trip_ms\": {rowstore_best:.3},\n  \"columnar_round_trip_ms\": {columnar_best:.3},\n  \"columnar_speedup\": {columnar_speedup:.3},\n  \"clone_rowstore_ms\": {clone_row_best:.3},\n  \"clone_columnar_ms\": {clone_col_best:.3},\n  \"clone_speedup\": {clone_speedup:.3},\n  \"rowstore_bytes_per_tuple\": {rowstore_bytes_per_tuple:.0},\n  \"columnar_bytes_per_tuple\": {columnar_bytes_per_tuple:.0},\n  \"byte_identical\": {byte_identical}\n}}\n"
     );
     std::fs::write("BENCH_markplan.json", &json).expect("can write BENCH_markplan.json");
     println!("wrote BENCH_markplan.json");
 }
 
-/// The pre-session public surface: a fresh operator struct per step,
-/// stringly-typed columns, no shared cache — embed and decode each
-/// run their own keyed-hash pass.
-#[allow(deprecated)]
-fn per_operator_court_run(spec: &WatermarkSpec, rel: &mut Relation, wm: &Watermark) {
-    use catmark_core::{Decoder, Embedder};
-    Embedder::new(spec).embed(rel, "visit_nbr", "item_nbr", wm).expect("embedding succeeds");
-    let decoded =
-        Decoder::new(spec).decode(rel, "visit_nbr", "item_nbr").expect("decoding succeeds");
-    let verdict = detect(&decoded.watermark, wm);
-    assert_eq!(verdict.matched_bits, wm.len());
+fn bind(spec: &WatermarkSpec, rel: &Relation) -> MarkSession {
+    MarkSession::builder(spec.clone())
+        .key_column("visit_nbr")
+        .target_column("item_nbr")
+        .bind(rel)
+        .expect("bench schema binds")
 }
 
 /// The seed embedding loop, reproduced verbatim in structure: one
 /// `H(key, k1)` for the fitness test, a second for the value base, a
-/// key clone per row, and a canonical-bytes allocation per hash call.
+/// key materialization per row, and a canonical-bytes allocation per
+/// hash call.
 fn baseline_embed(
     spec: &WatermarkSpec,
     rel: &mut Relation,
@@ -188,7 +247,7 @@ fn baseline_embed(
     let wm_data = MajorityVotingEcc.encode(wm, spec.wm_data_len);
     let n = spec.domain.len() as u64;
     for row in 0..rel.len() {
-        let key = rel.tuple(row).expect("row in range").get(key_idx).clone();
+        let key = rel.value(row, key_idx).expect("row in range");
         if !keyed1.hash_u64(&[&key.canonical_bytes()]).is_multiple_of(spec.e) {
             continue;
         }
@@ -197,7 +256,7 @@ fn baseline_embed(
         let base = (keyed1.hash_u64(&[&key.canonical_bytes()]) >> 32) % n;
         let t = catmark_core::bits::force_lsb_in_domain(base, bit, n);
         let new_value = spec.domain.value_at(t as usize).clone();
-        let old_value = rel.tuple(row).expect("row in range").get(attr_idx).clone();
+        let old_value = rel.value(row, attr_idx).expect("row in range");
         if old_value == new_value {
             continue;
         }
@@ -217,12 +276,12 @@ fn baseline_decode(
     let len = spec.wm_data_len;
     let mut ones = vec![0u32; len];
     let mut zeros = vec![0u32; len];
-    for tuple in rel.iter() {
-        let key = tuple.get(key_idx);
+    for row in 0..rel.len() {
+        let key = rel.value(row, key_idx).expect("row in range");
         if !keyed1.hash_u64(&[&key.canonical_bytes()]).is_multiple_of(spec.e) {
             continue;
         }
-        let Ok(t) = spec.domain.index_of(tuple.get(attr_idx)) else {
+        let Ok(t) = spec.domain.index_of(&rel.value(row, attr_idx).expect("row in range")) else {
             continue;
         };
         let idx = (keyed2.hash_u64(&[&key.canonical_bytes()]) % len as u64) as usize;
@@ -240,4 +299,117 @@ fn baseline_decode(
         .collect();
     let mut tie_break = |_: usize| false;
     MajorityVotingEcc.decode(&wm_data, spec.wm_len, &mut tie_break)
+}
+
+/// The pre-columnar *plan* path, emulated: one keyed-hash pass (no
+/// double `H(·, k1)`) but every access through per-row `Value`
+/// materialization and the generic streaming hashers — the cost
+/// profile of `MarkPlan` over the old `Vec<Tuple>` storage.
+fn rowstore_plan(
+    spec: &WatermarkSpec,
+    tuples: &[Tuple],
+    key_idx: usize,
+) -> Vec<(usize, usize, u64)> {
+    let sel = FitnessSelector::new(spec);
+    let n = spec.domain.len() as u64;
+    let mut fit = Vec::with_capacity(tuples.len() / spec.e as usize + 64);
+    for (row, tuple) in tuples.iter().enumerate() {
+        if let Some(facts) = sel.facts(tuple.get(key_idx)) {
+            fit.push((row, facts.position, facts.value_base(n)));
+        }
+    }
+    fit
+}
+
+/// The old plan cache's key-column content fingerprint, through
+/// per-row Value materialization (FNV-1a per value, SplitMix fold).
+fn rowstore_fingerprint(tuples: &[Tuple], key_idx: usize) -> u64 {
+    fn mix(h: u64, v: u64) -> u64 {
+        (h ^ v).wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(23)
+    }
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for tuple in tuples {
+        let f = match tuple.get(key_idx) {
+            Value::Int(i) => *i as u64 ^ 0x0100_0000_0000_0000,
+            Value::Text(s) => {
+                let mut f = 0xCBF2_9CE4_8422_2325u64;
+                for &b in s.as_bytes() {
+                    f = (f ^ u64::from(b)).wrapping_mul(0x1000_0000_01B3);
+                }
+                f
+            }
+        };
+        h = mix(h, f);
+    }
+    h
+}
+
+fn rowstore_embed(
+    spec: &WatermarkSpec,
+    tuples: &mut [Tuple],
+    attr_idx: usize,
+    wm: &Watermark,
+    plan: &[(usize, usize, u64)],
+) {
+    let wm_data = MajorityVotingEcc.encode(wm, spec.wm_data_len);
+    let n = spec.domain.len() as u64;
+    for &(row, position, value_base) in plan {
+        let bit = wm_data[position];
+        let t = catmark_core::bits::force_lsb_in_domain(value_base, bit, n);
+        let new_value = spec.domain.value_at(t as usize);
+        if tuples[row].get(attr_idx) == new_value {
+            continue;
+        }
+        tuples[row].set(attr_idx, new_value.clone());
+    }
+}
+
+fn rowstore_decode(
+    spec: &WatermarkSpec,
+    tuples: &[Tuple],
+    attr_idx: usize,
+    plan: &[(usize, usize, u64)],
+) -> Watermark {
+    let len = spec.wm_data_len;
+    let mut ones = vec![0u32; len];
+    let mut zeros = vec![0u32; len];
+    for &(row, position, _) in plan {
+        let Some(t) = spec.domain.code_of(tuples[row].get(attr_idx)) else {
+            continue;
+        };
+        if t & 1 == 1 {
+            ones[position] += 1;
+        } else {
+            zeros[position] += 1;
+        }
+    }
+    let wm_data: Vec<Option<bool>> = (0..len)
+        .map(|i| match (ones[i], zeros[i]) {
+            (0, 0) => None,
+            (o, z) => Some(o > z),
+        })
+        .collect();
+    let mut tie_break = |_: usize| false;
+    MajorityVotingEcc.decode(&wm_data, spec.wm_len, &mut tie_break)
+}
+
+/// Heap footprint of the emulated row store (what the seed layout held
+/// resident): one `Vec<Value>` allocation per tuple plus the key index
+/// re-owning every key.
+fn rowstore_resident_bytes(tuples: &[Tuple], index: &HashMap<Value, usize>) -> usize {
+    let per_tuple: usize = tuples
+        .iter()
+        .map(|t| {
+            std::mem::size_of::<Tuple>()
+                + std::mem::size_of_val(t.values())
+                + t.values()
+                    .iter()
+                    .map(|v| match v {
+                        Value::Int(_) => 0,
+                        Value::Text(s) => s.capacity(),
+                    })
+                    .sum::<usize>()
+        })
+        .sum();
+    per_tuple + index.capacity() * (std::mem::size_of::<Value>() + 16)
 }

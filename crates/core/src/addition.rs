@@ -154,8 +154,6 @@ pub fn inject_fit_tuples(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::decode::Decoder;
-    use crate::embed::Embedder;
     use catmark_datagen::{ItemScanConfig, SalesGenerator};
     use catmark_relation::ops;
 
@@ -170,7 +168,7 @@ mod tests {
             .build()
             .unwrap();
         let wm = Watermark::from_u64(0b0101110010, 10);
-        Embedder::engine(&spec).embed(&mut rel, "visit_nbr", "item_nbr", &wm).unwrap();
+        crate::testkit::embed(&spec, &mut rel, "visit_nbr", "item_nbr", &wm).unwrap();
         (rel, spec, wm)
     }
 
@@ -247,12 +245,15 @@ mod tests {
         for seed in 0..8 {
             let lost_plain = ops::sample_bernoulli(&rel, 0.25, seed);
             let lost_reinf = ops::sample_bernoulli(&reinforced, 0.25, seed);
-            let d = Decoder::engine(&spec);
             plain_errors += wm.hamming_distance(
-                &d.decode(&lost_plain, "visit_nbr", "item_nbr").unwrap().watermark,
+                &crate::testkit::decode(&spec, &lost_plain, "visit_nbr", "item_nbr")
+                    .unwrap()
+                    .watermark,
             );
             reinforced_errors += wm.hamming_distance(
-                &d.decode(&lost_reinf, "visit_nbr", "item_nbr").unwrap().watermark,
+                &crate::testkit::decode(&spec, &lost_reinf, "visit_nbr", "item_nbr")
+                    .unwrap()
+                    .watermark,
             );
         }
         assert!(
@@ -291,7 +292,7 @@ mod tests {
                 v
             }
         }
-        let keys: Vec<Value> = rel.column(0).into_iter().cloned().collect();
+        let keys: Vec<Value> = rel.column_iter(0).collect();
         let mut s = Existing(keys, 0);
         let report = inject_fit_tuples(
             &spec,

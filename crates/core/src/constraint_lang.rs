@@ -326,7 +326,6 @@ pub fn compile(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::embed::Embedder;
     use crate::spec::{Watermark, WatermarkSpec};
     use catmark_datagen::{ItemScanConfig, SalesGenerator};
 
@@ -490,9 +489,15 @@ mod tests {
             .unwrap();
         let mut guard = compile("budget 0.5%\nimmutable 0..1000\n", &rel, 1, &domain).unwrap();
         let wm = Watermark::from_u64(0x155, 10);
-        let report = Embedder::engine(&spec)
-            .embed_guarded(&mut rel, "visit_nbr", "item_nbr", &wm, &mut guard)
-            .unwrap();
+        let report = crate::testkit::embed_guarded(
+            &spec,
+            &mut rel,
+            "visit_nbr",
+            "item_nbr",
+            &wm,
+            &mut guard,
+        )
+        .unwrap();
         // Budget: 0.5% of 6000 = 30 alterations max.
         assert!(report.altered <= 30, "altered {}", report.altered);
         // Immutable: no touched row below 1000.

@@ -260,11 +260,15 @@ pub fn additive_attack(
     key_attr: &str,
     target_attr: &str,
 ) -> Result<crate::embed::EmbedReport, CoreError> {
-    crate::embed::Embedder::engine(&attacker_claim.spec).embed(
+    let key_idx = rel.schema().index_of(key_attr)?;
+    let attr_idx = rel.schema().index_of(target_attr)?;
+    crate::embed::Embedder::engine(&attacker_claim.spec).embed_by_idx(
         rel,
-        key_attr,
-        target_attr,
+        key_idx,
+        attr_idx,
         &attacker_claim.watermark,
+        &crate::ecc::MajorityVotingEcc,
+        None,
     )
 }
 
@@ -272,7 +276,6 @@ pub fn additive_attack(
 mod tests {
     use super::*;
     use crate::decode::ErasurePolicy;
-    use crate::embed::Embedder;
     use catmark_datagen::{ItemScanConfig, SalesGenerator};
 
     fn claim(name: &str, gen: &SalesGenerator, e: u64) -> Claim {
@@ -300,8 +303,7 @@ mod tests {
         let owner = claim("owner", &gen, 10);
         let mallory = claim("mallory", &gen, 10);
         // Owner marks first…
-        Embedder::engine(&owner.spec)
-            .embed(&mut rel, "visit_nbr", "item_nbr", &owner.watermark)
+        crate::testkit::embed(&owner.spec, &mut rel, "visit_nbr", "item_nbr", &owner.watermark)
             .unwrap();
         // …Mallory additively marks second.
         additive_attack(&mut rel, &mallory, "visit_nbr", "item_nbr").unwrap();
@@ -335,8 +337,7 @@ mod tests {
         let (gen, mut rel) = fixture();
         let owner = claim("owner", &gen, 10);
         let pretender = claim("pretender", &gen, 10);
-        Embedder::engine(&owner.spec)
-            .embed(&mut rel, "visit_nbr", "item_nbr", &owner.watermark)
+        crate::testkit::embed(&owner.spec, &mut rel, "visit_nbr", "item_nbr", &owner.watermark)
             .unwrap();
         let (outcome, ev_owner, ev_pretender) =
             resolve(&owner, &pretender, &rel, "visit_nbr", "item_nbr", 1e-2, 0.01).unwrap();
@@ -354,9 +355,7 @@ mod tests {
         let a = claim("a", &gen, 10);
         let b = claim("b", &gen, 10);
         let mut copy_a = rel.clone();
-        Embedder::engine(&a.spec)
-            .embed(&mut copy_a, "visit_nbr", "item_nbr", &a.watermark)
-            .unwrap();
+        crate::testkit::embed(&a.spec, &mut copy_a, "visit_nbr", "item_nbr", &a.watermark).unwrap();
         let (outcome, _, _) =
             resolve(&a, &b, &copy_a, "visit_nbr", "item_nbr", 1e-2, 0.01).unwrap();
         assert_eq!(outcome, ContestOutcome::OnlyClaim("a".into()));
@@ -367,8 +366,7 @@ mod tests {
         let (gen, mut rel) = fixture();
         let owner = claim("owner", &gen, 10);
         let mallory = claim("mallory", &gen, 10);
-        Embedder::engine(&owner.spec)
-            .embed(&mut rel, "visit_nbr", "item_nbr", &owner.watermark)
+        crate::testkit::embed(&owner.spec, &mut rel, "visit_nbr", "item_nbr", &owner.watermark)
             .unwrap();
         additive_attack(&mut rel, &mallory, "visit_nbr", "item_nbr").unwrap();
         let (o1, _, _) =

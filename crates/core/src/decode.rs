@@ -17,9 +17,9 @@
 //! redundant copies back into a watermark.
 
 use catmark_crypto::KeyedPrf;
-use catmark_relation::Relation;
+use catmark_relation::{ColumnView, Relation, Value};
 
-use crate::ecc::{ErrorCorrectingCode, MajorityVotingEcc};
+use crate::ecc::ErrorCorrectingCode;
 use crate::error::CoreError;
 use crate::plan::MarkPlan;
 use crate::spec::{Watermark, WatermarkSpec};
@@ -131,39 +131,12 @@ pub struct Decoder<'a> {
 }
 
 impl<'a> Decoder<'a> {
-    /// Decoder over `spec`.
-    #[deprecated(
-        since = "0.2.0",
-        note = "bind a `MarkSession` (`MarkSession::builder(spec).…bind(&rel)`) instead: it \
-                resolves columns once, shares one plan cache across every operator, and \
-                exposes `decode`/`detect` directly"
-    )]
-    #[must_use]
-    pub fn new(spec: &'a WatermarkSpec) -> Self {
-        Self::engine(spec)
-    }
-
-    /// In-crate constructor for the session layer and the other
-    /// operators: same as [`Decoder::new`] without the deprecation.
+    /// Engine constructor for the session layer and the other in-crate
+    /// operators. External callers bind a
+    /// [`crate::session::MarkSession`], which resolves columns once
+    /// and shares one plan cache across every operator.
     pub(crate) fn engine(spec: &'a WatermarkSpec) -> Self {
         Decoder { spec }
-    }
-
-    /// Decode the watermark from the association between `key_attr`
-    /// and `target_attr` using the default majority-voting ECC.
-    ///
-    /// # Errors
-    ///
-    /// Unknown attribute names.
-    pub fn decode(
-        &self,
-        rel: &Relation,
-        key_attr: &str,
-        target_attr: &str,
-    ) -> Result<DecodeReport, CoreError> {
-        let key_idx = rel.schema().index_of(key_attr)?;
-        let attr_idx = rel.schema().index_of(target_attr)?;
-        self.decode_by_idx(rel, key_idx, attr_idx, &MajorityVotingEcc)
     }
 
     /// Fully general decoding with explicit indices and ECC. Builds a
@@ -228,19 +201,42 @@ impl<'a> Decoder<'a> {
         let fit_tuples = plan.fit().len();
         let mut votes_cast = 0usize;
         let mut foreign_values = 0usize;
-        for planned in plan.fit() {
-            let tuple = rel.tuple(planned.row as usize).expect("planned row in range");
-            let Some(t) = self.spec.domain.code_of(tuple.get(attr_idx)) else {
-                foreign_values += 1;
-                continue;
-            };
-            let idx = planned.position as usize;
-            if t & 1 == 1 {
-                ones[idx] += 1;
-            } else {
-                zeros[idx] += 1;
+        // Vote straight off the target column's typed storage: integer
+        // rows resolve through the domain map, text rows through a
+        // per-dictionary-entry translation table computed once.
+        match rel.column(attr_idx) {
+            ColumnView::Int(xs) => {
+                for planned in plan.fit() {
+                    let Some(t) = self.spec.domain.code_of(&Value::Int(xs[planned.row as usize]))
+                    else {
+                        foreign_values += 1;
+                        continue;
+                    };
+                    let idx = planned.position as usize;
+                    if t & 1 == 1 {
+                        ones[idx] += 1;
+                    } else {
+                        zeros[idx] += 1;
+                    }
+                    votes_cast += 1;
+                }
             }
-            votes_cast += 1;
+            ColumnView::Text { codes, dict } => {
+                let table = self.spec.domain.dict_codes(dict);
+                for planned in plan.fit() {
+                    let Some(t) = table[codes[planned.row as usize] as usize] else {
+                        foreign_values += 1;
+                        continue;
+                    };
+                    let idx = planned.position as usize;
+                    if t & 1 == 1 {
+                        ones[idx] += 1;
+                    } else {
+                        zeros[idx] += 1;
+                    }
+                    votes_cast += 1;
+                }
+            }
         }
 
         // Deterministic coins for erasure fill and tie-breaking,
@@ -294,7 +290,6 @@ impl<'a> Decoder<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::embed::Embedder;
     use catmark_datagen::{ItemScanConfig, SalesGenerator};
     use catmark_relation::ops;
 
@@ -314,7 +309,7 @@ mod tests {
             .build()
             .unwrap();
         let wm = Watermark::from_u64(0b1011001110, 10);
-        Embedder::engine(&spec).embed(&mut rel, "visit_nbr", "item_nbr", &wm).unwrap();
+        crate::testkit::embed(&spec, &mut rel, "visit_nbr", "item_nbr", &wm).unwrap();
         (rel, spec, wm)
     }
 
@@ -337,8 +332,8 @@ mod tests {
                 .build()
                 .unwrap();
             let wm = Watermark::from_u64(0b1011001110, 10);
-            Embedder::engine(&spec).embed(&mut rel, "visit_nbr", "item_nbr", &wm).unwrap();
-            let report = Decoder::engine(&spec).decode(&rel, "visit_nbr", "item_nbr").unwrap();
+            crate::testkit::embed(&spec, &mut rel, "visit_nbr", "item_nbr", &wm).unwrap();
+            let report = crate::testkit::decode(&spec, &rel, "visit_nbr", "item_nbr").unwrap();
             assert_eq!(report.watermark, wm, "policy {policy:?}");
             assert_eq!(report.foreign_values, 0);
             assert_eq!(report.position_conflicts, 0, "clean data votes unanimously");
@@ -358,8 +353,8 @@ mod tests {
                 .build()
                 .unwrap();
             let wm = Watermark::from_u64(bits, len);
-            Embedder::engine(&spec).embed(&mut rel, "visit_nbr", "item_nbr", &wm).unwrap();
-            let report = Decoder::engine(&spec).decode(&rel, "visit_nbr", "item_nbr").unwrap();
+            crate::testkit::embed(&spec, &mut rel, "visit_nbr", "item_nbr", &wm).unwrap();
+            let report = crate::testkit::decode(&spec, &rel, "visit_nbr", "item_nbr").unwrap();
             assert_eq!(report.watermark, wm, "wm={wm}");
         }
     }
@@ -371,7 +366,7 @@ mod tests {
         let shuffled = ops::shuffle(&rel, 999);
         let sorted = ops::sort_by_attr(&rel, 1, false);
         for suspect in [shuffled, sorted] {
-            let report = Decoder::engine(&spec).decode(&suspect, "visit_nbr", "item_nbr").unwrap();
+            let report = crate::testkit::decode(&spec, &suspect, "visit_nbr", "item_nbr").unwrap();
             assert_eq!(report.watermark, wm);
         }
     }
@@ -382,7 +377,7 @@ mod tests {
         let mut wrong = spec.clone();
         wrong.k1 = spec.k1.derive(spec.algo, "not-the-real-key");
         wrong.k2 = spec.k2.derive(spec.algo, "not-the-real-key");
-        let report = Decoder::engine(&wrong).decode(&rel, "visit_nbr", "item_nbr").unwrap();
+        let report = crate::testkit::decode(&wrong, &rel, "visit_nbr", "item_nbr").unwrap();
         // A 10-bit mark matches by chance with probability 2^-10; a
         // *perfect* match under the wrong key would be a red flag.
         assert_ne!(report.watermark, wm);
@@ -394,7 +389,7 @@ mod tests {
         // mark should still decode exactly under Abstain.
         let (rel, spec, wm) = setup(12_000, 30, ErasurePolicy::Abstain);
         let kept = ops::sample_bernoulli(&rel, 0.6, 4242);
-        let report = Decoder::engine(&spec).decode(&kept, "visit_nbr", "item_nbr").unwrap();
+        let report = crate::testkit::decode(&spec, &kept, "visit_nbr", "item_nbr").unwrap();
         assert_eq!(report.watermark, wm);
         assert!(report.positions_erased > 0, "loss should erase some positions");
     }
@@ -407,7 +402,7 @@ mod tests {
             let old = rel.tuple(row).unwrap().get(1).as_int().unwrap();
             rel.update_value(row, 1, catmark_relation::Value::Int(old + 1_000_000)).unwrap();
         }
-        let report = Decoder::engine(&spec).decode(&rel, "visit_nbr", "item_nbr").unwrap();
+        let report = crate::testkit::decode(&spec, &rel, "visit_nbr", "item_nbr").unwrap();
         assert_eq!(report.votes_cast, 0);
         assert_eq!(report.foreign_values, report.fit_tuples);
         assert_eq!(report.positions_observed, 0);
@@ -417,7 +412,7 @@ mod tests {
     #[test]
     fn report_accounting_is_consistent() {
         let (rel, spec, _) = setup(6_000, 60, ErasurePolicy::RandomFill);
-        let report = Decoder::engine(&spec).decode(&rel, "visit_nbr", "item_nbr").unwrap();
+        let report = crate::testkit::decode(&spec, &rel, "visit_nbr", "item_nbr").unwrap();
         assert_eq!(report.votes_cast + report.foreign_values, report.fit_tuples);
         assert_eq!(report.positions_observed + report.positions_erased, spec.wm_data_len);
         assert_eq!(report.wm_data.len(), spec.wm_data_len);
@@ -427,21 +422,21 @@ mod tests {
     #[test]
     fn abstain_leaves_none_randomfill_fills() {
         let (rel, spec, _) = setup(3_000, 60, ErasurePolicy::Abstain);
-        let report = Decoder::engine(&spec).decode(&rel, "visit_nbr", "item_nbr").unwrap();
+        let report = crate::testkit::decode(&spec, &rel, "visit_nbr", "item_nbr").unwrap();
         if report.positions_erased > 0 {
             assert!(report.wm_data.iter().any(Option::is_none));
         }
         let mut spec2 = spec.clone();
         spec2.erasure = ErasurePolicy::RandomFill;
-        let report2 = Decoder::engine(&spec2).decode(&rel, "visit_nbr", "item_nbr").unwrap();
+        let report2 = crate::testkit::decode(&spec2, &rel, "visit_nbr", "item_nbr").unwrap();
         assert!(report2.wm_data.iter().all(Option::is_some));
     }
 
     #[test]
     fn decoding_is_deterministic() {
         let (rel, spec, _) = setup(3_000, 40, ErasurePolicy::RandomFill);
-        let a = Decoder::engine(&spec).decode(&rel, "visit_nbr", "item_nbr").unwrap();
-        let b = Decoder::engine(&spec).decode(&rel, "visit_nbr", "item_nbr").unwrap();
+        let a = crate::testkit::decode(&spec, &rel, "visit_nbr", "item_nbr").unwrap();
+        let b = crate::testkit::decode(&spec, &rel, "visit_nbr", "item_nbr").unwrap();
         assert_eq!(a, b);
     }
 }

@@ -16,9 +16,9 @@
 //! Optionally every alteration is gated by a [`QualityGuard`]
 //! (Section 4.1).
 
-use catmark_relation::Relation;
+use catmark_relation::{ColumnMut, Relation, Value};
 
-use crate::ecc::{ErrorCorrectingCode, MajorityVotingEcc};
+use crate::ecc::ErrorCorrectingCode;
 use crate::error::CoreError;
 use crate::plan::MarkPlan;
 use crate::quality::{Alteration, QualityGuard};
@@ -115,62 +115,12 @@ pub struct Embedder<'a> {
 }
 
 impl<'a> Embedder<'a> {
-    /// Encoder over `spec`.
-    #[deprecated(
-        since = "0.2.0",
-        note = "bind a `MarkSession` (`MarkSession::builder(spec).…bind(&rel)`) instead: it \
-                resolves columns once, shares one plan cache across every operator, and \
-                exposes `embed` directly"
-    )]
-    #[must_use]
-    pub fn new(spec: &'a WatermarkSpec) -> Self {
-        Self::engine(spec)
-    }
-
-    /// In-crate constructor for the session layer and the other
-    /// operators: same as [`Embedder::new`] without the deprecation.
+    /// Engine constructor for the session layer and the other in-crate
+    /// operators. External callers bind a
+    /// [`crate::session::MarkSession`], which resolves columns once
+    /// and shares one plan cache across every operator.
     pub(crate) fn engine(spec: &'a WatermarkSpec) -> Self {
         Embedder { spec }
-    }
-
-    /// Embed `wm` into the association between `key_attr` and
-    /// `target_attr` of `rel`, with the default majority-voting ECC
-    /// and no quality constraints.
-    ///
-    /// # Errors
-    ///
-    /// Unknown attributes, watermark length mismatch, or a target
-    /// column containing values outside the spec's domain.
-    pub fn embed(
-        &self,
-        rel: &mut Relation,
-        key_attr: &str,
-        target_attr: &str,
-        wm: &Watermark,
-    ) -> Result<EmbedReport, CoreError> {
-        let key_idx = rel.schema().index_of(key_attr)?;
-        let attr_idx = rel.schema().index_of(target_attr)?;
-        self.embed_by_idx(rel, key_idx, attr_idx, wm, &MajorityVotingEcc, None)
-    }
-
-    /// Embed with quality constraints: vetoed alterations leave the
-    /// tuple unmodified (that redundant copy of the watermark bit is
-    /// simply not planted).
-    ///
-    /// # Errors
-    ///
-    /// As [`Embedder::embed`].
-    pub fn embed_guarded(
-        &self,
-        rel: &mut Relation,
-        key_attr: &str,
-        target_attr: &str,
-        wm: &Watermark,
-        guard: &mut QualityGuard,
-    ) -> Result<EmbedReport, CoreError> {
-        let key_idx = rel.schema().index_of(key_attr)?;
-        let attr_idx = rel.schema().index_of(target_attr)?;
-        self.embed_by_idx(rel, key_idx, attr_idx, wm, &MajorityVotingEcc, Some(guard))
     }
 
     /// Fully general embedding: explicit attribute indices, pluggable
@@ -181,7 +131,8 @@ impl<'a> Embedder<'a> {
     ///
     /// # Errors
     ///
-    /// As [`Embedder::embed`].
+    /// Watermark length mismatch, a key target column, or a domain
+    /// whose value type differs from the target column's.
     pub fn embed_by_idx(
         &self,
         rel: &mut Relation,
@@ -254,39 +205,107 @@ impl<'a> Embedder<'a> {
             touched_rows: Vec::new(),
         };
         let mut covered = vec![false; self.spec.wm_data_len];
-        for planned in plan.fit() {
-            let row = planned.row as usize;
-            let idx = planned.position as usize;
-            let bit = wm_data[idx];
-            let t = plan.value_index(planned, bit);
-            let new_value = self.spec.domain.value_at(t);
-            let old_value = rel.tuple(row).expect("planned row in range").get(attr_idx);
-            if old_value == new_value {
-                report.unchanged += 1;
-                covered[idx] = true;
-                continue;
-            }
-            let new_value = new_value.clone();
-            if let Some(g) = guard.as_deref_mut() {
-                let change = Alteration {
-                    row,
-                    attr: attr_idx,
-                    old: old_value.clone(),
-                    new: new_value.clone(),
-                };
-                if !g.propose(change) {
-                    report.vetoed += 1;
-                    continue;
+        // The write pass runs directly on the target column's typed
+        // storage: integer domains write `i64`s, text domains write
+        // dictionary codes resolved once per domain value.
+        match rel.column_mut(attr_idx).map_err(CoreError::Relation)? {
+            ColumnMut::Int(xs) => {
+                let dom = int_domain(self.spec)?;
+                for planned in plan.fit() {
+                    let row = planned.row as usize;
+                    let idx = planned.position as usize;
+                    let new = dom[plan.value_index(planned, wm_data[idx])];
+                    let old = xs[row];
+                    if old == new {
+                        report.unchanged += 1;
+                        covered[idx] = true;
+                        continue;
+                    }
+                    if let Some(g) = guard.as_deref_mut() {
+                        let change = Alteration {
+                            row,
+                            attr: attr_idx,
+                            old: Value::Int(old),
+                            new: Value::Int(new),
+                        };
+                        if !g.propose(change) {
+                            report.vetoed += 1;
+                            continue;
+                        }
+                    }
+                    xs[row] = new;
+                    report.altered += 1;
+                    covered[idx] = true;
+                    report.touched_rows.push(row);
                 }
             }
-            rel.update_value(row, attr_idx, new_value)?;
-            report.altered += 1;
-            covered[idx] = true;
-            report.touched_rows.push(row);
+            ColumnMut::Text(mut tc) => {
+                // Intern every domain value up front: the per-row work
+                // is then a pure code compare-and-store.
+                let dom_codes: Result<Vec<u32>, CoreError> = self
+                    .spec
+                    .domain
+                    .values()
+                    .iter()
+                    .map(|v| {
+                        v.as_text().map(|s| tc.intern(s)).ok_or_else(|| {
+                            CoreError::InvalidSpec(format!(
+                                "domain holds {} values but the target column is text",
+                                v.type_name()
+                            ))
+                        })
+                    })
+                    .collect();
+                let dom_codes = dom_codes?;
+                for planned in plan.fit() {
+                    let row = planned.row as usize;
+                    let idx = planned.position as usize;
+                    let new = dom_codes[plan.value_index(planned, wm_data[idx])];
+                    let old = tc.code(row);
+                    if old == new {
+                        report.unchanged += 1;
+                        covered[idx] = true;
+                        continue;
+                    }
+                    if let Some(g) = guard.as_deref_mut() {
+                        let change = Alteration {
+                            row,
+                            attr: attr_idx,
+                            old: Value::Text(tc.dict().get(old).to_owned()),
+                            new: Value::Text(tc.dict().get(new).to_owned()),
+                        };
+                        if !g.propose(change) {
+                            report.vetoed += 1;
+                            continue;
+                        }
+                    }
+                    tc.set(row, new);
+                    report.altered += 1;
+                    covered[idx] = true;
+                    report.touched_rows.push(row);
+                }
+            }
         }
         report.positions_covered = covered.iter().filter(|&&c| c).count();
         Ok(report)
     }
+}
+
+/// The spec's domain as raw integers, for writing straight into an
+/// integer column.
+fn int_domain(spec: &WatermarkSpec) -> Result<Vec<i64>, CoreError> {
+    spec.domain
+        .values()
+        .iter()
+        .map(|v| {
+            v.as_int().ok_or_else(|| {
+                CoreError::InvalidSpec(format!(
+                    "domain holds {} values but the target column is integer",
+                    v.type_name()
+                ))
+            })
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -295,7 +314,6 @@ mod tests {
     use crate::fitness::FitnessSelector;
     use crate::quality::AlterationBudget;
     use catmark_datagen::{ItemScanConfig, SalesGenerator};
-    use catmark_relation::Value;
 
     fn setup(tuples: usize, e: u64) -> (Relation, WatermarkSpec, Watermark) {
         let gen = SalesGenerator::new(ItemScanConfig { tuples, ..Default::default() });
@@ -314,7 +332,7 @@ mod tests {
     #[test]
     fn embeds_expected_tuple_fraction() {
         let (mut rel, spec, wm) = setup(12_000, 60);
-        let report = Embedder::engine(&spec).embed(&mut rel, "visit_nbr", "item_nbr", &wm).unwrap();
+        let report = crate::testkit::embed(&spec, &mut rel, "visit_nbr", "item_nbr", &wm).unwrap();
         assert_eq!(report.total_tuples, 12_000);
         let expected = 200.0;
         assert!(
@@ -332,8 +350,8 @@ mod tests {
     #[test]
     fn embedded_values_stay_in_domain_with_correct_lsb() {
         let (mut rel, spec, wm) = setup(3_000, 20);
-        let report = Embedder::engine(&spec).embed(&mut rel, "visit_nbr", "item_nbr", &wm).unwrap();
-        let ecc = MajorityVotingEcc;
+        let report = crate::testkit::embed(&spec, &mut rel, "visit_nbr", "item_nbr", &wm).unwrap();
+        let ecc = crate::ecc::MajorityVotingEcc;
         let wm_data = ecc.encode(&wm, spec.wm_data_len);
         let sel = FitnessSelector::new(&spec);
         for &row in &report.touched_rows {
@@ -349,8 +367,8 @@ mod tests {
         let (rel, spec, wm) = setup(2_000, 30);
         let mut a = rel.clone();
         let mut b = rel;
-        Embedder::engine(&spec).embed(&mut a, "visit_nbr", "item_nbr", &wm).unwrap();
-        Embedder::engine(&spec).embed(&mut b, "visit_nbr", "item_nbr", &wm).unwrap();
+        crate::testkit::embed(&spec, &mut a, "visit_nbr", "item_nbr", &wm).unwrap();
+        crate::testkit::embed(&spec, &mut b, "visit_nbr", "item_nbr", &wm).unwrap();
         assert!(a.iter().zip(b.iter()).all(|(x, y)| x == y));
     }
 
@@ -359,9 +377,8 @@ mod tests {
         // Re-embedding the same watermark changes nothing: every fit
         // tuple already carries its assigned value.
         let (mut rel, spec, wm) = setup(2_000, 30);
-        let emb = Embedder::engine(&spec);
-        let first = emb.embed(&mut rel, "visit_nbr", "item_nbr", &wm).unwrap();
-        let second = emb.embed(&mut rel, "visit_nbr", "item_nbr", &wm).unwrap();
+        let first = crate::testkit::embed(&spec, &mut rel, "visit_nbr", "item_nbr", &wm).unwrap();
+        let second = crate::testkit::embed(&spec, &mut rel, "visit_nbr", "item_nbr", &wm).unwrap();
         assert!(first.altered > 0);
         assert_eq!(second.altered, 0);
         assert_eq!(second.unchanged, second.fit_tuples);
@@ -371,24 +388,30 @@ mod tests {
     fn rejects_wrong_watermark_length() {
         let (mut rel, spec, _) = setup(1_000, 30);
         let wm = Watermark::from_u64(1, 5);
-        let err = Embedder::engine(&spec).embed(&mut rel, "visit_nbr", "item_nbr", &wm);
+        let err = crate::testkit::embed(&spec, &mut rel, "visit_nbr", "item_nbr", &wm);
         assert!(matches!(err, Err(CoreError::InvalidSpec(_))));
     }
 
     #[test]
     fn rejects_unknown_attributes() {
         let (mut rel, spec, wm) = setup(100, 30);
-        assert!(Embedder::engine(&spec).embed(&mut rel, "nope", "item_nbr", &wm).is_err());
-        assert!(Embedder::engine(&spec).embed(&mut rel, "visit_nbr", "nope", &wm).is_err());
+        assert!(crate::testkit::embed(&spec, &mut rel, "nope", "item_nbr", &wm).is_err());
+        assert!(crate::testkit::embed(&spec, &mut rel, "visit_nbr", "nope", &wm).is_err());
     }
 
     #[test]
     fn guard_vetoes_are_counted_and_skip_alterations() {
         let (mut rel, spec, wm) = setup(6_000, 30);
         let mut guard = QualityGuard::new(vec![Box::new(AlterationBudget::new(10))]);
-        let report = Embedder::engine(&spec)
-            .embed_guarded(&mut rel, "visit_nbr", "item_nbr", &wm, &mut guard)
-            .unwrap();
+        let report = crate::testkit::embed_guarded(
+            &spec,
+            &mut rel,
+            "visit_nbr",
+            "item_nbr",
+            &wm,
+            &mut guard,
+        )
+        .unwrap();
         assert_eq!(report.altered, 10);
         assert!(report.vetoed > 0);
         assert_eq!(guard.log().len(), 10);
@@ -400,8 +423,7 @@ mod tests {
         let original = rel.clone();
         let mut marked = rel;
         let mut guard = QualityGuard::new(vec![]);
-        Embedder::engine(&spec)
-            .embed_guarded(&mut marked, "visit_nbr", "item_nbr", &wm, &mut guard)
+        crate::testkit::embed_guarded(&spec, &mut marked, "visit_nbr", "item_nbr", &wm, &mut guard)
             .unwrap();
         assert!(original.iter().zip(marked.iter()).any(|(a, b)| a != b));
         guard.undo_all(&mut marked).unwrap();
@@ -411,7 +433,7 @@ mod tests {
     #[test]
     fn alteration_rate_matches_one_over_e_scaling() {
         let (mut rel, spec, wm) = setup(12_000, 60);
-        let report = Embedder::engine(&spec).embed(&mut rel, "visit_nbr", "item_nbr", &wm).unwrap();
+        let report = crate::testkit::embed(&spec, &mut rel, "visit_nbr", "item_nbr", &wm).unwrap();
         let rate = report.alteration_rate();
         // ~1/e of tuples altered (minus the few unchanged-by-chance).
         assert!((rate - 1.0 / 60.0).abs() < 0.01, "rate={rate}");
@@ -420,7 +442,7 @@ mod tests {
     #[test]
     fn covers_most_positions() {
         let (mut rel, spec, wm) = setup(6_000, 60);
-        let report = Embedder::engine(&spec).embed(&mut rel, "visit_nbr", "item_nbr", &wm).unwrap();
+        let report = crate::testkit::embed(&spec, &mut rel, "visit_nbr", "item_nbr", &wm).unwrap();
         // With ~100 fit tuples into 100 positions, coverage follows
         // the coupon-collector/Poisson curve: ≈ 1 - 1/e ≈ 63%.
         let coverage = report.positions_covered as f64 / spec.wm_data_len as f64;
@@ -431,9 +453,7 @@ mod tests {
     fn key_attribute_is_never_modified() {
         let (rel, spec, wm) = setup(3_000, 20);
         let mut marked = rel.clone();
-        Embedder::engine(&spec).embed(&mut marked, "visit_nbr", "item_nbr", &wm).unwrap();
-        let before: Vec<&Value> = rel.column(0);
-        let after: Vec<&Value> = marked.column(0);
-        assert_eq!(before, after);
+        crate::testkit::embed(&spec, &mut marked, "visit_nbr", "item_nbr", &wm).unwrap();
+        assert!(rel.column(0) == marked.column(0));
     }
 }

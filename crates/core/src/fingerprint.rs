@@ -115,8 +115,18 @@ impl FingerprintRegistry {
         self.register(buyer);
         let spec = self.spec_for(buyer);
         let wm = self.mark_for(buyer);
+        let key_idx = rel.schema().index_of(key_attr)?;
+        let attr_idx = rel.schema().index_of(target_attr)?;
         let mut copy = rel.clone();
-        let report = Embedder::engine(&spec).embed(&mut copy, key_attr, target_attr, &wm)?;
+        let plan = self.plans.plan_for(&spec, &copy, key_idx)?;
+        let report = Embedder::engine(&spec).embed_with_plan(
+            &mut copy,
+            attr_idx,
+            &wm,
+            &MajorityVotingEcc,
+            None,
+            &plan,
+        )?;
         Ok((copy, report))
     }
 

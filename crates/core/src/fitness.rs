@@ -6,8 +6,8 @@
 //! association, and (iii) — through the hash's one-wayness — defeats
 //! court-time claims that the keys were fished for after the fact.
 
-use catmark_crypto::KeyedHash;
-use catmark_relation::{Relation, Value};
+use catmark_crypto::{CanonicalInput, FixedLenKeyedHasher, KeyedHash};
+use catmark_relation::{CanonicalInt, Relation, Value};
 
 use crate::spec::WatermarkSpec;
 
@@ -78,7 +78,16 @@ impl FitnessSelector {
     /// `is_fit`/`position`/`value_base` calls, which rehash.
     #[must_use]
     pub fn facts(&self, key: &Value) -> Option<FitFacts> {
-        let h1 = self.hash1(key);
+        self.facts_canonical(key)
+    }
+
+    /// [`FitnessSelector::facts`] over any borrowed canonical encoding
+    /// — the columnar scan path hashes [`CanonicalInt`] /
+    /// [`catmark_relation::CanonicalText`] wrappers without ever
+    /// materializing a [`Value`].
+    #[must_use]
+    pub fn facts_canonical<V: CanonicalInput + ?Sized>(&self, key: &V) -> Option<FitFacts> {
+        let h1 = self.keyed1.hash_canonical_u64(key);
         if !h1.is_multiple_of(self.e) {
             return None;
         }
@@ -86,6 +95,23 @@ impl FitnessSelector {
             position: (self.keyed2.hash_canonical_u64(key) % self.wm_data_len) as usize,
             base_raw: h1 >> 32,
         })
+    }
+
+    /// A scanner specialized for integer key columns: both keyed
+    /// hashes precompiled for the fixed 9-byte canonical width, so a
+    /// column scan runs two SHA-256 blocks per key (one of them with a
+    /// pre-expanded schedule) and nothing else. Falls back to the
+    /// generic streaming hashers when the key layout doesn't qualify.
+    ///
+    /// Bit-identical to [`FitnessSelector::facts`] over
+    /// `Value::Int(key)` (pinned by test).
+    #[must_use]
+    pub fn int_scanner(&self) -> IntFitScanner<'_> {
+        IntFitScanner {
+            selector: self,
+            fast1: self.keyed1.fixed_len_hasher(9),
+            fast2: self.keyed2.fixed_len_hasher(9),
+        }
     }
 
     /// The `wm_data` position carried by the fit tuple with key `key`:
@@ -124,11 +150,67 @@ impl FitnessSelector {
     /// `key_idx`.
     #[must_use]
     pub fn fit_rows(&self, rel: &Relation, key_idx: usize) -> Vec<usize> {
-        rel.iter()
-            .enumerate()
-            .filter(|(_, t)| self.is_fit(t.get(key_idx)))
-            .map(|(i, _)| i)
+        (0..rel.len())
+            .filter(|&row| self.is_fit(&rel.value(row, key_idx).expect("row in range")))
             .collect()
+    }
+}
+
+/// See [`FitnessSelector::int_scanner`].
+#[derive(Debug, Clone)]
+pub struct IntFitScanner<'a> {
+    selector: &'a FitnessSelector,
+    fast1: Option<FixedLenKeyedHasher>,
+    fast2: Option<FixedLenKeyedHasher>,
+}
+
+impl IntFitScanner<'_> {
+    /// Fitness facts for four keys at once, through the four-lane
+    /// interleaved hasher (a lone SHA-256 stream is latency-bound;
+    /// batching is where the columnar flat-slice scan earns its keep).
+    /// The rare `H(·, k2)` position hash runs per fit lane. Falls back
+    /// to four scalar calls when the key layout doesn't qualify.
+    #[must_use]
+    pub fn facts4(&self, keys: [i64; 4]) -> [Option<FitFacts>; 4] {
+        let Some(fast1) = &self.fast1 else {
+            return keys.map(|k| self.facts(k));
+        };
+        let bufs = keys.map(|k| CanonicalInt(k).encode());
+        let h1s = fast1.hash4_u64([&bufs[0], &bufs[1], &bufs[2], &bufs[3]]);
+        let mut out = [None; 4];
+        for lane in 0..4 {
+            if !h1s[lane].is_multiple_of(self.selector.e) {
+                continue;
+            }
+            let h2 = match &self.fast2 {
+                Some(fast) => fast.hash_u64(&bufs[lane]),
+                None => self.selector.keyed2.hash_canonical_u64(bufs[lane].as_slice()),
+            };
+            out[lane] = Some(FitFacts {
+                position: (h2 % self.selector.wm_data_len) as usize,
+                base_raw: h1s[lane] >> 32,
+            });
+        }
+        out
+    }
+
+    /// Fitness facts for the integer key `key` — the flat-slice twin
+    /// of [`FitnessSelector::facts`].
+    #[must_use]
+    pub fn facts(&self, key: i64) -> Option<FitFacts> {
+        let buf = CanonicalInt(key).encode();
+        let h1 = match &self.fast1 {
+            Some(fast) => fast.hash_u64(&buf),
+            None => self.selector.keyed1.hash_canonical_u64(buf.as_slice()),
+        };
+        if !h1.is_multiple_of(self.selector.e) {
+            return None;
+        }
+        let h2 = match &self.fast2 {
+            Some(fast) => fast.hash_u64(&buf),
+            None => self.selector.keyed2.hash_canonical_u64(buf.as_slice()),
+        };
+        Some(FitFacts { position: (h2 % self.selector.wm_data_len) as usize, base_raw: h1 >> 32 })
     }
 }
 
@@ -233,6 +315,17 @@ mod tests {
         let sel = FitnessSelector::new(&spec(60));
         for i in 0..1000i64 {
             assert!(sel.value_base(&Value::Int(i), 7) < 7);
+        }
+    }
+
+    #[test]
+    fn int_scanner_matches_value_facts() {
+        // The specialized flat-slice scanner must reproduce the
+        // Value-based path bit for bit, fast path or fallback.
+        let sel = FitnessSelector::new(&spec(20));
+        let scanner = sel.int_scanner();
+        for i in (-2_000i64..2_000).chain([i64::MIN, i64::MAX, 1_000_000_007]) {
+            assert_eq!(scanner.facts(i), sel.facts(&Value::Int(i)), "i={i}");
         }
     }
 

@@ -250,7 +250,7 @@ impl FreqCodec {
         // Rows per group, for picking movers.
         let mut rows_by_group: Vec<Vec<usize>> = vec![Vec::new(); self.wm_len];
         for (row, value) in rel.column_iter(attr_idx).enumerate() {
-            rows_by_group[self.group_of(value)].push(row);
+            rows_by_group[self.group_of(&value)].push(row);
         }
         // Representative acceptor value per group: its most frequent
         // member (stealth: reinforce the mode rather than a rare value).

@@ -164,8 +164,6 @@ pub fn from_key_file(text: &str) -> Result<WatermarkSpec, CoreError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::decode::Decoder;
-    use crate::embed::Embedder;
     use crate::spec::Watermark;
     use catmark_crypto::HashAlgorithm;
     use catmark_datagen::{domains, ItemScanConfig, SalesGenerator};
@@ -216,10 +214,10 @@ mod tests {
             .build()
             .unwrap();
         let wm = Watermark::from_u64(0b10_0110_1101 & 0x3FF, 10);
-        Embedder::engine(&original).embed(&mut rel, "visit_nbr", "item_nbr", &wm).unwrap();
+        crate::testkit::embed(&original, &mut rel, "visit_nbr", "item_nbr", &wm).unwrap();
         // Years later: only the key file survives.
         let restored = from_key_file(&to_key_file(&original)).unwrap();
-        let decoded = Decoder::engine(&restored).decode(&rel, "visit_nbr", "item_nbr").unwrap();
+        let decoded = crate::testkit::decode(&restored, &rel, "visit_nbr", "item_nbr").unwrap();
         assert_eq!(decoded.watermark, wm);
     }
 

@@ -130,3 +130,61 @@ pub use session::{
     Verdict,
 };
 pub use spec::{Watermark, WatermarkSpec, WatermarkSpecBuilder};
+
+/// Test-only stringly conveniences over the typed engines: the
+/// production surface resolves columns once through `MarkSession`, but
+/// in-crate tests read better with `(rel, "pk", "attr")` one-liners.
+#[cfg(test)]
+pub(crate) mod testkit {
+    use catmark_relation::Relation;
+
+    use crate::decode::{DecodeReport, Decoder};
+    use crate::ecc::MajorityVotingEcc;
+    use crate::embed::{EmbedReport, Embedder};
+    use crate::error::CoreError;
+    use crate::quality::QualityGuard;
+    use crate::spec::{Watermark, WatermarkSpec};
+
+    pub(crate) fn embed(
+        spec: &WatermarkSpec,
+        rel: &mut Relation,
+        key_attr: &str,
+        target_attr: &str,
+        wm: &Watermark,
+    ) -> Result<EmbedReport, CoreError> {
+        let key_idx = rel.schema().index_of(key_attr)?;
+        let attr_idx = rel.schema().index_of(target_attr)?;
+        Embedder::engine(spec).embed_by_idx(rel, key_idx, attr_idx, wm, &MajorityVotingEcc, None)
+    }
+
+    pub(crate) fn embed_guarded(
+        spec: &WatermarkSpec,
+        rel: &mut Relation,
+        key_attr: &str,
+        target_attr: &str,
+        wm: &Watermark,
+        guard: &mut QualityGuard,
+    ) -> Result<EmbedReport, CoreError> {
+        let key_idx = rel.schema().index_of(key_attr)?;
+        let attr_idx = rel.schema().index_of(target_attr)?;
+        Embedder::engine(spec).embed_by_idx(
+            rel,
+            key_idx,
+            attr_idx,
+            wm,
+            &MajorityVotingEcc,
+            Some(guard),
+        )
+    }
+
+    pub(crate) fn decode(
+        spec: &WatermarkSpec,
+        rel: &Relation,
+        key_attr: &str,
+        target_attr: &str,
+    ) -> Result<DecodeReport, CoreError> {
+        let key_idx = rel.schema().index_of(key_attr)?;
+        let attr_idx = rel.schema().index_of(target_attr)?;
+        Decoder::engine(spec).decode_by_idx(rel, key_idx, attr_idx, &MajorityVotingEcc)
+    }
+}

@@ -25,10 +25,10 @@
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
-use catmark_relation::Relation;
+use catmark_relation::{CanonicalText, ColumnView, Relation};
 
 use crate::error::CoreError;
-use crate::fitness::FitnessSelector;
+use crate::fitness::{FitFacts, FitnessSelector};
 use crate::spec::WatermarkSpec;
 
 /// The planned facts for one fit tuple.
@@ -95,11 +95,7 @@ impl MarkPlan {
         let sel = FitnessSelector::new(spec);
         let n = domain_size(spec);
         let mut fit = Vec::with_capacity(fit_estimate(rel.len(), spec.e));
-        for (row, tuple) in rel.iter().enumerate() {
-            if let Some(facts) = sel.facts(tuple.get(key_idx)) {
-                fit.push(planned(row, &facts, n));
-            }
-        }
+        scan_rows(&sel, rel.column(key_idx), 0..rel.len(), n, &mut fit);
         MarkPlan { spec_id: spec_identity(spec), key_idx, column_fp, rows: rel.len(), n, fit }
     }
 
@@ -135,6 +131,7 @@ impl MarkPlan {
         let chunk = rows.div_ceil(threads).max(1);
         let sel = FitnessSelector::new(spec);
         let n = domain_size(spec);
+        let view = rel.column(key_idx);
         let mut chunks: Vec<Vec<PlannedRow>> = Vec::new();
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..rows)
@@ -144,7 +141,7 @@ impl MarkPlan {
                     let end = (start + chunk).min(rows);
                     scope.spawn(move || {
                         let mut fit = Vec::with_capacity(fit_estimate(end - start, spec.e));
-                        scan_rows(sel, rel, key_idx, start..end, n, &mut fit);
+                        scan_rows(sel, view, start..end, n, &mut fit);
                         fit
                     })
                 })
@@ -203,19 +200,74 @@ impl MarkPlan {
     }
 }
 
-/// Scan `range` of `rel`, appending planned facts for fit rows.
+/// Scan `range` of the key column, appending planned facts for fit
+/// rows.
+///
+/// Integer columns run the fixed-width scanner — two SHA-256 blocks
+/// per key with the constant second block's schedule pre-expanded.
+/// Text columns memoize facts per **dictionary code**: `H(T_j(K), k)`
+/// hashes each distinct string once per plan, not once per row.
 fn scan_rows(
     sel: &FitnessSelector,
-    rel: &Relation,
-    key_idx: usize,
+    view: ColumnView<'_>,
     range: std::ops::Range<usize>,
     n: u64,
     out: &mut Vec<PlannedRow>,
 ) {
-    for row in range {
-        let key = rel.tuple(row).expect("row in range").get(key_idx);
-        if let Some(facts) = sel.facts(key) {
-            out.push(planned(row, &facts, n));
+    match view {
+        ColumnView::Int(xs) => {
+            let scanner = sel.int_scanner();
+            let keys = &xs[range.clone()];
+            let mut row = range.start;
+            let mut quads = keys.chunks_exact(4);
+            for quad in &mut quads {
+                let lanes = scanner.facts4([quad[0], quad[1], quad[2], quad[3]]);
+                for (lane, facts) in lanes.into_iter().enumerate() {
+                    if let Some(facts) = facts {
+                        out.push(planned(row + lane, &facts, n));
+                    }
+                }
+                row += 4;
+            }
+            for &key in quads.remainder() {
+                if let Some(facts) = scanner.facts(key) {
+                    out.push(planned(row, &facts, n));
+                }
+                row += 1;
+            }
+        }
+        ColumnView::Text { codes, dict } => {
+            // Memoize per dictionary code only when values actually
+            // repeat within this range (≥ 2 rows per distinct value on
+            // average); a near-unique text column — e.g. a text
+            // primary key — would pay a dict-sized allocation per
+            // (possibly per-thread) scan for memo entries that never
+            // hit.
+            if 2 * dict.len() <= range.len() {
+                // `None` = not yet computed; `Some(None)` = unfit.
+                let mut memo: Vec<Option<Option<FitFacts>>> = vec![None; dict.len()];
+                for row in range {
+                    let code = codes[row] as usize;
+                    let facts = match memo[code] {
+                        Some(f) => f,
+                        None => {
+                            let f = sel.facts_canonical(&CanonicalText(dict.get(code as u32)));
+                            memo[code] = Some(f);
+                            f
+                        }
+                    };
+                    if let Some(facts) = facts {
+                        out.push(planned(row, &facts, n));
+                    }
+                }
+            } else {
+                for row in range {
+                    let entry = dict.get(codes[row]);
+                    if let Some(facts) = sel.facts_canonical(&CanonicalText(entry)) {
+                        out.push(planned(row, &facts, n));
+                    }
+                }
+            }
         }
     }
 }
@@ -276,16 +328,29 @@ fn column_fingerprint(rel: &Relation, key_idx: usize) -> u64 {
         (h ^ v).wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(23)
     }
     let mut h = 0xCBF2_9CE4_8422_2325u64;
-    for value in rel.column_iter(key_idx) {
-        h = match value {
-            catmark_relation::Value::Int(i) => mix(h, *i as u64 ^ 0x0100_0000_0000_0000),
-            catmark_relation::Value::Text(s) => {
-                let mut f = Fnv::new();
-                f.write(&[0x02]);
-                f.write(s.as_bytes());
-                mix(h, f.finish())
+    match rel.column(key_idx) {
+        ColumnView::Int(xs) => {
+            for &i in xs {
+                h = mix(h, i as u64 ^ 0x0100_0000_0000_0000);
             }
-        };
+        }
+        ColumnView::Text { codes, dict } => {
+            // FNV each distinct entry once, fold per row by code —
+            // same digest the row store produced hashing every row.
+            let entry_fp: Vec<u64> = dict
+                .entries()
+                .iter()
+                .map(|s| {
+                    let mut f = Fnv::new();
+                    f.write(&[0x02]);
+                    f.write(s.as_bytes());
+                    f.finish()
+                })
+                .collect();
+            for &c in codes {
+                h = mix(h, entry_fp[c as usize]);
+            }
+        }
     }
     h
 }
@@ -418,9 +483,9 @@ mod tests {
         assert_eq!(plan.fit().iter().map(|p| p.row as usize).collect::<Vec<_>>(), expected);
         let n = spec.domain.len() as u64;
         for planned in plan.fit() {
-            let key = rel.tuple(planned.row as usize).unwrap().get(0);
-            assert_eq!(planned.position as usize, sel.position(key));
-            assert_eq!(u64::from(planned.value_base), sel.value_base(key, n));
+            let key = rel.value(planned.row as usize, 0).unwrap();
+            assert_eq!(planned.position as usize, sel.position(&key));
+            assert_eq!(u64::from(planned.value_base), sel.value_base(&key, n));
         }
     }
 

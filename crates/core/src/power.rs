@@ -85,7 +85,14 @@ pub fn score_run(
 
     let frequency_drift = histogram_drift(original, marked, attr_idx, &spec.domain)?;
 
-    let decode = Decoder::engine(spec).decode(suspect, key_attr, target_attr)?;
+    let key_idx = suspect.schema().index_of(key_attr)?;
+    let suspect_attr_idx = suspect.schema().index_of(target_attr)?;
+    let decode = Decoder::engine(spec).decode_by_idx(
+        suspect,
+        key_idx,
+        suspect_attr_idx,
+        &crate::ecc::MajorityVotingEcc,
+    )?;
     let detection = detect(&decode.watermark, wm);
     let carrier_survival = if decode.fit_tuples == 0 {
         0.0
@@ -116,7 +123,7 @@ fn histogram_drift(
 mod tests {
     use super::*;
     use crate::decode::ErasurePolicy;
-    use crate::embed::Embedder;
+
     use catmark_datagen::{ItemScanConfig, SalesGenerator};
     use catmark_relation::ops;
 
@@ -133,7 +140,7 @@ mod tests {
             .unwrap();
         let wm = Watermark::from_u64(0b1010110100, 10);
         let mut marked = original.clone();
-        Embedder::engine(&spec).embed(&mut marked, "visit_nbr", "item_nbr", &wm).unwrap();
+        crate::testkit::embed(&spec, &mut marked, "visit_nbr", "item_nbr", &wm).unwrap();
         let suspect = ops::sample_bernoulli(&marked, keep, 1234);
         score_run(&original, &marked, &suspect, &spec, &wm, "visit_nbr", "item_nbr").unwrap()
     }

@@ -118,10 +118,10 @@ impl CountQueryPreservation {
     /// yielding a column's values) so callers can count from a
     /// relation, a sample, or recorded statistics alike.
     #[must_use]
-    pub fn new<'a, F, I>(queries: Vec<CountQuery>, mut column_values: F) -> Self
+    pub fn new<F, I>(queries: Vec<CountQuery>, mut column_values: F) -> Self
     where
         F: FnMut(usize) -> I,
-        I: Iterator<Item = &'a Value>,
+        I: Iterator<Item = Value>,
     {
         let tracked = queries
             .into_iter()

@@ -259,8 +259,7 @@ fn hash8(bytes: &[u8]) -> [u8; 8] {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::decode::Decoder;
-    use crate::embed::Embedder;
+
     use crate::spec::{Watermark, WatermarkSpec};
     use catmark_datagen::{ItemScanConfig, SalesGenerator};
 
@@ -317,18 +316,18 @@ mod tests {
             .build()
             .unwrap();
         let wm = Watermark::from_u64(0b1001101011, 10);
-        Embedder::engine(&spec).embed(&mut rel, "visit_nbr", "item_nbr", &wm).unwrap();
+        crate::testkit::embed(&spec, &mut rel, "visit_nbr", "item_nbr", &wm).unwrap();
         // Rights holder retains the *post-embedding* histogram.
         let reference = FrequencyHistogram::from_relation(&rel, 1, &domain).unwrap();
         // Mallory remaps.
         let attacked = remap_items(&rel, |v| -v);
         // Direct decode yields only abstentions.
-        let direct = Decoder::engine(&spec).decode(&attacked, "visit_nbr", "item_nbr").unwrap();
+        let direct = crate::testkit::decode(&spec, &attacked, "visit_nbr", "item_nbr").unwrap();
         assert_eq!(direct.votes_cast, 0);
         // Recover the mapping, invert, decode.
         let recovery = recover_mapping(&reference, &attacked, "item_nbr").unwrap();
         let restored = apply_inverse(&attacked, "item_nbr", &recovery).unwrap();
-        let report = Decoder::engine(&spec).decode(&restored, "visit_nbr", "item_nbr").unwrap();
+        let report = crate::testkit::decode(&spec, &restored, "visit_nbr", "item_nbr").unwrap();
         let detection = crate::detect::detect(&report.watermark, &wm);
         assert!(detection.is_significant(1e-2), "detection after recovery: {detection:?}");
     }
@@ -354,7 +353,7 @@ mod tests {
 
     #[test]
     fn confident_recovery_abstains_rather_than_misvotes() {
-        use crate::decode::{Decoder, ErasurePolicy};
+        use crate::decode::ErasurePolicy;
         // High-cardinality domain with a heavy tie tail: plain rank
         // matching scrambles tie groups and produces conflicting
         // votes; confident recovery must produce none.
@@ -373,14 +372,12 @@ mod tests {
             .build()
             .unwrap();
         let wm = Watermark::from_u64(0b1100101101, 10);
-        crate::embed::Embedder::engine(&spec)
-            .embed(&mut rel, "visit_nbr", "item_nbr", &wm)
-            .unwrap();
+        crate::testkit::embed(&spec, &mut rel, "visit_nbr", "item_nbr", &wm).unwrap();
         let reference = FrequencyHistogram::from_relation(&rel, 1, &gen.item_domain()).unwrap();
         let attacked = remap_items(&rel, |v| -v);
         let confident = recover_mapping_confident(&reference, &attacked, "item_nbr").unwrap();
         let restored = apply_inverse(&attacked, "item_nbr", &confident).unwrap();
-        let report = Decoder::engine(&spec).decode(&restored, "visit_nbr", "item_nbr").unwrap();
+        let report = crate::testkit::decode(&spec, &restored, "visit_nbr", "item_nbr").unwrap();
         assert_eq!(
             report.position_conflicts, 0,
             "confident recovery must never cast contradictory votes"
@@ -423,6 +420,6 @@ mod tests {
         recovery.mapping.remove(&forgotten);
         let restored = apply_inverse(&attacked, "item_nbr", &recovery).unwrap();
         // The forgotten value survives unmapped.
-        assert!(restored.column_iter(1).any(|v| v == &forgotten));
+        assert!(restored.column_iter(1).any(|v| v == forgotten));
     }
 }

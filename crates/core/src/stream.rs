@@ -39,31 +39,10 @@ pub struct StreamMarker {
 }
 
 impl StreamMarker {
-    /// Marker embedding `wm` into the `(key_attr, target_attr)`
-    /// association of relations shaped like `template`.
-    ///
-    /// # Errors
-    ///
-    /// Unknown attributes or a watermark length mismatch.
-    #[deprecated(
-        since = "0.2.0",
-        note = "bind a `MarkSession` and call `session.stream(&wm)` instead: the session \
-                resolves the columns once and hands back the same marker"
-    )]
-    pub fn new(
-        spec: WatermarkSpec,
-        template: &Relation,
-        key_attr: &str,
-        target_attr: &str,
-        wm: &Watermark,
-    ) -> Result<Self, CoreError> {
-        let key_idx = template.schema().index_of(key_attr)?;
-        let attr_idx = template.schema().index_of(target_attr)?;
-        Self::with_indices(spec, key_idx, attr_idx, wm)
-    }
-
     /// Marker over already-resolved attribute indices — the typed
     /// constructor [`crate::session::MarkSession::stream`] uses.
+    /// (The stringly `(template, "pk", "attr")` constructor is gone;
+    /// bind a `MarkSession` and call `session.stream(&wm)`.)
     ///
     /// # Errors
     ///
@@ -135,7 +114,7 @@ impl StreamMarker {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::decode::{Decoder, ErasurePolicy};
+    use crate::decode::ErasurePolicy;
     use crate::embed::Embedder;
     use catmark_datagen::{ItemScanConfig, SalesGenerator};
 
@@ -159,7 +138,7 @@ mod tests {
         let source = gen.generate();
         // Batch path.
         let mut batch = source.clone();
-        Embedder::engine(&spec).embed(&mut batch, "visit_nbr", "item_nbr", &wm).unwrap();
+        crate::testkit::embed(&spec, &mut batch, "visit_nbr", "item_nbr", &wm).unwrap();
         // Streaming path: ingest tuple by tuple into an empty relation.
         let marker = StreamMarker::with_indices(spec.clone(), 0, 1, &wm).unwrap();
         let mut streamed = Relation::new(source.schema().clone());
@@ -216,7 +195,7 @@ mod tests {
         for tuple in source.iter() {
             marker.ingest(&mut rel, tuple.values().to_vec()).unwrap();
         }
-        let decoded = Decoder::engine(&spec).decode(&rel, "visit_nbr", "item_nbr").unwrap();
+        let decoded = crate::testkit::decode(&spec, &rel, "visit_nbr", "item_nbr").unwrap();
         assert_eq!(decoded.watermark, wm);
     }
 

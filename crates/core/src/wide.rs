@@ -228,8 +228,7 @@ mod tests {
         // embedding with the standard decoder succeeds.
         let (mut rel, spec, wm) = setup(30, 100);
         WideCodec::new(&spec, 1).unwrap().embed(&mut rel, "visit_nbr", "item_nbr", &wm).unwrap();
-        let report =
-            crate::decode::Decoder::engine(&spec).decode(&rel, "visit_nbr", "item_nbr").unwrap();
+        let report = crate::testkit::decode(&spec, &rel, "visit_nbr", "item_nbr").unwrap();
         assert_eq!(report.watermark, wm);
     }
 

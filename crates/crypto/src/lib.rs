@@ -41,7 +41,7 @@ pub mod sha1;
 pub mod sha256;
 
 pub use digest::{Digest, DynDigest};
-pub use keyed::{CanonicalInput, KeyedHash, KeyedPrf, SecretKey};
+pub use keyed::{CanonicalInput, FixedLenKeyedHasher, KeyedHash, KeyedPrf, SecretKey};
 
 /// Selects one of the supported one-way hash functions.
 ///

@@ -104,47 +104,213 @@ impl Sha256 {
     }
 
     fn compress(state: &mut [u32; 8], block: &[u8; 64]) {
-        let mut w = [0u32; 64];
-        for (i, word) in w.iter_mut().take(16).enumerate() {
-            *word = u32::from_be_bytes([
-                block[4 * i],
-                block[4 * i + 1],
-                block[4 * i + 2],
-                block[4 * i + 3],
-            ]);
-        }
-        for i in 16..64 {
-            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
-            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
-            w[i] = w[i - 16].wrapping_add(s0).wrapping_add(w[i - 7]).wrapping_add(s1);
-        }
-        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = *state;
-        for i in 0..64 {
-            let big_s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
-            let ch = (e & f) ^ (!e & g);
-            let temp1 =
-                h.wrapping_add(big_s1).wrapping_add(ch).wrapping_add(K[i]).wrapping_add(w[i]);
-            let big_s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
-            let maj = (a & b) ^ (a & c) ^ (b & c);
-            let temp2 = big_s0.wrapping_add(maj);
-            h = g;
-            g = f;
-            f = e;
-            e = d.wrapping_add(temp1);
-            d = c;
-            c = b;
-            b = a;
-            a = temp1.wrapping_add(temp2);
-        }
-        state[0] = state[0].wrapping_add(a);
-        state[1] = state[1].wrapping_add(b);
-        state[2] = state[2].wrapping_add(c);
-        state[3] = state[3].wrapping_add(d);
-        state[4] = state[4].wrapping_add(e);
-        state[5] = state[5].wrapping_add(f);
-        state[6] = state[6].wrapping_add(g);
-        state[7] = state[7].wrapping_add(h);
+        let w = expand_schedule(block);
+        compress_schedule(state, &w);
     }
+}
+
+/// FIPS 180-4 initial hash value, exposed for the fixed-length keyed
+/// fast path in [`crate::keyed`].
+pub(crate) const INITIAL_STATE: [u32; 8] = INIT;
+
+/// Four-lane SHA-256 (multibuffer): hash four independent 2-block
+/// messages in one interleaved pass.
+///
+/// A single SHA-256 stream is *latency*-bound — every round depends on
+/// the previous one, leaving most ALU throughput idle. Interleaving
+/// four independent states breaks the dependency chain four ways (and
+/// the `[u32; 4]` lane ops below auto-vectorize to 128-bit SIMD where
+/// available). This is what makes the columnar key-column scan fast:
+/// a flat slice of keys supplies four messages at a time.
+///
+/// `block1s` are the four (already padded-into-place) first blocks;
+/// `w2` is the shared, pre-expanded schedule of the constant second
+/// block. Returns each lane's leading 8 digest bytes, big-endian.
+pub(crate) fn digest4_two_blocks_u64(block1s: &[[u8; 64]; 4], w2: &[u32; 64]) -> [u64; 4] {
+    type Lane = [u32; 4];
+
+    #[inline(always)]
+    fn splat(x: u32) -> Lane {
+        [x; 4]
+    }
+    #[inline(always)]
+    fn add(a: Lane, b: Lane) -> Lane {
+        [
+            a[0].wrapping_add(b[0]),
+            a[1].wrapping_add(b[1]),
+            a[2].wrapping_add(b[2]),
+            a[3].wrapping_add(b[3]),
+        ]
+    }
+    #[inline(always)]
+    fn xor(a: Lane, b: Lane) -> Lane {
+        [a[0] ^ b[0], a[1] ^ b[1], a[2] ^ b[2], a[3] ^ b[3]]
+    }
+    #[inline(always)]
+    fn and(a: Lane, b: Lane) -> Lane {
+        [a[0] & b[0], a[1] & b[1], a[2] & b[2], a[3] & b[3]]
+    }
+    #[inline(always)]
+    fn andnot(a: Lane, b: Lane) -> Lane {
+        [!a[0] & b[0], !a[1] & b[1], !a[2] & b[2], !a[3] & b[3]]
+    }
+    #[inline(always)]
+    fn rotr(a: Lane, n: u32) -> Lane {
+        [a[0].rotate_right(n), a[1].rotate_right(n), a[2].rotate_right(n), a[3].rotate_right(n)]
+    }
+    #[inline(always)]
+    fn shr(a: Lane, n: u32) -> Lane {
+        [a[0] >> n, a[1] >> n, a[2] >> n, a[3] >> n]
+    }
+
+    // Transposed schedule of the four first blocks.
+    let mut w = [[0u32; 4]; 64];
+    for (i, word) in w.iter_mut().take(16).enumerate() {
+        for lane in 0..4 {
+            let b = &block1s[lane];
+            word[lane] = u32::from_be_bytes([b[4 * i], b[4 * i + 1], b[4 * i + 2], b[4 * i + 3]]);
+        }
+    }
+    for i in 16..64 {
+        let s0 = xor(xor(rotr(w[i - 15], 7), rotr(w[i - 15], 18)), shr(w[i - 15], 3));
+        let s1 = xor(xor(rotr(w[i - 2], 17), rotr(w[i - 2], 19)), shr(w[i - 2], 10));
+        w[i] = add(add(w[i - 16], s0), add(w[i - 7], s1));
+    }
+
+    let mut state: [Lane; 8] = [
+        splat(INIT[0]),
+        splat(INIT[1]),
+        splat(INIT[2]),
+        splat(INIT[3]),
+        splat(INIT[4]),
+        splat(INIT[5]),
+        splat(INIT[6]),
+        splat(INIT[7]),
+    ];
+
+    macro_rules! rounds_over {
+        ($w:expr, $get:expr, $state:ident) => {{
+            let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = $state;
+            macro_rules! r4 {
+                ($aa:ident,$bb:ident,$cc:ident,$dd:ident,$ee:ident,$ff:ident,$gg:ident,$hh:ident,$i:expr) => {
+                    let s1 = xor(xor(rotr($ee, 6), rotr($ee, 11)), rotr($ee, 25));
+                    let ch = xor(and($ee, $ff), andnot($ee, $gg));
+                    let wk = add($get($w, $i), splat(K[$i]));
+                    let t1 = add(add($hh, s1), add(ch, wk));
+                    let s0 = xor(xor(rotr($aa, 2), rotr($aa, 13)), rotr($aa, 22));
+                    let maj = xor(xor(and($aa, $bb), and($aa, $cc)), and($bb, $cc));
+                    $dd = add($dd, t1);
+                    $hh = add(t1, add(s0, maj));
+                };
+            }
+            let mut i = 0;
+            while i < 64 {
+                r4!(a, b, c, d, e, f, g, h, i);
+                r4!(h, a, b, c, d, e, f, g, i + 1);
+                r4!(g, h, a, b, c, d, e, f, i + 2);
+                r4!(f, g, h, a, b, c, d, e, i + 3);
+                r4!(e, f, g, h, a, b, c, d, i + 4);
+                r4!(d, e, f, g, h, a, b, c, i + 5);
+                r4!(c, d, e, f, g, h, a, b, i + 6);
+                r4!(b, c, d, e, f, g, h, a, i + 7);
+                i += 8;
+            }
+            $state = [
+                add($state[0], a),
+                add($state[1], b),
+                add($state[2], c),
+                add($state[3], d),
+                add($state[4], e),
+                add($state[5], f),
+                add($state[6], g),
+                add($state[7], h),
+            ];
+        }};
+    }
+
+    #[inline(always)]
+    fn lane_w(w: &[[u32; 4]; 64], i: usize) -> [u32; 4] {
+        w[i]
+    }
+    #[inline(always)]
+    fn broadcast_w(w: &[u32; 64], i: usize) -> [u32; 4] {
+        [w[i]; 4]
+    }
+
+    rounds_over!(&w, lane_w, state);
+    rounds_over!(w2, broadcast_w, state);
+
+    let mut out = [0u64; 4];
+    for (lane, o) in out.iter_mut().enumerate() {
+        *o = (u64::from(state[0][lane]) << 32) | u64::from(state[1][lane]);
+    }
+    out
+}
+
+/// Expand one message block into the 64-word schedule `W`.
+///
+/// Split out of the compression function so callers hashing many
+/// messages that share a *constant* trailing block (the fixed-length
+/// keyed construct: the second block is pure key tail + padding) can
+/// expand that block's schedule once and replay only the rounds.
+pub(crate) fn expand_schedule(block: &[u8; 64]) -> [u32; 64] {
+    let mut w = [0u32; 64];
+    for (i, word) in w.iter_mut().take(16).enumerate() {
+        *word = u32::from_be_bytes([
+            block[4 * i],
+            block[4 * i + 1],
+            block[4 * i + 2],
+            block[4 * i + 3],
+        ]);
+    }
+    for i in 16..64 {
+        let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+        let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+        w[i] = w[i - 16].wrapping_add(s0).wrapping_add(w[i - 7]).wrapping_add(s1);
+    }
+    w
+}
+
+/// One SHA-256 round in the rotationless formulation: instead of
+/// shifting all eight working variables each round, the variables'
+/// *roles* rotate through the macro's argument order, eliminating
+/// seven register moves per round. Identical arithmetic to FIPS
+/// 180-4 (pinned by the test vectors below).
+macro_rules! sha256_round {
+    ($a:ident,$b:ident,$c:ident,$d:ident,$e:ident,$f:ident,$g:ident,$h:ident,$k:expr,$w:expr) => {
+        let s1 = $e.rotate_right(6) ^ $e.rotate_right(11) ^ $e.rotate_right(25);
+        let ch = ($e & $f) ^ (!$e & $g);
+        let t1 = $h.wrapping_add(s1).wrapping_add(ch).wrapping_add($k).wrapping_add($w);
+        let s0 = $a.rotate_right(2) ^ $a.rotate_right(13) ^ $a.rotate_right(22);
+        let maj = ($a & $b) ^ ($a & $c) ^ ($b & $c);
+        $d = $d.wrapping_add(t1);
+        $h = t1.wrapping_add(s0.wrapping_add(maj));
+    };
+}
+
+/// The 64 SHA-256 rounds over a pre-expanded schedule.
+pub(crate) fn compress_schedule(state: &mut [u32; 8], w: &[u32; 64]) {
+    let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = *state;
+    let mut i = 0;
+    while i < 64 {
+        sha256_round!(a, b, c, d, e, f, g, h, K[i], w[i]);
+        sha256_round!(h, a, b, c, d, e, f, g, K[i + 1], w[i + 1]);
+        sha256_round!(g, h, a, b, c, d, e, f, K[i + 2], w[i + 2]);
+        sha256_round!(f, g, h, a, b, c, d, e, K[i + 3], w[i + 3]);
+        sha256_round!(e, f, g, h, a, b, c, d, K[i + 4], w[i + 4]);
+        sha256_round!(d, e, f, g, h, a, b, c, K[i + 5], w[i + 5]);
+        sha256_round!(c, d, e, f, g, h, a, b, K[i + 6], w[i + 6]);
+        sha256_round!(b, c, d, e, f, g, h, a, K[i + 7], w[i + 7]);
+        i += 8;
+    }
+    state[0] = state[0].wrapping_add(a);
+    state[1] = state[1].wrapping_add(b);
+    state[2] = state[2].wrapping_add(c);
+    state[3] = state[3].wrapping_add(d);
+    state[4] = state[4].wrapping_add(e);
+    state[5] = state[5].wrapping_add(f);
+    state[6] = state[6].wrapping_add(g);
+    state[7] = state[7].wrapping_add(h);
 }
 
 impl Default for Sha256 {

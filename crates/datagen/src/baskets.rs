@@ -10,7 +10,7 @@
 //! shelved elsewhere (end-caps, promotions — the realistic noise that
 //! keeps rule confidence below 1).
 
-use catmark_relation::{AttrType, CategoricalDomain, Relation, Schema, Value};
+use catmark_relation::{AttrType, CategoricalDomain, Column, Relation, Schema, Value};
 use rand::{rngs::StdRng, Rng, SeedableRng};
 
 /// Configuration for [`BasketGenerator`].
@@ -75,7 +75,8 @@ impl BasketGenerator {
     }
 
     /// Generate the relation: schema
-    /// `(sku INTEGER KEY, dept CATEGORICAL, aisle CATEGORICAL)`.
+    /// `(sku INTEGER KEY, dept CATEGORICAL, aisle CATEGORICAL)`, built
+    /// as three flat integer columns with no intermediate row vectors.
     #[must_use]
     pub fn generate(&self) -> Relation {
         let schema = Schema::builder()
@@ -84,10 +85,13 @@ impl BasketGenerator {
             .categorical_attr("aisle", AttrType::Integer)
             .build()
             .expect("static schema is valid");
-        let mut rel = Relation::with_capacity(schema, self.config.tuples);
         let mut rng = StdRng::seed_from_u64(self.config.seed);
         let depts = self.config.depts as i64;
-        for i in 0..self.config.tuples as i64 {
+        let n = self.config.tuples;
+        let mut skus = Vec::with_capacity(n);
+        let mut dept_col = Vec::with_capacity(n);
+        let mut aisle_col = Vec::with_capacity(n);
+        for i in 0..n as i64 {
             let dept = rng.gen_range(0..depts);
             let aisle = if rng.gen_bool(self.config.noise_rate) {
                 // Off-aisle placement: any aisle but the home one.
@@ -96,10 +100,15 @@ impl BasketGenerator {
             } else {
                 self.home_aisle(dept)
             };
-            rel.push(vec![Value::Int(i), Value::Int(dept), Value::Int(aisle)])
-                .expect("sequential keys never collide");
+            skus.push(i);
+            dept_col.push(dept);
+            aisle_col.push(aisle);
         }
-        rel
+        Relation::from_columns(
+            schema,
+            vec![Column::Int(skus), Column::Int(dept_col), Column::Int(aisle_col)],
+        )
+        .expect("generated columns match the static schema")
     }
 }
 

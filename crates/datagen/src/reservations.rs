@@ -9,7 +9,7 @@
 //! attributes, exercising the code paths the integer-only `ItemScan`
 //! workload does not.
 
-use catmark_relation::{AttrType, CategoricalDomain, Relation, Schema, Value};
+use catmark_relation::{AttrType, CategoricalDomain, Column, Dictionary, Relation, Schema};
 use rand::{rngs::StdRng, Rng, SeedableRng};
 
 use crate::domains;
@@ -70,7 +70,9 @@ impl ReservationsGenerator {
             .expect("static schema is valid")
     }
 
-    /// Generate the relation.
+    /// Generate the relation, building columns directly: a flat `i64`
+    /// key column and two text columns whose dictionaries are seeded
+    /// from the domains so each Zipf draw *is* the stored code.
     #[must_use]
     pub fn generate(&self) -> Relation {
         let mut rng = StdRng::seed_from_u64(self.config.seed);
@@ -78,18 +80,33 @@ impl ReservationsGenerator {
         let airlines = self.airline_domain();
         let city_zipf = Zipf::new(cities.len(), self.config.city_skew);
         let airline_zipf = Zipf::new(airlines.len(), self.config.airline_skew);
-        let mut rel = Relation::with_capacity(self.schema(), self.config.tuples);
+        let domain_dict = |domain: &CategoricalDomain| {
+            let mut dict = Dictionary::new();
+            for v in domain.values() {
+                dict.intern(v.as_text().expect("reservation domains are text"));
+            }
+            dict
+        };
+        let n = self.config.tuples;
+        let mut bookings = Vec::with_capacity(n);
+        let mut city_codes = Vec::with_capacity(n);
+        let mut airline_codes = Vec::with_capacity(n);
         let mut booking: i64 = 7_000_000;
-        for _ in 0..self.config.tuples {
+        for _ in 0..n {
             booking += 1 + rng.gen_range(0..13);
-            rel.push(vec![
-                Value::Int(booking),
-                cities.value_at(city_zipf.sample(&mut rng)).clone(),
-                airlines.value_at(airline_zipf.sample(&mut rng)).clone(),
-            ])
-            .expect("generated keys are unique and typed");
+            bookings.push(booking);
+            city_codes.push(city_zipf.sample(&mut rng) as u32);
+            airline_codes.push(airline_zipf.sample(&mut rng) as u32);
         }
-        rel
+        Relation::from_columns(
+            self.schema(),
+            vec![
+                Column::Int(bookings),
+                Column::Text { codes: city_codes, dict: domain_dict(&cities) },
+                Column::Text { codes: airline_codes, dict: domain_dict(&airlines) },
+            ],
+        )
+        .expect("generated columns match the static schema")
     }
 }
 

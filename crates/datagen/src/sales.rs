@@ -7,7 +7,7 @@
 //! provides a second categorical column for the multi-attribute
 //! embedding demos of Section 3.3.
 
-use catmark_relation::{AttrType, CategoricalDomain, Relation, Schema, Value};
+use catmark_relation::{AttrType, CategoricalDomain, Column, Dictionary, Relation, Schema};
 use rand::{rngs::StdRng, Rng, SeedableRng};
 
 use crate::domains;
@@ -84,7 +84,10 @@ impl SalesGenerator {
         b.build().expect("static schema is valid")
     }
 
-    /// Generate the relation.
+    /// Generate the relation, building columns directly (no
+    /// intermediate row vectors): flat `i64` key/item columns and,
+    /// when enabled, a city column whose dictionary is seeded from the
+    /// domain so each Zipf draw *is* the stored code.
     ///
     /// Visit numbers are unique but non-sequential (drawn from a wide
     /// integer space), mimicking production surrogate keys; item
@@ -97,20 +100,38 @@ impl SalesGenerator {
         let city_domain = self.city_domain();
         let city_zipf = Zipf::new(city_domain.len(), 0.5);
         let item_domain = self.item_domain();
-        let mut rel = Relation::with_capacity(self.schema(), self.config.tuples);
+        let item_values: Vec<i64> = item_domain
+            .values()
+            .iter()
+            .map(|v| v.as_int().expect("product codes are integers"))
+            .collect();
+        let n = self.config.tuples;
+        let mut visits = Vec::with_capacity(n);
+        let mut items = Vec::with_capacity(n);
+        let mut city_dict = Dictionary::new();
+        for city in city_domain.values() {
+            city_dict.intern(city.as_text().expect("cities are text"));
+        }
+        let mut city_codes = Vec::with_capacity(if self.config.with_city { n } else { 0 });
         let mut next_visit: i64 = 1_000_000;
-        for _ in 0..self.config.tuples {
+        for _ in 0..n {
             // Strictly increasing with random gaps: unique by
             // construction, non-trivially distributed for hashing.
             next_visit += 1 + rng.gen_range(0..97);
-            let item = item_domain.value_at(item_zipf.sample(&mut rng)).clone();
-            let mut values = vec![Value::Int(next_visit), item];
+            visits.push(next_visit);
+            items.push(item_values[item_zipf.sample(&mut rng)]);
             if self.config.with_city {
-                values.push(city_domain.value_at(city_zipf.sample(&mut rng)).clone());
+                // The dictionary was seeded in domain order, so the
+                // sampled domain index is the stored code.
+                city_codes.push(city_zipf.sample(&mut rng) as u32);
             }
-            rel.push(values).expect("generated keys are unique and typed");
         }
-        rel
+        let mut columns = vec![Column::Int(visits), Column::Int(items)];
+        if self.config.with_city {
+            columns.push(Column::Text { codes: city_codes, dict: city_dict });
+        }
+        Relation::from_columns(self.schema(), columns)
+            .expect("generated columns match the static schema")
     }
 }
 
@@ -151,7 +172,7 @@ mod tests {
         let rel = gen.generate();
         let domain = gen.item_domain();
         for v in rel.column_iter(1) {
-            assert!(domain.index_of(v).is_ok());
+            assert!(domain.index_of(&v).is_ok());
         }
     }
 

@@ -82,6 +82,9 @@ impl OneR {
             ));
         }
         let mut best: Option<(usize, HashMap<Value, Value>, usize)> = None;
+        // Materialize each consulted column once (columnar storage
+        // holds codes, not Values); counting below borrows from these.
+        let target_col: Vec<Value> = rel.column_iter(target).collect();
         for name in candidate_predictors {
             let p = rel.schema().index_of(name)?;
             if p == target {
@@ -89,10 +92,11 @@ impl OneR {
                     "predictor {name:?} is the target attribute"
                 )));
             }
+            let pred_col: Vec<Value> = rel.column_iter(p).collect();
             // value → class → count
             let mut counts: HashMap<&Value, HashMap<&Value, usize>> = HashMap::new();
-            for t in rel.iter() {
-                *counts.entry(t.get(p)).or_default().entry(t.get(target)).or_insert(0) += 1;
+            for (pv, tv) in pred_col.iter().zip(&target_col) {
+                *counts.entry(pv).or_default().entry(tv).or_insert(0) += 1;
             }
             let mut table = HashMap::new();
             let mut errors = 0usize;
@@ -152,14 +156,14 @@ impl Classifier for OneR {
 }
 
 fn majority_class(rel: &Relation, target: usize) -> Value {
-    let mut counts: HashMap<&Value, usize> = HashMap::new();
-    for t in rel.iter() {
-        *counts.entry(t.get(target)).or_insert(0) += 1;
+    let mut counts: HashMap<Value, usize> = HashMap::new();
+    for v in rel.column_iter(target) {
+        *counts.entry(v).or_insert(0) += 1;
     }
     counts
         .into_iter()
-        .max_by(|a, b| a.1.cmp(&b.1).then_with(|| b.0.cmp(a.0)))
-        .map(|(v, _)| v.clone())
+        .max_by(|a, b| a.1.cmp(&b.1).then_with(|| b.0.cmp(&a.0)))
+        .map(|(v, _)| v)
         .expect("relation checked non-empty")
 }
 
@@ -213,12 +217,14 @@ impl NaiveBayes {
             predictors.push(p);
         }
 
-        // Class counts.
+        // Class counts, off a single materialization of the target
+        // column (borrowed by the per-predictor passes below).
+        let target_col: Vec<Value> = rel.column_iter(target).collect();
         let mut class_counts: HashMap<&Value, u64> = HashMap::new();
-        for t in rel.iter() {
-            *class_counts.entry(t.get(target)).or_insert(0) += 1;
+        for v in &target_col {
+            *class_counts.entry(v).or_insert(0) += 1;
         }
-        let mut classes: Vec<Value> = class_counts.keys().map(|v| (*v).clone()).collect();
+        let mut classes: Vec<Value> = class_counts.keys().map(|&v| v.clone()).collect();
         classes.sort();
         let n = rel.len() as f64;
         let log_prior: Vec<f64> =
@@ -228,12 +234,12 @@ impl NaiveBayes {
         let mut likelihood = Vec::with_capacity(predictors.len());
         let mut unseen = Vec::with_capacity(predictors.len());
         for &p in &predictors {
+            let pred_col: Vec<Value> = rel.column_iter(p).collect();
             let mut counts: HashMap<&Value, Vec<u64>> = HashMap::new();
-            for t in rel.iter() {
-                let class_idx = classes
-                    .binary_search(t.get(target))
-                    .expect("every training class was collected");
-                counts.entry(t.get(p)).or_insert_with(|| vec![0; classes.len()])[class_idx] += 1;
+            for (pv, tv) in pred_col.iter().zip(&target_col) {
+                let class_idx =
+                    classes.binary_search(tv).expect("every training class was collected");
+                counts.entry(pv).or_insert_with(|| vec![0; classes.len()])[class_idx] += 1;
             }
             let domain_size = counts.len() as f64;
             let mut table: HashMap<Value, Vec<f64>> = HashMap::with_capacity(counts.len());

@@ -59,7 +59,29 @@ impl CategoricalDomain {
     ///
     /// Same as [`CategoricalDomain::new`].
     pub fn from_column(rel: &Relation, attr_idx: usize) -> Result<Self, RelationError> {
-        Self::new(rel.column_iter(attr_idx).cloned().collect())
+        match rel.column(attr_idx) {
+            crate::ColumnView::Int(xs) => {
+                let mut distinct: Vec<i64> = xs.to_vec();
+                distinct.sort_unstable();
+                distinct.dedup();
+                Self::new(distinct.into_iter().map(Value::Int).collect())
+            }
+            crate::ColumnView::Text { codes, dict } => {
+                // Dictionaries may hold entries no row references any
+                // more; collect only the codes actually in use.
+                let mut used = vec![false; dict.len()];
+                for &c in codes {
+                    used[c as usize] = true;
+                }
+                Self::new(
+                    used.iter()
+                        .enumerate()
+                        .filter(|(_, &u)| u)
+                        .map(|(c, _)| Value::Text(dict.get(c as u32).to_owned()))
+                        .collect(),
+                )
+            }
+        }
     }
 
     /// Number of values `nA`.
@@ -97,16 +119,46 @@ impl CategoricalDomain {
         self.index.get(value).map(|&i| i as u32)
     }
 
+    /// Domain code of a text value without materializing a [`Value`].
+    #[must_use]
+    pub fn code_of_text(&self, s: &str) -> Option<u32> {
+        // A transient owned Value is required for the map lookup; this
+        // runs once per *distinct* dictionary entry, not per row.
+        self.index.get(&Value::Text(s.to_owned())).map(|&i| i as u32)
+    }
+
+    /// Per-dictionary-entry domain codes: position `c` holds the
+    /// domain index of `dict` entry `c` (`None` for foreign values).
+    ///
+    /// This is the decode hot path's translation table — computed once
+    /// per (domain, column) pair, it resolves every row of a text
+    /// column by a single `u32` index instead of a string hash.
+    #[must_use]
+    pub fn dict_codes(&self, dict: &crate::Dictionary) -> Vec<Option<u32>> {
+        dict.entries().iter().map(|s| self.code_of_text(s)).collect()
+    }
+
     /// Interned-code view of one column: each row's value replaced by
     /// its domain code (`None` where the value is foreign).
     ///
-    /// Interning pays when a categorical **text** column is consulted
-    /// repeatedly (histogram comparisons, repeated decode passes over
-    /// the same suspect data): each subsequent pass indexes a `u32`
-    /// instead of re-hashing string values.
+    /// With columnar storage this is a per-distinct-value translation:
+    /// text rows resolve through [`CategoricalDomain::dict_codes`],
+    /// integer rows through a per-distinct memo.
     #[must_use]
     pub fn intern_column(&self, rel: &Relation, attr_idx: usize) -> Vec<Option<u32>> {
-        rel.column_iter(attr_idx).map(|v| self.code_of(v)).collect()
+        match rel.column(attr_idx) {
+            crate::ColumnView::Int(xs) => {
+                let mut memo: std::collections::HashMap<i64, Option<u32>> =
+                    std::collections::HashMap::new();
+                xs.iter()
+                    .map(|&x| *memo.entry(x).or_insert_with(|| self.code_of(&Value::Int(x))))
+                    .collect()
+            }
+            crate::ColumnView::Text { codes, dict } => {
+                let table = self.dict_codes(dict);
+                codes.iter().map(|&c| table[c as usize]).collect()
+            }
+        }
     }
 
     /// Value `a_t` at index `t`.
@@ -194,7 +246,7 @@ mod tests {
             rel.push(vec![Value::Int(k), Value::Text(city.into())]).unwrap();
         }
         let d = domain();
-        let codes = rel.column_iter(1).map(|v| d.code_of(v)).collect::<Vec<_>>();
+        let codes = rel.column_iter(1).map(|v| d.code_of(&v)).collect::<Vec<_>>();
         assert_eq!(d.intern_column(&rel, 1), codes);
         assert_eq!(codes, vec![Some(1), None, Some(0)]);
     }

@@ -38,9 +38,9 @@ pub fn hash_join(
     let schema = joined_schema(left.schema(), right.schema())?;
 
     // Build phase: right join value → row indices.
-    let mut build: HashMap<&Value, Vec<usize>> = HashMap::new();
-    for (row, tuple) in right.iter().enumerate() {
-        build.entry(tuple.get(r_idx)).or_default().push(row);
+    let mut build: HashMap<Value, Vec<usize>> = HashMap::new();
+    for (row, v) in right.column_iter(r_idx).enumerate() {
+        build.entry(v).or_default().push(row);
     }
 
     // Probe phase.
@@ -117,14 +117,36 @@ pub struct GroupCount {
 /// [`RelationError::UnknownAttr`] when `attr` does not exist.
 pub fn group_count(rel: &Relation, attr: &str) -> Result<Vec<GroupCount>, RelationError> {
     let idx = rel.schema().index_of(attr)?;
-    let mut counts: HashMap<&Value, u64> = HashMap::new();
-    for v in rel.column_iter(idx) {
-        *counts.entry(v).or_insert(0) += 1;
-    }
-    let mut groups: Vec<GroupCount> = counts
-        .into_iter()
-        .map(|(value, count)| GroupCount { value: value.clone(), count })
-        .collect();
+    // Count on the column's typed storage: integers hash `i64`s, text
+    // counts per dictionary code (one String materialization per
+    // *distinct* value, not per row).
+    let mut groups: Vec<GroupCount> = match rel.column(idx) {
+        crate::ColumnView::Int(xs) => {
+            let mut counts: HashMap<i64, u64> = HashMap::new();
+            for &x in xs {
+                *counts.entry(x).or_insert(0) += 1;
+            }
+            counts
+                .into_iter()
+                .map(|(value, count)| GroupCount { value: Value::Int(value), count })
+                .collect()
+        }
+        crate::ColumnView::Text { codes, dict } => {
+            let mut per_code = vec![0u64; dict.len()];
+            for &c in codes {
+                per_code[c as usize] += 1;
+            }
+            per_code
+                .into_iter()
+                .enumerate()
+                .filter(|&(_, count)| count > 0)
+                .map(|(c, count)| GroupCount {
+                    value: Value::Text(dict.get(c as u32).to_owned()),
+                    count,
+                })
+                .collect()
+        }
+    };
     groups.sort_by(|a, b| b.count.cmp(&a.count).then_with(|| a.value.cmp(&b.value)));
     Ok(groups)
 }
@@ -142,13 +164,13 @@ pub fn group_count_distinct(
 ) -> Result<Vec<GroupCount>, RelationError> {
     let g_idx = rel.schema().index_of(group_attr)?;
     let d_idx = rel.schema().index_of(distinct_attr)?;
-    let mut sets: HashMap<&Value, HashSet<&Value>> = HashMap::new();
+    let mut sets: HashMap<Value, HashSet<Value>> = HashMap::new();
     for tuple in rel.iter() {
-        sets.entry(tuple.get(g_idx)).or_default().insert(tuple.get(d_idx));
+        sets.entry(tuple.get(g_idx).clone()).or_default().insert(tuple.get(d_idx).clone());
     }
     let mut groups: Vec<GroupCount> = sets
         .into_iter()
-        .map(|(value, set)| GroupCount { value: value.clone(), count: set.len() as u64 })
+        .map(|(value, set)| GroupCount { value, count: set.len() as u64 })
         .collect();
     groups.sort_by(|a, b| b.count.cmp(&a.count).then_with(|| a.value.cmp(&b.value)));
     Ok(groups)
@@ -178,15 +200,8 @@ pub fn distinct(rel: &Relation) -> Relation {
 /// different types (the comparison would be vacuous).
 pub fn difference_by_key(a: &Relation, b: &Relation) -> Result<Relation, RelationError> {
     check_key_types(a, b)?;
-    let b_keys: HashSet<&Value> = b.column_iter(b.schema().key_index()).collect();
-    let key_idx = a.schema().key_index();
-    let mut out = Relation::with_capacity(a.schema().clone(), a.len());
-    for tuple in a.iter() {
-        if !b_keys.contains(tuple.get(key_idx)) {
-            out.push_unchecked_key(tuple.values().to_vec())?;
-        }
-    }
-    Ok(out)
+    let rows = rows_by_key_membership(a, b, false);
+    Ok(a.gather(&rows))
 }
 
 /// Rows of `a` whose primary key *does* appear in `b` — the key-level
@@ -198,15 +213,50 @@ pub fn difference_by_key(a: &Relation, b: &Relation) -> Result<Relation, Relatio
 /// different types.
 pub fn intersect_by_key(a: &Relation, b: &Relation) -> Result<Relation, RelationError> {
     check_key_types(a, b)?;
-    let b_keys: HashSet<&Value> = b.column_iter(b.schema().key_index()).collect();
-    let key_idx = a.schema().key_index();
-    let mut out = Relation::with_capacity(a.schema().clone(), a.len());
-    for tuple in a.iter() {
-        if b_keys.contains(tuple.get(key_idx)) {
-            out.push_unchecked_key(tuple.values().to_vec())?;
+    let rows = rows_by_key_membership(a, b, true);
+    Ok(a.gather(&rows))
+}
+
+/// Rows of `a` whose key's membership in `b`'s key multiset equals
+/// `want`. Membership is evaluated on typed storage: integers through
+/// an `i64` set, text by translating `b`'s distinct keys into `a`'s
+/// dictionary codes once (a `b` key foreign to `a`'s dictionary
+/// matches no row).
+fn rows_by_key_membership(a: &Relation, b: &Relation, want: bool) -> Vec<usize> {
+    let a_key = a.schema().key_index();
+    let b_key = b.schema().key_index();
+    match (a.column(a_key), b.column(b_key)) {
+        (crate::ColumnView::Int(av), crate::ColumnView::Int(bv)) => {
+            let b_keys: HashSet<i64> = bv.iter().copied().collect();
+            av.iter()
+                .enumerate()
+                .filter(|(_, x)| b_keys.contains(x) == want)
+                .map(|(row, _)| row)
+                .collect()
         }
+        (
+            crate::ColumnView::Text { codes: ac, dict: ad },
+            crate::ColumnView::Text { codes: bc, dict: bd },
+        ) => {
+            let mut b_used = vec![false; bd.len()];
+            for &c in bc {
+                b_used[c as usize] = true;
+            }
+            let b_codes_in_a: HashSet<u32> = b_used
+                .iter()
+                .enumerate()
+                .filter(|(_, &used)| used)
+                .filter_map(|(c, _)| ad.code_of(bd.get(c as u32)))
+                .collect();
+            ac.iter()
+                .enumerate()
+                .filter(|(_, c)| b_codes_in_a.contains(c) == want)
+                .map(|(row, _)| row)
+                .collect()
+        }
+        // check_key_types guarantees equal key types.
+        _ => unreachable!("key types were checked equal"),
     }
-    Ok(out)
 }
 
 fn check_key_types(a: &Relation, b: &Relation) -> Result<(), RelationError> {

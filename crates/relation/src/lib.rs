@@ -42,6 +42,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod column;
 pub mod csv;
 pub mod domain;
 pub mod error;
@@ -54,6 +55,7 @@ pub mod stats;
 pub mod tuple;
 pub mod value;
 
+pub use column::{Column, ColumnMut, ColumnView, Dictionary, TextColumnMut};
 pub use domain::CategoricalDomain;
 pub use error::RelationError;
 pub use predicate::Predicate;
@@ -61,4 +63,4 @@ pub use relation::Relation;
 pub use schema::{AttrDef, AttrType, Schema, SchemaBuilder};
 pub use stats::FrequencyHistogram;
 pub use tuple::Tuple;
-pub use value::Value;
+pub use value::{CanonicalInt, CanonicalText, Value};

@@ -65,17 +65,8 @@ pub fn sample_bernoulli(rel: &Relation, keep_fraction: f64, seed: u64) -> Relati
         "keep_fraction must be within [0,1], got {keep_fraction}"
     );
     let mut rng = SplitMix64::new(seed);
-    let mut out = Relation::with_capacity(
-        rel.schema().clone(),
-        (rel.len() as f64 * keep_fraction).ceil() as usize,
-    );
-    for tuple in rel.iter() {
-        if rng.unit() < keep_fraction {
-            out.push_unchecked_key(tuple.values().to_vec())
-                .expect("tuple from a valid relation stays valid");
-        }
-    }
-    out
+    let rows: Vec<usize> = (0..rel.len()).filter(|_| rng.unit() < keep_fraction).collect();
+    rel.gather(&rows)
 }
 
 /// Keep exactly `count` rows chosen uniformly without replacement
@@ -93,12 +84,7 @@ pub fn sample_exact(rel: &Relation, count: usize, seed: u64) -> Relation {
     }
     indices.truncate(count);
     indices.sort_unstable(); // preserve original row order
-    let mut out = Relation::with_capacity(rel.schema().clone(), count);
-    for idx in indices {
-        out.push_unchecked_key(rel.tuple(idx).expect("index in range").values().to_vec())
-            .expect("tuple from a valid relation stays valid");
-    }
-    out
+    rel.gather(&indices)
 }
 
 /// Rows satisfying `predicate`.
@@ -107,20 +93,22 @@ pub fn sample_exact(rel: &Relation, count: usize, seed: u64) -> Relation {
 ///
 /// Propagates predicate evaluation errors (unknown attributes).
 pub fn select(rel: &Relation, predicate: &Predicate) -> Result<Relation, RelationError> {
-    let mut out = Relation::new(rel.schema().clone());
-    for tuple in rel.iter() {
-        if predicate.eval(rel.schema(), tuple)? {
-            out.push_unchecked_key(tuple.values().to_vec())?;
+    let mut rows = Vec::new();
+    for row in 0..rel.len() {
+        let tuple = rel.tuple(row).expect("row in range");
+        if predicate.eval(rel.schema(), &tuple)? {
+            rows.push(row);
         }
     }
-    Ok(out)
+    Ok(rel.gather(&rows))
 }
 
 /// Vertical partition: project onto `indices`, with `indices[new_key]`
 /// acting as the projected relation's primary key.
 ///
-/// When the new key is not unique in the projection, duplicate-keyed
-/// rows are retained (`first occurrence` indexing) unless
+/// Columns are carried over wholesale (no per-row work). When the new
+/// key is not unique in the projection, duplicate-keyed rows are
+/// retained (`first occurrence` indexing) unless
 /// `drop_duplicate_keys` is set, which models the paper's observation
 /// that a partition whose remaining attribute "can act as a primary
 /// key … results in no duplicates-related data loss" — and conversely
@@ -136,48 +124,60 @@ pub fn project(
     drop_duplicate_keys: bool,
 ) -> Result<Relation, RelationError> {
     let schema = rel.schema().project(indices, new_key)?;
-    let mut out = Relation::with_capacity(schema, rel.len());
-    for tuple in rel.iter() {
-        let projected = tuple.project(indices).into_values();
-        if drop_duplicate_keys {
-            // push() rejects duplicates; skip those rows.
-            let _ = out.push(projected);
-        } else {
-            out.push_unchecked_key(projected)?;
-        }
+    let columns: Vec<crate::Column> = indices.iter().map(|&i| rel.column(i).to_column()).collect();
+    let projected = Relation::from_columns(schema, columns)?;
+    if !drop_duplicate_keys {
+        return Ok(projected);
     }
-    Ok(out)
+    // Keep each key's first occurrence only (what repeated `push()`
+    // historically produced).
+    let rows: Vec<usize> = (0..projected.len())
+        .filter(|&row| {
+            let key = projected.value(row, projected.schema().key_index()).expect("row in range");
+            projected.find_by_key(&key) == Some(row)
+        })
+        .collect();
+    Ok(projected.gather(&rows))
 }
 
-/// Sort rows by attribute `attr_idx` (ascending when `ascending`).
+/// Sort rows by attribute `attr_idx` (ascending when `ascending`),
+/// stably, via an index sort over the column.
 #[must_use]
 pub fn sort_by_attr(rel: &Relation, attr_idx: usize, ascending: bool) -> Relation {
-    let mut out = rel.clone();
-    out.tuples_mut().sort_by(|a, b| {
-        let ord = a.get(attr_idx).cmp(b.get(attr_idx));
-        if ascending {
-            ord
-        } else {
-            ord.reverse()
-        }
-    });
-    out.rebuild_index();
-    out
+    let mut order: Vec<usize> = (0..rel.len()).collect();
+    match rel.column(attr_idx) {
+        crate::ColumnView::Int(xs) => order.sort_by(|&a, &b| {
+            let ord = xs[a].cmp(&xs[b]);
+            if ascending {
+                ord
+            } else {
+                ord.reverse()
+            }
+        }),
+        crate::ColumnView::Text { codes, dict } => order.sort_by(|&a, &b| {
+            let ord = dict.get(codes[a]).cmp(dict.get(codes[b]));
+            if ascending {
+                ord
+            } else {
+                ord.reverse()
+            }
+        }),
+    }
+    rel.gather(&order)
 }
 
 /// Uniformly permute rows (attack A4's re-shuffling).
 #[must_use]
 pub fn shuffle(rel: &Relation, seed: u64) -> Relation {
-    let mut out = rel.clone();
     let mut rng = SplitMix64::new(seed);
-    let tuples = out.tuples_mut();
-    // Fisher–Yates.
-    for i in (1..tuples.len()).rev() {
+    let mut order: Vec<usize> = (0..rel.len()).collect();
+    // Fisher–Yates (the same swap sequence the row store applied to
+    // its tuple vector, so per-seed outputs are unchanged).
+    for i in (1..order.len()).rev() {
         let j = rng.below((i + 1) as u64) as usize;
-        tuples.swap(i, j);
+        order.swap(i, j);
     }
-    out.rebuild_index();
-    out
+    rel.gather(&order)
 }
 
 /// Concatenate `b`'s rows after `a`'s (attack A2's subset addition).
@@ -190,10 +190,8 @@ pub fn union(a: &Relation, b: &Relation) -> Result<Relation, RelationError> {
     if a.schema() != b.schema() {
         return Err(RelationError::InvalidSchema("union requires identical schemas".into()));
     }
-    let mut out = Relation::with_capacity(a.schema().clone(), a.len() + b.len());
-    for tuple in a.iter().chain(b.iter()) {
-        out.push_unchecked_key(tuple.values().to_vec())?;
-    }
+    let mut out = a.clone();
+    out.append(b)?;
     Ok(out)
 }
 
@@ -327,7 +325,7 @@ mod tests {
         let pred = Predicate::eq("a", Value::Int(3));
         let out = select(&rel, &pred).unwrap();
         assert!(!out.is_empty());
-        assert!(out.column_iter(1).all(|v| v == &Value::Int(3)));
+        assert!(out.column_iter(1).all(|v| v == Value::Int(3)));
     }
 
     #[test]

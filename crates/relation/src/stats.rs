@@ -31,8 +31,33 @@ impl FrequencyHistogram {
         domain: &CategoricalDomain,
     ) -> Result<Self, RelationError> {
         let mut counts = vec![0u64; domain.len()];
-        for value in rel.column_iter(attr_idx) {
-            counts[domain.index_of(value)?] += 1;
+        match rel.column(attr_idx) {
+            crate::ColumnView::Int(xs) => {
+                for &x in xs {
+                    counts[domain.index_of(&Value::Int(x))?] += 1;
+                }
+            }
+            crate::ColumnView::Text { codes, dict } => {
+                // Count per dictionary code, then fold through the
+                // per-distinct translation table: one string lookup
+                // per distinct value instead of one per row.
+                let mut per_code = vec![0u64; dict.len()];
+                for &c in codes {
+                    per_code[c as usize] += 1;
+                }
+                let table = domain.dict_codes(dict);
+                for (c, &n) in per_code.iter().enumerate() {
+                    if n == 0 {
+                        continue;
+                    }
+                    let Some(t) = table[c] else {
+                        return Err(RelationError::ValueNotInDomain(Value::Text(
+                            dict.get(c as u32).to_owned(),
+                        )));
+                    };
+                    counts[t as usize] += n;
+                }
+            }
         }
         let total = counts.iter().sum();
         Ok(FrequencyHistogram { domain: domain.clone(), counts, total })

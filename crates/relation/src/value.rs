@@ -107,6 +107,52 @@ impl CanonicalInput for Value {
     }
 }
 
+/// Borrowed canonical view of an integer value: hashes exactly like
+/// `Value::Int(v)` without constructing the enum. The columnar scan
+/// path encodes each `i64` of a key column through this wrapper.
+#[derive(Debug, Clone, Copy)]
+pub struct CanonicalInt(pub i64);
+
+impl CanonicalInput for CanonicalInt {
+    fn canonical_len(&self) -> usize {
+        1 + std::mem::size_of::<i64>()
+    }
+
+    fn write_canonical<W: std::io::Write + ?Sized>(&self, out: &mut W) -> std::io::Result<()> {
+        out.write_all(&self.encode())
+    }
+}
+
+impl CanonicalInt {
+    /// The full canonical encoding on the stack (type tag + big-endian
+    /// payload) — the slice fed to fixed-length keyed hashing.
+    #[must_use]
+    pub fn encode(&self) -> [u8; 9] {
+        let mut buf = [0u8; 9];
+        buf[0] = 0x01;
+        buf[1..].copy_from_slice(&self.0.to_be_bytes());
+        buf
+    }
+}
+
+/// Borrowed canonical view of a text value: hashes exactly like
+/// `Value::Text(s.to_owned())` without the allocation. The columnar
+/// scan path encodes each *distinct* dictionary entry through this
+/// wrapper once per plan.
+#[derive(Debug, Clone, Copy)]
+pub struct CanonicalText<'a>(pub &'a str);
+
+impl CanonicalInput for CanonicalText<'_> {
+    fn canonical_len(&self) -> usize {
+        1 + self.0.len()
+    }
+
+    fn write_canonical<W: std::io::Write + ?Sized>(&self, out: &mut W) -> std::io::Result<()> {
+        out.write_all(&[0x02])?;
+        out.write_all(self.0.as_bytes())
+    }
+}
+
 impl PartialOrd for Value {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
@@ -183,6 +229,22 @@ mod tests {
         );
         for v in [Value::Int(123), Value::Text("san jose".into())] {
             assert_eq!(h.hash_canonical_u64(&v), h.hash_u64(&[&v.canonical_bytes()]));
+        }
+    }
+
+    #[test]
+    fn canonical_wrappers_match_owned_values() {
+        for v in [0i64, -7, 42, i64::MAX, i64::MIN] {
+            let mut streamed = Vec::new();
+            CanonicalInt(v).write_canonical(&mut streamed).unwrap();
+            assert_eq!(streamed, Value::Int(v).canonical_bytes());
+            assert_eq!(streamed, CanonicalInt(v).encode());
+        }
+        for s in ["", "x", "san jose", "Äx"] {
+            let mut streamed = Vec::new();
+            CanonicalText(s).write_canonical(&mut streamed).unwrap();
+            assert_eq!(streamed, Value::Text(s.into()).canonical_bytes());
+            assert_eq!(streamed.len(), CanonicalText(s).canonical_len());
         }
     }
 

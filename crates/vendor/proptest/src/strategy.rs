@@ -97,6 +97,22 @@ impl Strategy for RangeInclusive<f64> {
     }
 }
 
+/// Tuple strategies: draw each component in order, mirroring
+/// proptest's tuple `Strategy` impls.
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident),+)),+) => {$(
+        #[allow(non_snake_case)]
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($s,)+) = self;
+                ($($s.generate(rng),)+)
+            }
+        }
+    )+};
+}
+impl_tuple_strategy!((A, B), (A, B, C), (A, B, C, D));
+
 /// String strategy from a regex **subset**: a single `[...]` or
 /// `[^...]` character class followed by a `{min,max}` repetition, e.g.
 /// `"[^\r\n]{0,30}"`. Anything else panics with a clear message — the
@@ -206,6 +222,20 @@ mod tests {
             assert!(w < 7);
             let f = (0.25f64..=1.0).generate(&mut rng);
             assert!((0.25..=1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn tuple_strategies_draw_componentwise() {
+        let mut rng = rng();
+        for _ in 0..1_000 {
+            let (a, b) = (0i64..5, 10u32..=12).generate(&mut rng);
+            assert!((0..5).contains(&a));
+            assert!((10..=12).contains(&b));
+            let (x, y, z) = (0usize..3, "[a-b]{1,2}", 0i8..2).generate(&mut rng);
+            assert!(x < 3);
+            assert!((1..=2).contains(&y.len()));
+            assert!((0..2).contains(&z));
         }
     }
 

@@ -235,7 +235,7 @@ fn deletions_behave_like_data_loss() {
     // §4.3's update model includes deletes: removing tuples through
     // the relation API must leave surviving votes untouched.
     let (mut rel, session, wm) = marked_fixture(6_000, 15);
-    let keys: Vec<Value> = rel.column(0).into_iter().cloned().collect();
+    let keys: Vec<Value> = rel.column_iter(0).collect();
     for key in keys.iter().step_by(3) {
         rel.delete_by_key(key).unwrap();
     }

@@ -10,20 +10,28 @@ fn relation_for(seed: u64, tuples: usize) -> (Relation, CategoricalDomain) {
     (gen.generate(), gen.item_domain())
 }
 
-/// The deprecated pre-session surface, quarantined here so the
-/// byte-identity properties below can keep pinning the session API
-/// against fresh per-operator calls.
-#[allow(deprecated)]
+/// Fresh per-operator calls (the pre-session usage pattern): every
+/// helper binds a brand-new session, so each step re-resolves columns
+/// and replans. The byte-identity properties below pin the reused
+/// session API against these.
 mod legacy {
     use super::*;
     use catmark::core::{DecodeReport, EmbedReport};
 
+    fn fresh(spec: &WatermarkSpec, rel: &Relation) -> MarkSession {
+        MarkSession::builder(spec.clone())
+            .key_column("visit_nbr")
+            .target_column("item_nbr")
+            .bind(rel)
+            .unwrap()
+    }
+
     pub fn embed(spec: &WatermarkSpec, rel: &mut Relation, wm: &Watermark) -> EmbedReport {
-        Embedder::new(spec).embed(rel, "visit_nbr", "item_nbr", wm).unwrap()
+        fresh(spec, rel).embed(rel, wm).unwrap()
     }
 
     pub fn decode(spec: &WatermarkSpec, rel: &Relation) -> DecodeReport {
-        Decoder::new(spec).decode(rel, "visit_nbr", "item_nbr").unwrap()
+        fresh(spec, rel).decode(rel).unwrap()
     }
 
     pub fn stream_marker(
@@ -31,14 +39,7 @@ mod legacy {
         template: &Relation,
         wm: &Watermark,
     ) -> catmark::core::stream::StreamMarker {
-        catmark::core::stream::StreamMarker::new(
-            spec.clone(),
-            template,
-            "visit_nbr",
-            "item_nbr",
-            wm,
-        )
-        .unwrap()
+        fresh(spec, template).stream(wm).unwrap()
     }
 }
 
