@@ -21,7 +21,22 @@
 //!   materialization + generic streaming hashing, the pre-columnar
 //!   cost profile) against the columnar flat-slice scan, plus
 //!   `Relation::clone` cost and resident bytes per tuple for both
-//!   layouts.
+//!   layouts;
+//! * **select** compares the historical row-tuple `ops::select` (a
+//!   materialized `Tuple` plus an interpreted `Predicate::eval` with
+//!   a linear IN-list scan per row) against the compiled query
+//!   engine (dictionary-code truth tables, sorted IN lookup,
+//!   vectorized masks, gather output);
+//! * **join** compares the historical `Value`-keyed, tuple-at-a-time
+//!   hash join against the code-space build/probe with column-copy
+//!   output assembly;
+//! * **guarded_embed** compares a Section 4.1 guarded embedding
+//!   (count-query preservation + allow-list + budget) driven through
+//!   the historical row-tuple path — owned `Value` alterations
+//!   hashed against `HashSet<Value>` query sets per proposal —
+//!   against the code-bound guard, whose goodness loop runs entirely
+//!   on domain-code table lookups. The run enforces the ≥2x target
+//!   on this scenario.
 //!
 //! The run asserts the paths produce byte-identical marked relations
 //! and decodes before timing anything, then writes
@@ -32,16 +47,23 @@
 //! Usage: `cargo run --release -p catmark_bench --bin markplan
 //! [tuples]` (default 120 000).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::time::Instant;
 
 use catmark_core::ecc::{ErrorCorrectingCode, MajorityVotingEcc};
 use catmark_core::fitness::FitnessSelector;
+use catmark_core::quality::{
+    AllowedReplacements, Alteration, AlterationBudget, QualityConstraint, QualityGuard,
+};
+use catmark_core::query_preserve::{CountQuery, CountQueryPreservation, Tolerance, ValueSet};
 use catmark_core::{MarkSession, Watermark, WatermarkSpec};
 use catmark_datagen::{ItemScanConfig, SalesGenerator};
-use catmark_relation::{Relation, Tuple, Value};
+use catmark_relation::{join, ops, CategoricalDomain, Predicate, Relation, Tuple, Value};
 
 const E: u64 = 60;
+/// The guarded scenario uses a denser mark (more fit tuples → more
+/// guard proposals) so the goodness loop dominates the measurement.
+const E_GUARD: u64 = 6;
 const WM_LEN: usize = 10;
 const ITERS: usize = 5;
 
@@ -188,10 +210,143 @@ fn main() {
     let rowstore_bytes_per_tuple =
         rowstore_resident_bytes(&row_tuples, &row_index) as f64 / rel.len() as f64;
 
+    // Select scenario — interpreted row-tuple filter vs the compiled
+    // query engine, over a predicate with a deliberately unsorted
+    // 150-value IN-list (the historical linear-scan worst case) plus
+    // a range clause.
+    let in_list: Vec<Value> =
+        (0..150).rev().map(|i| Value::Int(10_000 + (i * 7) % 1_000)).collect();
+    let select_pred = Predicate::In("item_nbr".into(), in_list).or(Predicate::Ge(
+        "item_nbr".into(),
+        Value::Int(10_900),
+    )
+    .and(Predicate::Le("item_nbr".into(), Value::Int(10_950))));
+    let select_reference = rowstore_select(&rel, &select_pred);
+    let select_columnar_out = ops::select(&rel, &select_pred).expect("bench predicate compiles");
+    assert!(
+        select_reference.len() == select_columnar_out.len()
+            && select_reference.iter().zip(select_columnar_out.iter()).all(|(a, b)| a == b),
+        "compiled select diverged from the interpreted row-tuple select"
+    );
+    let mut select_row_best = f64::MAX;
+    let mut select_col_best = f64::MAX;
+    for _ in 0..ITERS {
+        let start = Instant::now();
+        let out = rowstore_select(&rel, &select_pred);
+        select_row_best = select_row_best.min(start.elapsed().as_secs_f64() * 1e3);
+        std::hint::black_box(out.len());
+        let start = Instant::now();
+        let out = ops::select(&rel, &select_pred).expect("bench predicate compiles");
+        select_col_best = select_col_best.min(start.elapsed().as_secs_f64() * 1e3);
+        std::hint::black_box(out.len());
+    }
+
+    // Join scenario — Value-keyed tuple-at-a-time probe vs the
+    // code-space build/probe with column-copy output assembly.
+    let catalog = catalog_for(&spec.domain);
+    let join_reference = rowstore_join(&rel, &catalog, 1, 0);
+    let join_columnar_out =
+        join::hash_join(&rel, &catalog, "item_nbr", "item_nbr").expect("bench join is valid");
+    assert!(
+        join_reference.len() == join_columnar_out.len()
+            && join_reference.iter().zip(join_columnar_out.iter()).all(|(a, b)| a == b),
+        "code-space join diverged from the row-tuple join"
+    );
+    let mut join_row_best = f64::MAX;
+    let mut join_col_best = f64::MAX;
+    for _ in 0..ITERS {
+        let start = Instant::now();
+        let out = rowstore_join(&rel, &catalog, 1, 0);
+        join_row_best = join_row_best.min(start.elapsed().as_secs_f64() * 1e3);
+        std::hint::black_box(out.len());
+        let start = Instant::now();
+        let out = join::hash_join(&rel, &catalog, "item_nbr", "item_nbr").expect("valid join");
+        join_col_best = join_col_best.min(start.elapsed().as_secs_f64() * 1e3);
+        std::hint::black_box(out.len());
+    }
+
+    // Guarded-embed scenario — the query_preserve goodness loop. Text
+    // target (store_city) so the historical path pays its true cost:
+    // one owned `Value::Text` pair per proposal, hashed against
+    // `HashSet<Value>` query sets; the code-bound guard answers every
+    // proposal with domain-code table loads.
+    let city_gen =
+        SalesGenerator::new(ItemScanConfig { tuples, with_city: true, ..Default::default() });
+    let city_rel = city_gen.generate();
+    let city_domain = city_gen.city_domain();
+    let city_spec = WatermarkSpec::builder(city_domain.clone())
+        .master_key("markplan-bench-guarded")
+        .e(E_GUARD)
+        .wm_len(WM_LEN)
+        .expected_tuples(tuples)
+        .build()
+        .expect("bench parameters are valid");
+    let city_attr = 2;
+    let city_session = MarkSession::builder(city_spec.clone())
+        .key_column("visit_nbr")
+        .target_column("store_city")
+        .bind(&city_rel)
+        .expect("bench schema binds");
+    let city_tuples: Vec<Tuple> = city_rel.iter().collect();
+    let city_plan = rowstore_plan(&city_spec, &city_tuples, key_idx);
+    city_session.plan(&city_rel).expect("planning succeeds"); // warm the cache
+
+    // Correctness gate: both guarded paths admit/veto identically and
+    // produce byte-identical marked relations.
+    let (guarded_byte_identical, guarded_altered, guarded_vetoed) = {
+        let mut row_marked = city_tuples.clone();
+        let mut row_guard = city_guard(&city_rel, &city_domain, city_attr);
+        let (row_altered, row_vetoed) = rowstore_guarded_embed(
+            &city_spec,
+            &mut row_marked,
+            city_attr,
+            &wm,
+            &city_plan,
+            &mut row_guard,
+        );
+        let mut col_marked = city_rel.clone();
+        let mut col_guard = city_guard(&city_rel, &city_domain, city_attr);
+        let report = city_session
+            .embed_guarded(&mut col_marked, &wm, &mut col_guard)
+            .expect("guarded embedding succeeds");
+        let identical = row_altered == report.altered
+            && row_vetoed == report.vetoed
+            && col_marked.len() == row_marked.len()
+            && col_marked.iter().zip(row_marked.iter()).all(|(a, b)| a == *b);
+        (identical, report.altered, report.vetoed)
+    };
+    assert!(guarded_byte_identical, "guarded paths diverged (admit/veto or content drift)");
+
+    let mut guarded_row_best = f64::MAX;
+    for _ in 0..ITERS {
+        let mut marked = city_tuples.clone();
+        let mut guard = city_guard(&city_rel, &city_domain, city_attr);
+        let start = Instant::now();
+        std::hint::black_box(rowstore_fingerprint(&marked, key_idx));
+        let counts =
+            rowstore_guarded_embed(&city_spec, &mut marked, city_attr, &wm, &city_plan, &mut guard);
+        guarded_row_best = guarded_row_best.min(start.elapsed().as_secs_f64() * 1e3);
+        std::hint::black_box(counts);
+    }
+    let mut guarded_col_best = f64::MAX;
+    for _ in 0..ITERS {
+        let mut marked = city_rel.clone();
+        let mut guard = city_guard(&city_rel, &city_domain, city_attr);
+        let start = Instant::now();
+        let report = city_session
+            .embed_guarded(&mut marked, &wm, &mut guard)
+            .expect("guarded embedding succeeds");
+        guarded_col_best = guarded_col_best.min(start.elapsed().as_secs_f64() * 1e3);
+        std::hint::black_box(report.altered);
+    }
+
     let speedup = baseline_best / planned_best;
     let session_speedup = per_operator_best / session_best;
     let columnar_speedup = rowstore_best / columnar_best;
     let clone_speedup = clone_row_best / clone_col_best;
+    let select_speedup = select_row_best / select_col_best;
+    let join_speedup = join_row_best / join_col_best;
+    let guarded_speedup = guarded_row_best / guarded_col_best;
     let throughput = tuples as f64 / (planned_best / 1e3);
     println!("markplan round trip over {tuples} tuples (e = {E}, best of {ITERS}):");
     println!("  plan-off (seed path): {baseline_best:9.2} ms");
@@ -215,9 +370,28 @@ fn main() {
         "  resident bytes/tuple: row-store {rowstore_bytes_per_tuple:.0}, columnar {columnar_bytes_per_tuple:.0}"
     );
     println!("  byte-identical:       {byte_identical}");
+    println!("query engine (select / join / guarded embed):");
+    println!(
+        "  select: row-tuple {select_row_best:8.2} ms, compiled {select_col_best:8.2} ms ({select_speedup:.2}x, {} rows)",
+        select_columnar_out.len()
+    );
+    println!(
+        "  join:   row-tuple {join_row_best:8.2} ms, code-space {join_col_best:8.2} ms ({join_speedup:.2}x, {} rows)",
+        join_columnar_out.len()
+    );
+    println!(
+        "  guarded embed (query_preserve, e = {E_GUARD}): row-tuple {guarded_row_best:8.2} ms, coded {guarded_col_best:8.2} ms ({guarded_speedup:.2}x)"
+    );
+    println!(
+        "    altered {guarded_altered}, vetoed {guarded_vetoed}, byte-identical {guarded_byte_identical}"
+    );
+    assert!(
+        guarded_speedup >= 2.0,
+        "guarded-embed scenario regressed below the 2x target: {guarded_speedup:.2}x"
+    );
 
     let json = format!(
-        "{{\n  \"bench\": \"markplan_round_trip\",\n  \"tuples\": {tuples},\n  \"e\": {E},\n  \"wm_len\": {WM_LEN},\n  \"iterations\": {ITERS},\n  \"baseline_round_trip_ms\": {baseline_best:.3},\n  \"plan_round_trip_ms\": {planned_best:.3},\n  \"plan_tuples_per_second\": {throughput:.0},\n  \"speedup\": {speedup:.3},\n  \"per_operator_court_run_ms\": {per_operator_best:.3},\n  \"session_court_run_ms\": {session_best:.3},\n  \"session_speedup\": {session_speedup:.3},\n  \"rowstore_round_trip_ms\": {rowstore_best:.3},\n  \"columnar_round_trip_ms\": {columnar_best:.3},\n  \"columnar_speedup\": {columnar_speedup:.3},\n  \"clone_rowstore_ms\": {clone_row_best:.3},\n  \"clone_columnar_ms\": {clone_col_best:.3},\n  \"clone_speedup\": {clone_speedup:.3},\n  \"rowstore_bytes_per_tuple\": {rowstore_bytes_per_tuple:.0},\n  \"columnar_bytes_per_tuple\": {columnar_bytes_per_tuple:.0},\n  \"byte_identical\": {byte_identical}\n}}\n"
+        "{{\n  \"bench\": \"markplan_round_trip\",\n  \"tuples\": {tuples},\n  \"e\": {E},\n  \"wm_len\": {WM_LEN},\n  \"iterations\": {ITERS},\n  \"baseline_round_trip_ms\": {baseline_best:.3},\n  \"plan_round_trip_ms\": {planned_best:.3},\n  \"plan_tuples_per_second\": {throughput:.0},\n  \"speedup\": {speedup:.3},\n  \"per_operator_court_run_ms\": {per_operator_best:.3},\n  \"session_court_run_ms\": {session_best:.3},\n  \"session_speedup\": {session_speedup:.3},\n  \"rowstore_round_trip_ms\": {rowstore_best:.3},\n  \"columnar_round_trip_ms\": {columnar_best:.3},\n  \"columnar_speedup\": {columnar_speedup:.3},\n  \"clone_rowstore_ms\": {clone_row_best:.3},\n  \"clone_columnar_ms\": {clone_col_best:.3},\n  \"clone_speedup\": {clone_speedup:.3},\n  \"rowstore_bytes_per_tuple\": {rowstore_bytes_per_tuple:.0},\n  \"columnar_bytes_per_tuple\": {columnar_bytes_per_tuple:.0},\n  \"select_rowtuple_ms\": {select_row_best:.3},\n  \"select_compiled_ms\": {select_col_best:.3},\n  \"select_speedup\": {select_speedup:.3},\n  \"join_rowtuple_ms\": {join_row_best:.3},\n  \"join_codespace_ms\": {join_col_best:.3},\n  \"join_speedup\": {join_speedup:.3},\n  \"guarded_e\": {E_GUARD},\n  \"guarded_rowtuple_ms\": {guarded_row_best:.3},\n  \"guarded_coded_ms\": {guarded_col_best:.3},\n  \"guarded_speedup\": {guarded_speedup:.3},\n  \"guarded_altered\": {guarded_altered},\n  \"guarded_vetoed\": {guarded_vetoed},\n  \"guarded_byte_identical\": {guarded_byte_identical},\n  \"byte_identical\": {byte_identical}\n}}\n"
     );
     std::fs::write("BENCH_markplan.json", &json).expect("can write BENCH_markplan.json");
     println!("wrote BENCH_markplan.json");
@@ -391,6 +565,130 @@ fn rowstore_decode(
         .collect();
     let mut tie_break = |_: usize| false;
     MajorityVotingEcc.decode(&wm_data, spec.wm_len, &mut tie_break)
+}
+
+/// The historical `ops::select`: materialize a row [`Tuple`] per row
+/// and run the interpreted predicate over it.
+fn rowstore_select(rel: &Relation, pred: &Predicate) -> Relation {
+    let mut rows = Vec::new();
+    for row in 0..rel.len() {
+        let tuple = rel.tuple(row).expect("row in range");
+        if pred.eval(rel.schema(), &tuple).expect("bench predicate is valid") {
+            rows.push(row);
+        }
+    }
+    rel.gather(&rows)
+}
+
+/// A catalog relation keyed by product code with a text department,
+/// for the join scenario (~17 departments over the item domain).
+fn catalog_for(domain: &CategoricalDomain) -> Relation {
+    let schema = catmark_relation::Schema::builder()
+        .key_attr("item_nbr", catmark_relation::AttrType::Integer)
+        .categorical_attr("dept", catmark_relation::AttrType::Text)
+        .build()
+        .expect("static schema is valid");
+    let mut rel = Relation::with_capacity(schema, domain.len());
+    for (i, v) in domain.values().iter().enumerate() {
+        rel.push(vec![v.clone(), Value::Text(format!("dept-{}", i % 17))])
+            .expect("catalog rows are valid");
+    }
+    rel
+}
+
+/// The historical hash join: `Value`-keyed build map, tuple-at-a-time
+/// probe, per-row output assembly through `push_unchecked_key`.
+fn rowstore_join(left: &Relation, right: &Relation, l_idx: usize, r_idx: usize) -> Relation {
+    let mut build: HashMap<Value, Vec<usize>> = HashMap::new();
+    for (row, v) in right.column_iter(r_idx).enumerate() {
+        build.entry(v).or_default().push(row);
+    }
+    let schema = join::hash_join(
+        &Relation::new(left.schema().clone()),
+        &Relation::new(right.schema().clone()),
+        left.schema().attr(l_idx).name.as_str(),
+        right.schema().attr(r_idx).name.as_str(),
+    )
+    .expect("bench schemas join")
+    .schema()
+    .clone();
+    let mut out = Relation::with_capacity(schema, left.len());
+    for l_tuple in left.iter() {
+        let Some(matches) = build.get(l_tuple.get(l_idx)) else {
+            continue;
+        };
+        for &r_row in matches {
+            let r_tuple = right.tuple(r_row).expect("build rows in range");
+            let mut values = Vec::with_capacity(l_tuple.values().len() + r_tuple.values().len());
+            values.extend_from_slice(l_tuple.values());
+            values.extend_from_slice(r_tuple.values());
+            out.push_unchecked_key(values).expect("joined tuple matches joined schema");
+        }
+    }
+    out
+}
+
+/// The guarded scenario's constraint stack: an effectively unlimited
+/// budget, a 4/5 allow-list, and three `preserve count` queries
+/// (in-set, range, equality) over the city attribute — the
+/// Section 4.1 + Gross-Amblard query-preservation contract.
+fn city_guard(rel: &Relation, domain: &CategoricalDomain, attr: usize) -> QualityGuard {
+    let pick = |i: usize| domain.value_at(i % domain.len()).clone();
+    let in_set: HashSet<Value> = (0..8).map(|i| pick(i * 5)).collect();
+    let allowed: Vec<Value> =
+        (0..domain.len()).filter(|i| i % 5 != 0).map(|i| domain.value_at(i).clone()).collect();
+    let constraints: Vec<Box<dyn QualityConstraint>> = vec![
+        Box::new(AlterationBudget::new(usize::MAX / 2)),
+        Box::new(AllowedReplacements::new(allowed)),
+        Box::new(CountQueryPreservation::from_relation(
+            rel,
+            vec![
+                CountQuery::new("set", attr, ValueSet::In(in_set), Tolerance::Relative(0.02)),
+                CountQuery::new(
+                    "range",
+                    attr,
+                    ValueSet::Range(pick(3), pick(30)),
+                    Tolerance::Relative(0.05),
+                ),
+                CountQuery::new("eq", attr, ValueSet::Eq(pick(12)), Tolerance::Absolute(50)),
+            ],
+        )),
+    ];
+    QualityGuard::new(constraints)
+}
+
+/// The historical guarded embedding loop: owned `Value` alterations
+/// proposed through the value-space guard, over genuine row-tuple
+/// storage. Returns (altered, vetoed).
+fn rowstore_guarded_embed(
+    spec: &WatermarkSpec,
+    tuples: &mut [Tuple],
+    attr_idx: usize,
+    wm: &Watermark,
+    plan: &[(usize, usize, u64)],
+    guard: &mut QualityGuard,
+) -> (usize, usize) {
+    let wm_data = MajorityVotingEcc.encode(wm, spec.wm_data_len);
+    let n = spec.domain.len() as u64;
+    let mut altered = 0usize;
+    let mut vetoed = 0usize;
+    for &(row, position, value_base) in plan {
+        let bit = wm_data[position];
+        let t = catmark_core::bits::force_lsb_in_domain(value_base, bit, n);
+        let new_value = spec.domain.value_at(t as usize);
+        let old = tuples[row].get(attr_idx);
+        if old == new_value {
+            continue;
+        }
+        let change = Alteration { row, attr: attr_idx, old: old.clone(), new: new_value.clone() };
+        if guard.propose(change) {
+            tuples[row].set(attr_idx, new_value.clone());
+            altered += 1;
+        } else {
+            vetoed += 1;
+        }
+    }
+    (altered, vetoed)
 }
 
 /// Heap footprint of the emulated row store (what the seed layout held

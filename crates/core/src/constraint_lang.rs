@@ -23,6 +23,13 @@
 //! [`query_preserve::CountQueryPreservation`](crate::query_preserve) —
 //! the enforceable version of the query-preservation contract the
 //! paper cites from Gross-Amblard.
+//!
+//! Every constraint this language produces supports the guard's
+//! code-space fast path ([`QualityConstraint::bind_codes`]): at
+//! guarded-embed time the stack is bound to the embedding domain
+//! once — value sets become per-domain-code truth tables — and the
+//! goodness loop then evaluates each candidate alteration with
+//! indexed loads only, no `Value` materialization.
 
 use catmark_relation::{CategoricalDomain, Relation, Value};
 

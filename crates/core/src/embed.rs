@@ -16,12 +16,14 @@
 //! Optionally every alteration is gated by a [`QualityGuard`]
 //! (Section 4.1).
 
+use std::collections::HashMap;
+
 use catmark_relation::{ColumnMut, Relation, Value};
 
 use crate::ecc::ErrorCorrectingCode;
 use crate::error::CoreError;
 use crate::plan::MarkPlan;
-use crate::quality::{Alteration, QualityGuard};
+use crate::quality::{Alteration, CodedAlteration, QualityGuard};
 use crate::spec::{Watermark, WatermarkSpec};
 
 /// Outcome of an embedding pass.
@@ -205,16 +207,33 @@ impl<'a> Embedder<'a> {
             touched_rows: Vec::new(),
         };
         let mut covered = vec![false; self.spec.wm_data_len];
+        // A guarded pass binds the guard to code space once: every
+        // constraint that accepts evaluates candidate alterations as
+        // (old domain code, new domain code) pairs — the goodness
+        // loop then proposes without materializing a single `Value`.
+        if let Some(g) = guard.as_deref_mut() {
+            g.bind_codes(attr_idx, &self.spec.domain);
+        }
         // The write pass runs directly on the target column's typed
         // storage: integer domains write `i64`s, text domains write
         // dictionary codes resolved once per domain value.
         match rel.column_mut(attr_idx).map_err(CoreError::Relation)? {
             ColumnMut::Int(xs) => {
                 let dom = int_domain(self.spec)?;
+                // Reverse map: stored integer → domain code, so the
+                // old value's code is one hash of an `i64` away (a
+                // foreign old value falls back to the value path).
+                // Only guarded passes read it.
+                let dom_code_of: HashMap<i64, u32> = if guard.is_some() {
+                    dom.iter().enumerate().map(|(t, &v)| (v, t as u32)).collect()
+                } else {
+                    HashMap::new()
+                };
                 for planned in plan.fit() {
                     let row = planned.row as usize;
                     let idx = planned.position as usize;
-                    let new = dom[plan.value_index(planned, wm_data[idx])];
+                    let t = plan.value_index(planned, wm_data[idx]);
+                    let new = dom[t];
                     let old = xs[row];
                     if old == new {
                         report.unchanged += 1;
@@ -222,13 +241,21 @@ impl<'a> Embedder<'a> {
                         continue;
                     }
                     if let Some(g) = guard.as_deref_mut() {
-                        let change = Alteration {
-                            row,
-                            attr: attr_idx,
-                            old: Value::Int(old),
-                            new: Value::Int(new),
+                        let admitted = match dom_code_of.get(&old) {
+                            Some(&old_code) => g.propose_coded(CodedAlteration {
+                                row,
+                                attr: attr_idx,
+                                old: old_code,
+                                new: t as u32,
+                            }),
+                            None => g.propose(Alteration {
+                                row,
+                                attr: attr_idx,
+                                old: Value::Int(old),
+                                new: Value::Int(new),
+                            }),
                         };
-                        if !g.propose(change) {
+                        if !admitted {
                             report.vetoed += 1;
                             continue;
                         }
@@ -257,10 +284,22 @@ impl<'a> Embedder<'a> {
                     })
                     .collect();
                 let dom_codes = dom_codes?;
+                // Reverse map: dictionary code → domain code (None
+                // for dictionary entries outside the domain). Built
+                // after the interning above so every domain value has
+                // its dictionary slot. Only guarded passes read it.
+                let mut dom_code_of: Vec<Option<u32>> =
+                    vec![None; if guard.is_some() { tc.dict().len() } else { 0 }];
+                if guard.is_some() {
+                    for (t, &c) in dom_codes.iter().enumerate() {
+                        dom_code_of[c as usize] = Some(t as u32);
+                    }
+                }
                 for planned in plan.fit() {
                     let row = planned.row as usize;
                     let idx = planned.position as usize;
-                    let new = dom_codes[plan.value_index(planned, wm_data[idx])];
+                    let t = plan.value_index(planned, wm_data[idx]);
+                    let new = dom_codes[t];
                     let old = tc.code(row);
                     if old == new {
                         report.unchanged += 1;
@@ -268,13 +307,21 @@ impl<'a> Embedder<'a> {
                         continue;
                     }
                     if let Some(g) = guard.as_deref_mut() {
-                        let change = Alteration {
-                            row,
-                            attr: attr_idx,
-                            old: Value::Text(tc.dict().get(old).to_owned()),
-                            new: Value::Text(tc.dict().get(new).to_owned()),
+                        let admitted = match dom_code_of[old as usize] {
+                            Some(old_code) => g.propose_coded(CodedAlteration {
+                                row,
+                                attr: attr_idx,
+                                old: old_code,
+                                new: t as u32,
+                            }),
+                            None => g.propose(Alteration {
+                                row,
+                                attr: attr_idx,
+                                old: Value::Text(tc.dict().get(old).to_owned()),
+                                new: Value::Text(tc.dict().get(new).to_owned()),
+                            }),
                         };
-                        if !g.propose(change) {
+                        if !admitted {
                             report.vetoed += 1;
                             continue;
                         }

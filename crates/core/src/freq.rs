@@ -235,6 +235,11 @@ impl FreqCodec {
         let attr_idx = rel.schema().index_of(attr)?;
         let sums = self.group_sums(rel, attr_idx, domain)?;
         let total: u64 = sums.iter().sum();
+        // The secret group of every *domain value*, hashed once: the
+        // per-row work below is then a pair of indexed loads instead
+        // of a keyed hash per row.
+        let group_by_domain: Vec<usize> =
+            (0..domain.len()).map(|t| self.group_of(domain.value_at(t))).collect();
 
         // Desired targets per group: nearest parity-correct point,
         // then rebalanced so they are jointly reachable (group moves
@@ -247,17 +252,20 @@ impl FreqCodec {
         let groups_unchanged = deltas.iter().filter(|&&d| d == 0).count();
         debug_assert_eq!(deltas.iter().sum::<i64>(), 0, "targets must be balanced");
 
-        // Rows per group, for picking movers.
+        // Rows per group, in code space: each row's domain code (one
+        // per-distinct translation, already validated by the
+        // group_sums histogram) indexes the precomputed group table.
         let mut rows_by_group: Vec<Vec<usize>> = vec![Vec::new(); self.wm_len];
-        for (row, value) in rel.column_iter(attr_idx).enumerate() {
-            rows_by_group[self.group_of(&value)].push(row);
+        for (row, code) in domain.intern_column(rel, attr_idx).into_iter().enumerate() {
+            let t = code.expect("group_sums validated every value against the domain") as usize;
+            rows_by_group[group_by_domain[t]].push(row);
         }
         // Representative acceptor value per group: its most frequent
         // member (stealth: reinforce the mode rather than a rare value).
         let hist = FrequencyHistogram::from_relation(rel, attr_idx, domain)?;
         let mut acceptor_value: Vec<Option<Value>> = vec![None; self.wm_len];
         for t in hist.rank_by_frequency() {
-            let g = self.group_of(domain.value_at(t));
+            let g = group_by_domain[t];
             if acceptor_value[g].is_none() {
                 acceptor_value[g] = Some(domain.value_at(t).clone());
             }

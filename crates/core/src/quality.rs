@@ -33,7 +33,38 @@ pub struct Alteration {
     pub new: Value,
 }
 
+/// A candidate alteration in *code space*: old and new values as
+/// indices into the embedding domain instead of owned [`Value`]s.
+///
+/// The guarded embedding loop proposes one of these per fit tuple; a
+/// constraint stack that accepted a [`QualityConstraint::bind_codes`]
+/// call evaluates it with indexed loads only — no `Value`
+/// materialization, no string hashing, no heap traffic on the
+/// goodness loop. Both codes are guaranteed to be valid indices of
+/// the bound domain (the embedder falls back to the value path for
+/// rows whose current value is foreign to the domain).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CodedAlteration {
+    /// Row index in the relation being watermarked.
+    pub row: usize,
+    /// Attribute index being altered (always the bound attribute).
+    pub attr: usize,
+    /// Domain code of the value before the alteration.
+    pub old: u32,
+    /// Domain code of the value after the alteration.
+    pub new: u32,
+}
+
 /// A pluggable usability metric (Figure 3's "usability metric plugin").
+///
+/// Constraints always implement the value-space methods. The
+/// `*_coded` family is an opt-in fast path: a constraint that returns
+/// `true` from [`QualityConstraint::bind_codes`] promises that, for
+/// alterations on the bound attribute whose old and new values are
+/// both in the bound domain, its coded methods decide and mutate
+/// state exactly like the value-space ones — the two representations
+/// may then be mixed freely (e.g. a coded commit later undone by a
+/// value-space rollback).
 pub trait QualityConstraint {
     /// Human-readable name for veto reporting.
     fn name(&self) -> &str;
@@ -47,6 +78,49 @@ pub trait QualityConstraint {
 
     /// Record that a previously committed `change` was undone.
     fn rollback(&mut self, change: &Alteration);
+
+    /// Bind the constraint to code space for a guarded pass altering
+    /// `attr` over `domain`. Return `true` to enable the coded fast
+    /// path (see the trait docs for the equivalence contract); the
+    /// default declines, and the guard materializes value-space
+    /// [`Alteration`]s for this constraint instead.
+    fn bind_codes(&mut self, attr: usize, domain: &CategoricalDomain) -> bool {
+        let _ = (attr, domain);
+        false
+    }
+
+    /// Coded twin of [`QualityConstraint::admits`]. Only called after
+    /// this constraint accepted a [`QualityConstraint::bind_codes`],
+    /// so a constraint that opts in must override it (and the other
+    /// coded methods, even as explicit no-ops) — the default panics
+    /// rather than silently admitting everything.
+    fn admits_coded(&self, change: &CodedAlteration) -> bool {
+        let _ = change;
+        panic!(
+            "constraint {:?} accepted bind_codes but does not implement admits_coded",
+            self.name()
+        )
+    }
+
+    /// Coded twin of [`QualityConstraint::commit`]. See
+    /// [`QualityConstraint::admits_coded`] for the override contract.
+    fn commit_coded(&mut self, change: &CodedAlteration) {
+        let _ = change;
+        panic!(
+            "constraint {:?} accepted bind_codes but does not implement commit_coded",
+            self.name()
+        )
+    }
+
+    /// Coded twin of [`QualityConstraint::rollback`]. See
+    /// [`QualityConstraint::admits_coded`] for the override contract.
+    fn rollback_coded(&mut self, change: &CodedAlteration) {
+        let _ = change;
+        panic!(
+            "constraint {:?} accepted bind_codes but does not implement rollback_coded",
+            self.name()
+        )
+    }
 }
 
 /// Caps the *number* of altered tuples — the paper's "practical
@@ -94,6 +168,22 @@ impl QualityConstraint for AlterationBudget {
     fn rollback(&mut self, _change: &Alteration) {
         self.used = self.used.saturating_sub(1);
     }
+
+    fn bind_codes(&mut self, _attr: usize, _domain: &CategoricalDomain) -> bool {
+        true // counts alterations; never inspects values
+    }
+
+    fn admits_coded(&self, _change: &CodedAlteration) -> bool {
+        self.used < self.budget
+    }
+
+    fn commit_coded(&mut self, _change: &CodedAlteration) {
+        self.used += 1;
+    }
+
+    fn rollback_coded(&mut self, _change: &CodedAlteration) {
+        self.used = self.used.saturating_sub(1);
+    }
 }
 
 /// Bounds the L1 drift of the attribute's occurrence-frequency
@@ -134,9 +224,13 @@ impl FrequencyDriftLimit {
     fn l1_after(&self, change: &Alteration) -> Option<f64> {
         let old_idx = self.domain.index_of(&change.old).ok()?;
         let new_idx = self.domain.index_of(&change.new).ok()?;
+        Some(self.l1_after_codes(old_idx, new_idx))
+    }
+
+    fn l1_after_codes(&self, old_idx: usize, new_idx: usize) -> f64 {
         let total = self.total as f64;
         if total == 0.0 {
-            return Some(0.0);
+            return 0.0;
         }
         let mut l1 = 0.0;
         for i in 0..self.baseline.len() {
@@ -149,7 +243,7 @@ impl FrequencyDriftLimit {
             }
             l1 += (c as f64 / total - self.baseline[i] as f64 / total).abs();
         }
-        Some(l1)
+        l1
     }
 }
 
@@ -180,6 +274,29 @@ impl QualityConstraint for FrequencyDriftLimit {
             self.current[old_idx] += 1;
         }
     }
+
+    /// Code binding requires the coded indices to *be* this
+    /// constraint's histogram indices — i.e. the guarded pass must
+    /// run over the same domain. Otherwise fall back to values.
+    fn bind_codes(&mut self, _attr: usize, domain: &CategoricalDomain) -> bool {
+        *domain == self.domain
+    }
+
+    fn admits_coded(&self, change: &CodedAlteration) -> bool {
+        self.l1_after_codes(change.old as usize, change.new as usize) <= self.max_l1
+    }
+
+    fn commit_coded(&mut self, change: &CodedAlteration) {
+        let (old, new) = (change.old as usize, change.new as usize);
+        self.current[old] = self.current[old].saturating_sub(1);
+        self.current[new] += 1;
+    }
+
+    fn rollback_coded(&mut self, change: &CodedAlteration) {
+        let (old, new) = (change.old as usize, change.new as usize);
+        self.current[new] = self.current[new].saturating_sub(1);
+        self.current[old] += 1;
+    }
 }
 
 /// Declares a set of rows untouchable (semantic consistency: e.g.
@@ -209,6 +326,18 @@ impl QualityConstraint for ImmutableRows {
     fn commit(&mut self, _change: &Alteration) {}
 
     fn rollback(&mut self, _change: &Alteration) {}
+
+    fn bind_codes(&mut self, _attr: usize, _domain: &CategoricalDomain) -> bool {
+        true // decides on the row index alone
+    }
+
+    fn admits_coded(&self, change: &CodedAlteration) -> bool {
+        !self.rows.contains(&change.row)
+    }
+
+    fn commit_coded(&mut self, _change: &CodedAlteration) {}
+
+    fn rollback_coded(&mut self, _change: &CodedAlteration) {}
 }
 
 /// Restricts replacement values to an allowed subset of the domain
@@ -217,13 +346,15 @@ impl QualityConstraint for ImmutableRows {
 #[derive(Debug)]
 pub struct AllowedReplacements {
     allowed: HashSet<Value>,
+    /// Per-domain-code membership, compiled by `bind_codes`.
+    allowed_codes: Vec<bool>,
 }
 
 impl AllowedReplacements {
     /// Admit only alterations whose *new* value is in `allowed`.
     #[must_use]
     pub fn new(allowed: impl IntoIterator<Item = Value>) -> Self {
-        AllowedReplacements { allowed: allowed.into_iter().collect() }
+        AllowedReplacements { allowed: allowed.into_iter().collect(), allowed_codes: Vec::new() }
     }
 }
 
@@ -239,6 +370,20 @@ impl QualityConstraint for AllowedReplacements {
     fn commit(&mut self, _change: &Alteration) {}
 
     fn rollback(&mut self, _change: &Alteration) {}
+
+    fn bind_codes(&mut self, _attr: usize, domain: &CategoricalDomain) -> bool {
+        self.allowed_codes =
+            (0..domain.len()).map(|t| self.allowed.contains(domain.value_at(t))).collect();
+        true
+    }
+
+    fn admits_coded(&self, change: &CodedAlteration) -> bool {
+        self.allowed_codes[change.new as usize]
+    }
+
+    fn commit_coded(&mut self, _change: &CodedAlteration) {}
+
+    fn rollback_coded(&mut self, _change: &CodedAlteration) {}
 }
 
 /// The alteration rollback log of Figure 3.
@@ -281,6 +426,13 @@ impl RollbackLog {
 /// pass.
 pub struct QualityGuard {
     constraints: Vec<Box<dyn QualityConstraint>>,
+    /// Per-constraint coded capability, parallel to `constraints`;
+    /// empty until [`QualityGuard::bind_codes`].
+    coded: Vec<bool>,
+    /// The bound attribute and domain, for decoding coded proposals
+    /// into value-space [`Alteration`]s (rollback log, fallback
+    /// constraints).
+    codec: Option<(usize, CategoricalDomain)>,
     log: RollbackLog,
     vetoes: usize,
 }
@@ -300,7 +452,13 @@ impl QualityGuard {
     /// change is admitted but still logged for undo).
     #[must_use]
     pub fn new(constraints: Vec<Box<dyn QualityConstraint>>) -> Self {
-        QualityGuard { constraints, log: RollbackLog::new(), vetoes: 0 }
+        QualityGuard {
+            constraints,
+            coded: Vec::new(),
+            codec: None,
+            log: RollbackLog::new(),
+            vetoes: 0,
+        }
     }
 
     /// Propose `change`: if every constraint admits it, commit it to
@@ -319,6 +477,65 @@ impl QualityGuard {
             self.vetoes += 1;
             false
         }
+    }
+
+    /// Bind the guard (and every constraint willing) to code space
+    /// for a guarded pass altering `attr` over `domain`. Call once
+    /// before a run of [`QualityGuard::propose_coded`] calls;
+    /// re-binding with a different attribute or domain is allowed and
+    /// recompiles.
+    pub fn bind_codes(&mut self, attr: usize, domain: &CategoricalDomain) {
+        self.coded = self.constraints.iter_mut().map(|c| c.bind_codes(attr, domain)).collect();
+        self.codec = Some((attr, domain.clone()));
+    }
+
+    /// Whether every constraint accepted the code binding — i.e. the
+    /// goodness loop runs without materializing a single `Value`.
+    #[must_use]
+    pub fn fully_coded(&self) -> bool {
+        !self.coded.is_empty() && self.coded.iter().all(|&c| c)
+    }
+
+    /// Coded twin of [`QualityGuard::propose`]: both codes must be
+    /// valid indices of the bound domain. Constraints that declined
+    /// the code binding see a value-space [`Alteration`] decoded from
+    /// the codes (materialized at most once per proposal); the
+    /// rollback log always records the value-space form so
+    /// [`QualityGuard::undo_all`] stays representation-independent.
+    ///
+    /// # Panics
+    ///
+    /// Panics when [`QualityGuard::bind_codes`] has not been called.
+    pub fn propose_coded(&mut self, change: CodedAlteration) -> bool {
+        let (attr, domain) = self.codec.as_ref().expect("bind_codes before propose_coded");
+        debug_assert_eq!(change.attr, *attr, "coded proposal on an unbound attribute");
+        let decode = || Alteration {
+            row: change.row,
+            attr: change.attr,
+            old: domain.value_at(change.old as usize).clone(),
+            new: domain.value_at(change.new as usize).clone(),
+        };
+        let mut materialized: Option<Alteration> = None;
+        let admitted = self.constraints.iter().zip(&self.coded).all(|(c, &coded)| {
+            if coded {
+                c.admits_coded(&change)
+            } else {
+                c.admits(materialized.get_or_insert_with(decode))
+            }
+        });
+        if !admitted {
+            self.vetoes += 1;
+            return false;
+        }
+        for (c, &coded) in self.constraints.iter_mut().zip(&self.coded) {
+            if coded {
+                c.commit_coded(&change);
+            } else {
+                c.commit(materialized.get_or_insert_with(decode));
+            }
+        }
+        self.log.record(materialized.unwrap_or_else(decode));
+        true
     }
 
     /// Number of vetoed proposals.

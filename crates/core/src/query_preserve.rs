@@ -15,9 +15,9 @@
 
 use std::collections::HashSet;
 
-use catmark_relation::Value;
+use catmark_relation::{CategoricalDomain, Value};
 
-use crate::quality::{Alteration, QualityConstraint};
+use crate::quality::{Alteration, CodedAlteration, QualityConstraint};
 
 /// A value-level selection predicate over the constrained attribute.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -39,6 +39,16 @@ impl ValueSet {
             ValueSet::In(set) => set.contains(v),
             ValueSet::Range(lo, hi) => lo <= v && v <= hi,
         }
+    }
+
+    /// Compile into a per-domain-code membership table: position `t`
+    /// answers [`ValueSet::contains`] for `domain.value_at(t)`. The
+    /// string/hash work happens once per domain value; the guarded
+    /// embedding loop then answers each membership test with one
+    /// indexed load.
+    #[must_use]
+    pub fn compile(&self, domain: &CategoricalDomain) -> Box<[bool]> {
+        (0..domain.len()).map(|t| self.contains(domain.value_at(t))).collect()
     }
 }
 
@@ -86,6 +96,9 @@ struct Tracked {
     query: CountQuery,
     baseline: u64,
     current: u64,
+    /// Per-domain-code membership of `query.values`, compiled when
+    /// the constraint binds to a guarded pass on `query.attr`.
+    compiled: Option<Box<[bool]>>,
 }
 
 impl Tracked {
@@ -95,6 +108,15 @@ impl Tracked {
         }
         i64::from(self.query.values.contains(&change.new))
             - i64::from(self.query.values.contains(&change.old))
+    }
+
+    /// Code-space twin of [`Tracked::delta`]: two indexed loads.
+    fn delta_coded(&self, change: &CodedAlteration) -> i64 {
+        if change.attr != self.query.attr {
+            return 0;
+        }
+        let table = self.compiled.as_ref().expect("bound queries on the attr are compiled");
+        i64::from(table[change.new as usize]) - i64::from(table[change.old as usize])
     }
 
     fn within_tolerance(&self, current: u64) -> bool {
@@ -128,7 +150,7 @@ impl CountQueryPreservation {
             .map(|q| {
                 let baseline =
                     column_values(q.attr).filter(|v| q.values.contains(v)).count() as u64;
-                Tracked { query: q, baseline, current: baseline }
+                Tracked { query: q, baseline, current: baseline, compiled: None }
             })
             .collect();
         CountQueryPreservation { queries: tracked }
@@ -192,6 +214,42 @@ impl QualityConstraint for CountQueryPreservation {
     fn rollback(&mut self, change: &Alteration) {
         for t in &mut self.queries {
             let d = t.delta(change);
+            t.current = t.current.saturating_add_signed(-d);
+        }
+    }
+
+    /// Compile each query on the bound attribute into a per-domain-
+    /// code membership table. Queries on other attributes never see a
+    /// delta from coded alterations (which are always on the bound
+    /// attribute), so they need no table.
+    fn bind_codes(&mut self, attr: usize, domain: &CategoricalDomain) -> bool {
+        for t in &mut self.queries {
+            t.compiled =
+                if t.query.attr == attr { Some(t.query.values.compile(domain)) } else { None };
+        }
+        true
+    }
+
+    fn admits_coded(&self, change: &CodedAlteration) -> bool {
+        self.queries.iter().all(|t| {
+            let d = t.delta_coded(change);
+            if d == 0 {
+                return true;
+            }
+            t.within_tolerance(t.current.saturating_add_signed(d))
+        })
+    }
+
+    fn commit_coded(&mut self, change: &CodedAlteration) {
+        for t in &mut self.queries {
+            let d = t.delta_coded(change);
+            t.current = t.current.saturating_add_signed(d);
+        }
+    }
+
+    fn rollback_coded(&mut self, change: &CodedAlteration) {
+        for t in &mut self.queries {
+            let d = t.delta_coded(change);
             t.current = t.current.saturating_add_signed(-d);
         }
     }

@@ -12,6 +12,7 @@
 
 use std::collections::HashMap;
 
+use catmark_relation::query::dense_codes;
 use catmark_relation::{Relation, RelationError, Value};
 
 /// A trained categorical classifier: predicts a target attribute from
@@ -82,9 +83,10 @@ impl OneR {
             ));
         }
         let mut best: Option<(usize, HashMap<Value, Value>, usize)> = None;
-        // Materialize each consulted column once (columnar storage
-        // holds codes, not Values); counting below borrows from these.
-        let target_col: Vec<Value> = rel.column_iter(target).collect();
+        // Dense-code both consulted columns once: the counting loop
+        // below is pure integer indexing, and Values materialize only
+        // for the distinct entries that reach the rule table.
+        let (t_codes, t_values) = dense_codes(rel, target);
         for name in candidate_predictors {
             let p = rel.schema().index_of(name)?;
             if p == target {
@@ -92,31 +94,44 @@ impl OneR {
                     "predictor {name:?} is the target attribute"
                 )));
             }
-            let pred_col: Vec<Value> = rel.column_iter(p).collect();
-            // value → class → count
-            let mut counts: HashMap<&Value, HashMap<&Value, usize>> = HashMap::new();
-            for (pv, tv) in pred_col.iter().zip(&target_col) {
-                *counts.entry(pv).or_default().entry(tv).or_insert(0) += 1;
-            }
+            let (p_codes, p_values) = dense_codes(rel, p);
             let mut table = HashMap::new();
             let mut errors = 0usize;
-            for (v, classes) in counts {
-                // Ties break toward the smallest class label so the
-                // trained table is independent of hash iteration order.
-                let (majority, majority_n) = classes
-                    .iter()
-                    .max_by(|a, b| a.1.cmp(b.1).then_with(|| b.0.cmp(a.0)))
-                    .expect("non-empty class map");
-                let total: usize = classes.values().sum();
-                errors += total - majority_n;
-                table.insert(v.clone(), (*majority).clone());
+            let mut tally = |pc: usize, majority: Option<(usize, u64, u64)>| {
+                // Dictionary entries no row references have no class.
+                let Some((mtc, mn, total)) = majority else { return };
+                errors += (total - mn) as usize;
+                table.insert(p_values[pc].clone(), t_values[mtc].clone());
+            };
+            // counts[predictor code][class code] — dense for the
+            // common low-cardinality cross product, per-value sparse
+            // maps otherwise (a near-unique column would make the
+            // dense matrix quadratic in memory).
+            if p_values.len().saturating_mul(t_values.len()) <= DENSE_COUNT_CELLS_MAX {
+                let mut counts = vec![vec![0u64; t_values.len()]; p_values.len()];
+                for (&pc, &tc) in p_codes.iter().zip(&t_codes) {
+                    counts[pc as usize][tc as usize] += 1;
+                }
+                for (pc, classes) in counts.iter().enumerate() {
+                    let pairs = classes.iter().enumerate().map(|(tc, &n)| (tc, n));
+                    tally(pc, majority_scan(pairs, &t_values));
+                }
+            } else {
+                let mut counts: Vec<HashMap<u32, u64>> = vec![HashMap::new(); p_values.len()];
+                for (&pc, &tc) in p_codes.iter().zip(&t_codes) {
+                    *counts[pc as usize].entry(tc).or_insert(0) += 1;
+                }
+                for (pc, classes) in counts.iter().enumerate() {
+                    let pairs = classes.iter().map(|(&tc, &n)| (tc as usize, n));
+                    tally(pc, majority_scan(pairs, &t_values));
+                }
             }
             if best.as_ref().is_none_or(|(_, _, e)| errors < *e) {
                 best = Some((p, table, errors));
             }
         }
         let (predictor, table, errors) = best.expect("candidates checked non-empty");
-        let default = majority_class(rel, target);
+        let default = majority_class(&t_codes, &t_values);
         Ok(OneR {
             predictor,
             target,
@@ -155,16 +170,58 @@ impl Classifier for OneR {
     }
 }
 
-fn majority_class(rel: &Relation, target: usize) -> Value {
-    let mut counts: HashMap<Value, usize> = HashMap::new();
-    for v in rel.column_iter(target) {
-        *counts.entry(v).or_insert(0) += 1;
+/// Largest predictor-distinct × target-distinct cross product the
+/// OneR trainer counts in a dense matrix (32 MiB of `u64` cells);
+/// beyond it, counting falls back to per-value sparse maps whose
+/// memory is bounded by the *observed* pairs.
+const DENSE_COUNT_CELLS_MAX: usize = 1 << 22;
+
+/// Majority class among `(class code, count)` pairs, ties broken
+/// toward the smallest class label (order-independent, so sparse map
+/// iteration is safe). Returns `(majority code, its count, total)`.
+fn majority_scan(
+    pairs: impl Iterator<Item = (usize, u64)>,
+    t_values: &[Value],
+) -> Option<(usize, u64, u64)> {
+    let mut majority: Option<(usize, u64)> = None;
+    let mut total = 0u64;
+    for (tc, n) in pairs {
+        if n == 0 {
+            continue;
+        }
+        total += n;
+        let better = match majority {
+            None => true,
+            Some((btc, bn)) => n > bn || (n == bn && t_values[tc] < t_values[btc]),
+        };
+        if better {
+            majority = Some((tc, n));
+        }
     }
-    counts
-        .into_iter()
-        .max_by(|a, b| a.1.cmp(&b.1).then_with(|| b.0.cmp(&a.0)))
-        .map(|(v, _)| v)
-        .expect("relation checked non-empty")
+    majority.map(|(tc, n)| (tc, n, total))
+}
+
+/// The most frequent class over dense-coded target rows, ties broken
+/// toward the smallest class label.
+fn majority_class(t_codes: &[u32], t_values: &[Value]) -> Value {
+    let mut counts = vec![0u64; t_values.len()];
+    for &tc in t_codes {
+        counts[tc as usize] += 1;
+    }
+    let mut best: Option<usize> = None;
+    for (tc, &n) in counts.iter().enumerate() {
+        if n == 0 {
+            continue;
+        }
+        let better = match best {
+            None => true,
+            Some(b) => n > counts[b] || (n == counts[b] && t_values[tc] < t_values[b]),
+        };
+        if better {
+            best = Some(tc);
+        }
+    }
+    t_values[best.expect("relation checked non-empty")].clone()
 }
 
 /// Categorical naive Bayes with Laplace (add-one) smoothing.
@@ -217,49 +274,58 @@ impl NaiveBayes {
             predictors.push(p);
         }
 
-        // Class counts, off a single materialization of the target
-        // column (borrowed by the per-predictor passes below).
-        let target_col: Vec<Value> = rel.column_iter(target).collect();
-        let mut class_counts: HashMap<&Value, u64> = HashMap::new();
-        for v in &target_col {
-            *class_counts.entry(v).or_insert(0) += 1;
+        // Dense-code the target column once; classes are the *seen*
+        // codes, sorted by value so the model is independent of
+        // counting order.
+        let (t_codes, t_values) = dense_codes(rel, target);
+        let mut counts_by_code = vec![0u64; t_values.len()];
+        for &tc in &t_codes {
+            counts_by_code[tc as usize] += 1;
         }
-        let mut classes: Vec<Value> = class_counts.keys().map(|&v| v.clone()).collect();
-        classes.sort();
+        let mut seen_codes: Vec<usize> =
+            (0..t_values.len()).filter(|&tc| counts_by_code[tc] > 0).collect();
+        seen_codes.sort_by(|&a, &b| t_values[a].cmp(&t_values[b]));
+        let classes: Vec<Value> = seen_codes.iter().map(|&tc| t_values[tc].clone()).collect();
+        let class_counts: Vec<u64> = seen_codes.iter().map(|&tc| counts_by_code[tc]).collect();
+        // target code → index into the sorted class list.
+        let mut class_idx_of = vec![usize::MAX; t_values.len()];
+        for (i, &tc) in seen_codes.iter().enumerate() {
+            class_idx_of[tc] = i;
+        }
         let n = rel.len() as f64;
-        let log_prior: Vec<f64> =
-            classes.iter().map(|c| (class_counts[c] as f64 / n).ln()).collect();
+        let log_prior: Vec<f64> = class_counts.iter().map(|&c| (c as f64 / n).ln()).collect();
 
-        // Per-predictor conditional counts.
+        // Per-predictor conditional counts, in code space.
         let mut likelihood = Vec::with_capacity(predictors.len());
         let mut unseen = Vec::with_capacity(predictors.len());
         for &p in &predictors {
-            let pred_col: Vec<Value> = rel.column_iter(p).collect();
-            let mut counts: HashMap<&Value, Vec<u64>> = HashMap::new();
-            for (pv, tv) in pred_col.iter().zip(&target_col) {
-                let class_idx =
-                    classes.binary_search(tv).expect("every training class was collected");
-                counts.entry(pv).or_insert_with(|| vec![0; classes.len()])[class_idx] += 1;
+            let (p_codes, p_values) = dense_codes(rel, p);
+            let mut counts = vec![vec![0u64; classes.len()]; p_values.len()];
+            let mut p_seen = vec![false; p_values.len()];
+            for (&pc, &tc) in p_codes.iter().zip(&t_codes) {
+                counts[pc as usize][class_idx_of[tc as usize]] += 1;
+                p_seen[pc as usize] = true;
             }
-            let domain_size = counts.len() as f64;
-            let mut table: HashMap<Value, Vec<f64>> = HashMap::with_capacity(counts.len());
-            for (v, per_class) in counts {
+            // Smoothing mass counts distinct *observed* predictor
+            // values (text dictionaries may carry unused entries).
+            let domain_size = p_seen.iter().filter(|&&s| s).count() as f64;
+            let mut table: HashMap<Value, Vec<f64>> = HashMap::with_capacity(p_values.len());
+            for (pc, per_class) in counts.into_iter().enumerate() {
+                if !p_seen[pc] {
+                    continue;
+                }
                 let logs = per_class
                     .iter()
-                    .zip(&classes)
-                    .map(|(&c, class)| {
-                        let class_total = class_counts[class] as f64;
-                        ((c as f64 + 1.0) / (class_total + domain_size + 1.0)).ln()
+                    .zip(&class_counts)
+                    .map(|(&c, &class_total)| {
+                        ((c as f64 + 1.0) / (class_total as f64 + domain_size + 1.0)).ln()
                     })
                     .collect();
-                table.insert(v.clone(), logs);
+                table.insert(p_values[pc].clone(), logs);
             }
-            let unseen_logs = classes
+            let unseen_logs = class_counts
                 .iter()
-                .map(|class| {
-                    let class_total = class_counts[class] as f64;
-                    (1.0 / (class_total + domain_size + 1.0)).ln()
-                })
+                .map(|&class_total| (1.0 / (class_total as f64 + domain_size + 1.0)).ln())
                 .collect();
             likelihood.push(table);
             unseen.push(unseen_logs);
@@ -350,6 +416,26 @@ mod tests {
         assert!(OneR::train(&rel, "nope", &["dept"]).is_err());
         let empty = Relation::new(rel.schema().clone());
         assert!(OneR::train(&empty, "aisle", &["dept"]).is_err());
+    }
+
+    #[test]
+    fn oner_sparse_counting_handles_near_unique_columns() {
+        // predictor and target both near-unique: the distinct cross
+        // product (25M cells) exceeds the dense-matrix cap, so the
+        // sparse path must produce the same exact rule.
+        let schema = Schema::builder()
+            .key_attr("k", AttrType::Integer)
+            .categorical_attr("p", AttrType::Integer)
+            .categorical_attr("t", AttrType::Integer)
+            .build()
+            .unwrap();
+        let mut rel = Relation::new(schema);
+        for i in 0..5_000i64 {
+            rel.push(vec![Value::Int(i), Value::Int(i), Value::Int(i * 2)]).unwrap();
+        }
+        let clf = OneR::train(&rel, "t", &["p"]).unwrap();
+        assert_eq!(clf.training_error(), 0.0);
+        assert_eq!(accuracy(&clf, &rel), 1.0);
     }
 
     #[test]

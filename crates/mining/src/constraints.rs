@@ -13,8 +13,10 @@
 //! method with direct awareness of semantic consistency (e.g.
 //! classification and association rules)".
 
-use catmark_core::quality::{Alteration, QualityConstraint};
-use catmark_relation::{Relation, Value};
+use std::cell::RefCell;
+
+use catmark_core::quality::{Alteration, CodedAlteration, QualityConstraint};
+use catmark_relation::{CategoricalDomain, Relation, Value};
 
 use crate::classify::Classifier;
 use crate::item::Itemset;
@@ -51,6 +53,9 @@ impl TrackedRule {
 pub struct AssociationRulePreserved {
     rules: Vec<TrackedRule>,
     rows: Vec<Vec<Value>>,
+    /// Decoded domain of a code-bound guarded pass: position `t`
+    /// holds the value behind domain code `t`.
+    domain_values: Vec<Value>,
 }
 
 impl AssociationRulePreserved {
@@ -80,7 +85,7 @@ impl AssociationRulePreserved {
                 }
             })
             .collect();
-        AssociationRulePreserved { rules: tracked, rows }
+        AssociationRulePreserved { rules: tracked, rows, domain_values: Vec::new() }
     }
 
     /// Number of tracked rules.
@@ -96,52 +101,26 @@ impl AssociationRulePreserved {
         TrackedRule::confidence(r.ant_count, r.full_count)
     }
 
-    /// Per-rule (antecedent, full) count deltas if `change.row`'s
-    /// attribute moved to `value`; `None` when the row is untracked.
-    fn deltas(&self, change: &Alteration, value: &Value) -> Option<Vec<(i64, i64)>> {
-        let before = self.rows.get(change.row)?;
-        let mut after = before.clone();
-        *after.get_mut(change.attr)? = value.clone();
-        Some(
-            self.rules
-                .iter()
-                .map(|r| {
-                    let ant = i64::from(r.antecedent.matches(&after))
-                        - i64::from(r.antecedent.matches(before));
-                    let full =
-                        i64::from(r.full.matches(&after)) - i64::from(r.full.matches(before));
-                    (ant, full)
-                })
-                .collect(),
-        )
+    /// One rule's (antecedent, full) count delta if `row`'s `attr`
+    /// moved to `value`, computed by substitution — no altered row is
+    /// ever materialized.
+    fn rule_delta(r: &TrackedRule, before: &[Value], attr: usize, value: &Value) -> (i64, i64) {
+        let ant = i64::from(r.antecedent.matches_substituted(before, attr, value))
+            - i64::from(r.antecedent.matches(before));
+        let full = i64::from(r.full.matches_substituted(before, attr, value))
+            - i64::from(r.full.matches(before));
+        (ant, full)
     }
 
-    fn apply(&mut self, change: &Alteration, value: &Value) {
-        let Some(deltas) = self.deltas(change, value) else {
-            return;
-        };
-        for (r, (d_ant, d_full)) in self.rules.iter_mut().zip(deltas) {
-            r.ant_count = r.ant_count.saturating_add_signed(d_ant);
-            r.full_count = r.full_count.saturating_add_signed(d_full);
-        }
-        if let Some(row) = self.rows.get_mut(change.row) {
-            if let Some(slot) = row.get_mut(change.attr) {
-                *slot = value.clone();
-            }
-        }
-    }
-}
-
-impl QualityConstraint for AssociationRulePreserved {
-    fn name(&self) -> &str {
-        "association-rules"
-    }
-
-    fn admits(&self, change: &Alteration) -> bool {
-        let Some(deltas) = self.deltas(change, &change.new) else {
+    fn admits_at(&self, row: usize, attr: usize, value: &Value) -> bool {
+        let Some(before) = self.rows.get(row) else {
             return true; // rows added after construction are not tracked
         };
-        self.rules.iter().zip(deltas).all(|(r, (d_ant, d_full))| {
+        if attr >= before.len() {
+            return true;
+        }
+        self.rules.iter().all(|r| {
+            let (d_ant, d_full) = Self::rule_delta(r, before, attr, value);
             if d_ant == 0 && d_full == 0 {
                 return true;
             }
@@ -153,14 +132,60 @@ impl QualityConstraint for AssociationRulePreserved {
         })
     }
 
+    fn apply_at(&mut self, row: usize, attr: usize, value: &Value) {
+        let Some(before) = self.rows.get(row) else {
+            return;
+        };
+        if attr >= before.len() {
+            return;
+        }
+        for r in &mut self.rules {
+            let (d_ant, d_full) = Self::rule_delta(r, before, attr, value);
+            r.ant_count = r.ant_count.saturating_add_signed(d_ant);
+            r.full_count = r.full_count.saturating_add_signed(d_full);
+        }
+        self.rows[row][attr] = value.clone();
+    }
+}
+
+impl QualityConstraint for AssociationRulePreserved {
+    fn name(&self) -> &str {
+        "association-rules"
+    }
+
+    fn admits(&self, change: &Alteration) -> bool {
+        self.admits_at(change.row, change.attr, &change.new)
+    }
+
     fn commit(&mut self, change: &Alteration) {
         let value = change.new.clone();
-        self.apply(change, &value);
+        self.apply_at(change.row, change.attr, &value);
     }
 
     fn rollback(&mut self, change: &Alteration) {
         let value = change.old.clone();
-        self.apply(change, &value);
+        self.apply_at(change.row, change.attr, &value);
+    }
+
+    /// Decode the domain once; coded proposals then borrow their
+    /// values straight from the table (no per-check materialization).
+    fn bind_codes(&mut self, _attr: usize, domain: &CategoricalDomain) -> bool {
+        self.domain_values = domain.values().to_vec();
+        true
+    }
+
+    fn admits_coded(&self, change: &CodedAlteration) -> bool {
+        self.admits_at(change.row, change.attr, &self.domain_values[change.new as usize])
+    }
+
+    fn commit_coded(&mut self, change: &CodedAlteration) {
+        let value = self.domain_values[change.new as usize].clone();
+        self.apply_at(change.row, change.attr, &value);
+    }
+
+    fn rollback_coded(&mut self, change: &CodedAlteration) {
+        let value = self.domain_values[change.old as usize].clone();
+        self.apply_at(change.row, change.attr, &value);
     }
 }
 
@@ -177,6 +202,11 @@ pub struct ClassifierAccuracyPreserved {
     correct: Vec<bool>,
     hits: usize,
     min_accuracy: f64,
+    /// Scratch row for what-if predictions: reused across checks so
+    /// the admit path never allocates a row vector.
+    scratch: RefCell<Vec<Value>>,
+    /// Decoded domain of a code-bound guarded pass.
+    domain_values: Vec<Value>,
 }
 
 impl ClassifierAccuracyPreserved {
@@ -187,7 +217,15 @@ impl ClassifierAccuracyPreserved {
         let rows: Vec<Vec<Value>> = rel.iter().map(|t| t.values().to_vec()).collect();
         let correct: Vec<bool> = rows.iter().map(|row| Self::row_correct(&*clf, row)).collect();
         let hits = correct.iter().filter(|&&c| c).count();
-        ClassifierAccuracyPreserved { clf, rows, correct, hits, min_accuracy }
+        ClassifierAccuracyPreserved {
+            clf,
+            rows,
+            correct,
+            hits,
+            min_accuracy,
+            scratch: RefCell::new(Vec::new()),
+            domain_values: Vec::new(),
+        }
     }
 
     fn row_correct(clf: &dyn Classifier, row: &[Value]) -> bool {
@@ -204,12 +242,16 @@ impl ClassifierAccuracyPreserved {
         }
     }
 
-    fn hits_after(&self, change: &Alteration, value: &Value) -> Option<usize> {
-        let before = self.rows.get(change.row)?;
-        let mut after = before.clone();
-        *after.get_mut(change.attr)? = value.clone();
-        let was = self.correct[change.row];
-        let now = Self::row_correct(&*self.clf, &after);
+    fn hits_after(&self, row: usize, attr: usize, value: &Value) -> Option<usize> {
+        let before = self.rows.get(row)?;
+        if attr >= before.len() {
+            return None;
+        }
+        let mut scratch = self.scratch.borrow_mut();
+        scratch.clone_from(before);
+        scratch[attr] = value.clone();
+        let was = self.correct[row];
+        let now = Self::row_correct(&*self.clf, &scratch);
         Some(match (was, now) {
             (true, false) => self.hits - 1,
             (false, true) => self.hits + 1,
@@ -217,17 +259,23 @@ impl ClassifierAccuracyPreserved {
         })
     }
 
-    fn apply(&mut self, change: &Alteration, value: &Value) {
-        let Some(hits) = self.hits_after(change, value) else {
+    fn admits_at(&self, row: usize, attr: usize, value: &Value) -> bool {
+        let Some(hits) = self.hits_after(row, attr, value) else {
+            return true;
+        };
+        if self.rows.is_empty() {
+            return true;
+        }
+        hits as f64 / self.rows.len() as f64 >= self.min_accuracy
+    }
+
+    fn apply_at(&mut self, row: usize, attr: usize, value: &Value) {
+        let Some(hits) = self.hits_after(row, attr, value) else {
             return;
         };
         self.hits = hits;
-        if let Some(row) = self.rows.get_mut(change.row) {
-            if let Some(slot) = row.get_mut(change.attr) {
-                *slot = value.clone();
-            }
-            self.correct[change.row] = Self::row_correct(&*self.clf, &self.rows[change.row]);
-        }
+        self.rows[row][attr] = value.clone();
+        self.correct[row] = Self::row_correct(&*self.clf, &self.rows[row]);
     }
 }
 
@@ -237,23 +285,38 @@ impl QualityConstraint for ClassifierAccuracyPreserved {
     }
 
     fn admits(&self, change: &Alteration) -> bool {
-        let Some(hits) = self.hits_after(change, &change.new) else {
-            return true;
-        };
-        if self.rows.is_empty() {
-            return true;
-        }
-        hits as f64 / self.rows.len() as f64 >= self.min_accuracy
+        self.admits_at(change.row, change.attr, &change.new)
     }
 
     fn commit(&mut self, change: &Alteration) {
         let value = change.new.clone();
-        self.apply(change, &value);
+        self.apply_at(change.row, change.attr, &value);
     }
 
     fn rollback(&mut self, change: &Alteration) {
         let value = change.old.clone();
-        self.apply(change, &value);
+        self.apply_at(change.row, change.attr, &value);
+    }
+
+    /// Decode the domain once; coded proposals then borrow their
+    /// values from the table.
+    fn bind_codes(&mut self, _attr: usize, domain: &CategoricalDomain) -> bool {
+        self.domain_values = domain.values().to_vec();
+        true
+    }
+
+    fn admits_coded(&self, change: &CodedAlteration) -> bool {
+        self.admits_at(change.row, change.attr, &self.domain_values[change.new as usize])
+    }
+
+    fn commit_coded(&mut self, change: &CodedAlteration) {
+        let value = self.domain_values[change.new as usize].clone();
+        self.apply_at(change.row, change.attr, &value);
+    }
+
+    fn rollback_coded(&mut self, change: &CodedAlteration) {
+        let value = self.domain_values[change.old as usize].clone();
+        self.apply_at(change.row, change.attr, &value);
     }
 }
 

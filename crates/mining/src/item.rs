@@ -90,6 +90,21 @@ impl Itemset {
         self.items.iter().all(|it| values.get(it.attr) == Some(&it.value))
     }
 
+    /// [`Itemset::matches`] against `values` with position `attr`
+    /// substituted by `value` — the what-if form the incremental
+    /// quality constraints evaluate per candidate alteration, without
+    /// materializing the altered row.
+    #[must_use]
+    pub fn matches_substituted(&self, values: &[Value], attr: usize, value: &Value) -> bool {
+        self.items.iter().all(|it| {
+            if it.attr == attr {
+                *value == it.value
+            } else {
+                values.get(it.attr) == Some(&it.value)
+            }
+        })
+    }
+
     /// This set without the item at position `i` — the antecedent left
     /// when item `i` becomes a rule consequent.
     #[must_use]

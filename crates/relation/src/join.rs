@@ -10,11 +10,17 @@
 
 use std::collections::{HashMap, HashSet};
 
-use crate::{AttrDef, Relation, RelationError, Schema, Value};
+use crate::{AttrDef, Column, ColumnView, Relation, RelationError, Schema, Value};
 
 /// Inner equi-join of `left` and `right` on `left.left_attr ==
-/// right.right_attr`, implemented as a classic build/probe hash join
-/// (build side: `right`).
+/// right.right_attr`, implemented as a build/probe hash join entirely
+/// in code space: integer keys probe an `i64` map, text keys are
+/// matched by translating the left dictionary's distinct entries into
+/// the right column's codes **once**, after which every probe is a
+/// `u32` table lookup. No per-row tuple is ever materialized — the
+/// output is assembled by gathering whole columns, so text output
+/// columns reuse their source relation's dictionaries instead of
+/// re-interning every value.
 ///
 /// The output schema is `left`'s attributes followed by `right`'s;
 /// a right attribute whose name collides with a left attribute is
@@ -37,27 +43,64 @@ pub fn hash_join(
     let r_idx = right.schema().index_of(right_attr)?;
     let schema = joined_schema(left.schema(), right.schema())?;
 
-    // Build phase: right join value → row indices.
-    let mut build: HashMap<Value, Vec<usize>> = HashMap::new();
-    for (row, v) in right.column_iter(r_idx).enumerate() {
-        build.entry(v).or_default().push(row);
-    }
+    // Matched (left row, right row) pairs, in left-row-major order
+    // with right matches ascending — the order the historical
+    // tuple-at-a-time probe produced.
+    let (l_rows, r_rows) = join_pairs(left.column(l_idx), right.column(r_idx));
 
-    // Probe phase.
-    let mut out = Relation::with_capacity(schema, left.len());
-    for l_tuple in left.iter() {
-        let Some(matches) = build.get(l_tuple.get(l_idx)) else {
-            continue;
-        };
+    let columns: Vec<Column> = (0..left.schema().arity())
+        .map(|i| left.column(i).gather_u32(&l_rows))
+        .chain((0..right.schema().arity()).map(|i| right.column(i).gather_u32(&r_rows)))
+        .collect();
+    Relation::from_columns(schema, columns)
+}
+
+/// The code-space probe behind [`hash_join`]: all matching row pairs
+/// of `l == r`.
+fn join_pairs(l: ColumnView<'_>, r: ColumnView<'_>) -> (Vec<u32>, Vec<u32>) {
+    let mut l_rows = Vec::new();
+    let mut r_rows = Vec::new();
+    let mut emit = |l_row: u32, matches: &[u32]| {
         for &r_row in matches {
-            let r_tuple = right.tuple(r_row)?;
-            let mut values = Vec::with_capacity(l_tuple.values().len() + r_tuple.values().len());
-            values.extend_from_slice(l_tuple.values());
-            values.extend_from_slice(r_tuple.values());
-            out.push_unchecked_key(values)?;
+            l_rows.push(l_row);
+            r_rows.push(r_row);
         }
+    };
+    match (l, r) {
+        (ColumnView::Int(lv), ColumnView::Int(rv)) => {
+            // Build: right value → ascending right rows.
+            let mut build: HashMap<i64, Vec<u32>> = HashMap::with_capacity(rv.len());
+            for (row, &v) in rv.iter().enumerate() {
+                build.entry(v).or_default().push(row as u32);
+            }
+            for (row, v) in lv.iter().enumerate() {
+                if let Some(matches) = build.get(v) {
+                    emit(row as u32, matches);
+                }
+            }
+        }
+        (ColumnView::Text { codes: lc, dict: ld }, ColumnView::Text { codes: rc, dict: rd }) => {
+            // Build: right rows bucketed by their own dictionary code.
+            let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); rd.len()];
+            for (row, &c) in rc.iter().enumerate() {
+                buckets[c as usize].push(row as u32);
+            }
+            // One string lookup per *distinct* left value, then every
+            // probe is two u32 indexed loads.
+            let translate: Vec<Option<u32>> =
+                (0..ld.len()).map(|c| rd.code_of(ld.get(c as u32))).collect();
+            for (row, &c) in lc.iter().enumerate() {
+                if let Some(r_code) = translate[c as usize] {
+                    emit(row as u32, &buckets[r_code as usize]);
+                }
+            }
+        }
+        // An integer value never equals a text value under the total
+        // `Value` order: the join is empty.
+        (ColumnView::Int(_), ColumnView::Text { .. })
+        | (ColumnView::Text { .. }, ColumnView::Int(_)) => {}
     }
-    Ok(out)
+    (l_rows, r_rows)
 }
 
 fn joined_schema(left: &Schema, right: &Schema) -> Result<Schema, RelationError> {
@@ -164,31 +207,49 @@ pub fn group_count_distinct(
 ) -> Result<Vec<GroupCount>, RelationError> {
     let g_idx = rel.schema().index_of(group_attr)?;
     let d_idx = rel.schema().index_of(distinct_attr)?;
-    let mut sets: HashMap<Value, HashSet<Value>> = HashMap::new();
-    for tuple in rel.iter() {
-        sets.entry(tuple.get(g_idx).clone()).or_default().insert(tuple.get(d_idx).clone());
+    // Both columns as dense codes: the per-row work is then pure
+    // integer set insertion; Values materialize once per distinct
+    // group, not once per row.
+    let (g_codes, g_values) = crate::query::dense_codes(rel, g_idx);
+    let (d_codes, _) = crate::query::dense_codes(rel, d_idx);
+    let mut sets: Vec<HashSet<u32>> = vec![HashSet::new(); g_values.len()];
+    for (&g, &d) in g_codes.iter().zip(&d_codes) {
+        sets[g as usize].insert(d);
     }
     let mut groups: Vec<GroupCount> = sets
         .into_iter()
-        .map(|(value, set)| GroupCount { value, count: set.len() as u64 })
+        .zip(g_values)
+        .filter(|(set, _)| !set.is_empty()) // dictionary entries no row uses
+        .map(|(set, value)| GroupCount { value, count: set.len() as u64 })
         .collect();
     groups.sort_by(|a, b| b.count.cmp(&a.count).then_with(|| a.value.cmp(&b.value)));
     Ok(groups)
 }
 
 /// Duplicate elimination over entire tuples, keeping first occurrences
-/// in row order.
+/// in row order. Rows are compared in code space — one `u64` per
+/// attribute (raw integer bits, or the text column's dictionary code,
+/// both injective within a single relation) — and the survivors are
+/// gathered by column copies that reuse the source dictionaries.
 #[must_use]
 pub fn distinct(rel: &Relation) -> Relation {
-    let mut seen: HashSet<Vec<Value>> = HashSet::new();
-    let mut out = Relation::with_capacity(rel.schema().clone(), rel.len());
-    for tuple in rel.iter() {
-        if seen.insert(tuple.values().to_vec()) {
-            out.push_unchecked_key(tuple.values().to_vec())
-                .expect("tuple from the same schema is always valid");
+    let views: Vec<ColumnView<'_>> = (0..rel.schema().arity()).map(|i| rel.column(i)).collect();
+    let mut seen: HashSet<Box<[u64]>> = HashSet::with_capacity(rel.len());
+    let mut keep: Vec<u32> = Vec::new();
+    let mut scratch: Vec<u64> = vec![0; views.len()];
+    for row in 0..rel.len() {
+        for (slot, view) in scratch.iter_mut().zip(&views) {
+            *slot = match view {
+                ColumnView::Int(xs) => xs[row] as u64,
+                ColumnView::Text { codes, .. } => u64::from(codes[row]),
+            };
+        }
+        if !seen.contains(scratch.as_slice()) {
+            seen.insert(scratch.clone().into_boxed_slice());
+            keep.push(row as u32);
         }
     }
-    out
+    rel.gather_u32(&keep)
 }
 
 /// Rows of `a` whose primary key does not appear in `b` — the

@@ -20,7 +20,10 @@
 //!   legitimate consumers run, used by quality constraints,
 //! * occurrence-frequency statistics ([`stats`]) — the
 //!   frequency-transform channel of Section 4.2,
-//! * simple predicates for quality constraints ([`predicate`]),
+//! * simple predicates for quality constraints ([`predicate`]) and
+//!   their column-native compiled form ([`query`]) — name resolution,
+//!   literal interning and type folding done once, evaluation over
+//!   flat column slices into reusable selection vectors,
 //! * CSV import/export for interoperability ([`csv`]).
 //!
 //! # Example
@@ -49,6 +52,7 @@ pub mod error;
 pub mod join;
 pub mod ops;
 pub mod predicate;
+pub mod query;
 pub mod relation;
 pub mod schema;
 pub mod stats;
@@ -59,6 +63,7 @@ pub use column::{Column, ColumnMut, ColumnView, Dictionary, TextColumnMut};
 pub use domain::CategoricalDomain;
 pub use error::RelationError;
 pub use predicate::Predicate;
+pub use query::{CompiledPredicate, RowMask, SelectionVector};
 pub use relation::Relation;
 pub use schema::{AttrDef, AttrType, Schema, SchemaBuilder};
 pub use stats::FrequencyHistogram;

@@ -87,20 +87,21 @@ pub fn sample_exact(rel: &Relation, count: usize, seed: u64) -> Relation {
     rel.gather(&indices)
 }
 
-/// Rows satisfying `predicate`.
+/// Rows satisfying `predicate`, evaluated through the column-native
+/// query engine: the predicate is compiled once (names → column
+/// indices, text literals → dictionary codes), evaluated vectorized
+/// over the column slices, and the surviving rows are gathered by
+/// flat column copies — no per-row tuple is ever materialized.
 ///
 /// # Errors
 ///
-/// Propagates predicate evaluation errors (unknown attributes).
+/// [`RelationError::UnknownAttr`] when the predicate references an
+/// attribute `rel` does not have (reported at compile time, so an
+/// unknown attribute errors even on an empty relation).
 pub fn select(rel: &Relation, predicate: &Predicate) -> Result<Relation, RelationError> {
-    let mut rows = Vec::new();
-    for row in 0..rel.len() {
-        let tuple = rel.tuple(row).expect("row in range");
-        if predicate.eval(rel.schema(), &tuple)? {
-            rows.push(row);
-        }
-    }
-    Ok(rel.gather(&rows))
+    let compiled = crate::CompiledPredicate::compile(predicate, rel)?;
+    let rows = compiled.select(rel).expect("freshly compiled predicate matches its relation");
+    Ok(rel.gather_u32(&rows))
 }
 
 /// Vertical partition: project onto `indices`, with `indices[new_key]`

@@ -41,9 +41,18 @@ impl Predicate {
         Predicate::Eq(attr.to_owned(), value.into())
     }
 
-    /// `attr ∈ values`.
+    /// `attr ∈ values`. The list is sorted and deduplicated: the
+    /// compiled engine ([`crate::CompiledPredicate`]) consumes it as
+    /// a ready binary-searchable set, and equality of two `is_in`
+    /// predicates is order-independent. The row-at-a-time
+    /// [`Predicate::eval`] stays a plain scan — every hot path
+    /// (selection, guarded embeds) evaluates through the compiled
+    /// sorted/hashed lookups instead.
     pub fn is_in(attr: &str, values: impl IntoIterator<Item = Value>) -> Predicate {
-        Predicate::In(attr.to_owned(), values.into_iter().collect())
+        let mut values: Vec<Value> = values.into_iter().collect();
+        values.sort();
+        values.dedup();
+        Predicate::In(attr.to_owned(), values)
     }
 
     /// Conjunction builder.
@@ -78,6 +87,10 @@ impl Predicate {
             Predicate::Le(attr, v) => tuple.get(schema.index_of(attr)?) <= v,
             Predicate::Gt(attr, v) => tuple.get(schema.index_of(attr)?) > v,
             Predicate::Ge(attr, v) => tuple.get(schema.index_of(attr)?) >= v,
+            // A plain scan: this row-at-a-time path is cold (tests,
+            // one-off checks). Hot paths compile —
+            // [`crate::CompiledPredicate`] answers IN-lists through
+            // sorted binary search / dictionary-code tables.
             Predicate::In(attr, vs) => vs.contains(tuple.get(schema.index_of(attr)?)),
             Predicate::And(a, b) => a.eval(schema, tuple)? && b.eval(schema, tuple)?,
             Predicate::Or(a, b) => a.eval(schema, tuple)? || b.eval(schema, tuple)?,

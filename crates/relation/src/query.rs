@@ -1,0 +1,773 @@
+//! Column-native query engine: compiled predicates and vectorized
+//! selection.
+//!
+//! Section 4.1 puts query evaluation *inside* the embedding loop:
+//! every candidate mark is re-checked against the declared quality
+//! properties, so predicate and aggregate evaluation is a hot path,
+//! not an offline convenience. The interpreted [`Predicate`] walks a
+//! materialized row [`crate::Tuple`] per row — one heap `Value` per
+//! attribute per row — which is exactly the access pattern the
+//! columnar storage engine exists to avoid.
+//!
+//! [`CompiledPredicate`] is the column-native form. Compilation runs
+//! once per (predicate, relation) pair and does all the name and
+//! string work up front:
+//!
+//! * attribute names resolve to column indices exactly once;
+//! * comparisons against an integer column become typed `i64`
+//!   compares over the flat value slice;
+//! * every leaf over a text column — equality, ordering, IN-lists —
+//!   collapses into a per-dictionary-code truth table, so evaluation
+//!   is a single indexed load per row regardless of string length;
+//! * `IN`-lists over integers are sorted and deduplicated for binary
+//!   search (the interpreted path's linear scan degrades on large
+//!   lists);
+//! * type-mismatched leaves (an integer literal against a text
+//!   column) constant-fold to `true`/`false` under the total
+//!   [`Value`] order.
+//!
+//! Evaluation is vectorized: leaves fill a word-packed [`RowMask`]
+//! 64 rows at a time, boolean connectives combine masks wordwise, and
+//! the surviving row ids land in a reusable [`SelectionVector`] that
+//! [`Relation::gather_u32`] turns into an output relation by flat
+//! column copies. No tuple is ever materialized.
+//!
+//! # Binding contract
+//!
+//! A compiled predicate is bound to the relation it was compiled
+//! against: text truth tables are indexed by that relation's
+//! dictionary codes. Evaluation re-checks the binding (column types,
+//! plus a content fingerprint of every referenced dictionary —
+//! O(dictionary entries), not O(rows)) and errors when the relation
+//! has drifted — a relation mutated after compilation (new values
+//! interned) or a different relation altogether must be re-compiled.
+//!
+//! ```
+//! use catmark_relation::{AttrType, CompiledPredicate, Predicate, Relation, Schema, Value};
+//!
+//! let schema = Schema::builder()
+//!     .key_attr("k", AttrType::Integer)
+//!     .categorical_attr("city", AttrType::Text)
+//!     .build()
+//!     .unwrap();
+//! let mut rel = Relation::new(schema);
+//! for (k, city) in [(1, "boston"), (2, "austin"), (3, "boston")] {
+//!     rel.push(vec![Value::Int(k), Value::Text(city.into())]).unwrap();
+//! }
+//! let pred = Predicate::eq("city", "boston").and(Predicate::Gt("k".into(), Value::Int(1)));
+//! let compiled = CompiledPredicate::compile(&pred, &rel).unwrap();
+//! assert_eq!(compiled.select(&rel).unwrap(), vec![2]);
+//! ```
+
+use std::collections::HashSet;
+
+use crate::{ColumnView, Predicate, Relation, RelationError, Value};
+
+/// Reusable buffer of selected row ids (ascending), the query
+/// engine's working set between a predicate evaluation and the
+/// [`Relation::gather_u32`] that materializes the output. Reusing one
+/// vector across evaluations keeps steady-state selection
+/// allocation-free.
+#[derive(Debug, Clone, Default)]
+pub struct SelectionVector {
+    rows: Vec<u32>,
+}
+
+impl SelectionVector {
+    /// Empty selection.
+    #[must_use]
+    pub fn new() -> Self {
+        SelectionVector::default()
+    }
+
+    /// Selected row ids in ascending order.
+    #[must_use]
+    pub fn rows(&self) -> &[u32] {
+        &self.rows
+    }
+
+    /// Number of selected rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether no row is selected.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Drop all selected rows, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.rows.clear();
+    }
+}
+
+/// Word-packed per-row boolean mask — the intermediate representation
+/// predicates evaluate into. Bit `r` of word `r / 64` is row `r`'s
+/// verdict; connectives combine masks 64 rows per instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RowMask {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl RowMask {
+    /// Mask of `len` rows, every row set to `value`.
+    #[must_use]
+    pub fn filled(len: usize, value: bool) -> Self {
+        let fill = if value { u64::MAX } else { 0 };
+        let mut mask = RowMask { words: vec![fill; len.div_ceil(64)], len };
+        if value {
+            mask.trim_tail();
+        }
+        mask
+    }
+
+    /// Number of rows covered.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the mask covers zero rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Row `row`'s bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `row` is out of range.
+    #[must_use]
+    pub fn get(&self, row: usize) -> bool {
+        assert!(row < self.len, "row {row} out of mask range {}", self.len);
+        self.words[row / 64] >> (row % 64) & 1 == 1
+    }
+
+    /// Number of set rows.
+    #[must_use]
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Wordwise conjunction with `other` (equal lengths).
+    pub fn and(&mut self, other: &RowMask) {
+        debug_assert_eq!(self.len, other.len);
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            *w &= o;
+        }
+    }
+
+    /// Wordwise disjunction with `other` (equal lengths).
+    pub fn or(&mut self, other: &RowMask) {
+        debug_assert_eq!(self.len, other.len);
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            *w |= o;
+        }
+    }
+
+    /// Wordwise negation (tail bits beyond `len` stay clear).
+    pub fn negate(&mut self) {
+        for w in &mut self.words {
+            *w = !*w;
+        }
+        self.trim_tail();
+    }
+
+    /// Append the set rows (ascending) to `out`.
+    pub fn push_rows_into(&self, out: &mut SelectionVector) {
+        for (i, &word) in self.words.iter().enumerate() {
+            let mut w = word;
+            let base = (i * 64) as u32;
+            while w != 0 {
+                out.rows.push(base + w.trailing_zeros());
+                w &= w - 1;
+            }
+        }
+    }
+
+    /// Clear any bits beyond `len` in the last word.
+    fn trim_tail(&mut self) {
+        let tail = self.len % 64;
+        if tail != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+    }
+}
+
+/// Comparison operator of a compiled integer leaf.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl CmpOp {
+    fn eval<T: Ord>(self, lhs: &T, rhs: &T) -> bool {
+        match self {
+            CmpOp::Eq => lhs == rhs,
+            CmpOp::Ne => lhs != rhs,
+            CmpOp::Lt => lhs < rhs,
+            CmpOp::Le => lhs <= rhs,
+            CmpOp::Gt => lhs > rhs,
+            CmpOp::Ge => lhs >= rhs,
+        }
+    }
+
+    /// The verdict when the left side is an integer column value and
+    /// the right side a text literal: under the total [`Value`] order
+    /// every integer sorts before every text, so the leaf is constant.
+    fn int_vs_text(self) -> bool {
+        match self {
+            CmpOp::Eq | CmpOp::Gt | CmpOp::Ge => false,
+            CmpOp::Ne | CmpOp::Lt | CmpOp::Le => true,
+        }
+    }
+
+    /// The mirror case: a text column value against an integer
+    /// literal.
+    fn text_vs_int(self) -> bool {
+        match self {
+            CmpOp::Eq | CmpOp::Lt | CmpOp::Le => false,
+            CmpOp::Ne | CmpOp::Gt | CmpOp::Ge => true,
+        }
+    }
+}
+
+/// One node of the compiled predicate tree.
+#[derive(Debug, Clone)]
+enum Node {
+    /// Constant verdict (folded type mismatches, `Predicate::True`,
+    /// empty IN-lists).
+    Const(bool),
+    /// Typed compare over an integer column's flat slice.
+    IntCmp { col: usize, op: CmpOp, rhs: i64 },
+    /// Sorted-set membership over an integer column (binary search).
+    IntIn { col: usize, set: Vec<i64> },
+    /// Per-dictionary-code truth table over a text column: position
+    /// `c` answers for every row whose code is `c`.
+    CodeTable { col: usize, table: Box<[bool]> },
+    /// Conjunction.
+    And(Box<Node>, Box<Node>),
+    /// Disjunction.
+    Or(Box<Node>, Box<Node>),
+    /// Negation.
+    Not(Box<Node>),
+}
+
+/// A [`Predicate`] compiled against one relation's schema and
+/// dictionary layout — see the [module docs](self) for the
+/// compilation model and binding contract.
+#[derive(Debug, Clone)]
+pub struct CompiledPredicate {
+    node: Node,
+    /// Arity of the schema compiled against, for a cheap re-binding
+    /// sanity check.
+    arity: usize,
+    /// Per referenced text column: the fingerprint of the dictionary
+    /// its truth tables were compiled over.
+    text_bindings: Vec<(usize, u64)>,
+}
+
+impl CompiledPredicate {
+    /// Compile `pred` against `rel`: resolve attribute names, intern
+    /// text literals into dictionary-code truth tables, fold type
+    /// mismatches.
+    ///
+    /// # Errors
+    ///
+    /// [`RelationError::UnknownAttr`] when the predicate references an
+    /// attribute `rel` does not have.
+    pub fn compile(pred: &Predicate, rel: &Relation) -> Result<Self, RelationError> {
+        let node = compile_node(pred, rel)?;
+        let mut text_bindings = Vec::new();
+        collect_text_bindings(&node, rel, &mut text_bindings);
+        Ok(CompiledPredicate { node, arity: rel.schema().arity(), text_bindings })
+    }
+
+    /// Evaluate over every row of `rel` into a fresh [`RowMask`].
+    ///
+    /// # Errors
+    ///
+    /// [`RelationError::InvalidSchema`] when `rel` does not match the
+    /// relation this predicate was compiled against (different arity,
+    /// column types, or a dictionary that grew since compilation).
+    pub fn eval_mask(&self, rel: &Relation) -> Result<RowMask, RelationError> {
+        self.check_binding(rel)?;
+        Ok(eval_node(&self.node, rel))
+    }
+
+    /// Evaluate and append the satisfying row ids to `out` (which is
+    /// cleared first). The buffer is reusable across evaluations.
+    ///
+    /// # Errors
+    ///
+    /// As [`CompiledPredicate::eval_mask`].
+    pub fn select_into(
+        &self,
+        rel: &Relation,
+        out: &mut SelectionVector,
+    ) -> Result<(), RelationError> {
+        out.clear();
+        let mask = self.eval_mask(rel)?;
+        out.rows.reserve(mask.count_ones());
+        mask.push_rows_into(out);
+        Ok(())
+    }
+
+    /// Evaluate into a fresh row-id vector.
+    ///
+    /// # Errors
+    ///
+    /// As [`CompiledPredicate::eval_mask`].
+    pub fn select(&self, rel: &Relation) -> Result<Vec<u32>, RelationError> {
+        let mut out = SelectionVector::new();
+        self.select_into(rel, &mut out)?;
+        Ok(out.rows)
+    }
+
+    /// Verify `rel` still matches the compiled binding: every leaf's
+    /// column must exist with the compiled type, and every referenced
+    /// text column's dictionary must hold the exact entries (checked
+    /// by content fingerprint) the truth tables were compiled over.
+    /// O(leaves + referenced dictionary entries), not O(rows).
+    fn check_binding(&self, rel: &Relation) -> Result<(), RelationError> {
+        if rel.schema().arity() != self.arity {
+            return Err(RelationError::InvalidSchema(format!(
+                "predicate compiled against arity {}, relation has {}",
+                self.arity,
+                rel.schema().arity()
+            )));
+        }
+        check_node_binding(&self.node, rel)?;
+        for &(col, fingerprint) in &self.text_bindings {
+            match rel.column(col) {
+                ColumnView::Text { dict, .. } if dict_fingerprint(dict) == fingerprint => {}
+                _ => {
+                    return Err(RelationError::InvalidSchema(format!(
+                        "column {col}'s dictionary differs from the one this predicate was \
+                         compiled against; re-compile"
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// FNV-1a over a dictionary's entries (length-prefixed) — the content
+/// fingerprint that pins a compiled truth table to the exact
+/// dictionary layout it indexes.
+fn dict_fingerprint(dict: &crate::Dictionary) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    let mut write = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x1000_0000_01B3);
+        }
+    };
+    for entry in dict.entries() {
+        write(&(entry.len() as u64).to_le_bytes());
+        write(entry.as_bytes());
+    }
+    h
+}
+
+/// Record, per text column the compiled tree references, the
+/// fingerprint of the dictionary its truth tables index.
+fn collect_text_bindings(node: &Node, rel: &Relation, out: &mut Vec<(usize, u64)>) {
+    match node {
+        Node::CodeTable { col, .. } => {
+            if !out.iter().any(|&(c, _)| c == *col) {
+                if let ColumnView::Text { dict, .. } = rel.column(*col) {
+                    out.push((*col, dict_fingerprint(dict)));
+                }
+            }
+        }
+        Node::And(a, b) | Node::Or(a, b) => {
+            collect_text_bindings(a, rel, out);
+            collect_text_bindings(b, rel, out);
+        }
+        Node::Not(p) => collect_text_bindings(p, rel, out),
+        Node::Const(_) | Node::IntCmp { .. } | Node::IntIn { .. } => {}
+    }
+}
+
+fn check_node_binding(node: &Node, rel: &Relation) -> Result<(), RelationError> {
+    let type_drift = |col: usize| {
+        RelationError::InvalidSchema(format!(
+            "predicate compiled against a different relation: column {col} changed type"
+        ))
+    };
+    match node {
+        Node::Const(_) => Ok(()),
+        Node::IntCmp { col, .. } | Node::IntIn { col, .. } => match rel.column(*col) {
+            ColumnView::Int(_) => Ok(()),
+            ColumnView::Text { .. } => Err(type_drift(*col)),
+        },
+        Node::CodeTable { col, table } => match rel.column(*col) {
+            ColumnView::Text { dict, .. } if dict.len() == table.len() => Ok(()),
+            ColumnView::Text { .. } => Err(RelationError::InvalidSchema(format!(
+                "column {col}'s dictionary changed since predicate compilation; re-compile"
+            ))),
+            ColumnView::Int(_) => Err(type_drift(*col)),
+        },
+        Node::And(a, b) | Node::Or(a, b) => {
+            check_node_binding(a, rel)?;
+            check_node_binding(b, rel)
+        }
+        Node::Not(p) => check_node_binding(p, rel),
+    }
+}
+
+fn compile_node(pred: &Predicate, rel: &Relation) -> Result<Node, RelationError> {
+    Ok(match pred {
+        Predicate::Eq(attr, v) => compile_cmp(rel, attr, CmpOp::Eq, v)?,
+        Predicate::Ne(attr, v) => compile_cmp(rel, attr, CmpOp::Ne, v)?,
+        Predicate::Lt(attr, v) => compile_cmp(rel, attr, CmpOp::Lt, v)?,
+        Predicate::Le(attr, v) => compile_cmp(rel, attr, CmpOp::Le, v)?,
+        Predicate::Gt(attr, v) => compile_cmp(rel, attr, CmpOp::Gt, v)?,
+        Predicate::Ge(attr, v) => compile_cmp(rel, attr, CmpOp::Ge, v)?,
+        Predicate::In(attr, vs) => compile_in(rel, attr, vs)?,
+        // Connectives fold through constant operands (type-mismatched
+        // leaves, empty IN-lists), so statically-decided subtrees
+        // never pay a vectorized scan.
+        Predicate::And(a, b) => match (compile_node(a, rel)?, compile_node(b, rel)?) {
+            (Node::Const(false), _) | (_, Node::Const(false)) => Node::Const(false),
+            (Node::Const(true), n) | (n, Node::Const(true)) => n,
+            (a, b) => Node::And(Box::new(a), Box::new(b)),
+        },
+        Predicate::Or(a, b) => match (compile_node(a, rel)?, compile_node(b, rel)?) {
+            (Node::Const(true), _) | (_, Node::Const(true)) => Node::Const(true),
+            (Node::Const(false), n) | (n, Node::Const(false)) => n,
+            (a, b) => Node::Or(Box::new(a), Box::new(b)),
+        },
+        Predicate::Not(p) => match compile_node(p, rel)? {
+            Node::Const(b) => Node::Const(!b),
+            n => Node::Not(Box::new(n)),
+        },
+        Predicate::True => Node::Const(true),
+    })
+}
+
+fn compile_cmp(rel: &Relation, attr: &str, op: CmpOp, rhs: &Value) -> Result<Node, RelationError> {
+    let col = rel.schema().index_of(attr)?;
+    Ok(match (rel.column(col), rhs) {
+        (ColumnView::Int(_), Value::Int(v)) => Node::IntCmp { col, op, rhs: *v },
+        (ColumnView::Int(_), Value::Text(_)) => Node::Const(op.int_vs_text()),
+        (ColumnView::Text { .. }, Value::Int(_)) => Node::Const(op.text_vs_int()),
+        (ColumnView::Text { dict, .. }, Value::Text(s)) => {
+            let table: Box<[bool]> =
+                (0..dict.len()).map(|c| op.eval(&dict.get(c as u32), &s.as_str())).collect();
+            Node::CodeTable { col, table }
+        }
+    })
+}
+
+fn compile_in(rel: &Relation, attr: &str, vs: &[Value]) -> Result<Node, RelationError> {
+    let col = rel.schema().index_of(attr)?;
+    Ok(match rel.column(col) {
+        ColumnView::Int(_) => {
+            // Only integer literals can match an integer column.
+            let mut set: Vec<i64> = vs.iter().filter_map(Value::as_int).collect();
+            set.sort_unstable();
+            set.dedup();
+            if set.is_empty() {
+                Node::Const(false)
+            } else {
+                Node::IntIn { col, set }
+            }
+        }
+        ColumnView::Text { dict, .. } => {
+            let wanted: HashSet<&str> = vs.iter().filter_map(Value::as_text).collect();
+            if wanted.is_empty() {
+                Node::Const(false)
+            } else {
+                let table: Box<[bool]> =
+                    (0..dict.len()).map(|c| wanted.contains(dict.get(c as u32))).collect();
+                Node::CodeTable { col, table }
+            }
+        }
+    })
+}
+
+fn eval_node(node: &Node, rel: &Relation) -> RowMask {
+    let len = rel.len();
+    match node {
+        Node::Const(b) => RowMask::filled(len, *b),
+        Node::IntCmp { col, op, rhs } => {
+            let xs = rel.column(*col).as_int().expect("binding checked");
+            let op = *op;
+            let rhs = *rhs;
+            mask_from(len, xs, |x| op.eval(&x, &rhs))
+        }
+        Node::IntIn { col, set } => {
+            let xs = rel.column(*col).as_int().expect("binding checked");
+            mask_from(len, xs, |x| set.binary_search(&x).is_ok())
+        }
+        Node::CodeTable { col, table } => {
+            let (codes, _) = rel.column(*col).as_text().expect("binding checked");
+            mask_from(len, codes, |c| table[c as usize])
+        }
+        Node::And(a, b) => {
+            let mut m = eval_node(a, rel);
+            m.and(&eval_node(b, rel));
+            m
+        }
+        Node::Or(a, b) => {
+            let mut m = eval_node(a, rel);
+            m.or(&eval_node(b, rel));
+            m
+        }
+        Node::Not(p) => {
+            let mut m = eval_node(p, rel);
+            m.negate();
+            m
+        }
+    }
+}
+
+/// One column's rows as dense `u32` codes plus the code → value
+/// table — the bridge that lets consumers (group-bys, classifier
+/// training, rule counting) run their counting loops over small
+/// integers and materialize a [`Value`] once per *distinct* value.
+///
+/// Text columns reuse their dictionary codes directly (the table may
+/// carry entries no row references, with zero occurrences); integer
+/// columns get first-occurrence dense ids.
+#[must_use]
+pub fn dense_codes(rel: &Relation, attr_idx: usize) -> (Vec<u32>, Vec<Value>) {
+    match rel.column(attr_idx) {
+        ColumnView::Int(xs) => {
+            let mut ids: std::collections::HashMap<i64, u32> = std::collections::HashMap::new();
+            let mut values = Vec::new();
+            let codes = xs
+                .iter()
+                .map(|&x| {
+                    *ids.entry(x).or_insert_with(|| {
+                        values.push(Value::Int(x));
+                        (values.len() - 1) as u32
+                    })
+                })
+                .collect();
+            (codes, values)
+        }
+        ColumnView::Text { codes, dict } => {
+            let values =
+                (0..dict.len()).map(|c| Value::Text(dict.get(c as u32).to_owned())).collect();
+            (codes.to_vec(), values)
+        }
+    }
+}
+
+/// Fill a mask from a flat column slice, 64 rows per word.
+fn mask_from<T: Copy>(len: usize, xs: &[T], f: impl Fn(T) -> bool) -> RowMask {
+    let mut words = Vec::with_capacity(len.div_ceil(64));
+    for chunk in xs.chunks(64) {
+        let mut w = 0u64;
+        for (j, &x) in chunk.iter().enumerate() {
+            w |= u64::from(f(x)) << j;
+        }
+        words.push(w);
+    }
+    RowMask { words, len }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AttrType, Schema};
+
+    fn fixture() -> Relation {
+        let schema = Schema::builder()
+            .key_attr("k", AttrType::Integer)
+            .categorical_attr("city", AttrType::Text)
+            .categorical_attr("n", AttrType::Integer)
+            .build()
+            .unwrap();
+        let mut rel = Relation::new(schema);
+        let cities = ["boston", "austin", "boston", "chicago", "austin", "boston"];
+        for (i, city) in cities.iter().enumerate() {
+            rel.push(vec![
+                Value::Int(i as i64),
+                Value::Text((*city).into()),
+                Value::Int((i as i64) % 3),
+            ])
+            .unwrap();
+        }
+        rel
+    }
+
+    /// Row ids the interpreted predicate selects — the reference the
+    /// compiled engine must agree with.
+    fn interpreted(rel: &Relation, pred: &Predicate) -> Vec<u32> {
+        (0..rel.len())
+            .filter(|&row| pred.eval(rel.schema(), &rel.tuple(row).unwrap()).unwrap())
+            .map(|row| row as u32)
+            .collect()
+    }
+
+    fn assert_agrees(rel: &Relation, pred: &Predicate) {
+        let compiled = CompiledPredicate::compile(pred, rel).unwrap();
+        assert_eq!(compiled.select(rel).unwrap(), interpreted(rel, pred), "pred: {pred:?}");
+    }
+
+    #[test]
+    fn int_comparisons_agree_with_interpreter() {
+        let rel = fixture();
+        for op in [
+            Predicate::Eq("n".into(), Value::Int(1)),
+            Predicate::Ne("n".into(), Value::Int(1)),
+            Predicate::Lt("k".into(), Value::Int(3)),
+            Predicate::Le("k".into(), Value::Int(3)),
+            Predicate::Gt("k".into(), Value::Int(3)),
+            Predicate::Ge("k".into(), Value::Int(3)),
+        ] {
+            assert_agrees(&rel, &op);
+        }
+    }
+
+    #[test]
+    fn text_leaves_collapse_to_code_tables() {
+        let rel = fixture();
+        for op in [
+            Predicate::Eq("city".into(), Value::Text("boston".into())),
+            Predicate::Ne("city".into(), Value::Text("boston".into())),
+            Predicate::Lt("city".into(), Value::Text("boston".into())),
+            Predicate::Ge("city".into(), Value::Text("boston".into())),
+            Predicate::is_in("city", [Value::Text("austin".into()), Value::Text("chicago".into())]),
+        ] {
+            assert_agrees(&rel, &op);
+        }
+    }
+
+    #[test]
+    fn type_mismatches_constant_fold_like_the_value_order() {
+        let rel = fixture();
+        // Int column vs text literal, text column vs int literal —
+        // every operator, both directions.
+        for op in ["Eq", "Ne", "Lt", "Le", "Gt", "Ge"] {
+            let mk = |attr: &str, v: Value| match op {
+                "Eq" => Predicate::Eq(attr.into(), v),
+                "Ne" => Predicate::Ne(attr.into(), v),
+                "Lt" => Predicate::Lt(attr.into(), v),
+                "Le" => Predicate::Le(attr.into(), v),
+                "Gt" => Predicate::Gt(attr.into(), v),
+                _ => Predicate::Ge(attr.into(), v),
+            };
+            assert_agrees(&rel, &mk("k", Value::Text("zzz".into())));
+            assert_agrees(&rel, &mk("city", Value::Int(5)));
+        }
+    }
+
+    #[test]
+    fn mixed_in_lists_keep_only_matching_types() {
+        let rel = fixture();
+        let p = Predicate::is_in("n", [Value::Int(0), Value::Text("boston".into())]);
+        assert_agrees(&rel, &p);
+        let p = Predicate::is_in("city", [Value::Int(0), Value::Text("boston".into())]);
+        assert_agrees(&rel, &p);
+        // All-foreign-type lists fold to constant false.
+        let p = Predicate::is_in("n", [Value::Text("x".into())]);
+        assert_agrees(&rel, &p);
+    }
+
+    #[test]
+    fn connectives_combine_masks() {
+        let rel = fixture();
+        let p = Predicate::eq("city", "boston")
+            .and(Predicate::Gt("k".into(), Value::Int(0)))
+            .or(Predicate::eq("n", 2))
+            .negate();
+        assert_agrees(&rel, &p);
+        assert_agrees(&rel, &Predicate::True);
+    }
+
+    #[test]
+    fn selection_vector_is_reusable() {
+        let rel = fixture();
+        let all = CompiledPredicate::compile(&Predicate::True, &rel).unwrap();
+        let none = CompiledPredicate::compile(&Predicate::eq("k", 99), &rel).unwrap();
+        let mut sel = SelectionVector::new();
+        all.select_into(&rel, &mut sel).unwrap();
+        assert_eq!(sel.len(), rel.len());
+        none.select_into(&rel, &mut sel).unwrap();
+        assert!(sel.is_empty(), "select_into clears previous contents");
+    }
+
+    #[test]
+    fn unknown_attribute_errors_at_compile_time() {
+        let rel = fixture();
+        let err = CompiledPredicate::compile(&Predicate::eq("missing", 1), &rel);
+        assert!(matches!(err, Err(RelationError::UnknownAttr(_))));
+    }
+
+    #[test]
+    fn binding_drift_is_detected() {
+        let rel = fixture();
+        let p = CompiledPredicate::compile(&Predicate::eq("city", "boston"), &rel).unwrap();
+        // Same relation: fine.
+        assert!(p.eval_mask(&rel).is_ok());
+        // Dictionary grew: refused.
+        let mut grown = rel.clone();
+        grown.update_value(0, 1, Value::Text("nyc".into())).unwrap();
+        assert!(matches!(p.eval_mask(&grown), Err(RelationError::InvalidSchema(_))));
+        // Same schema and dictionary *size* but different interning
+        // order: the content fingerprint refuses it.
+        let mut reordered = Relation::new(rel.schema().clone());
+        for (k, city) in [(1, "austin"), (2, "boston"), (3, "chicago")] {
+            reordered.push(vec![Value::Int(k), Value::Text(city.into()), Value::Int(0)]).unwrap();
+        }
+        assert!(matches!(p.eval_mask(&reordered), Err(RelationError::InvalidSchema(_))));
+        // Different arity: refused.
+        let other =
+            Relation::new(Schema::builder().key_attr("k", AttrType::Integer).build().unwrap());
+        assert!(p.eval_mask(&other).is_err());
+    }
+
+    #[test]
+    fn row_mask_bit_operations() {
+        let mut m = RowMask::filled(70, false);
+        assert_eq!(m.len(), 70);
+        assert_eq!(m.count_ones(), 0);
+        m.negate();
+        assert_eq!(m.count_ones(), 70, "negation must not set tail bits");
+        assert!(m.get(69));
+        let full = RowMask::filled(70, true);
+        assert_eq!(m, full);
+        let mut sel = SelectionVector::new();
+        m.push_rows_into(&mut sel);
+        assert_eq!(sel.rows().first(), Some(&0));
+        assert_eq!(sel.rows().last(), Some(&69));
+    }
+
+    #[test]
+    fn large_int_in_list_uses_sorted_lookup() {
+        let schema = Schema::builder()
+            .key_attr("k", AttrType::Integer)
+            .categorical_attr("a", AttrType::Integer)
+            .build()
+            .unwrap();
+        let mut rel = Relation::new(schema);
+        for i in 0..1000i64 {
+            rel.push(vec![Value::Int(i), Value::Int(i % 97)]).unwrap();
+        }
+        // A big unsorted IN-list with duplicates.
+        let vs: Vec<Value> = (0..500).rev().map(|i| Value::Int(i % 50)).collect();
+        let p = Predicate::In("a".into(), vs);
+        let compiled = CompiledPredicate::compile(&p, &rel).unwrap();
+        let got = compiled.select(&rel).unwrap();
+        let want: Vec<u32> = (0..1000u32).filter(|&i| i64::from(i) % 97 < 50).collect();
+        assert_eq!(got, want);
+    }
+}

@@ -33,8 +33,15 @@ impl FrequencyHistogram {
         let mut counts = vec![0u64; domain.len()];
         match rel.column(attr_idx) {
             crate::ColumnView::Int(xs) => {
+                // Count per distinct integer first: one domain lookup
+                // per distinct value instead of one per row.
+                let mut per_value: std::collections::HashMap<i64, u64> =
+                    std::collections::HashMap::new();
                 for &x in xs {
-                    counts[domain.index_of(&Value::Int(x))?] += 1;
+                    *per_value.entry(x).or_insert(0) += 1;
+                }
+                for (x, n) in per_value {
+                    counts[domain.index_of(&Value::Int(x))?] += n;
                 }
             }
             crate::ColumnView::Text { codes, dict } => {

@@ -136,3 +136,89 @@ fn datagen_content_is_pinned() {
 
 const GOLDEN_DATAGEN_PLAIN: u64 = 0x2211_08da_077a_8d0e;
 const GOLDEN_DATAGEN_CITY: u64 = 0xce18_0b2b_394e_b3bd;
+
+struct GoldenGuardedRun {
+    marked_fnv: u64,
+    altered: usize,
+    vetoed: usize,
+    decoded_bits: String,
+}
+
+/// Guarded embed through the constraint language: budgets, frequency
+/// drift, and the `preserve count` queries of
+/// `core::query_preserve`. Pinned from the value-space (row-tuple)
+/// constraint path so the code-space port must admit and veto the
+/// exact same alterations.
+fn run_guarded(tuples: usize, e: u64, wm_pattern: u64, program: &str) -> GoldenGuardedRun {
+    let gen = SalesGenerator::new(ItemScanConfig { tuples, ..Default::default() });
+    let mut rel = gen.generate();
+    let domain = gen.item_domain();
+    let spec = WatermarkSpec::builder(domain.clone())
+        .master_key("golden-byte-identity")
+        .e(e)
+        .wm_len(10)
+        .expected_tuples(tuples)
+        .erasure(catmark::core::decode::ErasurePolicy::Abstain)
+        .build()
+        .unwrap();
+    let wm = Watermark::from_u64(wm_pattern, 10);
+    let session = MarkSession::builder(spec)
+        .key_column("visit_nbr")
+        .target_column("item_nbr")
+        .bind(&rel)
+        .unwrap();
+    let mut guard = catmark::core::constraint_lang::compile(program, &rel, 1, &domain).unwrap();
+    let report = session.embed_guarded(&mut rel, &wm, &mut guard).unwrap();
+    let decode = session.decode(&rel).unwrap();
+    GoldenGuardedRun {
+        marked_fnv: content_fnv(&rel),
+        altered: report.altered,
+        vetoed: report.vetoed,
+        decoded_bits: wm_bits(&decode.watermark),
+    }
+}
+
+/// Constraint programs exercised by the guarded golden: every clause
+/// kind the language compiles (budget, drift, immutable, allow,
+/// preserve-count in/range forms).
+const GUARDED_PROGRAMS: &[&str] = &[
+    "budget 3%\n\
+     drift <= 0.08\n\
+     preserve count in (10005, 10017, 10042) tolerance 2\n\
+     preserve count range 10100..10160 tolerance 1%\n",
+    "budget 150\n\
+     immutable 0..500\n\
+     allow in (10003, 10010, 10011, 10024, 10101, 10102, 10500, 10501, 10502, 10777)\n\
+     preserve count in (10003) tolerance 0\n",
+];
+
+/// `(tuples, e, wm, program_idx, marked_fnv, altered, vetoed, decoded)`
+/// — captured from the value-space (pre-query-engine) guarded path.
+#[allow(clippy::type_complexity)]
+const GUARDED_GOLDENS: &[(usize, u64, u64, usize, u64, usize, usize, &str)] = &[
+    (6_000, 20, 0b10_1100_1110, 0, 0x358b_9c26_5f49_9aad, 180, 144, "1011001110"),
+    (6_000, 20, 0b10_1100_1110, 1, 0x434f_9275_9020_dd3b, 1, 323, "0100000000"),
+    (4_000, 40, 0b01_0011_0001, 0, 0x1a36_bde1_b270_dce1, 94, 0, "0100110001"),
+];
+
+#[test]
+fn guarded_embed_matches_pre_query_engine_goldens() {
+    if std::env::var("GOLDEN_PRINT").is_ok() {
+        for &(tuples, e, wm, prog, ..) in GUARDED_GOLDENS {
+            let g = run_guarded(tuples, e, wm, GUARDED_PROGRAMS[prog]);
+            println!(
+                "    ({tuples}, {e}, {wm:#012b}, {prog}, {:#018x}, {}, {}, {:?}),",
+                g.marked_fnv, g.altered, g.vetoed, g.decoded_bits
+            );
+        }
+        return;
+    }
+    for &(tuples, e, wm, prog, marked_fnv, altered, vetoed, decoded) in GUARDED_GOLDENS {
+        let g = run_guarded(tuples, e, wm, GUARDED_PROGRAMS[prog]);
+        let label = format!("tuples={tuples} e={e} wm={wm:#b} program={prog}");
+        assert_eq!(g.marked_fnv, marked_fnv, "guarded content drift: {label}");
+        assert_eq!(g.altered, altered, "guarded alteration drift: {label}");
+        assert_eq!(g.vetoed, vetoed, "guarded veto drift: {label}");
+        assert_eq!(g.decoded_bits, decoded, "guarded decode drift: {label}");
+    }
+}

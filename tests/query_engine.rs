@@ -1,0 +1,354 @@
+//! Property tests for the column-native query engine: the compiled
+//! predicate/selection path must be observationally identical to the
+//! interpreted row-tuple path, and the code-space quality-guard fast
+//! path must admit and veto exactly like the value-space path.
+
+use catmark::core::quality::{
+    AllowedReplacements, Alteration, AlterationBudget, CodedAlteration, FrequencyDriftLimit,
+    ImmutableRows, QualityConstraint, QualityGuard,
+};
+use catmark::core::query_preserve::{CountQuery, CountQueryPreservation, Tolerance, ValueSet};
+use catmark::prelude::*;
+use catmark::relation::join;
+use catmark::relation::ops;
+use catmark::relation::{CompiledPredicate, Predicate};
+use proptest::prelude::*;
+
+/// Deterministic xorshift closure for structure generation.
+fn rng_from(seed: u64) -> impl FnMut() -> u64 {
+    let mut state = seed | 1;
+    move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    }
+}
+
+const TEXT_POOL: &[&str] = &["red", "green", "blue", "cyan", "violet"];
+
+/// A relation with an integer key, an integer categorical and a text
+/// categorical, driven entirely by the seed.
+fn relation_for(seed: u64, tuples: usize) -> Relation {
+    let schema = Schema::builder()
+        .key_attr("k", AttrType::Integer)
+        .categorical_attr("a", AttrType::Integer)
+        .categorical_attr("c", AttrType::Text)
+        .build()
+        .unwrap();
+    let mut next = rng_from(seed);
+    let mut rel = Relation::with_capacity(schema, tuples);
+    for i in 0..tuples as i64 {
+        let a = (next() % 12) as i64 - 3;
+        let c = TEXT_POOL[(next() % 3) as usize]; // only the first 3 appear in rows
+        rel.push(vec![Value::Int(i), Value::Int(a), Value::Text(c.into())]).unwrap();
+    }
+    rel
+}
+
+/// A random literal: integers straddling the column range, text both
+/// interned and foreign.
+fn literal_for(next: &mut impl FnMut() -> u64) -> Value {
+    if next().is_multiple_of(2) {
+        Value::Int((next() % 16) as i64 - 5)
+    } else {
+        Value::Text(TEXT_POOL[(next() % TEXT_POOL.len() as u64) as usize].into())
+    }
+}
+
+/// A random predicate tree of bounded depth over attributes `k`, `a`,
+/// `c` — every leaf kind (all six comparisons, IN-lists with mixed
+/// types, True) and every connective.
+fn predicate_for(next: &mut impl FnMut() -> u64, depth: usize) -> Predicate {
+    let attr = ["k", "a", "c"][(next() % 3) as usize];
+    if depth > 0 && next().is_multiple_of(3) {
+        let l = predicate_for(next, depth - 1);
+        match next() % 3 {
+            0 => l.and(predicate_for(next, depth - 1)),
+            1 => l.or(predicate_for(next, depth - 1)),
+            _ => l.negate(),
+        }
+    } else {
+        match next() % 8 {
+            0 => Predicate::Eq(attr.into(), literal_for(next)),
+            1 => Predicate::Ne(attr.into(), literal_for(next)),
+            2 => Predicate::Lt(attr.into(), literal_for(next)),
+            3 => Predicate::Le(attr.into(), literal_for(next)),
+            4 => Predicate::Gt(attr.into(), literal_for(next)),
+            5 => Predicate::Ge(attr.into(), literal_for(next)),
+            6 => {
+                let n = next() % 6;
+                Predicate::is_in(attr, (0..n).map(|_| literal_for(next)))
+            }
+            _ => Predicate::True,
+        }
+    }
+}
+
+/// The interpreted row-tuple reference: per-row `Predicate::eval`.
+fn interpreted_rows(rel: &Relation, pred: &Predicate) -> Vec<u32> {
+    (0..rel.len())
+        .filter(|&row| pred.eval(rel.schema(), &rel.tuple(row).unwrap()).unwrap())
+        .map(|row| row as u32)
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Compiled evaluation selects exactly the rows the interpreted
+    /// predicate selects, on random relations and predicate trees.
+    #[test]
+    fn compiled_predicate_matches_interpreter(seed in any::<u64>()) {
+        let mut next = rng_from(seed);
+        let rel = relation_for(next(), 200);
+        for _ in 0..8 {
+            let pred = predicate_for(&mut next, 3);
+            let compiled = CompiledPredicate::compile(&pred, &rel).unwrap();
+            prop_assert_eq!(
+                compiled.select(&rel).unwrap(),
+                interpreted_rows(&rel, &pred),
+                "predicate {:?}",
+                pred
+            );
+        }
+    }
+
+    /// `ops::select` output equals the gather of the interpreted row
+    /// set — same rows, same order, logically equal columns.
+    #[test]
+    fn select_output_is_row_identical(seed in any::<u64>()) {
+        let mut next = rng_from(seed);
+        let rel = relation_for(next(), 150);
+        let pred = predicate_for(&mut next, 2);
+        let selected = ops::select(&rel, &pred).unwrap();
+        let reference: Vec<usize> =
+            interpreted_rows(&rel, &pred).iter().map(|&r| r as usize).collect();
+        let expected = rel.gather(&reference);
+        prop_assert_eq!(selected.len(), expected.len());
+        prop_assert!(selected.iter().zip(expected.iter()).all(|(x, y)| x == y));
+    }
+
+    /// The code-space hash join produces exactly the rows (and row
+    /// order) of a naive nested-loop tuple join.
+    #[test]
+    fn hash_join_matches_nested_loop(seed in any::<u64>()) {
+        let mut next = rng_from(seed);
+        let left = relation_for(next(), 80);
+        // Right side: its own schema, text key joined on text attr.
+        let schema = Schema::builder()
+            .key_attr("color", AttrType::Text)
+            .categorical_attr("w", AttrType::Integer)
+            .build()
+            .unwrap();
+        let mut right = Relation::new(schema);
+        for (i, color) in TEXT_POOL.iter().enumerate() {
+            if !next().is_multiple_of(4) {
+                right
+                    .push_unchecked_key(vec![Value::Text((*color).into()), Value::Int(i as i64)])
+                    .unwrap();
+            }
+        }
+        // Duplicate right row: one-to-many fan-out.
+        if !right.is_empty() {
+            let dup = right.tuple(0).unwrap().values().to_vec();
+            right.push_unchecked_key(dup).unwrap();
+        }
+        let joined = join::hash_join(&left, &right, "c", "color").unwrap();
+        // Nested-loop reference in the same left-major, right-ascending
+        // order the build/probe join emits.
+        let mut expected: Vec<Vec<Value>> = Vec::new();
+        for lt in left.iter() {
+            for rt in right.iter() {
+                if lt.get(2) == rt.get(0) {
+                    let mut row = lt.values().to_vec();
+                    row.extend_from_slice(rt.values());
+                    expected.push(row);
+                }
+            }
+        }
+        prop_assert_eq!(joined.len(), expected.len());
+        for (got, want) in joined.iter().zip(&expected) {
+            prop_assert_eq!(got.values(), &want[..]);
+        }
+    }
+
+    /// Code-space `distinct` keeps exactly the first occurrence of
+    /// every distinct tuple, in row order.
+    #[test]
+    fn distinct_matches_value_semantics(seed in any::<u64>()) {
+        let mut next = rng_from(seed);
+        // Low-cardinality relation with duplicate rows (duplicate keys
+        // included via push_unchecked_key).
+        let schema = Schema::builder()
+            .key_attr("k", AttrType::Integer)
+            .categorical_attr("c", AttrType::Text)
+            .build()
+            .unwrap();
+        let mut rel = Relation::new(schema);
+        for _ in 0..120 {
+            let k = (next() % 10) as i64;
+            let c = TEXT_POOL[(next() % 3) as usize];
+            rel.push_unchecked_key(vec![Value::Int(k), Value::Text(c.into())]).unwrap();
+        }
+        let got = join::distinct(&rel);
+        let mut seen = std::collections::HashSet::new();
+        let expected: Vec<usize> = (0..rel.len())
+            .filter(|&row| seen.insert(rel.tuple(row).unwrap().values().to_vec()))
+            .collect();
+        let want = rel.gather(&expected);
+        prop_assert_eq!(got.len(), want.len());
+        prop_assert!(got.iter().zip(want.iter()).all(|(x, y)| x == y));
+    }
+
+    /// The guard's coded fast path and the value path make identical
+    /// admit/veto decisions and leave identical rollback logs, over a
+    /// full constraint stack (budget, immutable rows, allow-list,
+    /// frequency drift, count-query preservation).
+    #[test]
+    fn coded_guard_decides_like_value_guard(seed in any::<u64>()) {
+        let mut next = rng_from(seed);
+        let rel = relation_for(next(), 300);
+        let domain = CategoricalDomain::new((-3..9).map(Value::Int).collect()).unwrap();
+        let attr = 1; // the integer categorical "a"
+        let build_stack = || -> Vec<Box<dyn QualityConstraint>> {
+            vec![
+                Box::new(AlterationBudget::new(40)),
+                Box::new(ImmutableRows::new([2, 3, 5, 8, 13])),
+                Box::new(AllowedReplacements::new((-3..6).map(Value::Int))),
+                Box::new(FrequencyDriftLimit::new(&rel, attr, &domain, 0.15).unwrap()),
+                Box::new(CountQueryPreservation::from_relation(
+                    &rel,
+                    vec![
+                        CountQuery::new(
+                            "low",
+                            attr,
+                            ValueSet::Range(Value::Int(-3), Value::Int(1)),
+                            Tolerance::Absolute(4),
+                        ),
+                        CountQuery::new(
+                            "pair",
+                            attr,
+                            ValueSet::In([Value::Int(4), Value::Int(7)].into_iter().collect()),
+                            Tolerance::Relative(0.05),
+                        ),
+                    ],
+                )),
+            ]
+        };
+        let mut value_guard = QualityGuard::new(build_stack());
+        let mut coded_guard = QualityGuard::new(build_stack());
+        coded_guard.bind_codes(attr, &domain);
+        prop_assert!(coded_guard.fully_coded());
+        for _ in 0..120 {
+            let row = (next() % 300) as usize;
+            let old = rel.value(row, attr).unwrap();
+            let old_code = domain.index_of(&old).unwrap() as u32;
+            let new_code = (next() % domain.len() as u64) as u32;
+            let value_admitted = value_guard.propose(Alteration {
+                row,
+                attr,
+                old: old.clone(),
+                new: domain.value_at(new_code as usize).clone(),
+            });
+            let coded_admitted = coded_guard.propose_coded(CodedAlteration {
+                row,
+                attr,
+                old: old_code,
+                new: new_code,
+            });
+            prop_assert_eq!(value_admitted, coded_admitted, "row {} {:?}", row, old);
+        }
+        prop_assert_eq!(value_guard.vetoes(), coded_guard.vetoes());
+        prop_assert_eq!(value_guard.log().entries(), coded_guard.log().entries());
+    }
+}
+
+/// One deterministic end-to-end check: a guarded session embed with a
+/// mixed constraint stack (some coded-capable, mining constraints
+/// bridging through decoded values) equals the same embed driven
+/// through value-space-only constraints.
+#[test]
+fn guarded_embed_is_representation_independent() {
+    use catmark::mining::apriori::{mine, AprioriConfig};
+    use catmark::mining::constraints::AssociationRulePreserved;
+    use catmark::mining::item::Transactions;
+    use catmark::mining::rules::RuleSet;
+
+    let gen = SalesGenerator::new(ItemScanConfig { tuples: 4_000, ..Default::default() });
+    let rel = gen.generate();
+    let domain = gen.item_domain();
+    let spec = WatermarkSpec::builder(domain.clone())
+        .master_key("query-engine-tests")
+        .e(25)
+        .wm_len(10)
+        .expected_tuples(rel.len())
+        .build()
+        .unwrap();
+    let wm = Watermark::from_u64(0b01_1011_0100, 10);
+    let session = MarkSession::builder(spec)
+        .key_column("visit_nbr")
+        .target_column("item_nbr")
+        .bind(&rel)
+        .unwrap();
+
+    let tx = Transactions::from_relation(&rel, &["item_nbr"]).unwrap();
+    let freq = mine(&tx, &AprioriConfig { min_support: 0.01, max_len: 1 });
+    let rules = RuleSet::derive(&freq, 0.0);
+    let stack = |rel: &Relation| -> Vec<Box<dyn QualityConstraint>> {
+        vec![
+            Box::new(AlterationBudget::new(100)),
+            Box::new(AssociationRulePreserved::new(rel, &rules, 0.5)),
+            Box::new(CountQueryPreservation::from_relation(
+                rel,
+                vec![CountQuery::new(
+                    "top",
+                    1,
+                    ValueSet::Range(Value::Int(10_000), Value::Int(10_050)),
+                    Tolerance::Absolute(3),
+                )],
+            )),
+        ]
+    };
+
+    let mut a = rel.clone();
+    let mut guard_a = QualityGuard::new(stack(&rel));
+    let report_a = session.embed_guarded(&mut a, &wm, &mut guard_a).unwrap();
+
+    // The same stack with every constraint wrapped to *decline* code
+    // binding: the guard must decode each coded proposal and drive
+    // the wrapped constraints' value-space methods, so this run
+    // exercises `admits`/`commit` where run A exercised
+    // `admits_coded`/`commit_coded` — a divergence between a
+    // constraint's two representations shows up as a report or
+    // content mismatch.
+    struct ValueOnly(Box<dyn QualityConstraint>);
+    impl QualityConstraint for ValueOnly {
+        fn name(&self) -> &str {
+            self.0.name()
+        }
+        fn admits(&self, c: &Alteration) -> bool {
+            self.0.admits(c)
+        }
+        fn commit(&mut self, c: &Alteration) {
+            self.0.commit(c)
+        }
+        fn rollback(&mut self, c: &Alteration) {
+            self.0.rollback(c)
+        }
+        // bind_codes keeps the default `false`: never coded.
+    }
+    let mut b = rel.clone();
+    let constraints: Vec<Box<dyn QualityConstraint>> = stack(&rel)
+        .into_iter()
+        .map(|c| Box::new(ValueOnly(c)) as Box<dyn QualityConstraint>)
+        .collect();
+    let mut guard_b = QualityGuard::new(constraints);
+    let report_b = session.embed_guarded(&mut b, &wm, &mut guard_b).unwrap();
+
+    assert_eq!(report_a.altered, report_b.altered);
+    assert_eq!(report_a.vetoed, report_b.vetoed);
+    assert!(a.iter().zip(b.iter()).all(|(x, y)| x == y));
+    assert_eq!(guard_a.log().entries(), guard_b.log().entries());
+    assert!(report_a.vetoed > 0, "the stack should veto something to make this meaningful");
+}
