@@ -18,7 +18,23 @@
 //! Every attack is a pure function `&Relation → Relation` with an
 //! explicit seed, and [`Attack`] packages them as data so experiment
 //! harnesses can sweep attack kinds and intensities declaratively
-//! ([`composite::pipeline`] chains several).
+//! ([`composite::pipeline`] chains several):
+//!
+//! ```
+//! use catmark_attacks::Attack;
+//! use catmark_datagen::{ItemScanConfig, SalesGenerator};
+//!
+//! let rel = SalesGenerator::new(ItemScanConfig { tuples: 500, ..Default::default() })
+//!     .generate();
+//! // Mallory keeps 60% of the rows, then re-shuffles them (A1 + A4).
+//! let suspect = Attack::Shuffle { seed: 7 }
+//!     .apply(&Attack::HorizontalLoss { keep: 0.6, seed: 7 }.apply(&rel).unwrap())
+//!     .unwrap();
+//! assert!(suspect.len() < rel.len());
+//! // Same seed ⇒ same attack: every experiment is reproducible.
+//! let again = Attack::HorizontalLoss { keep: 0.6, seed: 7 }.apply(&rel).unwrap();
+//! assert_eq!(suspect.len(), again.len());
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -28,8 +28,8 @@ use crate::spec::{Watermark, WatermarkSpec};
 ///
 /// Under heavy data loss (attack A1) many positions go unobserved; the
 /// policy controls the failure mode and is the knob behind the shape
-/// of the paper's Figure 7 (see DESIGN.md, deviation 3, and the
-/// `erasure_policy` ablation bench).
+/// of the paper's Figure 7 (swept by the `erasure_policy` ablation
+/// bench).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ErasurePolicy {
     /// Skip the position: only observed votes reach the ECC. The
@@ -195,49 +195,25 @@ impl<'a> Decoder<'a> {
         ecc: &dyn ErrorCorrectingCode,
         plan: &MarkPlan,
     ) -> Result<DecodeReport, CoreError> {
+        let mut votes = VoteAccumulator::new(self.spec.wm_data_len);
+        votes.accumulate(self.spec, rel, attr_idx, plan);
+        self.resolve(ecc, votes)
+    }
+
+    /// Turn accumulated per-position vote tallies into a
+    /// [`DecodeReport`]: majority per position, the configured
+    /// [`ErasurePolicy`] for unobserved positions, deterministic
+    /// keyed-PRF coins for ties, then the ECC. Split from the vote
+    /// pass so the out-of-core driver can accumulate votes one
+    /// segment at a time and resolve once — byte-identical to a
+    /// monolithic decode by construction.
+    pub(crate) fn resolve(
+        &self,
+        ecc: &dyn ErrorCorrectingCode,
+        votes: VoteAccumulator,
+    ) -> Result<DecodeReport, CoreError> {
+        let VoteAccumulator { ones, zeros, fit_tuples, votes_cast, foreign_values } = votes;
         let len = self.spec.wm_data_len;
-        let mut ones = vec![0u32; len];
-        let mut zeros = vec![0u32; len];
-        let fit_tuples = plan.fit().len();
-        let mut votes_cast = 0usize;
-        let mut foreign_values = 0usize;
-        // Vote straight off the target column's typed storage: integer
-        // rows resolve through the domain map, text rows through a
-        // per-dictionary-entry translation table computed once.
-        match rel.column(attr_idx) {
-            ColumnView::Int(xs) => {
-                for planned in plan.fit() {
-                    let Some(t) = self.spec.domain.code_of(&Value::Int(xs[planned.row as usize]))
-                    else {
-                        foreign_values += 1;
-                        continue;
-                    };
-                    let idx = planned.position as usize;
-                    if t & 1 == 1 {
-                        ones[idx] += 1;
-                    } else {
-                        zeros[idx] += 1;
-                    }
-                    votes_cast += 1;
-                }
-            }
-            ColumnView::Text { codes, dict } => {
-                let table = self.spec.domain.dict_codes(dict);
-                for planned in plan.fit() {
-                    let Some(t) = table[codes[planned.row as usize] as usize] else {
-                        foreign_values += 1;
-                        continue;
-                    };
-                    let idx = planned.position as usize;
-                    if t & 1 == 1 {
-                        ones[idx] += 1;
-                    } else {
-                        zeros[idx] += 1;
-                    }
-                    votes_cast += 1;
-                }
-            }
-        }
 
         // Deterministic coins for erasure fill and tie-breaking,
         // independent of the data (derived from k2 so any party with
@@ -284,6 +260,78 @@ impl<'a> Decoder<'a> {
             position_conflicts,
             wm_data,
         })
+    }
+}
+
+/// Per-position vote tallies plus the counters a [`DecodeReport`]
+/// needs — filled by one pass over a whole relation, or by one pass
+/// per segment of a `SegmentedRelation` (votes are commutative
+/// per-position increments, so accumulation order cannot change the
+/// resolved mark).
+#[derive(Debug, Clone)]
+pub(crate) struct VoteAccumulator {
+    ones: Vec<u32>,
+    zeros: Vec<u32>,
+    fit_tuples: usize,
+    votes_cast: usize,
+    foreign_values: usize,
+}
+
+impl VoteAccumulator {
+    /// Empty tallies over `wm_data_len` positions.
+    pub(crate) fn new(wm_data_len: usize) -> Self {
+        VoteAccumulator {
+            ones: vec![0; wm_data_len],
+            zeros: vec![0; wm_data_len],
+            fit_tuples: 0,
+            votes_cast: 0,
+            foreign_values: 0,
+        }
+    }
+
+    /// Cast every fit tuple's vote straight off the target column's
+    /// typed storage: integer rows resolve through the domain map,
+    /// text rows through a per-dictionary-entry translation table
+    /// computed once per (segment's) dictionary. `plan` must have
+    /// been built over `rel` (its rows index `rel` locally).
+    pub(crate) fn accumulate(
+        &mut self,
+        spec: &WatermarkSpec,
+        rel: &Relation,
+        attr_idx: usize,
+        plan: &MarkPlan,
+    ) {
+        self.fit_tuples += plan.fit().len();
+        match rel.column(attr_idx) {
+            ColumnView::Int(xs) => {
+                for planned in plan.fit() {
+                    let Some(t) = spec.domain.code_of(&Value::Int(xs[planned.row as usize])) else {
+                        self.foreign_values += 1;
+                        continue;
+                    };
+                    self.tally(planned.position as usize, t);
+                }
+            }
+            ColumnView::Text { codes, dict } => {
+                let table = spec.domain.dict_codes(dict);
+                for planned in plan.fit() {
+                    let Some(t) = table[codes[planned.row as usize] as usize] else {
+                        self.foreign_values += 1;
+                        continue;
+                    };
+                    self.tally(planned.position as usize, t);
+                }
+            }
+        }
+    }
+
+    fn tally(&mut self, position: usize, domain_code: u32) {
+        if domain_code & 1 == 1 {
+            self.ones[position] += 1;
+        } else {
+            self.zeros[position] += 1;
+        }
+        self.votes_cast += 1;
     }
 }
 

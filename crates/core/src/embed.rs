@@ -156,8 +156,8 @@ impl<'a> Embedder<'a> {
     ///
     /// # Errors
     ///
-    /// As [`Embedder::embed`], plus [`CoreError::InvalidSpec`] when
-    /// the plan does not match this spec/relation.
+    /// As [`Embedder::embed_by_idx`], plus [`CoreError::InvalidSpec`]
+    /// when the plan does not match this spec/relation.
     pub fn embed_with_plan(
         &self,
         rel: &mut Relation,
@@ -185,7 +185,7 @@ impl<'a> Embedder<'a> {
         attr_idx: usize,
         wm: &Watermark,
         ecc: &dyn ErrorCorrectingCode,
-        mut guard: Option<&mut QualityGuard>,
+        guard: Option<&mut QualityGuard>,
         plan: &MarkPlan,
     ) -> Result<EmbedReport, CoreError> {
         if wm.len() != self.spec.wm_len {
@@ -207,6 +207,31 @@ impl<'a> Embedder<'a> {
             touched_rows: Vec::new(),
         };
         let mut covered = vec![false; self.spec.wm_data_len];
+        self.embed_pass(rel, attr_idx, &wm_data, guard, plan, 0, &mut covered, &mut report)?;
+        report.positions_covered = covered.iter().filter(|&&c| c).count();
+        Ok(report)
+    }
+
+    /// The write pass over one relation (or one **segment** of a
+    /// [`catmark_relation::SegmentedRelation`], with `row_base` the
+    /// segment's first global row): plan-driven value rewriting into
+    /// a caller-owned coverage bitmap and report. The out-of-core
+    /// driver calls this once per segment with shared `covered` /
+    /// `report` state, which is exactly what makes segment streaming
+    /// byte-identical to a monolithic pass — every decision here
+    /// depends only on the tuple's own planned facts and `wm_data`.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn embed_pass(
+        &self,
+        rel: &mut Relation,
+        attr_idx: usize,
+        wm_data: &[bool],
+        mut guard: Option<&mut QualityGuard>,
+        plan: &MarkPlan,
+        row_base: usize,
+        covered: &mut [bool],
+        report: &mut EmbedReport,
+    ) -> Result<(), CoreError> {
         // A guarded pass binds the guard to code space once: every
         // constraint that accepts evaluates candidate alterations as
         // (old domain code, new domain code) pairs — the goodness
@@ -243,13 +268,13 @@ impl<'a> Embedder<'a> {
                     if let Some(g) = guard.as_deref_mut() {
                         let admitted = match dom_code_of.get(&old) {
                             Some(&old_code) => g.propose_coded(CodedAlteration {
-                                row,
+                                row: row_base + row,
                                 attr: attr_idx,
                                 old: old_code,
                                 new: t as u32,
                             }),
                             None => g.propose(Alteration {
-                                row,
+                                row: row_base + row,
                                 attr: attr_idx,
                                 old: Value::Int(old),
                                 new: Value::Int(new),
@@ -263,7 +288,7 @@ impl<'a> Embedder<'a> {
                     xs[row] = new;
                     report.altered += 1;
                     covered[idx] = true;
-                    report.touched_rows.push(row);
+                    report.touched_rows.push(row_base + row);
                 }
             }
             ColumnMut::Text(mut tc) => {
@@ -309,13 +334,13 @@ impl<'a> Embedder<'a> {
                     if let Some(g) = guard.as_deref_mut() {
                         let admitted = match dom_code_of[old as usize] {
                             Some(old_code) => g.propose_coded(CodedAlteration {
-                                row,
+                                row: row_base + row,
                                 attr: attr_idx,
                                 old: old_code,
                                 new: t as u32,
                             }),
                             None => g.propose(Alteration {
-                                row,
+                                row: row_base + row,
                                 attr: attr_idx,
                                 old: Value::Text(tc.dict().get(old).to_owned()),
                                 new: Value::Text(tc.dict().get(new).to_owned()),
@@ -329,12 +354,11 @@ impl<'a> Embedder<'a> {
                     tc.set(row, new);
                     report.altered += 1;
                     covered[idx] = true;
-                    report.touched_rows.push(row);
+                    report.touched_rows.push(row_base + row);
                 }
             }
         }
-        report.positions_covered = covered.iter().filter(|&&c| c).count();
-        Ok(report)
+        Ok(())
     }
 }
 

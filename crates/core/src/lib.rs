@@ -30,11 +30,12 @@
 //! | §3.2.1 error correction (majority voting) | [`ecc`] |
 //! | §3.2.1 mark encoding | [`embed`] |
 //! | §3.2.2 mark decoding | [`decode`] |
+//! | out-of-core embed/decode over spilled segments | [`outofcore`] |
 //! | Fig. 1(b)/2(b) embedding-map alternative | [`map_variant`] |
 //! | §3.3 multiple attribute embeddings | [`multiattr`] |
 //! | §3.3 pair-closure construction | [`closure`] |
 //! | §4.1 on-the-fly quality assessment | [`quality`] |
-//! | [5]'s query preservation, made enforceable | [`query_preserve`] |
+//! | reference \[5\]'s query preservation, made enforceable | [`query_preserve`] |
 //! | §4.2 frequency-domain encoding | [`freq`] |
 //! | §4.3 incremental updates | [`stream`] |
 //! | §4.4 court-time detection odds | [`mod@detect`] |
@@ -109,6 +110,7 @@ pub mod freq;
 pub mod keyfile;
 pub mod map_variant;
 pub mod multiattr;
+pub mod outofcore;
 pub mod plan;
 pub mod power;
 pub mod quality;

@@ -1,0 +1,354 @@
+//! Out-of-core watermarking: [`MarkSession`] drivers over a
+//! [`SegmentedRelation`].
+//!
+//! A relation larger than RAM cannot take the monolithic
+//! embed/decode path — it is never fully resident. These drivers run
+//! the same passes **segment-at-a-time** under the segmented
+//! relation's pager: each segment is paged in (within the configured
+//! resident-byte budget), planned, embedded or vote-counted, and
+//! paged back out, while only small aggregate state (the coverage
+//! bitmap, the per-position vote tallies) crosses segment boundaries.
+//!
+//! # Why streaming is byte-identical
+//!
+//! Everything the scheme computes per tuple is a pure function of
+//! that tuple's primary key under the spec's keys: fitness, `wm_data`
+//! position, value base (see [`crate::plan`]). Embedding therefore
+//! commutes with any partition of the rows — a segment's
+//! [`MarkPlan`] is exactly the corresponding slice of the monolithic
+//! plan — and decoding is a sum of commutative per-position vote
+//! increments resolved once at the end. The golden byte-identity
+//! suite and the segment-boundary proptests pin both facts.
+//!
+//! ```
+//! use catmark_core::{MarkSession, Watermark, WatermarkSpec};
+//! use catmark_datagen::{ItemScanConfig, SalesGenerator};
+//! use catmark_relation::SegmentedRelation;
+//!
+//! let gen = SalesGenerator::new(ItemScanConfig { tuples: 2_000, ..Default::default() });
+//! let rel = gen.generate();
+//! let spec = WatermarkSpec::builder(gen.item_domain())
+//!     .master_key("my-secret")
+//!     .e(10)
+//!     .wm_len(10)
+//!     .expected_tuples(rel.len())
+//!     .build()
+//!     .unwrap();
+//! let session = MarkSession::builder(spec)
+//!     .key_column("visit_nbr")
+//!     .target_column("item_nbr")
+//!     .bind(&rel)
+//!     .unwrap();
+//!
+//! // Split into segments under a resident budget of 1/4 of the data;
+//! // cold segments spill to the (here in-memory) segment store.
+//! let mut seg = SegmentedRelation::builder(rel.schema().clone())
+//!     .segment_rows(256)
+//!     .budget_bytes(rel.resident_bytes() / 4)
+//!     .from_relation(&rel)
+//!     .unwrap();
+//!
+//! let wm = Watermark::from_u64(0b10_0111_0101, 10);
+//! let report = session.embed_segmented(&mut seg, &wm).unwrap();
+//! assert!(report.fit_count() > 0);
+//! let verdict = session.detect_segmented(&mut seg, &wm).unwrap();
+//! assert!(verdict.is_significant(1e-2));
+//! assert!(seg.peak_pageable_bytes() <= rel.resident_bytes() / 4);
+//! # use catmark_core::session::Outcome;
+//! ```
+
+use catmark_relation::SegmentedRelation;
+
+use crate::decode::{DecodeReport, Decoder, VoteAccumulator};
+use crate::detect::detect;
+use crate::ecc::{ErrorCorrectingCode, MajorityVotingEcc};
+use crate::embed::{EmbedReport, Embedder};
+use crate::error::CoreError;
+use crate::plan::{MarkPlan, PlanCache};
+use crate::quality::QualityGuard;
+use crate::session::{MarkSession, Verdict};
+use crate::spec::Watermark;
+
+impl MarkSession {
+    /// Verify the bound columns still line up with the segmented
+    /// relation's schema.
+    fn check_segmented(&self, seg: &SegmentedRelation) -> Result<(), CoreError> {
+        self.key().still_bound(seg.schema())?;
+        self.target().still_bound(seg.schema())
+    }
+
+    /// Whether per-segment plans should go through the session's
+    /// [`PlanCache`]: embedding never touches the key column, so an
+    /// embed → decode round trip can reuse every segment's plan —
+    /// halving the keyed-hash work — as long as the cache can
+    /// actually hold them. Past half the cache capacity the reset
+    /// policy would churn instead of hit, so large segment counts
+    /// build plans directly.
+    fn segment_plans_cacheable(seg: &SegmentedRelation) -> bool {
+        seg.segment_count() <= PlanCache::CAPACITY / 2
+    }
+
+    /// The plan for one resident segment, cached when sensible.
+    fn segment_plan(
+        &self,
+        rel: &catmark_relation::Relation,
+        key_idx: usize,
+        cacheable: bool,
+    ) -> Result<std::sync::Arc<MarkPlan>, CoreError> {
+        if cacheable {
+            self.cache().plan_for(self.spec(), rel, key_idx)
+        } else {
+            Ok(std::sync::Arc::new(MarkPlan::build(self.spec(), rel, key_idx)))
+        }
+    }
+
+    /// [`MarkSession::embed`] over a [`SegmentedRelation`]: segments
+    /// are paged in one at a time, planned, and rewritten in place
+    /// under the relation's resident-byte budget. Byte-identical to
+    /// embedding the materialized relation in memory.
+    ///
+    /// # Errors
+    ///
+    /// Binding drift, watermark length mismatch, or
+    /// [`CoreError::Relation`] when paging/spilling fails.
+    pub fn embed_segmented(
+        &self,
+        seg: &mut SegmentedRelation,
+        wm: &Watermark,
+    ) -> Result<EmbedReport, CoreError> {
+        self.embed_segmented_inner(seg, wm, None)
+    }
+
+    /// [`MarkSession::embed_guarded`] over a [`SegmentedRelation`]:
+    /// the guard's state persists across segments and proposals
+    /// arrive in ascending global row order, so admit/veto decisions
+    /// match a monolithic guarded pass.
+    ///
+    /// # Errors
+    ///
+    /// As [`MarkSession::embed_segmented`].
+    pub fn embed_guarded_segmented(
+        &self,
+        seg: &mut SegmentedRelation,
+        wm: &Watermark,
+        guard: &mut QualityGuard,
+    ) -> Result<EmbedReport, CoreError> {
+        self.embed_segmented_inner(seg, wm, Some(guard))
+    }
+
+    fn embed_segmented_inner(
+        &self,
+        seg: &mut SegmentedRelation,
+        wm: &Watermark,
+        mut guard: Option<&mut QualityGuard>,
+    ) -> Result<EmbedReport, CoreError> {
+        self.check_segmented(seg)?;
+        let spec = self.spec();
+        if wm.len() != spec.wm_len {
+            return Err(CoreError::InvalidSpec(format!(
+                "watermark has {} bits but the spec declares {}",
+                wm.len(),
+                spec.wm_len
+            )));
+        }
+        let wm_data = MajorityVotingEcc.encode(wm, spec.wm_data_len);
+        let key_idx = self.key().index();
+        let attr_idx = self.target().index();
+        let engine = Embedder::engine(spec);
+        let mut report = EmbedReport {
+            total_tuples: seg.len(),
+            fit_tuples: 0,
+            altered: 0,
+            unchanged: 0,
+            vetoed: 0,
+            positions_covered: 0,
+            positions_total: spec.wm_data_len,
+            touched_rows: Vec::new(),
+        };
+        let mut covered = vec![false; spec.wm_data_len];
+        let mut base = 0usize;
+        let cacheable = Self::segment_plans_cacheable(seg);
+        for i in 0..seg.segment_count() {
+            let rows = seg.segment_len(i);
+            let g = guard.as_deref_mut();
+            seg.with_segment_mut(i, |rel| -> Result<(), CoreError> {
+                let plan = self.segment_plan(rel, key_idx, cacheable)?;
+                report.fit_tuples += plan.fit().len();
+                engine.embed_pass(
+                    rel,
+                    attr_idx,
+                    &wm_data,
+                    g,
+                    &plan,
+                    base,
+                    &mut covered,
+                    &mut report,
+                )
+            })
+            .map_err(CoreError::Relation)??;
+            base += rows;
+        }
+        report.positions_covered = covered.iter().filter(|&&c| c).count();
+        Ok(report)
+    }
+
+    /// [`MarkSession::decode`] over a [`SegmentedRelation`]: one
+    /// vote-accumulation pass per segment, one resolution at the end.
+    /// Byte-identical to decoding the materialized relation.
+    ///
+    /// # Errors
+    ///
+    /// Binding drift, or [`CoreError::Relation`] when paging fails.
+    pub fn decode_segmented(&self, seg: &mut SegmentedRelation) -> Result<DecodeReport, CoreError> {
+        self.check_segmented(seg)?;
+        let spec = self.spec();
+        let key_idx = self.key().index();
+        let attr_idx = self.target().index();
+        let mut votes = VoteAccumulator::new(spec.wm_data_len);
+        let cacheable = Self::segment_plans_cacheable(seg);
+        for i in 0..seg.segment_count() {
+            seg.with_segment(i, |rel| -> Result<(), CoreError> {
+                // Embedding never rewrites the key column, so after an
+                // embed_segmented these lookups hit the cache: the
+                // round trip hashes each key once, as in-memory does.
+                let plan = self.segment_plan(rel, key_idx, cacheable)?;
+                votes.accumulate(spec, rel, attr_idx, &plan);
+                Ok(())
+            })
+            .map_err(CoreError::Relation)??;
+        }
+        Decoder::engine(spec).resolve(&MajorityVotingEcc, votes)
+    }
+
+    /// [`MarkSession::detect`] over a [`SegmentedRelation`]: the
+    /// streaming blind decode weighed against the claimed mark.
+    ///
+    /// # Errors
+    ///
+    /// As [`MarkSession::decode_segmented`].
+    pub fn detect_segmented(
+        &self,
+        seg: &mut SegmentedRelation,
+        claimed: &Watermark,
+    ) -> Result<Verdict, CoreError> {
+        let decode = self.decode_segmented(seg)?;
+        let detection = detect(&decode.watermark, claimed);
+        Ok(Verdict { decode, detection })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quality::AlterationBudget;
+    use catmark_datagen::{ItemScanConfig, SalesGenerator};
+    use catmark_relation::Relation;
+
+    fn fixture(tuples: usize, e: u64) -> (Relation, MarkSession, Watermark) {
+        let gen = SalesGenerator::new(ItemScanConfig { tuples, ..Default::default() });
+        let rel = gen.generate();
+        let spec = crate::WatermarkSpec::builder(gen.item_domain())
+            .master_key("outofcore-tests")
+            .e(e)
+            .wm_len(10)
+            .expected_tuples(tuples)
+            .erasure(crate::decode::ErasurePolicy::Abstain)
+            .build()
+            .unwrap();
+        let session = MarkSession::builder(spec)
+            .key_column("visit_nbr")
+            .target_column("item_nbr")
+            .bind(&rel)
+            .unwrap();
+        (rel, session, Watermark::from_u64(0b1011001110, 10))
+    }
+
+    fn segmented(rel: &Relation, rows: usize, budget: usize) -> SegmentedRelation {
+        SegmentedRelation::builder(rel.schema().clone())
+            .segment_rows(rows)
+            .budget_bytes(budget)
+            .from_relation(rel)
+            .unwrap()
+    }
+
+    #[test]
+    fn segmented_round_trip_is_byte_identical_under_quarter_budget() {
+        let (rel, session, wm) = fixture(4_000, 10);
+        let mut mono = rel.clone();
+        let mono_report = session.embed(&mut mono, &wm).unwrap();
+        let mono_decode = session.decode(&mono).unwrap();
+
+        let budget = rel.resident_bytes() / 4;
+        let mut seg = segmented(&rel, 250, budget);
+        let seg_report = session.embed_segmented(&mut seg, &wm).unwrap();
+        assert_eq!(seg_report, mono_report, "embed reports diverge");
+        let seg_decode = session.decode_segmented(&mut seg).unwrap();
+        assert_eq!(seg_decode, mono_decode, "decode reports diverge");
+        assert!(seg.peak_pageable_bytes() <= budget, "budget was not honored");
+
+        let back = seg.to_relation().unwrap();
+        assert!(mono.iter().zip(back.iter()).all(|(a, b)| a == b), "marked bytes diverge");
+
+        let verdict = session.detect_segmented(&mut seg, &wm).unwrap();
+        assert!(verdict.is_significant(1e-3));
+    }
+
+    #[test]
+    fn guarded_segmented_matches_guarded_monolithic() {
+        let (rel, session, wm) = fixture(3_000, 10);
+        let mut mono = rel.clone();
+        let mut mono_guard = QualityGuard::new(vec![Box::new(AlterationBudget::new(40))]);
+        let mono_report = session.embed_guarded(&mut mono, &wm, &mut mono_guard).unwrap();
+
+        let mut seg = segmented(&rel, 177, rel.resident_bytes() / 3);
+        let mut seg_guard = QualityGuard::new(vec![Box::new(AlterationBudget::new(40))]);
+        let seg_report = session.embed_guarded_segmented(&mut seg, &wm, &mut seg_guard).unwrap();
+        assert_eq!(seg_report, mono_report);
+        assert_eq!(mono_guard.log().len(), seg_guard.log().len());
+        let back = seg.to_relation().unwrap();
+        assert!(mono.iter().zip(back.iter()).all(|(a, b)| a == b));
+    }
+
+    #[test]
+    fn binding_drift_errors_before_any_paging() {
+        let (rel, session, wm) = fixture(200, 10);
+        let other = catmark_relation::Schema::builder()
+            .key_attr("different", catmark_relation::AttrType::Integer)
+            .categorical_attr("cols", catmark_relation::AttrType::Integer)
+            .build()
+            .unwrap();
+        let mut seg = SegmentedRelation::builder(other).build();
+        assert!(matches!(
+            session.embed_segmented(&mut seg, &wm),
+            Err(CoreError::ColumnBinding { .. })
+        ));
+        assert!(matches!(session.decode_segmented(&mut seg), Err(CoreError::ColumnBinding { .. })));
+        let _ = rel;
+    }
+
+    #[test]
+    fn wrong_watermark_length_is_rejected() {
+        let (rel, session, _) = fixture(200, 10);
+        let mut seg = segmented(&rel, 64, usize::MAX);
+        let short = Watermark::from_u64(1, 3);
+        assert!(matches!(
+            session.embed_segmented(&mut seg, &short),
+            Err(CoreError::InvalidSpec(_))
+        ));
+    }
+
+    #[test]
+    fn empty_and_single_row_segments_round_trip() {
+        let (rel, session, wm) = fixture(101, 5);
+        let mut seg = SegmentedRelation::builder(rel.schema().clone())
+            .segment_rows(1)
+            .from_relation(&rel)
+            .unwrap();
+        seg.seal_tail().unwrap(); // explicit empty trailing segment
+        let mut mono = rel.clone();
+        let mono_report = session.embed(&mut mono, &wm).unwrap();
+        let seg_report = session.embed_segmented(&mut seg, &wm).unwrap();
+        assert_eq!(seg_report, mono_report);
+        assert_eq!(session.decode_segmented(&mut seg).unwrap(), session.decode(&mono).unwrap());
+    }
+}

@@ -106,7 +106,7 @@ impl ColumnRef {
 
     /// Re-check this binding against `schema`, erroring with full
     /// context when the attribute moved, vanished, or was renamed.
-    fn still_bound(&self, schema: &Schema) -> Result<(), CoreError> {
+    pub(crate) fn still_bound(&self, schema: &Schema) -> Result<(), CoreError> {
         match schema.attrs().get(self.index) {
             Some(attr) if attr.name == self.name => Ok(()),
             _ => Err(binding_error(

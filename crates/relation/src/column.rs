@@ -92,13 +92,18 @@ impl Dictionary {
         &self.entries
     }
 
-    fn resident_bytes(&self) -> usize {
-        // Each distinct string is allocated once (entries and index
-        // share the Arc); count it once plus both containers' slots.
-        let strings: usize = self.entries.iter().map(|s| s.len()).sum();
+    /// Approximate heap footprint: string bytes plus each `Arc`
+    /// allocation's refcount header (entries and index share the
+    /// allocation, so it is counted once), the entries vector's
+    /// fat-pointer slots, and the index's `(Arc, code)` entries with
+    /// ~1 byte of hash metadata per slot.
+    pub(crate) fn resident_bytes(&self) -> usize {
+        const ARC_HEADER: usize = 2 * std::mem::size_of::<usize>();
+        let strings: usize = self.entries.iter().map(|s| s.len() + ARC_HEADER).sum();
+        let index_entry = std::mem::size_of::<Arc<str>>() + std::mem::size_of::<u32>() + 1;
         strings
             + self.entries.capacity() * std::mem::size_of::<Arc<str>>()
-            + self.index.capacity() * (std::mem::size_of::<Arc<str>>() + 8)
+            + self.index.capacity() * index_entry
     }
 }
 

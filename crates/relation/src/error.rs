@@ -38,6 +38,8 @@ pub enum RelationError {
     ValueNotInDomain(Value),
     /// CSV input could not be parsed.
     Csv(String),
+    /// A spilled segment could not be written, read, or decoded.
+    Spill(String),
 }
 
 impl std::fmt::Display for RelationError {
@@ -59,6 +61,7 @@ impl std::fmt::Display for RelationError {
                 write!(f, "value {v} is not a member of the categorical domain")
             }
             RelationError::Csv(msg) => write!(f, "csv error: {msg}"),
+            RelationError::Spill(msg) => write!(f, "segment spill error: {msg}"),
         }
     }
 }

@@ -24,6 +24,10 @@
 //!   their column-native compiled form ([`query`]) — name resolution,
 //!   literal interning and type folding done once, evaluation over
 //!   flat column slices into reusable selection vectors,
+//! * segmented spill-to-disk storage for relations beyond RAM
+//!   ([`segment`]) — fixed-size columnar segments with segment-local
+//!   dictionaries and shared merge maps, streamed under a resident
+//!   budget through range-addressed byte stores ([`spill`]),
 //! * CSV import/export for interoperability ([`csv`]).
 //!
 //! # Example
@@ -55,6 +59,8 @@ pub mod predicate;
 pub mod query;
 pub mod relation;
 pub mod schema;
+pub mod segment;
+pub mod spill;
 pub mod stats;
 pub mod tuple;
 pub mod value;
@@ -66,6 +72,8 @@ pub use predicate::Predicate;
 pub use query::{CompiledPredicate, RowMask, SelectionVector};
 pub use relation::Relation;
 pub use schema::{AttrDef, AttrType, Schema, SchemaBuilder};
+pub use segment::{SegmentedRelation, SegmentedRelationBuilder};
+pub use spill::{FileStore, MemStore, SegmentStore, SpillHandle};
 pub use stats::FrequencyHistogram;
 pub use tuple::Tuple;
 pub use value::{CanonicalInt, CanonicalText, Value};

@@ -32,6 +32,19 @@
 //! [`Relation::gather_u32`] turns into an output relation by flat
 //! column copies. No tuple is ever materialized.
 //!
+//! # Segment-at-a-time evaluation
+//!
+//! Because a compiled predicate is bound to one dictionary layout,
+//! the out-of-core path compiles per segment: each segment of a
+//! [`crate::SegmentedRelation`] is a complete relation chunk with
+//! segment-local dictionaries, so
+//! [`crate::SegmentedRelation::select`] compiles against the segment
+//! (truth tables are O(local dictionary), built once per segment, not
+//! per row), evaluates its [`RowMask`] vectorized, and reuses one
+//! [`SelectionVector`] across all segments. Output gathered per
+//! segment concatenates to exactly what a whole-relation evaluation
+//! selects — pinned by the segment-boundary property tests.
+//!
 //! # Binding contract
 //!
 //! A compiled predicate is bound to the relation it was compiled

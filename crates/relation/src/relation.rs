@@ -325,6 +325,30 @@ impl Relation {
         self.columns[attr_idx].view()
     }
 
+    /// Swap a text column's storage wholesale (the dictionary
+    /// compaction path of segment sealing). The caller guarantees the
+    /// new codes/dictionary represent the same logical values row for
+    /// row; the derived key index is dropped defensively anyway.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `codes` does not cover every row or `attr_idx` is
+    /// not a text column.
+    pub(crate) fn replace_text_column(
+        &mut self,
+        attr_idx: usize,
+        codes: Vec<u32>,
+        dict: crate::Dictionary,
+    ) {
+        assert_eq!(codes.len(), self.len, "compacted codes must cover every row");
+        assert!(
+            matches!(self.columns[attr_idx], Column::Text { .. }),
+            "only text columns carry dictionaries"
+        );
+        self.columns[attr_idx] = Column::Text { codes, dict };
+        self.invalidate_index();
+    }
+
     /// Mutable typed access to a **non-key** column, for bulk value
     /// rewriting (embedding, alteration attacks). The key column is
     /// refused because slice writes bypass the key index; key updates
@@ -450,12 +474,18 @@ impl Relation {
         deleted
     }
 
-    /// Approximate resident heap bytes of the storage (columns,
-    /// dictionaries, and the key index) — the figure the `columnar`
-    /// bench scenario reports per tuple.
+    /// Approximate resident heap bytes of the storage — the figure
+    /// the `columnar` bench scenario reports per tuple and the
+    /// out-of-core pager budgets against. Accounts for the column
+    /// vectors, the dictionaries' full heap usage (string bytes,
+    /// `Arc` refcount headers, entry and index tables), the lazily
+    /// built key index, and the per-column struct overhead, so a
+    /// resident-memory ceiling asserted over this figure measures
+    /// what it claims.
     #[must_use]
     pub fn resident_bytes(&self) -> usize {
         let columns: usize = self.columns.iter().map(Column::resident_bytes).sum();
+        let overhead = self.columns.capacity() * std::mem::size_of::<Column>();
         let index = match self.key_index.get() {
             None => 0,
             Some(index) => {
@@ -466,10 +496,14 @@ impl Relation {
                         Value::Text(s) => s.capacity(),
                     })
                     .sum();
-                key_heap + index.capacity() * (std::mem::size_of::<Value>() + 16)
+                // Entry payload (key + row) plus ~1 byte of hash
+                // metadata per slot.
+                key_heap
+                    + index.capacity()
+                        * (std::mem::size_of::<Value>() + std::mem::size_of::<usize>() + 1)
             }
         };
-        columns + index
+        columns + overhead + index
     }
 }
 

@@ -1,0 +1,1178 @@
+//! Segmented, spill-to-disk relation storage for out-of-core
+//! pipelines.
+//!
+//! A [`SegmentedRelation`] is a relation split into fixed-size row
+//! **segments**. Each segment is a complete columnar [`Relation`]
+//! chunk with *segment-local* dictionaries (compacted at seal time to
+//! the entries its rows actually reference), so a segment is fully
+//! self-describing and can be serialized, dropped from memory, and
+//! read back in isolation. Cold segments spill to a
+//! [`SegmentStore`] (a file for real
+//! out-of-core runs, an in-memory arena for hermetic tests) in the
+//! range-addressable format of [`crate::spill`], and a small pager
+//! keeps the **resident working set under a configurable byte
+//! budget**, evicting least-recently-used segments (re-serializing
+//! them first when dirty).
+//!
+//! # Shared dictionary and merge maps
+//!
+//! Per text attribute the relation also maintains one small
+//! relation-level [`Dictionary`] that every segment's local entries
+//! are interned into, plus a per-segment **merge map** `local code →
+//! shared code`. Global operators that need one code space across
+//! segments — duplicate elimination, group-bys — translate through
+//! the merge map (a `u32` indexed load per row) instead of
+//! materializing strings, and the shared dictionary stays resident
+//! even when every segment is spilled.
+//!
+//! # Segment-at-a-time operators
+//!
+//! The streaming operators ([`SegmentedRelation::select`],
+//! [`SegmentedRelation::hash_join`], [`SegmentedRelation::distinct`],
+//! [`SegmentedRelation::group_count`],
+//! [`SegmentedRelation::group_count_distinct`]) visit one segment at
+//! a time — compile/evaluate/gather per segment, carry only small
+//! aggregate state across segments — and produce output logically
+//! identical to their whole-relation counterparts in [`crate::ops`]
+//! and [`crate::join`]. The out-of-core embed/decode drivers in
+//! `catmark-core` use the same [`SegmentedRelation::with_segment`] /
+//! [`SegmentedRelation::with_segment_mut`] primitives.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::join::GroupCount;
+use crate::spill::{encode_segment, read_segment, MemStore, SegmentStore, SpillHandle};
+use crate::{
+    ColumnView, CompiledPredicate, Dictionary, Predicate, Relation, RelationError, Schema,
+    SelectionVector, Value,
+};
+
+/// Default rows per segment when the builder does not override it.
+const DEFAULT_SEGMENT_ROWS: usize = 8_192;
+
+/// Builder for a [`SegmentedRelation`]: segment granularity, resident
+/// budget, and the backing [`SegmentStore`].
+pub struct SegmentedRelationBuilder {
+    schema: Schema,
+    segment_rows: usize,
+    budget: Option<usize>,
+    store: Box<dyn SegmentStore>,
+}
+
+impl std::fmt::Debug for SegmentedRelationBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SegmentedRelationBuilder")
+            .field("segment_rows", &self.segment_rows)
+            .field("budget", &self.budget)
+            .finish_non_exhaustive()
+    }
+}
+
+impl SegmentedRelationBuilder {
+    /// Rows per sealed segment (default 8192).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `rows == 0`.
+    #[must_use]
+    pub fn segment_rows(mut self, rows: usize) -> Self {
+        assert!(rows > 0, "segments must hold at least one row");
+        self.segment_rows = rows;
+        self
+    }
+
+    /// Byte budget for the **pageable** working set: the decoded
+    /// segments currently resident. The pager evicts
+    /// least-recently-used sealed segments to stay under it; the
+    /// segment currently being read or written and the open tail are
+    /// pinned, so the budget is honored whenever it can hold one
+    /// segment. The always-resident state — shared dictionaries
+    /// (O(distinct categorical values)) and per-segment bookkeeping
+    /// (O(segments)) — is *not* pageable and is reported separately
+    /// by [`SegmentedRelation::resident_overhead_bytes`]; it vanishes
+    /// relative to the data as relations grow, exactly like a
+    /// database's catalog memory next to its buffer pool.
+    #[must_use]
+    pub fn budget_bytes(mut self, bytes: usize) -> Self {
+        self.budget = Some(bytes);
+        self
+    }
+
+    /// Replace the default in-memory store with `store` (e.g. a
+    /// [`crate::spill::FileStore`] for data larger than RAM).
+    #[must_use]
+    pub fn store(mut self, store: Box<dyn SegmentStore>) -> Self {
+        self.store = store;
+        self
+    }
+
+    /// Finish building an empty segmented relation.
+    #[must_use]
+    pub fn build(self) -> SegmentedRelation {
+        let arity = self.schema.arity();
+        SegmentedRelation {
+            schema: self.schema,
+            segment_rows: self.segment_rows,
+            budget: self.budget,
+            store: self.store,
+            slots: Vec::new(),
+            shared: vec![None; arity],
+            len: 0,
+            peak_pageable: 0,
+            peak_resident: 0,
+            peak_segment: 0,
+            clock: 0,
+        }
+    }
+
+    /// Partition `rel` into sealed segments (spilling each beyond the
+    /// budget as it seals).
+    ///
+    /// # Errors
+    ///
+    /// [`RelationError::InvalidSchema`] when `rel`'s schema differs
+    /// from the one the builder was created with, or
+    /// [`RelationError::Spill`] when the store cannot persist a
+    /// segment.
+    pub fn from_relation(self, rel: &Relation) -> Result<SegmentedRelation, RelationError> {
+        if &self.schema != rel.schema() {
+            return Err(RelationError::InvalidSchema(
+                "builder schema differs from the relation being segmented".into(),
+            ));
+        }
+        let mut seg = self.build();
+        let mut start = 0;
+        while start < rel.len() {
+            let end = (start + seg.segment_rows).min(rel.len());
+            let rows: Vec<usize> = (start..end).collect();
+            seg.push_segment(rel.gather(&rows))?;
+            start = end;
+        }
+        Ok(seg)
+    }
+}
+
+/// One segment's bookkeeping: row count, residency, spill handle,
+/// dirtiness, and the per-attribute merge maps into the shared
+/// dictionaries.
+#[derive(Debug)]
+struct Slot {
+    rows: usize,
+    resident: Option<Relation>,
+    handle: Option<SpillHandle>,
+    /// Resident-byte estimate of the decoded segment (recorded when
+    /// last resident) — what eviction planning budgets with.
+    bytes: usize,
+    dirty: bool,
+    sealed: bool,
+    /// Content fingerprint of the blob last written to the store —
+    /// lets eviction skip re-serializing a "dirty" segment whose
+    /// mutable pass turned out to be a no-op.
+    content_fp: Option<u128>,
+    last_touch: u64,
+    /// Per attribute: local dictionary entries already merged into
+    /// the shared dictionary (text attributes only; 0 for integers).
+    merged: Vec<usize>,
+    /// Per attribute: local code → shared code (empty for integers).
+    merge: Vec<Vec<u32>>,
+}
+
+/// A relation stored as fixed-size columnar segments behind a
+/// budgeted pager — see the [module docs](self).
+pub struct SegmentedRelation {
+    schema: Schema,
+    segment_rows: usize,
+    budget: Option<usize>,
+    store: Box<dyn SegmentStore>,
+    slots: Vec<Slot>,
+    /// Per attribute: the relation-level dictionary text segments
+    /// merge into (`None` for integer attributes).
+    shared: Vec<Option<Dictionary>>,
+    len: usize,
+    peak_pageable: usize,
+    peak_resident: usize,
+    peak_segment: usize,
+    clock: u64,
+}
+
+impl std::fmt::Debug for SegmentedRelation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SegmentedRelation")
+            .field("len", &self.len)
+            .field("segments", &self.slots.len())
+            .field("segment_rows", &self.segment_rows)
+            .field("budget", &self.budget)
+            .field("resident_bytes", &self.resident_bytes())
+            .finish_non_exhaustive()
+    }
+}
+
+impl SegmentedRelation {
+    /// Start building a segmented relation over `schema`.
+    #[must_use]
+    pub fn builder(schema: Schema) -> SegmentedRelationBuilder {
+        SegmentedRelationBuilder {
+            schema,
+            segment_rows: DEFAULT_SEGMENT_ROWS,
+            budget: None,
+            store: Box::new(MemStore::new()),
+        }
+    }
+
+    /// The relation's schema.
+    #[must_use]
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Total number of tuples across all segments.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the relation holds no tuples.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of segments (sealed plus the open tail, if any).
+    #[must_use]
+    pub fn segment_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Rows per sealed segment.
+    #[must_use]
+    pub fn segment_rows(&self) -> usize {
+        self.segment_rows
+    }
+
+    /// The configured resident budget, if any.
+    #[must_use]
+    pub fn budget_bytes(&self) -> Option<usize> {
+        self.budget
+    }
+
+    /// First global row index of segment `seg`.
+    #[must_use]
+    pub fn segment_base(&self, seg: usize) -> usize {
+        self.slots[..seg].iter().map(|s| s.rows).sum()
+    }
+
+    /// Rows in segment `seg`.
+    #[must_use]
+    pub fn segment_len(&self, seg: usize) -> usize {
+        self.slots[seg].rows
+    }
+
+    /// Append a tuple to the open tail segment (key duplicates across
+    /// segments are tolerated, as with
+    /// [`Relation::push_unchecked_key`]; a segmented relation keeps no
+    /// global key index). Seals the tail when it reaches
+    /// [`SegmentedRelation::segment_rows`].
+    ///
+    /// # Errors
+    ///
+    /// Schema mismatches, or [`RelationError::Spill`] when sealing
+    /// fails to persist.
+    pub fn push(&mut self, values: Vec<Value>) -> Result<(), RelationError> {
+        let tail = match self.slots.last() {
+            Some(slot) if !slot.sealed => self.slots.len() - 1,
+            _ => {
+                let rel = Relation::with_capacity(self.schema.clone(), self.segment_rows);
+                self.new_slot(rel, false)?;
+                self.slots.len() - 1
+            }
+        };
+        let slot = &mut self.slots[tail];
+        let rel = slot.resident.as_mut().expect("the open tail is always resident");
+        rel.push_unchecked_key(values)?;
+        slot.rows += 1;
+        // Walking every column and dictionary entry per pushed tuple
+        // would make ingest accounting O(rows × columns); the open
+        // tail is pinned (never evicted), so its byte figure only
+        // feeds peak sampling — refresh it periodically and exactly
+        // at seal time.
+        if slot.rows % 256 == 0 {
+            slot.bytes = rel.resident_bytes();
+        }
+        self.len += 1;
+        self.refresh_merge(tail);
+        if self.slots[tail].rows >= self.segment_rows {
+            self.seal_slot(tail)?;
+        }
+        self.note_usage();
+        Ok(())
+    }
+
+    /// Seal the open tail segment, even when partial or empty (an
+    /// explicit empty trailing segment is valid and exercised by the
+    /// boundary tests). A no-op when the tail is already sealed; when
+    /// no tail exists an empty segment is created and sealed.
+    ///
+    /// # Errors
+    ///
+    /// [`RelationError::Spill`] when the store cannot persist it.
+    pub fn seal_tail(&mut self) -> Result<(), RelationError> {
+        match self.slots.last() {
+            Some(slot) if !slot.sealed => self.seal_slot(self.slots.len() - 1),
+            _ => {
+                let rel = Relation::new(self.schema.clone());
+                self.new_slot(rel, true)
+            }
+        }
+    }
+
+    /// Run `f` over segment `seg` as a read-only [`Relation`], paging
+    /// it in (and others out) as needed.
+    ///
+    /// # Errors
+    ///
+    /// [`RelationError::Spill`] when paging fails.
+    pub fn with_segment<R>(
+        &mut self,
+        seg: usize,
+        f: impl FnOnce(&Relation) -> R,
+    ) -> Result<R, RelationError> {
+        self.make_resident(seg)?;
+        let out = f(self.slots[seg].resident.as_ref().expect("just made resident"));
+        Ok(out)
+    }
+
+    /// Run `f` over segment `seg` as a mutable [`Relation`] (the
+    /// out-of-core embed path), marking it dirty — it re-serializes
+    /// on its next eviction — and refreshing its merge maps for any
+    /// newly interned dictionary entries. Sealed segments are
+    /// re-compacted afterwards: bulk writers (the embedder interns
+    /// the whole domain up front) can leave local dictionaries full
+    /// of unreferenced entries, which would otherwise defeat the
+    /// resident budget segment by segment.
+    ///
+    /// # Errors
+    ///
+    /// [`RelationError::Spill`] when paging fails.
+    pub fn with_segment_mut<R>(
+        &mut self,
+        seg: usize,
+        f: impl FnOnce(&mut Relation) -> R,
+    ) -> Result<R, RelationError> {
+        self.make_resident(seg)?;
+        let slot = &mut self.slots[seg];
+        let rel = slot.resident.as_mut().expect("just made resident");
+        let out = f(rel);
+        slot.dirty = true;
+        if slot.sealed {
+            compact_dictionaries(rel);
+            // Compaction re-codes rows; merge maps must be rebuilt.
+            for (merged, merge) in slot.merged.iter_mut().zip(&mut slot.merge) {
+                *merged = 0;
+                merge.clear();
+            }
+        }
+        slot.bytes = rel.resident_bytes();
+        self.refresh_merge(seg);
+        self.enforce_budget(Some(seg))?;
+        self.note_usage();
+        Ok(out)
+    }
+
+    /// Stream every segment in row order through `f` (called with the
+    /// segment's first global row index and its relation view).
+    ///
+    /// # Errors
+    ///
+    /// Paging errors, or whatever `f` returns.
+    pub fn for_each_segment(
+        &mut self,
+        mut f: impl FnMut(usize, &Relation) -> Result<(), RelationError>,
+    ) -> Result<(), RelationError> {
+        let mut base = 0;
+        for seg in 0..self.slots.len() {
+            let rows = self.slots[seg].rows;
+            self.with_segment(seg, |rel| f(base, rel))??;
+            base += rows;
+        }
+        Ok(())
+    }
+
+    /// Materialize the whole relation in memory (verification and
+    /// small-data interop; the output is *not* budget-bounded).
+    ///
+    /// # Errors
+    ///
+    /// Paging errors.
+    pub fn to_relation(&mut self) -> Result<Relation, RelationError> {
+        let mut out = Relation::with_capacity(self.schema.clone(), self.len);
+        for seg in 0..self.slots.len() {
+            self.make_resident(seg)?;
+            let rel = self.slots[seg].resident.as_ref().expect("resident");
+            out.append(rel)?;
+        }
+        Ok(out)
+    }
+
+    /// Seal the tail and spill every dirty segment, leaving residency
+    /// untouched (cheap crash-consistency point for the store).
+    ///
+    /// # Errors
+    ///
+    /// [`RelationError::Spill`] on store failures.
+    pub fn flush(&mut self) -> Result<(), RelationError> {
+        if self.slots.last().is_some_and(|s| !s.sealed) {
+            self.seal_slot(self.slots.len() - 1)?;
+        }
+        for seg in 0..self.slots.len() {
+            if self.slots[seg].dirty && self.slots[seg].resident.is_some() {
+                self.write_back(seg)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// The shared relation-level dictionary of text attribute
+    /// `attr_idx` (`None` for integer attributes).
+    #[must_use]
+    pub fn shared_dict(&self, attr_idx: usize) -> Option<&Dictionary> {
+        self.shared[attr_idx].as_ref()
+    }
+
+    /// Segment `seg`'s merge map for text attribute `attr_idx`:
+    /// position `c` holds the shared code of local code `c`.
+    #[must_use]
+    pub fn merge_map(&self, seg: usize, attr_idx: usize) -> Option<&[u32]> {
+        let map = &self.slots[seg].merge[attr_idx];
+        (!map.is_empty() || self.shared[attr_idx].is_some()).then_some(map.as_slice())
+    }
+
+    /// Current total resident footprint: the pageable decoded
+    /// segments plus the always-resident overhead.
+    #[must_use]
+    pub fn resident_bytes(&self) -> usize {
+        self.pageable_bytes() + self.resident_overhead_bytes()
+    }
+
+    /// Bytes of decoded segments currently resident — the working
+    /// set the budget bounds.
+    #[must_use]
+    pub fn pageable_bytes(&self) -> usize {
+        self.slots.iter().filter(|s| s.resident.is_some()).map(|s| s.bytes).sum()
+    }
+
+    /// The always-resident, non-pageable state: shared dictionaries,
+    /// merge maps, and slot metadata. O(distinct categorical values +
+    /// segments), independent of how many rows each segment holds.
+    #[must_use]
+    pub fn resident_overhead_bytes(&self) -> usize {
+        let shared: usize =
+            self.shared.iter().flatten().map(Dictionary::resident_bytes).sum::<usize>();
+        let merge: usize = self
+            .slots
+            .iter()
+            .map(|s| s.merge.iter().map(|m| m.capacity() * 4).sum::<usize>())
+            .sum();
+        shared + merge + self.slots.capacity() * std::mem::size_of::<Slot>()
+    }
+
+    /// High-water mark of [`SegmentedRelation::pageable_bytes`]
+    /// observed at paging and mutation boundaries — the enforced
+    /// ceiling the out-of-core bench asserts against the configured
+    /// budget.
+    #[must_use]
+    pub fn peak_pageable_bytes(&self) -> usize {
+        self.peak_pageable
+    }
+
+    /// High-water mark of [`SegmentedRelation::resident_bytes`]
+    /// (pageable working set plus overhead) at the same boundaries.
+    #[must_use]
+    pub fn peak_resident_bytes(&self) -> usize {
+        self.peak_resident
+    }
+
+    /// Largest single decoded segment observed, in bytes. The pager's
+    /// exact contract is `peak_pageable_bytes() <=
+    /// max(budget, peak_segment_bytes())`: eviction empties everything
+    /// evictable, but the one segment being operated on is pinned, so
+    /// a segment bigger than the whole budget is the only way past
+    /// the ceiling.
+    #[must_use]
+    pub fn peak_segment_bytes(&self) -> usize {
+        self.peak_segment
+    }
+
+    /// Total bytes appended to the backing store.
+    #[must_use]
+    pub fn spilled_bytes(&self) -> u64 {
+        self.store.spilled_bytes()
+    }
+
+    // ------------------------------------------------------------------
+    // Streaming operators (segment-at-a-time, logically identical to
+    // their whole-relation counterparts).
+    // ------------------------------------------------------------------
+
+    /// Segment-streaming [`crate::ops::select`]: compile the predicate
+    /// per segment (truth tables index segment-local dictionaries),
+    /// evaluate vectorized into one reused [`SelectionVector`], gather
+    /// survivors, and append.
+    ///
+    /// # Errors
+    ///
+    /// [`RelationError::UnknownAttr`] for unknown attributes (reported
+    /// even when no segment exists), or paging errors.
+    pub fn select(&mut self, predicate: &Predicate) -> Result<Relation, RelationError> {
+        if self.slots.is_empty() {
+            let empty = Relation::new(self.schema.clone());
+            CompiledPredicate::compile(predicate, &empty)?;
+            return Ok(empty);
+        }
+        let mut out = Relation::new(self.schema.clone());
+        let mut sel = SelectionVector::new();
+        for seg in 0..self.slots.len() {
+            let part = self.with_segment(seg, |rel| -> Result<Relation, RelationError> {
+                let compiled = CompiledPredicate::compile(predicate, rel)?;
+                compiled
+                    .select_into(rel, &mut sel)
+                    .expect("freshly compiled predicate matches its segment");
+                Ok(rel.gather_u32(sel.rows()))
+            })??;
+            out.append(&part)?;
+        }
+        Ok(out)
+    }
+
+    /// Segment-streaming [`crate::join::hash_join`] with this relation
+    /// as the probe side: the (in-memory) `right` build side is probed
+    /// one left segment at a time, so only one segment of the probe
+    /// side is ever resident.
+    ///
+    /// # Errors
+    ///
+    /// As [`crate::join::hash_join`], plus paging errors.
+    pub fn hash_join(
+        &mut self,
+        right: &Relation,
+        left_attr: &str,
+        right_attr: &str,
+    ) -> Result<Relation, RelationError> {
+        let empty = Relation::new(self.schema.clone());
+        let mut out = crate::join::hash_join(&empty, right, left_attr, right_attr)?;
+        for seg in 0..self.slots.len() {
+            let part = self.with_segment(seg, |rel| {
+                crate::join::hash_join(rel, right, left_attr, right_attr)
+            })??;
+            out.append(&part)?;
+        }
+        Ok(out)
+    }
+
+    /// Segment-streaming [`crate::join::distinct`]: rows are compared
+    /// in the **shared** code space (integer bits, or the merge-mapped
+    /// shared dictionary code), so the seen-set carried across
+    /// segments is a set of small integer keys, never strings.
+    ///
+    /// # Errors
+    ///
+    /// Paging errors.
+    pub fn distinct(&mut self) -> Result<Relation, RelationError> {
+        let arity = self.schema.arity();
+        let mut seen: HashSet<Box<[u64]>> = HashSet::new();
+        let mut out = Relation::new(self.schema.clone());
+        let mut scratch: Vec<u64> = vec![0; arity];
+        for seg in 0..self.slots.len() {
+            self.make_resident(seg)?;
+            let slot = &self.slots[seg];
+            let rel = slot.resident.as_ref().expect("resident");
+            let mut keep: Vec<u32> = Vec::new();
+            for row in 0..rel.len() {
+                for (attr, slotv) in scratch.iter_mut().enumerate() {
+                    *slotv = match rel.column(attr) {
+                        ColumnView::Int(xs) => xs[row] as u64,
+                        ColumnView::Text { codes, .. } => {
+                            u64::from(slot.merge[attr][codes[row] as usize])
+                        }
+                    };
+                }
+                if !seen.contains(scratch.as_slice()) {
+                    seen.insert(scratch.clone().into_boxed_slice());
+                    keep.push(row as u32);
+                }
+            }
+            let part = rel.gather_u32(&keep);
+            out.append(&part)?;
+        }
+        Ok(out)
+    }
+
+    /// Segment-streaming [`crate::join::group_count`]: counts
+    /// accumulate per shared code (text) or raw value (integer) across
+    /// segments; `Value`s materialize once per distinct group at the
+    /// end.
+    ///
+    /// # Errors
+    ///
+    /// [`RelationError::UnknownAttr`], or paging errors.
+    pub fn group_count(&mut self, attr: &str) -> Result<Vec<GroupCount>, RelationError> {
+        let idx = self.schema.index_of(attr)?;
+        let mut int_counts: HashMap<i64, u64> = HashMap::new();
+        let mut text_counts: Vec<u64> = Vec::new();
+        for seg in 0..self.slots.len() {
+            self.make_resident(seg)?;
+            let slot = &self.slots[seg];
+            let rel = slot.resident.as_ref().expect("resident");
+            match rel.column(idx) {
+                ColumnView::Int(xs) => {
+                    for &x in xs {
+                        *int_counts.entry(x).or_insert(0) += 1;
+                    }
+                }
+                ColumnView::Text { codes, .. } => {
+                    let merge = &slot.merge[idx];
+                    for &c in codes {
+                        let shared = merge[c as usize] as usize;
+                        if shared >= text_counts.len() {
+                            text_counts.resize(shared + 1, 0);
+                        }
+                        text_counts[shared] += 1;
+                    }
+                }
+            }
+        }
+        let mut groups: Vec<GroupCount> = int_counts
+            .into_iter()
+            .map(|(v, count)| GroupCount { value: Value::Int(v), count })
+            .collect();
+        if let Some(dict) = self.shared[idx].as_ref() {
+            groups.extend(text_counts.iter().enumerate().filter(|&(_, &c)| c > 0).map(
+                |(code, &count)| GroupCount {
+                    value: Value::Text(dict.get(code as u32).to_owned()),
+                    count,
+                },
+            ));
+        }
+        groups.sort_by(|a, b| b.count.cmp(&a.count).then_with(|| a.value.cmp(&b.value)));
+        Ok(groups)
+    }
+
+    /// Segment-streaming [`crate::join::group_count_distinct`]: both
+    /// columns reduce to `u64` keys in the shared code space, and only
+    /// the per-group key sets cross segment boundaries.
+    ///
+    /// # Errors
+    ///
+    /// [`RelationError::UnknownAttr`], or paging errors.
+    pub fn group_count_distinct(
+        &mut self,
+        group_attr: &str,
+        distinct_attr: &str,
+    ) -> Result<Vec<GroupCount>, RelationError> {
+        let g_idx = self.schema.index_of(group_attr)?;
+        let d_idx = self.schema.index_of(distinct_attr)?;
+        let mut sets: HashMap<u64, HashSet<u64>> = HashMap::new();
+        for seg in 0..self.slots.len() {
+            self.make_resident(seg)?;
+            let slot = &self.slots[seg];
+            let rel = slot.resident.as_ref().expect("resident");
+            let key_of = |attr: usize, row: usize| match rel.column(attr) {
+                ColumnView::Int(xs) => xs[row] as u64,
+                ColumnView::Text { codes, .. } => u64::from(slot.merge[attr][codes[row] as usize]),
+            };
+            for row in 0..rel.len() {
+                sets.entry(key_of(g_idx, row)).or_default().insert(key_of(d_idx, row));
+            }
+        }
+        let value_of = |key: u64| match self.shared[g_idx].as_ref() {
+            None => Value::Int(key as i64),
+            Some(dict) => {
+                Value::Text(dict.get(u32::try_from(key).expect("shared code")).to_owned())
+            }
+        };
+        let mut groups: Vec<GroupCount> = sets
+            .into_iter()
+            .map(|(key, set)| GroupCount { value: value_of(key), count: set.len() as u64 })
+            .collect();
+        groups.sort_by(|a, b| b.count.cmp(&a.count).then_with(|| a.value.cmp(&b.value)));
+        Ok(groups)
+    }
+
+    // ------------------------------------------------------------------
+    // Pager internals.
+    // ------------------------------------------------------------------
+
+    /// Register `rel` as a fresh slot (the open tail, or sealed
+    /// immediately when `seal`).
+    fn push_segment(&mut self, rel: Relation) -> Result<(), RelationError> {
+        self.len += rel.len();
+        self.new_slot(rel, true)
+    }
+
+    fn new_slot(&mut self, rel: Relation, seal: bool) -> Result<(), RelationError> {
+        let arity = self.schema.arity();
+        let slot = Slot {
+            rows: rel.len(),
+            bytes: rel.resident_bytes(),
+            resident: Some(rel),
+            handle: None,
+            dirty: true,
+            sealed: false,
+            content_fp: None,
+            last_touch: self.tick(),
+            merged: vec![0; arity],
+            merge: vec![Vec::new(); arity],
+        };
+        self.slots.push(slot);
+        let seg = self.slots.len() - 1;
+        self.refresh_merge(seg);
+        if seal {
+            self.seal_slot(seg)?;
+        } else {
+            self.enforce_budget(Some(seg))?;
+            self.note_usage();
+        }
+        Ok(())
+    }
+
+    /// Seal segment `seg`: compact its text dictionaries to the
+    /// entries its rows reference, rebuild its merge maps, serialize
+    /// it to the store, and re-enforce the budget.
+    fn seal_slot(&mut self, seg: usize) -> Result<(), RelationError> {
+        {
+            let slot = &mut self.slots[seg];
+            let rel = slot.resident.as_mut().expect("sealing requires residency");
+            compact_dictionaries(rel);
+            slot.bytes = rel.resident_bytes();
+            slot.sealed = true;
+            // Compaction re-codes rows; merge maps must be rebuilt.
+            for (merged, merge) in slot.merged.iter_mut().zip(&mut slot.merge) {
+                *merged = 0;
+                merge.clear();
+            }
+        }
+        self.refresh_merge(seg);
+        self.write_back(seg)?;
+        self.enforce_budget(Some(seg))?;
+        self.note_usage();
+        Ok(())
+    }
+
+    /// Serialize segment `seg` (resident) and append it to the store
+    /// — unless its content matches the blob already spilled (a
+    /// mutable pass that altered nothing), in which case the existing
+    /// handle stays valid and the append-only log does not grow.
+    fn write_back(&mut self, seg: usize) -> Result<(), RelationError> {
+        let (fp, unchanged) = {
+            let slot = &self.slots[seg];
+            let rel = slot.resident.as_ref().expect("write-back requires residency");
+            let fp = segment_content_fp(rel);
+            (fp, slot.handle.is_some() && slot.content_fp == Some(fp))
+        };
+        if unchanged {
+            self.slots[seg].dirty = false;
+            return Ok(());
+        }
+        let blob = encode_segment(self.slots[seg].resident.as_ref().expect("resident"));
+        let handle = self.store.append(&blob)?;
+        let slot = &mut self.slots[seg];
+        slot.handle = Some(handle);
+        slot.content_fp = Some(fp);
+        slot.dirty = false;
+        Ok(())
+    }
+
+    /// Page segment `seg` in, evicting others to honor the budget.
+    fn make_resident(&mut self, seg: usize) -> Result<(), RelationError> {
+        let touch = self.tick();
+        if self.slots[seg].resident.is_some() {
+            self.slots[seg].last_touch = touch;
+            return Ok(());
+        }
+        let incoming = self.slots[seg].bytes;
+        self.evict_to_fit(incoming, seg)?;
+        let handle = self.slots[seg].handle.expect("a non-resident segment is always spilled");
+        let rel = read_segment(self.store.as_ref(), handle, &self.schema)?;
+        let slot = &mut self.slots[seg];
+        slot.bytes = rel.resident_bytes();
+        slot.resident = Some(rel);
+        slot.last_touch = touch;
+        self.enforce_budget(Some(seg))?;
+        self.note_usage();
+        Ok(())
+    }
+
+    /// Evict LRU sealed segments until `incoming` more bytes fit.
+    fn evict_to_fit(&mut self, incoming: usize, protect: usize) -> Result<(), RelationError> {
+        let Some(budget) = self.budget else { return Ok(()) };
+        let target = budget.saturating_sub(incoming);
+        while self.pageable_bytes() > target {
+            if !self.evict_one(protect)? {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    /// Evict resident segments (LRU first) while over budget.
+    fn enforce_budget(&mut self, protect: Option<usize>) -> Result<(), RelationError> {
+        let Some(budget) = self.budget else { return Ok(()) };
+        while self.pageable_bytes() > budget {
+            if !self.evict_one(protect.unwrap_or(usize::MAX))? {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    /// Evict the least-recently-used evictable segment. Returns false
+    /// when nothing can be evicted (only the protected segment or the
+    /// open tail remain).
+    fn evict_one(&mut self, protect: usize) -> Result<bool, RelationError> {
+        let victim = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter(|(i, s)| *i != protect && s.sealed && s.resident.is_some())
+            .min_by_key(|(_, s)| s.last_touch)
+            .map(|(i, _)| i);
+        let Some(victim) = victim else { return Ok(false) };
+        if self.slots[victim].dirty {
+            self.write_back(victim)?;
+        }
+        self.slots[victim].resident = None;
+        Ok(true)
+    }
+
+    /// Extend segment `seg`'s merge maps over local dictionary
+    /// entries interned since the last refresh.
+    fn refresh_merge(&mut self, seg: usize) {
+        let slot = &mut self.slots[seg];
+        let Some(rel) = slot.resident.as_ref() else { return };
+        for attr in 0..self.schema.arity() {
+            let ColumnView::Text { dict, .. } = rel.column(attr) else { continue };
+            let shared = self.shared[attr].get_or_insert_with(Dictionary::new);
+            let from = slot.merged[attr];
+            if from >= dict.len() {
+                continue;
+            }
+            slot.merge[attr].extend((from..dict.len()).map(|c| shared.intern(dict.get(c as u32))));
+            slot.merged[attr] = dict.len();
+        }
+    }
+
+    fn tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    /// Sample the resident footprints into the high-water marks.
+    fn note_usage(&mut self) {
+        self.peak_pageable = self.peak_pageable.max(self.pageable_bytes());
+        self.peak_resident = self.peak_resident.max(self.resident_bytes());
+        let largest =
+            self.slots.iter().filter(|s| s.resident.is_some()).map(|s| s.bytes).max().unwrap_or(0);
+        self.peak_segment = self.peak_segment.max(largest);
+    }
+}
+
+/// Rebuild every text column's dictionary to hold exactly the entries
+/// its rows reference, in first-occurrence order — what makes a
+/// sealed segment's dictionary *segment-local* even when the segment
+/// was gathered out of a relation with a big shared dictionary.
+fn compact_dictionaries(rel: &mut Relation) {
+    let arity = rel.schema().arity();
+    for attr in 0..arity {
+        let ColumnView::Text { codes, dict } = rel.column(attr) else { continue };
+        // Skip when already compact: every entry referenced at least
+        // once and codes dense over the dictionary.
+        let mut referenced = vec![false; dict.len()];
+        for &c in codes {
+            referenced[c as usize] = true;
+        }
+        if referenced.iter().all(|&r| r) {
+            continue;
+        }
+        let mut remap: Vec<u32> = vec![u32::MAX; dict.len()];
+        let mut compact = Dictionary::new();
+        let new_codes: Vec<u32> = codes
+            .iter()
+            .map(|&c| {
+                if remap[c as usize] == u32::MAX {
+                    remap[c as usize] = compact.intern(dict.get(c));
+                }
+                remap[c as usize]
+            })
+            .collect();
+        rel.replace_text_column(attr, new_codes, compact);
+    }
+}
+
+/// 128-bit (non-cryptographic) fingerprint of a segment's stored
+/// content — raw integers, codes, and dictionary entries. Segments
+/// are compacted before every write-back, so equal logical content
+/// implies equal storage layout and the fingerprint is
+/// layout-stable. It gates the skip of a spill append, where a false
+/// "unchanged" would mean stale bytes on reload — hence 128 bits of
+/// margin rather than the 64 a pure cache key would need.
+fn segment_content_fp(rel: &Relation) -> u128 {
+    fn mix(h: u64, v: u64, k: u64) -> u64 {
+        (h ^ v).wrapping_mul(k).rotate_left(23)
+    }
+    // Two independent 64-bit folds (distinct odd multipliers and
+    // seeds) form a 128-bit verdict: a false "unchanged" here would
+    // serve stale bytes after reload, so the collision margin is
+    // sized for data safety, not cache efficiency.
+    let mut a = 0xCBF2_9CE4_8422_2325u64 ^ rel.len() as u64;
+    let mut b = 0x9AE1_6A3B_2F90_404Fu64 ^ (rel.len() as u64).rotate_left(32);
+    let mut write = |v: u64| {
+        a = mix(a, v, 0x9E37_79B9_7F4A_7C15);
+        b = mix(b, v, 0xC2B2_AE3D_27D4_EB4F);
+    };
+    for attr in 0..rel.schema().arity() {
+        match rel.column(attr) {
+            ColumnView::Int(xs) => {
+                write(0x01);
+                for &x in xs {
+                    write(x as u64);
+                }
+            }
+            ColumnView::Text { codes, dict } => {
+                write(0x02);
+                for entry in dict.entries() {
+                    write(entry.len() as u64);
+                    for &byte in entry.as_bytes() {
+                        write(u64::from(byte));
+                    }
+                }
+                for &c in codes {
+                    write(u64::from(c));
+                }
+            }
+        }
+    }
+    (u128::from(a) << 64) | u128::from(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spill::FileStore;
+    use crate::AttrType;
+
+    fn schema() -> Schema {
+        Schema::builder()
+            .key_attr("k", AttrType::Integer)
+            .categorical_attr("a", AttrType::Integer)
+            .categorical_attr("c", AttrType::Text)
+            .build()
+            .unwrap()
+    }
+
+    fn sample(n: i64) -> Relation {
+        let mut rel = Relation::new(schema());
+        let cities = ["boston", "austin", "chicago", "dallas", "el paso"];
+        for i in 0..n {
+            rel.push(vec![
+                Value::Int(i),
+                Value::Int(i % 7),
+                Value::Text(cities[(i % 5) as usize].into()),
+            ])
+            .unwrap();
+        }
+        rel
+    }
+
+    fn segmented(rel: &Relation, rows: usize) -> SegmentedRelation {
+        SegmentedRelation::builder(rel.schema().clone())
+            .segment_rows(rows)
+            .from_relation(rel)
+            .unwrap()
+    }
+
+    #[test]
+    fn from_relation_round_trips() {
+        let rel = sample(100);
+        for rows in [1, 7, 33, 100, 128] {
+            let mut seg = segmented(&rel, rows);
+            assert_eq!(seg.len(), 100);
+            assert_eq!(seg.segment_count(), 100usize.div_ceil(rows));
+            let back = seg.to_relation().unwrap();
+            assert!(rel.iter().zip(back.iter()).all(|(a, b)| a == b));
+        }
+    }
+
+    #[test]
+    fn push_seals_at_the_boundary_and_round_trips() {
+        let rel = sample(25);
+        let mut seg = SegmentedRelation::builder(rel.schema().clone()).segment_rows(10).build();
+        for t in rel.iter() {
+            seg.push(t.values().to_vec()).unwrap();
+        }
+        assert_eq!(seg.segment_count(), 3, "two sealed + one open tail");
+        seg.seal_tail().unwrap();
+        let back = seg.to_relation().unwrap();
+        assert!(rel.iter().zip(back.iter()).all(|(a, b)| a == b));
+    }
+
+    #[test]
+    fn empty_trailing_segments_are_valid() {
+        let rel = sample(20);
+        let mut seg = SegmentedRelation::builder(rel.schema().clone()).segment_rows(10).build();
+        for t in rel.iter() {
+            seg.push(t.values().to_vec()).unwrap();
+        }
+        // 20 rows at 10/segment: the tail sealed itself; force an
+        // explicit empty trailing segment on top.
+        seg.seal_tail().unwrap();
+        assert_eq!(seg.segment_count(), 3);
+        assert_eq!(seg.segment_len(2), 0);
+        assert_eq!(seg.len(), 20);
+        let back = seg.to_relation().unwrap();
+        assert_eq!(back.len(), 20);
+        assert!(seg.select(&Predicate::True).unwrap().len() == 20);
+    }
+
+    #[test]
+    fn sealed_segments_have_local_dictionaries() {
+        let rel = sample(100); // 5 distinct cities, spread evenly
+        let mut seg = segmented(&rel, 5);
+        // Each 5-row segment sees exactly 5 distinct cities… but a
+        // 2-row segment of the same data must hold only its own 2.
+        let mut tiny = segmented(&sample(2), 5);
+        tiny.with_segment(0, |r| {
+            let (_, dict) = r.column(2).as_text().unwrap();
+            assert_eq!(dict.len(), 2, "segment-local dictionary not compacted");
+        })
+        .unwrap();
+        // Shared dictionary covers the union; merge maps translate.
+        seg.with_segment(0, |_| ()).unwrap();
+        assert_eq!(seg.shared_dict(2).unwrap().len(), 5);
+        assert!(seg.shared_dict(0).is_none(), "integer attributes have no dictionary");
+        let map = seg.merge_map(0, 2).unwrap();
+        assert!(!map.is_empty());
+    }
+
+    #[test]
+    fn budget_is_enforced_and_peak_tracked() {
+        let rel = sample(2_000);
+        let total = rel.resident_bytes();
+        let budget = total / 4;
+        let mut seg = SegmentedRelation::builder(rel.schema().clone())
+            .segment_rows(125) // 16 segments, each ~1/16 of the data
+            .budget_bytes(budget)
+            .from_relation(&rel)
+            .unwrap();
+        seg.for_each_segment(|_, _| Ok(())).unwrap();
+        assert!(
+            seg.peak_pageable_bytes() <= budget,
+            "peak {} exceeds budget {budget}",
+            seg.peak_pageable_bytes()
+        );
+        assert!(seg.pageable_bytes() <= budget);
+        assert!(seg.peak_resident_bytes() >= seg.peak_pageable_bytes());
+        assert!(seg.spilled_bytes() > 0, "cold segments must have spilled");
+        // The data is still intact after all that paging.
+        let back = seg.to_relation().unwrap();
+        assert!(rel.iter().zip(back.iter()).all(|(a, b)| a == b));
+    }
+
+    #[test]
+    fn dirty_segments_survive_eviction() {
+        let rel = sample(300);
+        let budget = rel.resident_bytes() / 4;
+        let mut seg = SegmentedRelation::builder(rel.schema().clone())
+            .segment_rows(30)
+            .budget_bytes(budget)
+            .from_relation(&rel)
+            .unwrap();
+        // Rewrite one value per segment, then force everything through
+        // the pager again.
+        for i in 0..seg.segment_count() {
+            seg.with_segment_mut(i, |r| {
+                r.update_value(0, 1, Value::Int(999)).unwrap();
+            })
+            .unwrap();
+        }
+        let back = seg.to_relation().unwrap();
+        for i in 0..seg.segment_count() {
+            assert_eq!(
+                back.value(i * 30, 1).unwrap(),
+                Value::Int(999),
+                "segment {i} lost its write"
+            );
+        }
+    }
+
+    #[test]
+    fn streaming_ops_match_monolithic_ops() {
+        let rel = sample(157);
+        for rows in [1, 10, 64, 157, 200] {
+            let mut seg = segmented(&rel, rows);
+            let pred = Predicate::eq("c", "boston").or(Predicate::Gt("a".into(), Value::Int(4)));
+            let mono = crate::ops::select(&rel, &pred).unwrap();
+            let stream = seg.select(&pred).unwrap();
+            assert!(mono.iter().zip(stream.iter()).all(|(a, b)| a == b));
+            assert_eq!(mono.len(), stream.len());
+
+            let mono =
+                crate::join::distinct(&crate::ops::project(&rel, &[1, 2], 0, false).unwrap());
+            let mut seg2 = segmented(&crate::ops::project(&rel, &[1, 2], 0, false).unwrap(), rows);
+            let stream = seg2.distinct().unwrap();
+            assert_eq!(mono.len(), stream.len());
+            assert!(mono.iter().zip(stream.iter()).all(|(a, b)| a == b));
+
+            assert_eq!(seg.group_count("c").unwrap(), crate::join::group_count(&rel, "c").unwrap());
+            assert_eq!(
+                seg.group_count_distinct("c", "a").unwrap(),
+                crate::join::group_count_distinct(&rel, "c", "a").unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn streaming_join_matches_monolithic_join() {
+        let rel = sample(90);
+        let mut right = Relation::new(
+            Schema::builder()
+                .key_attr("a", AttrType::Integer)
+                .categorical_attr("label", AttrType::Text)
+                .build()
+                .unwrap(),
+        );
+        for i in 0..5 {
+            right.push(vec![Value::Int(i), Value::Text(format!("g{i}"))]).unwrap();
+        }
+        let mono = crate::join::hash_join(&rel, &right, "a", "a").unwrap();
+        let mut seg = segmented(&rel, 13);
+        let stream = seg.hash_join(&right, "a", "a").unwrap();
+        assert_eq!(mono.len(), stream.len());
+        assert!(mono.iter().zip(stream.iter()).all(|(a, b)| a == b));
+        assert!(seg.hash_join(&right, "nope", "a").is_err());
+    }
+
+    #[test]
+    fn select_on_empty_segmented_relation_still_validates_attrs() {
+        let mut seg = SegmentedRelation::builder(schema()).build();
+        assert!(seg.select(&Predicate::eq("missing", 1)).is_err());
+        assert_eq!(seg.select(&Predicate::True).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn file_store_backs_a_segmented_relation() {
+        let dir =
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target/tmp-segment-unit");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("unit.spill");
+        let rel = sample(200);
+        let mut seg = SegmentedRelation::builder(rel.schema().clone())
+            .segment_rows(32)
+            .budget_bytes(rel.resident_bytes() / 3)
+            .store(Box::new(FileStore::create(&path).unwrap()))
+            .from_relation(&rel)
+            .unwrap();
+        let back = seg.to_relation().unwrap();
+        assert!(rel.iter().zip(back.iter()).all(|(a, b)| a == b));
+        assert!(seg.spilled_bytes() > 0);
+        let _ = std::fs::remove_file(&path);
+    }
+}

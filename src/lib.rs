@@ -13,9 +13,11 @@
 //!   `CanonicalInput` and stream their canonical encoding straight
 //!   into the digest (`write_canonical`), so the per-tuple hashing
 //!   under every operator is allocation-free;
-//! * [`relation`] — the in-memory relational substrate (schemas,
-//!   typed tuples, categorical domains with an interned-code lookup
-//!   path, borrowing column access, partition operators);
+//! * [`relation`] — the relational substrate (schemas, typed tuples,
+//!   categorical domains with an interned-code lookup path, borrowing
+//!   column access, partition operators), including the segmented
+//!   spill-to-disk engine (`relation::segment` / `relation::spill`)
+//!   that streams relations larger than RAM through a budgeted pager;
 //! * [`datagen`] — synthetic Wal-Mart-`ItemScan`-style workloads;
 //! * [`core`] — the watermarking scheme itself: fit-tuple selection,
 //!   majority-voting ECC, embedding, blind decoding, multi-attribute
@@ -34,6 +36,11 @@
 //! * [`analysis`] — the Section 4.4 vulnerability theory;
 //! * [`mining`] — association rules and classifiers as embedding
 //!   constraints (the Section 6 future-work item, implemented).
+//!
+//! Coming from the historical `Embedder`/`Decoder` per-operator API?
+//! The call-site mapping lives in `docs/MIGRATION.md`; the crate and
+//! storage layering is described in `ARCHITECTURE.md` at the
+//! repository root.
 //!
 //! ## Sixty-second tour
 //!

@@ -108,6 +108,54 @@ fn embed_decode_detect_match_pre_refactor_goldens() {
     }
 }
 
+/// Out-of-core golden: every pinned configuration re-run through the
+/// segmented pipeline — the relation split into segments behind a
+/// spill store with a resident budget of **1/4 of its columnar
+/// footprint** — must reproduce the exact golden bytes the in-memory
+/// path is pinned to, while the pager honors the budget.
+#[test]
+fn out_of_core_embed_decode_matches_the_same_goldens() {
+    use catmark::relation::SegmentedRelation;
+    for &(tuples, e, wm_pattern, with_city, target, marked_fnv, decoded, fit, altered) in GOLDENS {
+        let gen = SalesGenerator::new(ItemScanConfig { tuples, with_city, ..Default::default() });
+        let rel = gen.generate();
+        let domain = if target == "store_city" { gen.city_domain() } else { gen.item_domain() };
+        let spec = WatermarkSpec::builder(domain)
+            .master_key("golden-byte-identity")
+            .e(e)
+            .wm_len(10)
+            .expected_tuples(tuples)
+            .erasure(catmark::core::decode::ErasurePolicy::Abstain)
+            .build()
+            .unwrap();
+        let wm = Watermark::from_u64(wm_pattern, 10);
+        let session = MarkSession::builder(spec)
+            .key_column("visit_nbr")
+            .target_column(target)
+            .bind(&rel)
+            .unwrap();
+        let budget = rel.resident_bytes() / 4;
+        let mut seg = SegmentedRelation::builder(rel.schema().clone())
+            .segment_rows(tuples.div_ceil(16))
+            .budget_bytes(budget)
+            .from_relation(&rel)
+            .unwrap();
+        let report = session.embed_segmented(&mut seg, &wm).unwrap();
+        let decode = session.decode_segmented(&mut seg).unwrap();
+        let label = format!("out-of-core tuples={tuples} e={e} wm={wm_pattern:#b} target={target}");
+        assert_eq!(content_fnv(&seg.to_relation().unwrap()), marked_fnv, "content drift: {label}");
+        assert_eq!(wm_bits(&decode.watermark), decoded, "decode drift: {label}");
+        assert_eq!(report.fit_tuples, fit, "fitness drift: {label}");
+        assert_eq!(report.altered, altered, "alteration drift: {label}");
+        assert!(
+            seg.peak_pageable_bytes() <= budget,
+            "budget violated: peak {} > {budget} ({label})",
+            seg.peak_pageable_bytes()
+        );
+        assert!(seg.spilled_bytes() > 0, "nothing spilled under a quarter budget ({label})");
+    }
+}
+
 /// The unmarked generator output itself is pinned: datagen must stay
 /// seed-deterministic across storage layouts or every golden above
 /// would drift for the wrong reason.

@@ -1,0 +1,237 @@
+//! Segment-boundary properties: a [`SegmentedRelation`] must be an
+//! invisible re-packaging of a [`Relation`]. For random data, random
+//! segment sizes (including size 1, sizes that leave tuples straddling
+//! segment edges, and sizes larger than the relation) and explicit
+//! empty trailing segments, every streaming operator and the
+//! out-of-core embed/decode drivers must produce output identical to
+//! their whole-relation counterparts — under a resident-byte budget a
+//! quarter of the columnar footprint, with the enforced ceiling
+//! asserted.
+
+use catmark::core::{MarkSession, Watermark, WatermarkSpec};
+use catmark::relation::spill::FileStore;
+use catmark::relation::{join, ops, Predicate, Relation, SegmentedRelation, Value};
+use catmark::relation::{AttrType, Schema};
+use proptest::prelude::*;
+
+/// Deterministic xorshift closure for structure generation.
+fn rng_from(seed: u64) -> impl FnMut() -> u64 {
+    let mut state = seed | 1;
+    move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    }
+}
+
+const TEXT_POOL: &[&str] = &["red", "green", "blue", "cyan", "violet", "umber"];
+
+/// A relation with an integer key, an integer categorical and a text
+/// categorical, driven entirely by the seed.
+fn relation_for(seed: u64, tuples: usize) -> Relation {
+    let schema = Schema::builder()
+        .key_attr("k", AttrType::Integer)
+        .categorical_attr("a", AttrType::Integer)
+        .categorical_attr("c", AttrType::Text)
+        .build()
+        .unwrap();
+    let mut next = rng_from(seed);
+    let mut rel = Relation::with_capacity(schema, tuples);
+    for i in 0..tuples as i64 {
+        let a = (next() % 9) as i64 - 2;
+        let c = TEXT_POOL[(next() % TEXT_POOL.len() as u64) as usize];
+        rel.push(vec![
+            Value::Int(i * 7 + (next() % 5) as i64),
+            Value::Int(a),
+            Value::Text(c.into()),
+        ])
+        .unwrap();
+    }
+    rel
+}
+
+/// Segment `rel` with a quarter-of-footprint budget, optionally with
+/// trailing empty segments.
+fn segmented(rel: &Relation, segment_rows: usize, empty_tail: bool) -> SegmentedRelation {
+    let budget = (rel.resident_bytes() / 4).max(1);
+    let mut seg = SegmentedRelation::builder(rel.schema().clone())
+        .segment_rows(segment_rows)
+        .budget_bytes(budget)
+        .from_relation(rel)
+        .unwrap();
+    if empty_tail {
+        seg.seal_tail().unwrap();
+        seg.seal_tail().unwrap(); // stacking empty segments is legal too
+    }
+    seg
+}
+
+fn assert_same(a: &Relation, b: &Relation, what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: row counts differ");
+    assert!(a.iter().zip(b.iter()).all(|(x, y)| x == y), "{what}: rows differ");
+}
+
+/// The sales-shaped fixture the watermarking proptest uses.
+fn marked_fixture(tuples: usize) -> (Relation, MarkSession, Watermark) {
+    let gen = catmark::datagen::SalesGenerator::new(catmark::datagen::ItemScanConfig {
+        tuples,
+        ..Default::default()
+    });
+    let rel = gen.generate();
+    let spec = WatermarkSpec::builder(gen.item_domain())
+        .master_key("segment-boundary-proptests")
+        .e(8)
+        .wm_len(10)
+        .expected_tuples(tuples)
+        .erasure(catmark::core::decode::ErasurePolicy::Abstain)
+        .build()
+        .unwrap();
+    let session = MarkSession::builder(spec)
+        .key_column("visit_nbr")
+        .target_column("item_nbr")
+        .bind(&rel)
+        .unwrap();
+    (rel, session, Watermark::from_u64(0b1001110011, 10))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Streaming select/join/distinct/group-bys over random segment
+    /// sizes equal the monolithic operators — including segment sizes
+    /// of 1 (every tuple straddles an edge) and sizes larger than the
+    /// relation (a single segment).
+    #[test]
+    fn streaming_ops_are_segmentation_invariant(seed in any::<u64>()) {
+        let mut next = rng_from(seed);
+        let tuples = 40 + (next() % 160) as usize;
+        let rel = relation_for(next(), tuples);
+        let segment_rows = 1 + (next() % (tuples as u64 + 20)) as usize;
+        let empty_tail = next().is_multiple_of(2);
+        let mut seg = segmented(&rel, segment_rows, empty_tail);
+
+        let pred = Predicate::eq("c", TEXT_POOL[(next() % 4) as usize])
+            .or(Predicate::Gt("a".into(), Value::Int((next() % 5) as i64 - 1)));
+        assert_same(&ops::select(&rel, &pred).unwrap(), &seg.select(&pred).unwrap(), "select");
+
+        let mut right = Relation::new(
+            Schema::builder()
+                .key_attr("a", AttrType::Integer)
+                .categorical_attr("tag", AttrType::Text)
+                .build()
+                .unwrap(),
+        );
+        for i in -2..7i64 {
+            if next().is_multiple_of(3) { continue; }
+            right.push(vec![Value::Int(i), Value::Text(format!("t{i}"))]).unwrap();
+        }
+        assert_same(
+            &join::hash_join(&rel, &right, "a", "a").unwrap(),
+            &seg.hash_join(&right, "a", "a").unwrap(),
+            "hash_join",
+        );
+
+        // Distinct over a projection with repeated rows.
+        let proj = ops::project(&rel, &[1, 2], 0, false).unwrap();
+        let mut seg_proj = segmented(&proj, segment_rows, empty_tail);
+        assert_same(&join::distinct(&proj), &seg_proj.distinct().unwrap(), "distinct");
+
+        prop_assert_eq!(seg.group_count("c").unwrap(), join::group_count(&rel, "c").unwrap());
+        prop_assert_eq!(seg.group_count("a").unwrap(), join::group_count(&rel, "a").unwrap());
+        prop_assert_eq!(
+            seg.group_count_distinct("c", "a").unwrap(),
+            join::group_count_distinct(&rel, "c", "a").unwrap()
+        );
+
+        // The pager's exact contract: the working set never exceeds
+        // the budget except for the one pinned segment in flight
+        // (random segmentation may make a single segment bigger than
+        // the whole quarter budget).
+        let budget = (rel.resident_bytes() / 4).max(1);
+        let ceiling = budget.max(seg.peak_segment_bytes());
+        prop_assert!(seg.peak_pageable_bytes() <= ceiling,
+            "peak {} > ceiling {}", seg.peak_pageable_bytes(), ceiling);
+        assert_same(&rel, &seg.to_relation().unwrap(), "round trip");
+    }
+
+    /// Out-of-core embed + decode over random segment sizes is
+    /// byte-identical to the in-memory session path — reports, marked
+    /// bytes, and decoded bits — with the quarter budget enforced.
+    #[test]
+    fn out_of_core_embed_decode_is_segmentation_invariant(seed in any::<u64>()) {
+        let mut next = rng_from(seed);
+        let tuples = 300 + (next() % 900) as usize;
+        let (rel, session, wm) = marked_fixture(tuples);
+        let segment_rows = 1 + (next() % (tuples as u64)) as usize;
+        let mut seg = segmented(&rel, segment_rows, next().is_multiple_of(2));
+
+        let mut mono = rel.clone();
+        let mono_report = session.embed(&mut mono, &wm).unwrap();
+        let seg_report = session.embed_segmented(&mut seg, &wm).unwrap();
+        prop_assert_eq!(&seg_report, &mono_report);
+
+        let mono_decode = session.decode(&mono).unwrap();
+        let seg_decode = session.decode_segmented(&mut seg).unwrap();
+        prop_assert_eq!(&seg_decode, &mono_decode);
+
+        let budget = (rel.resident_bytes() / 4).max(1);
+        let ceiling = budget.max(seg.peak_segment_bytes());
+        prop_assert!(seg.peak_pageable_bytes() <= ceiling,
+            "peak {} > ceiling {}", seg.peak_pageable_bytes(), ceiling);
+        assert_same(&mono, &seg.to_relation().unwrap(), "marked relation");
+    }
+}
+
+/// A file-backed spill store round-trips the whole pipeline; the
+/// spill file lives under `target/` (hermetic to the build tree).
+#[test]
+fn out_of_core_round_trip_through_a_file_store() {
+    let dir = std::path::Path::new(env!("CARGO_TARGET_TMPDIR")).join("segmented-relations");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("round-trip.spill");
+
+    let (rel, session, wm) = marked_fixture(3_000);
+    let budget = rel.resident_bytes() / 4;
+    let mut seg = SegmentedRelation::builder(rel.schema().clone())
+        .segment_rows(150)
+        .budget_bytes(budget)
+        .store(Box::new(FileStore::create(&path).unwrap()))
+        .from_relation(&rel)
+        .unwrap();
+
+    let mut mono = rel.clone();
+    session.embed(&mut mono, &wm).unwrap();
+    session.embed_segmented(&mut seg, &wm).unwrap();
+    let verdict = session.detect_segmented(&mut seg, &wm).unwrap();
+    assert!(verdict.is_significant(1e-3));
+    assert_eq!(session.decode_segmented(&mut seg).unwrap(), session.decode(&mono).unwrap());
+    assert!(seg.peak_pageable_bytes() <= budget, "budget not honored via the file store");
+    assert!(seg.spilled_bytes() > 0);
+    assert_same(&mono, &seg.to_relation().unwrap(), "file-store marked relation");
+
+    let _ = std::fs::remove_file(&path);
+}
+
+/// Tuples pushed one by one (the streaming ingest path) land in the
+/// same segments `from_relation` produces, and ops agree.
+#[test]
+fn push_and_from_relation_agree() {
+    let rel = relation_for(42, 137);
+    let mut pushed = SegmentedRelation::builder(rel.schema().clone()).segment_rows(25).build();
+    for t in rel.iter() {
+        pushed.push(t.values().to_vec()).unwrap();
+    }
+    pushed.seal_tail().unwrap();
+    let mut gathered = SegmentedRelation::builder(rel.schema().clone())
+        .segment_rows(25)
+        .from_relation(&rel)
+        .unwrap();
+    assert_eq!(pushed.segment_count(), gathered.segment_count());
+    assert_same(&pushed.to_relation().unwrap(), &gathered.to_relation().unwrap(), "ingest paths");
+    assert_eq!(
+        pushed.group_count("c").unwrap(),
+        join::group_count(&rel, "c").unwrap(),
+        "pushed segments disagree with monolithic group-by"
+    );
+}
