@@ -126,6 +126,7 @@ pub use detect::{detect, Detection};
 pub use embed::{EmbedReport, Embedder};
 pub use error::CoreError;
 pub use fitness::{FitFacts, FitnessSelector};
+pub use outofcore::PipelineStats;
 pub use plan::{MarkPlan, PlanCache, PlannedRow};
 pub use session::{
     ColumnRef, FingerprintSession, MarkSession, MarkSessionBuilder, MultiAttrSession, Outcome,

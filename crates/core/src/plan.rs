@@ -25,10 +25,10 @@
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
-use catmark_relation::{CanonicalText, ColumnView, Relation};
+use catmark_relation::{CanonicalText, ColumnView, Dictionary, Relation};
 
 use crate::error::CoreError;
-use crate::fitness::{FitFacts, FitnessSelector};
+use crate::fitness::{FitFacts, FitnessSelector, IntFitScanner};
 use crate::spec::WatermarkSpec;
 
 /// The planned facts for one fit tuple.
@@ -72,7 +72,7 @@ impl MarkPlan {
         key_idx: usize,
         column_fp: u64,
     ) -> MarkPlan {
-        let threads = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+        let threads = planner_threads();
         if threads < 2 || rel.len() < 16_384 {
             Self::sequential_knowing_fp(spec, rel, key_idx, column_fp)
         } else {
@@ -94,8 +94,9 @@ impl MarkPlan {
     ) -> MarkPlan {
         let sel = FitnessSelector::new(spec);
         let n = domain_size(spec);
+        let scan = KeyScan::prepare(&sel, rel.column(key_idx), 1);
         let mut fit = Vec::with_capacity(fit_estimate(rel.len(), spec.e));
-        scan_rows(&sel, rel.column(key_idx), 0..rel.len(), n, &mut fit);
+        scan.scan(0..rel.len(), n, &mut fit);
         MarkPlan { spec_id: spec_identity(spec), key_idx, column_fp, rows: rel.len(), n, fit }
     }
 
@@ -131,17 +132,22 @@ impl MarkPlan {
         let chunk = rows.div_ceil(threads).max(1);
         let sel = FitnessSelector::new(spec);
         let n = domain_size(spec);
-        let view = rel.column(key_idx);
+        // One scan context serves every chunk: the integer fast-path
+        // scanner is compiled once, and a text key column's
+        // distinct-entry facts table is hashed once per *plan* — not
+        // once per chunk, and not skipped because an individual chunk
+        // looked too small to memoize.
+        let scan = KeyScan::prepare(&sel, rel.column(key_idx), threads);
         let mut chunks: Vec<Vec<PlannedRow>> = Vec::new();
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..rows)
                 .step_by(chunk)
                 .map(|start| {
-                    let sel = &sel;
+                    let scan = &scan;
                     let end = (start + chunk).min(rows);
                     scope.spawn(move || {
                         let mut fit = Vec::with_capacity(fit_estimate(end - start, spec.e));
-                        scan_rows(sel, view, start..end, n, &mut fit);
+                        scan.scan(start..end, n, &mut fit);
                         fit
                     })
                 })
@@ -200,67 +206,96 @@ impl MarkPlan {
     }
 }
 
-/// Scan `range` of the key column, appending planned facts for fit
-/// rows.
+/// Worker-thread count for plan construction: the `CATMARK_THREADS`
+/// env override when it parses to a positive integer — the hook that
+/// makes thread-scaling bench and CI scenarios reproducible across
+/// machines — falling back to `available_parallelism` otherwise.
+fn planner_threads() -> usize {
+    fn fallback() -> usize {
+        std::thread::available_parallelism().map_or(1, std::num::NonZero::get)
+    }
+    match std::env::var("CATMARK_THREADS") {
+        Ok(raw) => raw.trim().parse::<usize>().ok().filter(|&t| t >= 1).unwrap_or_else(fallback),
+        Err(_) => fallback(),
+    }
+}
+
+/// The scan context prepared **once per plan build** and shared by
+/// every row chunk, sequential or threaded — preparation cost is paid
+/// per plan, never per chunk, and the prepared facts make chunked and
+/// monolithic scans byte-identical by construction.
 ///
-/// Integer columns run the fixed-width scanner — two SHA-256 blocks
-/// per key with the constant second block's schedule pre-expanded.
-/// Text columns memoize facts per **dictionary code**: `H(T_j(K), k)`
-/// hashes each distinct string once per plan, not once per row.
-fn scan_rows(
-    sel: &FitnessSelector,
-    view: ColumnView<'_>,
-    range: std::ops::Range<usize>,
-    n: u64,
-    out: &mut Vec<PlannedRow>,
-) {
-    match view {
-        ColumnView::Int(xs) => {
-            let scanner = sel.int_scanner();
-            let keys = &xs[range.clone()];
-            let mut row = range.start;
-            let mut quads = keys.chunks_exact(4);
-            for quad in &mut quads {
-                let lanes = scanner.facts4([quad[0], quad[1], quad[2], quad[3]]);
-                for (lane, facts) in lanes.into_iter().enumerate() {
-                    if let Some(facts) = facts {
-                        out.push(planned(row + lane, &facts, n));
-                    }
+/// Integer columns compile the fixed-width scanner (two SHA-256 blocks
+/// per key, constant second-block schedule pre-expanded, four-lane
+/// multibuffer batching). Text columns precompute facts per
+/// **dictionary code** when values repeat — `H(T_j(K), k)` hashes each
+/// distinct string once per plan, not once per row and not once per
+/// chunk — and fall back to per-row hashing for near-unique columns.
+enum KeyScan<'a> {
+    /// Flat integer keys through the compiled fixed-width scanner
+    /// (boxed: its pre-expanded second-block schedule dwarfs the other
+    /// variants, and one plan build allocates exactly one).
+    Int { scanner: Box<IntFitScanner<'a>>, keys: &'a [i64] },
+    /// Text keys dense enough to memoize (≥ 2 rows per distinct entry
+    /// on average over the whole relation): facts per dictionary code,
+    /// precomputed up front (fanned over threads for large
+    /// dictionaries).
+    TextMemo { codes: &'a [u32], facts: Vec<Option<FitFacts>> },
+    /// Near-unique text keys — e.g. a text primary key — where a
+    /// dict-sized facts table would mostly hold single-use entries:
+    /// hash per row.
+    TextDirect { codes: &'a [u32], dict: &'a Dictionary, sel: &'a FitnessSelector },
+}
+
+impl<'a> KeyScan<'a> {
+    fn prepare(sel: &'a FitnessSelector, view: ColumnView<'a>, threads: usize) -> KeyScan<'a> {
+        match view {
+            ColumnView::Int(keys) => KeyScan::Int { scanner: Box::new(sel.int_scanner()), keys },
+            ColumnView::Text { codes, dict } => {
+                // Density is judged over the whole relation, not per
+                // chunk: a low-cardinality column stays memoized no
+                // matter how finely the threaded build chunks it.
+                if 2 * dict.len() <= codes.len() {
+                    KeyScan::TextMemo { codes, facts: text_facts(sel, dict, threads) }
+                } else {
+                    KeyScan::TextDirect { codes, dict, sel }
                 }
-                row += 4;
-            }
-            for &key in quads.remainder() {
-                if let Some(facts) = scanner.facts(key) {
-                    out.push(planned(row, &facts, n));
-                }
-                row += 1;
             }
         }
-        ColumnView::Text { codes, dict } => {
-            // Memoize per dictionary code only when values actually
-            // repeat within this range (≥ 2 rows per distinct value on
-            // average); a near-unique text column — e.g. a text
-            // primary key — would pay a dict-sized allocation per
-            // (possibly per-thread) scan for memo entries that never
-            // hit.
-            if 2 * dict.len() <= range.len() {
-                // `None` = not yet computed; `Some(None)` = unfit.
-                let mut memo: Vec<Option<Option<FitFacts>>> = vec![None; dict.len()];
-                for row in range {
-                    let code = codes[row] as usize;
-                    let facts = match memo[code] {
-                        Some(f) => f,
-                        None => {
-                            let f = sel.facts_canonical(&CanonicalText(dict.get(code as u32)));
-                            memo[code] = Some(f);
-                            f
+    }
+
+    /// Scan `range` of the key column, appending planned facts for fit
+    /// rows.
+    fn scan(&self, range: std::ops::Range<usize>, n: u64, out: &mut Vec<PlannedRow>) {
+        match self {
+            KeyScan::Int { scanner, keys } => {
+                let keys = &keys[range.clone()];
+                let mut row = range.start;
+                let mut quads = keys.chunks_exact(4);
+                for quad in &mut quads {
+                    let lanes = scanner.facts4([quad[0], quad[1], quad[2], quad[3]]);
+                    for (lane, facts) in lanes.into_iter().enumerate() {
+                        if let Some(facts) = facts {
+                            out.push(planned(row + lane, &facts, n));
                         }
-                    };
-                    if let Some(facts) = facts {
+                    }
+                    row += 4;
+                }
+                for &key in quads.remainder() {
+                    if let Some(facts) = scanner.facts(key) {
+                        out.push(planned(row, &facts, n));
+                    }
+                    row += 1;
+                }
+            }
+            KeyScan::TextMemo { codes, facts } => {
+                for row in range {
+                    if let Some(facts) = facts[codes[row] as usize] {
                         out.push(planned(row, &facts, n));
                     }
                 }
-            } else {
+            }
+            KeyScan::TextDirect { codes, dict, sel } => {
                 for row in range {
                     let entry = dict.get(codes[row]);
                     if let Some(facts) = sel.facts_canonical(&CanonicalText(entry)) {
@@ -270,6 +305,33 @@ fn scan_rows(
             }
         }
     }
+}
+
+/// Fitness facts for every distinct dictionary entry, fanned over
+/// `threads` scoped threads when the dictionary is large enough to
+/// amortize the spawns. Entry order is the dictionary's code order,
+/// so the table is identical however it was computed.
+fn text_facts(sel: &FitnessSelector, dict: &Dictionary, threads: usize) -> Vec<Option<FitFacts>> {
+    let entries = dict.len();
+    if threads < 2 || entries < 4_096 {
+        return (0..entries)
+            .map(|code| sel.facts_canonical(&CanonicalText(dict.get(code as u32))))
+            .collect();
+    }
+    let chunk = entries.div_ceil(threads);
+    let mut facts: Vec<Option<FitFacts>> = vec![None; entries];
+    std::thread::scope(|scope| {
+        for (index, slots) in facts.chunks_mut(chunk).enumerate() {
+            let start = index * chunk;
+            scope.spawn(move || {
+                for (offset, slot) in slots.iter_mut().enumerate() {
+                    let code = (start + offset) as u32;
+                    *slot = sel.facts_canonical(&CanonicalText(dict.get(code)));
+                }
+            });
+        }
+    });
+    facts
 }
 
 /// Expected fit-list capacity for `rows` rows at modulus `e`, with
@@ -498,6 +560,78 @@ mod tests {
             assert_eq!(parallel.fit(), sequential.fit(), "threads={threads}");
             assert_eq!(parallel.rows(), sequential.rows());
         }
+    }
+
+    /// A relation whose attribute 1 is a text column drawn from
+    /// `pool` (plans key on it; duplicates are the point), plus a spec
+    /// over a small integer domain.
+    fn text_keyed_fixture(tuples: usize, pool: &[&str]) -> (Relation, WatermarkSpec) {
+        use catmark_relation::{AttrType, CategoricalDomain, Schema};
+        let schema = Schema::builder()
+            .key_attr("id", AttrType::Integer)
+            .categorical_attr("k", AttrType::Text)
+            .build()
+            .unwrap();
+        let mut rel = Relation::with_capacity(schema, tuples);
+        for i in 0..tuples {
+            let k = pool[(i * 7 + i / 11) % pool.len()];
+            rel.push(vec![Value::Int(i as i64), Value::Text(k.into())]).unwrap();
+        }
+        let domain = CategoricalDomain::new((0..50).map(Value::Int).collect()).unwrap();
+        let spec = WatermarkSpec::builder(domain)
+            .master_key("low-cardinality-text-keys")
+            .e(4)
+            .wm_len(8)
+            .expected_tuples(tuples)
+            .build()
+            .unwrap();
+        (rel, spec)
+    }
+
+    #[test]
+    fn threaded_text_memo_matches_sequential_on_low_cardinality_keys() {
+        // Six distinct keys over 20k rows: every chunk of every
+        // threaded build must see the same once-per-plan distinct-entry
+        // facts table the sequential build uses (the historical code
+        // re-decided memoization per chunk, by chunk length), and the
+        // fit lists must stay byte-identical across thread counts.
+        let pool = ["red", "green", "blue", "cyan", "violet", "umber"];
+        let (rel, spec) = text_keyed_fixture(20_000, &pool);
+        let sequential = MarkPlan::build_sequential(&spec, &rel, 1);
+        assert!(!sequential.is_empty(), "fixture selects no fit tuples");
+        for threads in [2, 3, 7, 16, 61] {
+            let threaded = MarkPlan::build_with_threads(&spec, &rel, 1, threads);
+            assert_eq!(threaded.fit(), sequential.fit(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn near_unique_text_keys_also_agree_across_thread_counts() {
+        // The no-memo (per-row hashing) arm of the shared scan context.
+        let pool: Vec<String> = (0..4_000).map(|i| format!("user-{i:05}")).collect();
+        let pool_refs: Vec<&str> = pool.iter().map(String::as_str).collect();
+        let (rel, spec) = text_keyed_fixture(4_096, &pool_refs);
+        let sequential = MarkPlan::build_sequential(&spec, &rel, 1);
+        for threads in [2, 5] {
+            let threaded = MarkPlan::build_with_threads(&spec, &rel, 1, threads);
+            assert_eq!(threaded.fit(), sequential.fit(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn catmark_threads_override_is_consulted() {
+        // `build` must honor the override (including nonsense values
+        // falling back to detection) and stay byte-identical whatever
+        // the count. Thread counts only move work around, so this is
+        // observationally a byte-identity check plus "doesn't crash".
+        let (rel, spec) = fixture(20_000, 10);
+        let reference = MarkPlan::build_sequential(&spec, &rel, 0);
+        for forced in ["1", "3", " 8 ", "not-a-number", "0"] {
+            std::env::set_var("CATMARK_THREADS", forced);
+            let plan = MarkPlan::build(&spec, &rel, 0);
+            assert_eq!(plan.fit(), reference.fit(), "CATMARK_THREADS={forced}");
+        }
+        std::env::remove_var("CATMARK_THREADS");
     }
 
     #[test]

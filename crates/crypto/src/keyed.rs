@@ -298,9 +298,34 @@ impl FixedLenKeyedHasher {
     /// compiled for.
     #[must_use]
     pub fn hash_u64(&self, v: &[u8]) -> u64 {
+        self.hash_u64_with(crate::Sha256Backend::active(), v)
+    }
+
+    /// [`Self::hash_u64`] on an explicit backend — used by the
+    /// equivalence proptests and the bench harness; production callers
+    /// go through [`Self::hash_u64`], which uses the process-wide
+    /// selection. Falls back to software when `backend` is unavailable
+    /// on this CPU.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `v.len()` differs from the length the hasher was
+    /// compiled for.
+    #[must_use]
+    pub fn hash_u64_with(&self, backend: crate::Sha256Backend, v: &[u8]) -> u64 {
         assert_eq!(v.len(), self.vlen, "fixed-length hasher fed a different value width");
         let mut block1 = self.block1;
         block1[self.v_offset..self.v_offset + self.vlen].copy_from_slice(v);
+        #[cfg(target_arch = "x86_64")]
+        if backend == crate::Sha256Backend::ShaNi && crate::Sha256Backend::ShaNi.is_available() {
+            // SAFETY: `is_available` verified the `sha`/`ssse3`/
+            // `sse4.1` CPU features at runtime.
+            #[allow(unsafe_code)]
+            unsafe {
+                return crate::sha256_shani::digest_two_blocks_u64(&block1, &self.block2_schedule);
+            }
+        }
+        let _ = backend;
         let mut state = crate::sha256::INITIAL_STATE;
         let w1 = crate::sha256::expand_schedule(&block1);
         crate::sha256::compress_schedule(&mut state, &w1);
@@ -319,12 +344,23 @@ impl FixedLenKeyedHasher {
     /// Panics when any value's width differs from the compiled one.
     #[must_use]
     pub fn hash4_u64(&self, vs: [&[u8]; 4]) -> [u64; 4] {
+        self.hash4_u64_with(crate::Sha256Backend::active(), vs)
+    }
+
+    /// [`Self::hash4_u64`] on an explicit backend — see
+    /// [`Self::hash_u64_with`] for the contract.
+    ///
+    /// # Panics
+    ///
+    /// Panics when any value's width differs from the compiled one.
+    #[must_use]
+    pub fn hash4_u64_with(&self, backend: crate::Sha256Backend, vs: [&[u8]; 4]) -> [u64; 4] {
         let mut block1s = [self.block1; 4];
         for (block, v) in block1s.iter_mut().zip(vs) {
             assert_eq!(v.len(), self.vlen, "fixed-length hasher fed a different value width");
             block[self.v_offset..self.v_offset + self.vlen].copy_from_slice(v);
         }
-        crate::sha256::digest4_two_blocks_u64(&block1s, &self.block2_schedule)
+        crate::sha256::digest4_two_blocks_u64_with(backend, &block1s, &self.block2_schedule)
     }
 }
 

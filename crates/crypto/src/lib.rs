@@ -29,9 +29,14 @@
 //! let _ = fit;
 //! ```
 
-#![forbid(unsafe_code)]
+// `unsafe` is denied crate-wide; the single exception is the SHA-NI
+// intrinsics module below, which opts back in explicitly and carries a
+// safety comment on every unsafe block. (`deny` rather than `forbid`
+// because `forbid` cannot be overridden at module scope.)
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod digest;
 pub mod hex;
 pub mod hmac;
@@ -39,7 +44,12 @@ pub mod keyed;
 pub mod md5;
 pub mod sha1;
 pub mod sha256;
+#[cfg(target_arch = "x86_64")]
+#[allow(unsafe_code)]
+#[deny(unsafe_op_in_unsafe_fn)] // every unsafe op gets an explicit, commented block
+pub(crate) mod sha256_shani;
 
+pub use backend::Sha256Backend;
 pub use digest::{Digest, DynDigest};
 pub use keyed::{CanonicalInput, FixedLenKeyedHasher, KeyedHash, KeyedPrf, SecretKey};
 

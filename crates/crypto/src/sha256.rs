@@ -5,11 +5,13 @@
 //! what the court-time "exhaustive key search" argument of Section 2.2
 //! leans on.
 
+use crate::backend::Sha256Backend;
 use crate::digest::{BlockBuffer, Digest};
 
 /// Round constants: first 32 bits of the fractional parts of the cube
-/// roots of the first 64 primes (FIPS 180-4 section 4.2.2).
-const K: [u32; 64] = [
+/// roots of the first 64 primes (FIPS 180-4 section 4.2.2). Shared
+/// with the SHA-NI backend, which loads them four at a time.
+pub(crate) const K: [u32; 64] = [
     0x428a_2f98,
     0x7137_4491,
     0xb5c0_fbcf,
@@ -104,9 +106,47 @@ impl Sha256 {
     }
 
     fn compress(state: &mut [u32; 8], block: &[u8; 64]) {
-        let w = expand_schedule(block);
-        compress_schedule(state, &w);
+        compress_with(Sha256Backend::active(), state, block);
     }
+}
+
+/// Fold one message block into `state` on an explicit backend.
+///
+/// The `ShaNi` arm is gated on a fresh availability check (a cached
+/// boolean), so requesting an unavailable backend degrades to the
+/// software rounds rather than executing unsupported instructions —
+/// the digests are bit-identical either way.
+pub(crate) fn compress_with(backend: Sha256Backend, state: &mut [u32; 8], block: &[u8; 64]) {
+    #[cfg(target_arch = "x86_64")]
+    if backend == Sha256Backend::ShaNi && Sha256Backend::ShaNi.is_available() {
+        // SAFETY: `is_available` verified the `sha`/`ssse3`/`sse4.1`
+        // CPU features at runtime.
+        #[allow(unsafe_code)]
+        unsafe {
+            crate::sha256_shani::compress_block(state, block);
+        }
+        return;
+    }
+    let _ = backend;
+    let w = expand_schedule(block);
+    compress_schedule(state, &w);
+}
+
+/// One-shot SHA-256 on an explicit backend — the software path is the
+/// golden reference, the SHA-NI path must match it bit for bit
+/// (enforced by proptest). Falls back to software when `backend` is
+/// unavailable on this CPU.
+#[must_use]
+pub fn sha256_with_backend(backend: Sha256Backend, data: &[u8]) -> [u8; 32] {
+    let mut state = INIT;
+    let mut buffer = BlockBuffer::new();
+    buffer.update(data, |block| compress_with(backend, &mut state, block));
+    buffer.finalize(false, |block| compress_with(backend, &mut state, block));
+    let mut out = [0u8; 32];
+    for (i, word) in state.iter().enumerate() {
+        out[4 * i..4 * i + 4].copy_from_slice(&word.to_be_bytes());
+    }
+    out
 }
 
 /// FIPS 180-4 initial hash value, exposed for the fixed-length keyed
@@ -126,7 +166,11 @@ pub(crate) const INITIAL_STATE: [u32; 8] = INIT;
 /// `block1s` are the four (already padded-into-place) first blocks;
 /// `w2` is the shared, pre-expanded schedule of the constant second
 /// block. Returns each lane's leading 8 digest bytes, big-endian.
-pub(crate) fn digest4_two_blocks_u64(block1s: &[[u8; 64]; 4], w2: &[u32; 64]) -> [u64; 4] {
+///
+/// This is the software multibuffer — the golden reference the SHA-NI
+/// variant is checked against. Dispatch happens in
+/// [`digest4_two_blocks_u64_with`].
+fn digest4_two_blocks_u64_soft(block1s: &[[u8; 64]; 4], w2: &[u32; 64]) -> [u64; 4] {
     type Lane = [u32; 4];
 
     #[inline(always)]
@@ -245,6 +289,28 @@ pub(crate) fn digest4_two_blocks_u64(block1s: &[[u8; 64]; 4], w2: &[u32; 64]) ->
         *o = (u64::from(state[0][lane]) << 32) | u64::from(state[1][lane]);
     }
     out
+}
+
+/// Four-lane two-block keyed digest on an explicit backend: the
+/// software multibuffer or two interleaved SHA-NI stream pairs. Falls
+/// back to software when `backend` is unavailable on this CPU; both
+/// paths are bit-identical lane for lane (enforced by proptest).
+pub(crate) fn digest4_two_blocks_u64_with(
+    backend: Sha256Backend,
+    block1s: &[[u8; 64]; 4],
+    w2: &[u32; 64],
+) -> [u64; 4] {
+    #[cfg(target_arch = "x86_64")]
+    if backend == Sha256Backend::ShaNi && Sha256Backend::ShaNi.is_available() {
+        // SAFETY: `is_available` verified the `sha`/`ssse3`/`sse4.1`
+        // CPU features at runtime.
+        #[allow(unsafe_code)]
+        unsafe {
+            return crate::sha256_shani::digest4_two_blocks_u64(block1s, w2);
+        }
+    }
+    let _ = backend;
+    digest4_two_blocks_u64_soft(block1s, w2)
 }
 
 /// Expand one message block into the 64-word schedule `W`.

@@ -295,7 +295,7 @@ impl SegmentedRelation {
         // tail is pinned (never evicted), so its byte figure only
         // feeds peak sampling — refresh it periodically and exactly
         // at seal time.
-        if slot.rows % 256 == 0 {
+        if slot.rows.is_multiple_of(256) {
             slot.bytes = rel.resident_bytes();
         }
         self.len += 1;

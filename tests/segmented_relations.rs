@@ -181,6 +181,52 @@ proptest! {
             "peak {} > ceiling {}", seg.peak_pageable_bytes(), ceiling);
         assert_same(&mono, &seg.to_relation().unwrap(), "marked relation");
     }
+
+    /// The pipelined out-of-core drivers (plan prefetched one segment
+    /// ahead on a worker thread) are byte-identical to the sequential
+    /// reference drivers over random segment sizes, and their memory
+    /// contract holds: the pager's ceiling is unchanged, and the
+    /// pipeline's only addition is a single in-flight segment clone —
+    /// never larger than the largest segment.
+    #[test]
+    fn pipelined_drivers_match_sequential_segmented(seed in any::<u64>()) {
+        let mut next = rng_from(seed);
+        let tuples = 300 + (next() % 900) as usize;
+        let (rel, session, wm) = marked_fixture(tuples);
+        let segment_rows = 1 + (next() % (tuples as u64)) as usize;
+        let empty_tail = next().is_multiple_of(2);
+
+        let mut seq = segmented(&rel, segment_rows, empty_tail);
+        let seq_report = session.embed_segmented_sequential(&mut seq, &wm).unwrap();
+        let seq_decode = session.decode_segmented_sequential(&mut seq).unwrap();
+
+        let mut piped = segmented(&rel, segment_rows, empty_tail);
+        let (pipe_report, embed_stats) =
+            session.embed_segmented_pipelined_with_stats(&mut piped, &wm).unwrap();
+        prop_assert_eq!(&pipe_report, &seq_report);
+        let (pipe_decode, decode_stats) =
+            session.decode_segmented_pipelined_with_stats(&mut piped).unwrap();
+        prop_assert_eq!(&pipe_decode, &seq_decode);
+        assert_same(
+            &seq.to_relation().unwrap(),
+            &piped.to_relation().unwrap(),
+            "pipelined marked relation",
+        );
+
+        // Ceiling contract: resident segments still bounded by the
+        // pager budget (modulo the one pinned segment, as always) plus
+        // at most one off-pager clone in flight.
+        let budget = (rel.resident_bytes() / 4).max(1);
+        let ceiling = budget.max(piped.peak_segment_bytes());
+        prop_assert!(piped.peak_pageable_bytes() <= ceiling,
+            "pipelined peak {} > ceiling {}", piped.peak_pageable_bytes(), ceiling);
+        for stats in [embed_stats, decode_stats] {
+            prop_assert_eq!(stats.segments, piped.segment_count());
+            prop_assert!(stats.peak_inflight_bytes <= piped.peak_segment_bytes(),
+                "in-flight clone {} > largest segment {}",
+                stats.peak_inflight_bytes, piped.peak_segment_bytes());
+        }
+    }
 }
 
 /// A file-backed spill store round-trips the whole pipeline; the
