@@ -57,7 +57,15 @@
 //!   hashed against `HashSet<Value>` query sets per proposal —
 //!   against the code-bound guard, whose goodness loop runs entirely
 //!   on domain-code table lookups. The run enforces the ≥2x target
-//!   on this scenario.
+//!   on this scenario;
+//! * **fingerprint_batch** registers 1000 recipients on one
+//!   fingerprint session and traces a leaked copy on a warm service,
+//!   batched (`trace`: four recipient keys per tuple scan, the whole
+//!   recipient set cached as one `MultiPlanCache` entry) against the
+//!   per-recipient reference (`trace_sequential`: one `PlanCache`
+//!   probe per recipient, which at 1000 recipients thrashes the
+//!   64-entry cache and replans every buyer on every call). The run
+//!   gates identical rankings first and enforces a ≥2x floor.
 //!
 //! The run asserts the paths produce byte-identical marked relations
 //! and decodes before timing anything, then writes
@@ -554,6 +562,72 @@ fn main() {
         *slot = best;
     }
 
+    // Fingerprint-batch scenario — 1000-recipient tracing on a warm
+    // service. The batched trace plans all recipients through
+    // `MultiKeyPlan` (four recipient keys per tuple scan) and caches
+    // the whole recipient set as ONE `MultiPlanCache` entry, so a warm
+    // repeat re-plans nothing; the per-recipient reference walks the
+    // ordinary `PlanCache`, whose 64-entry capacity cannot hold 1000
+    // buyer plans — every call replans every recipient. That cache
+    // shape, not the hash lanes alone, is what the ≥2x floor pins.
+    const FP_BUYERS: usize = 1_000;
+    // 24 mark bits: with 1000 recipients a 10-bit fingerprint would
+    // let an honest buyer match every bit by chance (p ≈ 1/1024 per
+    // buyer), so the ranking gate below needs a wider mark.
+    const FP_WM_LEN: usize = 24;
+    let fp_tuples = (tuples / 30).clamp(1_000, 4_000);
+    let fp_gen = SalesGenerator::new(ItemScanConfig { tuples: fp_tuples, ..Default::default() });
+    let fp_rel = fp_gen.generate();
+    let fp_spec = WatermarkSpec::builder(fp_gen.item_domain())
+        .master_key("markplan-bench-fingerprint")
+        .e(8)
+        .wm_len(FP_WM_LEN)
+        .expected_tuples(fp_tuples)
+        .build()
+        .expect("bench parameters are valid");
+    let fp_session = bind(&fp_spec, &fp_rel);
+    let buyer_names: Vec<String> = (0..FP_BUYERS).map(|i| format!("recipient-{i:04}")).collect();
+    let buyer_refs: Vec<&str> = buyer_names.iter().map(String::as_str).collect();
+    let leaker = buyer_refs[667];
+    let mut fingerprints = fp_session.fingerprint();
+    for buyer in &buyer_refs {
+        fingerprints.register(buyer);
+    }
+    let (leaked, _) = fingerprints.mark_copy(&fp_rel, leaker).expect("fingerprinted copy embeds");
+
+    // Correctness gate: the batched trace must reproduce the
+    // per-recipient reference exactly — same ranking, same bit
+    // counts, same court-time odds — and finger the right recipient.
+    let batched_results = fingerprints.trace(&leaked).expect("batched trace succeeds");
+    let sequential_results =
+        fingerprints.trace_sequential(&leaked).expect("sequential trace succeeds");
+    assert_eq!(batched_results.len(), FP_BUYERS);
+    let fp_identical = batched_results.len() == sequential_results.len()
+        && batched_results.iter().zip(&sequential_results).all(|(a, b)| {
+            a.buyer == b.buyer
+                && a.detection.matched_bits == b.detection.matched_bits
+                && a.detection.false_positive_probability == b.detection.false_positive_probability
+        });
+    assert!(fp_identical, "batched trace diverged from the per-recipient reference");
+    assert_eq!(batched_results[0].buyer, leaker, "trace must rank the leaking recipient first");
+
+    let mut fp_batch_best = f64::MAX;
+    for _ in 0..ITERS {
+        let start = Instant::now();
+        let results = fingerprints.trace(&leaked).expect("batched trace succeeds");
+        fp_batch_best = fp_batch_best.min(start.elapsed().as_secs_f64() * 1e3);
+        std::hint::black_box(results.len());
+    }
+    let mut fp_sequential_best = f64::MAX;
+    for _ in 0..ITERS {
+        let start = Instant::now();
+        let results = fingerprints.trace_sequential(&leaked).expect("sequential trace succeeds");
+        fp_sequential_best = fp_sequential_best.min(start.elapsed().as_secs_f64() * 1e3);
+        std::hint::black_box(results.len());
+    }
+    let fp_speedup = fp_sequential_best / fp_batch_best;
+    let fp_recipients_per_s = FP_BUYERS as f64 / (fp_batch_best / 1e3);
+
     let speedup = baseline_best / planned_best;
     let session_speedup = per_operator_best / session_best;
     let columnar_speedup = rowstore_best / columnar_best;
@@ -631,9 +705,21 @@ fn main() {
     for (&threads, &ms) in plan_thread_counts.iter().zip(&plan_threads_ms) {
         println!("  threads={threads}:            {ms:9.2} ms");
     }
+    println!("fingerprint batch ({FP_BUYERS} recipients over {fp_tuples} tuples, warm service):");
+    println!(
+        "  per-recipient trace:  {fp_sequential_best:9.2} ms   (PlanCache thrashes, replans all)"
+    );
+    println!(
+        "  batched trace:        {fp_batch_best:9.2} ms   {fp_recipients_per_s:.0} recipients/s"
+    );
+    println!("  batch speedup:        {fp_speedup:9.2}x");
     assert!(
         guarded_speedup >= 2.0,
         "guarded-embed scenario regressed below the 2x target: {guarded_speedup:.2}x"
+    );
+    assert!(
+        fp_speedup >= 2.0,
+        "batched fingerprint trace regressed below the 2x target: {fp_speedup:.2}x"
     );
     // On a multi-core host the overlap must pay for the clone; on a
     // single core there is nothing to overlap with, so only gross
@@ -645,7 +731,7 @@ fn main() {
     );
 
     let json = format!(
-        "{{\n  \"bench\": \"markplan_round_trip\",\n  \"tuples\": {tuples},\n  \"e\": {E},\n  \"wm_len\": {WM_LEN},\n  \"iterations\": {ITERS},\n  \"baseline_round_trip_ms\": {baseline_best:.3},\n  \"plan_round_trip_ms\": {planned_best:.3},\n  \"plan_tuples_per_second\": {throughput:.0},\n  \"speedup\": {speedup:.3},\n  \"per_operator_court_run_ms\": {per_operator_best:.3},\n  \"session_court_run_ms\": {session_best:.3},\n  \"session_speedup\": {session_speedup:.3},\n  \"rowstore_round_trip_ms\": {rowstore_best:.3},\n  \"columnar_round_trip_ms\": {columnar_best:.3},\n  \"columnar_speedup\": {columnar_speedup:.3},\n  \"clone_rowstore_ms\": {clone_row_best:.3},\n  \"clone_columnar_ms\": {clone_col_best:.3},\n  \"clone_speedup\": {clone_speedup:.3},\n  \"rowstore_bytes_per_tuple\": {rowstore_bytes_per_tuple:.0},\n  \"columnar_bytes_per_tuple\": {columnar_bytes_per_tuple:.0},\n  \"select_rowtuple_ms\": {select_row_best:.3},\n  \"select_compiled_ms\": {select_col_best:.3},\n  \"select_speedup\": {select_speedup:.3},\n  \"join_rowtuple_ms\": {join_row_best:.3},\n  \"join_codespace_ms\": {join_col_best:.3},\n  \"join_speedup\": {join_speedup:.3},\n  \"guarded_e\": {E_GUARD},\n  \"guarded_rowtuple_ms\": {guarded_row_best:.3},\n  \"guarded_coded_ms\": {guarded_col_best:.3},\n  \"guarded_speedup\": {guarded_speedup:.3},\n  \"guarded_altered\": {guarded_altered},\n  \"guarded_vetoed\": {guarded_vetoed},\n  \"guarded_byte_identical\": {guarded_byte_identical},\n  \"out_of_core_segments\": {ooc_segments},\n  \"out_of_core_segment_rows\": {ooc_segment_rows},\n  \"out_of_core_total_columnar_bytes\": {ooc_total_bytes},\n  \"out_of_core_budget_bytes\": {ooc_budget},\n  \"out_of_core_peak_pageable_bytes\": {ooc_peak},\n  \"out_of_core_resident_overhead_bytes\": {ooc_overhead},\n  \"out_of_core_spilled_bytes\": {ooc_spilled},\n  \"out_of_core_round_trip_ms\": {ooc_best:.3},\n  \"out_of_core_vs_inmemory\": {ooc_slowdown:.3},\n  \"out_of_core_identical\": {ooc_identical},\n  \"pipeline_round_trip_ms\": {pipeline_best:.3},\n  \"pipeline_vs_sequential\": {pipeline_vs_sequential:.3},\n  \"pipeline_vs_inmemory\": {pipeline_vs_inmemory:.3},\n  \"pipeline_prefetched\": {pipe_prefetched},\n  \"pipeline_peak_inflight_bytes\": {pipe_inflight},\n  \"pipeline_identical\": {pipe_identical},\n  \"sha_backend\": \"{sha_backend}\",\n  \"sha_ni_available\": {shani_available},\n  \"hash_soft_mb_per_s\": {hash_soft_mb_per_s:.1},\n  \"hash_shani_mb_per_s\": {hash_shani_mb_per_s:.1},\n  \"plan_threads_scaling\": {{ \"t1_ms\": {t1:.3}, \"t2_ms\": {t2:.3}, \"t4_ms\": {t4:.3} }},\n  \"host_threads\": {host_threads},\n  \"byte_identical\": {byte_identical}\n}}\n",
+        "{{\n  \"bench\": \"markplan_round_trip\",\n  \"tuples\": {tuples},\n  \"e\": {E},\n  \"wm_len\": {WM_LEN},\n  \"iterations\": {ITERS},\n  \"baseline_round_trip_ms\": {baseline_best:.3},\n  \"plan_round_trip_ms\": {planned_best:.3},\n  \"plan_tuples_per_second\": {throughput:.0},\n  \"speedup\": {speedup:.3},\n  \"per_operator_court_run_ms\": {per_operator_best:.3},\n  \"session_court_run_ms\": {session_best:.3},\n  \"session_speedup\": {session_speedup:.3},\n  \"rowstore_round_trip_ms\": {rowstore_best:.3},\n  \"columnar_round_trip_ms\": {columnar_best:.3},\n  \"columnar_speedup\": {columnar_speedup:.3},\n  \"clone_rowstore_ms\": {clone_row_best:.3},\n  \"clone_columnar_ms\": {clone_col_best:.3},\n  \"clone_speedup\": {clone_speedup:.3},\n  \"rowstore_bytes_per_tuple\": {rowstore_bytes_per_tuple:.0},\n  \"columnar_bytes_per_tuple\": {columnar_bytes_per_tuple:.0},\n  \"select_rowtuple_ms\": {select_row_best:.3},\n  \"select_compiled_ms\": {select_col_best:.3},\n  \"select_speedup\": {select_speedup:.3},\n  \"join_rowtuple_ms\": {join_row_best:.3},\n  \"join_codespace_ms\": {join_col_best:.3},\n  \"join_speedup\": {join_speedup:.3},\n  \"guarded_e\": {E_GUARD},\n  \"guarded_rowtuple_ms\": {guarded_row_best:.3},\n  \"guarded_coded_ms\": {guarded_col_best:.3},\n  \"guarded_speedup\": {guarded_speedup:.3},\n  \"guarded_altered\": {guarded_altered},\n  \"guarded_vetoed\": {guarded_vetoed},\n  \"guarded_byte_identical\": {guarded_byte_identical},\n  \"out_of_core_segments\": {ooc_segments},\n  \"out_of_core_segment_rows\": {ooc_segment_rows},\n  \"out_of_core_total_columnar_bytes\": {ooc_total_bytes},\n  \"out_of_core_budget_bytes\": {ooc_budget},\n  \"out_of_core_peak_pageable_bytes\": {ooc_peak},\n  \"out_of_core_resident_overhead_bytes\": {ooc_overhead},\n  \"out_of_core_spilled_bytes\": {ooc_spilled},\n  \"out_of_core_round_trip_ms\": {ooc_best:.3},\n  \"out_of_core_vs_inmemory\": {ooc_slowdown:.3},\n  \"out_of_core_identical\": {ooc_identical},\n  \"pipeline_round_trip_ms\": {pipeline_best:.3},\n  \"pipeline_vs_sequential\": {pipeline_vs_sequential:.3},\n  \"pipeline_vs_inmemory\": {pipeline_vs_inmemory:.3},\n  \"pipeline_prefetched\": {pipe_prefetched},\n  \"pipeline_peak_inflight_bytes\": {pipe_inflight},\n  \"pipeline_identical\": {pipe_identical},\n  \"fingerprint_batch_buyers\": {FP_BUYERS},\n  \"fingerprint_batch_tuples\": {fp_tuples},\n  \"fingerprint_batch_trace_ms\": {fp_batch_best:.3},\n  \"fingerprint_batch_sequential_ms\": {fp_sequential_best:.3},\n  \"fingerprint_batch_recipients_per_s\": {fp_recipients_per_s:.0},\n  \"fingerprint_batch_speedup\": {fp_speedup:.3},\n  \"sha_backend\": \"{sha_backend}\",\n  \"sha_ni_available\": {shani_available},\n  \"hash_soft_mb_per_s\": {hash_soft_mb_per_s:.1},\n  \"hash_shani_mb_per_s\": {hash_shani_mb_per_s:.1},\n  \"plan_threads_scaling\": {{ \"t1_ms\": {t1:.3}, \"t2_ms\": {t2:.3}, \"t4_ms\": {t4:.3} }},\n  \"host_threads\": {host_threads},\n  \"byte_identical\": {byte_identical}\n}}\n",
         t1 = plan_threads_ms[0],
         t2 = plan_threads_ms[1],
         t4 = plan_threads_ms[2],

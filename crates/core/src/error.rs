@@ -35,6 +35,16 @@ pub enum CoreError {
     /// The embedding-map variant was asked to decode without a map
     /// entry for any fit tuple.
     EmptyEmbedding,
+    /// A tenant-scoped key registry refused to serve key material to a
+    /// different tenant. Key material never crosses tenant boundaries:
+    /// a registry bound to one tenant rejects lookups on behalf of any
+    /// other, regardless of whether the requested key name exists.
+    TenantIsolation {
+        /// The tenant the registry is bound to.
+        tenant: String,
+        /// The tenant the lookup was issued for.
+        requested: String,
+    },
     /// Quality constraints vetoed every candidate alteration.
     AllAlterationsVetoed,
 }
@@ -59,6 +69,11 @@ impl std::fmt::Display for CoreError {
             CoreError::EmptyEmbedding => {
                 f.write_str("no fit tuples found; nothing was embedded or decoded")
             }
+            CoreError::TenantIsolation { tenant, requested } => write!(
+                f,
+                "tenant isolation: key registry is bound to tenant {tenant:?} \
+                 but the lookup was issued for tenant {requested:?}"
+            ),
             CoreError::AllAlterationsVetoed => {
                 f.write_str("quality constraints vetoed every candidate alteration")
             }
@@ -105,6 +120,15 @@ mod tests {
         assert!(msg.contains("no such attribute"), "{msg}");
         assert!(msg.contains("2 attributes"), "{msg}");
         assert!(msg.contains("visit_nbr, item"), "{msg}");
+    }
+
+    #[test]
+    fn tenant_isolation_names_both_tenants() {
+        let e = CoreError::TenantIsolation { tenant: "acme".into(), requested: "globex".into() };
+        let msg = e.to_string();
+        assert!(msg.contains("acme"), "{msg}");
+        assert!(msg.contains("globex"), "{msg}");
+        assert!(std::error::Error::source(&e).is_none());
     }
 
     #[test]

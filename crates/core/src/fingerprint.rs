@@ -13,6 +13,9 @@
 //! independent (≈ 1/e² overlap), per-buyer marks barely interfere, and
 //! a copy leaks its buyer's identity even after the usual attacks.
 
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
 use catmark_crypto::SecretKey;
 use catmark_relation::Relation;
 
@@ -21,8 +24,13 @@ use crate::detect::{detect, Detection};
 use crate::ecc::MajorityVotingEcc;
 use crate::embed::{EmbedReport, Embedder};
 use crate::error::CoreError;
-use crate::plan::PlanCache;
+use crate::plan::{MultiPlanCache, PlanCache};
 use crate::spec::{Watermark, WatermarkSpec};
+
+/// Buyer identity → derived `(spec, mark)`, memoized because key
+/// derivation hashes and every trace historically re-derived all of it
+/// per call.
+type DerivedCache = Arc<Mutex<HashMap<String, Arc<(WatermarkSpec, Watermark)>>>>;
 
 /// A registry of buyers sharing one base spec (master keys,
 /// parameters, domain).
@@ -30,13 +38,20 @@ use crate::spec::{Watermark, WatermarkSpec};
 /// The registry carries a [`PlanCache`]: tracing decodes the suspect
 /// under *every* buyer's keys, and a follow-up [`FingerprintRegistry::accuse`]
 /// (or repeated traces during an investigation) re-decodes the same
-/// copy — each `(buyer spec, suspect)` pair is planned once. Clones
-/// share the cache.
+/// copy — each `(buyer spec, suspect)` pair is planned once. It also
+/// carries a [`MultiPlanCache`] for the recipient-batched paths
+/// ([`FingerprintRegistry::trace`], [`FingerprintRegistry::mark_copies`]),
+/// which treat the whole buyer set as one cache entry — at hundreds of
+/// buyers the per-plan cache's capacity would thrash. Derived buyer
+/// specs and marks are memoized too, so repeated traces never re-derive
+/// keys. Clones share all three stores.
 #[derive(Debug, Clone)]
 pub struct FingerprintRegistry {
     base: WatermarkSpec,
     buyers: Vec<String>,
     plans: PlanCache,
+    multi_plans: MultiPlanCache,
+    derived: DerivedCache,
 }
 
 /// One buyer's trace result.
@@ -67,7 +82,13 @@ impl FingerprintRegistry {
     /// and session decodes of the same copy plan once.
     #[must_use]
     pub fn with_cache(base: WatermarkSpec, plans: PlanCache) -> Self {
-        FingerprintRegistry { base, buyers: Vec::new(), plans }
+        FingerprintRegistry {
+            base,
+            buyers: Vec::new(),
+            plans,
+            multi_plans: MultiPlanCache::new(),
+            derived: Arc::new(Mutex::new(HashMap::new())),
+        }
     }
 
     /// Register a buyer (idempotent).
@@ -87,16 +108,33 @@ impl FingerprintRegistry {
     /// the buyer identity.
     #[must_use]
     pub fn spec_for(&self, buyer: &str) -> WatermarkSpec {
-        self.base.derived(&format!("buyer:{buyer}"))
+        self.derived_entry(buyer).0.clone()
     }
 
     /// The buyer-specific mark: the keyed hash of the buyer identity,
     /// truncated to `wm_len` (reproducible by the seller alone).
     #[must_use]
     pub fn mark_for(&self, buyer: &str) -> Watermark {
+        self.derived_entry(buyer).1.clone()
+    }
+
+    /// The memoized derived `(spec, mark)` pair for `buyer`, computing
+    /// and caching it on first request. Derivation is deterministic, so
+    /// the cache is purely a cost saver: a 1 000-buyer trace would
+    /// otherwise re-run 1 000 key derivations (each several hashes plus
+    /// a spec validation) on **every** call.
+    fn derived_entry(&self, buyer: &str) -> Arc<(WatermarkSpec, Watermark)> {
+        let mut derived = self.derived.lock().expect("derived-key cache is never poisoned");
+        if let Some(entry) = derived.get(buyer) {
+            return Arc::clone(entry);
+        }
+        let spec = self.base.derived(&format!("buyer:{buyer}"));
         let key =
             SecretKey::from_bytes([self.base.k1.as_bytes(), b"fingerprint".as_slice()].concat());
-        Watermark::from_identity(buyer, &key, self.base.wm_len)
+        let mark = Watermark::from_identity(buyer, &key, self.base.wm_len);
+        let entry = Arc::new((spec, mark));
+        derived.insert(buyer.to_owned(), Arc::clone(&entry));
+        entry
     }
 
     /// Produce `buyer`'s fingerprinted copy of `rel` (registering the
@@ -112,27 +150,72 @@ impl FingerprintRegistry {
         key_attr: &str,
         target_attr: &str,
     ) -> Result<(Relation, EmbedReport), CoreError> {
-        self.register(buyer);
-        let spec = self.spec_for(buyer);
-        let wm = self.mark_for(buyer);
+        let mut copies = self.mark_copies(rel, &[buyer], key_attr, target_attr)?;
+        Ok(copies.pop().expect("one buyer in, one copy out"))
+    }
+
+    /// Produce fingerprinted copies of `rel` for a whole batch of
+    /// buyers (registering each if needed), hashing the key column
+    /// through the recipient-batched [`crate::plan::MultiKeyPlan`]:
+    /// one streaming pass serves four buyers' plans at a time instead
+    /// of one pass per buyer. Copies come back in `buyers` order,
+    /// byte-identical to N sequential [`FingerprintRegistry::mark_copy`]
+    /// calls (pinned by proptest).
+    ///
+    /// A single-buyer batch plans through the per-plan [`PlanCache`]
+    /// instead, so ordinary `mark_copy` traffic doesn't evict the
+    /// (few, large) memoized recipient-set batches.
+    ///
+    /// # Errors
+    ///
+    /// Embedding failures.
+    pub fn mark_copies(
+        &mut self,
+        rel: &Relation,
+        buyers: &[&str],
+        key_attr: &str,
+        target_attr: &str,
+    ) -> Result<Vec<(Relation, EmbedReport)>, CoreError> {
         let key_idx = rel.schema().index_of(key_attr)?;
         let attr_idx = rel.schema().index_of(target_attr)?;
-        let mut copy = rel.clone();
-        let plan = self.plans.plan_for(&spec, &copy, key_idx)?;
-        let report = Embedder::engine(&spec).embed_with_plan(
-            &mut copy,
-            attr_idx,
-            &wm,
-            &MajorityVotingEcc,
-            None,
-            &plan,
-        )?;
-        Ok((copy, report))
+        for buyer in buyers {
+            self.register(buyer);
+        }
+        let entries: Vec<Arc<(WatermarkSpec, Watermark)>> =
+            buyers.iter().map(|b| self.derived_entry(b)).collect();
+        let plans: Vec<Arc<crate::plan::MarkPlan>> = if buyers.len() == 1 {
+            vec![self.plans.plan_for(&entries[0].0, rel, key_idx)?]
+        } else {
+            let specs: Vec<WatermarkSpec> = entries.iter().map(|e| e.0.clone()).collect();
+            self.multi_plans.plan_for(&specs, rel, key_idx)?.plans().to_vec()
+        };
+        let mut copies = Vec::with_capacity(buyers.len());
+        for (entry, plan) in entries.iter().zip(&plans) {
+            let (spec, wm) = (&entry.0, &entry.1);
+            let mut copy = rel.clone();
+            let report = Embedder::engine(spec).embed_with_plan(
+                &mut copy,
+                attr_idx,
+                wm,
+                &MajorityVotingEcc,
+                None,
+                plan,
+            )?;
+            copies.push((copy, report));
+        }
+        Ok(copies)
     }
 
     /// Decode `suspect` under every registered buyer's keys, ranked by
     /// ascending false-positive probability (strongest evidence
     /// first).
+    ///
+    /// The per-buyer keyed-hash passes run recipient-batched through
+    /// one [`crate::plan::MultiKeyPlan`] (four buyers' lanes per scan
+    /// of the key column), and the whole buyer set's plan batch is
+    /// memoized per suspect — repeated traces of the same copy during
+    /// an investigation re-plan nothing. Results are identical to
+    /// [`FingerprintRegistry::trace_sequential`] (pinned by proptest).
     ///
     /// # Errors
     ///
@@ -145,12 +228,52 @@ impl FingerprintRegistry {
     ) -> Result<Vec<TraceResult>, CoreError> {
         let key_idx = suspect.schema().index_of(key_attr)?;
         let attr_idx = suspect.schema().index_of(target_attr)?;
+        let entries: Vec<Arc<(WatermarkSpec, Watermark)>> =
+            self.buyers.iter().map(|b| self.derived_entry(b)).collect();
+        let specs: Vec<WatermarkSpec> = entries.iter().map(|e| e.0.clone()).collect();
+        let batch = self.multi_plans.plan_for(&specs, suspect, key_idx)?;
+        let mut results = Vec::with_capacity(self.buyers.len());
+        for ((buyer, entry), plan) in self.buyers.iter().zip(&entries).zip(batch.plans()) {
+            let (spec, wm) = (&entry.0, &entry.1);
+            let decode = Decoder::engine(spec).decode_with_plan(
+                suspect,
+                attr_idx,
+                &MajorityVotingEcc,
+                plan,
+            )?;
+            results.push(TraceResult {
+                buyer: buyer.clone(),
+                detection: detect(&decode.watermark, wm),
+            });
+        }
+        Self::rank(&mut results);
+        Ok(results)
+    }
+
+    /// The per-recipient reference for [`FingerprintRegistry::trace`]:
+    /// one full plan-and-decode pass per registered buyer through the
+    /// per-plan cache, exactly the historical semantics. Kept public so
+    /// equivalence tests (and callers who want per-buyer passes, e.g.
+    /// to bound memory at enormous buyer counts) can pin the batched
+    /// path against it.
+    ///
+    /// # Errors
+    ///
+    /// Attribute-resolution failures.
+    pub fn trace_sequential(
+        &self,
+        suspect: &Relation,
+        key_attr: &str,
+        target_attr: &str,
+    ) -> Result<Vec<TraceResult>, CoreError> {
+        let key_idx = suspect.schema().index_of(key_attr)?;
+        let attr_idx = suspect.schema().index_of(target_attr)?;
         let mut results = Vec::with_capacity(self.buyers.len());
         for buyer in &self.buyers {
-            let spec = self.spec_for(buyer);
-            let wm = self.mark_for(buyer);
-            let plan = self.plans.plan_for(&spec, suspect, key_idx)?;
-            let decode = Decoder::engine(&spec).decode_with_plan(
+            let entry = self.derived_entry(buyer);
+            let (spec, wm) = (&entry.0, &entry.1);
+            let plan = self.plans.plan_for(spec, suspect, key_idx)?;
+            let decode = Decoder::engine(spec).decode_with_plan(
                 suspect,
                 attr_idx,
                 &MajorityVotingEcc,
@@ -158,15 +281,21 @@ impl FingerprintRegistry {
             )?;
             results.push(TraceResult {
                 buyer: buyer.clone(),
-                detection: detect(&decode.watermark, &wm),
+                detection: detect(&decode.watermark, wm),
             });
         }
+        Self::rank(&mut results);
+        Ok(results)
+    }
+
+    /// Strongest evidence first: ascending false-positive probability,
+    /// ties broken by buyer registration order (the sort is stable).
+    fn rank(results: &mut [TraceResult]) {
         results.sort_by(|a, b| {
             a.detection
                 .false_positive_probability
                 .total_cmp(&b.detection.false_positive_probability)
         });
-        Ok(results)
     }
 
     /// Convenience: the single accused buyer, when exactly one clears
@@ -252,6 +381,65 @@ mod tests {
             reg.accuse(&leaked, "visit_nbr", "item_nbr", 1e-2).unwrap(),
             Some("initech".to_owned())
         );
+    }
+
+    #[test]
+    fn batched_copies_match_sequential_mark_copy() {
+        // `mark_copies` must hand every buyer exactly the copy a
+        // sequential `mark_copy` loop would have produced — including a
+        // duplicate buyer id in the middle of the batch.
+        let (mut batched_reg, rel) = registry();
+        let (mut seq_reg, _) = registry();
+        let buyers = ["acme", "globex", "acme", "initech", "umbrella", "hooli"];
+        let batched = batched_reg.mark_copies(&rel, &buyers, "visit_nbr", "item_nbr").unwrap();
+        assert_eq!(batched.len(), buyers.len());
+        for (buyer, (copy, report)) in buyers.iter().zip(&batched) {
+            let (expected, expected_report) =
+                seq_reg.mark_copy(&rel, buyer, "visit_nbr", "item_nbr").unwrap();
+            assert_eq!(copy.len(), expected.len(), "buyer {buyer}");
+            assert!(
+                copy.iter().zip(expected.iter()).all(|(a, b)| a == b),
+                "buyer {buyer}: batched copy diverges from sequential"
+            );
+            assert_eq!(report.altered, expected_report.altered, "buyer {buyer}");
+        }
+        assert_eq!(batched_reg.buyers(), ["acme", "globex", "initech", "umbrella", "hooli"]);
+    }
+
+    #[test]
+    fn batched_trace_matches_sequential_trace() {
+        let (mut reg, rel) = registry();
+        for b in ["acme", "globex", "initech", "umbrella", "hooli"] {
+            reg.mark_copy(&rel, b, "visit_nbr", "item_nbr").unwrap();
+        }
+        let (leaked, _) = reg.mark_copy(&rel, "globex", "visit_nbr", "item_nbr").unwrap();
+        let batched = reg.trace(&leaked, "visit_nbr", "item_nbr").unwrap();
+        let sequential = reg.trace_sequential(&leaked, "visit_nbr", "item_nbr").unwrap();
+        assert_eq!(batched.len(), sequential.len());
+        for (b, s) in batched.iter().zip(&sequential) {
+            assert_eq!(b.buyer, s.buyer);
+            assert_eq!(b.detection.matched_bits, s.detection.matched_bits);
+            assert_eq!(
+                b.detection.false_positive_probability,
+                s.detection.false_positive_probability
+            );
+        }
+        assert_eq!(batched[0].buyer, "globex");
+    }
+
+    #[test]
+    fn derived_entries_are_memoized_and_stable() {
+        let (reg, _) = registry();
+        let spec_a = reg.spec_for("acme");
+        let mark_a = reg.mark_for("acme");
+        // Second call serves the memoized entry — same bytes.
+        assert_eq!(spec_a.k1, reg.spec_for("acme").k1);
+        assert_eq!(spec_a.k2, reg.spec_for("acme").k2);
+        assert_eq!(mark_a, reg.mark_for("acme"));
+        // And a fresh registry derives the same thing from scratch.
+        let (fresh, _) = registry();
+        assert_eq!(spec_a.k1, fresh.spec_for("acme").k1);
+        assert_eq!(mark_a, fresh.mark_for("acme"));
     }
 
     #[test]

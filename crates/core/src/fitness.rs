@@ -6,7 +6,7 @@
 //! association, and (iii) — through the hash's one-wayness — defeats
 //! court-time claims that the keys were fished for after the fact.
 
-use catmark_crypto::{CanonicalInput, FixedLenKeyedHasher, KeyedHash};
+use catmark_crypto::{CanonicalInput, FixedLenKeyedHasher, FixedLenKeyedHasher4, KeyedHash};
 use catmark_relation::{CanonicalInt, Relation, Value};
 
 use crate::spec::WatermarkSpec;
@@ -114,6 +114,27 @@ impl FitnessSelector {
         }
     }
 
+    /// A scanner fused across **four selectors** (four recipients'
+    /// derived key pairs) over an integer key column: one tuple key in,
+    /// four recipients' fitness facts out, through the multi-key
+    /// four-lane hasher. This transposes [`FitnessSelector::int_scanner`]
+    /// — lanes run across recipients instead of tuples — so a single
+    /// pass over the key column serves a whole recipient quad.
+    ///
+    /// Falls back to four scalar evaluations when any selector's key
+    /// layout doesn't qualify for the fused fast path. Bit-identical,
+    /// lane for lane, to each selector's own
+    /// [`FitnessSelector::facts`] (pinned by test).
+    #[must_use]
+    pub fn int_scanner4<'a>(selectors: [&'a FitnessSelector; 4]) -> IntFitScanner4<'a> {
+        let singles = selectors.map(|s| s.keyed1.fixed_len_hasher(9));
+        let fast1 = match &singles {
+            [Some(a), Some(b), Some(c), Some(d)] => FixedLenKeyedHasher::quad([a, b, c, d]),
+            _ => None,
+        };
+        IntFitScanner4 { selectors, fast1, fast2: selectors.map(|s| s.keyed2.fixed_len_hasher(9)) }
+    }
+
     /// The `wm_data` position carried by the fit tuple with key `key`:
     /// `H(key, k2) mod |wm_data|`.
     ///
@@ -211,6 +232,45 @@ impl IntFitScanner<'_> {
             None => self.selector.keyed2.hash_canonical_u64(buf.as_slice()),
         };
         Some(FitFacts { position: (h2 % self.selector.wm_data_len) as usize, base_raw: h1 >> 32 })
+    }
+}
+
+/// See [`FitnessSelector::int_scanner4`].
+#[derive(Debug, Clone)]
+pub struct IntFitScanner4<'a> {
+    selectors: [&'a FitnessSelector; 4],
+    fast1: Option<FixedLenKeyedHasher4>,
+    fast2: [Option<FixedLenKeyedHasher>; 4],
+}
+
+impl IntFitScanner4<'_> {
+    /// Fitness facts of one tuple key under all four recipients'
+    /// selectors: lane `i` is exactly `selectors[i].facts(Int(key))`.
+    /// The fused `H(·, k1)` quad runs once; the rarer `H(·, k2)`
+    /// position hash runs per fit lane under that lane's own `k2`.
+    #[must_use]
+    pub fn facts4(&self, key: i64) -> [Option<FitFacts>; 4] {
+        let buf = CanonicalInt(key).encode();
+        let Some(fast1) = &self.fast1 else {
+            return self.selectors.map(|s| s.facts_canonical(buf.as_slice()));
+        };
+        let h1s = fast1.hash4_u64(&buf);
+        let mut out = [None; 4];
+        for lane in 0..4 {
+            let sel = self.selectors[lane];
+            if !h1s[lane].is_multiple_of(sel.e) {
+                continue;
+            }
+            let h2 = match &self.fast2[lane] {
+                Some(fast) => fast.hash_u64(&buf),
+                None => sel.keyed2.hash_canonical_u64(buf.as_slice()),
+            };
+            out[lane] = Some(FitFacts {
+                position: (h2 % sel.wm_data_len) as usize,
+                base_raw: h1s[lane] >> 32,
+            });
+        }
+        out
     }
 }
 
@@ -327,6 +387,28 @@ mod tests {
         for i in (-2_000i64..2_000).chain([i64::MIN, i64::MAX, 1_000_000_007]) {
             assert_eq!(scanner.facts(i), sel.facts(&Value::Int(i)), "i={i}");
         }
+    }
+
+    #[test]
+    fn int_scanner4_matches_each_selectors_facts() {
+        // The recipient-fused scanner must reproduce, lane for lane,
+        // what each recipient's own selector derives — including mixed
+        // parameters across lanes (different e / wm_data_len) and
+        // duplicate selectors sharing a lane pair.
+        let base = spec(20);
+        let specs =
+            [base.derived("buyer:a"), base.derived("buyer:b"), spec(60), base.derived("buyer:a")];
+        let sels: Vec<FitnessSelector> = specs.iter().map(FitnessSelector::new).collect();
+        let scanner = FitnessSelector::int_scanner4([&sels[0], &sels[1], &sels[2], &sels[3]]);
+        let mut fit_seen = 0;
+        for i in (-3_000i64..3_000).chain([i64::MIN, i64::MAX, 1_000_000_007]) {
+            let lanes = scanner.facts4(i);
+            for (lane, sel) in lanes.iter().zip(&sels) {
+                assert_eq!(*lane, sel.facts(&Value::Int(i)), "i={i}");
+                fit_seen += usize::from(lane.is_some());
+            }
+        }
+        assert!(fit_seen > 100, "fixture too small: {fit_seen}");
     }
 
     #[test]

@@ -23,6 +23,27 @@
 //! Text domains use one `domain-text <hex-of-utf8>` entry per value so
 //! arbitrary content round-trips. The format is versioned and refuses
 //! unknown versions.
+//!
+//! # Tenant-scoped registries
+//!
+//! The service front end holds key material for many tenants at once,
+//! so single-spec escrow files compose into a versioned
+//! [`TenantKeyRegistry`]: one tenant, several *named* keys, serialized
+//! as another line-oriented text file:
+//!
+//! ```text
+//! catmark-tenant-registry v1
+//! tenant acme
+//! key production <hex-of-key-file>
+//! key staging <hex-of-key-file>
+//! ```
+//!
+//! Each `key` payload is a complete v1 key file, hex-encoded onto one
+//! line, so the registry inherits the escrow format verbatim (and any
+//! future key-file version bump flows through unchanged). Lookups are
+//! tenant-checked: asking a registry bound to one tenant for another
+//! tenant's key is a [`CoreError::TenantIsolation`] error, never a
+//! fallthrough.
 
 use catmark_crypto::hex::{from_hex, to_hex};
 use catmark_crypto::SecretKey;
@@ -161,6 +182,178 @@ pub fn from_key_file(text: &str) -> Result<WatermarkSpec, CoreError> {
     Ok(spec)
 }
 
+const REGISTRY_MAGIC: &str = "catmark-tenant-registry v1";
+
+/// `true` when `s` can serve as a tenant or key name: non-empty and
+/// free of whitespace (the formats above are space-delimited).
+fn valid_token(s: &str) -> bool {
+    !s.is_empty() && !s.chars().any(char::is_whitespace)
+}
+
+/// A named collection of [`WatermarkSpec`]s bound to a single tenant.
+///
+/// The service daemon loads one registry per tenant; every lookup
+/// carries the requesting tenant's name and is refused with
+/// [`CoreError::TenantIsolation`] when it does not match the tenant the
+/// registry was built for. Key names are unique within a registry and
+/// preserve insertion order.
+#[derive(Debug, Clone)]
+pub struct TenantKeyRegistry {
+    tenant: String,
+    keys: Vec<(String, WatermarkSpec)>,
+}
+
+impl TenantKeyRegistry {
+    /// Create an empty registry bound to `tenant`.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidSpec`] when `tenant` is empty or contains
+    /// whitespace (the on-disk format is space-delimited).
+    pub fn new(tenant: &str) -> Result<Self, CoreError> {
+        if !valid_token(tenant) {
+            return Err(CoreError::InvalidSpec(format!(
+                "tenant registry: invalid tenant name {tenant:?} (must be non-empty, no whitespace)"
+            )));
+        }
+        Ok(TenantKeyRegistry { tenant: tenant.to_string(), keys: Vec::new() })
+    }
+
+    /// The tenant this registry is bound to.
+    #[must_use]
+    pub fn tenant(&self) -> &str {
+        &self.tenant
+    }
+
+    /// Add (or replace, for key rotation) the spec stored under `name`.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidSpec`] when `name` is empty or contains
+    /// whitespace.
+    pub fn insert(&mut self, name: &str, spec: WatermarkSpec) -> Result<(), CoreError> {
+        if !valid_token(name) {
+            return Err(CoreError::InvalidSpec(format!(
+                "tenant registry: invalid key name {name:?} (must be non-empty, no whitespace)"
+            )));
+        }
+        match self.keys.iter_mut().find(|(n, _)| n == name) {
+            Some((_, slot)) => *slot = spec,
+            None => self.keys.push((name.to_string(), spec)),
+        }
+        Ok(())
+    }
+
+    /// Look up the spec stored under `name` on behalf of `tenant`.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::TenantIsolation`] when `tenant` is not the tenant
+    /// this registry is bound to — checked *before* the name, so a
+    /// cross-tenant caller cannot even probe which key names exist.
+    /// [`CoreError::InvalidSpec`] when the name is unknown.
+    pub fn get(&self, tenant: &str, name: &str) -> Result<&WatermarkSpec, CoreError> {
+        if tenant != self.tenant {
+            return Err(CoreError::TenantIsolation {
+                tenant: self.tenant.clone(),
+                requested: tenant.to_string(),
+            });
+        }
+        self.keys.iter().find(|(n, _)| n == name).map(|(_, spec)| spec).ok_or_else(|| {
+            CoreError::InvalidSpec(format!(
+                "tenant registry: tenant {tenant:?} has no key named {name:?}"
+            ))
+        })
+    }
+
+    /// The named entries, in insertion order.
+    pub fn entries(&self) -> impl Iterator<Item = (&str, &WatermarkSpec)> {
+        self.keys.iter().map(|(n, s)| (n.as_str(), s))
+    }
+
+    /// Number of named keys held.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// `true` when no keys are held.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Serialize to the registry text format.
+    #[must_use]
+    pub fn to_registry_file(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "{REGISTRY_MAGIC}");
+        let _ = writeln!(out, "tenant {}", self.tenant);
+        for (name, spec) in &self.keys {
+            let _ = writeln!(out, "key {} {}", name, to_hex(to_key_file(spec).as_bytes()));
+        }
+        out
+    }
+
+    /// Parse a registry file produced by
+    /// [`to_registry_file`](Self::to_registry_file).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidSpec`] on version mismatch, missing tenant,
+    /// duplicate key names, or a malformed embedded key file.
+    pub fn from_registry_file(text: &str) -> Result<Self, CoreError> {
+        let bad = |msg: String| CoreError::InvalidSpec(format!("tenant registry: {msg}"));
+        let mut lines = text.lines();
+        let magic = lines.next().ok_or_else(|| bad("empty input".into()))?;
+        if magic.trim() != REGISTRY_MAGIC {
+            return Err(bad(format!("unsupported header {magic:?}")));
+        }
+        let mut tenant: Option<String> = None;
+        let mut keys: Vec<(String, WatermarkSpec)> = Vec::new();
+        for (idx, raw) in lines.enumerate() {
+            let line = raw.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (field, rest) = line
+                .split_once(' ')
+                .ok_or_else(|| bad(format!("line {}: missing value", idx + 2)))?;
+            match field {
+                "tenant" => {
+                    if tenant.is_some() {
+                        return Err(bad("duplicate tenant line".into()));
+                    }
+                    if !valid_token(rest) {
+                        return Err(bad(format!("invalid tenant name {rest:?}")));
+                    }
+                    tenant = Some(rest.to_string());
+                }
+                "key" => {
+                    if tenant.is_none() {
+                        return Err(bad("key entry before tenant line".into()));
+                    }
+                    let (name, payload) = rest.split_once(' ').ok_or_else(|| {
+                        bad(format!("line {}: key needs name and payload", idx + 2))
+                    })?;
+                    if keys.iter().any(|(n, _)| n == name) {
+                        return Err(bad(format!("duplicate key name {name:?}")));
+                    }
+                    let bytes = from_hex(payload).map_err(|e| bad(format!("key {name:?}: {e}")))?;
+                    let embedded =
+                        String::from_utf8(bytes).map_err(|e| bad(format!("key {name:?}: {e}")))?;
+                    let spec = from_key_file(&embedded)?;
+                    keys.push((name.to_string(), spec));
+                }
+                other => return Err(bad(format!("unknown field {other:?}"))),
+            }
+        }
+        let tenant = tenant.ok_or_else(|| bad("missing tenant line".into()))?;
+        Ok(TenantKeyRegistry { tenant, keys })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -243,6 +436,86 @@ mod tests {
         assert!(from_key_file(&bad_erasure).is_err());
         let bad_algo = base.replace("algo sha256", "algo rot13");
         assert!(from_key_file(&bad_algo).is_err());
+    }
+
+    #[test]
+    fn tenant_registry_round_trips_named_keys() {
+        let mut reg = TenantKeyRegistry::new("acme").unwrap();
+        reg.insert("production", spec()).unwrap();
+        let mut staging = spec();
+        staging.domain = domains::cities();
+        reg.insert("staging", staging.clone()).unwrap();
+
+        let restored = TenantKeyRegistry::from_registry_file(&reg.to_registry_file()).unwrap();
+        assert_eq!(restored.tenant(), "acme");
+        assert_eq!(restored.len(), 2);
+        let names: Vec<&str> = restored.entries().map(|(n, _)| n).collect();
+        assert_eq!(names, ["production", "staging"], "insertion order survives");
+        let prod = restored.get("acme", "production").unwrap();
+        assert_eq!(prod.k1, spec().k1);
+        assert_eq!(prod.k2, spec().k2);
+        assert_eq!(prod.e, spec().e);
+        let stag = restored.get("acme", "staging").unwrap();
+        assert_eq!(stag.domain, domains::cities());
+    }
+
+    #[test]
+    fn tenant_registry_enforces_isolation_before_name_lookup() {
+        let mut reg = TenantKeyRegistry::new("acme").unwrap();
+        reg.insert("production", spec()).unwrap();
+        // Wrong tenant: refused even for a key name that exists...
+        let err = reg.get("globex", "production").unwrap_err();
+        assert_eq!(
+            err,
+            CoreError::TenantIsolation { tenant: "acme".into(), requested: "globex".into() }
+        );
+        // ...and for one that does not, so name existence never leaks.
+        let err = reg.get("globex", "no-such-key").unwrap_err();
+        assert!(matches!(err, CoreError::TenantIsolation { .. }));
+        // Right tenant, unknown name: a plain spec error instead.
+        assert!(matches!(reg.get("acme", "no-such-key"), Err(CoreError::InvalidSpec(_))));
+    }
+
+    #[test]
+    fn tenant_registry_insert_replaces_for_rotation() {
+        let mut reg = TenantKeyRegistry::new("acme").unwrap();
+        reg.insert("production", spec()).unwrap();
+        let mut rotated = spec();
+        rotated.e = 99;
+        reg.insert("production", rotated).unwrap();
+        assert_eq!(reg.len(), 1);
+        assert_eq!(reg.get("acme", "production").unwrap().e, 99);
+    }
+
+    #[test]
+    fn tenant_registry_rejects_bad_names_and_malformed_files() {
+        assert!(TenantKeyRegistry::new("").is_err());
+        assert!(TenantKeyRegistry::new("two words").is_err());
+        let mut reg = TenantKeyRegistry::new("acme").unwrap();
+        assert!(reg.insert("", spec()).is_err());
+        assert!(reg.insert("spaced name", spec()).is_err());
+
+        assert!(TenantKeyRegistry::from_registry_file("").is_err());
+        assert!(TenantKeyRegistry::from_registry_file("catmark-tenant-registry v9\n").is_err());
+        // Key before tenant.
+        let early =
+            format!("{REGISTRY_MAGIC}\nkey a {}\n", to_hex(to_key_file(&spec()).as_bytes()));
+        assert!(TenantKeyRegistry::from_registry_file(&early).is_err());
+        // Missing tenant entirely.
+        assert!(TenantKeyRegistry::from_registry_file(&format!("{REGISTRY_MAGIC}\n")).is_err());
+        // Duplicate tenant line.
+        let dup = format!("{REGISTRY_MAGIC}\ntenant a\ntenant b\n");
+        assert!(TenantKeyRegistry::from_registry_file(&dup).is_err());
+        // Duplicate key name.
+        let payload = to_hex(to_key_file(&spec()).as_bytes());
+        let dupkey = format!("{REGISTRY_MAGIC}\ntenant acme\nkey a {payload}\nkey a {payload}\n");
+        assert!(TenantKeyRegistry::from_registry_file(&dupkey).is_err());
+        // Corrupt hex payload.
+        let corrupt = format!("{REGISTRY_MAGIC}\ntenant acme\nkey a zz-not-hex\n");
+        assert!(TenantKeyRegistry::from_registry_file(&corrupt).is_err());
+        // Unknown field.
+        let unknown = format!("{REGISTRY_MAGIC}\ntenant acme\nbogus 1\n");
+        assert!(TenantKeyRegistry::from_registry_file(&unknown).is_err());
     }
 
     #[test]

@@ -127,7 +127,7 @@ pub use embed::{EmbedReport, Embedder};
 pub use error::CoreError;
 pub use fitness::{FitFacts, FitnessSelector};
 pub use outofcore::PipelineStats;
-pub use plan::{MarkPlan, PlanCache, PlannedRow};
+pub use plan::{MarkPlan, MultiKeyPlan, MultiPlanCache, PlanCache, PlannedRow};
 pub use session::{
     ColumnRef, FingerprintSession, MarkSession, MarkSessionBuilder, MultiAttrSession, Outcome,
     Verdict,

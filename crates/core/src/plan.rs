@@ -31,6 +31,123 @@ use crate::error::CoreError;
 use crate::fitness::{FitFacts, FitnessSelector, IntFitScanner};
 use crate::spec::WatermarkSpec;
 
+/// Per-recipient [`MarkPlan`]s built in one batched pass over the key
+/// column.
+///
+/// The paper's fingerprinting story derives an independent key pair per
+/// recipient, so every recipient's fit set / positions / value bases
+/// differ — the hash work is irreducible. What *is* reducible is the
+/// number of passes: the four-lane SHA-256 multibuffer that normally
+/// batches four **tuples** under one key (see
+/// [`crate::fitness::FitnessSelector::int_scanner`]) batches four
+/// **recipient keys** per tuple here
+/// ([`crate::fitness::FitnessSelector::int_scanner4`]), so one
+/// streaming read of the key column yields whole-quad facts per tuple:
+/// lanes across recipients instead of across rows, with the column hot
+/// in cache for all four.
+///
+/// Each contained plan is **byte-identical** to
+/// [`MarkPlan::build_sequential`] under that recipient's spec (pinned
+/// by test and proptest): downstream embed/decode/trace consumers can't
+/// tell how the plan was built.
+#[derive(Debug, Clone)]
+pub struct MultiKeyPlan {
+    plans: Vec<Arc<MarkPlan>>,
+}
+
+impl MultiKeyPlan {
+    /// Build one plan per spec in `specs` order, batching recipient
+    /// quads through the multi-key hasher where the key column is an
+    /// integer column (the common case: primary keys). Non-integer key
+    /// columns and trailing partial quads fall back to per-recipient
+    /// sequential builds — same bytes, fewer shared passes.
+    #[must_use]
+    pub fn build(specs: &[WatermarkSpec], rel: &Relation, key_idx: usize) -> MultiKeyPlan {
+        let column_fp = column_fingerprint(rel, key_idx);
+        let ColumnView::Int(keys) = rel.column(key_idx) else {
+            return Self::sequential_knowing_fp(specs, rel, key_idx, column_fp);
+        };
+        let mut plans = Vec::with_capacity(specs.len());
+        let mut quads = specs.chunks_exact(4);
+        for quad in &mut quads {
+            let sels: Vec<FitnessSelector> = quad.iter().map(FitnessSelector::new).collect();
+            let scanner = FitnessSelector::int_scanner4([&sels[0], &sels[1], &sels[2], &sels[3]]);
+            let ns: Vec<u64> = quad.iter().map(domain_size).collect();
+            let mut fits: [Vec<PlannedRow>; 4] = std::array::from_fn(|lane| {
+                Vec::with_capacity(fit_estimate(rel.len(), quad[lane].e))
+            });
+            for (row, &key) in keys.iter().enumerate() {
+                let lanes = scanner.facts4(key);
+                for (lane, facts) in lanes.into_iter().enumerate() {
+                    if let Some(facts) = facts {
+                        fits[lane].push(planned(row, &facts, ns[lane]));
+                    }
+                }
+            }
+            for (lane, fit) in fits.into_iter().enumerate() {
+                plans.push(Arc::new(MarkPlan {
+                    spec_id: spec_identity(&quad[lane]),
+                    key_idx,
+                    column_fp,
+                    rows: rel.len(),
+                    n: ns[lane],
+                    fit,
+                }));
+            }
+        }
+        for spec in quads.remainder() {
+            plans.push(Arc::new(MarkPlan::sequential_knowing_fp(spec, rel, key_idx, column_fp)));
+        }
+        MultiKeyPlan { plans }
+    }
+
+    /// The per-recipient reference: N independent
+    /// [`MarkPlan::build_sequential`] passes. The batched
+    /// [`MultiKeyPlan::build`] must reproduce this byte for byte.
+    #[must_use]
+    pub fn build_sequential(
+        specs: &[WatermarkSpec],
+        rel: &Relation,
+        key_idx: usize,
+    ) -> MultiKeyPlan {
+        Self::sequential_knowing_fp(specs, rel, key_idx, column_fingerprint(rel, key_idx))
+    }
+
+    fn sequential_knowing_fp(
+        specs: &[WatermarkSpec],
+        rel: &Relation,
+        key_idx: usize,
+        column_fp: u64,
+    ) -> MultiKeyPlan {
+        MultiKeyPlan {
+            plans: specs
+                .iter()
+                .map(|spec| {
+                    Arc::new(MarkPlan::sequential_knowing_fp(spec, rel, key_idx, column_fp))
+                })
+                .collect(),
+        }
+    }
+
+    /// The per-recipient plans, in the spec order given to the build.
+    #[must_use]
+    pub fn plans(&self) -> &[Arc<MarkPlan>] {
+        &self.plans
+    }
+
+    /// Number of recipient plans.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// Whether the batch holds no plans.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.plans.is_empty()
+    }
+}
+
 /// The planned facts for one fit tuple.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PlannedRow {
@@ -517,6 +634,87 @@ impl PlanCache {
     }
 }
 
+/// Memoizes whole [`MultiKeyPlan`]s keyed by `(recipient-set identity,
+/// key attribute, key-column content fingerprint)`.
+///
+/// [`PlanCache`] is the wrong shape for recipient batches: at 1 000
+/// registered buyers a single trace inserts 1 000 distinct plans,
+/// blowing through [`PlanCache::CAPACITY`] and resetting the store —
+/// every repeated trace of the same suspect re-plans everything. This
+/// cache treats the **entire recipient set** as one entry, so a
+/// long-lived service tracing the same few suspect copies over and
+/// over pays the batched pass once per suspect. Capacity is small
+/// ([`MultiPlanCache::CAPACITY`] suspect relations) because each entry
+/// is large (≈ recipients × N/e planned rows).
+#[derive(Debug, Clone, Default)]
+pub struct MultiPlanCache {
+    inner: Arc<Mutex<HashMap<PlanKey, Arc<MultiKeyPlan>>>>,
+}
+
+impl MultiPlanCache {
+    /// Distinct recipient-set plans memoized before the store resets.
+    pub const CAPACITY: usize = 4;
+
+    /// Fresh, empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The batched plan for `(specs, rel, key_idx)`, building and
+    /// memoizing it on first request. The cache key folds every spec's
+    /// identity in order, so adding, removing, or reordering recipients
+    /// is a different entry.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Relation`] when `key_idx` is out of schema range.
+    pub fn plan_for(
+        &self,
+        specs: &[WatermarkSpec],
+        rel: &Relation,
+        key_idx: usize,
+    ) -> Result<Arc<MultiKeyPlan>, CoreError> {
+        if key_idx >= rel.schema().arity() {
+            return Err(CoreError::Relation(catmark_relation::RelationError::InvalidSchema(
+                format!("key attribute index {key_idx} out of range"),
+            )));
+        }
+        let mut set_id = Fnv::new();
+        for spec in specs {
+            set_id.write(&spec_identity(spec).to_be_bytes());
+        }
+        let key = (set_id.finish(), key_idx, column_fingerprint(rel, key_idx));
+        if let Some(plan) = self.inner.lock().expect("plan cache is never poisoned").get(&key) {
+            return Ok(Arc::clone(plan));
+        }
+        // Build outside the lock — same reasoning as [`PlanCache`].
+        let plan = Arc::new(MultiKeyPlan::build(specs, rel, key_idx));
+        let mut inner = self.inner.lock().expect("plan cache is never poisoned");
+        if inner.len() >= Self::CAPACITY && !inner.contains_key(&key) {
+            inner.clear();
+        }
+        Ok(Arc::clone(inner.entry(key).or_insert(plan)))
+    }
+
+    /// Number of memoized recipient-set plans.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("plan cache is never poisoned").len()
+    }
+
+    /// Whether the cache is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop all memoized plans.
+    pub fn clear(&self) {
+        self.inner.lock().expect("plan cache is never poisoned").clear();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -735,5 +933,75 @@ mod tests {
     fn cache_rejects_out_of_range_attribute() {
         let (rel, spec) = fixture(100, 10);
         assert!(PlanCache::new().plan_for(&spec, &rel, 9).is_err());
+    }
+
+    #[test]
+    fn multi_key_build_matches_sequential_per_recipient() {
+        // The batched recipient pass must reproduce each recipient's
+        // independent sequential build byte for byte — across batch
+        // sizes that exercise full quads, partial quads, the
+        // single-recipient case, and duplicate recipients.
+        let (rel, spec) = fixture(3_000, 15);
+        for count in [0usize, 1, 3, 4, 5, 8, 11] {
+            let mut specs: Vec<WatermarkSpec> =
+                (0..count).map(|i| spec.derived(&format!("buyer:{}", i % 7))).collect();
+            if count > 2 {
+                // Force a duplicate pair inside one quad.
+                specs[1] = specs[0].clone();
+            }
+            let batched = MultiKeyPlan::build(&specs, &rel, 0);
+            let reference = MultiKeyPlan::build_sequential(&specs, &rel, 0);
+            assert_eq!(batched.len(), count);
+            assert_eq!(batched.is_empty(), count == 0);
+            for (i, (b, r)) in batched.plans().iter().zip(reference.plans()).enumerate() {
+                assert_eq!(b.fit(), r.fit(), "count={count} recipient={i}");
+                assert_eq!(b.rows(), r.rows());
+                assert!(b.matches(&specs[i], &rel), "count={count} recipient={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn multi_key_build_falls_back_on_text_key_columns() {
+        let pool = ["red", "green", "blue", "cyan"];
+        let (rel, spec) = text_keyed_fixture(2_000, &pool);
+        let specs: Vec<WatermarkSpec> =
+            (0..5).map(|i| spec.derived(&format!("buyer:{i}"))).collect();
+        let batched = MultiKeyPlan::build(&specs, &rel, 1);
+        for (i, plan) in batched.plans().iter().enumerate() {
+            let reference = MarkPlan::build_sequential(&specs[i], &rel, 1);
+            assert_eq!(plan.fit(), reference.fit(), "recipient={i}");
+        }
+    }
+
+    #[test]
+    fn multi_plan_cache_reuses_whole_recipient_sets() {
+        let (rel, spec) = fixture(1_000, 10);
+        let specs: Vec<WatermarkSpec> =
+            (0..9).map(|i| spec.derived(&format!("buyer:{i}"))).collect();
+        let cache = MultiPlanCache::new();
+        let a = cache.plan_for(&specs, &rel, 0).unwrap();
+        let b = cache.plan_for(&specs, &rel, 0).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "identical recipient sets share one batch");
+        assert_eq!(cache.len(), 1);
+
+        // Reordering recipients is a different entry (plan order is
+        // part of the contract).
+        let mut reordered = specs.clone();
+        reordered.swap(0, 5);
+        let c = cache.plan_for(&reordered, &rel, 0).unwrap();
+        assert!(!Arc::ptr_eq(&a, &c));
+
+        // Bounded: overflowing the capacity resets rather than grows.
+        for i in 0..(MultiPlanCache::CAPACITY + 2) {
+            let other: Vec<WatermarkSpec> =
+                (0..3).map(|j| spec.derived(&format!("set-{i}-{j}"))).collect();
+            cache.plan_for(&other, &rel, 0).unwrap();
+        }
+        assert!(cache.len() <= MultiPlanCache::CAPACITY);
+        cache.clear();
+        assert!(cache.is_empty());
+
+        assert!(cache.plan_for(&specs, &rel, 9).is_err());
     }
 }

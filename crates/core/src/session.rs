@@ -436,6 +436,29 @@ impl MarkSession {
         }
     }
 
+    /// Fingerprint `rel` for a whole batch of buyers in one
+    /// recipient-batched pass (the paper's distribution step at
+    /// scale): returns the bound [`FingerprintSession`] — with every
+    /// buyer registered, ready to [`FingerprintSession::trace`] a
+    /// future leak — together with the per-buyer marked copies in
+    /// `buyers` order. Byte-identical to registering and
+    /// [`FingerprintSession::mark_copy`]-ing each buyer sequentially
+    /// (pinned by proptest); the key column is hashed four recipients
+    /// per scan instead of once per buyer.
+    ///
+    /// # Errors
+    ///
+    /// Embedding failures.
+    pub fn fingerprint_batch(
+        &self,
+        rel: &Relation,
+        buyers: &[&str],
+    ) -> Result<(FingerprintSession, Vec<(Relation, EmbedReport)>), CoreError> {
+        let mut session = self.fingerprint();
+        let copies = session.mark_copies(rel, buyers)?;
+        Ok((session, copies))
+    }
+
     /// An ownership [`Claim`] under this session's keys — the
     /// session holder's side of a contest.
     #[must_use]
@@ -620,14 +643,40 @@ impl FingerprintSession {
         self.registry.mark_copy(rel, buyer, &self.key.name, &self.target.name)
     }
 
+    /// Produce fingerprinted copies for a whole batch of buyers in one
+    /// recipient-batched pass — see
+    /// [`FingerprintRegistry::mark_copies`].
+    ///
+    /// # Errors
+    ///
+    /// Embedding failures.
+    pub fn mark_copies(
+        &mut self,
+        rel: &Relation,
+        buyers: &[&str],
+    ) -> Result<Vec<(Relation, EmbedReport)>, CoreError> {
+        self.registry.mark_copies(rel, buyers, &self.key.name, &self.target.name)
+    }
+
     /// Decode `suspect` under every registered buyer's keys, strongest
-    /// evidence first.
+    /// evidence first (recipient-batched; see
+    /// [`FingerprintRegistry::trace`]).
     ///
     /// # Errors
     ///
     /// Attribute-resolution failures.
     pub fn trace(&self, suspect: &Relation) -> Result<Vec<TraceResult>, CoreError> {
         self.registry.trace(suspect, &self.key.name, &self.target.name)
+    }
+
+    /// The per-recipient reference for [`FingerprintSession::trace`] —
+    /// see [`FingerprintRegistry::trace_sequential`].
+    ///
+    /// # Errors
+    ///
+    /// Attribute-resolution failures.
+    pub fn trace_sequential(&self, suspect: &Relation) -> Result<Vec<TraceResult>, CoreError> {
+        self.registry.trace_sequential(suspect, &self.key.name, &self.target.name)
     }
 
     /// The single accused buyer, when exactly one clears `alpha`.

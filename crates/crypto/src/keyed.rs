@@ -362,6 +362,99 @@ impl FixedLenKeyedHasher {
         }
         crate::sha256::digest4_two_blocks_u64_with(backend, &block1s, &self.block2_schedule)
     }
+
+    /// Bundle four fixed-length hashers — four *different* keys sharing
+    /// one message layout — into a [`FixedLenKeyedHasher4`] that hashes
+    /// a single value under all four keys in one multibuffer pass.
+    ///
+    /// This is the transpose of [`Self::hash4_u64`]: instead of four
+    /// values under one key (lanes across *tuples*), it runs one value
+    /// under four keys (lanes across *recipients*), which is what lets
+    /// a single scan of a key column serve a whole recipient batch.
+    /// Returns `None` unless all four hashers were compiled for the
+    /// same value width and key length (the derived-key deployments
+    /// always qualify: every derived key is one digest wide).
+    #[must_use]
+    pub fn quad(hashers: [&FixedLenKeyedHasher; 4]) -> Option<FixedLenKeyedHasher4> {
+        let (v_offset, vlen) = (hashers[0].v_offset, hashers[0].vlen);
+        if hashers.iter().any(|h| h.v_offset != v_offset || h.vlen != vlen) {
+            return None;
+        }
+        let block1s = [hashers[0].block1, hashers[1].block1, hashers[2].block1, hashers[3].block1];
+        let w2s = [
+            hashers[0].block2_schedule,
+            hashers[1].block2_schedule,
+            hashers[2].block2_schedule,
+            hashers[3].block2_schedule,
+        ];
+        let mut w2_lanes = [[0u32; 4]; 64];
+        for (i, word) in w2_lanes.iter_mut().enumerate() {
+            for lane in 0..4 {
+                word[lane] = w2s[lane][i];
+            }
+        }
+        Some(FixedLenKeyedHasher4 { block1s, v_offset, vlen, w2s, w2_lanes })
+    }
+}
+
+/// Four fixed-length keyed hashers under four *different* keys, fused
+/// for the multi-key multibuffer: one value in, four truncated digests
+/// out — bit-identical, lane for lane, to four independent
+/// [`FixedLenKeyedHasher::hash_u64`] calls (pinned by test). Built via
+/// [`FixedLenKeyedHasher::quad`]; immutable and `Send + Sync`, one
+/// instance serves a whole column scan for a recipient quad.
+#[derive(Debug, Clone)]
+pub struct FixedLenKeyedHasher4 {
+    /// Per-lane first message blocks with the value regions zeroed.
+    block1s: [[u8; 64]; 4],
+    v_offset: usize,
+    vlen: usize,
+    /// Per-lane pre-expanded constant second-block schedules (the
+    /// layout the SHA-NI stream pairs consume).
+    w2s: [[u32; 64]; 4],
+    /// The same schedules transposed word-major (the layout the soft
+    /// multibuffer consumes).
+    w2_lanes: [[u32; 4]; 64],
+}
+
+impl FixedLenKeyedHasher4 {
+    /// `[H(V, k_0), H(V, k_1), H(V, k_2), H(V, k_3)]`, each truncated
+    /// to the leading 8 digest bytes (big-endian), where `v` is the
+    /// value's canonical encoding.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `v.len()` differs from the length the hashers were
+    /// compiled for.
+    #[must_use]
+    pub fn hash4_u64(&self, v: &[u8]) -> [u64; 4] {
+        self.hash4_u64_with(crate::Sha256Backend::active(), v)
+    }
+
+    /// [`Self::hash4_u64`] on an explicit backend — used by the
+    /// equivalence proptests and the bench harness; production callers
+    /// go through [`Self::hash4_u64`], which uses the process-wide
+    /// selection. Falls back to software when `backend` is unavailable
+    /// on this CPU.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `v.len()` differs from the length the hashers were
+    /// compiled for.
+    #[must_use]
+    pub fn hash4_u64_with(&self, backend: crate::Sha256Backend, v: &[u8]) -> [u64; 4] {
+        assert_eq!(v.len(), self.vlen, "fixed-length hasher fed a different value width");
+        let mut block1s = self.block1s;
+        for block in &mut block1s {
+            block[self.v_offset..self.v_offset + self.vlen].copy_from_slice(v);
+        }
+        crate::sha256::digest4_two_blocks_u64_multikey_with(
+            backend,
+            &block1s,
+            &self.w2s,
+            &self.w2_lanes,
+        )
+    }
 }
 
 /// Deterministic keyed PRF coins.
@@ -514,6 +607,58 @@ mod tests {
             buf[1..].copy_from_slice(&i.to_be_bytes());
             assert_eq!(fast.hash_u64(&buf), h.hash_canonical_u64(buf.as_slice()), "i={i}");
         }
+    }
+
+    #[test]
+    fn multi_key_quad_matches_four_single_streams() {
+        // The recipient-batched layout: four different derived keys
+        // hashing the same 9-byte canonical integer must reproduce the
+        // four independent single-stream hashes lane for lane, on
+        // every backend the CPU offers.
+        let master = SecretKey::from_bytes(b"recipients".to_vec());
+        let hashes: Vec<KeyedHash> = (0..4)
+            .map(|i| {
+                KeyedHash::new(
+                    HashAlgorithm::Sha256,
+                    master.derive(HashAlgorithm::Sha256, &format!("buyer:{i}")),
+                )
+            })
+            .collect();
+        let fasts: Vec<FixedLenKeyedHasher> =
+            hashes.iter().map(|h| h.fixed_len_hasher(9).expect("derived key qualifies")).collect();
+        let quad = FixedLenKeyedHasher::quad([&fasts[0], &fasts[1], &fasts[2], &fasts[3]])
+            .expect("uniform layout");
+        for i in [0i64, 1, -1, 42, i64::MAX, i64::MIN, 7_919] {
+            let mut buf = [0u8; 9];
+            buf[0] = 0x01;
+            buf[1..].copy_from_slice(&i.to_be_bytes());
+            for backend in crate::Sha256Backend::ALL {
+                let lanes = quad.hash4_u64_with(backend, &buf);
+                for (lane, fast) in lanes.iter().zip(&fasts) {
+                    assert_eq!(*lane, fast.hash_u64(&buf), "i={i} backend={backend}");
+                }
+            }
+            assert_eq!(
+                quad.hash4_u64(&buf),
+                quad.hash4_u64_with(crate::Sha256Backend::active(), &buf)
+            );
+        }
+    }
+
+    #[test]
+    fn multi_key_quad_declines_mismatched_layouts() {
+        let h = KeyedHash::new(HashAlgorithm::Sha256, SecretKey::from_bytes([7u8; 32].to_vec()));
+        let h9 = h.fixed_len_hasher(9).unwrap();
+        let h5 = h.fixed_len_hasher(5).unwrap();
+        assert!(FixedLenKeyedHasher::quad([&h9, &h9, &h5, &h9]).is_none());
+        // Different key lengths shift v_offset, so they must decline
+        // even at equal value widths.
+        let short =
+            KeyedHash::new(HashAlgorithm::Sha256, SecretKey::from_bytes([3u8; 24].to_vec()))
+                .fixed_len_hasher(9)
+                .unwrap();
+        assert!(FixedLenKeyedHasher::quad([&short, &h9, &short, &h9]).is_none());
+        assert!(FixedLenKeyedHasher::quad([&h9, &h9, &h9, &h9]).is_some());
     }
 
     #[test]

@@ -51,7 +51,9 @@ pub(crate) mod sha256_shani;
 
 pub use backend::Sha256Backend;
 pub use digest::{Digest, DynDigest};
-pub use keyed::{CanonicalInput, FixedLenKeyedHasher, KeyedHash, KeyedPrf, SecretKey};
+pub use keyed::{
+    CanonicalInput, FixedLenKeyedHasher, FixedLenKeyedHasher4, KeyedHash, KeyedPrf, SecretKey,
+};
 
 /// Selects one of the supported one-way hash functions.
 ///

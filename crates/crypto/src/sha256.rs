@@ -171,6 +171,31 @@ pub(crate) const INITIAL_STATE: [u32; 8] = INIT;
 /// variant is checked against. Dispatch happens in
 /// [`digest4_two_blocks_u64_with`].
 fn digest4_two_blocks_u64_soft(block1s: &[[u8; 64]; 4], w2: &[u32; 64]) -> [u64; 4] {
+    multibuffer_two_blocks_u64(block1s, |i| [w2[i]; 4])
+}
+
+/// Multi-key variant of the software multibuffer: each lane carries its
+/// own constant second block (four *different* keys hashing one value),
+/// supplied pre-transposed as `w2_lanes[i][lane]`. This is what lets a
+/// single pass over a key column serve four recipients at once.
+fn digest4_two_blocks_u64_multikey_soft(
+    block1s: &[[u8; 64]; 4],
+    w2_lanes: &[[u32; 4]; 64],
+) -> [u64; 4] {
+    multibuffer_two_blocks_u64(block1s, |i| w2_lanes[i])
+}
+
+/// Shared core of the two soft multibuffer entry points above: block 1
+/// is transposed and expanded per lane; block 2's schedule words are
+/// produced by `w2_lane(i)` — a broadcast of one shared schedule for
+/// the single-key case, a transposed per-lane read for the multi-key
+/// case. `#[inline(always)]` so each wrapper monomorphizes to straight
+/// vectorizable code with no closure call.
+#[inline(always)]
+fn multibuffer_two_blocks_u64(
+    block1s: &[[u8; 64]; 4],
+    w2_lane: impl Fn(usize) -> [u32; 4],
+) -> [u64; 4] {
     type Lane = [u32; 4];
 
     #[inline(always)]
@@ -233,13 +258,13 @@ fn digest4_two_blocks_u64_soft(block1s: &[[u8; 64]; 4], w2: &[u32; 64]) -> [u64;
     ];
 
     macro_rules! rounds_over {
-        ($w:expr, $get:expr, $state:ident) => {{
+        ($get:expr, $state:ident) => {{
             let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = $state;
             macro_rules! r4 {
                 ($aa:ident,$bb:ident,$cc:ident,$dd:ident,$ee:ident,$ff:ident,$gg:ident,$hh:ident,$i:expr) => {
                     let s1 = xor(xor(rotr($ee, 6), rotr($ee, 11)), rotr($ee, 25));
                     let ch = xor(and($ee, $ff), andnot($ee, $gg));
-                    let wk = add($get($w, $i), splat(K[$i]));
+                    let wk = add($get($i), splat(K[$i]));
                     let t1 = add(add($hh, s1), add(ch, wk));
                     let s0 = xor(xor(rotr($aa, 2), rotr($aa, 13)), rotr($aa, 22));
                     let maj = xor(xor(and($aa, $bb), and($aa, $cc)), and($bb, $cc));
@@ -272,17 +297,8 @@ fn digest4_two_blocks_u64_soft(block1s: &[[u8; 64]; 4], w2: &[u32; 64]) -> [u64;
         }};
     }
 
-    #[inline(always)]
-    fn lane_w(w: &[[u32; 4]; 64], i: usize) -> [u32; 4] {
-        w[i]
-    }
-    #[inline(always)]
-    fn broadcast_w(w: &[u32; 64], i: usize) -> [u32; 4] {
-        [w[i]; 4]
-    }
-
-    rounds_over!(&w, lane_w, state);
-    rounds_over!(w2, broadcast_w, state);
+    rounds_over!(|i: usize| w[i], state);
+    rounds_over!(|i: usize| w2_lane(i), state);
 
     let mut out = [0u64; 4];
     for (lane, o) in out.iter_mut().enumerate() {
@@ -311,6 +327,34 @@ pub(crate) fn digest4_two_blocks_u64_with(
     }
     let _ = backend;
     digest4_two_blocks_u64_soft(block1s, w2)
+}
+
+/// Multi-key four-lane two-block keyed digest on an explicit backend:
+/// lane `i` compresses `block1s[i]` then lane `i`'s *own* constant
+/// second block. The schedules arrive in both layouts so neither
+/// backend transposes per call: `w2s[lane]` feeds the SHA-NI stream
+/// pairs, `w2_lanes[i][lane]` feeds the soft multibuffer. Callers
+/// ([`crate::keyed::FixedLenKeyedHasher4`]) precompute both once per
+/// key quad. Falls back to software when `backend` is unavailable on
+/// this CPU; both paths are bit-identical lane for lane (enforced by
+/// proptest).
+pub(crate) fn digest4_two_blocks_u64_multikey_with(
+    backend: Sha256Backend,
+    block1s: &[[u8; 64]; 4],
+    w2s: &[[u32; 64]; 4],
+    w2_lanes: &[[u32; 4]; 64],
+) -> [u64; 4] {
+    #[cfg(target_arch = "x86_64")]
+    if backend == Sha256Backend::ShaNi && Sha256Backend::ShaNi.is_available() {
+        // SAFETY: `is_available` verified the `sha`/`ssse3`/`sse4.1`
+        // CPU features at runtime.
+        #[allow(unsafe_code)]
+        unsafe {
+            return crate::sha256_shani::digest4_two_blocks_u64_multikey(block1s, w2s);
+        }
+    }
+    let _ = (backend, w2s);
+    digest4_two_blocks_u64_multikey_soft(block1s, w2_lanes)
 }
 
 /// Expand one message block into the 64-word schedule `W`.

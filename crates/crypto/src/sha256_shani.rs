@@ -296,3 +296,78 @@ pub(crate) unsafe fn digest4_two_blocks_u64(block1s: &[[u8; 64]; 4], w2: &[u32; 
         [a, b, c, d]
     }
 }
+
+/// Multi-key variant of [`digest2_two_blocks_u64`]: each stream carries
+/// its *own* constant second-block schedule (two different keys hashing
+/// one value each). Identical interleaving; the only change is that the
+/// block-2 loop computes a per-stream `wk` instead of sharing one.
+///
+/// # Safety
+///
+/// The CPU must support `sha`, `ssse3` and `sse4.1` (see module docs).
+#[target_feature(enable = "sha,ssse3,sse4.1")]
+pub(crate) unsafe fn digest2_two_blocks_u64_multikey(
+    block1_x: &[u8; 64],
+    block1_y: &[u8; 64],
+    w2_x: &[u32; 64],
+    w2_y: &[u32; 64],
+) -> (u64, u64) {
+    // SAFETY: caller guarantees the feature set; helpers share it, and
+    // all memory access goes through the bounds-checked helpers.
+    unsafe {
+        let (init_abef, init_cdgh) = load_state(&INITIAL_STATE);
+        let (mut abef_x, mut cdgh_x) = (init_abef, init_cdgh);
+        let (mut abef_y, mut cdgh_y) = (init_abef, init_cdgh);
+
+        // Block 1: separate schedules, interleaved rounds.
+        let mut mx = load_block(block1_x);
+        let mut my = load_block(block1_y);
+        for i in 0..16 {
+            let k = k_quad(i);
+            rounds4(&mut abef_x, &mut cdgh_x, _mm_add_epi32(mx[i & 3], k));
+            rounds4(&mut abef_y, &mut cdgh_y, _mm_add_epi32(my[i & 3], k));
+            if i < 12 {
+                mx[i & 3] = next_quad(&mx, i);
+                my[i & 3] = next_quad(&my, i);
+            }
+        }
+        abef_x = _mm_add_epi32(abef_x, init_abef);
+        cdgh_x = _mm_add_epi32(cdgh_x, init_cdgh);
+        abef_y = _mm_add_epi32(abef_y, init_abef);
+        cdgh_y = _mm_add_epi32(cdgh_y, init_cdgh);
+
+        // Block 2: per-stream constant schedules. Only the feed-forward
+        // of ABEF matters from here — the truncated digest is
+        // (A << 32) | B.
+        let (save_abef_x, save_abef_y) = (abef_x, abef_y);
+        for i in 0..16 {
+            let k = k_quad(i);
+            rounds4(&mut abef_x, &mut cdgh_x, _mm_add_epi32(w_quad(w2_x, i), k));
+            rounds4(&mut abef_y, &mut cdgh_y, _mm_add_epi32(w_quad(w2_y, i), k));
+        }
+        (
+            digest_u64(_mm_add_epi32(abef_x, save_abef_x)),
+            digest_u64(_mm_add_epi32(abef_y, save_abef_y)),
+        )
+    }
+}
+
+/// SHA-NI counterpart of the software multi-key multibuffer: four
+/// fixed-layout keyed hashes under four *different* keys, as two
+/// interleaved pairs.
+///
+/// # Safety
+///
+/// The CPU must support `sha`, `ssse3` and `sse4.1` (see module docs).
+#[target_feature(enable = "sha,ssse3,sse4.1")]
+pub(crate) unsafe fn digest4_two_blocks_u64_multikey(
+    block1s: &[[u8; 64]; 4],
+    w2s: &[[u32; 64]; 4],
+) -> [u64; 4] {
+    // SAFETY: caller guarantees the feature set; helpers share it.
+    unsafe {
+        let (a, b) = digest2_two_blocks_u64_multikey(&block1s[0], &block1s[1], &w2s[0], &w2s[1]);
+        let (c, d) = digest2_two_blocks_u64_multikey(&block1s[2], &block1s[3], &w2s[2], &w2s[3]);
+        [a, b, c, d]
+    }
+}

@@ -11,7 +11,7 @@
 //! path exists, and never fails where it doesn't.
 
 use catmark_crypto::sha256::{sha256, sha256_with_backend};
-use catmark_crypto::{HashAlgorithm, KeyedHash, SecretKey, Sha256Backend};
+use catmark_crypto::{FixedLenKeyedHasher, HashAlgorithm, KeyedHash, SecretKey, Sha256Backend};
 use proptest::prelude::*;
 
 #[test]
@@ -76,6 +76,39 @@ proptest! {
         // stream on both backends.
         for (lane, v) in soft4.iter().zip(&vs) {
             prop_assert_eq!(*lane, fast.hash_u64(v));
+        }
+    }
+
+    /// The multi-key quad (one value under four different keys) across
+    /// key content and value content: identical truncated digests on
+    /// both backends, and every lane agrees with its own single-stream
+    /// hasher.
+    #[test]
+    fn multi_key_quad_backends_are_bit_identical(
+        key_len in 1usize..48,
+        vlen in 1usize..48,
+        seed in any::<u64>(),
+    ) {
+        let hashes: Vec<KeyedHash> = (0..4u64)
+            .map(|lane| {
+                let key: Vec<u8> = (0..key_len)
+                    .map(|i| (seed ^ (lane << 48)).wrapping_mul(i as u64 + 3) as u8)
+                    .collect();
+                KeyedHash::new(HashAlgorithm::Sha256, SecretKey::from_bytes(key))
+            })
+            .collect();
+        let fasts: Vec<_> = hashes.iter().filter_map(|h| h.fixed_len_hasher(vlen)).collect();
+        if fasts.len() < 4 {
+            // Layout doesn't qualify for the two-block fast path.
+            return Ok(());
+        }
+        let quad = FixedLenKeyedHasher::quad([&fasts[0], &fasts[1], &fasts[2], &fasts[3]])
+            .expect("same key length and value width");
+        let v: Vec<u8> = (0..vlen).map(|i| seed.wrapping_mul(i as u64 + 7) as u8).collect();
+        let soft = quad.hash4_u64_with(Sha256Backend::Soft, &v);
+        prop_assert_eq!(quad.hash4_u64_with(Sha256Backend::ShaNi, &v), soft);
+        for (lane, fast) in soft.iter().zip(&fasts) {
+            prop_assert_eq!(*lane, fast.hash_u64(&v));
         }
     }
 }

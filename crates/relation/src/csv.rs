@@ -72,6 +72,66 @@ pub fn read_csv(schema: Schema, input: &mut impl BufRead) -> Result<Relation, Re
     Ok(rel)
 }
 
+/// Infer a [`Schema`] from a CSV stream: the header row names the
+/// attributes, and a column's type is sniffed from up to 100 sampled
+/// rows (Integer when every sampled value parses as `i64`, Text
+/// otherwise). The first column becomes the primary key; columns named
+/// in `cat_attrs` are flagged categorical.
+///
+/// Inference consumes the stream — re-open (or re-borrow) the input
+/// before handing it to [`read_csv`], or use [`read_csv_inferred`] for
+/// in-memory text.
+///
+/// # Errors
+///
+/// [`RelationError::Csv`] on an empty stream or malformed header.
+pub fn infer_schema(input: &mut impl BufRead, cat_attrs: &[&str]) -> Result<Schema, RelationError> {
+    let io = |e: std::io::Error| RelationError::Csv(e.to_string());
+    let mut lines = input.lines();
+    let header =
+        lines.next().ok_or_else(|| RelationError::Csv("empty input".into()))?.map_err(io)?;
+    let names = parse_row(&header)?;
+    if names.is_empty() || names.iter().any(String::is_empty) {
+        return Err(RelationError::Csv(format!("malformed header {header:?}")));
+    }
+    let mut integral = vec![true; names.len()];
+    for line in lines.take(100) {
+        let line = line.map_err(io)?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        for (i, field) in parse_row(&line)?.iter().enumerate() {
+            if i < integral.len() && field.trim().parse::<i64>().is_err() {
+                integral[i] = false;
+            }
+        }
+    }
+    let mut builder = Schema::builder();
+    for (i, name) in names.iter().enumerate() {
+        let ty = if integral[i] { crate::AttrType::Integer } else { crate::AttrType::Text };
+        builder = if i == 0 {
+            builder.key_attr(name, ty)
+        } else if cat_attrs.contains(&name.as_str()) {
+            builder.categorical_attr(name, ty)
+        } else {
+            builder.attr(name, ty)
+        };
+    }
+    builder.build()
+}
+
+/// [`infer_schema`] + [`read_csv`] over in-memory text — the one-call
+/// import for payloads that arrive as strings (the service protocol's
+/// inline CSV).
+///
+/// # Errors
+///
+/// As [`infer_schema`] and [`read_csv`].
+pub fn read_csv_inferred(text: &str, cat_attrs: &[&str]) -> Result<Relation, RelationError> {
+    let schema = infer_schema(&mut text.as_bytes(), cat_attrs)?;
+    read_csv(schema, &mut text.as_bytes())
+}
+
 fn escape(field: &str) -> String {
     if field.contains(',') || field.contains('"') || field.contains('\n') {
         format!("\"{}\"", field.replace('"', "\"\""))
@@ -185,6 +245,34 @@ mod tests {
         let rel = read_csv(schema(), &mut BufReader::new(data.as_slice())).unwrap();
         assert_eq!(rel.len(), 2);
         assert_eq!(rel.distinct_keys(), 1);
+    }
+
+    #[test]
+    fn infer_schema_sniffs_types_and_roles() {
+        let csv = "id,city,amount\n1,austin,10\n2,boston,20\n";
+        let schema = infer_schema(&mut csv.as_bytes(), &["city"]).unwrap();
+        assert_eq!(schema.key_attr().name, "id");
+        assert_eq!(schema.attr(0).ty, AttrType::Integer);
+        assert_eq!(schema.attr(1).ty, AttrType::Text);
+        assert!(schema.attr(1).categorical);
+        assert_eq!(schema.attr(2).ty, AttrType::Integer);
+        assert!(!schema.attr(2).categorical);
+        assert!(infer_schema(&mut "".as_bytes(), &["x"]).is_err());
+        assert!(infer_schema(&mut "a,,c\n".as_bytes(), &["x"]).is_err());
+    }
+
+    #[test]
+    fn read_csv_inferred_round_trips() {
+        let rel = sample();
+        let mut buf = Vec::new();
+        write_csv(&rel, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let parsed = read_csv_inferred(&text, &["city"]).unwrap();
+        assert_eq!(parsed.len(), rel.len());
+        assert!(parsed.schema().attr(1).categorical);
+        for (a, b) in rel.iter().zip(parsed.iter()) {
+            assert_eq!(a, b);
+        }
     }
 
     #[test]

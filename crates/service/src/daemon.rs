@@ -1,0 +1,680 @@
+//! The multi-tenant watermarking daemon.
+//!
+//! A [`Service`] holds one [`TenantKeyRegistry`] per tenant and a
+//! cache of bound [`MarkSession`]s / [`FingerprintSession`]s keyed by
+//! `(tenant, key name, key column, target column)`. Connections speak
+//! the framed JSON protocol (see [`crate::wire`] and `docs/SERVICE.md`
+//! at the repository root): a client first binds a tenant with the
+//! `hello` op, then issues `embed` / `decode` / `mark_copy` / `trace`
+//! ops carrying relations as inline CSV. Because the sessions are
+//! cached, repeated operations against the same data reuse the plan
+//! caches underneath — a warm service re-plans nothing, which is
+//! where the batched-tracing throughput comes from.
+//!
+//! # Tenant isolation
+//!
+//! Key material is resolved through the *bound* tenant: every lookup
+//! calls [`TenantKeyRegistry::get`] with the tenant the connection
+//! authenticated as, so naming another tenant's registry in a request
+//! yields [`CoreError::TenantIsolation`] from the registry itself —
+//! the daemon has no code path that touches foreign key material.
+//!
+//! # Large relations
+//!
+//! When [`ServiceConfig::segment_rows`] is non-zero, relations larger
+//! than that threshold are streamed through the segmented out-of-core
+//! pipeline ([`MarkSession::embed_segmented`] /
+//! [`MarkSession::decode_segmented`]) under the shared
+//! [`ServiceConfig::budget_bytes`] pager budget, so one daemon serving
+//! many tenants keeps a bounded resident footprint no matter how big
+//! the payloads get.
+
+use std::collections::HashMap;
+use std::io::{self, BufReader, Read, Write};
+
+use catmark_core::keyfile::TenantKeyRegistry;
+use catmark_core::{detect, CoreError, FingerprintSession, MarkSession, Watermark};
+use catmark_relation::csv::{read_csv_inferred, write_csv};
+use catmark_relation::{Relation, SegmentedRelation};
+
+use crate::json::{self, Json};
+use crate::wire::{read_frame, write_frame};
+
+/// Tuning knobs for a [`Service`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Stream relations with more rows than this through the
+    /// segmented out-of-core pipeline; `0` keeps everything
+    /// in-memory.
+    pub segment_rows: usize,
+    /// Shared resident-byte budget for segmented streaming.
+    pub budget_bytes: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig { segment_rows: 0, budget_bytes: 64 << 20 }
+    }
+}
+
+/// Cache key for bound sessions: tenant, key name, key column,
+/// target column.
+type SessionKey = (String, String, String, String);
+
+/// The daemon state: tenant registries plus warm session caches.
+pub struct Service {
+    config: ServiceConfig,
+    registries: HashMap<String, TenantKeyRegistry>,
+    sessions: HashMap<SessionKey, MarkSession>,
+    fingerprints: HashMap<SessionKey, FingerprintSession>,
+}
+
+impl Service {
+    /// Create an empty service.
+    #[must_use]
+    pub fn new(config: ServiceConfig) -> Self {
+        Service {
+            config,
+            registries: HashMap::new(),
+            sessions: HashMap::new(),
+            fingerprints: HashMap::new(),
+        }
+    }
+
+    /// Register a tenant's key material.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidSpec`] when the tenant is already
+    /// registered — replacing live key material requires a restart,
+    /// by design.
+    pub fn add_registry(&mut self, registry: TenantKeyRegistry) -> Result<(), CoreError> {
+        let tenant = registry.tenant().to_string();
+        if self.registries.contains_key(&tenant) {
+            return Err(CoreError::InvalidSpec(format!(
+                "service: tenant {tenant:?} is already registered"
+            )));
+        }
+        self.registries.insert(tenant, registry);
+        Ok(())
+    }
+
+    /// The registered tenant names, sorted.
+    #[must_use]
+    pub fn tenants(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.registries.keys().map(String::as_str).collect();
+        names.sort_unstable();
+        names
+    }
+
+    /// Process one request on behalf of a connection. `bound` is the
+    /// connection's hello-established tenant; the returned flag is
+    /// `true` when the request asked the daemon to shut down.
+    pub fn handle(&mut self, bound: &mut Option<String>, request: &Json) -> (Json, bool) {
+        let Some(op) = request.get("op").and_then(Json::as_str) else {
+            return (err_response("request has no \"op\" field"), false);
+        };
+        if op == "shutdown" {
+            return (ok_response(vec![("bye", Json::Bool(true))]), true);
+        }
+        let result = self.dispatch(op, bound, request);
+        (result.unwrap_or_else(|msg| err_response(&msg)), false)
+    }
+
+    fn dispatch(
+        &mut self,
+        op: &str,
+        bound: &mut Option<String>,
+        request: &Json,
+    ) -> Result<Json, String> {
+        if op == "hello" {
+            let tenant = str_field(request, "tenant")?;
+            let registry =
+                self.registries.get(tenant).ok_or_else(|| format!("unknown tenant {tenant:?}"))?;
+            let keys: Vec<Json> =
+                registry.entries().map(|(name, _)| Json::Str(name.to_string())).collect();
+            *bound = Some(tenant.to_string());
+            return Ok(ok_response(vec![
+                ("tenant", Json::Str(tenant.to_string())),
+                ("keys", Json::Arr(keys)),
+            ]));
+        }
+        let Some(tenant) = bound.clone() else {
+            return Err(format!("op {op:?} requires a tenant: send a \"hello\" op first"));
+        };
+        match op {
+            "embed" => self.embed_op(&tenant, request),
+            "decode" => self.decode_op(&tenant, request),
+            "mark_copy" => self.mark_copy_op(&tenant, request),
+            "trace" => self.trace_op(&tenant, request),
+            other => Err(format!("unknown op {other:?}")),
+        }
+    }
+
+    /// Resolve the spec for `(tenant, key)` on behalf of `bound` —
+    /// the isolation choke point: the lookup always carries the
+    /// connection's authenticated tenant.
+    fn spec_for(
+        &self,
+        bound: &str,
+        tenant: &str,
+        key: &str,
+    ) -> Result<catmark_core::WatermarkSpec, String> {
+        let registry =
+            self.registries.get(tenant).ok_or_else(|| format!("unknown tenant {tenant:?}"))?;
+        registry.get(bound, key).cloned().map_err(|e| e.to_string())
+    }
+
+    /// Fetch (binding on first use, rebinding on schema drift) the
+    /// cached [`MarkSession`] for the request's coordinates.
+    fn session_for(
+        &mut self,
+        bound: &str,
+        request: &Json,
+        rel: &Relation,
+    ) -> Result<(&MarkSession, SessionKey), String> {
+        let tenant = request.get("tenant").and_then(Json::as_str).unwrap_or(bound);
+        let key = str_field(request, "key")?;
+        let key_attr = str_field(request, "key_attr")?;
+        let attr = str_field(request, "attr")?;
+        let cache_key: SessionKey =
+            (tenant.to_string(), key.to_string(), key_attr.to_string(), attr.to_string());
+        let stale = match self.sessions.get(&cache_key) {
+            None => true,
+            Some(session) => {
+                // Rebind when the payload's schema no longer resolves
+                // the bound columns to the same indices.
+                rel.schema().index_of(key_attr).ok() != Some(session.key().index())
+                    || rel.schema().index_of(attr).ok() != Some(session.target().index())
+            }
+        };
+        if stale {
+            let spec = self.spec_for(bound, tenant, key)?;
+            let session = MarkSession::builder(spec)
+                .key_column(key_attr)
+                .target_column(attr)
+                .bind(rel)
+                .map_err(|e| e.to_string())?;
+            self.sessions.insert(cache_key.clone(), session);
+            self.fingerprints.remove(&cache_key);
+        }
+        Ok((self.sessions.get(&cache_key).expect("just ensured"), cache_key))
+    }
+
+    /// The warm [`FingerprintSession`] for the request's coordinates
+    /// — registered buyers and plan caches persist across requests.
+    fn fingerprint_for(
+        &mut self,
+        bound: &str,
+        request: &Json,
+        rel: &Relation,
+    ) -> Result<&mut FingerprintSession, String> {
+        let (_, cache_key) = self.session_for(bound, request, rel)?;
+        if !self.fingerprints.contains_key(&cache_key) {
+            let fp = self.sessions.get(&cache_key).expect("bound above").fingerprint();
+            self.fingerprints.insert(cache_key.clone(), fp);
+        }
+        Ok(self.fingerprints.get_mut(&cache_key).expect("just ensured"))
+    }
+
+    fn embed_op(&mut self, bound: &str, request: &Json) -> Result<Json, String> {
+        let attr = str_field(request, "attr")?;
+        let mut rel = parse_csv(str_field(request, "csv")?, attr)?;
+        let (segment_rows, budget_bytes) = (self.config.segment_rows, self.config.budget_bytes);
+        let (session, _) = self.session_for(bound, request, &rel)?;
+        let mark = parse_mark(str_field(request, "mark")?, session.spec().wm_len)?;
+        let (report, segmented) = if segment_rows > 0 && rel.len() > segment_rows {
+            let mut seg = SegmentedRelation::builder(rel.schema().clone())
+                .segment_rows(segment_rows)
+                .budget_bytes(budget_bytes)
+                .from_relation(&rel)
+                .map_err(|e| e.to_string())?;
+            let report = session.embed_segmented(&mut seg, &mark).map_err(|e| e.to_string())?;
+            rel = seg.to_relation().map_err(|e| e.to_string())?;
+            (report, true)
+        } else {
+            (session.embed(&mut rel, &mark).map_err(|e| e.to_string())?, false)
+        };
+        Ok(ok_response(vec![
+            ("csv", Json::Str(render_csv(&rel)?)),
+            ("total", Json::Num(report.total_tuples as f64)),
+            ("fit", Json::Num(report.fit_tuples as f64)),
+            ("altered", Json::Num(report.altered as f64)),
+            ("segmented", Json::Bool(segmented)),
+        ]))
+    }
+
+    fn decode_op(&mut self, bound: &str, request: &Json) -> Result<Json, String> {
+        let attr = str_field(request, "attr")?;
+        let rel = parse_csv(str_field(request, "csv")?, attr)?;
+        let (segment_rows, budget_bytes) = (self.config.segment_rows, self.config.budget_bytes);
+        let (session, _) = self.session_for(bound, request, &rel)?;
+        let (report, segmented) = if segment_rows > 0 && rel.len() > segment_rows {
+            let mut seg = SegmentedRelation::builder(rel.schema().clone())
+                .segment_rows(segment_rows)
+                .budget_bytes(budget_bytes)
+                .from_relation(&rel)
+                .map_err(|e| e.to_string())?;
+            (session.decode_segmented(&mut seg).map_err(|e| e.to_string())?, true)
+        } else {
+            (session.decode(&rel).map_err(|e| e.to_string())?, false)
+        };
+        let mut fields = vec![
+            ("mark", Json::Str(report.watermark.to_string())),
+            ("fit", Json::Num(report.fit_tuples as f64)),
+            ("votes", Json::Num(report.votes_cast as f64)),
+            ("segmented", Json::Bool(segmented)),
+        ];
+        if let Some(claim) = request.get("claim").and_then(Json::as_str) {
+            let claimed = parse_mark(claim, report.watermark.len())?;
+            let verdict = detect(&report.watermark, &claimed);
+            fields.push(("matched_bits", Json::Num(verdict.matched_bits as f64)));
+            fields.push(("total_bits", Json::Num(verdict.total_bits as f64)));
+            fields.push(("false_positive", Json::Num(verdict.false_positive_probability)));
+        }
+        Ok(ok_response(fields))
+    }
+
+    fn mark_copy_op(&mut self, bound: &str, request: &Json) -> Result<Json, String> {
+        let attr = str_field(request, "attr")?;
+        let buyer = str_field(request, "buyer")?.to_string();
+        let rel = parse_csv(str_field(request, "csv")?, attr)?;
+        let fp = self.fingerprint_for(bound, request, &rel)?;
+        let (copy, report) = fp.mark_copy(&rel, &buyer).map_err(|e| e.to_string())?;
+        Ok(ok_response(vec![
+            ("buyer", Json::Str(buyer)),
+            ("csv", Json::Str(render_csv(&copy)?)),
+            ("total", Json::Num(report.total_tuples as f64)),
+            ("fit", Json::Num(report.fit_tuples as f64)),
+            ("altered", Json::Num(report.altered as f64)),
+        ]))
+    }
+
+    fn trace_op(&mut self, bound: &str, request: &Json) -> Result<Json, String> {
+        let attr = str_field(request, "attr")?;
+        let rel = parse_csv(str_field(request, "csv")?, attr)?;
+        let buyers: Vec<String> = match request.get("buyers") {
+            None => Vec::new(),
+            Some(json) => json
+                .as_array()
+                .ok_or("\"buyers\" must be an array of strings")?
+                .iter()
+                .map(|b| b.as_str().map(str::to_string).ok_or("\"buyers\" must contain strings"))
+                .collect::<Result<_, _>>()?,
+        };
+        let fp = self.fingerprint_for(bound, request, &rel)?;
+        for buyer in &buyers {
+            fp.register(buyer);
+        }
+        let results = fp.trace(&rel).map_err(|e| e.to_string())?;
+        let ranked: Vec<Json> = results
+            .iter()
+            .map(|r| {
+                Json::obj(vec![
+                    ("buyer", Json::Str(r.buyer.clone())),
+                    ("matched_bits", Json::Num(r.detection.matched_bits as f64)),
+                    ("total_bits", Json::Num(r.detection.total_bits as f64)),
+                    ("false_positive", Json::Num(r.detection.false_positive_probability)),
+                ])
+            })
+            .collect();
+        Ok(ok_response(vec![("results", Json::Arr(ranked))]))
+    }
+}
+
+/// Success envelope: `{"ok":true, ...fields}`.
+fn ok_response(fields: Vec<(&str, Json)>) -> Json {
+    let mut all = vec![("ok", Json::Bool(true))];
+    all.extend(fields);
+    Json::obj(all)
+}
+
+/// Failure envelope: `{"ok":false,"error":message}`.
+fn err_response(message: &str) -> Json {
+    Json::obj(vec![("ok", Json::Bool(false)), ("error", Json::Str(message.to_string()))])
+}
+
+fn str_field<'a>(request: &'a Json, name: &str) -> Result<&'a str, String> {
+    request
+        .get(name)
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("request needs a string {name:?} field"))
+}
+
+fn parse_csv(text: &str, cat_attr: &str) -> Result<Relation, String> {
+    read_csv_inferred(text, &[cat_attr]).map_err(|e| e.to_string())
+}
+
+fn render_csv(rel: &Relation) -> Result<String, String> {
+    let mut buf = Vec::new();
+    write_csv(rel, &mut buf).map_err(|e| e.to_string())?;
+    String::from_utf8(buf).map_err(|e| e.to_string())
+}
+
+/// Parse a watermark bit string (`"1011001110"`), validating its
+/// length against the spec.
+fn parse_mark(text: &str, wm_len: usize) -> Result<Watermark, String> {
+    if text.is_empty() || !text.chars().all(|c| c == '0' || c == '1') {
+        return Err(format!("mark {text:?} is not a bit string"));
+    }
+    if text.len() != wm_len {
+        return Err(format!("mark has {} bits but the key declares wm_len {wm_len}", text.len()));
+    }
+    let value = u64::from_str_radix(text, 2).map_err(|e| format!("mark: {e}"))?;
+    Ok(Watermark::from_u64(value, wm_len))
+}
+
+/// Serve one connection: read framed requests, write framed
+/// responses, until the peer disconnects or sends `shutdown`.
+/// Returns `true` when the connection requested daemon shutdown.
+///
+/// # Errors
+///
+/// Transport-level I/O failures (including EOF mid-frame). Malformed
+/// JSON inside a well-formed frame is *not* an error here — the peer
+/// gets an `ok:false` response and the connection continues.
+pub fn serve_connection(
+    service: &mut Service,
+    reader: &mut impl Read,
+    writer: &mut impl Write,
+) -> io::Result<bool> {
+    let mut bound: Option<String> = None;
+    while let Some(frame) = read_frame(reader)? {
+        let (response, shutdown) = match std::str::from_utf8(&frame) {
+            Err(e) => (err_response(&format!("frame is not UTF-8: {e}")), false),
+            Ok(text) => match json::parse(text) {
+                Err(e) => (err_response(&format!("bad JSON: {e}")), false),
+                Ok(request) => service.handle(&mut bound, &request),
+            },
+        };
+        write_frame(writer, response.to_text().as_bytes())?;
+        if shutdown {
+            return Ok(true);
+        }
+    }
+    Ok(false)
+}
+
+/// Serve a single connection over stdin/stdout — the transport for
+/// supervised deployments (inetd-style) and the CI smoke test.
+///
+/// # Errors
+///
+/// Transport-level I/O failures.
+pub fn serve_stdio(mut service: Service) -> io::Result<()> {
+    let stdin = io::stdin();
+    let stdout = io::stdout();
+    let mut reader = stdin.lock();
+    let mut writer = stdout.lock();
+    serve_connection(&mut service, &mut reader, &mut writer)?;
+    Ok(())
+}
+
+/// Serve connections on a Unix domain socket at `path`, sequentially,
+/// until a client sends `shutdown`. A pre-existing socket file at
+/// `path` is replaced; the socket is removed on clean shutdown.
+///
+/// # Errors
+///
+/// Socket setup failures. Per-connection I/O errors drop that
+/// connection (with a note on stderr) and the daemon keeps serving.
+#[cfg(unix)]
+pub fn serve_unix(mut service: Service, path: &std::path::Path) -> io::Result<()> {
+    use std::os::unix::net::UnixListener;
+    let _ = std::fs::remove_file(path);
+    let listener = UnixListener::bind(path)?;
+    for conn in listener.incoming() {
+        let mut stream = conn?;
+        let mut reader = BufReader::new(stream.try_clone()?);
+        match serve_connection(&mut service, &mut reader, &mut stream) {
+            Ok(true) => break,
+            Ok(false) => {}
+            Err(e) => eprintln!("catmark serve: connection error: {e}"),
+        }
+    }
+    std::fs::remove_file(path).ok();
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use catmark_core::{ErasurePolicy, WatermarkSpec};
+    use catmark_relation::{AttrType, CategoricalDomain, Schema, Value};
+
+    fn sample_relation(tuples: i64) -> Relation {
+        let schema = Schema::builder()
+            .key_attr("visit_nbr", AttrType::Integer)
+            .categorical_attr("item_nbr", AttrType::Integer)
+            .build()
+            .unwrap();
+        let mut rel = Relation::new(schema);
+        for i in 0..tuples {
+            rel.push(vec![Value::Int(i * 17 + 3), Value::Int(10_000 + (i * 7) % 40)]).unwrap();
+        }
+        rel
+    }
+
+    fn spec(master: &str) -> WatermarkSpec {
+        let domain =
+            CategoricalDomain::new((0..40).map(|i| Value::Int(10_000 + i)).collect()).unwrap();
+        WatermarkSpec::builder(domain)
+            .master_key(master)
+            .e(3)
+            .wm_len(6)
+            .wm_data_len(60)
+            .erasure(ErasurePolicy::Abstain)
+            .build()
+            .unwrap()
+    }
+
+    fn two_tenant_service(config: ServiceConfig) -> Service {
+        let mut service = Service::new(config);
+        let mut acme = TenantKeyRegistry::new("acme").unwrap();
+        acme.insert("production", spec("acme-master")).unwrap();
+        acme.insert("staging", spec("acme-staging")).unwrap();
+        let mut globex = TenantKeyRegistry::new("globex").unwrap();
+        globex.insert("production", spec("globex-master")).unwrap();
+        service.add_registry(acme).unwrap();
+        service.add_registry(globex).unwrap();
+        service
+    }
+
+    fn request(text: &str) -> Json {
+        json::parse(text).unwrap()
+    }
+
+    fn csv() -> String {
+        render_csv(&sample_relation(600)).unwrap()
+    }
+
+    fn assert_ok(response: &Json) {
+        assert_eq!(response.get("ok").and_then(Json::as_bool), Some(true), "{response:?}");
+    }
+
+    fn error_of(response: &Json) -> String {
+        assert_eq!(response.get("ok").and_then(Json::as_bool), Some(false), "{response:?}");
+        response.get("error").and_then(Json::as_str).unwrap().to_string()
+    }
+
+    #[test]
+    fn hello_binds_and_lists_keys() {
+        let mut service = two_tenant_service(ServiceConfig::default());
+        let mut bound = None;
+        let (resp, down) =
+            service.handle(&mut bound, &request(r#"{"op":"hello","tenant":"acme"}"#));
+        assert!(!down);
+        assert_ok(&resp);
+        assert_eq!(bound.as_deref(), Some("acme"));
+        let keys: Vec<&str> =
+            resp.get("keys").unwrap().as_array().unwrap().iter().filter_map(Json::as_str).collect();
+        assert_eq!(keys, ["production", "staging"]);
+        // Unknown tenants don't bind.
+        let mut unbound = None;
+        let (resp, _) =
+            service.handle(&mut unbound, &request(r#"{"op":"hello","tenant":"intruder"}"#));
+        assert!(error_of(&resp).contains("unknown tenant"));
+        assert!(unbound.is_none());
+    }
+
+    #[test]
+    fn ops_before_hello_are_refused() {
+        let mut service = two_tenant_service(ServiceConfig::default());
+        let mut bound = None;
+        let req = format!(
+            r#"{{"op":"decode","key":"production","key_attr":"visit_nbr","attr":"item_nbr","csv":{}}}"#,
+            Json::Str(csv()).to_text()
+        );
+        let (resp, _) = service.handle(&mut bound, &request(&req));
+        assert!(error_of(&resp).contains("hello"));
+    }
+
+    #[test]
+    fn embed_then_decode_round_trips() {
+        let mut service = two_tenant_service(ServiceConfig::default());
+        let mut bound = None;
+        service.handle(&mut bound, &request(r#"{"op":"hello","tenant":"acme"}"#));
+        let embed = format!(
+            r#"{{"op":"embed","key":"production","key_attr":"visit_nbr","attr":"item_nbr","mark":"101101","csv":{}}}"#,
+            Json::Str(csv()).to_text()
+        );
+        let (resp, _) = service.handle(&mut bound, &request(&embed));
+        assert_ok(&resp);
+        assert!(resp.get("fit").and_then(Json::as_u64).unwrap() > 0);
+        assert_eq!(resp.get("segmented").and_then(Json::as_bool), Some(false));
+        let marked = resp.get("csv").and_then(Json::as_str).unwrap().to_string();
+
+        let decode = format!(
+            r#"{{"op":"decode","key":"production","key_attr":"visit_nbr","attr":"item_nbr","claim":"101101","csv":{}}}"#,
+            Json::Str(marked).to_text()
+        );
+        let (resp, _) = service.handle(&mut bound, &request(&decode));
+        assert_ok(&resp);
+        assert_eq!(resp.get("mark").and_then(Json::as_str), Some("101101"));
+        assert_eq!(resp.get("matched_bits").and_then(Json::as_u64), Some(6));
+    }
+
+    #[test]
+    fn segmented_and_in_memory_paths_agree() {
+        let data = csv();
+        let embed = |service: &mut Service| {
+            let mut bound = None;
+            service.handle(&mut bound, &request(r#"{"op":"hello","tenant":"acme"}"#));
+            let req = format!(
+                r#"{{"op":"embed","key":"production","key_attr":"visit_nbr","attr":"item_nbr","mark":"101101","csv":{}}}"#,
+                Json::Str(data.clone()).to_text()
+            );
+            let (resp, _) = service.handle(&mut bound, &request(&req));
+            assert_ok(&resp);
+            resp
+        };
+        let in_memory = embed(&mut two_tenant_service(ServiceConfig::default()));
+        let segmented = embed(&mut two_tenant_service(ServiceConfig {
+            segment_rows: 128,
+            ..ServiceConfig::default()
+        }));
+        assert_eq!(in_memory.get("segmented").and_then(Json::as_bool), Some(false));
+        assert_eq!(segmented.get("segmented").and_then(Json::as_bool), Some(true));
+        // Byte-identical output is the out-of-core pipeline's contract.
+        assert_eq!(
+            in_memory.get("csv").and_then(Json::as_str),
+            segmented.get("csv").and_then(Json::as_str)
+        );
+    }
+
+    #[test]
+    fn cross_tenant_lookups_are_isolated() {
+        let mut service = two_tenant_service(ServiceConfig::default());
+        let mut bound = None;
+        service.handle(&mut bound, &request(r#"{"op":"hello","tenant":"acme"}"#));
+        // Bound as acme, naming globex's registry: the registry
+        // itself refuses.
+        let req = format!(
+            r#"{{"op":"embed","tenant":"globex","key":"production","key_attr":"visit_nbr","attr":"item_nbr","mark":"101101","csv":{}}}"#,
+            Json::Str(csv()).to_text()
+        );
+        let (resp, _) = service.handle(&mut bound, &request(&req));
+        assert!(error_of(&resp).contains("tenant isolation"), "{resp:?}");
+    }
+
+    #[test]
+    fn fingerprint_copies_trace_back_to_the_leaker() {
+        let mut service = two_tenant_service(ServiceConfig::default());
+        let mut bound = None;
+        service.handle(&mut bound, &request(r#"{"op":"hello","tenant":"acme"}"#));
+        let copy_req = format!(
+            r#"{{"op":"mark_copy","key":"production","key_attr":"visit_nbr","attr":"item_nbr","buyer":"globex-reseller","csv":{}}}"#,
+            Json::Str(csv()).to_text()
+        );
+        let (resp, _) = service.handle(&mut bound, &request(&copy_req));
+        assert_ok(&resp);
+        let leaked = resp.get("csv").and_then(Json::as_str).unwrap().to_string();
+
+        let trace_req = format!(
+            r#"{{"op":"trace","key":"production","key_attr":"visit_nbr","attr":"item_nbr","buyers":["initech","globex-reseller","umbrella"],"csv":{}}}"#,
+            Json::Str(leaked).to_text()
+        );
+        let (resp, _) = service.handle(&mut bound, &request(&trace_req));
+        assert_ok(&resp);
+        let results = resp.get("results").unwrap().as_array().unwrap();
+        assert_eq!(results.len(), 3);
+        assert_eq!(
+            results[0].get("buyer").and_then(Json::as_str),
+            Some("globex-reseller"),
+            "ranked first: {resp:?}"
+        );
+    }
+
+    #[test]
+    fn malformed_requests_get_error_envelopes() {
+        let mut service = two_tenant_service(ServiceConfig::default());
+        let mut bound = None;
+        let (resp, _) = service.handle(&mut bound, &request(r#"{"no_op":1}"#));
+        assert!(error_of(&resp).contains("op"));
+        service.handle(&mut bound, &request(r#"{"op":"hello","tenant":"acme"}"#));
+        let (resp, _) = service.handle(&mut bound, &request(r#"{"op":"frobnicate"}"#));
+        assert!(error_of(&resp).contains("unknown op"));
+        let (resp, _) = service.handle(&mut bound, &request(r#"{"op":"embed"}"#));
+        assert!(error_of(&resp).contains("field"));
+        // Bad mark length.
+        let req = format!(
+            r#"{{"op":"embed","key":"production","key_attr":"visit_nbr","attr":"item_nbr","mark":"1","csv":{}}}"#,
+            Json::Str(csv()).to_text()
+        );
+        let (resp, _) = service.handle(&mut bound, &request(&req));
+        assert!(error_of(&resp).contains("wm_len"));
+    }
+
+    #[test]
+    fn connection_loop_speaks_frames_and_honors_shutdown() {
+        let mut service = two_tenant_service(ServiceConfig::default());
+        let mut inbox = Vec::new();
+        write_frame(&mut inbox, br#"{"op":"hello","tenant":"acme"}"#).unwrap();
+        write_frame(&mut inbox, b"not json").unwrap();
+        write_frame(&mut inbox, br#"{"op":"shutdown"}"#).unwrap();
+        write_frame(&mut inbox, br#"{"op":"hello","tenant":"acme"}"#).unwrap();
+        let mut outbox = Vec::new();
+        let down = serve_connection(&mut service, &mut inbox.as_slice(), &mut outbox).unwrap();
+        assert!(down, "shutdown must be reported");
+        let mut replies = outbox.as_slice();
+        let hello = read_frame(&mut replies).unwrap().unwrap();
+        assert_ok(&json::parse(std::str::from_utf8(&hello).unwrap()).unwrap());
+        let bad = read_frame(&mut replies).unwrap().unwrap();
+        let bad = json::parse(std::str::from_utf8(&bad).unwrap()).unwrap();
+        assert!(error_of(&bad).contains("bad JSON"));
+        let bye = read_frame(&mut replies).unwrap().unwrap();
+        assert_ok(&json::parse(std::str::from_utf8(&bye).unwrap()).unwrap());
+        // Nothing after shutdown was processed.
+        assert!(read_frame(&mut replies).unwrap().is_none());
+    }
+
+    #[test]
+    fn duplicate_tenant_registration_is_refused() {
+        let mut service = Service::new(ServiceConfig::default());
+        let mut reg = TenantKeyRegistry::new("acme").unwrap();
+        reg.insert("production", spec("m")).unwrap();
+        service.add_registry(reg.clone()).unwrap();
+        assert!(service.add_registry(reg).is_err());
+        assert_eq!(service.tenants(), ["acme"]);
+    }
+}

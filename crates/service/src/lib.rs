@@ -1,0 +1,40 @@
+//! `catmark-service` — a multi-tenant watermarking daemon.
+//!
+//! The paper's seller is a service: one party holds the key material
+//! and fingerprints outgoing copies for many recipients over time.
+//! This crate packages that operational reality around
+//! `catmark-core`'s engines — a long-lived daemon that keeps
+//! [`MarkSession`](catmark_core::MarkSession)s bound and their plan
+//! caches warm, so the Nth trace or the Nth fingerprinted copy costs
+//! a fraction of the first.
+//!
+//! Three layers, bottom up:
+//!
+//! * [`wire`] — 4-byte big-endian length-prefixed frames. Trivially
+//!   speakable from any language, over stdio or a Unix socket.
+//! * [`json`] — a dependency-free JSON value/parser/serializer (the
+//!   build environment admits no external crates).
+//! * [`daemon`] — the [`Service`](daemon::Service): per-tenant
+//!   [`TenantKeyRegistry`](catmark_core::keyfile::TenantKeyRegistry)s,
+//!   hello-bound connections, and the `embed` / `decode` /
+//!   `mark_copy` / `trace` ops with inline-CSV payloads. Tenant
+//!   isolation is enforced by the registry layer itself
+//!   ([`CoreError::TenantIsolation`](catmark_core::CoreError)), not by
+//!   daemon bookkeeping.
+//!
+//! The protocol is specified in `docs/SERVICE.md` at the repository
+//! root; `catmark serve` (in the facade crate's binary) is the
+//! shipping entry point.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod daemon;
+pub mod json;
+pub mod wire;
+
+#[cfg(unix)]
+pub use daemon::serve_unix;
+pub use daemon::{serve_connection, serve_stdio, Service, ServiceConfig};
+pub use json::Json;
+pub use wire::{read_frame, write_frame, MAX_FRAME_BYTES};

@@ -1,0 +1,106 @@
+//! Length-prefixed framing.
+//!
+//! Every protocol message — request or response — travels as one
+//! frame: a 4-byte big-endian payload length followed by that many
+//! bytes of UTF-8 JSON. Framing keeps the transport trivial to speak
+//! from any language (no streaming JSON parser needed on either side)
+//! and makes message boundaries explicit over both stdio and Unix
+//! sockets.
+
+use std::io::{self, Read, Write};
+
+/// Upper bound on a single frame's payload, protecting the daemon
+/// from a hostile or corrupt length prefix. 64 MiB comfortably holds
+/// the inline-CSV payloads the protocol carries.
+pub const MAX_FRAME_BYTES: usize = 64 << 20;
+
+/// Write one frame: 4-byte big-endian length, then `payload`.
+///
+/// # Errors
+///
+/// Propagates I/O errors; rejects payloads above [`MAX_FRAME_BYTES`]
+/// with [`io::ErrorKind::InvalidInput`].
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("frame of {} bytes exceeds the {MAX_FRAME_BYTES}-byte cap", payload.len()),
+        ));
+    }
+    let len = u32::try_from(payload.len()).expect("bounded by MAX_FRAME_BYTES");
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Read one frame. Returns `Ok(None)` on a clean end-of-stream (EOF
+/// exactly at a frame boundary); EOF mid-frame is an error.
+///
+/// # Errors
+///
+/// Propagates I/O errors; rejects length prefixes above
+/// [`MAX_FRAME_BYTES`] with [`io::ErrorKind::InvalidData`].
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    let mut len_bytes = [0u8; 4];
+    let mut filled = 0;
+    while filled < 4 {
+        match r.read(&mut len_bytes[filled..])? {
+            0 if filled == 0 => return Ok(None),
+            0 => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid length prefix",
+                ))
+            }
+            n => filled += n,
+        }
+    }
+    let len = u32::from_be_bytes(len_bytes) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds the {MAX_FRAME_BYTES}-byte cap"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip_back_to_back() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"first").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        write_frame(&mut buf, "snowman \u{2603}".as_bytes()).unwrap();
+        let mut r = buf.as_slice();
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"first");
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"");
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), "snowman \u{2603}".as_bytes());
+        assert!(read_frame(&mut r).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn eof_mid_frame_is_an_error() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"payload").unwrap();
+        assert!(read_frame(&mut &buf[..2]).is_err(), "truncated length prefix");
+        assert!(read_frame(&mut &buf[..6]).is_err(), "truncated payload");
+    }
+
+    #[test]
+    fn hostile_length_prefix_is_rejected() {
+        let huge = u32::MAX.to_be_bytes();
+        let err = read_frame(&mut huge.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let mut sink = Vec::new();
+        // A payload over the cap is refused before any bytes go out.
+        let big = vec![0u8; MAX_FRAME_BYTES + 1];
+        assert!(write_frame(&mut sink, &big).is_err());
+        assert!(sink.is_empty());
+    }
+}

@@ -10,6 +10,8 @@
 //! catmark inspect --key key.catmark
 //! catmark rules  --input data.csv --attrs dept,aisle [--min-support 0.05]
 //!                [--min-confidence 0.8] [--max-len 2] [--top 20]
+//! catmark serve  --registries acme.reg,globex.reg [--socket /tmp/catmark.sock]
+//!                [--segment-rows N] [--budget-bytes N]
 //! ```
 //!
 //! CSV schemas are inferred from the header row plus type sniffing
@@ -18,7 +20,7 @@
 
 use std::collections::HashMap;
 use std::fs::File;
-use std::io::{BufRead, BufReader, Read};
+use std::io::{BufReader, Read};
 use std::process::ExitCode;
 
 use catmark::core::keyfile::{from_key_file, to_key_file};
@@ -90,6 +92,7 @@ fn run(args: &[String]) -> Result<String, CliError> {
         "decode" => decode(&flags),
         "inspect" => inspect(&flags),
         "rules" => rules(&flags),
+        "serve" => serve(&flags),
         "help" | "--help" | "-h" => Ok(USAGE.to_owned()),
         other => Err(CliError::Usage(format!("unknown command {other:?}\n\n{USAGE}"))),
     }
@@ -106,6 +109,8 @@ const USAGE: &str = "usage:
   catmark inspect --key <file>
   catmark rules   --input <csv> --attrs <a,b,…> [--min-support 0.05]
                   [--min-confidence 0.8] [--max-len 2] [--top 20]
+  catmark serve   --registries <file,…> [--socket <path>]
+                  [--segment-rows N] [--budget-bytes N]
 ";
 
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, CliError> {
@@ -330,6 +335,53 @@ fn rules(flags: &HashMap<String, String>) -> Result<String, CliError> {
     Ok(out)
 }
 
+// ----------------------------------------------------------------- serve
+
+/// Run the multi-tenant watermarking daemon. Each `--registries`
+/// entry is a tenant key-registry file (see
+/// `catmark::core::keyfile::TenantKeyRegistry`); with `--socket` the
+/// daemon listens on a Unix socket, otherwise it serves one framed
+/// JSON connection over stdin/stdout. The wire protocol is documented
+/// in `docs/SERVICE.md`.
+fn serve(flags: &HashMap<String, String>) -> Result<String, CliError> {
+    use catmark::core::keyfile::TenantKeyRegistry;
+    use catmark::service::{Service, ServiceConfig};
+
+    let registries_flag = require(flags, "registries")?;
+    let paths: Vec<&str> =
+        registries_flag.split(',').map(str::trim).filter(|s| !s.is_empty()).collect();
+    if paths.is_empty() {
+        return Err(CliError::Usage("--registries needs at least one file".into()));
+    }
+    let segment_rows: usize = parsed_flag(flags, "segment-rows", 0)?;
+    let budget_bytes: usize = parsed_flag(flags, "budget-bytes", 64 << 20)?;
+    let mut service = Service::new(ServiceConfig { segment_rows, budget_bytes });
+    for path in paths {
+        let mut text = String::new();
+        File::open(path)
+            .map_err(|e| format!("{path}: {e}"))?
+            .read_to_string(&mut text)
+            .map_err(|e| format!("{path}: {e}"))?;
+        let registry = TenantKeyRegistry::from_registry_file(&text)
+            .map_err(|e| CliError::Run(format!("{path}: {e}")))?;
+        let tenant = registry.tenant().to_string();
+        service
+            .add_registry(registry)
+            .map_err(|e| CliError::Run(format!("{path} (tenant {tenant:?}): {e}")))?;
+    }
+    match flags.get("socket") {
+        Some(path) => {
+            eprintln!("catmark serve: listening on {path} ({} tenants)", service.tenants().len());
+            catmark::service::serve_unix(service, std::path::Path::new(path))
+                .map_err(|e| CliError::Run(format!("{path}: {e}")))?;
+        }
+        None => {
+            catmark::service::serve_stdio(service).map_err(CliError::run)?;
+        }
+    }
+    Ok(String::new())
+}
+
 // ----------------------------------------------------------- shared bits
 
 fn load_key(path: &str) -> Result<WatermarkSpec, CliError> {
@@ -376,45 +428,12 @@ fn load_csv(path: &str, marked_attr: &str) -> Result<Relation, CliError> {
 fn load_csv_multi(path: &str, cat_attrs: &[&str]) -> Result<Relation, CliError> {
     let file = File::open(path).map_err(|e| format!("{path}: {e}"))?;
     let mut reader = BufReader::new(file);
-    let schema = infer_schema(&mut reader, cat_attrs).map_err(|e| format!("{path}: {e}"))?;
+    let schema = catmark::relation::csv::infer_schema(&mut reader, cat_attrs)
+        .map_err(|e| format!("{path}: {e}"))?;
     // Re-open: inference consumed the stream.
     let file = File::open(path).map_err(|e| format!("{path}: {e}"))?;
     catmark::relation::csv::read_csv(schema, &mut BufReader::new(file))
         .map_err(|e| CliError::Run(format!("{path}: {e}")))
-}
-
-/// Infer a schema by sampling up to 100 rows.
-fn infer_schema(input: &mut impl BufRead, cat_attrs: &[&str]) -> Result<Schema, String> {
-    let mut lines = input.lines();
-    let header = lines.next().ok_or("empty file")?.map_err(|e| e.to_string())?;
-    let names: Vec<String> = header.split(',').map(|s| s.trim().to_owned()).collect();
-    if names.is_empty() || names.iter().any(String::is_empty) {
-        return Err("malformed header".into());
-    }
-    let mut integral = vec![true; names.len()];
-    for line in lines.take(100) {
-        let line = line.map_err(|e| e.to_string())?;
-        if line.trim().is_empty() {
-            continue;
-        }
-        for (i, field) in line.split(',').enumerate() {
-            if i < integral.len() && field.trim().parse::<i64>().is_err() {
-                integral[i] = false;
-            }
-        }
-    }
-    let mut builder = Schema::builder();
-    for (i, name) in names.iter().enumerate() {
-        let ty = if integral[i] { AttrType::Integer } else { AttrType::Text };
-        builder = if i == 0 {
-            builder.key_attr(name, ty)
-        } else if cat_attrs.contains(&name.as_str()) {
-            builder.categorical_attr(name, ty)
-        } else {
-            builder.attr(name, ty)
-        };
-    }
-    builder.build().map_err(|e| e.to_string())
 }
 
 #[cfg(test)]
@@ -441,24 +460,6 @@ mod tests {
         assert!(parse_mark("10", 4).is_err(), "length mismatch");
         assert!(parse_mark("0xFFF", 4).is_err(), "overflow");
         assert!(parse_mark("abc", 4).is_err(), "garbage");
-    }
-
-    #[test]
-    fn schema_inference_sniffs_types() {
-        let csv = "id,city,amount\n1,austin,10\n2,boston,20\n";
-        let schema = infer_schema(&mut csv.as_bytes(), &["city"]).unwrap();
-        assert_eq!(schema.key_attr().name, "id");
-        assert_eq!(schema.attr(0).ty, AttrType::Integer);
-        assert_eq!(schema.attr(1).ty, AttrType::Text);
-        assert!(schema.attr(1).categorical);
-        assert_eq!(schema.attr(2).ty, AttrType::Integer);
-        assert!(!schema.attr(2).categorical);
-    }
-
-    #[test]
-    fn schema_inference_rejects_bad_headers() {
-        assert!(infer_schema(&mut "".as_bytes(), &["x"]).is_err());
-        assert!(infer_schema(&mut "a,,c\n".as_bytes(), &["x"]).is_err());
     }
 
     #[test]

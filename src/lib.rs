@@ -31,6 +31,10 @@
 //!   The public entry point is the typed [`core::session::MarkSession`],
 //!   which binds columns once and owns the cache; the per-operator
 //!   structs remain underneath as the engine;
+//! * [`service`] — the multi-tenant daemon (`catmark serve`): framed
+//!   JSON over stdio or a Unix socket, per-tenant key registries with
+//!   registry-enforced isolation, and warm cached sessions so
+//!   repeated traces and fingerprinted copies skip re-planning;
 //! * [`attacks`] — the Section 2.3 adversary (A1–A6) plus collusion
 //!   attacks on buyer fingerprints;
 //! * [`analysis`] — the Section 4.4 vulnerability theory;
@@ -99,6 +103,7 @@ pub use catmark_crypto as crypto;
 pub use catmark_datagen as datagen;
 pub use catmark_mining as mining;
 pub use catmark_relation as relation;
+pub use catmark_service as service;
 
 /// One-stop imports for the common workflow.
 pub mod prelude {

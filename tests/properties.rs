@@ -438,6 +438,53 @@ proptest! {
         prop_assert!(batch.iter().zip(streamed.iter()).all(|(a, b)| a == b));
     }
 
+    /// A batched `fingerprint_batch` call (multi-key plans: four
+    /// recipient keys hashed per tuple scan) produces copies
+    /// byte-identical to N sequential `mark_copy` calls, across the
+    /// awkward shapes: a single recipient, batch sizes that are not a
+    /// multiple of the 4-lane width, duplicate buyer ids, and
+    /// watermark lengths from 1 bit up.
+    #[test]
+    fn fingerprint_batch_matches_sequential_mark_copies(
+        n_buyers in 1usize..=9,
+        dup in any::<bool>(),
+        wm_len in 1usize..=16,
+        master in any::<u64>(),
+    ) {
+        let (rel, domain) = relation_for(0xF1B, 1_200);
+        let spec = WatermarkSpec::builder(domain)
+            .master_key(SecretKey::from_u64(master))
+            .e(4)
+            .wm_len(wm_len)
+            .wm_data_len(64.max(wm_len))
+            .erasure(catmark::core::decode::ErasurePolicy::Abstain)
+            .build()
+            .unwrap();
+        let session = MarkSession::builder(spec)
+            .key_column("visit_nbr")
+            .target_column("item_nbr")
+            .bind(&rel)
+            .unwrap();
+        let mut buyers: Vec<String> = (0..n_buyers).map(|i| format!("buyer-{i}")).collect();
+        if dup && n_buyers > 1 {
+            buyers[n_buyers - 1] = buyers[0].clone();
+        }
+        let buyer_refs: Vec<&str> = buyers.iter().map(String::as_str).collect();
+
+        let (_, batch) = session.fingerprint_batch(&rel, &buyer_refs).unwrap();
+        prop_assert_eq!(batch.len(), buyer_refs.len());
+
+        // The per-recipient reference: one sequential mark_copy per
+        // buyer on a fresh fingerprint session.
+        let mut sequential = session.fingerprint();
+        for (buyer, (copy, report)) in buyer_refs.iter().zip(&batch) {
+            let (expected, expected_report) = sequential.mark_copy(&rel, buyer).unwrap();
+            prop_assert_eq!(report, &expected_report);
+            prop_assert_eq!(copy.len(), expected.len());
+            prop_assert!(copy.iter().zip(expected.iter()).all(|(a, b)| a == b));
+        }
+    }
+
     /// The frequency histogram always sums to 1 on non-empty columns
     /// and L1 distance is bounded by 2.
     #[test]
