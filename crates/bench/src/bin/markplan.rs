@@ -65,7 +65,15 @@
 //!   per-recipient reference (`trace_sequential`: one `PlanCache`
 //!   probe per recipient, which at 1000 recipients thrashes the
 //!   64-entry cache and replans every buyer on every call). The run
-//!   gates identical rankings first and enforces a ≥2x floor.
+//!   gates identical rankings first and enforces a ≥2x floor;
+//! * **fingerprint_delta** extracts 1000 recipients' fingerprinted
+//!   copies as [`catmark_relation::MarkDelta`] patch sets against the
+//!   shared base (one `MultiKeyPlan` scan, zero base clones) instead
+//!   of materializing full copies. The run gates
+//!   `apply_delta`-rebuilt copies byte-identical to the independent
+//!   embed-on-a-clone reference for sampled recipients, then records
+//!   bytes-per-recipient, recipients/s, and the delta-vs-copy bytes
+//!   ratio with an ≥8x reduction floor.
 //!
 //! The run asserts the paths produce byte-identical marked relations
 //! and decodes before timing anything, then writes
@@ -628,6 +636,71 @@ fn main() {
     let fp_speedup = fp_sequential_best / fp_batch_best;
     let fp_recipients_per_s = FP_BUYERS as f64 / (fp_batch_best / 1e3);
 
+    // Fingerprint-delta scenario — delta-encoded distribution at 1000
+    // recipients over the same 4k-tuple base. One `MultiKeyPlan` scan
+    // emits per-recipient `MarkDelta` patch sets against the shared
+    // base instead of materializing 1000 full clones; shipping a
+    // recipient costs the patch bytes, not the relation. The headline
+    // metrics are bytes-per-recipient and recipients/s, with an ≥8x
+    // bytes-reduction floor against full copies. e = 16 keeps the fit
+    // set (≈ tuples/16 patch records) well under 1/8 of the base's
+    // columnar footprint.
+    let d_spec = WatermarkSpec::builder(fp_gen.item_domain())
+        .master_key("markplan-bench-delta")
+        .e(16)
+        .wm_len(FP_WM_LEN)
+        .expected_tuples(fp_tuples)
+        .build()
+        .expect("bench parameters are valid");
+    let mut delta_registry = catmark_core::fingerprint::FingerprintRegistry::new(d_spec);
+    let deltas = delta_registry
+        .mark_deltas(&fp_rel, &buyer_refs, "visit_nbr", "item_nbr")
+        .expect("delta extraction succeeds");
+    assert_eq!(deltas.len(), FP_BUYERS);
+    // Byte-identity gate for sampled recipients: `apply_delta` against
+    // the independent embed-on-a-clone reference (the pre-delta
+    // `mark_copy` semantics), same alteration reports included.
+    for &b in &[0usize, 500, 999] {
+        let (delta, report) = &deltas[b];
+        let reference_session = bind(&delta_registry.spec_for(buyer_refs[b]), &fp_rel);
+        let mut reference = fp_rel.clone();
+        let reference_report = reference_session
+            .embed(&mut reference, &delta_registry.mark_for(buyer_refs[b]))
+            .expect("reference embed succeeds");
+        assert_eq!(report, &reference_report, "delta report diverged for recipient {b}");
+        let rebuilt = fp_rel.apply_delta(delta).expect("delta applies to its base");
+        assert!(
+            rebuilt.iter().zip(reference.iter()).all(|(x, y)| x == y),
+            "delta rebuild diverged from the embed reference for recipient {b}"
+        );
+        assert_eq!(delta.encode().len(), delta.serialized_len());
+    }
+    let delta_bytes_total: usize = deltas.iter().map(|(d, _)| d.serialized_len()).sum();
+    let delta_bytes_per_recipient = delta_bytes_total as f64 / FP_BUYERS as f64;
+    let copy_bytes_per_recipient = fp_rel.resident_bytes() as f64;
+    let delta_vs_copy_bytes_ratio = copy_bytes_per_recipient / delta_bytes_per_recipient;
+    let mut delta_best = f64::MAX;
+    for _ in 0..ITERS {
+        let start = Instant::now();
+        let batch = delta_registry
+            .mark_deltas(&fp_rel, &buyer_refs, "visit_nbr", "item_nbr")
+            .expect("delta extraction succeeds");
+        delta_best = delta_best.min(start.elapsed().as_secs_f64() * 1e3);
+        std::hint::black_box(batch.len());
+    }
+    let delta_recipients_per_s = FP_BUYERS as f64 / (delta_best / 1e3);
+    // Reference cost: materializing the same 1000 recipients as full
+    // copies (clone + patch per recipient).
+    let mut delta_copies_best = f64::MAX;
+    for _ in 0..ITERS {
+        let start = Instant::now();
+        let copies = delta_registry
+            .mark_copies(&fp_rel, &buyer_refs, "visit_nbr", "item_nbr")
+            .expect("copy materialization succeeds");
+        delta_copies_best = delta_copies_best.min(start.elapsed().as_secs_f64() * 1e3);
+        std::hint::black_box(copies.len());
+    }
+
     let speedup = baseline_best / planned_best;
     let session_speedup = per_operator_best / session_best;
     let columnar_speedup = rowstore_best / columnar_best;
@@ -713,6 +786,19 @@ fn main() {
         "  batched trace:        {fp_batch_best:9.2} ms   {fp_recipients_per_s:.0} recipients/s"
     );
     println!("  batch speedup:        {fp_speedup:9.2}x");
+    println!("fingerprint delta ({FP_BUYERS} recipients over {fp_tuples} tuples, e = 16):");
+    println!(
+        "  full copies:          {delta_copies_best:9.2} ms   {:.1} KB/recipient",
+        copy_bytes_per_recipient / 1024.0
+    );
+    println!(
+        "  delta patches:        {delta_best:9.2} ms   {delta_bytes_per_recipient:.0} bytes/recipient, {delta_recipients_per_s:.0} recipients/s"
+    );
+    println!("  bytes reduction:      {delta_vs_copy_bytes_ratio:9.2}x  (floor 8x)");
+    assert!(
+        delta_vs_copy_bytes_ratio >= 8.0,
+        "delta distribution fell below the 8x bytes-per-recipient floor: {delta_vs_copy_bytes_ratio:.2}x"
+    );
     assert!(
         guarded_speedup >= 2.0,
         "guarded-embed scenario regressed below the 2x target: {guarded_speedup:.2}x"
@@ -731,7 +817,7 @@ fn main() {
     );
 
     let json = format!(
-        "{{\n  \"bench\": \"markplan_round_trip\",\n  \"tuples\": {tuples},\n  \"e\": {E},\n  \"wm_len\": {WM_LEN},\n  \"iterations\": {ITERS},\n  \"baseline_round_trip_ms\": {baseline_best:.3},\n  \"plan_round_trip_ms\": {planned_best:.3},\n  \"plan_tuples_per_second\": {throughput:.0},\n  \"speedup\": {speedup:.3},\n  \"per_operator_court_run_ms\": {per_operator_best:.3},\n  \"session_court_run_ms\": {session_best:.3},\n  \"session_speedup\": {session_speedup:.3},\n  \"rowstore_round_trip_ms\": {rowstore_best:.3},\n  \"columnar_round_trip_ms\": {columnar_best:.3},\n  \"columnar_speedup\": {columnar_speedup:.3},\n  \"clone_rowstore_ms\": {clone_row_best:.3},\n  \"clone_columnar_ms\": {clone_col_best:.3},\n  \"clone_speedup\": {clone_speedup:.3},\n  \"rowstore_bytes_per_tuple\": {rowstore_bytes_per_tuple:.0},\n  \"columnar_bytes_per_tuple\": {columnar_bytes_per_tuple:.0},\n  \"select_rowtuple_ms\": {select_row_best:.3},\n  \"select_compiled_ms\": {select_col_best:.3},\n  \"select_speedup\": {select_speedup:.3},\n  \"join_rowtuple_ms\": {join_row_best:.3},\n  \"join_codespace_ms\": {join_col_best:.3},\n  \"join_speedup\": {join_speedup:.3},\n  \"guarded_e\": {E_GUARD},\n  \"guarded_rowtuple_ms\": {guarded_row_best:.3},\n  \"guarded_coded_ms\": {guarded_col_best:.3},\n  \"guarded_speedup\": {guarded_speedup:.3},\n  \"guarded_altered\": {guarded_altered},\n  \"guarded_vetoed\": {guarded_vetoed},\n  \"guarded_byte_identical\": {guarded_byte_identical},\n  \"out_of_core_segments\": {ooc_segments},\n  \"out_of_core_segment_rows\": {ooc_segment_rows},\n  \"out_of_core_total_columnar_bytes\": {ooc_total_bytes},\n  \"out_of_core_budget_bytes\": {ooc_budget},\n  \"out_of_core_peak_pageable_bytes\": {ooc_peak},\n  \"out_of_core_resident_overhead_bytes\": {ooc_overhead},\n  \"out_of_core_spilled_bytes\": {ooc_spilled},\n  \"out_of_core_round_trip_ms\": {ooc_best:.3},\n  \"out_of_core_vs_inmemory\": {ooc_slowdown:.3},\n  \"out_of_core_identical\": {ooc_identical},\n  \"pipeline_round_trip_ms\": {pipeline_best:.3},\n  \"pipeline_vs_sequential\": {pipeline_vs_sequential:.3},\n  \"pipeline_vs_inmemory\": {pipeline_vs_inmemory:.3},\n  \"pipeline_prefetched\": {pipe_prefetched},\n  \"pipeline_peak_inflight_bytes\": {pipe_inflight},\n  \"pipeline_identical\": {pipe_identical},\n  \"fingerprint_batch_buyers\": {FP_BUYERS},\n  \"fingerprint_batch_tuples\": {fp_tuples},\n  \"fingerprint_batch_trace_ms\": {fp_batch_best:.3},\n  \"fingerprint_batch_sequential_ms\": {fp_sequential_best:.3},\n  \"fingerprint_batch_recipients_per_s\": {fp_recipients_per_s:.0},\n  \"fingerprint_batch_speedup\": {fp_speedup:.3},\n  \"sha_backend\": \"{sha_backend}\",\n  \"sha_ni_available\": {shani_available},\n  \"hash_soft_mb_per_s\": {hash_soft_mb_per_s:.1},\n  \"hash_shani_mb_per_s\": {hash_shani_mb_per_s:.1},\n  \"plan_threads_scaling\": {{ \"t1_ms\": {t1:.3}, \"t2_ms\": {t2:.3}, \"t4_ms\": {t4:.3} }},\n  \"host_threads\": {host_threads},\n  \"byte_identical\": {byte_identical}\n}}\n",
+        "{{\n  \"bench\": \"markplan_round_trip\",\n  \"tuples\": {tuples},\n  \"e\": {E},\n  \"wm_len\": {WM_LEN},\n  \"iterations\": {ITERS},\n  \"baseline_round_trip_ms\": {baseline_best:.3},\n  \"plan_round_trip_ms\": {planned_best:.3},\n  \"plan_tuples_per_second\": {throughput:.0},\n  \"speedup\": {speedup:.3},\n  \"per_operator_court_run_ms\": {per_operator_best:.3},\n  \"session_court_run_ms\": {session_best:.3},\n  \"session_speedup\": {session_speedup:.3},\n  \"rowstore_round_trip_ms\": {rowstore_best:.3},\n  \"columnar_round_trip_ms\": {columnar_best:.3},\n  \"columnar_speedup\": {columnar_speedup:.3},\n  \"clone_rowstore_ms\": {clone_row_best:.3},\n  \"clone_columnar_ms\": {clone_col_best:.3},\n  \"clone_speedup\": {clone_speedup:.3},\n  \"rowstore_bytes_per_tuple\": {rowstore_bytes_per_tuple:.0},\n  \"columnar_bytes_per_tuple\": {columnar_bytes_per_tuple:.0},\n  \"select_rowtuple_ms\": {select_row_best:.3},\n  \"select_compiled_ms\": {select_col_best:.3},\n  \"select_speedup\": {select_speedup:.3},\n  \"join_rowtuple_ms\": {join_row_best:.3},\n  \"join_codespace_ms\": {join_col_best:.3},\n  \"join_speedup\": {join_speedup:.3},\n  \"guarded_e\": {E_GUARD},\n  \"guarded_rowtuple_ms\": {guarded_row_best:.3},\n  \"guarded_coded_ms\": {guarded_col_best:.3},\n  \"guarded_speedup\": {guarded_speedup:.3},\n  \"guarded_altered\": {guarded_altered},\n  \"guarded_vetoed\": {guarded_vetoed},\n  \"guarded_byte_identical\": {guarded_byte_identical},\n  \"out_of_core_segments\": {ooc_segments},\n  \"out_of_core_segment_rows\": {ooc_segment_rows},\n  \"out_of_core_total_columnar_bytes\": {ooc_total_bytes},\n  \"out_of_core_budget_bytes\": {ooc_budget},\n  \"out_of_core_peak_pageable_bytes\": {ooc_peak},\n  \"out_of_core_resident_overhead_bytes\": {ooc_overhead},\n  \"out_of_core_spilled_bytes\": {ooc_spilled},\n  \"out_of_core_round_trip_ms\": {ooc_best:.3},\n  \"out_of_core_vs_inmemory\": {ooc_slowdown:.3},\n  \"out_of_core_identical\": {ooc_identical},\n  \"pipeline_round_trip_ms\": {pipeline_best:.3},\n  \"pipeline_vs_sequential\": {pipeline_vs_sequential:.3},\n  \"pipeline_vs_inmemory\": {pipeline_vs_inmemory:.3},\n  \"pipeline_prefetched\": {pipe_prefetched},\n  \"pipeline_peak_inflight_bytes\": {pipe_inflight},\n  \"pipeline_identical\": {pipe_identical},\n  \"fingerprint_batch_buyers\": {FP_BUYERS},\n  \"fingerprint_batch_tuples\": {fp_tuples},\n  \"fingerprint_batch_trace_ms\": {fp_batch_best:.3},\n  \"fingerprint_batch_sequential_ms\": {fp_sequential_best:.3},\n  \"fingerprint_batch_recipients_per_s\": {fp_recipients_per_s:.0},\n  \"fingerprint_batch_speedup\": {fp_speedup:.3},\n  \"delta_bytes_per_recipient\": {delta_bytes_per_recipient:.1},\n  \"delta_recipients_per_s\": {delta_recipients_per_s:.0},\n  \"delta_vs_copy_bytes_ratio\": {delta_vs_copy_bytes_ratio:.3},\n  \"delta_extract_ms\": {delta_best:.3},\n  \"delta_full_copies_ms\": {delta_copies_best:.3},\n  \"sha_backend\": \"{sha_backend}\",\n  \"sha_ni_available\": {shani_available},\n  \"hash_soft_mb_per_s\": {hash_soft_mb_per_s:.1},\n  \"hash_shani_mb_per_s\": {hash_shani_mb_per_s:.1},\n  \"plan_threads_scaling\": {{ \"t1_ms\": {t1:.3}, \"t2_ms\": {t2:.3}, \"t4_ms\": {t4:.3} }},\n  \"host_threads\": {host_threads},\n  \"byte_identical\": {byte_identical}\n}}\n",
         t1 = plan_threads_ms[0],
         t2 = plan_threads_ms[1],
         t4 = plan_threads_ms[2],

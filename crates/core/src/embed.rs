@@ -18,7 +18,7 @@
 
 use std::collections::HashMap;
 
-use catmark_relation::{ColumnMut, Relation, Value};
+use catmark_relation::{ColumnMut, ColumnView, MarkDelta, MarkDeltaBuilder, Relation, Value};
 
 use crate::ecc::ErrorCorrectingCode;
 use crate::error::CoreError;
@@ -359,6 +359,165 @@ impl<'a> Embedder<'a> {
             }
         }
         Ok(())
+    }
+
+    /// Delta extraction over a precomputed plan: the same decisions as
+    /// [`Embedder::embed_with_plan`] on a clone of `rel`, but emitted
+    /// as a [`MarkDelta`] without ever materializing the clone.
+    /// `base.apply_delta(&delta)` rebuilds the copy byte-identically
+    /// (pinned by proptest and golden).
+    ///
+    /// # Errors
+    ///
+    /// As [`Embedder::embed_with_plan`].
+    pub fn extract_delta_with_plan(
+        &self,
+        rel: &Relation,
+        attr_idx: usize,
+        wm: &Watermark,
+        ecc: &dyn ErrorCorrectingCode,
+        plan: &MarkPlan,
+    ) -> Result<(MarkDelta, EmbedReport), CoreError> {
+        if !plan.matches(self.spec, rel) {
+            return Err(CoreError::InvalidSpec(
+                "mark plan was built for a different spec or relation".into(),
+            ));
+        }
+        self.extract_delta_with_plan_trusted(rel, attr_idx, wm, ecc, plan)
+    }
+
+    /// [`Embedder::extract_delta_with_plan`] minus the plan-staleness
+    /// check — the cache-backed fast path, mirroring
+    /// [`Embedder::embed_with_plan_trusted`].
+    pub(crate) fn extract_delta_with_plan_trusted(
+        &self,
+        rel: &Relation,
+        attr_idx: usize,
+        wm: &Watermark,
+        ecc: &dyn ErrorCorrectingCode,
+        plan: &MarkPlan,
+    ) -> Result<(MarkDelta, EmbedReport), CoreError> {
+        if wm.len() != self.spec.wm_len {
+            return Err(CoreError::InvalidSpec(format!(
+                "watermark has {} bits but the spec declares {}",
+                wm.len(),
+                self.spec.wm_len
+            )));
+        }
+        let wm_data = ecc.encode(wm, self.spec.wm_data_len);
+        let mut report = EmbedReport {
+            total_tuples: plan.rows(),
+            fit_tuples: plan.fit().len(),
+            altered: 0,
+            unchanged: 0,
+            vetoed: 0,
+            positions_covered: 0,
+            positions_total: self.spec.wm_data_len,
+            touched_rows: Vec::new(),
+        };
+        let mut covered = vec![false; self.spec.wm_data_len];
+        let delta =
+            self.extract_delta_pass(rel, attr_idx, &wm_data, plan, 0, &mut covered, &mut report)?;
+        report.positions_covered = covered.iter().filter(|&&c| c).count();
+        Ok((delta, report))
+    }
+
+    /// The read-only twin of [`Embedder::embed_pass`]: walk the plan's
+    /// fit set over one relation (or one segment, with `row_base` its
+    /// first global row) making exactly the decisions the write pass
+    /// would, but record each rewrite as a patch instead of storing
+    /// it. For text columns the write pass interns every domain value
+    /// up front; this pass reproduces that interning *virtually* —
+    /// domain values absent from the base dictionary become
+    /// dictionary-extension entries in domain order, occupying the
+    /// codes interning would have assigned — which is what makes the
+    /// rebuilt copy's dictionary byte-identical, down to entries no
+    /// row references.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn extract_delta_pass(
+        &self,
+        rel: &Relation,
+        attr_idx: usize,
+        wm_data: &[bool],
+        plan: &MarkPlan,
+        row_base: usize,
+        covered: &mut [bool],
+        report: &mut EmbedReport,
+    ) -> Result<MarkDelta, CoreError> {
+        // Mirror `Relation::column_mut`'s refusals so the delta path
+        // errors exactly where the materializing path does.
+        if attr_idx >= rel.schema().arity() {
+            return Err(CoreError::Relation(catmark_relation::RelationError::InvalidSchema(
+                format!("attribute index {attr_idx} out of range"),
+            )));
+        }
+        if attr_idx == rel.schema().key_index() {
+            return Err(CoreError::Relation(catmark_relation::RelationError::InvalidSchema(
+                "the key column cannot be rewritten in bulk (it backs the key index)".into(),
+            )));
+        }
+        let builder = match rel.column(attr_idx) {
+            ColumnView::Int(xs) => {
+                let dom = int_domain(self.spec)?;
+                let mut builder = MarkDeltaBuilder::int(attr_idx, rel.len());
+                for planned in plan.fit() {
+                    let row = planned.row as usize;
+                    let idx = planned.position as usize;
+                    let t = plan.value_index(planned, wm_data[idx]);
+                    let new = dom[t];
+                    let old = xs[row];
+                    if old == new {
+                        report.unchanged += 1;
+                        covered[idx] = true;
+                        continue;
+                    }
+                    builder.push_int(row, old, new);
+                    report.altered += 1;
+                    covered[idx] = true;
+                    report.touched_rows.push(row_base + row);
+                }
+                builder
+            }
+            ColumnView::Text { codes, dict } => {
+                let mut builder = MarkDeltaBuilder::text(attr_idx, rel.len(), dict.len());
+                // Virtual interning: resolve each domain value to its
+                // base code, or to the extension code `tc.intern`
+                // would have assigned, in the same order.
+                let mut foreign: HashMap<&str, u32> = HashMap::new();
+                let mut dom_codes = Vec::with_capacity(self.spec.domain.values().len());
+                for v in self.spec.domain.values() {
+                    let s = v.as_text().ok_or_else(|| {
+                        CoreError::InvalidSpec(format!(
+                            "domain holds {} values but the target column is text",
+                            v.type_name()
+                        ))
+                    })?;
+                    let code = match dict.code_of(s) {
+                        Some(code) => code,
+                        None => *foreign.entry(s).or_insert_with(|| builder.extend_dict(s)),
+                    };
+                    dom_codes.push(code);
+                }
+                for planned in plan.fit() {
+                    let row = planned.row as usize;
+                    let idx = planned.position as usize;
+                    let t = plan.value_index(planned, wm_data[idx]);
+                    let new = dom_codes[t];
+                    let old = codes[row];
+                    if old == new {
+                        report.unchanged += 1;
+                        covered[idx] = true;
+                        continue;
+                    }
+                    builder.push_code(row, old, new);
+                    report.altered += 1;
+                    covered[idx] = true;
+                    report.touched_rows.push(row_base + row);
+                }
+                builder
+            }
+        };
+        builder.finish().map_err(CoreError::Relation)
     }
 }
 

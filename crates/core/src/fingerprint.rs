@@ -17,11 +17,11 @@ use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
 use catmark_crypto::SecretKey;
-use catmark_relation::Relation;
+use catmark_relation::{MarkDelta, Relation, SegmentedRelation};
 
 use crate::decode::Decoder;
 use crate::detect::{detect, Detection};
-use crate::ecc::MajorityVotingEcc;
+use crate::ecc::{ErrorCorrectingCode, MajorityVotingEcc};
 use crate::embed::{EmbedReport, Embedder};
 use crate::error::CoreError;
 use crate::plan::{MultiPlanCache, PlanCache};
@@ -162,9 +162,12 @@ impl FingerprintRegistry {
     /// byte-identical to N sequential [`FingerprintRegistry::mark_copy`]
     /// calls (pinned by proptest).
     ///
-    /// A single-buyer batch plans through the per-plan [`PlanCache`]
-    /// instead, so ordinary `mark_copy` traffic doesn't evict the
-    /// (few, large) memoized recipient-set batches.
+    /// Since the delta rework this is a thin wrapper: it extracts each
+    /// buyer's [`MarkDelta`] via
+    /// [`FingerprintRegistry::mark_deltas`] and materializes it with
+    /// [`Relation::apply_delta`] — callers who can ship patches
+    /// instead of copies should call `mark_deltas` directly and skip
+    /// the materialization entirely.
     ///
     /// # Errors
     ///
@@ -176,6 +179,56 @@ impl FingerprintRegistry {
         key_attr: &str,
         target_attr: &str,
     ) -> Result<Vec<(Relation, EmbedReport)>, CoreError> {
+        let deltas = self.mark_deltas(rel, buyers, key_attr, target_attr)?;
+        deltas
+            .into_iter()
+            .map(|(delta, report)| {
+                let copy = rel.apply_delta(&delta).map_err(CoreError::Relation)?;
+                Ok((copy, report))
+            })
+            .collect()
+    }
+
+    /// Produce `buyer`'s fingerprinted copy of `rel` as a
+    /// [`MarkDelta`] patch set against the shared base (registering
+    /// the buyer if needed). `rel.apply_delta(&delta)` is
+    /// byte-identical to [`FingerprintRegistry::mark_copy`]'s output,
+    /// at ~1/e of the relation's bytes.
+    ///
+    /// # Errors
+    ///
+    /// Embedding failures.
+    pub fn mark_delta(
+        &mut self,
+        rel: &Relation,
+        buyer: &str,
+        key_attr: &str,
+        target_attr: &str,
+    ) -> Result<(MarkDelta, EmbedReport), CoreError> {
+        let mut deltas = self.mark_deltas(rel, &[buyer], key_attr, target_attr)?;
+        Ok(deltas.pop().expect("one buyer in, one delta out"))
+    }
+
+    /// Produce [`MarkDelta`]s for a whole batch of buyers from one
+    /// recipient-batched [`crate::plan::MultiKeyPlan`] scan, **without
+    /// ever cloning the base**: the embed decisions run read-only over
+    /// `rel` and come back as ordered patch records (plus text
+    /// dictionary extensions). Deltas come back in `buyers` order.
+    ///
+    /// A single-buyer batch plans through the per-plan [`PlanCache`]
+    /// instead, so ordinary `mark_delta` traffic doesn't evict the
+    /// (few, large) memoized recipient-set batches.
+    ///
+    /// # Errors
+    ///
+    /// Embedding failures.
+    pub fn mark_deltas(
+        &mut self,
+        rel: &Relation,
+        buyers: &[&str],
+        key_attr: &str,
+        target_attr: &str,
+    ) -> Result<Vec<(MarkDelta, EmbedReport)>, CoreError> {
         let key_idx = rel.schema().index_of(key_attr)?;
         let attr_idx = rel.schema().index_of(target_attr)?;
         for buyer in buyers {
@@ -189,21 +242,101 @@ impl FingerprintRegistry {
             let specs: Vec<WatermarkSpec> = entries.iter().map(|e| e.0.clone()).collect();
             self.multi_plans.plan_for(&specs, rel, key_idx)?.plans().to_vec()
         };
-        let mut copies = Vec::with_capacity(buyers.len());
+        let mut deltas = Vec::with_capacity(buyers.len());
         for (entry, plan) in entries.iter().zip(&plans) {
             let (spec, wm) = (&entry.0, &entry.1);
-            let mut copy = rel.clone();
-            let report = Embedder::engine(spec).embed_with_plan(
-                &mut copy,
+            // The cache key already proved content identity, so the
+            // trusted path skips the per-buyer staleness fingerprint.
+            let pair = Embedder::engine(spec).extract_delta_with_plan_trusted(
+                rel,
                 attr_idx,
                 wm,
                 &MajorityVotingEcc,
-                None,
                 plan,
             )?;
-            copies.push((copy, report));
+            deltas.push(pair);
         }
-        Ok(copies)
+        Ok(deltas)
+    }
+
+    /// The out-of-core variant of [`FingerprintRegistry::mark_deltas`]:
+    /// stream each segment through the pager budget once per batch and
+    /// emit one [`MarkDelta`] *per segment* per buyer (patch rows and
+    /// dictionary codes are segment-local, matching the segment's own
+    /// dictionary). Each buyer's reports aggregate across segments
+    /// exactly like the segmented embed drivers, so `fit`/`altered`/
+    /// coverage match the monolithic path.
+    ///
+    /// # Errors
+    ///
+    /// Attribute-resolution, paging, or embedding failures.
+    pub fn mark_deltas_segmented(
+        &mut self,
+        seg: &mut SegmentedRelation,
+        buyers: &[&str],
+        key_attr: &str,
+        target_attr: &str,
+    ) -> Result<Vec<(Vec<MarkDelta>, EmbedReport)>, CoreError> {
+        let key_idx = seg.schema().index_of(key_attr)?;
+        let attr_idx = seg.schema().index_of(target_attr)?;
+        for buyer in buyers {
+            self.register(buyer);
+        }
+        let entries: Vec<Arc<(WatermarkSpec, Watermark)>> =
+            buyers.iter().map(|b| self.derived_entry(b)).collect();
+        let specs: Vec<WatermarkSpec> = entries.iter().map(|e| e.0.clone()).collect();
+        let wm_data: Vec<Vec<bool>> =
+            entries.iter().map(|e| MajorityVotingEcc.encode(&e.1, e.0.wm_data_len)).collect();
+        let mut reports: Vec<EmbedReport> = entries
+            .iter()
+            .map(|e| EmbedReport {
+                total_tuples: seg.len(),
+                fit_tuples: 0,
+                altered: 0,
+                unchanged: 0,
+                vetoed: 0,
+                positions_covered: 0,
+                positions_total: e.0.wm_data_len,
+                touched_rows: Vec::new(),
+            })
+            .collect();
+        let mut covered: Vec<Vec<bool>> =
+            entries.iter().map(|e| vec![false; e.0.wm_data_len]).collect();
+        let mut deltas: Vec<Vec<MarkDelta>> = vec![Vec::new(); buyers.len()];
+        let mut base = 0usize;
+        for i in 0..seg.segment_count() {
+            let rows = seg.segment_len(i);
+            seg.with_segment(i, |rel| -> Result<(), CoreError> {
+                // Per-segment plans are built directly: recipient
+                // batches would thrash the shared caches at one entry
+                // per (segment, buyer set).
+                let plans: Vec<Arc<crate::plan::MarkPlan>> = if specs.len() == 1 {
+                    vec![Arc::new(crate::plan::MarkPlan::build(&specs[0], rel, key_idx))]
+                } else {
+                    crate::plan::MultiKeyPlan::build(&specs, rel, key_idx).plans().to_vec()
+                };
+                for (b, (entry, plan)) in entries.iter().zip(&plans).enumerate() {
+                    reports[b].fit_tuples += plan.fit().len();
+                    let delta = Embedder::engine(&entry.0).extract_delta_pass(
+                        rel,
+                        attr_idx,
+                        &wm_data[b],
+                        plan,
+                        base,
+                        &mut covered[b],
+                        &mut reports[b],
+                    )?;
+                    deltas[b].push(delta);
+                }
+                Ok(())
+            })
+            .map_err(CoreError::Relation)??;
+            base += rows;
+        }
+        for (report, covered) in reports.iter_mut().zip(&covered) {
+            report.positions_covered = covered.iter().filter(|&&c| c).count();
+        }
+        Ok(deltas.into_iter().zip(reports).collect())
     }
 
     /// Decode `suspect` under every registered buyer's keys, ranked by
@@ -404,6 +537,68 @@ mod tests {
             assert_eq!(report.altered, expected_report.altered, "buyer {buyer}");
         }
         assert_eq!(batched_reg.buyers(), ["acme", "globex", "initech", "umbrella", "hooli"]);
+    }
+
+    #[test]
+    fn deltas_rebuild_byte_identical_copies() {
+        let (mut delta_reg, rel) = registry();
+        let (mut copy_reg, _) = registry();
+        let buyers = ["acme", "globex", "initech"];
+        let deltas = delta_reg.mark_deltas(&rel, &buyers, "visit_nbr", "item_nbr").unwrap();
+        let copies = copy_reg.mark_copies(&rel, &buyers, "visit_nbr", "item_nbr").unwrap();
+        for ((buyer, (delta, d_report)), (copy, c_report)) in
+            buyers.iter().zip(&deltas).zip(&copies)
+        {
+            assert_eq!(d_report, c_report, "buyer {buyer}: reports diverge");
+            assert!(delta.patch_count() > 100, "buyer {buyer}");
+            // Through the wire format and back.
+            let wire = MarkDelta::decode(&delta.encode()).unwrap();
+            let rebuilt = rel.apply_delta(&wire).unwrap();
+            assert!(
+                rebuilt.iter().zip(copy.iter()).all(|(a, b)| a == b),
+                "buyer {buyer}: delta-rebuilt copy diverges from mark_copy"
+            );
+            // The delta is a small fraction of the materialized copy.
+            assert!(delta.serialized_len() * 4 < copy.resident_bytes(), "buyer {buyer}");
+        }
+    }
+
+    #[test]
+    fn segmented_deltas_match_the_monolithic_path() {
+        use catmark_relation::SegmentedRelation;
+        let (mut seg_reg, rel) = registry();
+        let (mut mono_reg, _) = registry();
+        let buyers = ["acme", "globex", "initech"];
+        let mut seg = SegmentedRelation::builder(rel.schema().clone())
+            .segment_rows(1_000)
+            .from_relation(&rel)
+            .unwrap();
+        let segmented =
+            seg_reg.mark_deltas_segmented(&mut seg, &buyers, "visit_nbr", "item_nbr").unwrap();
+        let copies = mono_reg.mark_copies(&rel, &buyers, "visit_nbr", "item_nbr").unwrap();
+        for ((buyer, (seg_deltas, s_report)), (copy, c_report)) in
+            buyers.iter().zip(&segmented).zip(&copies)
+        {
+            assert_eq!(s_report, c_report, "buyer {buyer}: segmented report diverges");
+            assert_eq!(seg_deltas.len(), seg.segment_count());
+            // Rebuild the copy segment by segment and compare rows.
+            let mut rebuilt = Vec::new();
+            for (i, delta) in seg_deltas.iter().enumerate() {
+                let patched =
+                    seg.with_segment(i, |segment| segment.apply_delta(delta)).unwrap().unwrap();
+                for row in 0..patched.len() {
+                    rebuilt.push(patched.tuple(row).unwrap().values().to_vec());
+                }
+            }
+            assert_eq!(rebuilt.len(), copy.len(), "buyer {buyer}");
+            for (row, values) in rebuilt.iter().enumerate() {
+                assert_eq!(
+                    values.as_slice(),
+                    copy.tuple(row).unwrap().values(),
+                    "buyer {buyer} row {row}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -554,6 +554,69 @@ impl Fnv {
     }
 }
 
+/// `(spec identity, key attribute index, key-column fingerprint)`.
+type PlanKey = (u64, usize, u64);
+
+/// The shared bounded store behind [`PlanCache`] and
+/// [`MultiPlanCache`]: a map of entries stamped with a logical clock,
+/// evicting the least-recently-used entry when full.
+///
+/// The historical eviction policy cleared the *whole* store on
+/// overflow, so an interleaved workload (a few hot specs plus a
+/// stream of one-shot ones) rebuilt its hot plans every
+/// `CAPACITY`-th insert. LRU keeps the hot entries: every lookup
+/// bumps the entry's stamp, and overflow evicts only the stalest one.
+#[derive(Debug)]
+struct LruStore<V> {
+    entries: HashMap<PlanKey, (V, u64)>,
+    clock: u64,
+}
+
+impl<V> Default for LruStore<V> {
+    fn default() -> Self {
+        LruStore { entries: HashMap::new(), clock: 0 }
+    }
+}
+
+impl<V: Clone> LruStore<V> {
+    /// Look up `key`, refreshing its recency stamp on a hit.
+    fn get(&mut self, key: &PlanKey) -> Option<V> {
+        self.clock += 1;
+        let clock = self.clock;
+        self.entries.get_mut(key).map(|(value, stamp)| {
+            *stamp = clock;
+            value.clone()
+        })
+    }
+
+    /// Insert `value` under `key` (evicting the least-recently-used
+    /// entry if the store is at `capacity`), or return the entry
+    /// another thread won the build race with.
+    fn insert_or_get(&mut self, key: PlanKey, value: V, capacity: usize) -> V {
+        if let Some(existing) = self.get(&key) {
+            return existing;
+        }
+        if self.entries.len() >= capacity {
+            if let Some(&stalest) =
+                self.entries.iter().min_by_key(|(_, (_, stamp))| *stamp).map(|(k, _)| k)
+            {
+                self.entries.remove(&stalest);
+            }
+        }
+        self.clock += 1;
+        self.entries.insert(key, (value.clone(), self.clock));
+        value
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
 /// Memoizes [`MarkPlan`]s keyed by `(spec identity, key attribute,
 /// key-column content fingerprint)`.
 ///
@@ -561,17 +624,15 @@ impl Fnv {
 /// repeated traces of the same suspect copy) collapses the keyed-hash
 /// work to a single pass over the key column. The cache is
 /// thread-safe; clones share the same underlying store. Memoization
-/// is bounded: when the store reaches [`PlanCache::CAPACITY`] distinct
-/// plans it resets, so a long-lived holder (e.g. a fingerprint
-/// registry tracing an endless stream of suspect copies) cannot grow
-/// without bound.
+/// is bounded to [`PlanCache::CAPACITY`] distinct plans with
+/// least-recently-used eviction, so a long-lived holder (e.g. a
+/// fingerprint registry tracing an endless stream of suspect copies)
+/// cannot grow without bound — and a few hot plans survive any amount
+/// of one-shot traffic around them.
 #[derive(Debug, Clone, Default)]
 pub struct PlanCache {
-    inner: Arc<Mutex<HashMap<PlanKey, Arc<MarkPlan>>>>,
+    inner: Arc<Mutex<LruStore<Arc<MarkPlan>>>>,
 }
-
-/// `(spec identity, key attribute index, key-column fingerprint)`.
-type PlanKey = (u64, usize, u64);
 
 impl PlanCache {
     /// Distinct plans memoized before the store resets.
@@ -602,7 +663,7 @@ impl PlanCache {
         }
         let key = (spec_identity(spec), key_idx, column_fingerprint(rel, key_idx));
         if let Some(plan) = self.inner.lock().expect("plan cache is never poisoned").get(&key) {
-            return Ok(Arc::clone(plan));
+            return Ok(plan);
         }
         // Build outside the lock: plans are immutable, so two threads
         // racing on the same key at worst build twice and agree; and a
@@ -610,10 +671,7 @@ impl PlanCache {
         // mutex if it panics).
         let plan = Arc::new(MarkPlan::build_knowing_fp(spec, rel, key_idx, key.2));
         let mut inner = self.inner.lock().expect("plan cache is never poisoned");
-        if inner.len() >= Self::CAPACITY && !inner.contains_key(&key) {
-            inner.clear();
-        }
-        Ok(Arc::clone(inner.entry(key).or_insert(plan)))
+        Ok(inner.insert_or_get(key, plan, Self::CAPACITY))
     }
 
     /// Number of memoized plans.
@@ -639,16 +697,17 @@ impl PlanCache {
 ///
 /// [`PlanCache`] is the wrong shape for recipient batches: at 1 000
 /// registered buyers a single trace inserts 1 000 distinct plans,
-/// blowing through [`PlanCache::CAPACITY`] and resetting the store —
-/// every repeated trace of the same suspect re-plans everything. This
-/// cache treats the **entire recipient set** as one entry, so a
-/// long-lived service tracing the same few suspect copies over and
-/// over pays the batched pass once per suspect. Capacity is small
-/// ([`MultiPlanCache::CAPACITY`] suspect relations) because each entry
-/// is large (≈ recipients × N/e planned rows).
+/// evicting everything else in the store — every repeated trace of
+/// the same suspect re-plans everything. This cache treats the
+/// **entire recipient set** as one entry (evicted least-recently-used,
+/// like [`PlanCache`]), so a long-lived service tracing the same few
+/// suspect copies over and over pays the batched pass once per
+/// suspect. Capacity is small ([`MultiPlanCache::CAPACITY`] suspect
+/// relations) because each entry is large (≈ recipients × N/e planned
+/// rows).
 #[derive(Debug, Clone, Default)]
 pub struct MultiPlanCache {
-    inner: Arc<Mutex<HashMap<PlanKey, Arc<MultiKeyPlan>>>>,
+    inner: Arc<Mutex<LruStore<Arc<MultiKeyPlan>>>>,
 }
 
 impl MultiPlanCache {
@@ -686,15 +745,12 @@ impl MultiPlanCache {
         }
         let key = (set_id.finish(), key_idx, column_fingerprint(rel, key_idx));
         if let Some(plan) = self.inner.lock().expect("plan cache is never poisoned").get(&key) {
-            return Ok(Arc::clone(plan));
+            return Ok(plan);
         }
         // Build outside the lock — same reasoning as [`PlanCache`].
         let plan = Arc::new(MultiKeyPlan::build(specs, rel, key_idx));
         let mut inner = self.inner.lock().expect("plan cache is never poisoned");
-        if inner.len() >= Self::CAPACITY && !inner.contains_key(&key) {
-            inner.clear();
-        }
-        Ok(Arc::clone(inner.entry(key).or_insert(plan)))
+        Ok(inner.insert_or_get(key, plan, Self::CAPACITY))
     }
 
     /// Number of memoized recipient-set plans.
@@ -911,6 +967,39 @@ mod tests {
 
         cache.clear();
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn lru_eviction_keeps_hot_plans_through_interleaved_cold_traffic() {
+        // The clear-on-full baseline wipes the whole store every
+        // CAPACITY-th distinct insert, so a workload interleaving a
+        // few hot specs with a stream of one-shot ones re-plans the
+        // hot set over and over (hit rate for the hot specs over this
+        // access pattern: well under 100%). LRU must keep every hot
+        // plan resident — their stamps refresh each round while the
+        // cold entries evict each other.
+        let (rel, spec) = fixture(300, 10);
+        let cache = PlanCache::new();
+        let hot: Vec<WatermarkSpec> = (0..4).map(|i| spec.derived(&format!("hot-{i}"))).collect();
+        let first: Vec<Arc<MarkPlan>> =
+            hot.iter().map(|s| cache.plan_for(s, &rel, 0).unwrap()).collect();
+        let mut hot_hits = 0usize;
+        let mut hot_accesses = 0usize;
+        for i in 0..(PlanCache::CAPACITY + 16) {
+            cache.plan_for(&spec.derived(&format!("cold-{i}")), &rel, 0).unwrap();
+            for (s, original) in hot.iter().zip(&first) {
+                let again = cache.plan_for(s, &rel, 0).unwrap();
+                hot_accesses += 1;
+                if Arc::ptr_eq(original, &again) {
+                    hot_hits += 1;
+                }
+            }
+            assert!(cache.len() <= PlanCache::CAPACITY);
+        }
+        assert_eq!(
+            hot_hits, hot_accesses,
+            "hot plans were evicted by cold traffic ({hot_hits}/{hot_accesses} hits)"
+        );
     }
 
     #[test]

@@ -47,7 +47,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use catmark_relation::{CategoricalDomain, Relation, Schema};
+use catmark_relation::{CategoricalDomain, MarkDelta, Relation, Schema, SegmentedRelation};
 
 use crate::contest::{Claim, ClaimEvidence, ContestOutcome};
 use crate::decode::{DecodeReport, Decoder};
@@ -459,6 +459,29 @@ impl MarkSession {
         Ok((session, copies))
     }
 
+    /// [`MarkSession::fingerprint_batch`] without ever cloning the
+    /// base: one recipient-batched [`crate::plan::MultiKeyPlan`] scan
+    /// produces a [`MarkDelta`] per buyer — ordered patch records
+    /// (plus text dictionary extensions) such that
+    /// `rel.apply_delta(&delta)` is byte-identical to the
+    /// corresponding [`FingerprintSession::mark_copy`] (pinned by
+    /// proptest and golden). At 1/e alteration rates a delta is a
+    /// small fraction of the copy's bytes — the distribution-at-scale
+    /// representation.
+    ///
+    /// # Errors
+    ///
+    /// Embedding failures.
+    pub fn fingerprint_deltas(
+        &self,
+        rel: &Relation,
+        buyers: &[&str],
+    ) -> Result<(FingerprintSession, Vec<(MarkDelta, EmbedReport)>), CoreError> {
+        let mut session = self.fingerprint();
+        let deltas = session.mark_deltas(rel, buyers)?;
+        Ok((session, deltas))
+    }
+
     /// An ownership [`Claim`] under this session's keys — the
     /// session holder's side of a contest.
     #[must_use]
@@ -656,6 +679,51 @@ impl FingerprintSession {
         buyers: &[&str],
     ) -> Result<Vec<(Relation, EmbedReport)>, CoreError> {
         self.registry.mark_copies(rel, buyers, &self.key.name, &self.target.name)
+    }
+
+    /// Produce `buyer`'s fingerprinted copy as a [`MarkDelta`] patch
+    /// set against the shared base — see
+    /// [`FingerprintRegistry::mark_delta`].
+    ///
+    /// # Errors
+    ///
+    /// Embedding failures.
+    pub fn mark_delta(
+        &mut self,
+        rel: &Relation,
+        buyer: &str,
+    ) -> Result<(MarkDelta, EmbedReport), CoreError> {
+        self.registry.mark_delta(rel, buyer, &self.key.name, &self.target.name)
+    }
+
+    /// Produce [`MarkDelta`]s for a whole batch of buyers from one
+    /// recipient-batched scan, never cloning the base — see
+    /// [`FingerprintRegistry::mark_deltas`].
+    ///
+    /// # Errors
+    ///
+    /// Embedding failures.
+    pub fn mark_deltas(
+        &mut self,
+        rel: &Relation,
+        buyers: &[&str],
+    ) -> Result<Vec<(MarkDelta, EmbedReport)>, CoreError> {
+        self.registry.mark_deltas(rel, buyers, &self.key.name, &self.target.name)
+    }
+
+    /// Stream per-segment [`MarkDelta`]s for a batch of buyers under
+    /// the pager budget — see
+    /// [`FingerprintRegistry::mark_deltas_segmented`].
+    ///
+    /// # Errors
+    ///
+    /// Attribute-resolution, paging, or embedding failures.
+    pub fn mark_deltas_segmented(
+        &mut self,
+        seg: &mut SegmentedRelation,
+        buyers: &[&str],
+    ) -> Result<Vec<(Vec<MarkDelta>, EmbedReport)>, CoreError> {
+        self.registry.mark_deltas_segmented(seg, buyers, &self.key.name, &self.target.name)
     }
 
     /// Decode `suspect` under every registered buyer's keys, strongest

@@ -28,6 +28,9 @@
 //!   ([`segment`]) — fixed-size columnar segments with segment-local
 //!   dictionaries and shared merge maps, streamed under a resident
 //!   budget through range-addressed byte stores ([`spill`]),
+//! * delta-encoded marked copies ([`delta`]) — ordered patch records
+//!   (plus dictionary extensions) turning a shared base into any
+//!   recipient's fingerprinted copy without materializing a clone,
 //! * CSV import/export for interoperability ([`csv`]).
 //!
 //! # Example
@@ -51,6 +54,7 @@
 
 pub mod column;
 pub mod csv;
+pub mod delta;
 pub mod domain;
 pub mod error;
 pub mod join;
@@ -66,6 +70,7 @@ pub mod tuple;
 pub mod value;
 
 pub use column::{Column, ColumnMut, ColumnView, Dictionary, TextColumnMut};
+pub use delta::{MarkDelta, MarkDeltaBuilder};
 pub use domain::CategoricalDomain;
 pub use error::RelationError;
 pub use predicate::Predicate;

@@ -5,11 +5,26 @@
 //! `(tenant, key name, key column, target column)`. Connections speak
 //! the framed JSON protocol (see [`crate::wire`] and `docs/SERVICE.md`
 //! at the repository root): a client first binds a tenant with the
-//! `hello` op, then issues `embed` / `decode` / `mark_copy` / `trace`
-//! ops carrying relations as inline CSV. Because the sessions are
-//! cached, repeated operations against the same data reuse the plan
-//! caches underneath — a warm service re-plans nothing, which is
-//! where the batched-tracing throughput comes from.
+//! `hello` op, then issues `embed` / `decode` / `mark_copy` /
+//! `mark_delta` / `apply_delta` / `trace` ops carrying relations as
+//! inline CSV. Because the sessions are cached, repeated operations
+//! against the same data reuse the plan caches underneath — a warm
+//! service re-plans nothing, which is where the batched-tracing
+//! throughput comes from.
+//!
+//! `mark_delta` is the wire face of delta distribution: instead of a
+//! full fingerprinted CSV it returns a hex-encoded [`MarkDelta`] patch
+//! blob that `apply_delta` (or [`Relation::apply_delta`] in-process)
+//! replays against the shared base to reconstruct the recipient's
+//! copy byte-for-byte — a fraction of the bytes of `mark_copy` per
+//! recipient.
+//!
+//! # Concurrency
+//!
+//! [`serve_unix_pool`] runs a bounded pool of worker threads over one
+//! shared `Service` behind a mutex: the lock is held per *request*,
+//! not per connection, so slow or idle clients from one tenant never
+//! stall another tenant's traffic.
 //!
 //! # Tenant isolation
 //!
@@ -35,7 +50,7 @@ use std::io::{self, BufReader, Read, Write};
 use catmark_core::keyfile::TenantKeyRegistry;
 use catmark_core::{detect, CoreError, FingerprintSession, MarkSession, Watermark};
 use catmark_relation::csv::{read_csv_inferred, write_csv};
-use catmark_relation::{Relation, SegmentedRelation};
+use catmark_relation::{MarkDelta, Relation, SegmentedRelation};
 
 use crate::json::{self, Json};
 use crate::wire::{read_frame, write_frame};
@@ -146,6 +161,8 @@ impl Service {
             "embed" => self.embed_op(&tenant, request),
             "decode" => self.decode_op(&tenant, request),
             "mark_copy" => self.mark_copy_op(&tenant, request),
+            "mark_delta" => self.mark_delta_op(&tenant, request),
+            "apply_delta" => Self::apply_delta_op(request),
             "trace" => self.trace_op(&tenant, request),
             other => Err(format!("unknown op {other:?}")),
         }
@@ -179,6 +196,11 @@ impl Service {
         let attr = str_field(request, "attr")?;
         let cache_key: SessionKey =
             (tenant.to_string(), key.to_string(), key_attr.to_string(), attr.to_string());
+        // Resolve the key through the registry on *every* request —
+        // the registry lookup is where tenant isolation lives, and a
+        // warm session cached by the key's own tenant must not let a
+        // differently-bound connection skip that check.
+        let spec = self.spec_for(bound, tenant, key)?;
         let stale = match self.sessions.get(&cache_key) {
             None => true,
             Some(session) => {
@@ -189,7 +211,6 @@ impl Service {
             }
         };
         if stale {
-            let spec = self.spec_for(bound, tenant, key)?;
             let session = MarkSession::builder(spec)
                 .key_column(key_attr)
                 .target_column(attr)
@@ -290,6 +311,36 @@ impl Service {
         ]))
     }
 
+    fn mark_delta_op(&mut self, bound: &str, request: &Json) -> Result<Json, String> {
+        let attr = str_field(request, "attr")?;
+        let buyer = str_field(request, "buyer")?.to_string();
+        let rel = parse_csv(str_field(request, "csv")?, attr)?;
+        let fp = self.fingerprint_for(bound, request, &rel)?;
+        let (delta, report) = fp.mark_delta(&rel, &buyer).map_err(|e| e.to_string())?;
+        let blob = delta.encode();
+        Ok(ok_response(vec![
+            ("buyer", Json::Str(buyer)),
+            ("delta", Json::Str(to_hex(&blob))),
+            ("delta_bytes", Json::Num(blob.len() as f64)),
+            ("patches", Json::Num(delta.patch_count() as f64)),
+            ("total", Json::Num(report.total_tuples as f64)),
+            ("fit", Json::Num(report.fit_tuples as f64)),
+            ("altered", Json::Num(report.altered as f64)),
+        ]))
+    }
+
+    fn apply_delta_op(request: &Json) -> Result<Json, String> {
+        let attr = str_field(request, "attr")?;
+        let rel = parse_csv(str_field(request, "csv")?, attr)?;
+        let blob = from_hex(str_field(request, "delta")?)?;
+        let delta = MarkDelta::decode(&blob).map_err(|e| e.to_string())?;
+        let copy = rel.apply_delta(&delta).map_err(|e| e.to_string())?;
+        Ok(ok_response(vec![
+            ("csv", Json::Str(render_csv(&copy)?)),
+            ("patches", Json::Num(delta.patch_count() as f64)),
+        ]))
+    }
+
     fn trace_op(&mut self, bound: &str, request: &Json) -> Result<Json, String> {
         let attr = str_field(request, "attr")?;
         let rel = parse_csv(str_field(request, "csv")?, attr)?;
@@ -351,6 +402,33 @@ fn render_csv(rel: &Relation) -> Result<String, String> {
     String::from_utf8(buf).map_err(|e| e.to_string())
 }
 
+fn to_hex(bytes: &[u8]) -> String {
+    use std::fmt::Write as _;
+    let mut text = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        write!(text, "{b:02x}").expect("writing to a String never fails");
+    }
+    text
+}
+
+fn from_hex(text: &str) -> Result<Vec<u8>, String> {
+    let digits = text.as_bytes();
+    if !digits.len().is_multiple_of(2) {
+        return Err("delta hex has an odd number of digits".to_string());
+    }
+    if !digits.iter().all(u8::is_ascii_hexdigit) {
+        return Err("delta hex holds a non-hex character".to_string());
+    }
+    Ok(digits
+        .chunks_exact(2)
+        .map(|pair| {
+            let hi = (pair[0] as char).to_digit(16).expect("checked hexdigit");
+            let lo = (pair[1] as char).to_digit(16).expect("checked hexdigit");
+            (hi * 16 + lo) as u8
+        })
+        .collect())
+}
+
 /// Parse a watermark bit string (`"1011001110"`), validating its
 /// length against the spec.
 fn parse_mark(text: &str, wm_len: usize) -> Result<Watermark, String> {
@@ -378,13 +456,26 @@ pub fn serve_connection(
     reader: &mut impl Read,
     writer: &mut impl Write,
 ) -> io::Result<bool> {
+    serve_frames(reader, writer, |bound, request| service.handle(bound, request))
+}
+
+/// The transport loop behind [`serve_connection`]: frames in, frames
+/// out, with the connection's tenant binding threaded through
+/// `handle`. Factored out so the worker pool can serve connections
+/// against shared (mutex-guarded) service state while each
+/// connection keeps its own `hello` binding.
+fn serve_frames(
+    reader: &mut impl Read,
+    writer: &mut impl Write,
+    mut handle: impl FnMut(&mut Option<String>, &Json) -> (Json, bool),
+) -> io::Result<bool> {
     let mut bound: Option<String> = None;
     while let Some(frame) = read_frame(reader)? {
         let (response, shutdown) = match std::str::from_utf8(&frame) {
             Err(e) => (err_response(&format!("frame is not UTF-8: {e}")), false),
             Ok(text) => match json::parse(text) {
                 Err(e) => (err_response(&format!("bad JSON: {e}")), false),
-                Ok(request) => service.handle(&mut bound, &request),
+                Ok(request) => handle(&mut bound, &request),
             },
         };
         write_frame(writer, response.to_text().as_bytes())?;
@@ -410,8 +501,41 @@ pub fn serve_stdio(mut service: Service) -> io::Result<()> {
     Ok(())
 }
 
-/// Serve connections on a Unix domain socket at `path`, sequentially,
-/// until a client sends `shutdown`. A pre-existing socket file at
+/// Default worker count for [`serve_unix`]: the machine's available
+/// parallelism, clamped to `2..=8` so even a single-core host can
+/// overlap two tenants' connections without one blocking the other's
+/// accept.
+#[cfg(unix)]
+#[must_use]
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism().map_or(2, std::num::NonZeroUsize::get).clamp(2, 8)
+}
+
+/// Serve connections on a Unix domain socket at `path` with
+/// [`default_workers`] concurrent workers, until a client sends
+/// `shutdown`. See [`serve_unix_pool`].
+///
+/// # Errors
+///
+/// Socket setup failures. Per-connection I/O errors drop that
+/// connection (with a note on stderr) and the daemon keeps serving.
+#[cfg(unix)]
+pub fn serve_unix(service: Service, path: &std::path::Path) -> io::Result<()> {
+    serve_unix_pool(service, path, default_workers())
+}
+
+/// Serve connections on a Unix domain socket at `path` with a bounded
+/// pool of `workers` threads over shared service state, until a
+/// client sends `shutdown`.
+///
+/// Each worker blocks in `accept` and serves its connection's frames
+/// to completion; the shared [`Service`] (registries, plan/session
+/// caches) sits behind a mutex that is held only while a single
+/// request is handled, so long-lived connections from different
+/// tenants interleave request-by-request instead of serializing
+/// connection-by-connection. Tenant isolation is untouched: each
+/// connection keeps its own `hello` binding, and key lookups still go
+/// through the bound tenant's registry. A pre-existing socket file at
 /// `path` is replaced; the socket is removed on clean shutdown.
 ///
 /// # Errors
@@ -419,19 +543,57 @@ pub fn serve_stdio(mut service: Service) -> io::Result<()> {
 /// Socket setup failures. Per-connection I/O errors drop that
 /// connection (with a note on stderr) and the daemon keeps serving.
 #[cfg(unix)]
-pub fn serve_unix(mut service: Service, path: &std::path::Path) -> io::Result<()> {
-    use std::os::unix::net::UnixListener;
+pub fn serve_unix_pool(service: Service, path: &std::path::Path, workers: usize) -> io::Result<()> {
+    use std::os::unix::net::{UnixListener, UnixStream};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Mutex;
+
+    let workers = workers.max(1);
     let _ = std::fs::remove_file(path);
     let listener = UnixListener::bind(path)?;
-    for conn in listener.incoming() {
-        let mut stream = conn?;
-        let mut reader = BufReader::new(stream.try_clone()?);
-        match serve_connection(&mut service, &mut reader, &mut stream) {
-            Ok(true) => break,
-            Ok(false) => {}
-            Err(e) => eprintln!("catmark serve: connection error: {e}"),
+    let service = Mutex::new(service);
+    let stopping = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let conn = listener.accept();
+                if stopping.load(Ordering::SeqCst) {
+                    break;
+                }
+                let mut stream = match conn {
+                    Ok((stream, _)) => stream,
+                    Err(e) => {
+                        eprintln!("catmark serve: accept error: {e}");
+                        break;
+                    }
+                };
+                let mut reader = match stream.try_clone() {
+                    Ok(clone) => BufReader::new(clone),
+                    Err(e) => {
+                        eprintln!("catmark serve: connection error: {e}");
+                        continue;
+                    }
+                };
+                let served = serve_frames(&mut reader, &mut stream, |bound, request| {
+                    service.lock().expect("service state is never poisoned").handle(bound, request)
+                });
+                match served {
+                    Ok(true) => {
+                        // Shutdown requested: raise the flag, then poke
+                        // the listener once per worker so threads blocked
+                        // in accept wake up and observe it.
+                        stopping.store(true, Ordering::SeqCst);
+                        for _ in 0..workers {
+                            let _ = UnixStream::connect(path);
+                        }
+                        break;
+                    }
+                    Ok(false) => {}
+                    Err(e) => eprintln!("catmark serve: connection error: {e}"),
+                }
+            });
         }
-    }
+    });
     std::fs::remove_file(path).ok();
     Ok(())
 }
@@ -666,6 +828,130 @@ mod tests {
         assert_ok(&json::parse(std::str::from_utf8(&bye).unwrap()).unwrap());
         // Nothing after shutdown was processed.
         assert!(read_frame(&mut replies).unwrap().is_none());
+    }
+
+    #[test]
+    fn mark_delta_rebuilds_the_mark_copy_in_a_fraction_of_the_bytes() {
+        let mut service = two_tenant_service(ServiceConfig::default());
+        let mut bound = None;
+        service.handle(&mut bound, &request(r#"{"op":"hello","tenant":"acme"}"#));
+        let base = csv();
+        let copy_req = format!(
+            r#"{{"op":"mark_copy","key":"production","key_attr":"visit_nbr","attr":"item_nbr","buyer":"globex-reseller","csv":{}}}"#,
+            Json::Str(base.clone()).to_text()
+        );
+        let (copy, _) = service.handle(&mut bound, &request(&copy_req));
+        assert_ok(&copy);
+
+        let delta_req = format!(
+            r#"{{"op":"mark_delta","key":"production","key_attr":"visit_nbr","attr":"item_nbr","buyer":"globex-reseller","csv":{}}}"#,
+            Json::Str(base.clone()).to_text()
+        );
+        let (delta, _) = service.handle(&mut bound, &request(&delta_req));
+        assert_ok(&delta);
+        assert_eq!(delta.get("fit"), copy.get("fit"));
+        assert_eq!(delta.get("altered"), copy.get("altered"));
+        let blob = delta.get("delta").and_then(Json::as_str).unwrap().to_string();
+        let delta_bytes = delta.get("delta_bytes").and_then(Json::as_u64).unwrap() as usize;
+        assert_eq!(blob.len(), delta_bytes * 2, "hex doubles the byte count");
+        assert!(delta_bytes < base.len(), "the patch must be smaller than the CSV");
+
+        let apply_req = format!(
+            r#"{{"op":"apply_delta","attr":"item_nbr","delta":{},"csv":{}}}"#,
+            Json::Str(blob).to_text(),
+            Json::Str(base).to_text()
+        );
+        let (rebuilt, _) = service.handle(&mut bound, &request(&apply_req));
+        assert_ok(&rebuilt);
+        assert_eq!(rebuilt.get("csv"), copy.get("csv"), "apply_delta must rebuild the copy");
+    }
+
+    #[test]
+    fn apply_delta_refuses_malformed_blobs() {
+        let mut service = two_tenant_service(ServiceConfig::default());
+        let mut bound = None;
+        service.handle(&mut bound, &request(r#"{"op":"hello","tenant":"acme"}"#));
+        let ask = |service: &mut Service, bound: &mut Option<String>, blob: &str| {
+            let req = format!(
+                r#"{{"op":"apply_delta","attr":"item_nbr","delta":{},"csv":{}}}"#,
+                Json::Str(blob.to_string()).to_text(),
+                Json::Str(csv()).to_text()
+            );
+            let (resp, _) = service.handle(bound, &request(&req));
+            error_of(&resp)
+        };
+        assert!(ask(&mut service, &mut bound, "abc").contains("odd number"));
+        assert!(ask(&mut service, &mut bound, "zz").contains("non-hex"));
+        // Valid hex, but not a delta blob.
+        assert!(!ask(&mut service, &mut bound, "00112233").is_empty());
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn worker_pool_interleaves_connections_from_two_tenants() {
+        use std::os::unix::net::UnixStream;
+        use std::time::Duration;
+
+        struct Client {
+            stream: UnixStream,
+            reader: BufReader<UnixStream>,
+        }
+        impl Client {
+            fn connect(path: &std::path::Path) -> io::Result<Client> {
+                let stream = UnixStream::connect(path)?;
+                let reader = BufReader::new(stream.try_clone()?);
+                Ok(Client { stream, reader })
+            }
+            fn ask(&mut self, req: &str) -> Json {
+                write_frame(&mut self.stream, req.as_bytes()).unwrap();
+                let frame = read_frame(&mut self.reader).unwrap().unwrap();
+                json::parse(std::str::from_utf8(&frame).unwrap()).unwrap()
+            }
+        }
+
+        let path =
+            std::env::temp_dir().join(format!("catmark-pool-test-{}.sock", std::process::id()));
+        let service = two_tenant_service(ServiceConfig::default());
+        let sock = path.clone();
+        let daemon = std::thread::spawn(move || serve_unix_pool(service, &sock, 2));
+
+        let mut acme = None;
+        for _ in 0..400 {
+            match Client::connect(&path) {
+                Ok(client) => {
+                    acme = Some(client);
+                    break;
+                }
+                Err(_) => std::thread::sleep(Duration::from_millis(5)),
+            }
+        }
+        let mut acme = acme.expect("daemon socket never came up");
+        // A sequential accept loop would block here until the first
+        // connection closed; the pool serves both at once.
+        let mut globex = Client::connect(&path).unwrap();
+        assert_ok(&acme.ask(r#"{"op":"hello","tenant":"acme"}"#));
+        assert_ok(&globex.ask(r#"{"op":"hello","tenant":"globex"}"#));
+        // Interleaved frames on both live connections.
+        let embed = |tenant_csv: String| {
+            format!(
+                r#"{{"op":"embed","key":"production","key_attr":"visit_nbr","attr":"item_nbr","mark":"101101","csv":{}}}"#,
+                Json::Str(tenant_csv).to_text()
+            )
+        };
+        assert_ok(&acme.ask(&embed(csv())));
+        assert_ok(&globex.ask(&embed(csv())));
+        // Isolation holds across the shared pool state: globex's
+        // connection cannot reach acme's key material.
+        let foreign = format!(
+            r#"{{"op":"embed","tenant":"acme","key":"production","key_attr":"visit_nbr","attr":"item_nbr","mark":"101101","csv":{}}}"#,
+            Json::Str(csv()).to_text()
+        );
+        assert!(error_of(&globex.ask(&foreign)).contains("tenant isolation"));
+        drop(globex);
+        assert_ok(&acme.ask(r#"{"op":"shutdown"}"#));
+        drop(acme);
+        daemon.join().unwrap().unwrap();
+        assert!(!path.exists(), "socket file is removed on shutdown");
     }
 
     #[test]

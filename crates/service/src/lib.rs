@@ -34,7 +34,7 @@ pub mod json;
 pub mod wire;
 
 #[cfg(unix)]
-pub use daemon::serve_unix;
+pub use daemon::{default_workers, serve_unix, serve_unix_pool};
 pub use daemon::{serve_connection, serve_stdio, Service, ServiceConfig};
 pub use json::Json;
 pub use wire::{read_frame, write_frame, MAX_FRAME_BYTES};

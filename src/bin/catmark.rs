@@ -11,7 +11,7 @@
 //! catmark rules  --input data.csv --attrs dept,aisle [--min-support 0.05]
 //!                [--min-confidence 0.8] [--max-len 2] [--top 20]
 //! catmark serve  --registries acme.reg,globex.reg [--socket /tmp/catmark.sock]
-//!                [--segment-rows N] [--budget-bytes N]
+//!                [--workers N] [--segment-rows N] [--budget-bytes N]
 //! ```
 //!
 //! CSV schemas are inferred from the header row plus type sniffing
@@ -109,7 +109,7 @@ const USAGE: &str = "usage:
   catmark inspect --key <file>
   catmark rules   --input <csv> --attrs <a,b,…> [--min-support 0.05]
                   [--min-confidence 0.8] [--max-len 2] [--top 20]
-  catmark serve   --registries <file,…> [--socket <path>]
+  catmark serve   --registries <file,…> [--socket <path>] [--workers N]
                   [--segment-rows N] [--budget-bytes N]
 ";
 
@@ -162,6 +162,25 @@ where
     flags
         .get(name)
         .map_or(Ok(default), |v| v.parse().map_err(|e| CliError::Usage(format!("--{name}: {e}"))))
+}
+
+/// Like [`parsed_flag`], but an *explicitly passed* `0` is a usage
+/// error (exit 2): zero would silently turn streaming off
+/// (`--segment-rows`), starve the pager (`--budget-bytes`), or leave
+/// the daemon with no threads (`--workers`). Omit the flag to get the
+/// default instead.
+fn positive_flag(
+    flags: &HashMap<String, String>,
+    name: &str,
+    default: usize,
+) -> Result<usize, CliError> {
+    let value: usize = parsed_flag(flags, name, default)?;
+    if value == 0 && flags.contains_key(name) {
+        return Err(CliError::Usage(format!(
+            "--{name} must be greater than zero (omit the flag for the default)"
+        )));
+    }
+    Ok(value)
 }
 
 // ---------------------------------------------------------------- keygen
@@ -353,8 +372,9 @@ fn serve(flags: &HashMap<String, String>) -> Result<String, CliError> {
     if paths.is_empty() {
         return Err(CliError::Usage("--registries needs at least one file".into()));
     }
-    let segment_rows: usize = parsed_flag(flags, "segment-rows", 0)?;
-    let budget_bytes: usize = parsed_flag(flags, "budget-bytes", 64 << 20)?;
+    let segment_rows: usize = positive_flag(flags, "segment-rows", 0)?;
+    let budget_bytes: usize = positive_flag(flags, "budget-bytes", 64 << 20)?;
+    let workers: usize = positive_flag(flags, "workers", catmark::service::default_workers())?;
     let mut service = Service::new(ServiceConfig { segment_rows, budget_bytes });
     for path in paths {
         let mut text = String::new();
@@ -371,8 +391,11 @@ fn serve(flags: &HashMap<String, String>) -> Result<String, CliError> {
     }
     match flags.get("socket") {
         Some(path) => {
-            eprintln!("catmark serve: listening on {path} ({} tenants)", service.tenants().len());
-            catmark::service::serve_unix(service, std::path::Path::new(path))
+            eprintln!(
+                "catmark serve: listening on {path} ({} tenants, {workers} workers)",
+                service.tenants().len()
+            );
+            catmark::service::serve_unix_pool(service, std::path::Path::new(path), workers)
                 .map_err(|e| CliError::Run(format!("{path}: {e}")))?;
         }
         None => {
@@ -451,6 +474,45 @@ mod tests {
         assert!(parse_flags(&["naked".to_owned(), "v".to_owned()]).is_err());
         let dup: Vec<String> = ["--a", "1", "--a", "2"].iter().map(|s| (*s).to_string()).collect();
         assert!(parse_flags(&dup).is_err());
+    }
+
+    #[test]
+    fn serve_rejects_zero_segment_rows_with_a_usage_error() {
+        let args: Vec<String> = ["serve", "--registries", "acme.reg", "--segment-rows", "0"]
+            .iter()
+            .map(|s| (*s).to_string())
+            .collect();
+        let err = run(&args).unwrap_err();
+        assert!(matches!(&err, CliError::Usage(msg) if msg.contains("--segment-rows")), "{err:?}");
+    }
+
+    #[test]
+    fn serve_rejects_zero_budget_bytes_with_a_usage_error() {
+        let args: Vec<String> = ["serve", "--registries", "acme.reg", "--budget-bytes", "0"]
+            .iter()
+            .map(|s| (*s).to_string())
+            .collect();
+        let err = run(&args).unwrap_err();
+        assert!(matches!(&err, CliError::Usage(msg) if msg.contains("--budget-bytes")), "{err:?}");
+    }
+
+    #[test]
+    fn serve_rejects_zero_workers_but_defaults_stay_available() {
+        let args: Vec<String> = ["serve", "--registries", "acme.reg", "--workers", "0"]
+            .iter()
+            .map(|s| (*s).to_string())
+            .collect();
+        let err = run(&args).unwrap_err();
+        assert!(matches!(&err, CliError::Usage(msg) if msg.contains("--workers")), "{err:?}");
+        // Omitting the flags entirely is not a usage error: the run
+        // proceeds past flag validation and fails later on the
+        // (nonexistent) registry file with a *run* error instead.
+        let args: Vec<String> = ["serve", "--registries", "/nonexistent/acme.reg"]
+            .iter()
+            .map(|s| (*s).to_string())
+            .collect();
+        let err = run(&args).unwrap_err();
+        assert!(matches!(&err, CliError::Run(_)), "{err:?}");
     }
 
     #[test]

@@ -185,6 +185,74 @@ fn datagen_content_is_pinned() {
 const GOLDEN_DATAGEN_PLAIN: u64 = 0x2211_08da_077a_8d0e;
 const GOLDEN_DATAGEN_CITY: u64 = 0xce18_0b2b_394e_b3bd;
 
+/// FNV-1a over a raw byte string — pins serialized artifacts (delta
+/// blobs) the same way `content_fnv` pins relation content.
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1000_0000_01B3);
+    }
+    h
+}
+
+/// `(buyer, blob_fnv, blob_len, patches, rebuilt_fnv)` — the
+/// serialized `MarkDelta` wire bytes and the rebuilt copy's content,
+/// captured when delta distribution landed. Blob drift means the wire
+/// format changed (readers in the field break); rebuilt drift means
+/// `apply_delta` no longer reproduces `mark_copy`.
+const DELTA_GOLDENS: &[(&str, u64, usize, usize, u64)] = &[
+    ("alice", 0x6793_fa9a_fe72_2e9b, 3089, 153, 0x0132_40ed_c3d6_74b4),
+    ("bob", 0x1524_588c_612c_1075, 3009, 149, 0x13ca_4633_cf09_3482),
+    ("carol", 0x7b29_4b29_2c09_d321, 3009, 149, 0xe52c_c9ad_43ba_881a),
+];
+
+#[test]
+fn delta_blobs_and_rebuilt_copies_match_goldens() {
+    use catmark::core::fingerprint::FingerprintRegistry;
+    let tuples = 3_000;
+    let gen = SalesGenerator::new(ItemScanConfig { tuples, ..Default::default() });
+    let rel = gen.generate();
+    let spec = WatermarkSpec::builder(gen.item_domain())
+        .master_key("golden-byte-identity")
+        .e(20)
+        .wm_len(10)
+        .expected_tuples(tuples)
+        .erasure(catmark::core::decode::ErasurePolicy::Abstain)
+        .build()
+        .unwrap();
+    let mut registry = FingerprintRegistry::new(spec);
+    let buyers: Vec<&str> = DELTA_GOLDENS.iter().map(|g| g.0).collect();
+    let deltas = registry.mark_deltas(&rel, &buyers, "visit_nbr", "item_nbr").unwrap();
+    if std::env::var("GOLDEN_PRINT").is_ok() {
+        for (buyer, (delta, _)) in buyers.iter().zip(&deltas) {
+            let blob = delta.encode();
+            let rebuilt = rel.apply_delta(delta).unwrap();
+            println!(
+                "    ({buyer:?}, {:#018x}, {}, {}, {:#018x}),",
+                fnv64(&blob),
+                blob.len(),
+                delta.patch_count(),
+                content_fnv(&rebuilt)
+            );
+        }
+        return;
+    }
+    for (&(buyer, blob_fnv, blob_len, patches, rebuilt_fnv), (delta, _)) in
+        DELTA_GOLDENS.iter().zip(&deltas)
+    {
+        let blob = delta.encode();
+        assert_eq!(fnv64(&blob), blob_fnv, "wire-format drift: buyer {buyer}");
+        assert_eq!(blob.len(), blob_len, "blob size drift: buyer {buyer}");
+        assert_eq!(delta.patch_count(), patches, "patch-set drift: buyer {buyer}");
+        let rebuilt = rel.apply_delta(delta).unwrap();
+        assert_eq!(content_fnv(&rebuilt), rebuilt_fnv, "rebuilt-copy drift: buyer {buyer}");
+        // The delta rebuild and the full-copy API stay in lockstep.
+        let (copy, _) = registry.mark_copy(&rel, buyer, "visit_nbr", "item_nbr").unwrap();
+        assert_eq!(content_fnv(&copy), rebuilt_fnv, "mark_copy drift: buyer {buyer}");
+    }
+}
+
 struct GoldenGuardedRun {
     marked_fnv: u64,
     altered: usize,

@@ -485,6 +485,162 @@ proptest! {
         }
     }
 
+    /// Delta distribution pin: `apply_delta(extract_delta(...))` is
+    /// byte-identical to embedding the buyer's derived mark on a full
+    /// clone — the pre-delta `mark_copy` semantics — across watermark
+    /// length edges, duplicate buyers, and the wire encoding.
+    #[test]
+    fn mark_deltas_rebuild_copies_byte_identically(
+        n_buyers in 1usize..=6,
+        dup in any::<bool>(),
+        wm_len in 1usize..=16,
+        master in any::<u64>(),
+    ) {
+        use catmark::core::fingerprint::FingerprintRegistry;
+        use catmark::relation::MarkDelta;
+        let (rel, domain) = relation_for(0xDE17A, 1_200);
+        let spec = WatermarkSpec::builder(domain)
+            .master_key(SecretKey::from_u64(master))
+            .e(4)
+            .wm_len(wm_len)
+            .wm_data_len(64.max(wm_len))
+            .erasure(catmark::core::decode::ErasurePolicy::Abstain)
+            .build()
+            .unwrap();
+        let mut buyers: Vec<String> = (0..n_buyers).map(|i| format!("buyer-{i}")).collect();
+        if dup && n_buyers > 1 {
+            buyers[n_buyers - 1] = buyers[0].clone();
+        }
+        let buyer_refs: Vec<&str> = buyers.iter().map(String::as_str).collect();
+
+        let mut registry = FingerprintRegistry::new(spec);
+        let deltas =
+            registry.mark_deltas(&rel, &buyer_refs, "visit_nbr", "item_nbr").unwrap();
+        prop_assert_eq!(deltas.len(), buyer_refs.len());
+        for (buyer, (delta, report)) in buyer_refs.iter().zip(&deltas) {
+            // Independent reference: embed the buyer's derived mark
+            // on a full clone, bypassing the delta machinery.
+            let reference_session = MarkSession::builder(registry.spec_for(buyer))
+                .key_column("visit_nbr")
+                .target_column("item_nbr")
+                .bind(&rel)
+                .unwrap();
+            let mut reference = rel.clone();
+            let reference_report =
+                reference_session.embed(&mut reference, &registry.mark_for(buyer)).unwrap();
+            prop_assert_eq!(report, &reference_report);
+            let rebuilt = rel.apply_delta(delta).unwrap();
+            prop_assert_eq!(rebuilt.len(), reference.len());
+            prop_assert!(rebuilt.iter().zip(reference.iter()).all(|(a, b)| a == b));
+            prop_assert_eq!(rebuilt.column(1), reference.column(1));
+            // And the wire encoding is lossless.
+            prop_assert_eq!(&MarkDelta::decode(&delta.encode()).unwrap(), delta);
+        }
+    }
+
+    /// Delta extraction on text targets: domain values foreign to the
+    /// base dictionary travel in the delta's extension section, and
+    /// the rebuilt dictionary matches the embed path's exactly —
+    /// including interned-but-unwritten entries.
+    #[test]
+    fn text_deltas_carry_foreign_dictionary_entries(
+        present in 2usize..=9,
+        wm_len in 1usize..=8,
+        master in any::<u64>(),
+    ) {
+        use catmark::core::fingerprint::FingerprintRegistry;
+        let schema = Schema::builder()
+            .key_attr("visit_nbr", AttrType::Integer)
+            .categorical_attr("item", AttrType::Text)
+            .build()
+            .unwrap();
+        let names: Vec<String> = (0..10).map(|i| format!("sku-{i:02}")).collect();
+        let mut rel = Relation::new(schema);
+        for i in 0..900usize {
+            rel.push(vec![
+                Value::Int(i as i64 * 11 + 5),
+                Value::Text(names[i % present].clone()),
+            ])
+            .unwrap();
+        }
+        // The domain holds all ten names; the base dictionary only the
+        // `present` ones that occur in the data.
+        let domain =
+            CategoricalDomain::new(names.iter().cloned().map(Value::Text).collect()).unwrap();
+        let spec = WatermarkSpec::builder(domain)
+            .master_key(SecretKey::from_u64(master))
+            .e(3)
+            .wm_len(wm_len)
+            .wm_data_len(32.max(wm_len))
+            .erasure(catmark::core::decode::ErasurePolicy::Abstain)
+            .build()
+            .unwrap();
+        let mut registry = FingerprintRegistry::new(spec);
+        let (delta, _) = registry.mark_delta(&rel, "leaker", "visit_nbr", "item").unwrap();
+        prop_assert_eq!(delta.extension_len(), 10 - present,
+            "every domain value outside the base dictionary travels in the extension");
+        let reference_session = MarkSession::builder(registry.spec_for("leaker"))
+            .key_column("visit_nbr")
+            .target_column("item")
+            .bind(&rel)
+            .unwrap();
+        let mut reference = rel.clone();
+        reference_session.embed(&mut reference, &registry.mark_for("leaker")).unwrap();
+        let rebuilt = rel.apply_delta(&delta).unwrap();
+        // Column views compare codes *and* dictionaries, so this is
+        // the byte-level claim, not just value equality.
+        prop_assert_eq!(rebuilt.column(1), reference.column(1));
+    }
+
+    /// Segmented delta extraction (out-of-core, per-segment patch
+    /// lists) agrees with monolithic extraction for any segment size
+    /// and buyer batch shape.
+    #[test]
+    fn segmented_delta_extraction_matches_monolithic(
+        segment_rows in 64usize..=512,
+        n_buyers in 1usize..=5,
+        master in any::<u64>(),
+    ) {
+        use catmark::core::fingerprint::FingerprintRegistry;
+        use catmark::relation::SegmentedRelation;
+        let (rel, domain) = relation_for(0x5E6, 2_000);
+        let spec = WatermarkSpec::builder(domain)
+            .master_key(SecretKey::from_u64(master))
+            .e(4)
+            .wm_len(8)
+            .wm_data_len(64)
+            .erasure(catmark::core::decode::ErasurePolicy::Abstain)
+            .build()
+            .unwrap();
+        let buyers: Vec<String> = (0..n_buyers).map(|i| format!("buyer-{i}")).collect();
+        let buyer_refs: Vec<&str> = buyers.iter().map(String::as_str).collect();
+        let mut registry = FingerprintRegistry::new(spec);
+        let monolithic =
+            registry.mark_deltas(&rel, &buyer_refs, "visit_nbr", "item_nbr").unwrap();
+        let mut seg = SegmentedRelation::builder(rel.schema().clone())
+            .segment_rows(segment_rows)
+            .from_relation(&rel)
+            .unwrap();
+        let segmented = registry
+            .mark_deltas_segmented(&mut seg, &buyer_refs, "visit_nbr", "item_nbr")
+            .unwrap();
+        for ((delta, report), (seg_deltas, seg_report)) in monolithic.iter().zip(&segmented) {
+            prop_assert_eq!(report, seg_report);
+            // Per-segment patches rebuild the same copy the
+            // monolithic delta rebuilds.
+            let expected = rel.apply_delta(delta).unwrap();
+            let mut rows = Vec::new();
+            for (i, d) in seg_deltas.iter().enumerate() {
+                let rebuilt = seg.with_segment(i, |segment| segment.apply_delta(d)).unwrap().unwrap();
+                rows.extend(rebuilt.iter().map(|t| t.values().to_vec()));
+            }
+            prop_assert_eq!(rows.len(), expected.len());
+            for (row, tuple) in rows.iter().zip(expected.iter()) {
+                prop_assert_eq!(row.as_slice(), tuple.values());
+            }
+        }
+    }
+
     /// The frequency histogram always sums to 1 on non-empty columns
     /// and L1 distance is bounded by 2.
     #[test]

@@ -285,3 +285,136 @@ fn unix_socket_daemon_serves_and_cleans_up() {
 
     std::fs::remove_dir_all(&dir).ok();
 }
+
+/// Two tenants on two *simultaneously open* socket connections, frames
+/// interleaved request-by-request — the worker pool must serve both
+/// without one connection blocking the other's accept (a sequential
+/// accept loop deadlocks here). Also exercises the delta-distribution
+/// wire ops end to end: `mark_delta` on one connection, `apply_delta`
+/// of its blob rebuilding the exact `mark_copy` bytes.
+#[cfg(unix)]
+#[test]
+fn worker_pool_serves_two_concurrent_tenants_with_interleaved_frames() {
+    use std::os::unix::net::UnixStream;
+
+    let dir = std::env::temp_dir().join(format!("catmark-serve-pool-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let (rel, domain) = sample();
+    let (acme_reg, globex_reg) = write_registries(&dir, &domain);
+    let data = csv_of(&rel);
+    let sock = dir.join("catmark-pool.sock");
+    let sock_str = sock.to_str().unwrap().to_owned();
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_catmark"))
+        .args([
+            "serve",
+            "--registries",
+            &format!("{acme_reg},{globex_reg}"),
+            "--socket",
+            &sock_str,
+            "--workers",
+            "2",
+        ])
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .unwrap();
+
+    for _ in 0..200 {
+        if sock.exists() {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(25));
+    }
+    assert!(sock.exists(), "daemon never bound {sock_str}");
+
+    // Both connections open before either says a word.
+    let mut acme = UnixStream::connect(&sock).unwrap();
+    let mut globex = UnixStream::connect(&sock).unwrap();
+    fn ask(stream: &mut UnixStream, text: &str) -> Json {
+        write_frame(stream, text.as_bytes()).unwrap();
+        let frame = read_frame(stream).unwrap().expect("daemon reply");
+        json::parse(std::str::from_utf8(&frame).unwrap()).unwrap()
+    }
+
+    // Interleave: hello on both, then alternate work.
+    assert_ok(&ask(&mut acme, r#"{"op":"hello","tenant":"acme"}"#));
+    assert_ok(&ask(&mut globex, r#"{"op":"hello","tenant":"globex"}"#));
+
+    let op_str = |name: &str| ("op", Json::Str(name.into()));
+    let coords = |extra: Vec<(&'static str, Json)>| {
+        let mut fields = vec![
+            ("key", Json::Str("production".into())),
+            ("key_attr", Json::Str("visit_nbr".into())),
+            ("attr", Json::Str("item_nbr".into())),
+        ];
+        fields.extend(extra);
+        fields
+    };
+
+    // acme: the reference full copy for a buyer.
+    let mut copy_fields = vec![op_str("mark_copy")];
+    copy_fields.extend(coords(vec![
+        ("buyer", Json::Str("leaker".into())),
+        ("csv", Json::Str(data.clone())),
+    ]));
+    let copy = ask(&mut acme, &Json::obj(copy_fields).to_text());
+    assert_ok(&copy);
+
+    // globex: unrelated traffic between acme's requests.
+    let mut embed_fields = vec![op_str("embed")];
+    embed_fields.extend(coords(vec![
+        ("mark", Json::Str("11010010".into())),
+        ("csv", Json::Str(data.clone())),
+    ]));
+    assert_ok(&ask(&mut globex, &Json::obj(embed_fields).to_text()));
+
+    // acme: the same buyer as a delta.
+    let mut delta_fields = vec![op_str("mark_delta")];
+    delta_fields.extend(coords(vec![
+        ("buyer", Json::Str("leaker".into())),
+        ("csv", Json::Str(data.clone())),
+    ]));
+    let delta = ask(&mut acme, &Json::obj(delta_fields).to_text());
+    assert_ok(&delta);
+    assert_eq!(delta.get("fit"), copy.get("fit"), "{delta:?}");
+    let blob = field(&delta, "delta").to_owned();
+    assert!(
+        blob.len() / 2 < data.len(),
+        "delta blob ({} bytes) must undercut the CSV ({} bytes)",
+        blob.len() / 2,
+        data.len()
+    );
+
+    // globex: isolation still enforced through the shared pool state.
+    let mut cross_fields = vec![op_str("embed"), ("tenant", Json::Str("acme".into()))];
+    cross_fields.extend(coords(vec![
+        ("mark", Json::Str("11010010".into())),
+        ("csv", Json::Str(data.clone())),
+    ]));
+    let resp = ask(&mut globex, &Json::obj(cross_fields).to_text());
+    assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(false), "{resp:?}");
+    assert!(field(&resp, "error").contains("tenant isolation"), "{resp:?}");
+
+    // acme: applying the delta rebuilds the mark_copy bytes exactly.
+    let apply = Json::obj(vec![
+        op_str("apply_delta"),
+        ("attr", Json::Str("item_nbr".into())),
+        ("delta", Json::Str(blob)),
+        ("csv", Json::Str(data.clone())),
+    ]);
+    let rebuilt = ask(&mut acme, &apply.to_text());
+    assert_ok(&rebuilt);
+    assert_eq!(field(&rebuilt, "csv"), field(&copy, "csv"), "delta must rebuild the copy");
+
+    drop(globex);
+    assert_ok(&ask(&mut acme, r#"{"op":"shutdown"}"#));
+    drop(acme);
+
+    let status = child.wait().unwrap();
+    assert!(status.success(), "daemon exit: {status:?}");
+    assert!(!sock.exists(), "socket file must be removed on clean shutdown");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
