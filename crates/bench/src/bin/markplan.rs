@@ -73,7 +73,21 @@
 //!   `apply_delta`-rebuilt copies byte-identical to the independent
 //!   embed-on-a-clone reference for sampled recipients, then records
 //!   bytes-per-recipient, recipients/s, and the delta-vs-copy bytes
-//!   ratio with an ≥8x reduction floor.
+//!   ratio with an ≥8x reduction floor. The extraction pass itself
+//!   must also stay within 1.2x of the full-copy materialization
+//!   time, pinning the batch-shared domain-table fast path;
+//! * **churn** seals the marked relation into the content-addressed
+//!   versioned store ([`catmark_relation::ContentStore`] +
+//!   [`catmark_relation::VersionLog`]), then per round applies 10%
+//!   random-row updates confined to a rotating window of ~10% of the
+//!   segments, commits the version, and re-marks it both ways: the
+//!   full segmented re-pass over a twin reopened from the committed
+//!   manifest against `embed_incremental`/`decode_incremental`, which
+//!   diff manifests, re-embed only dirty segments, and fold memoized
+//!   [`catmark_core::VoteCache`] tallies for clean blobs. The run
+//!   gates byte-identity before timing, enforces the ≥5x incremental
+//!   floor, and asserts versions share unchanged blobs
+//!   (`dedup_hits > 0`, unique blobs < referenced blobs).
 //!
 //! The run asserts the paths produce byte-identical marked relations
 //! and decodes before timing anything, then writes
@@ -93,12 +107,13 @@ use catmark_core::quality::{
     AllowedReplacements, Alteration, AlterationBudget, QualityConstraint, QualityGuard,
 };
 use catmark_core::query_preserve::{CountQuery, CountQueryPreservation, Tolerance, ValueSet};
-use catmark_core::{MarkPlan, MarkSession, Watermark, WatermarkSpec};
+use catmark_core::{MarkPlan, MarkSession, VoteCache, Watermark, WatermarkSpec};
 use catmark_crypto::Sha256Backend;
 use catmark_datagen::{ItemScanConfig, SalesGenerator};
 use catmark_relation::spill::FileStore;
 use catmark_relation::{
-    join, ops, CategoricalDomain, Predicate, Relation, SegmentedRelation, Tuple, Value,
+    join, ops, CategoricalDomain, ContentStore, Predicate, Relation, SegmentedRelation, Tuple,
+    Value, VersionLog,
 };
 
 const E: u64 = 60;
@@ -701,6 +716,152 @@ fn main() {
         std::hint::black_box(copies.len());
     }
 
+    // Churn scenario — the content-addressed versioned store under
+    // localized updates. The marked relation lives as sealed segment
+    // blobs in a `ContentStore` with a `VersionLog` of manifests; each
+    // round applies 10% random-row updates confined to a rotating
+    // window of ~10% of the segments (churn is local in real update
+    // workloads), commits the new version, and re-marks it two ways:
+    // the full segmented re-pass over a twin opened from the same
+    // committed version, and `embed_incremental`, which diffs the
+    // manifests and re-embeds only the dirty segments. Detection runs
+    // `decode_incremental` over a warm `VoteCache` that folds memoized
+    // tallies for every clean blob. Byte-identity of the two re-marked
+    // relations is gated before timing; the run then enforces the ≥5x
+    // incremental floor and that versions share unchanged blobs.
+    let churn_segment_rows = tuples.div_ceil(64).max(1);
+    let churn_store = ContentStore::in_memory();
+    let mut churn_log = VersionLog::new();
+    let mut churn_seg = SegmentedRelation::builder(rel.schema().clone())
+        .segment_rows(churn_segment_rows)
+        .store(Box::new(churn_store.clone()))
+        .from_relation(&rel)
+        .expect("segmentation succeeds");
+    session.embed_segmented_sequential(&mut churn_seg, &wm).expect("base embed succeeds");
+    let mut marked_id = churn_log.commit(&mut churn_seg, &churn_store).expect("commit succeeds");
+
+    let churn_seg_count = churn_seg.segment_count();
+    let churn_updates = tuples / 10;
+    let window_segs = churn_seg_count.div_ceil(10).max(1);
+    let domain_values = spec.domain.values();
+    let mut churn_rng: u64 = 0xDEAD_BEEF | 1;
+    let churn_round = |seg: &mut SegmentedRelation, round: usize, state: &mut u64| {
+        let base = (round * window_segs) % churn_seg_count;
+        for k in 0..churn_updates {
+            *state ^= *state << 13;
+            *state ^= *state >> 7;
+            *state ^= *state << 17;
+            let s = (base + (*state as usize) % window_segs) % churn_seg_count;
+            let rows = seg.segment_len(s);
+            let local = ((*state >> 21) as usize) % rows;
+            let value = domain_values[(k + local) % domain_values.len()].clone();
+            seg.with_segment_mut(s, |r| r.update_value(local, attr_idx, value))
+                .expect("segment pages in")
+                .expect("churn value is domain-typed");
+        }
+    };
+
+    // Correctness gate: one un-timed round, full byte-identity between
+    // the incremental re-mark and the full re-pass, plus blob sharing
+    // between the re-marked commit and its marked ancestor.
+    let mut vote_cache = VoteCache::new();
+    let (churn_dirty, churn_clean, churn_identical) = {
+        churn_round(&mut churn_seg, 0, &mut churn_rng);
+        let current_id = churn_log.commit(&mut churn_seg, &churn_store).expect("commit succeeds");
+        let marked_m = churn_log.get(marked_id).expect("logged").clone();
+        let current_m = churn_log.get(current_id).expect("logged").clone();
+        let mut twin = churn_log
+            .open_version(current_id, rel.schema(), &churn_store, None)
+            .expect("version reopens");
+        session.embed_segmented_sequential(&mut twin, &wm).expect("full re-pass succeeds");
+        let inc = session
+            .embed_incremental(&mut churn_seg, &wm, &marked_m, &current_m)
+            .expect("incremental re-mark succeeds");
+        assert!(!inc.full_fallback, "same-geometry manifests must not fall back");
+        assert!(inc.dirty_segments > 0 && inc.clean_segments > 0, "churn must be partial");
+        let ours = churn_seg.to_relation().expect("segments materialize");
+        let theirs = twin.to_relation().expect("segments materialize");
+        let identical =
+            ours.len() == theirs.len() && ours.iter().zip(theirs.iter()).all(|(a, b)| a == b);
+        marked_id = churn_log.commit(&mut churn_seg, &churn_store).expect("commit succeeds");
+        let remarked_m = churn_log.get(marked_id).expect("logged").clone();
+        let still_dirty = remarked_m.dirty_against(&marked_m).expect("same geometry diffs");
+        assert!(
+            still_dirty.len() <= inc.dirty_segments,
+            "re-marked commit must share every clean blob with its marked ancestor"
+        );
+        // The twin's full re-pass produced byte-identical marked
+        // segments, so committing it into the same pile must dedup
+        // every blob against the incremental commit.
+        churn_log.commit(&mut twin, &churn_store).expect("commit succeeds");
+        // Warm the vote cache and gate the incremental decode against
+        // the full streaming decode.
+        let full_decode =
+            session.decode_segmented_sequential(&mut churn_seg).expect("full decode succeeds");
+        let inc_decode = session
+            .decode_incremental(&mut churn_seg, &remarked_m, &mut vote_cache)
+            .expect("incremental decode succeeds");
+        assert_eq!(inc_decode.report, full_decode, "incremental decode diverged");
+        (inc.dirty_segments, inc.clean_segments, identical)
+    };
+    assert!(churn_identical, "incremental re-mark diverged from the full re-pass");
+
+    const CHURN_ROUNDS: usize = 4;
+    let mut churn_full_best = f64::MAX;
+    let mut churn_inc_best = f64::MAX;
+    for round in 1..=CHURN_ROUNDS {
+        churn_round(&mut churn_seg, round, &mut churn_rng);
+        let current_id = churn_log.commit(&mut churn_seg, &churn_store).expect("commit succeeds");
+        let marked_m = churn_log.get(marked_id).expect("logged").clone();
+        let current_m = churn_log.get(current_id).expect("logged").clone();
+        let mut twin = churn_log
+            .open_version(current_id, rel.schema(), &churn_store, None)
+            .expect("version reopens");
+
+        // Full re-pass + full streaming decode over the twin.
+        let start = Instant::now();
+        let full_report =
+            session.embed_segmented_sequential(&mut twin, &wm).expect("full re-pass succeeds");
+        let full_decode =
+            session.decode_segmented_sequential(&mut twin).expect("full decode succeeds");
+        churn_full_best = churn_full_best.min(start.elapsed().as_secs_f64() * 1e3);
+        std::hint::black_box(full_report.altered);
+
+        // Incremental re-mark + commit + cached decode — the commit
+        // (hashing the dirty blobs) is part of the incremental
+        // pipeline's honest cost.
+        let start = Instant::now();
+        let inc = session
+            .embed_incremental(&mut churn_seg, &wm, &marked_m, &current_m)
+            .expect("incremental re-mark succeeds");
+        let remarked_id = churn_log.commit(&mut churn_seg, &churn_store).expect("commit succeeds");
+        let remarked_m = churn_log.get(remarked_id).expect("logged").clone();
+        let inc_decode = session
+            .decode_incremental(&mut churn_seg, &remarked_m, &mut vote_cache)
+            .expect("incremental decode succeeds");
+        churn_inc_best = churn_inc_best.min(start.elapsed().as_secs_f64() * 1e3);
+
+        assert!(!inc.full_fallback, "churn round {round} fell back to the full pass");
+        assert_eq!(inc_decode.report, full_decode, "decode diverged on round {round}");
+        assert_eq!(inc_decode.report.watermark, wm);
+        marked_id = remarked_id;
+    }
+    let churn_speedup = churn_full_best / churn_inc_best;
+    let churn_unique_blobs = churn_store.unique_blobs();
+    let churn_dedup_hits = churn_store.dedup_hits();
+    let churn_manifest_refs: usize = churn_log.manifests().iter().map(|m| m.segments.len()).sum();
+    assert!(
+        churn_unique_blobs < churn_manifest_refs as u64,
+        "versions must share unchanged blobs: {churn_unique_blobs} unique >= {churn_manifest_refs} referenced"
+    );
+    assert!(churn_dedup_hits > 0, "content addressing must dedup identical blobs");
+
+    // Cache observability, as the service reports it: the session's
+    // plan cache, the churn run's vote cache, and the segment pager.
+    let plan_cache_stats = session.cache().stats();
+    let vote_cache_stats = vote_cache.stats();
+    let pager_stats = churn_seg.cache_stats();
+
     let speedup = baseline_best / planned_best;
     let session_speedup = per_operator_best / session_best;
     let columnar_speedup = rowstore_best / columnar_best;
@@ -795,9 +956,44 @@ fn main() {
         "  delta patches:        {delta_best:9.2} ms   {delta_bytes_per_recipient:.0} bytes/recipient, {delta_recipients_per_s:.0} recipients/s"
     );
     println!("  bytes reduction:      {delta_vs_copy_bytes_ratio:9.2}x  (floor 8x)");
+    let delta_extract_vs_copies = delta_best / delta_copies_best;
+    println!(
+        "  extract vs copies:    {delta_extract_vs_copies:9.2}x  (ceiling 1.2x of full copies)"
+    );
+    println!(
+        "versioned churn ({churn_seg_count} segments x {churn_segment_rows} rows, {churn_updates} updates/round, {CHURN_ROUNDS} rounds):"
+    );
+    println!(
+        "  full re-pass:         {churn_full_best:9.2} ms   (re-embed + re-decode every segment)"
+    );
+    println!(
+        "  incremental:          {churn_inc_best:9.2} ms   ({churn_dirty} dirty, {churn_clean} clean segments)"
+    );
+    println!("  churn speedup:        {churn_speedup:9.2}x  (floor 5x)   byte-identical: {churn_identical}");
+    println!(
+        "  store:                {churn_unique_blobs} unique blobs / {churn_manifest_refs} referenced, {churn_dedup_hits} dedup hits"
+    );
+    println!(
+        "  caches:               plan {}/{} hit/miss, votes {}/{} hit/miss ({} evicted), pager {}/{} hit/miss",
+        plan_cache_stats.hits,
+        plan_cache_stats.misses,
+        vote_cache_stats.hits,
+        vote_cache_stats.misses,
+        vote_cache_stats.evictions,
+        pager_stats.hits,
+        pager_stats.misses
+    );
     assert!(
         delta_vs_copy_bytes_ratio >= 8.0,
         "delta distribution fell below the 8x bytes-per-recipient floor: {delta_vs_copy_bytes_ratio:.2}x"
+    );
+    assert!(
+        delta_extract_vs_copies <= 1.2,
+        "delta extraction regressed past 1.2x the full-copy pass: {delta_extract_vs_copies:.2}x"
+    );
+    assert!(
+        churn_speedup >= 5.0,
+        "incremental re-mark fell below the 5x floor over the full re-pass: {churn_speedup:.2}x"
     );
     assert!(
         guarded_speedup >= 2.0,
@@ -817,10 +1013,19 @@ fn main() {
     );
 
     let json = format!(
-        "{{\n  \"bench\": \"markplan_round_trip\",\n  \"tuples\": {tuples},\n  \"e\": {E},\n  \"wm_len\": {WM_LEN},\n  \"iterations\": {ITERS},\n  \"baseline_round_trip_ms\": {baseline_best:.3},\n  \"plan_round_trip_ms\": {planned_best:.3},\n  \"plan_tuples_per_second\": {throughput:.0},\n  \"speedup\": {speedup:.3},\n  \"per_operator_court_run_ms\": {per_operator_best:.3},\n  \"session_court_run_ms\": {session_best:.3},\n  \"session_speedup\": {session_speedup:.3},\n  \"rowstore_round_trip_ms\": {rowstore_best:.3},\n  \"columnar_round_trip_ms\": {columnar_best:.3},\n  \"columnar_speedup\": {columnar_speedup:.3},\n  \"clone_rowstore_ms\": {clone_row_best:.3},\n  \"clone_columnar_ms\": {clone_col_best:.3},\n  \"clone_speedup\": {clone_speedup:.3},\n  \"rowstore_bytes_per_tuple\": {rowstore_bytes_per_tuple:.0},\n  \"columnar_bytes_per_tuple\": {columnar_bytes_per_tuple:.0},\n  \"select_rowtuple_ms\": {select_row_best:.3},\n  \"select_compiled_ms\": {select_col_best:.3},\n  \"select_speedup\": {select_speedup:.3},\n  \"join_rowtuple_ms\": {join_row_best:.3},\n  \"join_codespace_ms\": {join_col_best:.3},\n  \"join_speedup\": {join_speedup:.3},\n  \"guarded_e\": {E_GUARD},\n  \"guarded_rowtuple_ms\": {guarded_row_best:.3},\n  \"guarded_coded_ms\": {guarded_col_best:.3},\n  \"guarded_speedup\": {guarded_speedup:.3},\n  \"guarded_altered\": {guarded_altered},\n  \"guarded_vetoed\": {guarded_vetoed},\n  \"guarded_byte_identical\": {guarded_byte_identical},\n  \"out_of_core_segments\": {ooc_segments},\n  \"out_of_core_segment_rows\": {ooc_segment_rows},\n  \"out_of_core_total_columnar_bytes\": {ooc_total_bytes},\n  \"out_of_core_budget_bytes\": {ooc_budget},\n  \"out_of_core_peak_pageable_bytes\": {ooc_peak},\n  \"out_of_core_resident_overhead_bytes\": {ooc_overhead},\n  \"out_of_core_spilled_bytes\": {ooc_spilled},\n  \"out_of_core_round_trip_ms\": {ooc_best:.3},\n  \"out_of_core_vs_inmemory\": {ooc_slowdown:.3},\n  \"out_of_core_identical\": {ooc_identical},\n  \"pipeline_round_trip_ms\": {pipeline_best:.3},\n  \"pipeline_vs_sequential\": {pipeline_vs_sequential:.3},\n  \"pipeline_vs_inmemory\": {pipeline_vs_inmemory:.3},\n  \"pipeline_prefetched\": {pipe_prefetched},\n  \"pipeline_peak_inflight_bytes\": {pipe_inflight},\n  \"pipeline_identical\": {pipe_identical},\n  \"fingerprint_batch_buyers\": {FP_BUYERS},\n  \"fingerprint_batch_tuples\": {fp_tuples},\n  \"fingerprint_batch_trace_ms\": {fp_batch_best:.3},\n  \"fingerprint_batch_sequential_ms\": {fp_sequential_best:.3},\n  \"fingerprint_batch_recipients_per_s\": {fp_recipients_per_s:.0},\n  \"fingerprint_batch_speedup\": {fp_speedup:.3},\n  \"delta_bytes_per_recipient\": {delta_bytes_per_recipient:.1},\n  \"delta_recipients_per_s\": {delta_recipients_per_s:.0},\n  \"delta_vs_copy_bytes_ratio\": {delta_vs_copy_bytes_ratio:.3},\n  \"delta_extract_ms\": {delta_best:.3},\n  \"delta_full_copies_ms\": {delta_copies_best:.3},\n  \"sha_backend\": \"{sha_backend}\",\n  \"sha_ni_available\": {shani_available},\n  \"hash_soft_mb_per_s\": {hash_soft_mb_per_s:.1},\n  \"hash_shani_mb_per_s\": {hash_shani_mb_per_s:.1},\n  \"plan_threads_scaling\": {{ \"t1_ms\": {t1:.3}, \"t2_ms\": {t2:.3}, \"t4_ms\": {t4:.3} }},\n  \"host_threads\": {host_threads},\n  \"byte_identical\": {byte_identical}\n}}\n",
+        "{{\n  \"bench\": \"markplan_round_trip\",\n  \"tuples\": {tuples},\n  \"e\": {E},\n  \"wm_len\": {WM_LEN},\n  \"iterations\": {ITERS},\n  \"baseline_round_trip_ms\": {baseline_best:.3},\n  \"plan_round_trip_ms\": {planned_best:.3},\n  \"plan_tuples_per_second\": {throughput:.0},\n  \"speedup\": {speedup:.3},\n  \"per_operator_court_run_ms\": {per_operator_best:.3},\n  \"session_court_run_ms\": {session_best:.3},\n  \"session_speedup\": {session_speedup:.3},\n  \"rowstore_round_trip_ms\": {rowstore_best:.3},\n  \"columnar_round_trip_ms\": {columnar_best:.3},\n  \"columnar_speedup\": {columnar_speedup:.3},\n  \"clone_rowstore_ms\": {clone_row_best:.3},\n  \"clone_columnar_ms\": {clone_col_best:.3},\n  \"clone_speedup\": {clone_speedup:.3},\n  \"rowstore_bytes_per_tuple\": {rowstore_bytes_per_tuple:.0},\n  \"columnar_bytes_per_tuple\": {columnar_bytes_per_tuple:.0},\n  \"select_rowtuple_ms\": {select_row_best:.3},\n  \"select_compiled_ms\": {select_col_best:.3},\n  \"select_speedup\": {select_speedup:.3},\n  \"join_rowtuple_ms\": {join_row_best:.3},\n  \"join_codespace_ms\": {join_col_best:.3},\n  \"join_speedup\": {join_speedup:.3},\n  \"guarded_e\": {E_GUARD},\n  \"guarded_rowtuple_ms\": {guarded_row_best:.3},\n  \"guarded_coded_ms\": {guarded_col_best:.3},\n  \"guarded_speedup\": {guarded_speedup:.3},\n  \"guarded_altered\": {guarded_altered},\n  \"guarded_vetoed\": {guarded_vetoed},\n  \"guarded_byte_identical\": {guarded_byte_identical},\n  \"out_of_core_segments\": {ooc_segments},\n  \"out_of_core_segment_rows\": {ooc_segment_rows},\n  \"out_of_core_total_columnar_bytes\": {ooc_total_bytes},\n  \"out_of_core_budget_bytes\": {ooc_budget},\n  \"out_of_core_peak_pageable_bytes\": {ooc_peak},\n  \"out_of_core_resident_overhead_bytes\": {ooc_overhead},\n  \"out_of_core_spilled_bytes\": {ooc_spilled},\n  \"out_of_core_round_trip_ms\": {ooc_best:.3},\n  \"out_of_core_vs_inmemory\": {ooc_slowdown:.3},\n  \"out_of_core_identical\": {ooc_identical},\n  \"pipeline_round_trip_ms\": {pipeline_best:.3},\n  \"pipeline_vs_sequential\": {pipeline_vs_sequential:.3},\n  \"pipeline_vs_inmemory\": {pipeline_vs_inmemory:.3},\n  \"pipeline_prefetched\": {pipe_prefetched},\n  \"pipeline_peak_inflight_bytes\": {pipe_inflight},\n  \"pipeline_identical\": {pipe_identical},\n  \"fingerprint_batch_buyers\": {FP_BUYERS},\n  \"fingerprint_batch_tuples\": {fp_tuples},\n  \"fingerprint_batch_trace_ms\": {fp_batch_best:.3},\n  \"fingerprint_batch_sequential_ms\": {fp_sequential_best:.3},\n  \"fingerprint_batch_recipients_per_s\": {fp_recipients_per_s:.0},\n  \"fingerprint_batch_speedup\": {fp_speedup:.3},\n  \"delta_bytes_per_recipient\": {delta_bytes_per_recipient:.1},\n  \"delta_recipients_per_s\": {delta_recipients_per_s:.0},\n  \"delta_vs_copy_bytes_ratio\": {delta_vs_copy_bytes_ratio:.3},\n  \"delta_extract_ms\": {delta_best:.3},\n  \"delta_full_copies_ms\": {delta_copies_best:.3},\n  \"delta_extract_vs_copies\": {delta_extract_vs_copies:.3},\n  \"churn_segments\": {churn_seg_count},\n  \"churn_segment_rows\": {churn_segment_rows},\n  \"churn_updates_per_round\": {churn_updates},\n  \"churn_rounds\": {CHURN_ROUNDS},\n  \"churn_dirty_segments\": {churn_dirty},\n  \"churn_clean_segments\": {churn_clean},\n  \"churn_full_repass_ms\": {churn_full_best:.3},\n  \"churn_incremental_ms\": {churn_inc_best:.3},\n  \"churn_speedup\": {churn_speedup:.3},\n  \"churn_identical\": {churn_identical},\n  \"churn_unique_blobs\": {churn_unique_blobs},\n  \"churn_referenced_blobs\": {churn_manifest_refs},\n  \"churn_dedup_hits\": {churn_dedup_hits},\n  \"plan_cache_hits\": {plan_hits},\n  \"plan_cache_misses\": {plan_misses},\n  \"plan_cache_evictions\": {plan_evictions},\n  \"vote_cache_hits\": {vote_hits},\n  \"vote_cache_misses\": {vote_misses},\n  \"vote_cache_evictions\": {vote_evictions},\n  \"pager_hits\": {pager_hits},\n  \"pager_misses\": {pager_misses},\n  \"pager_evictions\": {pager_evictions},\n  \"sha_backend\": \"{sha_backend}\",\n  \"sha_ni_available\": {shani_available},\n  \"hash_soft_mb_per_s\": {hash_soft_mb_per_s:.1},\n  \"hash_shani_mb_per_s\": {hash_shani_mb_per_s:.1},\n  \"plan_threads_scaling\": {{ \"t1_ms\": {t1:.3}, \"t2_ms\": {t2:.3}, \"t4_ms\": {t4:.3} }},\n  \"host_threads\": {host_threads},\n  \"byte_identical\": {byte_identical}\n}}\n",
         t1 = plan_threads_ms[0],
         t2 = plan_threads_ms[1],
         t4 = plan_threads_ms[2],
+        plan_hits = plan_cache_stats.hits,
+        plan_misses = plan_cache_stats.misses,
+        plan_evictions = plan_cache_stats.evictions,
+        vote_hits = vote_cache_stats.hits,
+        vote_misses = vote_cache_stats.misses,
+        vote_evictions = vote_cache_stats.evictions,
+        pager_hits = pager_stats.hits,
+        pager_misses = pager_stats.misses,
+        pager_evictions = pager_stats.evictions,
     );
     std::fs::write("BENCH_markplan.json", &json).expect("can write BENCH_markplan.json");
     println!("wrote BENCH_markplan.json");

@@ -325,6 +325,24 @@ impl VoteAccumulator {
         }
     }
 
+    /// Fold `other`'s tallies into these. Votes are commutative
+    /// per-position increments, so merging per-segment accumulators
+    /// (in any order) resolves identically to one sequential pass —
+    /// the fact that lets the incremental decode driver reuse cached
+    /// tallies for clean segments.
+    pub(crate) fn merge(&mut self, other: &VoteAccumulator) {
+        debug_assert_eq!(self.ones.len(), other.ones.len(), "mismatched wm_data lengths");
+        for (a, b) in self.ones.iter_mut().zip(&other.ones) {
+            *a += b;
+        }
+        for (a, b) in self.zeros.iter_mut().zip(&other.zeros) {
+            *a += b;
+        }
+        self.fit_tuples += other.fit_tuples;
+        self.votes_cast += other.votes_cast;
+        self.foreign_values += other.foreign_values;
+    }
+
     fn tally(&mut self, position: usize, domain_code: u32) {
         if domain_code & 1 == 1 {
             self.ones[position] += 1;

@@ -397,6 +397,25 @@ impl<'a> Embedder<'a> {
         ecc: &dyn ErrorCorrectingCode,
         plan: &MarkPlan,
     ) -> Result<(MarkDelta, EmbedReport), CoreError> {
+        let table = self.delta_domain_table(rel, attr_idx)?;
+        self.extract_delta_with_table(rel, attr_idx, wm, ecc, plan, &table)
+    }
+
+    /// [`Embedder::extract_delta_with_plan_trusted`] with the resolved
+    /// domain table supplied by the caller. The table depends only on
+    /// `(domain values, target column)` — never on the spec's keys —
+    /// so batch producers (one table, a thousand recipients) build it
+    /// once with [`Embedder::delta_domain_table`] and reuse it across
+    /// every per-recipient extraction over the same relation.
+    pub(crate) fn extract_delta_with_table(
+        &self,
+        rel: &Relation,
+        attr_idx: usize,
+        wm: &Watermark,
+        ecc: &dyn ErrorCorrectingCode,
+        plan: &MarkPlan,
+        table: &DeltaDomainTable,
+    ) -> Result<(MarkDelta, EmbedReport), CoreError> {
         if wm.len() != self.spec.wm_len {
             return Err(CoreError::InvalidSpec(format!(
                 "watermark has {} bits but the spec declares {}",
@@ -413,13 +432,81 @@ impl<'a> Embedder<'a> {
             vetoed: 0,
             positions_covered: 0,
             positions_total: self.spec.wm_data_len,
-            touched_rows: Vec::new(),
+            touched_rows: Vec::with_capacity(plan.fit().len()),
         };
         let mut covered = vec![false; self.spec.wm_data_len];
-        let delta =
-            self.extract_delta_pass(rel, attr_idx, &wm_data, plan, 0, &mut covered, &mut report)?;
+        let delta = self.extract_delta_pass_with_table(
+            rel,
+            attr_idx,
+            &wm_data,
+            plan,
+            0,
+            &mut covered,
+            &mut report,
+            table,
+        )?;
         report.positions_covered = covered.iter().filter(|&&c| c).count();
         Ok((delta, report))
+    }
+
+    /// Resolve the spec's domain against `rel`'s target column once:
+    /// raw integers for an integer column, or — for a text column —
+    /// each domain value's code in the *virtually extended* code space
+    /// (base dictionary plus, in domain order, the entries interning
+    /// would have appended). Everything here is invariant across the
+    /// specs of a recipient batch (derived specs share the domain), so
+    /// one table serves every buyer's extraction over `rel`.
+    ///
+    /// # Errors
+    ///
+    /// The same schema refusals as [`Relation::column_mut`] (mirrored
+    /// so the delta path errors exactly where the materializing path
+    /// does), or [`CoreError::InvalidSpec`] on a domain/column type
+    /// mismatch.
+    pub(crate) fn delta_domain_table(
+        &self,
+        rel: &Relation,
+        attr_idx: usize,
+    ) -> Result<DeltaDomainTable, CoreError> {
+        if attr_idx >= rel.schema().arity() {
+            return Err(CoreError::Relation(catmark_relation::RelationError::InvalidSchema(
+                format!("attribute index {attr_idx} out of range"),
+            )));
+        }
+        if attr_idx == rel.schema().key_index() {
+            return Err(CoreError::Relation(catmark_relation::RelationError::InvalidSchema(
+                "the key column cannot be rewritten in bulk (it backs the key index)".into(),
+            )));
+        }
+        match rel.column(attr_idx) {
+            ColumnView::Int(_) => Ok(DeltaDomainTable::Int(int_domain(self.spec)?)),
+            ColumnView::Text { dict, .. } => {
+                // Virtual interning: resolve each domain value to its
+                // base code, or to the extension code `tc.intern`
+                // would have assigned, in the same order.
+                let base_dict_len = dict.len();
+                let mut foreign: HashMap<&str, u32> = HashMap::new();
+                let mut extension: Vec<String> = Vec::new();
+                let mut dom_codes = Vec::with_capacity(self.spec.domain.values().len());
+                for v in self.spec.domain.values() {
+                    let s = v.as_text().ok_or_else(|| {
+                        CoreError::InvalidSpec(format!(
+                            "domain holds {} values but the target column is text",
+                            v.type_name()
+                        ))
+                    })?;
+                    let code = match dict.code_of(s) {
+                        Some(code) => code,
+                        None => *foreign.entry(s).or_insert_with(|| {
+                            extension.push(s.to_string());
+                            (base_dict_len + extension.len() - 1) as u32
+                        }),
+                    };
+                    dom_codes.push(code);
+                }
+                Ok(DeltaDomainTable::Text { base_dict_len, dom_codes, extension })
+            }
+        }
     }
 
     /// The read-only twin of [`Embedder::embed_pass`]: walk the plan's
@@ -433,8 +520,19 @@ impl<'a> Embedder<'a> {
     /// codes interning would have assigned — which is what makes the
     /// rebuilt copy's dictionary byte-identical, down to entries no
     /// row references.
+    ///
+    /// The domain table is hoisted out as a parameter — the batch hot
+    /// loop builds it once per `(column, domain)` and reuses it for
+    /// every recipient, so the per-recipient work is exactly the fit
+    /// walk: a code compare and a patch push per fit tuple, no
+    /// per-recipient domain resolution, no re-validation of an
+    /// ordering the fit walk guarantees.
+    ///
+    /// `table` must have been built by [`Embedder::delta_domain_table`]
+    /// against this same `rel` and `attr_idx` (same column type, same
+    /// dictionary) under a spec sharing this spec's domain.
     #[allow(clippy::too_many_arguments)]
-    pub(crate) fn extract_delta_pass(
+    pub(crate) fn extract_delta_pass_with_table(
         &self,
         rel: &Relation,
         attr_idx: usize,
@@ -443,22 +541,10 @@ impl<'a> Embedder<'a> {
         row_base: usize,
         covered: &mut [bool],
         report: &mut EmbedReport,
+        table: &DeltaDomainTable,
     ) -> Result<MarkDelta, CoreError> {
-        // Mirror `Relation::column_mut`'s refusals so the delta path
-        // errors exactly where the materializing path does.
-        if attr_idx >= rel.schema().arity() {
-            return Err(CoreError::Relation(catmark_relation::RelationError::InvalidSchema(
-                format!("attribute index {attr_idx} out of range"),
-            )));
-        }
-        if attr_idx == rel.schema().key_index() {
-            return Err(CoreError::Relation(catmark_relation::RelationError::InvalidSchema(
-                "the key column cannot be rewritten in bulk (it backs the key index)".into(),
-            )));
-        }
-        let builder = match rel.column(attr_idx) {
-            ColumnView::Int(xs) => {
-                let dom = int_domain(self.spec)?;
+        let builder = match (rel.column(attr_idx), table) {
+            (ColumnView::Int(xs), DeltaDomainTable::Int(dom)) => {
                 let mut builder = MarkDeltaBuilder::int(attr_idx, rel.len());
                 for planned in plan.fit() {
                     let row = planned.row as usize;
@@ -478,25 +564,18 @@ impl<'a> Embedder<'a> {
                 }
                 builder
             }
-            ColumnView::Text { codes, dict } => {
-                let mut builder = MarkDeltaBuilder::text(attr_idx, rel.len(), dict.len());
-                // Virtual interning: resolve each domain value to its
-                // base code, or to the extension code `tc.intern`
-                // would have assigned, in the same order.
-                let mut foreign: HashMap<&str, u32> = HashMap::new();
-                let mut dom_codes = Vec::with_capacity(self.spec.domain.values().len());
-                for v in self.spec.domain.values() {
-                    let s = v.as_text().ok_or_else(|| {
-                        CoreError::InvalidSpec(format!(
-                            "domain holds {} values but the target column is text",
-                            v.type_name()
-                        ))
-                    })?;
-                    let code = match dict.code_of(s) {
-                        Some(code) => code,
-                        None => *foreign.entry(s).or_insert_with(|| builder.extend_dict(s)),
-                    };
-                    dom_codes.push(code);
+            (
+                ColumnView::Text { codes, dict },
+                DeltaDomainTable::Text { base_dict_len, dom_codes, extension },
+            ) => {
+                debug_assert_eq!(
+                    dict.len(),
+                    *base_dict_len,
+                    "delta domain table was built against a different dictionary"
+                );
+                let mut builder = MarkDeltaBuilder::text(attr_idx, rel.len(), *base_dict_len);
+                for entry in extension {
+                    builder.extend_dict(entry);
                 }
                 for planned in plan.fit() {
                     let row = planned.row as usize;
@@ -516,9 +595,39 @@ impl<'a> Embedder<'a> {
                 }
                 builder
             }
+            _ => {
+                return Err(CoreError::InvalidSpec(
+                    "delta domain table does not match the target column type".into(),
+                ))
+            }
         };
-        builder.finish().map_err(CoreError::Relation)
+        // The fit walk pushes at most one patch per row in ascending
+        // plan order, and codes come from the table built against this
+        // dictionary — the trusted finish debug-asserts all of it.
+        Ok(builder.finish_trusted())
     }
+}
+
+/// The once-per-batch resolution of a spec's domain against a target
+/// column — see [`Embedder::delta_domain_table`]. Shared across every
+/// recipient of a delta batch: the table is a function of the domain
+/// and the column, never of a recipient's derived keys.
+#[derive(Debug, Clone)]
+pub(crate) enum DeltaDomainTable {
+    /// Integer target column: the domain as raw `i64`s, indexed by
+    /// domain code.
+    Int(Vec<i64>),
+    /// Text target column: each domain value's code in the virtually
+    /// extended code space, plus the extension entries (in assignment
+    /// order) every recipient's builder must replay.
+    Text {
+        /// Dictionary length the table was resolved against.
+        base_dict_len: usize,
+        /// Domain code → extended-space dictionary code.
+        dom_codes: Vec<u32>,
+        /// Entries past the base dictionary, in code order.
+        extension: Vec<String>,
+    },
 }
 
 /// The spec's domain as raw integers, for writing straight into an

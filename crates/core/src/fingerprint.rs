@@ -104,6 +104,20 @@ impl FingerprintRegistry {
         &self.buyers
     }
 
+    /// The per-spec plan cache behind the single-recipient paths —
+    /// exposed so a service can report cache observability.
+    #[must_use]
+    pub fn plan_cache(&self) -> &PlanCache {
+        &self.plans
+    }
+
+    /// The batched multi-key plan cache behind `mark_copies` /
+    /// `trace`.
+    #[must_use]
+    pub fn multi_plan_cache(&self) -> &MultiPlanCache {
+        &self.multi_plans
+    }
+
     /// The buyer-specific spec: keys derived from the base pair and
     /// the buyer identity.
     #[must_use]
@@ -243,16 +257,24 @@ impl FingerprintRegistry {
             self.multi_plans.plan_for(&specs, rel, key_idx)?.plans().to_vec()
         };
         let mut deltas = Vec::with_capacity(buyers.len());
+        // The domain table depends on (domain, column) only — derived
+        // specs share the registry's domain — so one resolution serves
+        // the whole recipient batch.
+        let table = match entries.first() {
+            Some(entry) => Embedder::engine(&entry.0).delta_domain_table(rel, attr_idx)?,
+            None => return Ok(deltas),
+        };
         for (entry, plan) in entries.iter().zip(&plans) {
             let (spec, wm) = (&entry.0, &entry.1);
             // The cache key already proved content identity, so the
             // trusted path skips the per-buyer staleness fingerprint.
-            let pair = Embedder::engine(spec).extract_delta_with_plan_trusted(
+            let pair = Embedder::engine(spec).extract_delta_with_table(
                 rel,
                 attr_idx,
                 wm,
                 &MajorityVotingEcc,
                 plan,
+                &table,
             )?;
             deltas.push(pair);
         }
@@ -277,6 +299,9 @@ impl FingerprintRegistry {
         key_attr: &str,
         target_attr: &str,
     ) -> Result<Vec<(Vec<MarkDelta>, EmbedReport)>, CoreError> {
+        if buyers.is_empty() {
+            return Ok(Vec::new());
+        }
         let key_idx = seg.schema().index_of(key_attr)?;
         let attr_idx = seg.schema().index_of(target_attr)?;
         for buyer in buyers {
@@ -315,9 +340,12 @@ impl FingerprintRegistry {
                 } else {
                     crate::plan::MultiKeyPlan::build(&specs, rel, key_idx).plans().to_vec()
                 };
+                // One domain resolution per segment (the table keys on
+                // the segment's own dictionary), shared by all buyers.
+                let table = Embedder::engine(&entries[0].0).delta_domain_table(rel, attr_idx)?;
                 for (b, (entry, plan)) in entries.iter().zip(&plans).enumerate() {
                     reports[b].fit_tuples += plan.fit().len();
-                    let delta = Embedder::engine(&entry.0).extract_delta_pass(
+                    let delta = Embedder::engine(&entry.0).extract_delta_pass_with_table(
                         rel,
                         attr_idx,
                         &wm_data[b],
@@ -325,6 +353,7 @@ impl FingerprintRegistry {
                         base,
                         &mut covered[b],
                         &mut reports[b],
+                        &table,
                     )?;
                     deltas[b].push(delta);
                 }

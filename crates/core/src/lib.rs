@@ -31,6 +31,7 @@
 //! | §3.2.1 mark encoding | [`embed`] |
 //! | §3.2.2 mark decoding | [`decode`] |
 //! | out-of-core embed/decode over spilled segments | [`outofcore`] |
+//! | incremental re-mark/re-detect over versioned segments | [`incremental`] |
 //! | Fig. 1(b)/2(b) embedding-map alternative | [`map_variant`] |
 //! | §3.3 multiple attribute embeddings | [`multiattr`] |
 //! | §3.3 pair-closure construction | [`closure`] |
@@ -107,6 +108,7 @@ pub mod error;
 pub mod fingerprint;
 pub mod fitness;
 pub mod freq;
+pub mod incremental;
 pub mod keyfile;
 pub mod map_variant;
 pub mod multiattr;
@@ -126,6 +128,7 @@ pub use detect::{detect, Detection};
 pub use embed::{EmbedReport, Embedder};
 pub use error::CoreError;
 pub use fitness::{FitFacts, FitnessSelector};
+pub use incremental::{IncrementalDecodeReport, IncrementalEmbedReport, VoteCache};
 pub use outofcore::PipelineStats;
 pub use plan::{MarkPlan, MultiKeyPlan, MultiPlanCache, PlanCache, PlannedRow};
 pub use session::{

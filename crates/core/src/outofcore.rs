@@ -156,14 +156,14 @@ fn pipeline_mode() -> PipelineMode {
 impl MarkSession {
     /// Verify the bound columns still line up with the segmented
     /// relation's schema.
-    fn check_segmented(&self, seg: &SegmentedRelation) -> Result<(), CoreError> {
+    pub(crate) fn check_segmented(&self, seg: &SegmentedRelation) -> Result<(), CoreError> {
         self.key().still_bound(seg.schema())?;
         self.target().still_bound(seg.schema())
     }
 
     /// Shared embed preamble: binding and length validation, then the
     /// ECC-expanded `wm_data` both embed drivers consume.
-    fn checked_wm_data(
+    pub(crate) fn checked_wm_data(
         &self,
         seg: &SegmentedRelation,
         wm: &Watermark,
@@ -187,12 +187,12 @@ impl MarkSession {
     /// actually hold them. Past half the cache capacity the reset
     /// policy would churn instead of hit, so large segment counts
     /// build plans directly.
-    fn segment_plans_cacheable(seg: &SegmentedRelation) -> bool {
+    pub(crate) fn segment_plans_cacheable(seg: &SegmentedRelation) -> bool {
         seg.segment_count() <= PlanCache::CAPACITY / 2
     }
 
     /// The plan for one resident segment, cached when sensible.
-    fn segment_plan(
+    pub(crate) fn segment_plan(
         &self,
         rel: &Relation,
         key_idx: usize,

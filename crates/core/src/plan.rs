@@ -25,7 +25,7 @@
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
-use catmark_relation::{CanonicalText, ColumnView, Dictionary, Relation};
+use catmark_relation::{CacheStats, CanonicalText, ColumnView, Dictionary, Relation};
 
 use crate::error::CoreError;
 use crate::fitness::{FitFacts, FitnessSelector, IntFitScanner};
@@ -474,7 +474,9 @@ fn domain_size(spec: &WatermarkSpec) -> u64 {
 /// FNV-1a identity of the spec parameters a plan depends on. The
 /// domain participates through its size only: the plan stores value
 /// *indices*, which depend on `nA` but not on the values themselves.
-fn spec_identity(spec: &WatermarkSpec) -> u64 {
+/// Crate-visible so the incremental decode driver can key its vote
+/// cache by `(spec identity, blob hash)`.
+pub(crate) fn spec_identity(spec: &WatermarkSpec) -> u64 {
     let mut h = Fnv::new();
     h.write(&[match spec.algo {
         catmark_crypto::HashAlgorithm::Md5 => 1,
@@ -570,17 +572,20 @@ type PlanKey = (u64, usize, u64);
 struct LruStore<V> {
     entries: HashMap<PlanKey, (V, u64)>,
     clock: u64,
+    stats: CacheStats,
 }
 
 impl<V> Default for LruStore<V> {
     fn default() -> Self {
-        LruStore { entries: HashMap::new(), clock: 0 }
+        LruStore { entries: HashMap::new(), clock: 0, stats: CacheStats::default() }
     }
 }
 
 impl<V: Clone> LruStore<V> {
-    /// Look up `key`, refreshing its recency stamp on a hit.
-    fn get(&mut self, key: &PlanKey) -> Option<V> {
+    /// Look up `key`, refreshing its recency stamp on a hit — no
+    /// counter traffic. `insert_or_get` reuses this so a miss that
+    /// flows get → build → insert is counted exactly once.
+    fn lookup(&mut self, key: &PlanKey) -> Option<V> {
         self.clock += 1;
         let clock = self.clock;
         self.entries.get_mut(key).map(|(value, stamp)| {
@@ -589,11 +594,24 @@ impl<V: Clone> LruStore<V> {
         })
     }
 
+    /// Counted lookup: the cache-facing entry point.
+    fn get(&mut self, key: &PlanKey) -> Option<V> {
+        let found = self.lookup(key);
+        if found.is_some() {
+            self.stats.hits += 1;
+        } else {
+            self.stats.misses += 1;
+        }
+        found
+    }
+
     /// Insert `value` under `key` (evicting the least-recently-used
     /// entry if the store is at `capacity`), or return the entry
-    /// another thread won the build race with.
+    /// another thread won the build race with. The preceding counted
+    /// `get` already recorded this flow's miss, so the race-check
+    /// lookup here stays uncounted.
     fn insert_or_get(&mut self, key: PlanKey, value: V, capacity: usize) -> V {
-        if let Some(existing) = self.get(&key) {
+        if let Some(existing) = self.lookup(&key) {
             return existing;
         }
         if self.entries.len() >= capacity {
@@ -601,6 +619,7 @@ impl<V: Clone> LruStore<V> {
                 self.entries.iter().min_by_key(|(_, (_, stamp))| *stamp).map(|(k, _)| k)
             {
                 self.entries.remove(&stalest);
+                self.stats.evictions += 1;
             }
         }
         self.clock += 1;
@@ -686,9 +705,17 @@ impl PlanCache {
         self.len() == 0
     }
 
-    /// Drop all memoized plans.
+    /// Drop all memoized plans. Lifetime counters survive the clear —
+    /// they describe traffic, not contents.
     pub fn clear(&self) {
         self.inner.lock().expect("plan cache is never poisoned").clear();
+    }
+
+    /// Lifetime hit/miss/eviction counters for this cache (shared by
+    /// all clones, which share the store).
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        self.inner.lock().expect("plan cache is never poisoned").stats
     }
 }
 
@@ -765,9 +792,16 @@ impl MultiPlanCache {
         self.len() == 0
     }
 
-    /// Drop all memoized plans.
+    /// Drop all memoized plans. Lifetime counters survive the clear.
     pub fn clear(&self) {
         self.inner.lock().expect("plan cache is never poisoned").clear();
+    }
+
+    /// Lifetime hit/miss/eviction counters for this cache (shared by
+    /// all clones, which share the store).
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        self.inner.lock().expect("plan cache is never poisoned").stats
     }
 }
 
@@ -1016,6 +1050,26 @@ mod tests {
         b.k1 = catmark_crypto::SecretKey::from_bytes(vec![0x01, 0xFF, 0x02]);
         b.k2 = catmark_crypto::SecretKey::from_bytes(vec![0x03]);
         assert_ne!(spec_identity(&a), spec_identity(&b));
+    }
+
+    #[test]
+    fn cache_stats_count_hits_misses_and_evictions() {
+        let (rel, spec) = fixture(100, 10);
+        let cache = PlanCache::new();
+        assert_eq!(cache.stats(), CacheStats::default());
+        cache.plan_for(&spec, &rel, 0).unwrap();
+        cache.plan_for(&spec, &rel, 0).unwrap();
+        let warm = cache.stats();
+        assert_eq!((warm.hits, warm.misses, warm.evictions), (1, 1, 0));
+        // Overflow the store: each cold insert past capacity evicts
+        // exactly one entry, and counters survive `clear`.
+        for i in 0..(PlanCache::CAPACITY + 3) {
+            cache.plan_for(&spec.derived(&format!("cold-{i}")), &rel, 0).unwrap();
+        }
+        let full = cache.stats();
+        assert_eq!(full.evictions, 4, "one eviction per insert past capacity");
+        cache.clear();
+        assert_eq!(cache.stats(), full, "clear drops plans, not traffic history");
     }
 
     #[test]

@@ -334,6 +334,29 @@ impl MarkDeltaBuilder {
         let delta = MarkDelta { column: self.column, rows: self.rows, ops: self.ops };
         // Route through the decoder's validation so the builder and
         // the wire share one set of invariants.
+        Self::validate(&delta)?;
+        Ok(delta)
+    }
+
+    /// [`MarkDeltaBuilder::finish`] for producers whose patches are
+    /// strictly ascending and in-bounds **by construction** — e.g. the
+    /// embedding pass, which walks a plan's fit rows (ascending, one
+    /// visit per row) and resolves codes through a table it built
+    /// against this builder's own dictionary space. Skips the O(patch)
+    /// re-validation in release builds; debug builds still assert the
+    /// invariants, so any producer that violates them fails loudly
+    /// under test instead of shipping a malformed delta.
+    #[must_use]
+    pub fn finish_trusted(self) -> MarkDelta {
+        let delta = MarkDelta { column: self.column, rows: self.rows, ops: self.ops };
+        debug_assert!(
+            Self::validate(&delta).is_ok(),
+            "trusted delta producer emitted an invalid patch set"
+        );
+        delta
+    }
+
+    fn validate(delta: &MarkDelta) -> Result<(), RelationError> {
         let mut last: Option<u32> = None;
         for row in delta.patch_rows() {
             if row as u64 >= delta.rows {
@@ -355,7 +378,7 @@ impl MarkDeltaBuilder {
                 }
             }
         }
-        Ok(delta)
+        Ok(())
     }
 }
 

@@ -28,6 +28,10 @@
 //!   ([`segment`]) — fixed-size columnar segments with segment-local
 //!   dictionaries and shared merge maps, streamed under a resident
 //!   budget through range-addressed byte stores ([`spill`]),
+//! * content-addressed versioned storage ([`versioned`]) — SHA-256
+//!   keyed blob piles with `CMKVER1` manifest commit logs, so relation
+//!   versions share unchanged segment blobs and any historical version
+//!   reopens for detection,
 //! * delta-encoded marked copies ([`delta`]) — ordered patch records
 //!   (plus dictionary extensions) turning a shared base into any
 //!   recipient's fingerprinted copy without materializing a clone,
@@ -68,6 +72,7 @@ pub mod spill;
 pub mod stats;
 pub mod tuple;
 pub mod value;
+pub mod versioned;
 
 pub use column::{Column, ColumnMut, ColumnView, Dictionary, TextColumnMut};
 pub use delta::{MarkDelta, MarkDeltaBuilder};
@@ -77,8 +82,11 @@ pub use predicate::Predicate;
 pub use query::{CompiledPredicate, RowMask, SelectionVector};
 pub use relation::Relation;
 pub use schema::{AttrDef, AttrType, Schema, SchemaBuilder};
-pub use segment::{SegmentedRelation, SegmentedRelationBuilder};
+pub use segment::{CacheStats, SegmentedRelation, SegmentedRelationBuilder};
 pub use spill::{FileStore, MemStore, SegmentStore, SpillHandle};
 pub use stats::FrequencyHistogram;
 pub use tuple::Tuple;
 pub use value::{CanonicalInt, CanonicalText, Value};
+pub use versioned::{
+    hash_hex, BlobHash, ContentStore, GcStats, SegmentRef, VersionLog, VersionManifest,
+};

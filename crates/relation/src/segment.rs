@@ -122,7 +122,50 @@ impl SegmentedRelationBuilder {
             peak_resident: 0,
             peak_segment: 0,
             clock: 0,
+            stats: CacheStats::default(),
         }
+    }
+
+    /// Reopen a segmented relation from already-spilled segments — the
+    /// versioned-store path (see [`crate::versioned`]): every slot
+    /// starts cold (non-resident, clean, sealed) behind its existing
+    /// [`SpillHandle`], and the relation-level shared dictionaries are
+    /// restored verbatim so shared codes stay stable across reopens.
+    /// Merge maps rebuild lazily as segments page in.
+    ///
+    /// # Errors
+    ///
+    /// [`RelationError::InvalidSchema`] when `shared` does not match
+    /// the schema arity.
+    pub fn open_spilled(
+        self,
+        segments: &[(SpillHandle, usize)],
+        shared: Vec<Option<Dictionary>>,
+    ) -> Result<SegmentedRelation, RelationError> {
+        if shared.len() != self.schema.arity() {
+            return Err(RelationError::InvalidSchema(
+                "shared dictionary state does not match the schema arity".into(),
+            ));
+        }
+        let arity = self.schema.arity();
+        let mut seg = self.build();
+        seg.shared = shared;
+        for &(handle, rows) in segments {
+            seg.slots.push(Slot {
+                rows,
+                resident: None,
+                handle: Some(handle),
+                bytes: 0,
+                dirty: false,
+                sealed: true,
+                content_fp: None,
+                last_touch: 0,
+                merged: vec![0; arity],
+                merge: vec![Vec::new(); arity],
+            });
+            seg.len += rows;
+        }
+        Ok(seg)
     }
 
     /// Partition `rel` into sealed segments (spilling each beyond the
@@ -177,6 +220,28 @@ struct Slot {
     merge: Vec<Vec<u32>>,
 }
 
+/// Hit/miss/eviction counters for a bounded cache — the pager here,
+/// and the plan caches in `catmark-core` (which reuse this type so
+/// every cache in the stack reports observability the same way).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups satisfied without touching the backing store.
+    pub hits: u64,
+    /// Lookups that had to rebuild or page in the entry.
+    pub misses: u64,
+    /// Entries dropped to make room under the capacity bound.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Fold `other`'s counters into these (for service-wide totals).
+    pub fn absorb(&mut self, other: CacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.evictions += other.evictions;
+    }
+}
+
 /// A relation stored as fixed-size columnar segments behind a
 /// budgeted pager — see the [module docs](self).
 pub struct SegmentedRelation {
@@ -193,6 +258,7 @@ pub struct SegmentedRelation {
     peak_resident: usize,
     peak_segment: usize,
     clock: u64,
+    stats: CacheStats,
 }
 
 impl std::fmt::Debug for SegmentedRelation {
@@ -508,6 +574,23 @@ impl SegmentedRelation {
         self.store.spilled_bytes()
     }
 
+    /// Pager cache counters: residency hits, page-ins (misses), and
+    /// evictions since construction.
+    #[must_use]
+    pub fn cache_stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// The spill handle of segment `seg`'s last written-back blob
+    /// (`None` while the segment has only ever been resident). After
+    /// [`SegmentedRelation::flush`] every segment has one — the hook
+    /// the versioned commit log uses to map segments to content
+    /// hashes.
+    #[must_use]
+    pub fn segment_handle(&self, seg: usize) -> Option<SpillHandle> {
+        self.slots[seg].handle.filter(|_| !self.slots[seg].dirty)
+    }
+
     // ------------------------------------------------------------------
     // Streaming operators (segment-at-a-time, logically identical to
     // their whole-relation counterparts).
@@ -786,8 +869,10 @@ impl SegmentedRelation {
         let touch = self.tick();
         if self.slots[seg].resident.is_some() {
             self.slots[seg].last_touch = touch;
+            self.stats.hits += 1;
             return Ok(());
         }
+        self.stats.misses += 1;
         let incoming = self.slots[seg].bytes;
         self.evict_to_fit(incoming, seg)?;
         let handle = self.slots[seg].handle.expect("a non-resident segment is always spilled");
@@ -796,6 +881,10 @@ impl SegmentedRelation {
         slot.bytes = rel.resident_bytes();
         slot.resident = Some(rel);
         slot.last_touch = touch;
+        // Reopened slots (see `open_spilled`) page in with empty merge
+        // maps; extending them here is a no-op on the normal path
+        // (`merged` already covers the local dictionary).
+        self.refresh_merge(seg);
         self.enforce_budget(Some(seg))?;
         self.note_usage();
         Ok(())
@@ -840,6 +929,7 @@ impl SegmentedRelation {
             self.write_back(victim)?;
         }
         self.slots[victim].resident = None;
+        self.stats.evictions += 1;
         Ok(true)
     }
 

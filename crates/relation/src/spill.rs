@@ -68,7 +68,7 @@ pub struct SpillHandle {
 /// above is the pager's business. Rewriting a dirty segment appends a
 /// fresh blob (the old range becomes garbage), which keeps every
 /// backend a strict log.
-pub trait SegmentStore: std::fmt::Debug {
+pub trait SegmentStore: std::fmt::Debug + Send {
     /// Append `bytes` as one blob, returning its handle.
     ///
     /// # Errors
@@ -167,6 +167,27 @@ impl FileStore {
             .open(path.as_ref())
             .map_err(|e| spill_err(format!("create {:?}: {e}", path.as_ref())))?;
         Ok(FileStore { file: std::sync::Mutex::new(file), end: 0 })
+    }
+
+    /// Open an existing spill file at `path` without truncating it,
+    /// appending after its current end — the reopen path for
+    /// content-addressed piles (see [`crate::versioned`]), whose
+    /// record framing makes the existing bytes re-indexable.
+    ///
+    /// # Errors
+    ///
+    /// [`RelationError::Spill`] when the file cannot be opened or
+    /// its length read.
+    pub fn open(path: impl AsRef<std::path::Path>) -> Result<Self, RelationError> {
+        let file = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path.as_ref())
+            .map_err(|e| spill_err(format!("open {:?}: {e}", path.as_ref())))?;
+        let end = file.metadata().map_err(|e| spill_err(format!("stat: {e}")))?.len();
+        Ok(FileStore { file: std::sync::Mutex::new(file), end })
     }
 }
 

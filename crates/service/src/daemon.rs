@@ -19,6 +19,21 @@
 //! copy byte-for-byte — a fraction of the bytes of `mark_copy` per
 //! recipient.
 //!
+//! # Versioned relations under churn
+//!
+//! The `update` / `versions` / `detect_at` ops give each tenant named
+//! *versioned* relations backed by a content-addressed segment store
+//! ([`ContentStore`] + [`VersionLog`]). Every `update` commits the
+//! incoming state, re-marks **only the segments whose content hash
+//! changed** since the last marked version
+//! ([`MarkSession::embed_incremental`] — byte-identical to a full
+//! re-pass because embedding is idempotent), and commits the marked
+//! result; unchanged segment blobs are shared between versions, so
+//! history costs one copy of the churn, not one copy per version.
+//! `detect_at` reopens any committed version straight from the store
+//! and blind-decodes it through a per-table [`VoteCache`] that folds
+//! memoized tallies for segments it has seen before.
+//!
 //! # Concurrency
 //!
 //! [`serve_unix_pool`] runs a bounded pool of worker threads over one
@@ -48,9 +63,11 @@ use std::collections::HashMap;
 use std::io::{self, BufReader, Read, Write};
 
 use catmark_core::keyfile::TenantKeyRegistry;
-use catmark_core::{detect, CoreError, FingerprintSession, MarkSession, Watermark};
+use catmark_core::{detect, CoreError, FingerprintSession, MarkSession, VoteCache, Watermark};
 use catmark_relation::csv::{read_csv_inferred, write_csv};
-use catmark_relation::{MarkDelta, Relation, SegmentedRelation};
+use catmark_relation::{
+    hash_hex, CacheStats, ContentStore, MarkDelta, Relation, Schema, SegmentedRelation, VersionLog,
+};
 
 use crate::json::{self, Json};
 use crate::wire::{read_frame, write_frame};
@@ -76,12 +93,36 @@ impl Default for ServiceConfig {
 /// target column.
 type SessionKey = (String, String, String, String);
 
-/// The daemon state: tenant registries plus warm session caches.
+/// Segment granularity for versioned tables when
+/// [`ServiceConfig::segment_rows`] is `0` (in-memory streaming):
+/// content addressing needs *some* segmentation to localize churn.
+const VERSION_SEGMENT_ROWS: usize = 1024;
+
+/// One versioned relation held by the daemon: a content-addressed
+/// blob pile, its commit log, the memoized per-segment vote tallies,
+/// and the id of the last *marked* version (the incremental diff
+/// base).
+struct VersionedTable {
+    schema: Schema,
+    store: ContentStore,
+    log: VersionLog,
+    votes: VoteCache,
+    marked: Option<u64>,
+}
+
+/// The daemon state: tenant registries plus warm session caches and
+/// per-tenant versioned tables.
 pub struct Service {
     config: ServiceConfig,
     registries: HashMap<String, TenantKeyRegistry>,
     sessions: HashMap<SessionKey, MarkSession>,
     fingerprints: HashMap<SessionKey, FingerprintSession>,
+    /// Versioned tables keyed by `(tenant, table name)` — isolation
+    /// by construction: lookups always carry the bound tenant.
+    tables: HashMap<(String, String), VersionedTable>,
+    /// Segment-pager traffic accumulated across all out-of-core
+    /// passes this daemon has run.
+    pager: CacheStats,
 }
 
 impl Service {
@@ -93,6 +134,8 @@ impl Service {
             registries: HashMap::new(),
             sessions: HashMap::new(),
             fingerprints: HashMap::new(),
+            tables: HashMap::new(),
+            pager: CacheStats::default(),
         }
     }
 
@@ -152,6 +195,7 @@ impl Service {
             return Ok(ok_response(vec![
                 ("tenant", Json::Str(tenant.to_string())),
                 ("keys", Json::Arr(keys)),
+                ("cache_stats", self.cache_stats_json()),
             ]));
         }
         let Some(tenant) = bound.clone() else {
@@ -164,6 +208,9 @@ impl Service {
             "mark_delta" => self.mark_delta_op(&tenant, request),
             "apply_delta" => Self::apply_delta_op(request),
             "trace" => self.trace_op(&tenant, request),
+            "update" => self.update_op(&tenant, request),
+            "versions" => self.versions_op(&tenant, request),
+            "detect_at" => self.detect_at_op(&tenant, request),
             other => Err(format!("unknown op {other:?}")),
         }
     }
@@ -244,6 +291,7 @@ impl Service {
         let (segment_rows, budget_bytes) = (self.config.segment_rows, self.config.budget_bytes);
         let (session, _) = self.session_for(bound, request, &rel)?;
         let mark = parse_mark(str_field(request, "mark")?, session.spec().wm_len)?;
+        let mut paged = CacheStats::default();
         let (report, segmented) = if segment_rows > 0 && rel.len() > segment_rows {
             let mut seg = SegmentedRelation::builder(rel.schema().clone())
                 .segment_rows(segment_rows)
@@ -252,10 +300,12 @@ impl Service {
                 .map_err(|e| e.to_string())?;
             let report = session.embed_segmented(&mut seg, &mark).map_err(|e| e.to_string())?;
             rel = seg.to_relation().map_err(|e| e.to_string())?;
+            paged.absorb(seg.cache_stats());
             (report, true)
         } else {
             (session.embed(&mut rel, &mark).map_err(|e| e.to_string())?, false)
         };
+        self.pager.absorb(paged);
         Ok(ok_response(vec![
             ("csv", Json::Str(render_csv(&rel)?)),
             ("total", Json::Num(report.total_tuples as f64)),
@@ -270,16 +320,20 @@ impl Service {
         let rel = parse_csv(str_field(request, "csv")?, attr)?;
         let (segment_rows, budget_bytes) = (self.config.segment_rows, self.config.budget_bytes);
         let (session, _) = self.session_for(bound, request, &rel)?;
+        let mut paged = CacheStats::default();
         let (report, segmented) = if segment_rows > 0 && rel.len() > segment_rows {
             let mut seg = SegmentedRelation::builder(rel.schema().clone())
                 .segment_rows(segment_rows)
                 .budget_bytes(budget_bytes)
                 .from_relation(&rel)
                 .map_err(|e| e.to_string())?;
-            (session.decode_segmented(&mut seg).map_err(|e| e.to_string())?, true)
+            let report = session.decode_segmented(&mut seg).map_err(|e| e.to_string())?;
+            paged.absorb(seg.cache_stats());
+            (report, true)
         } else {
             (session.decode(&rel).map_err(|e| e.to_string())?, false)
         };
+        self.pager.absorb(paged);
         let mut fields = vec![
             ("mark", Json::Str(report.watermark.to_string())),
             ("fit", Json::Num(report.fit_tuples as f64)),
@@ -371,6 +425,208 @@ impl Service {
             .collect();
         Ok(ok_response(vec![("results", Json::Arr(ranked))]))
     }
+
+    /// Segment granularity for versioned tables.
+    fn versioned_segment_rows(&self) -> usize {
+        if self.config.segment_rows > 0 {
+            self.config.segment_rows
+        } else {
+            VERSION_SEGMENT_ROWS
+        }
+    }
+
+    /// Daemon-wide cache observability, aggregated across every warm
+    /// session, fingerprint registry, versioned table, and the
+    /// segment pager.
+    fn cache_stats_json(&self) -> Json {
+        let mut plan = CacheStats::default();
+        for session in self.sessions.values() {
+            plan.absorb(session.cache().stats());
+        }
+        let mut fingerprint = CacheStats::default();
+        for fp in self.fingerprints.values() {
+            fingerprint.absorb(fp.registry().plan_cache().stats());
+            fingerprint.absorb(fp.registry().multi_plan_cache().stats());
+        }
+        let mut votes = CacheStats::default();
+        for table in self.tables.values() {
+            votes.absorb(table.votes.stats());
+        }
+        Json::obj(vec![
+            ("plan", stats_json(plan)),
+            ("fingerprint", stats_json(fingerprint)),
+            ("votes", stats_json(votes)),
+            ("pager", stats_json(self.pager)),
+        ])
+    }
+
+    /// `update`: commit a new version of a named relation into the
+    /// tenant's content-addressed store and re-mark it. The first
+    /// update runs the full segmented embed; later updates diff the
+    /// committed manifest against the last *marked* one and re-embed
+    /// only the dirty segments ([`MarkSession::embed_incremental`]),
+    /// which is byte-identical to the full pass. Both the pre-mark
+    /// and the marked states are committed, so `detect_at` can reach
+    /// either.
+    fn update_op(&mut self, bound: &str, request: &Json) -> Result<Json, String> {
+        let attr = str_field(request, "attr")?;
+        let name = str_field(request, "name")?.to_string();
+        let rel = parse_csv(str_field(request, "csv")?, attr)?;
+        let seg_rows = self.versioned_segment_rows();
+        let budget = self.config.budget_bytes;
+        let (_, cache_key) = self.session_for(bound, request, &rel)?;
+        let session = self.sessions.get(&cache_key).expect("bound above");
+        let mark = parse_mark(str_field(request, "mark")?, session.spec().wm_len)?;
+        let table = self.tables.entry((bound.to_string(), name.clone())).or_insert_with(|| {
+            VersionedTable {
+                schema: rel.schema().clone(),
+                store: ContentStore::in_memory(),
+                log: VersionLog::new(),
+                votes: VoteCache::new(),
+                marked: None,
+            }
+        });
+        if table.schema != *rel.schema() {
+            return Err(format!(
+                "versioned relation {name:?} was committed under a different schema"
+            ));
+        }
+        let mut seg = SegmentedRelation::builder(rel.schema().clone())
+            .segment_rows(seg_rows)
+            .budget_bytes(budget)
+            .store(Box::new(table.store.clone()))
+            .from_relation(&rel)
+            .map_err(|e| e.to_string())?;
+        let version = table.log.commit(&mut seg, &table.store).map_err(|e| e.to_string())?;
+        let (report, dirty, clean, fallback) = match table.marked {
+            Some(marked_id) => {
+                let marked = table.log.get(marked_id).expect("marked versions stay logged");
+                let current = table.log.get(version).expect("just committed");
+                let inc = session
+                    .embed_incremental(&mut seg, &mark, marked, current)
+                    .map_err(|e| e.to_string())?;
+                (inc.report, inc.dirty_segments, inc.clean_segments, inc.full_fallback)
+            }
+            None => {
+                let report = session.embed_segmented(&mut seg, &mark).map_err(|e| e.to_string())?;
+                (report, seg.segment_count(), 0, false)
+            }
+        };
+        let marked_version = table.log.commit(&mut seg, &table.store).map_err(|e| e.to_string())?;
+        table.marked = Some(marked_version);
+        let marked_rel = seg.to_relation().map_err(|e| e.to_string())?;
+        self.pager.absorb(seg.cache_stats());
+        Ok(ok_response(vec![
+            ("name", Json::Str(name)),
+            ("version", Json::Num(version as f64)),
+            ("marked_version", Json::Num(marked_version as f64)),
+            ("dirty_segments", Json::Num(dirty as f64)),
+            ("clean_segments", Json::Num(clean as f64)),
+            ("full_fallback", Json::Bool(fallback)),
+            ("total", Json::Num(report.total_tuples as f64)),
+            ("fit", Json::Num(report.fit_tuples as f64)),
+            ("altered", Json::Num(report.altered as f64)),
+            ("csv", Json::Str(render_csv(&marked_rel)?)),
+        ]))
+    }
+
+    /// `versions`: the commit history of a named versioned relation —
+    /// ids, parents, row counts, and the content hashes of each
+    /// version's segment blobs, plus store-level sharing counters.
+    fn versions_op(&mut self, bound: &str, request: &Json) -> Result<Json, String> {
+        let name = str_field(request, "name")?;
+        let table = self
+            .tables
+            .get(&(bound.to_string(), name.to_string()))
+            .ok_or_else(|| format!("unknown versioned relation {name:?}"))?;
+        let versions: Vec<Json> = table
+            .log
+            .manifests()
+            .iter()
+            .map(|m| {
+                Json::obj(vec![
+                    ("id", Json::Num(m.id as f64)),
+                    ("parent", m.parent.map_or(Json::Null, |p| Json::Num(p as f64))),
+                    ("rows", Json::Num(m.rows() as f64)),
+                    ("marked", Json::Bool(table.marked == Some(m.id))),
+                    (
+                        "segments",
+                        Json::Arr(
+                            m.segments.iter().map(|s| Json::Str(hash_hex(&s.hash))).collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect();
+        Ok(ok_response(vec![
+            ("name", Json::Str(name.to_string())),
+            ("versions", Json::Arr(versions)),
+            ("unique_blobs", Json::Num(table.store.unique_blobs() as f64)),
+            ("dedup_hits", Json::Num(table.store.dedup_hits() as f64)),
+        ]))
+    }
+
+    /// `detect_at`: open a historical version of a named relation
+    /// straight from the content-addressed store, blind-decode it
+    /// through the vote cache ([`MarkSession::decode_incremental`]),
+    /// and weigh a claimed mark against the result.
+    fn detect_at_op(&mut self, bound: &str, request: &Json) -> Result<Json, String> {
+        let name = str_field(request, "name")?;
+        let version = request
+            .get("version")
+            .and_then(Json::as_u64)
+            .ok_or("request needs a numeric \"version\" field")?;
+        let schema = self
+            .tables
+            .get(&(bound.to_string(), name.to_string()))
+            .ok_or_else(|| format!("unknown versioned relation {name:?}"))?
+            .schema
+            .clone();
+        let budget = self.config.budget_bytes;
+        // Bind (or reuse) the session against the table's schema —
+        // the probe relation carries the schema, nothing else.
+        let probe = Relation::new(schema.clone());
+        let (_, cache_key) = self.session_for(bound, request, &probe)?;
+        let session = self.sessions.get(&cache_key).expect("bound above");
+        let claimed = parse_mark(str_field(request, "claim")?, session.spec().wm_len)?;
+        let table =
+            self.tables.get_mut(&(bound.to_string(), name.to_string())).expect("checked above");
+        let manifest = table
+            .log
+            .get(version)
+            .ok_or_else(|| format!("unknown version {version} of {name:?}"))?
+            .clone();
+        let mut seg = table
+            .log
+            .open_version(version, &schema, &table.store, Some(budget))
+            .map_err(|e| e.to_string())?;
+        let inc = session
+            .decode_incremental(&mut seg, &manifest, &mut table.votes)
+            .map_err(|e| e.to_string())?;
+        let verdict = detect(&inc.report.watermark, &claimed);
+        self.pager.absorb(seg.cache_stats());
+        Ok(ok_response(vec![
+            ("name", Json::Str(name.to_string())),
+            ("version", Json::Num(version as f64)),
+            ("mark", Json::Str(inc.report.watermark.to_string())),
+            ("fit", Json::Num(inc.report.fit_tuples as f64)),
+            ("votes", Json::Num(inc.report.votes_cast as f64)),
+            ("cached_segments", Json::Num(inc.cached_segments as f64)),
+            ("accumulated_segments", Json::Num(inc.accumulated_segments as f64)),
+            ("matched_bits", Json::Num(verdict.matched_bits as f64)),
+            ("total_bits", Json::Num(verdict.total_bits as f64)),
+            ("false_positive", Json::Num(verdict.false_positive_probability)),
+        ]))
+    }
+}
+
+/// Render a [`CacheStats`] as a JSON object.
+fn stats_json(stats: CacheStats) -> Json {
+    Json::obj(vec![
+        ("hits", Json::Num(stats.hits as f64)),
+        ("misses", Json::Num(stats.misses as f64)),
+        ("evictions", Json::Num(stats.evictions as f64)),
+    ])
 }
 
 /// Success envelope: `{"ok":true, ...fields}`.
@@ -952,6 +1208,112 @@ mod tests {
         drop(acme);
         daemon.join().unwrap().unwrap();
         assert!(!path.exists(), "socket file is removed on shutdown");
+    }
+
+    #[test]
+    fn versioned_updates_remark_incrementally_and_detect_at_any_version() {
+        let mut service =
+            two_tenant_service(ServiceConfig { segment_rows: 128, ..ServiceConfig::default() });
+        let mut bound = None;
+        service.handle(&mut bound, &request(r#"{"op":"hello","tenant":"acme"}"#));
+
+        // First update: full embed, two committed versions (pre-mark
+        // and marked).
+        let update = |csv: String| {
+            format!(
+                r#"{{"op":"update","name":"sales","key":"production","key_attr":"visit_nbr","attr":"item_nbr","mark":"101101","csv":{}}}"#,
+                Json::Str(csv).to_text()
+            )
+        };
+        let (first, _) = service.handle(&mut bound, &request(&update(csv())));
+        assert_ok(&first);
+        assert_eq!(first.get("full_fallback").and_then(Json::as_bool), Some(false));
+        assert_eq!(first.get("clean_segments").and_then(Json::as_u64), Some(0));
+        let marked_v1 = first.get("marked_version").and_then(Json::as_u64).unwrap();
+        let marked_csv = first.get("csv").and_then(Json::as_str).unwrap().to_string();
+
+        // Churn one row of the marked state and update again: only
+        // that row's segment is re-embedded.
+        let mut churned = parse_csv(&marked_csv, "item_nbr").unwrap();
+        let attr = churned.schema().index_of("item_nbr").unwrap();
+        churned.update_value(0, attr, Value::Int(10_039)).unwrap();
+        let churned_csv = render_csv(&churned).unwrap();
+        let (second, _) = service.handle(&mut bound, &request(&update(churned_csv.clone())));
+        assert_ok(&second);
+        assert_eq!(second.get("full_fallback").and_then(Json::as_bool), Some(false));
+        assert_eq!(second.get("dirty_segments").and_then(Json::as_u64), Some(1));
+        assert!(second.get("clean_segments").and_then(Json::as_u64).unwrap() >= 3);
+        let marked_v2 = second.get("marked_version").and_then(Json::as_u64).unwrap();
+
+        // The incremental re-mark is byte-identical to the plain
+        // (full) segmented embed of the same churned state.
+        let embed = format!(
+            r#"{{"op":"embed","key":"production","key_attr":"visit_nbr","attr":"item_nbr","mark":"101101","csv":{}}}"#,
+            Json::Str(churned_csv).to_text()
+        );
+        let (full, _) = service.handle(&mut bound, &request(&embed));
+        assert_ok(&full);
+        assert_eq!(full.get("csv"), second.get("csv"), "incremental re-mark diverged");
+
+        // Version history: 4 versions, blob sharing across them.
+        let (versions, _) =
+            service.handle(&mut bound, &request(r#"{"op":"versions","name":"sales"}"#));
+        assert_ok(&versions);
+        let listed = versions.get("versions").unwrap().as_array().unwrap();
+        assert_eq!(listed.len(), 4);
+        assert!(listed.iter().any(|v| {
+            v.get("id").and_then(Json::as_u64) == Some(marked_v2)
+                && v.get("marked").and_then(Json::as_bool) == Some(true)
+        }));
+        let unique = versions.get("unique_blobs").and_then(Json::as_u64).unwrap();
+        let dedup = versions.get("dedup_hits").and_then(Json::as_u64).unwrap();
+        assert!(dedup > 0, "versions must share unchanged blobs");
+        assert!(unique < 4 * listed[0].get("segments").unwrap().as_array().unwrap().len() as u64);
+
+        // Detection works against any committed marked version.
+        for v in [marked_v1, marked_v2] {
+            let req = format!(
+                r#"{{"op":"detect_at","name":"sales","key":"production","key_attr":"visit_nbr","attr":"item_nbr","version":{v},"claim":"101101"}}"#
+            );
+            let (resp, _) = service.handle(&mut bound, &request(&req));
+            assert_ok(&resp);
+            assert_eq!(resp.get("matched_bits").and_then(Json::as_u64), Some(6), "{resp:?}");
+        }
+        // The second detect_at shares every clean segment's tally
+        // with the first via the vote cache.
+        let req = format!(
+            r#"{{"op":"detect_at","name":"sales","key":"production","key_attr":"visit_nbr","attr":"item_nbr","version":{marked_v2},"claim":"101101"}}"#
+        );
+        let (warm, _) = service.handle(&mut bound, &request(&req));
+        assert_ok(&warm);
+        assert_eq!(warm.get("accumulated_segments").and_then(Json::as_u64), Some(0));
+        assert!(warm.get("cached_segments").and_then(Json::as_u64).unwrap() > 0);
+
+        // Unknown coordinates are errors, not silent empties.
+        let (resp, _) = service.handle(&mut bound, &request(r#"{"op":"versions","name":"nope"}"#));
+        assert!(error_of(&resp).contains("unknown versioned relation"));
+        let bad = r#"{"op":"detect_at","name":"sales","key":"production","key_attr":"visit_nbr","attr":"item_nbr","version":99,"claim":"101101"}"#;
+        let (resp, _) = service.handle(&mut bound, &request(bad));
+        assert!(error_of(&resp).contains("unknown version"));
+
+        // Versioned tables are tenant-scoped: globex can't see acme's.
+        let mut globex = None;
+        service.handle(&mut globex, &request(r#"{"op":"hello","tenant":"globex"}"#));
+        let (resp, _) =
+            service.handle(&mut globex, &request(r#"{"op":"versions","name":"sales"}"#));
+        assert!(error_of(&resp).contains("unknown versioned relation"));
+
+        // Hello reports the daemon-wide cache counters, and the vote
+        // cache shows the detect_at traffic.
+        let (hello, _) = service.handle(&mut bound, &request(r#"{"op":"hello","tenant":"acme"}"#));
+        assert_ok(&hello);
+        let stats = hello.get("cache_stats").unwrap();
+        for family in ["plan", "fingerprint", "votes", "pager"] {
+            assert!(stats.get(family).is_some(), "missing {family} stats: {stats:?}");
+        }
+        let votes = stats.get("votes").unwrap();
+        assert!(votes.get("hits").and_then(Json::as_u64).unwrap() > 0);
+        assert!(votes.get("misses").and_then(Json::as_u64).unwrap() > 0);
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //!                [--min-confidence 0.8] [--max-len 2] [--top 20]
 //! catmark serve  --registries acme.reg,globex.reg [--socket /tmp/catmark.sock]
 //!                [--workers N] [--segment-rows N] [--budget-bytes N]
+//! catmark gc     --store pile.cmk --log versions.cmk [--keep 3,4]
 //! ```
 //!
 //! CSV schemas are inferred from the header row plus type sniffing
@@ -93,6 +94,7 @@ fn run(args: &[String]) -> Result<String, CliError> {
         "inspect" => inspect(&flags),
         "rules" => rules(&flags),
         "serve" => serve(&flags),
+        "gc" => gc(&flags),
         "help" | "--help" | "-h" => Ok(USAGE.to_owned()),
         other => Err(CliError::Usage(format!("unknown command {other:?}\n\n{USAGE}"))),
     }
@@ -111,6 +113,7 @@ const USAGE: &str = "usage:
                   [--min-confidence 0.8] [--max-len 2] [--top 20]
   catmark serve   --registries <file,…> [--socket <path>] [--workers N]
                   [--segment-rows N] [--budget-bytes N]
+  catmark gc      --store <pile> --log <version-log> [--keep <id,…>]
 ";
 
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, CliError> {
@@ -405,6 +408,61 @@ fn serve(flags: &HashMap<String, String>) -> Result<String, CliError> {
     Ok(String::new())
 }
 
+// -------------------------------------------------------------------- gc
+
+/// Garbage-collect a content-addressed segment pile: rewrite it
+/// keeping only the blobs referenced by live version manifests. With
+/// `--keep` only the named version ids stay openable (their blobs are
+/// retained, including every blob shared with dropped ancestors);
+/// without it every version in the log is treated as live, so gc only
+/// reclaims blobs orphaned by dirty-segment rewrites. The log file
+/// itself is untouched — manifests reference content *hashes*, which
+/// survive the rewrite.
+fn gc(flags: &HashMap<String, String>) -> Result<String, CliError> {
+    use catmark::relation::{ContentStore, VersionLog, VersionManifest};
+
+    let store_path = require(flags, "store")?;
+    let log_path = require(flags, "log")?;
+    let bytes = std::fs::read(log_path).map_err(|e| format!("{log_path}: {e}"))?;
+    let log = VersionLog::decode(&bytes).map_err(|e| CliError::Run(format!("{log_path}: {e}")))?;
+    let live: Vec<&VersionManifest> = match flags.get("keep") {
+        None => log.manifests().iter().collect(),
+        Some(ids) => ids
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(|id| {
+                let id: u64 =
+                    id.parse().map_err(|e| CliError::Usage(format!("--keep: {id:?}: {e}")))?;
+                log.get(id).ok_or_else(|| {
+                    CliError::Usage(format!("--keep: version {id} is not in {log_path}"))
+                })
+            })
+            .collect::<Result<_, _>>()?,
+    };
+    if live.is_empty() {
+        return Err(CliError::Usage("--keep names no versions; nothing would survive".into()));
+    }
+    let store = ContentStore::open_file(store_path)
+        .map_err(|e| CliError::Run(format!("{store_path}: {e}")))?;
+    let tmp = format!("{store_path}.gc-tmp");
+    let dest = ContentStore::create_file(&tmp).map_err(|e| CliError::Run(format!("{tmp}: {e}")))?;
+    let stats = store.gc_into(live.iter().copied(), &dest).map_err(|e| {
+        std::fs::remove_file(&tmp).ok();
+        CliError::Run(e.to_string())
+    })?;
+    drop(dest);
+    drop(store);
+    std::fs::rename(&tmp, store_path).map_err(|e| CliError::Run(format!("{store_path}: {e}")))?;
+    Ok(format!(
+        "gc {store_path}: kept {} blobs ({} bytes) across {} live versions, dropped {}\n",
+        stats.live_blobs,
+        stats.live_bytes,
+        live.len(),
+        stats.dropped_blobs,
+    ))
+}
+
 // ----------------------------------------------------------- shared bits
 
 fn load_key(path: &str) -> Result<WatermarkSpec, CliError> {
@@ -647,6 +705,93 @@ mod tests {
         assert!(verdict.contains("decoded mark     1011001110"), "{verdict}");
         assert!(verdict.contains("SIGNIFICANT"), "{verdict}");
 
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn gc_drops_orphans_but_keeps_blobs_shared_with_ancestors() {
+        use catmark::datagen::{ItemScanConfig, SalesGenerator};
+        use catmark::relation::{ContentStore, SegmentedRelation, VersionLog};
+
+        let dir = std::env::temp_dir().join(format!("catmark-gc-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let pile = dir.join("pile.cmk");
+        let logf = dir.join("versions.cmk");
+
+        let rel =
+            SalesGenerator::new(ItemScanConfig { tuples: 1_000, ..Default::default() }).generate();
+        let store = ContentStore::create_file(&pile).unwrap();
+        let mut log = VersionLog::new();
+        let mut seg = SegmentedRelation::builder(rel.schema().clone())
+            .segment_rows(250)
+            .store(Box::new(store.clone()))
+            .from_relation(&rel)
+            .unwrap();
+        let v1 = log.commit(&mut seg, &store).unwrap();
+        // Dirty only the first segment; the other three blobs stay
+        // shared between v1 and v2.
+        let attr = rel.schema().index_of("item_nbr").unwrap();
+        let swapped = rel.iter().next().unwrap().values()[attr].clone();
+        let other = rel
+            .iter()
+            .map(|t| t.values()[attr].clone())
+            .find(|v| *v != swapped)
+            .expect("generator emits more than one item");
+        seg.with_segment_mut(0, |r| r.update_value(0, attr, other)).unwrap().unwrap();
+        let v2 = log.commit(&mut seg, &store).unwrap();
+        std::fs::write(&logf, log.encode()).unwrap();
+        drop(seg);
+        drop(store);
+
+        // With every logged version live there is nothing to drop —
+        // dirty-segment rewrites appended, they never orphaned v1.
+        let arg = |s: &str| s.to_owned();
+        let out = run(&[
+            arg("gc"),
+            arg("--store"),
+            arg(pile.to_str().unwrap()),
+            arg("--log"),
+            arg(logf.to_str().unwrap()),
+        ])
+        .unwrap();
+        assert!(out.contains("dropped 0"), "{out}");
+
+        // Keep only v2: v1's dirtied-away first blob is the lone
+        // orphan; the three clean blobs v2 shares with its ancestor
+        // must survive the rewrite.
+        let out = run(&[
+            arg("gc"),
+            arg("--store"),
+            arg(pile.to_str().unwrap()),
+            arg("--log"),
+            arg(logf.to_str().unwrap()),
+            arg("--keep"),
+            arg(&v2.to_string()),
+        ])
+        .unwrap();
+        assert!(out.contains("dropped 1"), "{out}");
+
+        let store = ContentStore::open_file(&pile).unwrap();
+        let log = VersionLog::decode(&std::fs::read(&logf).unwrap()).unwrap();
+        let mut reopened = log.open_version(v2, rel.schema(), &store, None).unwrap();
+        assert_eq!(reopened.to_relation().unwrap().len(), 1_000);
+        assert!(
+            log.open_version(v1, rel.schema(), &store, None).is_err(),
+            "v1's unshared blob should be gone"
+        );
+        drop(store);
+
+        // Usage errors: unknown ids and empty --keep.
+        let bad = run(&[
+            arg("gc"),
+            arg("--store"),
+            arg(pile.to_str().unwrap()),
+            arg("--log"),
+            arg(logf.to_str().unwrap()),
+            arg("--keep"),
+            arg("99"),
+        ]);
+        assert!(matches!(bad, Err(CliError::Usage(_))), "{bad:?}");
         std::fs::remove_dir_all(&dir).ok();
     }
 }

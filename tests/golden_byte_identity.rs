@@ -156,6 +156,94 @@ fn out_of_core_embed_decode_matches_the_same_goldens() {
     }
 }
 
+/// Incremental golden: for every pinned configuration, mark the
+/// relation inside the content-addressed versioned store, churn a few
+/// segments, and re-mark with `embed_incremental` (clean segments
+/// skipped, dirty segments re-embedded). The result must be
+/// byte-identical to the monolithic in-memory `embed` of the same
+/// churned rows — the pinned paths and the incremental path may never
+/// diverge, and the cached-vote decode must report the same bits as
+/// the monolithic decode.
+#[test]
+fn incremental_remark_matches_the_monolithic_path_on_goldens() {
+    use catmark::core::VoteCache;
+    use catmark::relation::{ContentStore, SegmentedRelation, VersionLog};
+    for &(tuples, e, wm_pattern, with_city, target, ..) in GOLDENS {
+        let gen = SalesGenerator::new(ItemScanConfig { tuples, with_city, ..Default::default() });
+        let rel = gen.generate();
+        let domain = if target == "store_city" { gen.city_domain() } else { gen.item_domain() };
+        let values = domain.values().to_vec();
+        let spec = WatermarkSpec::builder(domain)
+            .master_key("golden-byte-identity")
+            .e(e)
+            .wm_len(10)
+            .expected_tuples(tuples)
+            .erasure(catmark::core::decode::ErasurePolicy::Abstain)
+            .build()
+            .unwrap();
+        let wm = Watermark::from_u64(wm_pattern, 10);
+        let session = MarkSession::builder(spec)
+            .key_column("visit_nbr")
+            .target_column(target)
+            .bind(&rel)
+            .unwrap();
+        let attr = rel.schema().index_of(target).unwrap();
+        let segment_rows = tuples.div_ceil(16);
+        let store = ContentStore::in_memory();
+        let mut log = VersionLog::new();
+        let mut seg = SegmentedRelation::builder(rel.schema().clone())
+            .segment_rows(segment_rows)
+            .store(Box::new(store.clone()))
+            .from_relation(&rel)
+            .unwrap();
+        session.embed_segmented_sequential(&mut seg, &wm).unwrap();
+        let marked = log.commit(&mut seg, &store).unwrap();
+
+        // Churn two segments, mirrored row-for-row onto a monolithic
+        // twin of the marked bytes.
+        let mut mono = seg.to_relation().unwrap();
+        for (victim, step) in [(2usize, 3usize), (9, 5)] {
+            for k in 0..20 {
+                let row = k * step;
+                let value = values[(victim + k) % values.len()].clone();
+                seg.with_segment_mut(victim, |r| r.update_value(row, attr, value.clone()))
+                    .unwrap()
+                    .unwrap();
+                mono.update_value(victim * segment_rows + row, attr, value).unwrap();
+            }
+        }
+        let current = log.commit(&mut seg, &store).unwrap();
+
+        let marked_m = log.get(marked).unwrap().clone();
+        let current_m = log.get(current).unwrap().clone();
+        let inc = session.embed_incremental(&mut seg, &wm, &marked_m, &current_m).unwrap();
+        let label = format!("incremental tuples={tuples} e={e} wm={wm_pattern:#b} target={target}");
+        assert!(!inc.full_fallback, "fell back: {label}");
+        assert_eq!(inc.dirty_segments, 2, "dirty drift: {label}");
+        assert!(inc.clean_segments >= 14, "clean drift: {label}");
+
+        // The monolithic re-embed of the same churned relation is the
+        // reference for byte identity.
+        session.embed(&mut mono, &wm).unwrap();
+        assert_eq!(
+            content_fnv(&seg.to_relation().unwrap()),
+            content_fnv(&mono),
+            "incremental re-mark diverged from the monolithic embed: {label}"
+        );
+
+        let remarked = log.commit(&mut seg, &store).unwrap();
+        let remarked_m = log.get(remarked).unwrap().clone();
+        let mut votes = VoteCache::new();
+        let inc_decode = session.decode_incremental(&mut seg, &remarked_m, &mut votes).unwrap();
+        let mono_decode = session.decode(&mono).unwrap();
+        assert_eq!(
+            wm_bits(&inc_decode.report.watermark),
+            wm_bits(&mono_decode.watermark),
+            "cached-vote decode drift: {label}"
+        );
+    }
+}
+
 /// The unmarked generator output itself is pinned: datagen must stay
 /// seed-deterministic across storage layouts or every golden above
 /// would drift for the wrong reason.

@@ -1,0 +1,233 @@
+//! Manifest round-trip properties for the content-addressed versioned
+//! store: seal → commit → reopen must rebuild relations byte-identical
+//! to the monolithic original across random geometries (segment sizes
+//! of 1, sizes that straddle segment edges, explicit empty trailing
+//! segments), the `CMKVER1` log must survive encode/decode, and a
+//! reopen → mutate → commit must share every clean segment blob with
+//! its ancestor manifest while both versions stay independently
+//! rebuildable.
+
+use catmark::relation::{
+    AttrType, ContentStore, Relation, Schema, SegmentedRelation, Value, VersionLog,
+};
+use proptest::prelude::*;
+
+/// Deterministic xorshift closure for structure generation.
+fn rng_from(seed: u64) -> impl FnMut() -> u64 {
+    let mut state = seed | 1;
+    move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    }
+}
+
+const TEXT_POOL: &[&str] = &["red", "green", "blue", "cyan", "violet", "umber"];
+
+/// A relation with an integer key, an integer categorical and a text
+/// categorical, driven entirely by the seed.
+fn relation_for(seed: u64, tuples: usize) -> Relation {
+    let schema = Schema::builder()
+        .key_attr("k", AttrType::Integer)
+        .categorical_attr("a", AttrType::Integer)
+        .categorical_attr("c", AttrType::Text)
+        .build()
+        .unwrap();
+    let mut next = rng_from(seed);
+    let mut rel = Relation::with_capacity(schema, tuples);
+    for i in 0..tuples as i64 {
+        let a = (next() % 9) as i64 - 2;
+        let c = TEXT_POOL[(next() % TEXT_POOL.len() as u64) as usize];
+        rel.push(vec![
+            Value::Int(i * 7 + (next() % 5) as i64),
+            Value::Int(a),
+            Value::Text(c.into()),
+        ])
+        .unwrap();
+    }
+    rel
+}
+
+/// Segment `rel` into the content-addressed pile, optionally sealing
+/// empty trailing segments.
+fn versioned(
+    rel: &Relation,
+    segment_rows: usize,
+    empty_tail: bool,
+    store: &ContentStore,
+) -> SegmentedRelation {
+    let mut seg = SegmentedRelation::builder(rel.schema().clone())
+        .segment_rows(segment_rows)
+        .store(Box::new(store.clone()))
+        .from_relation(rel)
+        .unwrap();
+    if empty_tail {
+        seg.seal_tail().unwrap();
+        seg.seal_tail().unwrap(); // stacking empty segments is legal too
+    }
+    seg
+}
+
+fn assert_same(a: &Relation, b: &Relation, what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: row counts differ");
+    assert!(a.iter().zip(b.iter()).all(|(x, y)| x == y), "{what}: rows differ");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// seal → commit → encode → decode → reopen rebuilds the original
+    /// relation byte-for-byte under random geometry, including
+    /// segment sizes of 1, sizes larger than the relation, and empty
+    /// trailing segments.
+    #[test]
+    fn commit_reopen_is_byte_identical(seed in any::<u64>()) {
+        let mut next = rng_from(seed);
+        let tuples = 30 + (next() % 120) as usize;
+        let rel = relation_for(next(), tuples);
+        let segment_rows = 1 + (next() % (tuples as u64 + 10)) as usize;
+        let empty_tail = next().is_multiple_of(2);
+        let store = ContentStore::in_memory();
+        let mut log = VersionLog::new();
+        let mut seg = versioned(&rel, segment_rows, empty_tail, &store);
+        let v1 = log.commit(&mut seg, &store).unwrap();
+
+        let log = VersionLog::decode(&log.encode()).unwrap();
+        prop_assert_eq!(log.manifests().len(), 1);
+        let manifest = log.get(v1).unwrap();
+        prop_assert_eq!(manifest.rows() as usize, tuples);
+        prop_assert_eq!(manifest.segments.len(), seg.segment_count());
+
+        let mut reopened = log.open_version(v1, rel.schema(), &store, None).unwrap();
+        prop_assert_eq!(reopened.segment_count(), seg.segment_count());
+        assert_same(&rel, &reopened.to_relation().unwrap(), "reopened v1");
+    }
+
+    /// reopen → mutate one segment → commit: the child manifest shares
+    /// every clean blob hash with its ancestor, `dirty_against` names
+    /// at most the mutated segment, and both versions keep rebuilding
+    /// their own bytes from the shared pile.
+    #[test]
+    fn mutated_commit_shares_clean_blobs_with_ancestor(seed in any::<u64>()) {
+        let mut next = rng_from(seed);
+        let tuples = 40 + (next() % 120) as usize;
+        let rel = relation_for(next(), tuples);
+        // Keep at least two segments so "clean" is non-empty.
+        let segment_rows = 1 + (next() % (tuples as u64 / 2)) as usize;
+        let store = ContentStore::in_memory();
+        let mut log = VersionLog::new();
+        let mut seg = versioned(&rel, segment_rows, false, &store);
+        let v1 = log.commit(&mut seg, &store).unwrap();
+
+        let mut child = log.open_version(v1, rel.schema(), &store, None).unwrap();
+        let victim = (next() as usize) % child.segment_count();
+        let new_a = Value::Int((next() % 9) as i64 - 2);
+        child
+            .with_segment_mut(victim, |r| r.update_value(0, 1, new_a.clone()))
+            .unwrap()
+            .unwrap();
+        let v2 = log.commit(&mut child, &store).unwrap();
+
+        let m1 = log.get(v1).unwrap().clone();
+        let m2 = log.get(v2).unwrap().clone();
+        prop_assert_eq!(m2.parent, Some(v1));
+        let dirty = m2.dirty_against(&m1).expect("same geometry diffs");
+        prop_assert!(dirty.iter().all(|&i| i == victim), "only the victim may dirty");
+        for (i, (a, b)) in m1.segments.iter().zip(&m2.segments).enumerate() {
+            if i != victim {
+                prop_assert_eq!(a.hash, b.hash, "clean segment {} must share its blob", i);
+            }
+        }
+        // The pile holds at most one extra blob for the mutation.
+        prop_assert!(store.unique_blobs() <= (m1.segments.len() + 1) as u64);
+
+        let mut expected = rel.clone();
+        expected.update_value(victim * segment_rows, 1, new_a).unwrap();
+        assert_same(
+            &expected,
+            &log.open_version(v2, rel.schema(), &store, None).unwrap().to_relation().unwrap(),
+            "reopened v2",
+        );
+        assert_same(
+            &rel,
+            &log.open_version(v1, rel.schema(), &store, None).unwrap().to_relation().unwrap(),
+            "reopened v1 after the mutated commit",
+        );
+    }
+}
+
+/// Single-row segments: every tuple is its own blob and the manifest
+/// still round-trips, with duplicate rows deduplicating to one blob.
+#[test]
+fn segment_rows_one_round_trips() {
+    let rel = relation_for(7, 23);
+    let store = ContentStore::in_memory();
+    let mut log = VersionLog::new();
+    let mut seg = versioned(&rel, 1, false, &store);
+    let v1 = log.commit(&mut seg, &store).unwrap();
+    let manifest = log.get(v1).unwrap();
+    assert_eq!(manifest.segments.len(), 23);
+    assert!(manifest.segments.iter().all(|s| s.rows == 1));
+    let mut reopened = log.open_version(v1, rel.schema(), &store, None).unwrap();
+    assert_same(&rel, &reopened.to_relation().unwrap(), "single-row segments");
+}
+
+/// Empty trailing segments survive commit and reopen: the manifest
+/// records the zero-row geometry, the identical empty blobs dedup to
+/// one pile entry, and the rebuilt relation is unchanged.
+#[test]
+fn empty_trailing_segments_survive_the_round_trip() {
+    let rel = relation_for(11, 37);
+    let store = ContentStore::in_memory();
+    let mut log = VersionLog::new();
+    let mut seg = versioned(&rel, 10, true, &store);
+    let v1 = log.commit(&mut seg, &store).unwrap();
+    let manifest = log.get(v1).unwrap();
+    assert_eq!(manifest.segments.len(), 6, "4 data segments + 2 sealed empties");
+    assert_eq!(manifest.segments[4].rows, 0);
+    assert_eq!(manifest.segments[5].rows, 0);
+    assert_eq!(
+        manifest.segments[4].hash, manifest.segments[5].hash,
+        "identical empty blobs content-address to one hash"
+    );
+    let mut reopened = log.open_version(v1, rel.schema(), &store, None).unwrap();
+    assert_eq!(reopened.segment_count(), 6);
+    assert_same(&rel, &reopened.to_relation().unwrap(), "empty-tail round trip");
+}
+
+/// A file-backed pile round-trips across process-style reopen: write
+/// two versions, drop every handle, reopen pile and log from bytes,
+/// and rebuild both versions byte-identically.
+#[test]
+fn file_backed_pile_reopens_every_version() {
+    let dir = std::path::Path::new(env!("CARGO_TARGET_TMPDIR"));
+    std::fs::create_dir_all(dir).unwrap();
+    let pile = dir.join("versioned_store_pile.blob");
+    let _ = std::fs::remove_file(&pile);
+
+    let rel = relation_for(19, 64);
+    let log_bytes;
+    {
+        let store = ContentStore::create_file(&pile).unwrap();
+        let mut log = VersionLog::new();
+        let mut seg = versioned(&rel, 9, false, &store);
+        let v1 = log.commit(&mut seg, &store).unwrap();
+        let mut child = log.open_version(v1, rel.schema(), &store, None).unwrap();
+        child.with_segment_mut(2, |r| r.update_value(0, 1, Value::Int(5))).unwrap().unwrap();
+        log.commit(&mut child, &store).unwrap();
+        log_bytes = log.encode();
+    }
+
+    let store = ContentStore::open_file(&pile).unwrap();
+    let log = VersionLog::decode(&log_bytes).unwrap();
+    assert_eq!(log.manifests().len(), 2);
+    let mut expected = rel.clone();
+    expected.update_value(18, 1, Value::Int(5)).unwrap();
+    let mut v1 = log.open_version(0, rel.schema(), &store, None).unwrap();
+    let mut v2 = log.open_version(1, rel.schema(), &store, None).unwrap();
+    assert_same(&rel, &v1.to_relation().unwrap(), "file-backed v1");
+    assert_same(&expected, &v2.to_relation().unwrap(), "file-backed v2");
+
+    let _ = std::fs::remove_file(&pile);
+}
