@@ -107,7 +107,9 @@ use catmark_core::quality::{
     AllowedReplacements, Alteration, AlterationBudget, QualityConstraint, QualityGuard,
 };
 use catmark_core::query_preserve::{CountQuery, CountQueryPreservation, Tolerance, ValueSet};
-use catmark_core::{MarkPlan, MarkSession, VoteCache, Watermark, WatermarkSpec};
+use catmark_core::{
+    detect, verify_evidence, MarkPlan, MarkSession, VoteCache, Watermark, WatermarkSpec,
+};
 use catmark_crypto::Sha256Backend;
 use catmark_datagen::{ItemScanConfig, SalesGenerator};
 use catmark_relation::spill::FileStore;
@@ -509,6 +511,64 @@ fn main() {
         pipeline_best = pipeline_best.min(elapsed);
     }
     let _ = std::fs::remove_file(spill_path);
+
+    // Certified-evidence scenario — the segmented court-time detect
+    // with a `CMKEVD1` bundle emitted, against the sequential detect
+    // it mirrors (decode + compare, no serialization). Like the
+    // out-of-core loops, each iteration starts from a cold session —
+    // a court-time detection has no embed-warmed plans — so the gate
+    // pins the evidence emission as a fraction of a real detection,
+    // not of a cache hit.
+    let ev_store = ContentStore::in_memory();
+    let mut ev_log = VersionLog::new();
+    let mut ev_seg = SegmentedRelation::builder(plan_marked.schema().clone())
+        .segment_rows(ooc_segment_rows)
+        .store(Box::new(ev_store.clone()))
+        .from_relation(&plan_marked)
+        .expect("segmentation succeeds");
+    let ev_version = ev_log.commit(&mut ev_seg, &ev_store).expect("version commit succeeds");
+    let ev_manifest = ev_log.get(ev_version).expect("committed manifest exists").clone();
+    let ev_session = bind(&spec, &plan_marked);
+
+    // Correctness gate first: the certified verdict is the plain
+    // verdict, and the emitted bundle convinces the keyless verifier.
+    let plain_decode =
+        ev_session.decode_segmented_sequential(&mut ev_seg).expect("segmented decode succeeds");
+    let plain_verdict = catmark_core::session::Verdict {
+        detection: detect(&plain_decode.watermark, &wm),
+        decode: plain_decode,
+    };
+    let ev_certified = ev_session
+        .detect_certified_segmented(&mut ev_seg, &wm, &ev_manifest)
+        .expect("certified segmented detect succeeds");
+    assert_eq!(
+        ev_certified.outcome, plain_verdict,
+        "certified verdict diverged from the plain segmented detect"
+    );
+    let ev_summary = verify_evidence(&ev_certified.bundle).expect("fresh evidence verifies");
+    assert_eq!(ev_summary.segments, ev_seg.segment_count());
+    let evidence_bundle_bytes = ev_certified.bundle.len();
+
+    let mut detect_plain_best = f64::MAX;
+    let mut detect_certified_best = f64::MAX;
+    for _ in 0..ITERS {
+        let cold = bind(&spec, &plan_marked);
+        let start = Instant::now();
+        let report =
+            cold.decode_segmented_sequential(&mut ev_seg).expect("segmented decode succeeds");
+        let verdict = detect(&report.watermark, &wm);
+        detect_plain_best = detect_plain_best.min(start.elapsed().as_secs_f64() * 1e3);
+        std::hint::black_box(verdict.matched_bits);
+
+        let cold = bind(&spec, &plan_marked);
+        let start = Instant::now();
+        let certified = cold
+            .detect_certified_segmented(&mut ev_seg, &wm, &ev_manifest)
+            .expect("certified segmented detect succeeds");
+        detect_certified_best = detect_certified_best.min(start.elapsed().as_secs_f64() * 1e3);
+        std::hint::black_box(certified.bundle.len());
+    }
+    let evidence_overhead = detect_certified_best / detect_plain_best;
 
     // Hash scenario — the keyed two-block fast path's four-lane
     // multibuffer, per backend. 8-byte values splice into the derived
@@ -926,6 +986,11 @@ fn main() {
         "  resident ceiling:     peak pageable {ooc_peak} <= budget {ooc_budget} (always-resident overhead {ooc_overhead})"
     );
     println!("  spilled:              {ooc_spilled} bytes   byte-identical: {ooc_identical}");
+    println!("certified evidence (segmented court-time detect, {ooc_segments} segments):");
+    println!("  plain detect:         {detect_plain_best:9.2} ms");
+    println!(
+        "  certified detect:     {detect_certified_best:9.2} ms   ({evidence_overhead:.2}x plain, {evidence_bundle_bytes}-byte bundle)"
+    );
     println!("hash backends (keyed two-block fast path, 4-lane multibuffer):");
     println!("  active backend:       {sha_backend}   (SHA-NI available: {shani_available})");
     println!("  software:             {hash_soft_mb_per_s:9.1} MB/s");
@@ -1011,9 +1076,13 @@ fn main() {
         pipeline_vs_sequential <= pipeline_slack,
         "pipelined out-of-core regressed the sequential path: {pipeline_vs_sequential:.2}x (limit {pipeline_slack:.2}x on {host_threads} threads)"
     );
+    assert!(
+        evidence_overhead <= 1.15,
+        "certified evidence emission exceeded the 1.15x gate over the plain segmented detect: {evidence_overhead:.2}x"
+    );
 
     let json = format!(
-        "{{\n  \"bench\": \"markplan_round_trip\",\n  \"tuples\": {tuples},\n  \"e\": {E},\n  \"wm_len\": {WM_LEN},\n  \"iterations\": {ITERS},\n  \"baseline_round_trip_ms\": {baseline_best:.3},\n  \"plan_round_trip_ms\": {planned_best:.3},\n  \"plan_tuples_per_second\": {throughput:.0},\n  \"speedup\": {speedup:.3},\n  \"per_operator_court_run_ms\": {per_operator_best:.3},\n  \"session_court_run_ms\": {session_best:.3},\n  \"session_speedup\": {session_speedup:.3},\n  \"rowstore_round_trip_ms\": {rowstore_best:.3},\n  \"columnar_round_trip_ms\": {columnar_best:.3},\n  \"columnar_speedup\": {columnar_speedup:.3},\n  \"clone_rowstore_ms\": {clone_row_best:.3},\n  \"clone_columnar_ms\": {clone_col_best:.3},\n  \"clone_speedup\": {clone_speedup:.3},\n  \"rowstore_bytes_per_tuple\": {rowstore_bytes_per_tuple:.0},\n  \"columnar_bytes_per_tuple\": {columnar_bytes_per_tuple:.0},\n  \"select_rowtuple_ms\": {select_row_best:.3},\n  \"select_compiled_ms\": {select_col_best:.3},\n  \"select_speedup\": {select_speedup:.3},\n  \"join_rowtuple_ms\": {join_row_best:.3},\n  \"join_codespace_ms\": {join_col_best:.3},\n  \"join_speedup\": {join_speedup:.3},\n  \"guarded_e\": {E_GUARD},\n  \"guarded_rowtuple_ms\": {guarded_row_best:.3},\n  \"guarded_coded_ms\": {guarded_col_best:.3},\n  \"guarded_speedup\": {guarded_speedup:.3},\n  \"guarded_altered\": {guarded_altered},\n  \"guarded_vetoed\": {guarded_vetoed},\n  \"guarded_byte_identical\": {guarded_byte_identical},\n  \"out_of_core_segments\": {ooc_segments},\n  \"out_of_core_segment_rows\": {ooc_segment_rows},\n  \"out_of_core_total_columnar_bytes\": {ooc_total_bytes},\n  \"out_of_core_budget_bytes\": {ooc_budget},\n  \"out_of_core_peak_pageable_bytes\": {ooc_peak},\n  \"out_of_core_resident_overhead_bytes\": {ooc_overhead},\n  \"out_of_core_spilled_bytes\": {ooc_spilled},\n  \"out_of_core_round_trip_ms\": {ooc_best:.3},\n  \"out_of_core_vs_inmemory\": {ooc_slowdown:.3},\n  \"out_of_core_identical\": {ooc_identical},\n  \"pipeline_round_trip_ms\": {pipeline_best:.3},\n  \"pipeline_vs_sequential\": {pipeline_vs_sequential:.3},\n  \"pipeline_vs_inmemory\": {pipeline_vs_inmemory:.3},\n  \"pipeline_prefetched\": {pipe_prefetched},\n  \"pipeline_peak_inflight_bytes\": {pipe_inflight},\n  \"pipeline_identical\": {pipe_identical},\n  \"fingerprint_batch_buyers\": {FP_BUYERS},\n  \"fingerprint_batch_tuples\": {fp_tuples},\n  \"fingerprint_batch_trace_ms\": {fp_batch_best:.3},\n  \"fingerprint_batch_sequential_ms\": {fp_sequential_best:.3},\n  \"fingerprint_batch_recipients_per_s\": {fp_recipients_per_s:.0},\n  \"fingerprint_batch_speedup\": {fp_speedup:.3},\n  \"delta_bytes_per_recipient\": {delta_bytes_per_recipient:.1},\n  \"delta_recipients_per_s\": {delta_recipients_per_s:.0},\n  \"delta_vs_copy_bytes_ratio\": {delta_vs_copy_bytes_ratio:.3},\n  \"delta_extract_ms\": {delta_best:.3},\n  \"delta_full_copies_ms\": {delta_copies_best:.3},\n  \"delta_extract_vs_copies\": {delta_extract_vs_copies:.3},\n  \"churn_segments\": {churn_seg_count},\n  \"churn_segment_rows\": {churn_segment_rows},\n  \"churn_updates_per_round\": {churn_updates},\n  \"churn_rounds\": {CHURN_ROUNDS},\n  \"churn_dirty_segments\": {churn_dirty},\n  \"churn_clean_segments\": {churn_clean},\n  \"churn_full_repass_ms\": {churn_full_best:.3},\n  \"churn_incremental_ms\": {churn_inc_best:.3},\n  \"churn_speedup\": {churn_speedup:.3},\n  \"churn_identical\": {churn_identical},\n  \"churn_unique_blobs\": {churn_unique_blobs},\n  \"churn_referenced_blobs\": {churn_manifest_refs},\n  \"churn_dedup_hits\": {churn_dedup_hits},\n  \"plan_cache_hits\": {plan_hits},\n  \"plan_cache_misses\": {plan_misses},\n  \"plan_cache_evictions\": {plan_evictions},\n  \"vote_cache_hits\": {vote_hits},\n  \"vote_cache_misses\": {vote_misses},\n  \"vote_cache_evictions\": {vote_evictions},\n  \"pager_hits\": {pager_hits},\n  \"pager_misses\": {pager_misses},\n  \"pager_evictions\": {pager_evictions},\n  \"sha_backend\": \"{sha_backend}\",\n  \"sha_ni_available\": {shani_available},\n  \"hash_soft_mb_per_s\": {hash_soft_mb_per_s:.1},\n  \"hash_shani_mb_per_s\": {hash_shani_mb_per_s:.1},\n  \"plan_threads_scaling\": {{ \"t1_ms\": {t1:.3}, \"t2_ms\": {t2:.3}, \"t4_ms\": {t4:.3} }},\n  \"host_threads\": {host_threads},\n  \"byte_identical\": {byte_identical}\n}}\n",
+        "{{\n  \"bench\": \"markplan_round_trip\",\n  \"tuples\": {tuples},\n  \"e\": {E},\n  \"wm_len\": {WM_LEN},\n  \"iterations\": {ITERS},\n  \"baseline_round_trip_ms\": {baseline_best:.3},\n  \"plan_round_trip_ms\": {planned_best:.3},\n  \"plan_tuples_per_second\": {throughput:.0},\n  \"speedup\": {speedup:.3},\n  \"per_operator_court_run_ms\": {per_operator_best:.3},\n  \"session_court_run_ms\": {session_best:.3},\n  \"session_speedup\": {session_speedup:.3},\n  \"rowstore_round_trip_ms\": {rowstore_best:.3},\n  \"columnar_round_trip_ms\": {columnar_best:.3},\n  \"columnar_speedup\": {columnar_speedup:.3},\n  \"clone_rowstore_ms\": {clone_row_best:.3},\n  \"clone_columnar_ms\": {clone_col_best:.3},\n  \"clone_speedup\": {clone_speedup:.3},\n  \"rowstore_bytes_per_tuple\": {rowstore_bytes_per_tuple:.0},\n  \"columnar_bytes_per_tuple\": {columnar_bytes_per_tuple:.0},\n  \"select_rowtuple_ms\": {select_row_best:.3},\n  \"select_compiled_ms\": {select_col_best:.3},\n  \"select_speedup\": {select_speedup:.3},\n  \"join_rowtuple_ms\": {join_row_best:.3},\n  \"join_codespace_ms\": {join_col_best:.3},\n  \"join_speedup\": {join_speedup:.3},\n  \"guarded_e\": {E_GUARD},\n  \"guarded_rowtuple_ms\": {guarded_row_best:.3},\n  \"guarded_coded_ms\": {guarded_col_best:.3},\n  \"guarded_speedup\": {guarded_speedup:.3},\n  \"guarded_altered\": {guarded_altered},\n  \"guarded_vetoed\": {guarded_vetoed},\n  \"guarded_byte_identical\": {guarded_byte_identical},\n  \"out_of_core_segments\": {ooc_segments},\n  \"out_of_core_segment_rows\": {ooc_segment_rows},\n  \"out_of_core_total_columnar_bytes\": {ooc_total_bytes},\n  \"out_of_core_budget_bytes\": {ooc_budget},\n  \"out_of_core_peak_pageable_bytes\": {ooc_peak},\n  \"out_of_core_resident_overhead_bytes\": {ooc_overhead},\n  \"out_of_core_spilled_bytes\": {ooc_spilled},\n  \"out_of_core_round_trip_ms\": {ooc_best:.3},\n  \"out_of_core_vs_inmemory\": {ooc_slowdown:.3},\n  \"out_of_core_identical\": {ooc_identical},\n  \"pipeline_round_trip_ms\": {pipeline_best:.3},\n  \"pipeline_vs_sequential\": {pipeline_vs_sequential:.3},\n  \"pipeline_vs_inmemory\": {pipeline_vs_inmemory:.3},\n  \"pipeline_prefetched\": {pipe_prefetched},\n  \"pipeline_peak_inflight_bytes\": {pipe_inflight},\n  \"pipeline_identical\": {pipe_identical},\n  \"fingerprint_batch_buyers\": {FP_BUYERS},\n  \"fingerprint_batch_tuples\": {fp_tuples},\n  \"fingerprint_batch_trace_ms\": {fp_batch_best:.3},\n  \"fingerprint_batch_sequential_ms\": {fp_sequential_best:.3},\n  \"fingerprint_batch_recipients_per_s\": {fp_recipients_per_s:.0},\n  \"fingerprint_batch_speedup\": {fp_speedup:.3},\n  \"delta_bytes_per_recipient\": {delta_bytes_per_recipient:.1},\n  \"delta_recipients_per_s\": {delta_recipients_per_s:.0},\n  \"delta_vs_copy_bytes_ratio\": {delta_vs_copy_bytes_ratio:.3},\n  \"delta_extract_ms\": {delta_best:.3},\n  \"delta_full_copies_ms\": {delta_copies_best:.3},\n  \"delta_extract_vs_copies\": {delta_extract_vs_copies:.3},\n  \"churn_segments\": {churn_seg_count},\n  \"churn_segment_rows\": {churn_segment_rows},\n  \"churn_updates_per_round\": {churn_updates},\n  \"churn_rounds\": {CHURN_ROUNDS},\n  \"churn_dirty_segments\": {churn_dirty},\n  \"churn_clean_segments\": {churn_clean},\n  \"churn_full_repass_ms\": {churn_full_best:.3},\n  \"churn_incremental_ms\": {churn_inc_best:.3},\n  \"churn_speedup\": {churn_speedup:.3},\n  \"churn_identical\": {churn_identical},\n  \"churn_unique_blobs\": {churn_unique_blobs},\n  \"churn_referenced_blobs\": {churn_manifest_refs},\n  \"churn_dedup_hits\": {churn_dedup_hits},\n  \"plan_cache_hits\": {plan_hits},\n  \"plan_cache_misses\": {plan_misses},\n  \"plan_cache_evictions\": {plan_evictions},\n  \"vote_cache_hits\": {vote_hits},\n  \"vote_cache_misses\": {vote_misses},\n  \"vote_cache_evictions\": {vote_evictions},\n  \"pager_hits\": {pager_hits},\n  \"pager_misses\": {pager_misses},\n  \"pager_evictions\": {pager_evictions},\n  \"evidence_detect_plain_ms\": {detect_plain_best:.3},\n  \"evidence_detect_certified_ms\": {detect_certified_best:.3},\n  \"evidence_overhead\": {evidence_overhead:.3},\n  \"evidence_bundle_bytes\": {evidence_bundle_bytes},\n  \"sha_backend\": \"{sha_backend}\",\n  \"sha_ni_available\": {shani_available},\n  \"hash_soft_mb_per_s\": {hash_soft_mb_per_s:.1},\n  \"hash_shani_mb_per_s\": {hash_shani_mb_per_s:.1},\n  \"plan_threads_scaling\": {{ \"t1_ms\": {t1:.3}, \"t2_ms\": {t2:.3}, \"t4_ms\": {t4:.3} }},\n  \"host_threads\": {host_threads},\n  \"byte_identical\": {byte_identical}\n}}\n",
         t1 = plan_threads_ms[0],
         t2 = plan_threads_ms[1],
         t4 = plan_threads_ms[2],

@@ -301,10 +301,24 @@ impl VoteAccumulator {
         attr_idx: usize,
         plan: &MarkPlan,
     ) {
-        self.fit_tuples += plan.fit().len();
+        self.accumulate_rows(spec, rel, attr_idx, plan.fit());
+    }
+
+    /// [`VoteAccumulator::accumulate`] over an explicit slice of
+    /// planned rows — the evidence layer partitions one monolithic
+    /// plan at segment boundaries (a segment's plan is an exact slice
+    /// of the monolithic one) and tallies each partition separately.
+    pub(crate) fn accumulate_rows(
+        &mut self,
+        spec: &WatermarkSpec,
+        rel: &Relation,
+        attr_idx: usize,
+        rows: &[crate::plan::PlannedRow],
+    ) {
+        self.fit_tuples += rows.len();
         match rel.column(attr_idx) {
             ColumnView::Int(xs) => {
-                for planned in plan.fit() {
+                for planned in rows {
                     let Some(t) = spec.domain.code_of(&Value::Int(xs[planned.row as usize])) else {
                         self.foreign_values += 1;
                         continue;
@@ -314,7 +328,7 @@ impl VoteAccumulator {
             }
             ColumnView::Text { codes, dict } => {
                 let table = spec.domain.dict_codes(dict);
-                for planned in plan.fit() {
+                for planned in rows {
                     let Some(t) = table[codes[planned.row as usize] as usize] else {
                         self.foreign_values += 1;
                         continue;
@@ -341,6 +355,31 @@ impl VoteAccumulator {
         self.fit_tuples += other.fit_tuples;
         self.votes_cast += other.votes_cast;
         self.foreign_values += other.foreign_values;
+    }
+
+    /// Per-position one-votes — what the evidence layer serializes.
+    pub(crate) fn ones(&self) -> &[u32] {
+        &self.ones
+    }
+
+    /// Per-position zero-votes.
+    pub(crate) fn zeros(&self) -> &[u32] {
+        &self.zeros
+    }
+
+    /// Fit tuples seen by this accumulator.
+    pub(crate) fn fit_tuples(&self) -> usize {
+        self.fit_tuples
+    }
+
+    /// Votes cast (fit tuples whose value was a domain member).
+    pub(crate) fn votes_cast(&self) -> usize {
+        self.votes_cast
+    }
+
+    /// Fit tuples whose value fell outside the domain.
+    pub(crate) fn foreign_values(&self) -> usize {
+        self.foreign_values
     }
 
     fn tally(&mut self, position: usize, domain_code: u32) {

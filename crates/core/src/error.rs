@@ -47,6 +47,14 @@ pub enum CoreError {
     },
     /// Quality constraints vetoed every candidate alteration.
     AllAlterationsVetoed,
+    /// An evidence bundle failed verification: malformed wire bytes, a
+    /// broken checksum, or internally inconsistent recorded facts. The
+    /// reason names the first check that failed. A bundle that trips
+    /// this error must never be presented as evidence.
+    EvidenceInvalid {
+        /// The first verification check that failed.
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for CoreError {
@@ -76,6 +84,9 @@ impl std::fmt::Display for CoreError {
             ),
             CoreError::AllAlterationsVetoed => {
                 f.write_str("quality constraints vetoed every candidate alteration")
+            }
+            CoreError::EvidenceInvalid { reason } => {
+                write!(f, "evidence bundle rejected: {reason}")
             }
         }
     }
@@ -129,6 +140,14 @@ mod tests {
         assert!(msg.contains("acme"), "{msg}");
         assert!(msg.contains("globex"), "{msg}");
         assert!(std::error::Error::source(&e).is_none());
+    }
+
+    #[test]
+    fn evidence_invalid_names_the_failed_check() {
+        let e = CoreError::EvidenceInvalid { reason: "payload checksum mismatch".into() };
+        let msg = e.to_string();
+        assert!(msg.contains("rejected"), "{msg}");
+        assert!(msg.contains("payload checksum mismatch"), "{msg}");
     }
 
     #[test]

@@ -28,7 +28,7 @@
 //! in from a cache ([`VoteCache`], keyed by `(spec identity, blob
 //! hash)`) instead of re-hashing its keys — the resolved
 //! [`DecodeReport`] is identical to the full streaming decode by
-//! commutativity ([`VoteAccumulator`] merge order never matters).
+//! commutativity (`VoteAccumulator` merge order never matters).
 //!
 //! # Contract
 //!
@@ -133,7 +133,7 @@ impl VoteCache {
     }
 
     /// Counted lookup.
-    fn lookup(&mut self, spec_id: u64, hash: &BlobHash) -> Option<&VoteAccumulator> {
+    pub(crate) fn lookup(&mut self, spec_id: u64, hash: &BlobHash) -> Option<&VoteAccumulator> {
         let found = self.entries.get(&(spec_id, *hash));
         if found.is_some() {
             self.stats.hits += 1;
@@ -143,14 +143,14 @@ impl VoteCache {
         found
     }
 
-    fn insert(&mut self, spec_id: u64, hash: BlobHash, votes: VoteAccumulator) {
+    pub(crate) fn insert(&mut self, spec_id: u64, hash: BlobHash, votes: VoteAccumulator) {
         self.entries.insert((spec_id, hash), votes);
     }
 
     /// Keep only `spec_id`'s entries for blobs referenced by
     /// `manifest` (other specs' entries are untouched). Dropped
     /// entries count as evictions.
-    fn retain_manifest(&mut self, spec_id: u64, manifest: &VersionManifest) {
+    pub(crate) fn retain_manifest(&mut self, spec_id: u64, manifest: &VersionManifest) {
         let live: std::collections::HashSet<&BlobHash> =
             manifest.segments.iter().map(|s| &s.hash).collect();
         let before = self.entries.len();
@@ -162,7 +162,7 @@ impl VoteCache {
 impl MarkSession {
     /// Check that `manifest` describes `seg`'s committed geometry —
     /// the cheap invariant a stale or foreign manifest trips over.
-    fn check_manifest(
+    pub(crate) fn check_manifest(
         seg: &SegmentedRelation,
         manifest: &VersionManifest,
     ) -> Result<(), CoreError> {

@@ -43,6 +43,7 @@
 //! | §4.5 bijective attribute re-mapping | [`remap`] |
 //! | §4.6 data addition | [`addition`] |
 //! | §6 additive attacks (future work, implemented) | [`contest`] |
+//! | court-portable evidence bundles (`CMKEVD1`) | [`evidence`] |
 //! | §6 constraint language (future work, implemented) | [`constraint_lang`] |
 //! | §3.1 direct-domain augmentation (sketched, implemented) | [`wide`] |
 //! | intro's buyer scenario: traitor tracing | [`fingerprint`] |
@@ -105,6 +106,7 @@ pub mod detect;
 pub mod ecc;
 pub mod embed;
 pub mod error;
+pub mod evidence;
 pub mod fingerprint;
 pub mod fitness;
 pub mod freq;
@@ -127,6 +129,7 @@ pub use decode::{DecodeReport, Decoder, ErasurePolicy};
 pub use detect::{detect, Detection};
 pub use embed::{EmbedReport, Embedder};
 pub use error::CoreError;
+pub use evidence::{verify_evidence, Certified, ClaimSummary, ContestSummary, EvidenceSummary};
 pub use fitness::{FitFacts, FitnessSelector};
 pub use incremental::{IncrementalDecodeReport, IncrementalEmbedReport, VoteCache};
 pub use outofcore::PipelineStats;

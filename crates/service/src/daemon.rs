@@ -63,7 +63,9 @@ use std::collections::HashMap;
 use std::io::{self, BufReader, Read, Write};
 
 use catmark_core::keyfile::TenantKeyRegistry;
-use catmark_core::{detect, CoreError, FingerprintSession, MarkSession, VoteCache, Watermark};
+use catmark_core::{
+    detect, verify_evidence, CoreError, FingerprintSession, MarkSession, VoteCache, Watermark,
+};
 use catmark_relation::csv::{read_csv_inferred, write_csv};
 use catmark_relation::{
     hash_hex, CacheStats, ContentStore, MarkDelta, Relation, Schema, SegmentedRelation, VersionLog,
@@ -197,6 +199,12 @@ impl Service {
                 ("keys", Json::Arr(keys)),
                 ("cache_stats", self.cache_stats_json()),
             ]));
+        }
+        if op == "verify_evidence" {
+            // Deliberately tenantless, like "hello": checking a
+            // serialized evidence bundle needs no key material, so any
+            // connection — a counterparty, an auditor — may ask.
+            return Self::verify_evidence_op(request);
         }
         let Some(tenant) = bound.clone() else {
             return Err(format!("op {op:?} requires a tenant: send a \"hello\" op first"));
@@ -600,6 +608,27 @@ impl Service {
             .log
             .open_version(version, &schema, &table.store, Some(budget))
             .map_err(|e| e.to_string())?;
+        // With "evidence":true the certified twin runs instead: same
+        // incremental decode through the same vote cache, plus the
+        // serialized CMKEVD1 bundle (hex) for the caller to archive.
+        if request.get("evidence").and_then(Json::as_bool) == Some(true) {
+            let certified = session
+                .detect_certified_incremental(&mut seg, &claimed, &manifest, &mut table.votes)
+                .map_err(|e| e.to_string())?;
+            self.pager.absorb(seg.cache_stats());
+            let verdict = certified.outcome;
+            return Ok(ok_response(vec![
+                ("name", Json::Str(name.to_string())),
+                ("version", Json::Num(version as f64)),
+                ("mark", Json::Str(verdict.decode.watermark.to_string())),
+                ("fit", Json::Num(verdict.decode.fit_tuples as f64)),
+                ("votes", Json::Num(verdict.decode.votes_cast as f64)),
+                ("matched_bits", Json::Num(verdict.detection.matched_bits as f64)),
+                ("total_bits", Json::Num(verdict.detection.total_bits as f64)),
+                ("false_positive", Json::Num(verdict.detection.false_positive_probability)),
+                ("evidence", Json::Str(to_hex(&certified.bundle))),
+            ]));
+        }
         let inc = session
             .decode_incremental(&mut seg, &manifest, &mut table.votes)
             .map_err(|e| e.to_string())?;
@@ -617,6 +646,34 @@ impl Service {
             ("total_bits", Json::Num(verdict.total_bits as f64)),
             ("false_positive", Json::Num(verdict.false_positive_probability)),
         ]))
+    }
+
+    /// `verify_evidence`: independently re-check a hex-encoded
+    /// `CMKEVD1` bundle — no relation, no keys, no tenant. Tampered or
+    /// internally inconsistent bundles come back as error envelopes
+    /// naming the first failed check.
+    fn verify_evidence_op(request: &Json) -> Result<Json, String> {
+        let bytes = from_hex(str_field(request, "bundle")?)?;
+        let summary = verify_evidence(&bytes).map_err(|e| e.to_string())?;
+        let mut fields = vec![
+            ("verified", Json::Bool(true)),
+            ("key_commitment", Json::Str(summary.key_commitment)),
+            ("relation", Json::Str(summary.relation)),
+            ("segments", Json::Num(summary.segments as f64)),
+            ("fit", Json::Num(summary.fit_tuples as f64)),
+            ("votes", Json::Num(summary.votes_cast as f64)),
+            ("mark", Json::Str(summary.decoded)),
+        ];
+        if let Some(claim) = summary.claim {
+            fields.push(("claimed", Json::Str(claim.claimed)));
+            fields.push(("matched_bits", Json::Num(claim.matched_bits as f64)));
+            fields.push(("total_bits", Json::Num(claim.total_bits as f64)));
+            fields.push(("false_positive", Json::Num(claim.false_positive_probability)));
+        }
+        if let Some(contest) = summary.contest {
+            fields.push(("contest_outcome", Json::Str(contest.outcome)));
+        }
+        Ok(ok_response(fields))
     }
 }
 
@@ -670,10 +727,10 @@ fn to_hex(bytes: &[u8]) -> String {
 fn from_hex(text: &str) -> Result<Vec<u8>, String> {
     let digits = text.as_bytes();
     if !digits.len().is_multiple_of(2) {
-        return Err("delta hex has an odd number of digits".to_string());
+        return Err("hex blob has an odd number of digits".to_string());
     }
     if !digits.iter().all(u8::is_ascii_hexdigit) {
-        return Err("delta hex holds a non-hex character".to_string());
+        return Err("hex blob holds a non-hex character".to_string());
     }
     Ok(digits
         .chunks_exact(2)
@@ -1314,6 +1371,56 @@ mod tests {
         let votes = stats.get("votes").unwrap();
         assert!(votes.get("hits").and_then(Json::as_u64).unwrap() > 0);
         assert!(votes.get("misses").and_then(Json::as_u64).unwrap() > 0);
+    }
+
+    #[test]
+    fn detect_at_emits_evidence_and_verify_evidence_judges_it_keylessly() {
+        let mut service =
+            two_tenant_service(ServiceConfig { segment_rows: 128, ..ServiceConfig::default() });
+        let mut bound = None;
+        service.handle(&mut bound, &request(r#"{"op":"hello","tenant":"acme"}"#));
+        let update = format!(
+            r#"{{"op":"update","name":"sales","key":"production","key_attr":"visit_nbr","attr":"item_nbr","mark":"101101","csv":{}}}"#,
+            Json::Str(csv()).to_text()
+        );
+        let (first, _) = service.handle(&mut bound, &request(&update));
+        assert_ok(&first);
+        let marked = first.get("marked_version").and_then(Json::as_u64).unwrap();
+
+        // Certified detect_at: same verdict fields, plus the bundle.
+        let req = format!(
+            r#"{{"op":"detect_at","name":"sales","key":"production","key_attr":"visit_nbr","attr":"item_nbr","version":{marked},"claim":"101101","evidence":true}}"#
+        );
+        let (resp, _) = service.handle(&mut bound, &request(&req));
+        assert_ok(&resp);
+        assert_eq!(resp.get("mark").and_then(Json::as_str), Some("101101"));
+        assert_eq!(resp.get("matched_bits").and_then(Json::as_u64), Some(6));
+        let bundle = resp.get("evidence").and_then(Json::as_str).unwrap().to_string();
+
+        // The checker op needs no hello: a fresh, unbound connection
+        // can re-judge the bundle from its hex alone.
+        let mut stranger = None;
+        let verify = format!(
+            r#"{{"op":"verify_evidence","bundle":{}}}"#,
+            Json::Str(bundle.clone()).to_text()
+        );
+        let (resp, _) = service.handle(&mut stranger, &request(&verify));
+        assert_ok(&resp);
+        assert_eq!(resp.get("verified").and_then(Json::as_bool), Some(true));
+        assert_eq!(resp.get("mark").and_then(Json::as_str), Some("101101"));
+        assert_eq!(resp.get("matched_bits").and_then(Json::as_u64), Some(6));
+        assert!(resp.get("relation").and_then(Json::as_str).unwrap().starts_with("version"));
+
+        // A tampered bundle comes back as a clean error envelope.
+        let mut evil = from_hex(&bundle).unwrap();
+        let mid = evil.len() / 2;
+        evil[mid] ^= 0x10;
+        let verify = format!(
+            r#"{{"op":"verify_evidence","bundle":{}}}"#,
+            Json::Str(to_hex(&evil)).to_text()
+        );
+        let (resp, _) = service.handle(&mut stranger, &request(&verify));
+        assert!(error_of(&resp).contains("rejected"), "{resp:?}");
     }
 
     #[test]

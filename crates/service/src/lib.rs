@@ -14,7 +14,7 @@
 //!   speakable from any language, over stdio or a Unix socket.
 //! * [`json`] — a dependency-free JSON value/parser/serializer (the
 //!   build environment admits no external crates).
-//! * [`daemon`] — the [`Service`](daemon::Service): per-tenant
+//! * [`daemon`] — the [`Service`]: per-tenant
 //!   [`TenantKeyRegistry`](catmark_core::keyfile::TenantKeyRegistry)s,
 //!   hello-bound connections, and the `embed` / `decode` /
 //!   `mark_copy` / `trace` ops with inline-CSV payloads. Tenant

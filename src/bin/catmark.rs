@@ -86,6 +86,10 @@ fn run(args: &[String]) -> Result<String, CliError> {
     let Some(command) = args.first() else {
         return Err(CliError::Usage(format!("no command given\n\n{USAGE}")));
     };
+    if command == "verify-evidence" {
+        // Takes a positional bundle path, not --flag pairs.
+        return verify_evidence_cmd(&args[1..]);
+    }
     let flags = parse_flags(&args[1..])?;
     match command.as_str() {
         "keygen" => keygen(&flags),
@@ -107,7 +111,8 @@ const USAGE: &str = "usage:
   catmark embed   --key <file> --input <csv> --key-attr <name> --attr <name>
                   --mark <bits> --output <csv>
   catmark decode  --key <file> --input <csv> --key-attr <name> --attr <name>
-                  [--claim <bits>]
+                  [--claim <bits>] [--evidence <file>]
+  catmark verify-evidence <bundle>
   catmark inspect --key <file>
   catmark rules   --input <csv> --attrs <a,b,…> [--min-support 0.05]
                   [--min-confidence 0.8] [--max-len 2] [--top 20]
@@ -250,7 +255,27 @@ fn decode(flags: &HashMap<String, String>) -> Result<String, CliError> {
     let rel = load_csv(require(flags, "input")?, attr)?;
     let claimed = flags.get("claim").map(|c| parse_mark(c, spec.wm_len)).transpose()?;
     let session = bind_session(spec, &rel, key_attr, attr)?;
-    let report = session.decode(&rel).map_err(CliError::run)?;
+    // With --evidence the certified twin runs instead — same single
+    // accumulation pass, same outcome, plus the serialized bundle.
+    let evidence_path = flags.get("evidence");
+    let (report, detection, bundle) = match (&claimed, evidence_path) {
+        (Some(claimed), Some(_)) => {
+            let c = session.detect_certified(&rel, claimed).map_err(CliError::run)?;
+            (c.outcome.decode, Some(c.outcome.detection), Some(c.bundle))
+        }
+        (None, Some(_)) => {
+            let c = session.decode_certified(&rel).map_err(CliError::run)?;
+            (c.outcome, None, Some(c.bundle))
+        }
+        (Some(claimed), None) => {
+            let report = session.decode(&rel).map_err(CliError::run)?;
+            // Weigh the decode against the claim — pure arithmetic, no
+            // second decode pass.
+            let detection = detect(&report.watermark, claimed);
+            (report, Some(detection), None)
+        }
+        (None, None) => (session.decode(&rel).map_err(CliError::run)?, None, None),
+    };
     let mut out = format!(
         "decoded mark     {}\nfit tuples       {}\nvotes cast       {}\nforeign values   {}\npositions        {} observed / {} erased / {} conflicting\n",
         report.watermark,
@@ -261,10 +286,7 @@ fn decode(flags: &HashMap<String, String>) -> Result<String, CliError> {
         report.positions_erased,
         report.position_conflicts,
     );
-    if let Some(claimed) = claimed {
-        // Weigh the decode above against the claim — pure arithmetic,
-        // no second decode pass.
-        let verdict = detect(&report.watermark, &claimed);
+    if let Some(verdict) = detection {
         out.push_str(&format!(
             "claim match      {}/{} bits\nfalse positive   {:.3e}\nverdict          {}\n",
             verdict.matched_bits,
@@ -273,7 +295,34 @@ fn decode(flags: &HashMap<String, String>) -> Result<String, CliError> {
             if verdict.is_significant(1e-2) { "SIGNIFICANT (alpha 1%)" } else { "not significant" },
         ));
     }
+    if let (Some(path), Some(bundle)) = (evidence_path, bundle) {
+        std::fs::write(path, &bundle).map_err(|e| CliError::Run(format!("{path}: {e}")))?;
+        out.push_str(&format!("evidence         {} bytes -> {path}\n", bundle.len()));
+    }
     Ok(out)
+}
+
+// ------------------------------------------------------- verify-evidence
+
+/// Independently check a serialized `CMKEVD1` evidence bundle — no
+/// key file, no relation. Malformed or tampered bundles exit 1 with
+/// the first failed check named; verified bundles print the facts
+/// they pin.
+fn verify_evidence_cmd(args: &[String]) -> Result<String, CliError> {
+    let path = match args {
+        [single] if !single.starts_with("--") => single.clone(),
+        _ => {
+            let flags = parse_flags(args)?;
+            let path = require(&flags, "bundle")?.to_owned();
+            if flags.len() > 1 {
+                return Err(CliError::Usage("verify-evidence takes only a bundle path".into()));
+            }
+            path
+        }
+    };
+    let bytes = std::fs::read(&path).map_err(|e| CliError::Run(format!("{path}: {e}")))?;
+    let summary = catmark::core::evidence::verify_evidence(&bytes).map_err(CliError::run)?;
+    Ok(format!("{path}: evidence bundle VERIFIED\n{summary}\n"))
 }
 
 // --------------------------------------------------------------- inspect
@@ -705,6 +754,97 @@ mod tests {
         assert!(verdict.contains("decoded mark     1011001110"), "{verdict}");
         assert!(verdict.contains("SIGNIFICANT"), "{verdict}");
 
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn decode_emits_evidence_and_verify_evidence_judges_it() {
+        use catmark::datagen::{ItemScanConfig, SalesGenerator};
+        let dir = std::env::temp_dir().join(format!("catmark-evd-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let data_path = dir.join("data.csv");
+        let key_path = dir.join("key.catmark");
+        let marked_path = dir.join("marked.csv");
+        let bundle_path = dir.join("run.evd");
+
+        let rel =
+            SalesGenerator::new(ItemScanConfig { tuples: 3_000, ..Default::default() }).generate();
+        let mut f = File::create(&data_path).unwrap();
+        catmark::relation::csv::write_csv(&rel, &mut f).unwrap();
+
+        let arg = |s: &str| s.to_owned();
+        let key_text = run(&[
+            arg("keygen"),
+            arg("--master"),
+            arg("cli-evidence-secret"),
+            arg("--domain-from"),
+            arg(data_path.to_str().unwrap()),
+            arg("--attr"),
+            arg("item_nbr"),
+            arg("--e"),
+            arg("15"),
+        ])
+        .unwrap();
+        std::fs::write(&key_path, &key_text).unwrap();
+        run(&[
+            arg("embed"),
+            arg("--key"),
+            arg(key_path.to_str().unwrap()),
+            arg("--input"),
+            arg(data_path.to_str().unwrap()),
+            arg("--key-attr"),
+            arg("visit_nbr"),
+            arg("--attr"),
+            arg("item_nbr"),
+            arg("--mark"),
+            arg("1011001110"),
+            arg("--output"),
+            arg(marked_path.to_str().unwrap()),
+        ])
+        .unwrap();
+
+        // Certified decode prints the same verdict text plus the
+        // bundle line.
+        let verdict = run(&[
+            arg("decode"),
+            arg("--key"),
+            arg(key_path.to_str().unwrap()),
+            arg("--input"),
+            arg(marked_path.to_str().unwrap()),
+            arg("--key-attr"),
+            arg("visit_nbr"),
+            arg("--attr"),
+            arg("item_nbr"),
+            arg("--claim"),
+            arg("1011001110"),
+            arg("--evidence"),
+            arg(bundle_path.to_str().unwrap()),
+        ])
+        .unwrap();
+        assert!(verdict.contains("decoded mark     1011001110"), "{verdict}");
+        assert!(verdict.contains("SIGNIFICANT"), "{verdict}");
+        assert!(verdict.contains("evidence         "), "{verdict}");
+
+        // The checker needs neither the key file nor the CSVs.
+        let report = run(&[arg("verify-evidence"), arg(bundle_path.to_str().unwrap())]).unwrap();
+        assert!(report.contains("VERIFIED"), "{report}");
+        assert!(report.contains("1011001110"), "{report}");
+
+        // A flipped byte is rejected with a run error, not a panic.
+        let mut bytes = std::fs::read(&bundle_path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x20;
+        let tampered = dir.join("tampered.evd");
+        std::fs::write(&tampered, &bytes).unwrap();
+        let err = run(&[arg("verify-evidence"), arg(tampered.to_str().unwrap())]).unwrap_err();
+        assert!(matches!(&err, CliError::Run(msg) if msg.contains("rejected")), "{err:?}");
+
+        // Missing files and malformed flags are clean errors too.
+        assert!(run(&[arg("verify-evidence"), arg("/nonexistent/x.evd")]).is_err());
+        assert!(matches!(
+            run(&[arg("verify-evidence"), arg("--bundle"), arg("a"), arg("--extra"), arg("b")]),
+            Err(CliError::Usage(_))
+        ));
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -426,3 +426,97 @@ fn guarded_embed_matches_pre_query_engine_goldens() {
         assert_eq!(g.decoded_bits, decoded, "guarded decode drift: {label}");
     }
 }
+
+/// `(name, tuples, e, wm, bundle_fnv, bundle_len)` — certified
+/// detection evidence pinned the same way the delta blobs are: the
+/// `CMKEVD1` bundle is a wire format, so its exact bytes are golden.
+/// The `tests/golden/<name>.evd` files hold those bytes verbatim; CI
+/// feeds them to `catmark verify-evidence` as an external, keyless
+/// auditor would. Both SHA dispatch backends must produce these exact
+/// bytes — the `CATMARK_SHA_BACKEND=soft` CI pass re-runs this test.
+const EVIDENCE_GOLDENS: &[(&str, usize, u64, u64, u64, usize)] = &[
+    ("detect_e15", 3_000, 15, 0b10_1100_1110, 0xcf83_7b5a_1c11_84a7, 2018),
+    ("detect_e30", 3_000, 30, 0b01_0011_0001, 0xf3fc_15be_3eac_257f, 1118),
+    ("detect_e60", 6_000, 60, 0b00_0000_0001, 0x0c76_f166_25e4_0dcc, 1118),
+];
+
+/// The certified detection for one pinned configuration, plus the
+/// fast-path verdict it must stay in lockstep with.
+fn certified_run(
+    tuples: usize,
+    e: u64,
+    wm_pattern: u64,
+) -> (catmark::core::Certified<catmark::core::Verdict>, catmark::core::Verdict) {
+    let gen = SalesGenerator::new(ItemScanConfig { tuples, ..Default::default() });
+    let mut rel = gen.generate();
+    let spec = WatermarkSpec::builder(gen.item_domain())
+        .master_key("golden-byte-identity")
+        .e(e)
+        .wm_len(10)
+        .expected_tuples(tuples)
+        .erasure(catmark::core::decode::ErasurePolicy::Abstain)
+        .build()
+        .unwrap();
+    let wm = Watermark::from_u64(wm_pattern, 10);
+    let session = MarkSession::builder(spec)
+        .key_column("visit_nbr")
+        .target_column("item_nbr")
+        .bind(&rel)
+        .unwrap();
+    session.embed(&mut rel, &wm).unwrap();
+    let fast = session.detect(&rel, &wm).unwrap();
+    (session.detect_certified(&rel, &wm).unwrap(), fast)
+}
+
+/// Byte offset flipped to fabricate `corrupted.evd` — inside the
+/// payload, past the framing, so the checksum is what catches it.
+const CORRUPT_AT: usize = 100;
+
+#[test]
+fn certified_detection_bundles_match_goldens() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden");
+    if std::env::var("GOLDEN_PRINT").is_ok() {
+        std::fs::create_dir_all(&dir).unwrap();
+        for &(name, tuples, e, wm, ..) in EVIDENCE_GOLDENS {
+            let (certified, _) = certified_run(tuples, e, wm);
+            std::fs::write(dir.join(format!("{name}.evd")), &certified.bundle).unwrap();
+            println!(
+                "    ({name:?}, {tuples}, {e}, {wm:#012b}, {:#018x}, {}),",
+                fnv64(&certified.bundle),
+                certified.bundle.len()
+            );
+        }
+        // The negative fixture: the first golden with one payload byte
+        // flipped, which `catmark verify-evidence` must refuse.
+        let (certified, _) =
+            certified_run(EVIDENCE_GOLDENS[0].1, EVIDENCE_GOLDENS[0].2, EVIDENCE_GOLDENS[0].3);
+        let mut corrupted = certified.bundle;
+        corrupted[CORRUPT_AT] ^= 0x01;
+        std::fs::write(dir.join("corrupted.evd"), &corrupted).unwrap();
+        return;
+    }
+    for &(name, tuples, e, wm, bundle_fnv, bundle_len) in EVIDENCE_GOLDENS {
+        let (certified, fast) = certified_run(tuples, e, wm);
+        let label = format!("evidence {name}: tuples={tuples} e={e} wm={wm:#b}");
+        assert_eq!(fnv64(&certified.bundle), bundle_fnv, "bundle drift: {label}");
+        assert_eq!(certified.bundle.len(), bundle_len, "bundle size drift: {label}");
+        // Certified and fast-path verdicts stay in lockstep.
+        assert_eq!(certified.outcome, fast, "verdict drift: {label}");
+        // The checked-in court copy is the exact regenerated bytes.
+        let on_disk = std::fs::read(dir.join(format!("{name}.evd")))
+            .unwrap_or_else(|e| panic!("{label}: missing tests/golden/{name}.evd ({e})"));
+        assert_eq!(on_disk, certified.bundle, "stale checked-in bundle: {label}");
+        // And it verifies keylessly, agreeing with the fast path.
+        let summary = catmark::core::verify_evidence(&certified.bundle).unwrap();
+        let claim = summary.claim.as_ref().expect("detect evidence carries a claim");
+        assert_eq!(claim.matched_bits, fast.detection.matched_bits, "claim drift: {label}");
+        assert_eq!(claim.total_bits, 10, "claim width drift: {label}");
+    }
+    // The corrupted twin must be refused, not reinterpreted.
+    let corrupted = std::fs::read(dir.join("corrupted.evd")).unwrap();
+    let err = catmark::core::verify_evidence(&corrupted).unwrap_err();
+    assert!(
+        matches!(err, catmark::core::CoreError::EvidenceInvalid { .. }),
+        "corrupted.evd must be EvidenceInvalid, got {err}"
+    );
+}

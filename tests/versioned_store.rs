@@ -231,3 +231,113 @@ fn file_backed_pile_reopens_every_version() {
 
     let _ = std::fs::remove_file(&pile);
 }
+
+/// Certified detection over a committed version must produce
+/// byte-identical `CMKEVD1` evidence no matter which execution path
+/// walked the data: segmented streaming, the incremental vote cache
+/// (cold and warm), or a monolithic rebuild of the same version. One
+/// (version, key, spec) triple → one bundle.
+mod certified_cross_path {
+    use catmark::core::evidence::verify_evidence;
+    use catmark::core::{MarkSession, VoteCache, Watermark, WatermarkSpec};
+    use catmark::relation::CategoricalDomain;
+
+    use super::*;
+
+    /// The domain `relation_for` draws attribute `a` from.
+    fn domain() -> CategoricalDomain {
+        CategoricalDomain::new((-2..=6).map(Value::Int).collect()).unwrap()
+    }
+
+    fn session_over(rel: &Relation, master_key: &str, tuples: usize) -> MarkSession {
+        let spec = WatermarkSpec::builder(domain())
+            .master_key(master_key)
+            .e(4)
+            .wm_len(8)
+            .expected_tuples(tuples)
+            .build()
+            .unwrap();
+        MarkSession::builder(spec).key_column("k").target_column("a").bind(rel).unwrap()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Random relation, random mark, random segment geometry
+        /// (including empty trailing segments): the four certified
+        /// paths agree byte-for-byte and the bundle verifies keylessly.
+        #[test]
+        fn certified_bundles_are_path_independent(seed in any::<u64>()) {
+            let mut next = rng_from(seed);
+            let tuples = 300 + (next() % 400) as usize;
+            let mut rel = relation_for(next(), tuples);
+            let session = session_over(&rel, "cross-path", tuples);
+            let wm = Watermark::from_u64(next() & 0xFF, 8);
+            session.embed(&mut rel, &wm).unwrap();
+
+            let segment_rows = 1 + (next() % (tuples as u64 / 2 + 1)) as usize;
+            let store = ContentStore::in_memory();
+            let mut log = VersionLog::new();
+            let mut seg = versioned(&rel, segment_rows, next().is_multiple_of(2), &store);
+            let v = log.commit(&mut seg, &store).unwrap();
+            let manifest = log.get(v).unwrap().clone();
+
+            let segmented =
+                session.detect_certified_segmented(&mut seg, &wm, &manifest).unwrap();
+            let mut cache = VoteCache::new();
+            let cold = session
+                .detect_certified_incremental(&mut seg, &wm, &manifest, &mut cache)
+                .unwrap();
+            let warm = session
+                .detect_certified_incremental(&mut seg, &wm, &manifest, &mut cache)
+                .unwrap();
+            let mono = log
+                .open_version(v, rel.schema(), &store, None)
+                .unwrap()
+                .to_relation()
+                .unwrap();
+            let monolithic = session.detect_certified_version(&mono, &wm, &manifest).unwrap();
+
+            prop_assert_eq!(&segmented.bundle, &cold.bundle, "segmented vs cold incremental");
+            prop_assert_eq!(&cold.bundle, &warm.bundle, "cold vs warm incremental");
+            prop_assert_eq!(&segmented.bundle, &monolithic.bundle, "segmented vs monolithic");
+
+            // The certified verdict is the fast path's verdict.
+            let fast = session.detect(&mono, &wm).unwrap();
+            prop_assert_eq!(&segmented.outcome, &fast);
+            prop_assert_eq!(&monolithic.outcome, &fast);
+
+            // And the bundle stands alone: no relation, no keys.
+            let summary = verify_evidence(&segmented.bundle).unwrap();
+            prop_assert_eq!(summary.segments, seg.segment_count());
+            prop_assert!(summary.relation.starts_with(&format!("version {v}")));
+        }
+
+        /// Same version, two different owner keys: both certify and
+        /// verify, but the bundles commit to different key material
+        /// and are not interchangeable.
+        #[test]
+        fn certified_bundles_commit_to_the_key(seed in any::<u64>()) {
+            let mut next = rng_from(seed);
+            let tuples = 240 + (next() % 160) as usize;
+            let mut rel = relation_for(next(), tuples);
+            let alice = session_over(&rel, "alice-key", tuples);
+            let wm = Watermark::from_u64(next() & 0xFF, 8);
+            alice.embed(&mut rel, &wm).unwrap();
+
+            let store = ContentStore::in_memory();
+            let mut log = VersionLog::new();
+            let mut seg = versioned(&rel, 64, false, &store);
+            let v = log.commit(&mut seg, &store).unwrap();
+            let manifest = log.get(v).unwrap().clone();
+
+            let bob = session_over(&rel, "bob-key", tuples);
+            let a = alice.detect_certified_segmented(&mut seg, &wm, &manifest).unwrap();
+            let b = bob.detect_certified_segmented(&mut seg, &wm, &manifest).unwrap();
+            let sa = verify_evidence(&a.bundle).unwrap();
+            let sb = verify_evidence(&b.bundle).unwrap();
+            prop_assert!(sa.key_commitment != sb.key_commitment);
+            prop_assert!(a.bundle != b.bundle);
+        }
+    }
+}
